@@ -1,0 +1,66 @@
+package astra
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	study, err := Run(Options{Seed: 81, Nodes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Dataset.CERecords) == 0 || len(study.Faults) == 0 {
+		t.Fatal("empty study")
+	}
+	r := study.Analyze()
+	if r.Breakdown.Total != len(study.Dataset.CERecords) {
+		t.Errorf("breakdown total %d != records %d", r.Breakdown.Total, len(study.Dataset.CERecords))
+	}
+	if r.ErrorsPerFault.Median != 1 {
+		t.Errorf("median errors/fault = %v", r.ErrorsPerFault.Median)
+	}
+	if len(r.TempWindows) != 4 || len(r.TempDeciles) != 6 || len(r.Utilization) != 6 {
+		t.Error("analysis panel counts wrong")
+	}
+	var buf bytes.Buffer
+	if err := study.WriteReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Figure 4a", "Figure 9", "Figure 15", "EDAC logging"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunValidatesOptions(t *testing.T) {
+	if _, err := Run(Options{Seed: 1, Nodes: -1}); err == nil {
+		t.Error("negative nodes accepted")
+	}
+	if _, err := Run(Options{Seed: 1, Nodes: FullScale + 1}); err == nil {
+		t.Error("oversize accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Options{Seed: 82, Nodes: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 82, Nodes: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Faults) != len(b.Faults) || len(a.Dataset.CERecords) != len(b.Dataset.CERecords) {
+		t.Error("same-seed studies differ")
+	}
+}
+
+func TestStudyWindowDays(t *testing.T) {
+	if got := StudyWindowDays(); got != 237 {
+		t.Errorf("StudyWindowDays = %v, want 237", got)
+	}
+}

@@ -1,0 +1,563 @@
+package astra
+
+// The benchmark harness regenerates every table and figure in the paper's
+// evaluation (Table 1, Figures 2-15) plus the ablations called out in
+// DESIGN.md. Each benchmark measures the analysis that produces the
+// artifact and prints the corresponding rows/series once, so
+//
+//	go test -bench=. -benchmem
+//
+// emits the full reproduction alongside the timings. Scale defaults to the
+// paper's 2592 nodes; set ASTRA_BENCH_NODES to reduce it.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ecc"
+	"repro/internal/ecc/chipkill"
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/report"
+	"repro/internal/retire"
+	"repro/internal/scrub"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+const benchSeed = 1
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+	benchErr   error
+
+	printMu      sync.Mutex
+	printedNames = map[string]bool{}
+)
+
+// benchNodes returns the benchmark system size.
+func benchNodes() int {
+	if v := os.Getenv("ASTRA_BENCH_NODES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 && n <= FullScale {
+			return n
+		}
+	}
+	return FullScale
+}
+
+// benchSetup lazily builds the shared study.
+func benchSetup(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = Run(Options{Seed: benchSeed, Nodes: benchNodes()})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStudy
+}
+
+// printFigure emits a report section once per process.
+func printFigure(name, body string) {
+	printMu.Lock()
+	defer printMu.Unlock()
+	if printedNames[name] {
+		return
+	}
+	printedNames[name] = true
+	fmt.Printf("\n===== %s =====\n%s\n", name, body)
+}
+
+func BenchmarkTable1Replacements(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var totals [3]int
+	for i := 0; i < b.N; i++ {
+		t := s.Dataset.Inventory.Totals()
+		totals = [3]int{t[0], t[1], t[2]}
+	}
+	_ = totals
+	printFigure("Table 1", report.Table1(s.Dataset.Inventory, s.Options.Nodes))
+}
+
+func BenchmarkFigure2SensorHistograms(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = report.Figure2(s.Dataset.Env, s.Options.Nodes, benchSeed)
+	}
+	printFigure("Figure 2", out)
+}
+
+func BenchmarkFigure3ReplacementTimeline(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = report.Figure3(s.Dataset.Inventory)
+	}
+	printFigure("Figure 3", out)
+}
+
+func BenchmarkFigure4aErrorFaultSeries(b *testing.B) {
+	s := benchSetup(b)
+	var bd core.ModeBreakdown
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd = core.BreakdownByMode(s.Dataset.CERecords, s.Faults)
+	}
+	printFigure("Figure 4a", report.Figure4a(bd))
+}
+
+func BenchmarkFigure4bErrorsPerFault(b *testing.B) {
+	s := benchSetup(b)
+	var d core.ErrorsPerFault
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d = core.ErrorsPerFaultDist(s.Faults)
+	}
+	printFigure("Figure 4b", report.Figure4b(d))
+}
+
+func BenchmarkFigure5aFaultsPerNode(b *testing.B) {
+	s := benchSetup(b)
+	var pn core.PerNode
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pn = core.AnalyzePerNode(s.Dataset.CERecords, s.Faults, s.Options.Nodes)
+	}
+	printFigure("Figure 5a", report.Figure5(pn, s.Options.Nodes))
+}
+
+func BenchmarkFigure5bNodeCDF(b *testing.B) {
+	s := benchSetup(b)
+	var pn core.PerNode
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pn = core.AnalyzePerNode(s.Dataset.CERecords, s.Faults, s.Options.Nodes)
+	}
+	// The Fig 5b statements: top-8 and top-2% CE shares plus curve knots.
+	body := fmt.Sprintf("top-8 nodes: %s of CEs; top 2%%: %s\nLorenz knots:",
+		report.FormatPct(pn.TopShare8), report.FormatPct(pn.TopShare2Pct))
+	for _, k := range []int{1, 8, 20, 50, 100, 500} {
+		if k < len(pn.Lorenz) {
+			body += fmt.Sprintf(" [%d]=%.3f", k, pn.Lorenz[k])
+		}
+	}
+	printFigure("Figure 5b", body+"\n")
+}
+
+func BenchmarkFigure6StructureDistributions(b *testing.B) {
+	s := benchSetup(b)
+	var st core.Structures
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = core.AnalyzeStructures(s.Dataset.CERecords, s.Faults)
+	}
+	printFigure("Figure 6", report.Figure6(st))
+}
+
+func BenchmarkFigure7RankSlot(b *testing.B) {
+	s := benchSetup(b)
+	var st core.Structures
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st = core.AnalyzeStructures(s.Dataset.CERecords, s.Faults)
+	}
+	printFigure("Figure 7", report.Figure7(st))
+}
+
+func BenchmarkFigure8BitAddress(b *testing.B) {
+	s := benchSetup(b)
+	var ba core.BitAddress
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ba = core.AnalyzeBitAddress(s.Faults)
+	}
+	printFigure("Figure 8", report.Figure8(ba))
+}
+
+func BenchmarkFigure9TempWindows(b *testing.B) {
+	s := benchSetup(b)
+	var tw []core.TempWindow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw = core.AnalyzeTempWindows(s.Dataset.CERecords, s.Dataset.Env, core.Fig9Windows)
+	}
+	printFigure("Figure 9", report.Figure9(tw))
+}
+
+func BenchmarkFigure10RackRegion(b *testing.B) {
+	s := benchSetup(b)
+	var p core.Positional
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = core.AnalyzePositional(s.Dataset.CERecords, s.Faults)
+	}
+	printFigure("Figure 10", report.Figure10(p))
+}
+
+func BenchmarkFigure11RegionByRack(b *testing.B) {
+	s := benchSetup(b)
+	var p core.Positional
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = core.AnalyzePositional(s.Dataset.CERecords, s.Faults)
+	}
+	printFigure("Figure 11", report.Figure11(p))
+}
+
+func BenchmarkFigure12PerRack(b *testing.B) {
+	s := benchSetup(b)
+	var p core.Positional
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = core.AnalyzePositional(s.Dataset.CERecords, s.Faults)
+	}
+	printFigure("Figure 12", report.Figure12(p))
+}
+
+func BenchmarkFigure13TempDeciles(b *testing.B) {
+	s := benchSetup(b)
+	var panels []core.DecilePanel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		panels = core.AnalyzeTempDeciles(s.Dataset.CERecords, s.Dataset.Env, s.Options.Nodes)
+	}
+	printFigure("Figure 13", report.Figure13(panels))
+}
+
+func BenchmarkFigure14PowerUtilization(b *testing.B) {
+	s := benchSetup(b)
+	var panels []core.UtilizationPanel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		panels = core.AnalyzeUtilization(s.Dataset.CERecords, s.Dataset.Env, s.Options.Nodes)
+	}
+	printFigure("Figure 14", report.Figure14(panels))
+}
+
+func BenchmarkFigure15HETAndFIT(b *testing.B) {
+	s := benchSetup(b)
+	var u core.Uncorrectable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u = core.AnalyzeUncorrectable(s.Dataset.HETRecords,
+			s.Options.Nodes*topology.SlotsPerNode, s.Dataset.Config.Fault.End)
+	}
+	printFigure("Figure 15", report.Figure15(u))
+}
+
+// BenchmarkAblationRowClustering compares the default clusterer against
+// the row-trusting variant the real platform could not run (§3.2).
+func BenchmarkAblationRowClustering(b *testing.B) {
+	s := benchSetup(b)
+	cfg := core.DefaultClusterConfig()
+	cfg.RowClustering = true
+	var rows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = 0
+		for _, f := range core.Cluster(s.Dataset.CERecords, cfg) {
+			if f.Mode == core.ModeSingleRow {
+				rows++
+			}
+		}
+	}
+	printFigure("Ablation: row clustering", fmt.Sprintf(
+		"default clusterer: %d faults, 0 single-row (platform limitation)\n"+
+			"row-trusting ablation: recovers %d single-row faults\n", len(s.Faults), rows))
+}
+
+// BenchmarkAblationChipkillVsSECDED replays double-bit DUE patterns
+// through both codecs: chipkill corrects what SEC-DED cannot whenever the
+// flipped bits share an x4 chip or land in different interleaves (§2.2's
+// cost/protection trade-off).
+func BenchmarkAblationChipkillVsSECDED(b *testing.B) {
+	rng := simrand.NewStream(benchSeed).Derive("chipkill-ablation")
+	const trials = 20000
+	var secdedCorrected, ckCorrected int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		secdedCorrected, ckCorrected = 0, 0
+		for t := 0; t < trials; t++ {
+			data := rng.Uint64()
+			b1 := rng.IntN(64)
+			b2 := rng.IntN(63)
+			if b2 >= b1 {
+				b2++
+			}
+			w := ecc.FlipBit(ecc.FlipBit(ecc.Encode(data), b1), b2)
+			if _, res, _, _ := ecc.Decode(w); res == ecc.Corrected {
+				secdedCorrected++
+			}
+			cw := chipkill.FlipBit(chipkill.FlipBit(chipkill.Encode(data), b1), b2)
+			if got, res := chipkill.Decode(cw); res != chipkill.Uncorrectable && got == data {
+				ckCorrected++
+			}
+		}
+	}
+	printFigure("Ablation: SEC-DED vs Chipkill", fmt.Sprintf(
+		"double-bit corruptions corrected: SEC-DED %d/%d (%.1f%%), chipkill %d/%d (%.1f%%)\n"+
+			"chipkill cost: %d vs %d check bits per 64-bit word\n",
+		secdedCorrected, trials, 100*float64(secdedCorrected)/trials,
+		ckCorrected, trials, 100*float64(ckCorrected)/trials,
+		chipkill.CheckBits, ecc.CheckBits))
+}
+
+// BenchmarkAblationEdacCapacity sweeps the CE log capacity and reports the
+// logging-loss fraction (§2.3: "once logging space is full, further CEs
+// may be dropped").
+func BenchmarkAblationEdacCapacity(b *testing.B) {
+	nodes := 300
+	if bn := benchNodes(); bn < nodes {
+		nodes = bn
+	}
+	capacities := []int{4, 16, 32, 128, 1024}
+	losses := make([]float64, len(capacities))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ci, capacity := range capacities {
+			cfg := dataset.DefaultConfig(benchSeed)
+			cfg.Nodes = nodes
+			cfg.EdacCapacity = capacity
+			cfg.Inventory = false
+			ds, err := dataset.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			losses[ci] = ds.EdacStats.LossFraction()
+		}
+	}
+	body := ""
+	for ci, capacity := range capacities {
+		body += fmt.Sprintf("capacity %4d: %.2f%% of CEs lost\n", capacity, 100*losses[ci])
+	}
+	printFigure("Ablation: EDAC log capacity", body)
+}
+
+// BenchmarkAblationRetirement measures how much of the error stream page
+// retirement suppresses at different thresholds (the mitigation §3.2
+// credits for the Fig 4a downward trend).
+func BenchmarkAblationRetirement(b *testing.B) {
+	s := benchSetup(b)
+	thresholds := []int{1, 4, 16, 64}
+	suppressed := make([]float64, len(thresholds))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ti, th := range thresholds {
+			eng := retire.NewEngine(benchSeed, retire.Policy{Threshold: th, SuccessProb: 0.85, MaxPagesPerNode: 4096})
+			eng.Filter(s.Dataset.Pop.CEs)
+			st := eng.Stats()
+			suppressed[ti] = float64(st.Suppressed) / float64(st.Seen)
+		}
+	}
+	body := ""
+	for ti, th := range thresholds {
+		body += fmt.Sprintf("threshold %3d CEs/page: %.1f%% of errors suppressed\n", th, 100*suppressed[ti])
+	}
+	printFigure("Ablation: page retirement", body)
+}
+
+// BenchmarkAblationBaselineWorlds runs the identical temperature-decile
+// analysis over the Astra-truth world and the Schroeder-coupled world,
+// demonstrating that the paper's negative result is a detection.
+func BenchmarkAblationBaselineWorlds(b *testing.B) {
+	const nodes = 400
+	var astraStrength, schroederStrength float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []baseline.Kind{baseline.Astra, baseline.Schroeder} {
+			w, err := baseline.NewScenario(kind, benchSeed, nodes).Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			records := dsRecordsFromPop(w.Pop)
+			panels := core.AnalyzeTempDeciles(records, w.Env, nodes)
+			sum, n := 0.0, 0
+			for _, p := range panels {
+				if p.Sensor.IsDIMM() && p.TrendErr == nil {
+					sum += core.TrendStrength(p.Trend, p.Bins)
+					n++
+				}
+			}
+			strength := sum / float64(n)
+			if kind == baseline.Astra {
+				astraStrength = strength
+			} else {
+				schroederStrength = strength
+			}
+		}
+	}
+	printFigure("Ablation: baseline worlds", fmt.Sprintf(
+		"mean DIMM temperature-trend strength under identical analysis:\n"+
+			"  astra-truth world:      %+.2f (no coupling)\n"+
+			"  schroeder-coupled world: %+.2f (x2 per 20 °C injected)\n",
+		astraStrength, schroederStrength))
+}
+
+// BenchmarkAblationScrubLatency sweeps the patrol-scrub period and reports
+// the mean fault-detection latency for cold and hot memory (§2.3's CE
+// discovery mechanics).
+func BenchmarkAblationScrubLatency(b *testing.B) {
+	periods := []simtime.Minute{simtime.MinutesPerHour, simtime.MinutesPerDay, simtime.MinutesPerWeek}
+	cold := make([]float64, len(periods))
+	hot := make([]float64, len(periods))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pi, period := range periods {
+			s := scrub.NewScrubber(period, benchSeed)
+			cold[pi] = scrub.NewDetector(s, 0).MeanLatency(simrand.NewStream(benchSeed), 200, 2000)
+			hot[pi] = scrub.NewDetector(s, 0.01).MeanLatency(simrand.NewStream(benchSeed), 200, 2000)
+		}
+	}
+	body := ""
+	for pi, period := range periods {
+		body += fmt.Sprintf("scrub period %6d min: cold-memory latency %7.0f min, hot-memory %5.0f min\n",
+			period, cold[pi], hot[pi])
+	}
+	printFigure("Ablation: patrol-scrub detection latency", body)
+}
+
+// BenchmarkSurvivalAnalysis runs the component-lifetime extension of
+// Table 1 (Kaplan-Meier + Weibull + MTBF).
+func BenchmarkSurvivalAnalysis(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = report.Survival(s.Dataset.Inventory, s.Options.Nodes)
+	}
+	printFigure("Survival analysis", out)
+}
+
+// BenchmarkThermalUniformity runs the §3.4 region/rack temperature tables.
+func BenchmarkThermalUniformity(b *testing.B) {
+	s := benchSetup(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		region := core.AnalyzeRegionTemps(s.Dataset.Env, s.Options.Nodes, 1)
+		rack := core.AnalyzeRackTemps(s.Dataset.Env, s.Options.Nodes, 1)
+		out = report.Thermal(region, rack)
+	}
+	printFigure("Thermal uniformity", out)
+}
+
+// BenchmarkAblationWeakSignatures contrasts the Fig 8b address-collision
+// distribution with and without the manufacturing weak-spot pool.
+func BenchmarkAblationWeakSignatures(b *testing.B) {
+	nodes := 400
+	if bn := benchNodes(); bn < nodes {
+		nodes = bn
+	}
+	var withSig, without stats.PowerLawFit
+	var withMax, withoutMax int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sig := range []bool{true, false} {
+			cfg := faultmodel.DefaultConfig(benchSeed)
+			cfg.Nodes = nodes
+			if !sig {
+				cfg.SignatureCount = 0
+			}
+			pop, err := faultmodel.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ba := core.AnalyzeBitAddress(core.Cluster(dsRecordsFromPop(pop), core.DefaultClusterConfig()))
+			maxCount := 0
+			for _, c := range ba.PerAddr {
+				if c > maxCount {
+					maxCount = c
+				}
+			}
+			if sig {
+				withSig, withMax = ba.AddrFit, maxCount
+			} else {
+				without, withoutMax = ba.AddrFit, maxCount
+			}
+		}
+	}
+	printFigure("Ablation: weak-spot signatures", fmt.Sprintf(
+		"with signatures:    max faults/address %d, power-law alpha %.2f\n"+
+			"without signatures: max faults/address %d, power-law alpha %.2f\n"+
+			"(the Fig 8b collision tail requires population-wide weak spots)\n",
+		withMax, withSig.Alpha, withoutMax, without.Alpha))
+}
+
+// BenchmarkFaultRates runs the field-study FIT-per-DIMM table.
+func BenchmarkFaultRates(b *testing.B) {
+	s := benchSetup(b)
+	var r core.FaultRates
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = core.AnalyzeFaultRates(s.Faults, s.Options.Nodes*topology.SlotsPerNode, core.StudyWindow())
+	}
+	printFigure("Fault rates (FIT/DIMM)", report.FaultRates(r))
+}
+
+// BenchmarkDUEPrecursors runs the predictive-maintenance join: DUEs vs
+// prior CE faults on the same DIMM.
+func BenchmarkDUEPrecursors(b *testing.B) {
+	s := benchSetup(b)
+	var p core.Precursors
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = core.AnalyzeDUEPrecursors(s.Dataset.DUERecords, s.Faults, s.Options.Nodes*topology.SlotsPerNode)
+	}
+	printFigure("DUE precursors", report.Precursors(p))
+}
+
+// BenchmarkClusteringValidation runs the ground-truth self-check: every
+// error attributed once, ≥90% mode agreement on unambiguous banks.
+func BenchmarkClusteringValidation(b *testing.B) {
+	nodes := 600
+	if bn := benchNodes(); bn < nodes {
+		nodes = bn
+	}
+	cfg := faultmodel.DefaultConfig(benchSeed)
+	cfg.Nodes = nodes
+	pop, err := faultmodel.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	records := dsRecordsFromPop(pop)
+	var m core.ValidationMetrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faults := core.Cluster(records, core.DefaultClusterConfig())
+		m, err = core.ValidateClustering(pop, records, faults, core.DefaultClusterConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Ok(len(records)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	printFigure("Clustering self-check", fmt.Sprintf(
+		"errors attributed: %d/%d (double: %d)\nmode agreement: %.1f%% over %d unambiguous banks\nfault count ratio (recovered/truth): %.2f\n",
+		m.ErrorsAttributed, len(records), m.DoubleAttributed,
+		100*m.ModeAgreement, m.BanksChecked, m.FaultCountRatio))
+}
+
+// dsRecordsFromPop encodes a raw population for analyses that bypass the
+// EDAC path (baseline comparisons).
+func dsRecordsFromPop(pop *faultmodel.Population) []mce.CERecord {
+	enc := mce.NewEncoder(pop.Config.Seed)
+	out := make([]mce.CERecord, len(pop.CEs))
+	for i, ev := range pop.CEs {
+		out[i] = enc.EncodeCE(ev, i)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestColumnExtraction(t *testing.T) {
+	rows := [][]string{
+		{"count", "label"},
+		{"3", "a"},
+		{"1", "b"},
+		{"7", "c"},
+	}
+	ints, err := intColumn(rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ints) != 3 || ints[0] != 3 || ints[2] != 7 {
+		t.Errorf("intColumn = %v", ints)
+	}
+	// Garbage mid-file is an error, not a skip.
+	bad := [][]string{{"count"}, {"3"}, {"x"}}
+	if _, err := intColumn(bad, 0); err == nil {
+		t.Error("mid-file garbage accepted")
+	}
+	// Out-of-range column.
+	if _, err := intColumn(rows, 5); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}
+
+func TestFloatColumnsPairing(t *testing.T) {
+	rows := [][]string{
+		{"x", "y"},
+		{"1", "2"},
+		{"3", "4"},
+	}
+	xs, ys, err := floatColumns(rows, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 2 || len(ys) != 2 || xs[1] != 3 || ys[1] != 4 {
+		t.Errorf("floatColumns = %v, %v", xs, ys)
+	}
+	// A header is skipped for both columns together; pairing never skews.
+	if len(xs) != len(ys) {
+		t.Error("columns desynchronized")
+	}
+	bad := [][]string{{"1", "2"}, {"3", "oops"}}
+	if _, _, err := floatColumns(bad, 0, 1); err == nil {
+		t.Error("unparseable pair accepted")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := readCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[1][1] != "2" {
+		t.Errorf("readCSV = %v", rows)
+	}
+	if _, err := readCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command astraparse is the ETL front end: it reads a raw merged syslog
+// (as written by astragen or by the machine itself), validates and
+// classifies every line, and emits typed CSV files — the "extract relevant
+// reliability information from the various system logs" step of the
+// paper's methodology (§1).
+//
+// Usage:
+//
+//	astraparse -syslog astra-data/astra-syslog.log -out ./parsed
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/het"
+	"repro/internal/mce"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("astraparse: ")
+	var (
+		in  = flag.String("syslog", "", "input syslog path (required)")
+		out = flag.String("out", "parsed", "output directory")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	ces, dues, hets, stats, err := dataset.ReadSyslog(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	cePath := filepath.Join(*out, "ce-telemetry.csv")
+	cf, err := os.Create(cePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dataset.WriteCERecordsCSV(cf, ces); err != nil {
+		log.Fatalf("writing %s: %v", cePath, err)
+	}
+	if err := cf.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	duePath := filepath.Join(*out, "due-telemetry.csv")
+	if err := writeDUECSV(duePath, dues); err != nil {
+		log.Fatalf("writing %s: %v", duePath, err)
+	}
+	hetPath := filepath.Join(*out, "het-events.csv")
+	if err := writeHETCSV(hetPath, hets); err != nil {
+		log.Fatalf("writing %s: %v", hetPath, err)
+	}
+
+	fmt.Printf("scanned %d lines: %d CE, %d DUE, %d HET, %d other, %d malformed\n",
+		stats.Lines, stats.CEs, stats.DUEs, stats.HETs, stats.Other, stats.Malformed)
+	fmt.Printf("wrote %s, %s, %s\n", cePath, duePath, hetPath)
+	if stats.Malformed > 0 {
+		frac := float64(stats.Malformed) / float64(stats.Lines)
+		fmt.Printf("warning: %.3f%% of lines were malformed and excluded\n", 100*frac)
+	}
+}
+
+func writeDUECSV(path string, dues []mce.DUERecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"timestamp", "node", "cause", "addr", "fatal"}); err != nil {
+		return err
+	}
+	for _, d := range dues {
+		fatal := "0"
+		if d.Fatal {
+			fatal = "1"
+		}
+		rec := []string{
+			d.Time.UTC().Format(time.RFC3339), d.Node.String(), d.Cause.String(),
+			fmt.Sprintf("0x%x", uint64(d.Addr)), fatal,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func writeHETCSV(path string, hets []het.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"timestamp", "node", "event", "severity", "addr"}); err != nil {
+		return err
+	}
+	for _, h := range hets {
+		rec := []string{
+			h.Time.UTC().Format(time.RFC3339), h.Node.String(),
+			h.Type.String(), h.Severity.String(), fmt.Sprintf("0x%x", uint64(h.Addr)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultmodel"
+	"repro/internal/het"
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestWriteDUECSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "due.csv")
+	dues := []mce.DUERecord{
+		{
+			Time:  simtime.HETStart.Add(time.Hour),
+			Node:  topology.NewNodeID(1, 2, 3),
+			Addr:  0x1000,
+			Cause: faultmodel.CauseMachineCheck,
+			Fatal: true,
+		},
+	}
+	if err := writeDUECSV(path, dues); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"timestamp,node,cause,addr,fatal", "astra-r01c02n3", "uncorrectableMachineCheckException", "0x1000", ",1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DUE CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteHETCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "het.csv")
+	recs := []het.Record{
+		{
+			Time:     simtime.HETStart.Add(2 * time.Hour),
+			Node:     topology.NewNodeID(0, 0, 1),
+			Type:     het.UCGoingHigh,
+			Severity: het.SeverityWarning,
+		},
+	}
+	if err := writeHETCSV(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"timestamp,node,event,severity,addr", "ucGoingHigh", "WARNING"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HET CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSVUnwritablePath(t *testing.T) {
+	if err := writeDUECSV(filepath.Join(t.TempDir(), "missing", "x.csv"), nil); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	if err := writeHETCSV(filepath.Join(t.TempDir(), "missing", "x.csv"), nil); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Command astrareport runs the full evaluation — Table 1 and Figures 2-15
+// — either over a freshly generated synthetic study or over a previously
+// generated syslog (the ETL path). Figures can be selected individually.
+//
+// Usage:
+//
+//	astrareport -seed 1 -nodes 2592                  # full synthetic study
+//	astrareport -nodes 432 -figures table1,fig4a
+//	astrareport -from-syslog astra-data/astra-syslog.log -seed 1
+//
+// When analyzing an existing syslog, the environmental and inventory
+// sections are reconstructed from -seed (they are deterministic), so the
+// report is identical to the generate-and-analyze path for matching flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	astra "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/paper"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+// sections maps figure names to renderers over a study and its results.
+var sections = []struct {
+	name   string
+	render func(*astra.Study, *astra.Results) string
+}{
+	{"table1", func(s *astra.Study, r *astra.Results) string {
+		return report.Table1(s.Dataset.Inventory, s.Options.Nodes)
+	}},
+	{"fig2", func(s *astra.Study, r *astra.Results) string {
+		return report.Figure2(s.Dataset.Env, s.Options.Nodes, s.Options.Seed)
+	}},
+	{"fig3", func(s *astra.Study, r *astra.Results) string {
+		return report.Figure3(s.Dataset.Inventory)
+	}},
+	{"fig4a", func(s *astra.Study, r *astra.Results) string { return report.Figure4a(r.Breakdown) }},
+	{"fig4b", func(s *astra.Study, r *astra.Results) string { return report.Figure4b(r.ErrorsPerFault) }},
+	{"fig5", func(s *astra.Study, r *astra.Results) string { return report.Figure5(r.PerNode, s.Options.Nodes) }},
+	{"fig6", func(s *astra.Study, r *astra.Results) string { return report.Figure6(r.Structures) }},
+	{"fig7", func(s *astra.Study, r *astra.Results) string { return report.Figure7(r.Structures) }},
+	{"fig8", func(s *astra.Study, r *astra.Results) string { return report.Figure8(r.BitAddress) }},
+	{"fig9", func(s *astra.Study, r *astra.Results) string { return report.Figure9(r.TempWindows) }},
+	{"fig10", func(s *astra.Study, r *astra.Results) string { return report.Figure10(r.Positional) }},
+	{"fig11", func(s *astra.Study, r *astra.Results) string { return report.Figure11(r.Positional) }},
+	{"fig12", func(s *astra.Study, r *astra.Results) string { return report.Figure12(r.Positional) }},
+	{"fig13", func(s *astra.Study, r *astra.Results) string { return report.Figure13(r.TempDeciles) }},
+	{"fig14", func(s *astra.Study, r *astra.Results) string { return report.Figure14(r.Utilization) }},
+	{"fig15", func(s *astra.Study, r *astra.Results) string { return report.Figure15(r.Uncorrectable) }},
+	{"thermal", func(s *astra.Study, r *astra.Results) string {
+		return report.Thermal(r.RegionTemps, r.RackTemps)
+	}},
+	{"survival", func(s *astra.Study, r *astra.Results) string {
+		return report.Survival(s.Dataset.Inventory, s.Options.Nodes)
+	}},
+	{"rates", func(s *astra.Study, r *astra.Results) string { return report.FaultRates(r.FaultRates) }},
+	{"precursors", func(s *astra.Study, r *astra.Results) string { return report.Precursors(r.Precursors) }},
+	{"stability", func(s *astra.Study, r *astra.Results) string { return report.ModeStability(r.ModeStability) }},
+	{"interarrivals", func(s *astra.Study, r *astra.Results) string { return report.Interarrivals(r.Interarrivals) }},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("astrareport: ")
+	var (
+		seed        = flag.Uint64("seed", 1, "random seed")
+		nodes       = flag.Int("nodes", 432, "system size in nodes (full Astra is 2592)")
+		figures     = flag.String("figures", "all", "comma-separated figure list (table1,fig2..fig15,thermal,survival) or `all`")
+		fromSyslog  = flag.String("from-syslog", "", "analyze an existing syslog instead of the built-in pipeline")
+		experiments = flag.Bool("experiments", false, "emit the paper-vs-measured comparison table (markdown) instead of figures")
+		svgDir      = flag.String("svg", "", "also write SVG figures into this directory")
+	)
+	flag.Parse()
+	if *nodes < 1 || *nodes > topology.Nodes {
+		log.Fatalf("-nodes must be in [1, %d]", topology.Nodes)
+	}
+
+	study, err := buildStudy(*seed, *nodes, *fromSyslog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := study.Analyze()
+
+	if *experiments {
+		rows := paper.Compare(study, results)
+		fmt.Print(paper.Markdown(rows))
+		if paper.PassCount(rows) < len(rows) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *figures != "all" {
+		for _, name := range strings.Split(*figures, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	printed := 0
+	for _, sec := range sections {
+		if len(want) > 0 && !want[sec.name] {
+			continue
+		}
+		fmt.Println(sec.render(study, results))
+		printed++
+	}
+	if printed == 0 {
+		log.Fatalf("no figures matched %q", *figures)
+	}
+	if *svgDir != "" {
+		if err := writeSVGs(*svgDir, study, results); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("faults: %d; CE records: %d; EDAC loss: %.2f%%\n",
+		len(study.Faults), len(study.Dataset.CERecords), 100*study.Dataset.EdacStats.LossFraction())
+}
+
+// writeSVGs renders the figures as SVG files under dir.
+func writeSVGs(dir string, study *astra.Study, r *astra.Results) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	svgs := report.SVGFigures(report.SVGInputs{
+		Breakdown:   &r.Breakdown,
+		PerNode:     &r.PerNode,
+		Structures:  &r.Structures,
+		BitAddress:  &r.BitAddress,
+		TempWindows: r.TempWindows,
+		Positional:  &r.Positional,
+		TempDeciles: r.TempDeciles,
+		Inventory:   study.Dataset.Inventory,
+	})
+	names := make([]string, 0, len(svgs))
+	for name := range svgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name+".svg")
+		if err := os.WriteFile(path, []byte(svgs[name]), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d SVG figures to %s\n", len(svgs), dir)
+	return nil
+}
+
+// buildStudy either runs the synthetic pipeline or replaces its CE/DUE/HET
+// streams with records parsed from an existing syslog.
+func buildStudy(seed uint64, nodes int, fromSyslog string) (*astra.Study, error) {
+	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	if fromSyslog == "" {
+		return study, nil
+	}
+	f, err := os.Open(fromSyslog)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ces, dues, hets, stats, err := dataset.ReadSyslog(f)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("parsed %d lines (%d malformed) from %s\n", stats.Lines, stats.Malformed, fromSyslog)
+	study.Dataset.CERecords = ces
+	study.Dataset.DUERecords = dues
+	study.Dataset.HETRecords = hets
+	study.Faults = core.Cluster(ces, core.DefaultClusterConfig())
+	return study, nil
+}

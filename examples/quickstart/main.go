@@ -1,0 +1,47 @@
+// Quickstart: build a reduced-scale synthetic Astra, cluster its logged
+// correctable errors into faults, and print the headline numbers the paper
+// reports — total CEs, the fault/error distinction, node concentration,
+// and the DUE/FIT rate.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	astra "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	// 432 nodes = 6 racks: big enough for every distribution to take
+	// shape, small enough to run in a couple of seconds.
+	study, err := astra.Run(astra.Options{Seed: 1, Nodes: 432})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := study.Analyze()
+
+	fmt.Println("=== Astra memory-failure study (synthetic, 432 nodes) ===")
+	fmt.Printf("correctable errors logged:   %s (plus %s lost to CE log space)\n",
+		report.FormatCount(float64(r.Breakdown.Total)),
+		report.FormatCount(float64(study.Dataset.EdacStats.Dropped)))
+	fmt.Printf("distinct faults:             %s\n", report.FormatCount(float64(len(study.Faults))))
+	fmt.Printf("errors per fault:            median %.0f, mean %.0f, max %s\n",
+		r.ErrorsPerFault.Median, r.ErrorsPerFault.Mean,
+		report.FormatCount(float64(r.ErrorsPerFault.Max)))
+	fmt.Printf("nodes with >= 1 CE:          %d of %d (%s)\n",
+		r.PerNode.NodesWithErrors, study.Options.Nodes,
+		report.FormatPct(float64(r.PerNode.NodesWithErrors)/float64(study.Options.Nodes)))
+	fmt.Printf("CE share of top 8 nodes:     %s\n", report.FormatPct(r.PerNode.TopShare8))
+	fmt.Printf("DUEs: %d -> %.5f per DIMM-year (FIT %.0f)\n\n",
+		r.Uncorrectable.DUEs, r.Uncorrectable.DUEsPerDIMMYear, r.Uncorrectable.FITPerDIMM)
+
+	// The paper's core move: the same structure looks wildly non-uniform
+	// in errors and uniform in faults.
+	fmt.Println(report.Figure7(r.Structures))
+
+	fmt.Println("full report: go run ./cmd/astrareport -nodes 432")
+}

@@ -1,0 +1,205 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/envmodel"
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || seen[name] {
+			t.Errorf("kind %d name %q invalid or duplicate", int(k), name)
+		}
+		seen[name] = true
+	}
+}
+
+func generateWorld(t *testing.T, kind Kind, seed uint64, nodes int) *World {
+	t.Helper()
+	w, err := NewScenario(kind, seed, nodes).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// envWindowRecords encodes the population's CE events and filters to the
+// environmental window.
+func envWindowRecords(pop *faultmodel.Population) []mce.CERecord {
+	enc := mce.NewEncoder(pop.Config.Seed)
+	var out []mce.CERecord
+	for i, ev := range pop.CEs {
+		if ev.Minute < simtime.MinuteOf(simtime.EnvStart) || ev.Minute >= simtime.MinuteOf(simtime.EnvEnd) {
+			continue
+		}
+		out = append(out, enc.EncodeCE(ev, i))
+	}
+	return out
+}
+
+// dimmTrendStrength averages the Fig 13 trend strength over the four DIMM
+// sensors.
+func dimmTrendStrength(t *testing.T, w *World, nodes int) float64 {
+	t.Helper()
+	records := envWindowRecords(w.Pop)
+	panels := core.AnalyzeTempDeciles(records, w.Env, nodes)
+	sum, n := 0.0, 0
+	for _, p := range panels {
+		if !p.Sensor.IsDIMM() || p.TrendErr != nil {
+			continue
+		}
+		sum += core.TrendStrength(p.Trend, p.Bins)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no DIMM panels")
+	}
+	return sum / float64(n)
+}
+
+func TestSchroederCouplingDetectable(t *testing.T) {
+	const nodes = 600
+	// Control: the identical world with the coupling switched off, so the
+	// comparison isolates the temperature effect.
+	control := NewScenario(Schroeder, 50, nodes)
+	control.TempDoublingC = 0
+	cw, err := control.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schroeder := generateWorld(t, Schroeder, 50, nodes)
+
+	sc := dimmTrendStrength(t, cw, nodes)
+	ss := dimmTrendStrength(t, schroeder, nodes)
+	// The coupled world must show a decisively stronger positive
+	// temperature trend than the control under the identical analysis.
+	if ss < 0.5 {
+		t.Errorf("Schroeder trend strength = %v, want > 0.5", ss)
+	}
+	if ss <= sc {
+		t.Errorf("Schroeder trend (%v) should exceed uncoupled control (%v)", ss, sc)
+	}
+}
+
+func TestSchroederThinningReducesVolume(t *testing.T) {
+	plain := generateWorld(t, Astra, 51, 300)
+	coupled := generateWorld(t, Schroeder, 51, 300)
+	if len(coupled.Pop.CEs) >= len(plain.Pop.CEs) {
+		t.Errorf("thinning did not reduce error volume: %d vs %d",
+			len(coupled.Pop.CEs), len(plain.Pop.CEs))
+	}
+	if len(coupled.Pop.CEs) == 0 {
+		t.Error("thinning removed everything")
+	}
+}
+
+func TestHsuPlacesFaultsOnHotNodes(t *testing.T) {
+	const nodes = 600
+	w := generateWorld(t, Hsu, 52, nodes)
+	faulty := map[topology.NodeID]bool{}
+	for _, f := range w.Pop.Faults {
+		faulty[f.Anchor.Node] = true
+	}
+	var hotSum, allSum float64
+	for n := 0; n < nodes; n++ {
+		temp := NodeHeat(w.Env, topology.NodeID(n))
+		allSum += temp
+		if faulty[topology.NodeID(n)] {
+			hotSum += temp
+		}
+	}
+	faultyMean := hotSum / float64(len(faulty))
+	overallMean := allSum / float64(nodes)
+	if faultyMean <= overallMean+0.5 {
+		t.Errorf("faulty-node mean temp %v not above overall %v", faultyMean, overallMean)
+	}
+}
+
+func TestHsuPreservesFaultStructure(t *testing.T) {
+	// Control: the same world with the placement coupling switched off.
+	control := NewScenario(Hsu, 53, 300)
+	control.NodeDoublingC = 0
+	plain, err := control.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsu := generateWorld(t, Hsu, 53, 300)
+	if len(plain.Pop.Faults) != len(hsu.Pop.Faults) {
+		t.Errorf("fault count changed: %d vs %d", len(plain.Pop.Faults), len(hsu.Pop.Faults))
+	}
+	if len(plain.Pop.CEs) != len(hsu.Pop.CEs) {
+		t.Errorf("CE count changed: %d vs %d", len(plain.Pop.CEs), len(hsu.Pop.CEs))
+	}
+	// Per-fault error counts and modes are preserved (only node moved).
+	for i := range plain.Pop.Faults {
+		a, b := plain.Pop.Faults[i], hsu.Pop.Faults[i]
+		if a.Mode != b.Mode || a.NErrors != b.NErrors || a.Anchor.Slot != b.Anchor.Slot {
+			t.Fatalf("fault %d structure changed: %+v vs %+v", i, a, b)
+		}
+	}
+	// Events stay consistent with their fault's (possibly moved) node.
+	for _, e := range hsu.Pop.CEs {
+		if hsu.Pop.Faults[e.FaultID].Anchor.Node != e.Node {
+			t.Fatal("event node inconsistent with fault node after remap")
+		}
+	}
+}
+
+func TestSridharanTopExcess(t *testing.T) {
+	w := generateWorld(t, Sridharan, 54, topology.Nodes)
+	var regionFaults [topology.NumRegions]int
+	for _, f := range w.Pop.Faults {
+		regionFaults[f.Anchor.Node.Region()]++
+	}
+	if regionFaults[topology.RegionTop] <= regionFaults[topology.RegionBottom] {
+		t.Errorf("no top-of-rack fault excess: %v", regionFaults)
+	}
+	// Vertical thermal gradient: region mean temps increase bottom to top.
+	month := simtime.MonthKey(simtime.EnvStart)
+	var regionTemp [topology.NumRegions]float64
+	var regionN [topology.NumRegions]int
+	for n := 0; n < topology.Nodes; n += 7 {
+		node := topology.NodeID(n)
+		regionTemp[node.Region()] += w.Env.MonthlyMean(node, topology.SensorDIMMACEG, month)
+		regionN[node.Region()]++
+	}
+	bottom := regionTemp[0] / float64(regionN[0])
+	top := regionTemp[2] / float64(regionN[2])
+	if top-bottom < 4 {
+		t.Errorf("vertical gradient too small: top %v vs bottom %v", top, bottom)
+	}
+}
+
+func TestAstraScenarioMatchesDefaults(t *testing.T) {
+	s := NewScenario(Astra, 7, 100)
+	if s.TempDoublingC != 0 || s.NodeDoublingC != 0 {
+		t.Error("Astra scenario must be uncoupled")
+	}
+	if s.Env.RegionGradientC != 0 {
+		t.Error("Astra scenario must have no vertical gradient")
+	}
+	if s.Env != envmodel.DefaultParams() {
+		t.Error("Astra env params should be the defaults")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generateWorld(t, Schroeder, 55, 200)
+	b := generateWorld(t, Schroeder, 55, 200)
+	if len(a.Pop.CEs) != len(b.Pop.CEs) {
+		t.Fatal("same-seed worlds differ")
+	}
+	for i := range a.Pop.CEs {
+		if a.Pop.CEs[i] != b.Pop.CEs[i] {
+			t.Fatal("same-seed events differ")
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package core implements the paper's primary contribution: the
+// methodology for analyzing memory failures on a large-scale system.
+// It clusters raw correctable-error records into faults, classifies fault
+// modes, and runs every distributional, positional, environmental and
+// uncorrectable-error analysis in the paper's evaluation (Figs 4-15,
+// §3.2-§3.5). The headline methodological point — that analyzing errors
+// instead of faults leads to wrong conclusions — is embodied in the paired
+// error/fault outputs of every analysis.
+//
+// The package consumes only what the platform actually exposes: parsed
+// syslog records (no ground-truth fault IDs) and sensor data. Validation
+// against ground truth lives in the tests and the dataset self-check.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/topology"
+)
+
+// FaultMode is the classification the clusterer can assign from observable
+// data. It mirrors faultmodel.Mode except that single-row is absent: the
+// platform's CE records carry no usable row information (§3.2), so row
+// faults are observationally indistinguishable from bank faults.
+type FaultMode int
+
+// Observable fault modes.
+const (
+	ModeSingleBit FaultMode = iota
+	ModeSingleWord
+	ModeSingleColumn
+	ModeSingleBank
+	// ModeSingleRow is only assigned by the WithRowClustering ablation,
+	// which pretends the row field were trustworthy; the paper's
+	// platform could not produce it.
+	ModeSingleRow
+	// NumFaultModes is the number of observable modes.
+	NumFaultModes
+)
+
+// String names the mode as in Fig 4a.
+func (m FaultMode) String() string {
+	switch m {
+	case ModeSingleBit:
+		return "single-bit"
+	case ModeSingleWord:
+		return "single-word"
+	case ModeSingleColumn:
+		return "single-column"
+	case ModeSingleBank:
+		return "single-bank"
+	case ModeSingleRow:
+		return "single-row"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is a cluster of correctable errors attributed to one underlying
+// hardware fault.
+type Fault struct {
+	// Node, Slot, Rank, Bank locate the fault's device structures.
+	Node topology.NodeID
+	Slot topology.Slot
+	Rank int
+	Bank int
+	// Mode is the observable classification.
+	Mode FaultMode
+	// Col is the shared column for single-column faults (else -1).
+	Col int
+	// Addr is the shared word address for single-bit/single-word faults
+	// (else 0). Addresses are stable opaque identifiers; their row bits
+	// are scrambled by the platform.
+	Addr topology.PhysAddr
+	// Bit is the shared line-bit position for single-bit faults (else -1).
+	Bit int
+	// NErrors is the number of CE records attributed to the fault.
+	NErrors int
+	// First and Last bound the fault's observed activity.
+	First, Last time.Time
+	// Errors are indices into the input record slice, in input order.
+	Errors []int
+}
+
+// Region returns the rack region of the fault's node.
+func (f Fault) Region() topology.Region { return f.Node.Region() }
+
+// ClusterConfig tunes the clustering thresholds.
+type ClusterConfig struct {
+	// ColMinWords is the minimum number of distinct word addresses
+	// sharing a column before they merge into a single-column fault.
+	ColMinWords int
+	// BankMinWords is the minimum number of distinct word addresses
+	// (not already explained by a column) before the remainder of a bank
+	// merges into a single-bank fault. Below it, word clusters stand as
+	// independent single-bit/single-word faults — two independent stuck
+	// bits in one bank must not masquerade as a bank fault.
+	BankMinWords int
+	// RowClustering enables the ablation that trusts the (scrambled) row
+	// bits as stable identifiers and recovers single-row faults; the
+	// paper's analysis could not do this (§3.2).
+	RowClustering bool
+	// RowMinWords is the single-row analogue of ColMinWords.
+	RowMinWords int
+}
+
+// DefaultClusterConfig returns the thresholds used by the reproduction.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{ColMinWords: 2, BankMinWords: 3, RowMinWords: 2}
+}
+
+// bankKey addresses one DRAM bank in the system.
+type bankKey struct {
+	node topology.NodeID
+	slot topology.Slot
+	rank int8
+	bank int8
+}
+
+// wordGroup accumulates the errors observed on one word address.
+type wordGroup struct {
+	addr        topology.PhysAddr
+	col         int
+	rowBits     int
+	bits        map[int]struct{}
+	firstBit    int
+	errors      []int
+	first, last time.Time
+}
+
+// Cluster groups CE records into faults and classifies each fault's mode.
+// Records may be in any order; the per-fault Errors indices refer to the
+// input slice. The algorithm follows the established field-study
+// methodology (Sridharan & Liberty; Levy et al.):
+//
+//  1. errors sharing a word address form a word cluster; one distinct bit
+//     position means single-bit, several mean single-word;
+//  2. >= ColMinWords word clusters sharing a column within one bank merge
+//     into a single-column fault;
+//  3. >= BankMinWords remaining word clusters in one bank merge into a
+//     single-bank fault; fewer stand as independent word-level faults.
+//
+// With cfg.RowClustering (an ablation the real platform could not run,.
+// §3.2), step 2.5 merges word clusters sharing row bits into single-row
+// faults.
+func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
+	banks := map[bankKey]map[topology.PhysAddr]*wordGroup{}
+	var order []bankKey // deterministic output ordering
+	for i, r := range records {
+		key := bankKey{node: r.Node, slot: r.Slot, rank: int8(r.Rank), bank: int8(r.Bank)}
+		words, ok := banks[key]
+		if !ok {
+			words = map[topology.PhysAddr]*wordGroup{}
+			banks[key] = words
+			order = append(order, key)
+		}
+		g, ok := words[r.Addr]
+		if !ok {
+			g = &wordGroup{
+				addr:     r.Addr,
+				col:      r.Col,
+				rowBits:  r.RowRaw,
+				bits:     map[int]struct{}{},
+				firstBit: r.LineBit(),
+				first:    r.Time,
+				last:     r.Time,
+			}
+			words[r.Addr] = g
+		}
+		g.bits[r.LineBit()] = struct{}{}
+		g.errors = append(g.errors, i)
+		if r.Time.Before(g.first) {
+			g.first = r.Time
+		}
+		if r.Time.After(g.last) {
+			g.last = r.Time
+		}
+	}
+
+	var faults []Fault
+	for _, key := range order {
+		faults = appendBankFaults(faults, key, banks[key], cfg)
+	}
+	return faults
+}
+
+// dominanceFrac is the fraction of a bank's word groups that must share
+// one column (or row, under the ablation) for that structure to be carved
+// out as its own fault when the bank also has stragglers.
+const dominanceFrac = 0.8
+
+// appendBankFaults classifies the word groups of one bank, choosing the
+// smallest fault footprint consistent with the group structure — the
+// field-study convention (a bank rarely hosts two simultaneous independent
+// faults, but the two-word case is deliberately kept separate so that two
+// independent stuck bits never masquerade as a bank fault).
+func appendBankFaults(faults []Fault, key bankKey, words map[topology.PhysAddr]*wordGroup, cfg ClusterConfig) []Fault {
+	// Deterministic order: by address.
+	groups := make([]*wordGroup, 0, len(words))
+	for _, g := range words {
+		groups = append(groups, g)
+	}
+	sortWordGroups(groups)
+	return classifyGroups(faults, key, groups, cfg)
+}
+
+func classifyGroups(faults []Fault, key bankKey, groups []*wordGroup, cfg ClusterConfig) []Fault {
+	base := Fault{Node: key.node, Slot: key.slot, Rank: int(key.rank), Bank: int(key.bank), Col: -1, Bit: -1}
+	wordFault := func(g *wordGroup) Fault {
+		f := base
+		f.Addr = g.addr
+		if len(g.bits) == 1 {
+			f.Mode = ModeSingleBit
+			f.Bit = g.firstBit
+		} else {
+			f.Mode = ModeSingleWord
+		}
+		mergeGroups(&f, []*wordGroup{g})
+		return f
+	}
+
+	switch len(groups) {
+	case 0:
+		return faults
+	case 1:
+		return append(faults, wordFault(groups[0]))
+	}
+
+	// Column structure of the bank.
+	byCol := map[int][]*wordGroup{}
+	domCol, domColN := -1, 0
+	for _, g := range groups {
+		byCol[g.col] = append(byCol[g.col], g)
+		if n := len(byCol[g.col]); n > domColN || (n == domColN && g.col < domCol) {
+			domCol, domColN = g.col, n
+		}
+	}
+	if len(byCol) == 1 && len(groups) >= cfg.ColMinWords {
+		f := base
+		f.Mode = ModeSingleColumn
+		f.Col = groups[0].col
+		mergeGroups(&f, groups)
+		return append(faults, f)
+	}
+
+	// Row structure (ablation only: the platform's row bits are opaque).
+	if cfg.RowClustering {
+		byRow := map[int]int{}
+		for _, g := range groups {
+			byRow[g.rowBits]++
+		}
+		if len(byRow) == 1 && len(groups) >= cfg.RowMinWords {
+			f := base
+			f.Mode = ModeSingleRow
+			mergeGroups(&f, groups)
+			return append(faults, f)
+		}
+	}
+
+	// Two scattered words: two independent word-level faults.
+	if len(groups) == 2 {
+		return append(faults, wordFault(groups[0]), wordFault(groups[1]))
+	}
+
+	// A dominant column with a few stragglers: carve out the column
+	// fault, classify the remainder recursively.
+	if domColN >= cfg.ColMinWords && float64(domColN) >= dominanceFrac*float64(len(groups)) {
+		f := base
+		f.Mode = ModeSingleColumn
+		f.Col = domCol
+		mergeGroups(&f, byCol[domCol])
+		faults = append(faults, f)
+		var rest []*wordGroup
+		for _, g := range groups {
+			if g.col != domCol {
+				rest = append(rest, g)
+			}
+		}
+		return classifyGroups(faults, key, rest, cfg)
+	}
+
+	// Many scattered words: one bank fault.
+	if len(groups) >= cfg.BankMinWords {
+		f := base
+		f.Mode = ModeSingleBank
+		mergeGroups(&f, groups)
+		return append(faults, f)
+	}
+	for _, g := range groups {
+		faults = append(faults, wordFault(g))
+	}
+	return faults
+}
+
+// mergeGroups folds word groups into a fault.
+func mergeGroups(f *Fault, groups []*wordGroup) {
+	for i, g := range groups {
+		if i == 0 {
+			f.First, f.Last = g.first, g.last
+		} else {
+			if g.first.Before(f.First) {
+				f.First = g.first
+			}
+			if g.last.After(f.Last) {
+				f.Last = g.last
+			}
+		}
+		f.NErrors += len(g.errors)
+		f.Errors = append(f.Errors, g.errors...)
+	}
+}
+
+func sortWordGroups(groups []*wordGroup) {
+	sort.Slice(groups, func(a, b int) bool { return groups[a].addr < groups[b].addr })
+}
+
+// TrueModeObservable maps a ground-truth fault mode to the mode a perfect
+// observer without row information would assign — the reference against
+// which clustering recall is measured. Single-row faults surface as
+// single-bank (>= 3 distinct words) or word-level faults.
+func TrueModeObservable(m faultmodel.Mode, distinctWords int, cfg ClusterConfig) FaultMode {
+	switch m {
+	case faultmodel.SingleBit:
+		return ModeSingleBit
+	case faultmodel.SingleWord:
+		return ModeSingleWord
+	case faultmodel.SingleColumn:
+		if distinctWords >= cfg.ColMinWords {
+			return ModeSingleColumn
+		}
+		return ModeSingleBit
+	case faultmodel.SingleRow, faultmodel.SingleBank:
+		if distinctWords >= cfg.BankMinWords {
+			return ModeSingleBank
+		}
+		return ModeSingleBit
+	default:
+		return ModeSingleBit
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDivergenceIdenticalDistributions(t *testing.T) {
+	sc := StructureCounts{
+		Labels: []string{"a", "b", "c"},
+		Errors: []int{10, 20, 30},
+		Faults: []int{1, 2, 3}, // same shape, different scale
+	}
+	d := sc.Divergence()
+	if d.TotalVariation > 1e-12 {
+		t.Errorf("TV = %v for proportional vectors", d.TotalVariation)
+	}
+	if math.Abs(d.RankCorrelation-1) > 1e-12 {
+		t.Errorf("rank correlation = %v, want 1", d.RankCorrelation)
+	}
+}
+
+func TestDivergenceDisjointDistributions(t *testing.T) {
+	sc := StructureCounts{
+		Labels: []string{"a", "b"},
+		Errors: []int{100, 0},
+		Faults: []int{0, 100},
+	}
+	d := sc.Divergence()
+	if math.Abs(d.TotalVariation-1) > 1e-12 {
+		t.Errorf("TV = %v for disjoint vectors, want 1", d.TotalVariation)
+	}
+	if d.RankCorrelation >= 0 {
+		t.Errorf("rank correlation = %v, want negative", d.RankCorrelation)
+	}
+}
+
+func TestDivergenceEmpty(t *testing.T) {
+	sc := StructureCounts{Labels: []string{"a"}, Errors: []int{0}, Faults: []int{0}}
+	if d := sc.Divergence(); d.TotalVariation != 0 || d.RankCorrelation != 0 {
+		t.Errorf("empty divergence = %+v", d)
+	}
+}
+
+func TestDivergenceOnGeneratedData(t *testing.T) {
+	// The generated population embodies the paper's point: error counts
+	// diverge sharply from fault counts on the structures dominated by
+	// pathological nodes. The socket split (2 cells) must show a much
+	// larger error imbalance than fault imbalance whenever a pathological
+	// node dominates one socket; at minimum, the divergence fields are
+	// well-formed and the per-slot TV is nonzero.
+	_, records := generateSmall(t, 41, 500)
+	faults := Cluster(records, DefaultClusterConfig())
+	s := AnalyzeStructures(records, faults)
+	for name, sc := range map[string]StructureCounts{
+		"socket": s.Socket, "rank": s.Rank, "slot": s.Slot, "bank": s.Bank,
+	} {
+		d := sc.Divergence()
+		if d.TotalVariation < 0 || d.TotalVariation > 1 {
+			t.Errorf("%s: TV = %v out of [0,1]", name, d.TotalVariation)
+		}
+		if math.IsNaN(d.RankCorrelation) {
+			t.Errorf("%s: NaN rank correlation", name)
+		}
+	}
+	if d := s.Slot.Divergence(); d.TotalVariation == 0 {
+		t.Error("slot errors and faults identical; heavy tail missing")
+	}
+}

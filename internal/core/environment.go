@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// SensorSource supplies the telemetry aggregates the environmental
+// analyses need. internal/envmodel.Model implements it procedurally; a
+// recorded-data implementation could replay the open-data CSV files.
+type SensorSource interface {
+	// MeanBefore returns the mean sensor value over the n minutes
+	// immediately preceding t.
+	MeanBefore(node topology.NodeID, s topology.Sensor, t simtime.Minute, n int64) float64
+	// MonthlyMean returns the mean sensor value over a calendar month
+	// (see simtime.MonthKey).
+	MonthlyMean(node topology.NodeID, s topology.Sensor, monthKey int) float64
+}
+
+// TempWindow is one panel of Fig 9: CE counts binned by the mean
+// temperature of the errored DIMM over the preceding window, with a linear
+// fit whose slope answers "do hotter DIMMs throw more errors?".
+type TempWindow struct {
+	// WindowMinutes is the averaging window (1h / 1d / 1w / 1mo).
+	WindowMinutes int64
+	// BinLo is the temperature of the first bin edge; bins are 1 °C wide.
+	BinLo float64
+	// Counts[i] is the CE count whose preceding-window mean temperature
+	// fell in [BinLo+i, BinLo+i+1).
+	Counts []int
+	// Fit is the OLS fit of count against bin-center temperature.
+	Fit stats.LinearFit
+	// FitErr reports a fit failure.
+	FitErr error
+}
+
+// Fig9Windows are the paper's four averaging windows.
+var Fig9Windows = []int64{
+	simtime.MinutesPerHour,
+	simtime.MinutesPerDay,
+	simtime.MinutesPerWeek,
+	simtime.MinutesPerMonth,
+}
+
+// AnalyzeTempWindows computes Fig 9 over the CE records within
+// [envStart, envEnd): for each record, the mean temperature of the DIMM
+// sensor covering the errored slot over the preceding window. Records are
+// binned at 1 °C granularity between 20 and 70 °C.
+func AnalyzeTempWindows(records []mce.CERecord, src SensorSource, windows []int64) []TempWindow {
+	const binLo, binHi = 20.0, 70.0
+	out := make([]TempWindow, 0, len(windows))
+	for _, w := range windows {
+		tw := TempWindow{WindowMinutes: w, BinLo: binLo, Counts: make([]int, int(binHi-binLo))}
+		for _, r := range records {
+			if !inEnvWindow(r) {
+				continue
+			}
+			sensor := topology.SensorForSlot(r.Slot)
+			mean := src.MeanBefore(r.Node, sensor, simtime.MinuteOf(r.Time), w)
+			bin := int(mean - binLo)
+			if bin < 0 || bin >= len(tw.Counts) {
+				continue
+			}
+			tw.Counts[bin]++
+		}
+		var xs, ys []float64
+		for i, c := range tw.Counts {
+			if c == 0 {
+				continue
+			}
+			xs = append(xs, binLo+float64(i)+0.5)
+			ys = append(ys, float64(c))
+		}
+		tw.Fit, tw.FitErr = stats.FitLinear(xs, ys)
+		out = append(out, tw)
+	}
+	return out
+}
+
+func inEnvWindow(r mce.CERecord) bool {
+	return !r.Time.Before(simtime.EnvStart) && r.Time.Before(simtime.EnvEnd)
+}
+
+// monthKeys returns the calendar months fully inside the environmental
+// window.
+func monthKeys() []int {
+	var out []int
+	for k := simtime.MonthKey(simtime.EnvStart); k <= simtime.MonthKey(simtime.EnvEnd.AddDate(0, 0, -1)); k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sensorDomainErrors counts, for each (node, month), the CEs within the
+// sensor's domain: the socket's DIMMs for a CPU sensor, the covered slots
+// for a DIMM sensor, the whole node for the power sensor.
+func sensorDomainErrors(records []mce.CERecord, sensor topology.Sensor) map[[2]int]int {
+	out := map[[2]int]int{}
+	for _, r := range records {
+		if !inEnvWindow(r) {
+			continue
+		}
+		switch {
+		case sensor == topology.SensorDCPower:
+			// whole node
+		case sensor.IsDIMM():
+			if topology.SensorForSlot(r.Slot) != sensor {
+				continue
+			}
+		default:
+			if r.Socket != sensor.Socket() {
+				continue
+			}
+		}
+		out[[2]int{int(r.Node), simtime.MonthKey(r.Time)}]++
+	}
+	return out
+}
+
+// DecilePanel is one curve of Fig 13: monthly CE rate by temperature
+// decile for one sensor.
+type DecilePanel struct {
+	Sensor topology.Sensor
+	Bins   []stats.DecileBin
+	// Spread is the first-to-ninth decile temperature difference
+	// (paper: ≈7 °C for CPUs, ≈4 °C for DIMMs).
+	Spread float64
+	// Trend is the linear fit across the decile points; the paper's
+	// conclusion is "no discernible trend".
+	Trend    stats.LinearFit
+	TrendErr error
+}
+
+// AnalyzeTempDeciles computes Fig 13: for every (node, month) sample, the
+// monthly mean temperature of the sensor (x) against the monthly CE count
+// in the sensor's domain (y), summarized in deciles. nodes bounds the node
+// range (reduced-scale runs).
+func AnalyzeTempDeciles(records []mce.CERecord, src SensorSource, nodes int) []DecilePanel {
+	months := monthKeys()
+	var out []DecilePanel
+	for _, sensor := range topology.TemperatureSensors() {
+		domain := sensorDomainErrors(records, sensor)
+		keys := make([]float64, 0, nodes*len(months))
+		vals := make([]float64, 0, nodes*len(months))
+		for n := 0; n < nodes; n++ {
+			for _, mk := range months {
+				keys = append(keys, src.MonthlyMean(topology.NodeID(n), sensor, mk))
+				vals = append(vals, float64(domain[[2]int{n, mk}]))
+			}
+		}
+		panel := DecilePanel{Sensor: sensor}
+		bins, err := stats.Deciles(keys, vals)
+		if err != nil {
+			out = append(out, panel)
+			continue
+		}
+		panel.Bins = bins
+		panel.Spread = stats.DecileSpread(bins)
+		panel.Trend, panel.TrendErr = stats.TrendVerdict(bins)
+		out = append(out, panel)
+	}
+	return out
+}
+
+// UtilizationPanel is one panel of Fig 14: monthly CE rate against monthly
+// node power, with samples split into "hot" and "cold" halves by the
+// median monthly temperature of one sensor.
+type UtilizationPanel struct {
+	Sensor topology.Sensor
+	// Hot and Cold are decile curves over power for each half.
+	Hot, Cold []stats.DecileBin
+	// HotTrend and ColdTrend fit CE rate against power in each half; the
+	// paper finds no strong utilization effect.
+	HotTrend, ColdTrend       stats.LinearFit
+	HotTrendErr, ColdTrendErr error
+	// HotPowerMean and ColdPowerMean show the power/temperature coupling
+	// (hot samples sit to the right, Fig 14).
+	HotPowerMean, ColdPowerMean float64
+}
+
+// AnalyzeUtilization computes Fig 14 for the six temperature sensors.
+func AnalyzeUtilization(records []mce.CERecord, src SensorSource, nodes int) []UtilizationPanel {
+	months := monthKeys()
+	var out []UtilizationPanel
+	for _, sensor := range topology.TemperatureSensors() {
+		domain := sensorDomainErrors(records, sensor)
+		var temps, powers, errsCounts []float64
+		for n := 0; n < nodes; n++ {
+			for _, mk := range months {
+				temps = append(temps, src.MonthlyMean(topology.NodeID(n), sensor, mk))
+				powers = append(powers, src.MonthlyMean(topology.NodeID(n), topology.SensorDCPower, mk))
+				errsCounts = append(errsCounts, float64(domain[[2]int{n, mk}]))
+			}
+		}
+		med := stats.Median(temps)
+		var hotP, hotE, coldP, coldE []float64
+		for i, tv := range temps {
+			if tv > med {
+				hotP = append(hotP, powers[i])
+				hotE = append(hotE, errsCounts[i])
+			} else {
+				coldP = append(coldP, powers[i])
+				coldE = append(coldE, errsCounts[i])
+			}
+		}
+		panel := UtilizationPanel{
+			Sensor:        sensor,
+			HotPowerMean:  stats.Mean(hotP),
+			ColdPowerMean: stats.Mean(coldP),
+		}
+		if bins, err := stats.Deciles(hotP, hotE); err == nil {
+			panel.Hot = bins
+			panel.HotTrend, panel.HotTrendErr = stats.TrendVerdict(bins)
+		}
+		if bins, err := stats.Deciles(coldP, coldE); err == nil {
+			panel.Cold = bins
+			panel.ColdTrend, panel.ColdTrendErr = stats.TrendVerdict(bins)
+		}
+		out = append(out, panel)
+	}
+	return out
+}
+
+// TrendStrength expresses how strong a fitted trend is relative to the
+// response scale: the predicted change across the observed key range
+// divided by the mean response. The paper's "not strongly correlated"
+// corresponds to small values (and/or inconsistent signs across panels).
+func TrendStrength(fit stats.LinearFit, bins []stats.DecileBin) float64 {
+	if len(bins) < 2 {
+		return 0
+	}
+	span := bins[len(bins)-1].MaxKey - bins[0].MaxKey
+	mean := 0.0
+	for _, b := range bins {
+		mean += b.MeanValue
+	}
+	mean /= float64(len(bins))
+	if mean == 0 {
+		return 0
+	}
+	return fit.Slope * span / mean
+}
+
+// DescribeTrend renders a human-readable verdict for a panel.
+func DescribeTrend(fit stats.LinearFit, bins []stats.DecileBin) string {
+	s := TrendStrength(fit, bins)
+	switch {
+	case s > 0.5:
+		return fmt.Sprintf("strong positive trend (%.2fx across range)", s)
+	case s < -0.5:
+		return fmt.Sprintf("strong negative trend (%.2fx across range)", s)
+	default:
+		return fmt.Sprintf("no strong trend (%.2fx across range)", s)
+	}
+}

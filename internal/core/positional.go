@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/mce"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Positional aggregates the rack-level analyses of §3.4 (Figs 10-12).
+type Positional struct {
+	// RegionErrors and RegionFaults are indexed by topology.Region
+	// (Fig 10).
+	RegionErrors [topology.NumRegions]int
+	RegionFaults [topology.NumRegions]int
+	// RegionFaultChi2 tests uniformity of raw fault counts across
+	// regions. Because faults cluster on nodes (a pathological node
+	// carries many), this statistic over-rejects; RegionNodeChi2 is the
+	// honest significance test.
+	RegionFaultChi2 stats.ChiSquare
+	// RegionFaultyNodes counts the nodes with >= 1 fault in each region;
+	// RegionNodeChi2 tests its uniformity (one trial per node, so the
+	// χ² independence assumption actually holds).
+	RegionFaultyNodes [topology.NumRegions]int
+	RegionNodeChi2    stats.ChiSquare
+	// RackErrors and RackFaults are indexed by rack number (Fig 12).
+	RackErrors []int
+	RackFaults []int
+	// RackFaultChi2 tests uniformity of faults across racks.
+	RackFaultChi2 stats.ChiSquare
+	// RegionShareByRack[rack][region] is the fraction of the rack's
+	// faults in each region (Fig 11); racks with no faults have all
+	// zeros.
+	RegionShareByRack [][topology.NumRegions]float64
+	// MaxRackErrorRatio is the largest rack error count divided by the
+	// second largest — the "Rack 31 experienced more than twice as many
+	// errors as any other rack" statistic.
+	MaxRackErrorRatio float64
+	// MaxErrorRack is the rack with the most errors.
+	MaxErrorRack int
+}
+
+// AnalyzePositional computes the §3.4 analyses.
+func AnalyzePositional(records []mce.CERecord, faults []Fault) Positional {
+	p := Positional{
+		RackErrors:        make([]int, topology.Racks),
+		RackFaults:        make([]int, topology.Racks),
+		RegionShareByRack: make([][topology.NumRegions]float64, topology.Racks),
+	}
+	for _, r := range records {
+		p.RegionErrors[r.Node.Region()]++
+		p.RackErrors[r.Node.Rack()]++
+	}
+	rackRegionFaults := make([][topology.NumRegions]int, topology.Racks)
+	faultyNodes := map[topology.NodeID]bool{}
+	for _, f := range faults {
+		reg := f.Region()
+		rack := f.Node.Rack()
+		p.RegionFaults[reg]++
+		p.RackFaults[rack]++
+		rackRegionFaults[rack][reg]++
+		if !faultyNodes[f.Node] {
+			faultyNodes[f.Node] = true
+			p.RegionFaultyNodes[reg]++
+		}
+	}
+	for rack, counts := range rackRegionFaults {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for reg, c := range counts {
+			p.RegionShareByRack[rack][reg] = float64(c) / float64(total)
+		}
+	}
+	if cs, err := stats.ChiSquareUniform(p.RegionFaults[:]); err == nil {
+		p.RegionFaultChi2 = cs
+	}
+	if cs, err := stats.ChiSquareUniform(p.RegionFaultyNodes[:]); err == nil {
+		p.RegionNodeChi2 = cs
+	}
+	if cs, err := stats.ChiSquareUniform(p.RackFaults); err == nil {
+		p.RackFaultChi2 = cs
+	}
+	// Largest vs second-largest rack error count.
+	best, second := -1, -1
+	for rack, c := range p.RackErrors {
+		if best < 0 || c > p.RackErrors[best] {
+			second = best
+			best = rack
+		} else if second < 0 || c > p.RackErrors[second] {
+			second = rack
+		}
+	}
+	p.MaxErrorRack = best
+	if best >= 0 && second >= 0 && p.RackErrors[second] > 0 {
+		p.MaxRackErrorRatio = float64(p.RackErrors[best]) / float64(p.RackErrors[second])
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Precursors asks the predictive-maintenance question the field studies
+// behind the paper care about: are uncorrectable errors preceded by
+// correctable-fault activity on the same DIMM? On Astra the answer
+// matters because CE-triggered DIMM replacement is the main lever a site
+// has against DUEs.
+type Precursors struct {
+	// DUEs is the number of uncorrectable records examined.
+	DUEs int
+	// WithPriorFault counts DUEs whose DIMM had a clustered correctable
+	// fault first observed before the DUE.
+	WithPriorFault int
+	// Fraction is WithPriorFault / DUEs.
+	Fraction float64
+	// BaselineFraction is the chance level: the fraction of all DIMMs
+	// carrying ≥1 fault, i.e. what Fraction would be if DUEs struck
+	// DIMMs at random.
+	BaselineFraction float64
+	// Lift is Fraction / BaselineFraction (how much more often than
+	// chance a DUE has CE precursors); 0 when the baseline is 0.
+	Lift float64
+	// MedianLeadDays is the median warning time from first CE-fault
+	// observation to the DUE, over the precursor-bearing DUEs.
+	MedianLeadDays float64
+}
+
+// AnalyzeDUEPrecursors joins the DUE stream against clustered faults.
+// dimms is the device population for the chance-level baseline.
+func AnalyzeDUEPrecursors(dues []mce.DUERecord, faults []Fault, dimms int) Precursors {
+	var p Precursors
+	p.DUEs = len(dues)
+	type dimmKey struct {
+		node topology.NodeID
+		slot topology.Slot
+	}
+	firstFault := map[dimmKey]time.Time{}
+	for _, f := range faults {
+		k := dimmKey{f.Node, f.Slot}
+		if t, ok := firstFault[k]; !ok || f.First.Before(t) {
+			firstFault[k] = f.First
+		}
+	}
+	if dimms > 0 {
+		p.BaselineFraction = float64(len(firstFault)) / float64(dimms)
+	}
+	var leads []float64
+	for _, d := range dues {
+		cell, _, err := topology.DecodePhysAddr(d.Node, d.Addr)
+		if err != nil {
+			continue
+		}
+		first, ok := firstFault[dimmKey{d.Node, cell.Slot}]
+		if !ok || !first.Before(d.Time) {
+			continue
+		}
+		p.WithPriorFault++
+		leads = append(leads, d.Time.Sub(first).Hours()/24)
+	}
+	if p.DUEs > 0 {
+		p.Fraction = float64(p.WithPriorFault) / float64(p.DUEs)
+	}
+	if p.BaselineFraction > 0 {
+		p.Lift = p.Fraction / p.BaselineFraction
+	}
+	if len(leads) > 0 {
+		sort.Float64s(leads)
+		p.MedianLeadDays = stats.Quantile(leads, 0.5)
+	}
+	return p
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestAnalyzeDUEPrecursorsHandBuilt(t *testing.T) {
+	base := simtime.StudyStart
+	cell := topology.CellAddr{Node: 5, Slot: 3, Rank: 0, Bank: 1, Row: 10, Col: 20}
+	faults := []Fault{{
+		Node: 5, Slot: 3, Rank: 0, Bank: 1, Mode: ModeSingleBit,
+		First: base.Add(24 * time.Hour), Last: base.Add(48 * time.Hour),
+	}}
+	dues := []mce.DUERecord{
+		// Same DIMM, after the fault: precursor hit, 9-day lead.
+		{Time: base.Add(10 * 24 * time.Hour), Node: 5, Addr: topology.EncodePhysAddr(cell, 0)},
+		// Same DIMM but BEFORE the fault: no precursor.
+		{Time: base.Add(12 * time.Hour), Node: 5, Addr: topology.EncodePhysAddr(cell, 0)},
+		// Different node: no precursor.
+		{Time: base.Add(10 * 24 * time.Hour), Node: 6, Addr: topology.EncodePhysAddr(
+			topology.CellAddr{Node: 6, Slot: 3, Rank: 0, Bank: 1, Row: 10, Col: 20}, 0)},
+	}
+	p := AnalyzeDUEPrecursors(dues, faults, 100)
+	if p.DUEs != 3 || p.WithPriorFault != 1 {
+		t.Fatalf("precursors = %+v", p)
+	}
+	if p.Fraction < 0.33 || p.Fraction > 0.34 {
+		t.Errorf("fraction = %v", p.Fraction)
+	}
+	if p.BaselineFraction != 0.01 {
+		t.Errorf("baseline = %v", p.BaselineFraction)
+	}
+	if p.MedianLeadDays < 8.9 || p.MedianLeadDays > 9.1 {
+		t.Errorf("lead = %v days", p.MedianLeadDays)
+	}
+	if p.Lift < 30 {
+		t.Errorf("lift = %v", p.Lift)
+	}
+}
+
+func TestAnalyzeDUEPrecursorsEmpty(t *testing.T) {
+	p := AnalyzeDUEPrecursors(nil, nil, 0)
+	if p.DUEs != 0 || p.Fraction != 0 || p.Lift != 0 {
+		t.Errorf("empty precursors = %+v", p)
+	}
+}
+
+func TestEscalatedDUEsHavePrecursors(t *testing.T) {
+	// With escalation enabled, DUEs must show CE precursors well above
+	// chance level.
+	cfg := faultmodel.DefaultConfig(71)
+	cfg.Nodes = 1200 // enough DIMMs for a stable baseline
+	pop, err := faultmodel.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := mce.NewEncoder(cfg.Seed)
+	records := make([]mce.CERecord, len(pop.CEs))
+	for i, ev := range pop.CEs {
+		records[i] = enc.EncodeCE(ev, i)
+	}
+	faults := Cluster(records, DefaultClusterConfig())
+	dues := make([]mce.DUERecord, len(pop.DUEs))
+	for i, d := range pop.DUEs {
+		dues[i] = enc.EncodeDUE(d)
+	}
+	p := AnalyzeDUEPrecursors(dues, faults, cfg.Nodes*topology.SlotsPerNode)
+	if p.DUEs < 30 {
+		t.Skipf("only %d DUEs in draw", p.DUEs)
+	}
+	if p.Lift < 1.5 {
+		t.Errorf("precursor lift = %v, want clearly above chance (escalations present)", p.Lift)
+	}
+	if p.MedianLeadDays <= 0 {
+		t.Errorf("median lead = %v days", p.MedianLeadDays)
+	}
+
+	// Ablation: with escalation off, the lift collapses toward 1.
+	cfg2 := cfg
+	cfg2.EscalationPerKErrors = 0
+	pop2, err := faultmodel.Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dues2 := make([]mce.DUERecord, len(pop2.DUEs))
+	for i, d := range pop2.DUEs {
+		dues2[i] = enc.EncodeDUE(d)
+	}
+	p2 := AnalyzeDUEPrecursors(dues2, faults, cfg.Nodes*topology.SlotsPerNode)
+	if p2.DUEs > 30 && p2.Lift > p.Lift {
+		t.Errorf("escalation-free lift %v exceeds escalated lift %v", p2.Lift, p.Lift)
+	}
+}

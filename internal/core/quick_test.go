@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// recSpec is a compact random record description for property tests.
+type recSpec struct {
+	Node   uint16
+	Slot   uint8
+	Rank   bool
+	Bank   uint8
+	Row    uint16
+	Col    uint16
+	Bit    uint8
+	Minute uint32
+}
+
+func (rs recSpec) record() mce.CERecord {
+	slot := topology.Slot(int(rs.Slot) % topology.SlotsPerNode)
+	rank := 0
+	if rs.Rank {
+		rank = 1
+	}
+	cell := topology.CellAddr{
+		Node: topology.NodeID(int(rs.Node) % topology.Nodes),
+		Slot: slot,
+		Rank: rank,
+		Bank: int(rs.Bank) % topology.BanksPerRank,
+		Row:  int(rs.Row) % topology.RowsPerBank,
+		Col:  int(rs.Col) % topology.ColsPerRow,
+	}
+	bit := int(rs.Bit) % topology.CodeBitsPerWord
+	return mce.CERecord{
+		Time:   simtime.StudyStart.Add(time.Duration(rs.Minute%200000) * time.Minute),
+		Node:   cell.Node,
+		Socket: slot.Socket(),
+		Slot:   slot,
+		Rank:   cell.Rank,
+		Bank:   cell.Bank,
+		RowRaw: cell.Row,
+		Col:    cell.Col,
+		BitPos: topology.LineBitPosition(cell.Col, bit),
+		Addr:   topology.EncodePhysAddr(cell, 0),
+	}
+}
+
+// Property: for ANY record multiset, clustering attributes every record to
+// exactly one fault, and per-fault counts match their index lists.
+func TestClusterConservationProperty(t *testing.T) {
+	f := func(specs []recSpec) bool {
+		records := make([]mce.CERecord, len(specs))
+		for i, rs := range specs {
+			records[i] = rs.record()
+		}
+		faults := Cluster(records, DefaultClusterConfig())
+		seen := map[int]bool{}
+		for _, fa := range faults {
+			if fa.NErrors != len(fa.Errors) {
+				return false
+			}
+			for _, idx := range fa.Errors {
+				if idx < 0 || idx >= len(records) || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+			// Every attributed record matches the fault's bank coordinates.
+			for _, idx := range fa.Errors {
+				r := records[idx]
+				if r.Node != fa.Node || r.Slot != fa.Slot || r.Rank != fa.Rank || r.Bank != fa.Bank {
+					return false
+				}
+			}
+		}
+		return len(seen) == len(records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fault time bounds cover exactly the attributed records.
+func TestClusterTimeBoundsProperty(t *testing.T) {
+	f := func(specs []recSpec) bool {
+		records := make([]mce.CERecord, len(specs))
+		for i, rs := range specs {
+			records[i] = rs.record()
+		}
+		for _, fa := range Cluster(records, DefaultClusterConfig()) {
+			for _, idx := range fa.Errors {
+				tm := records[idx].Time
+				if tm.Before(fa.First) || tm.After(fa.Last) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

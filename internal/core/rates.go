@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// FaultRates expresses the clustered fault population as per-device rates
+// in FIT (failures per 10⁹ device-hours) by mode — the unit Sridharan &
+// Liberty and the other field studies the paper builds on report, making
+// this reproduction directly comparable to that literature.
+type FaultRates struct {
+	// PerMode[m] is the FIT/DIMM rate of mode m.
+	PerMode [NumFaultModes]float64
+	// Total is the overall faulty-DIMM FIT rate.
+	Total float64
+	// FaultyDIMMs is the number of distinct DIMMs with ≥1 fault.
+	FaultyDIMMs int
+	// DeviceHours is the exposure used for the denominator.
+	DeviceHours float64
+}
+
+// AnalyzeFaultRates converts fault counts into FIT/DIMM over the
+// observation window for a population of dimms devices.
+func AnalyzeFaultRates(faults []Fault, dimms int, window time.Duration) FaultRates {
+	var r FaultRates
+	if dimms <= 0 || window <= 0 {
+		return r
+	}
+	r.DeviceHours = float64(dimms) * window.Hours()
+	type dimmKey struct {
+		node int
+		slot int
+	}
+	seen := map[dimmKey]bool{}
+	var counts [NumFaultModes]int
+	total := 0
+	for _, f := range faults {
+		counts[f.Mode]++
+		total++
+		k := dimmKey{int(f.Node), int(f.Slot)}
+		if !seen[k] {
+			seen[k] = true
+		}
+	}
+	r.FaultyDIMMs = len(seen)
+	for m := range counts {
+		r.PerMode[m] = float64(counts[m]) / r.DeviceHours * 1e9
+	}
+	r.Total = float64(total) / r.DeviceHours * 1e9
+	return r
+}
+
+// StudyWindow returns the paper's failure-analysis window duration.
+func StudyWindow() time.Duration {
+	return simtime.StudyEnd.Sub(simtime.StudyStart)
+}

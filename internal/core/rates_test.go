@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func TestAnalyzeFaultRates(t *testing.T) {
+	faults := []Fault{
+		{Node: 1, Slot: 0, Mode: ModeSingleBit},
+		{Node: 1, Slot: 0, Mode: ModeSingleBit},
+		{Node: 2, Slot: 5, Mode: ModeSingleBank},
+	}
+	window := 1000 * time.Hour
+	r := AnalyzeFaultRates(faults, 100, window)
+	hours := 100.0 * 1000
+	if got, want := r.PerMode[ModeSingleBit], 2/hours*1e9; math.Abs(got-want) > 1e-9 {
+		t.Errorf("single-bit FIT = %v, want %v", got, want)
+	}
+	if got, want := r.Total, 3/hours*1e9; math.Abs(got-want) > 1e-9 {
+		t.Errorf("total FIT = %v, want %v", got, want)
+	}
+	if r.FaultyDIMMs != 2 {
+		t.Errorf("FaultyDIMMs = %d, want 2", r.FaultyDIMMs)
+	}
+	// Degenerate inputs are zero-valued, not a panic.
+	if z := AnalyzeFaultRates(faults, 0, window); z.Total != 0 {
+		t.Errorf("zero dimms rate = %+v", z)
+	}
+}
+
+func TestFaultRatesOnGeneratedData(t *testing.T) {
+	_, records := generateSmall(t, 72, 500)
+	faults := Cluster(records, DefaultClusterConfig())
+	r := AnalyzeFaultRates(faults, 500*topology.SlotsPerNode, StudyWindow())
+	if r.Total <= 0 {
+		t.Fatal("zero total FIT")
+	}
+	// Single-bit dominates the per-mode FIT rates.
+	if r.PerMode[ModeSingleBit] <= r.PerMode[ModeSingleBank] {
+		t.Errorf("mode FIT ordering wrong: %+v", r.PerMode)
+	}
+	// Order-of-magnitude sanity: Astra's calibration works out to
+	// ~4500 faults / 41472 DIMMs / 237 days ≈ 2×10⁴ FIT per DIMM for
+	// correctable faults (far above the DUE FIT of ~10³, as expected).
+	if r.Total < 2e3 || r.Total > 2e5 {
+		t.Errorf("total fault FIT = %v, implausible", r.Total)
+	}
+	if r.FaultyDIMMs == 0 || r.FaultyDIMMs > len(faults) {
+		t.Errorf("FaultyDIMMs = %d", r.FaultyDIMMs)
+	}
+}
+
+func TestStudyWindow(t *testing.T) {
+	if got := StudyWindow().Hours() / 24; got != 237 {
+		t.Errorf("StudyWindow = %v days", got)
+	}
+}

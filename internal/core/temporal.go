@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// ModeStability is the Siddiqua-et-al.-style check the paper cites from
+// related work: is the mix of newly observed fault modes stable over time?
+// Each month is the set of faults first observed in it, broken down by
+// mode.
+type ModeStability struct {
+	// Months are the month keys with at least one new fault.
+	Months []int
+	// NewFaults[i][m] is the number of mode-m faults first seen in
+	// Months[i].
+	NewFaults [][NumFaultModes]int
+	// MaxShareDrift is the largest month-to-month change in any mode's
+	// share of new faults (small = stable mix).
+	MaxShareDrift float64
+}
+
+// AnalyzeModeStability computes the per-month new-fault mode mix.
+func AnalyzeModeStability(faults []Fault) ModeStability {
+	var out ModeStability
+	byMonth := map[int]*[NumFaultModes]int{}
+	for _, f := range faults {
+		mk := simtime.MonthKey(f.First)
+		row, ok := byMonth[mk]
+		if !ok {
+			row = &[NumFaultModes]int{}
+			byMonth[mk] = row
+		}
+		row[f.Mode]++
+	}
+	for mk := range byMonth {
+		out.Months = append(out.Months, mk)
+	}
+	sort.Ints(out.Months)
+	var prevShare [NumFaultModes]float64
+	for i, mk := range out.Months {
+		row := byMonth[mk]
+		out.NewFaults = append(out.NewFaults, *row)
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		var share [NumFaultModes]float64
+		for m, c := range row {
+			share[m] = float64(c) / float64(total)
+		}
+		if i > 0 {
+			for m := range share {
+				if d := share[m] - prevShare[m]; d > out.MaxShareDrift {
+					out.MaxShareDrift = d
+				} else if -d > out.MaxShareDrift {
+					out.MaxShareDrift = -d
+				}
+			}
+		}
+		prevShare = share
+	}
+	return out
+}
+
+// Interarrivals characterizes error burstiness within faults: the
+// distribution of gaps between consecutive errors of the same fault. Heavy
+// sub-minute mass is what overflows the kernel's CE log space (§2.3).
+type Interarrivals struct {
+	// Gaps are the inter-error gaps in minutes, over faults with >= 2
+	// errors, sorted ascending.
+	Gaps []float64
+	// Summary describes the gap distribution.
+	Summary stats.Summary
+	// SubMinuteFrac is the fraction of gaps under one minute (burst
+	// pressure on the EDAC ring).
+	SubMinuteFrac float64
+	// FaultsMeasured is the number of multi-error faults contributing.
+	FaultsMeasured int
+}
+
+// AnalyzeInterarrivals computes within-fault error gaps. To bound memory
+// on huge faults, at most maxPerFault gaps are sampled per fault (0 means
+// all).
+func AnalyzeInterarrivals(records []mce.CERecord, faults []Fault, maxPerFault int) Interarrivals {
+	var out Interarrivals
+	for _, f := range faults {
+		if len(f.Errors) < 2 {
+			continue
+		}
+		out.FaultsMeasured++
+		times := make([]time.Time, 0, len(f.Errors))
+		for _, idx := range f.Errors {
+			times = append(times, records[idx].Time)
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a].Before(times[b]) })
+		n := len(times) - 1
+		stride := 1
+		if maxPerFault > 0 && n > maxPerFault {
+			stride = n / maxPerFault
+		}
+		for i := 0; i < n; i += stride {
+			out.Gaps = append(out.Gaps, times[i+1].Sub(times[i]).Minutes())
+		}
+	}
+	sort.Float64s(out.Gaps)
+	out.Summary = stats.Summarize(out.Gaps)
+	if len(out.Gaps) > 0 {
+		sub := 0
+		for _, g := range out.Gaps {
+			if g < 1 {
+				sub++
+			}
+		}
+		out.SubMinuteFrac = float64(sub) / float64(len(out.Gaps))
+	}
+	return out
+}

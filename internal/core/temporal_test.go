@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestAnalyzeModeStabilityHandBuilt(t *testing.T) {
+	mk := func(month time.Month, mode FaultMode) Fault {
+		return Fault{Mode: mode, First: time.Date(2019, month, 10, 0, 0, 0, 0, time.UTC)}
+	}
+	faults := []Fault{
+		mk(time.February, ModeSingleBit), mk(time.February, ModeSingleBit),
+		mk(time.March, ModeSingleBit), mk(time.March, ModeSingleBank),
+	}
+	ms := AnalyzeModeStability(faults)
+	if len(ms.Months) != 2 {
+		t.Fatalf("months = %v", ms.Months)
+	}
+	if ms.NewFaults[0][ModeSingleBit] != 2 || ms.NewFaults[1][ModeSingleBank] != 1 {
+		t.Errorf("new faults = %+v", ms.NewFaults)
+	}
+	// Feb: 100% bit. Mar: 50% bit, 50% bank. Max drift = 0.5.
+	if ms.MaxShareDrift < 0.49 || ms.MaxShareDrift > 0.51 {
+		t.Errorf("drift = %v, want 0.5", ms.MaxShareDrift)
+	}
+}
+
+func TestAnalyzeModeStabilityOnGeneratedData(t *testing.T) {
+	_, records := generateSmall(t, 73, 500)
+	faults := Cluster(records, DefaultClusterConfig())
+	ms := AnalyzeModeStability(faults)
+	if len(ms.Months) < 5 {
+		t.Fatalf("only %d months with new faults", len(ms.Months))
+	}
+	// Mode weights are time-invariant in the model, so the mix should be
+	// reasonably stable (single-bit dominates everywhere).
+	for i, row := range ms.NewFaults {
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		if total < 10 {
+			continue // noisy boundary months
+		}
+		if float64(row[ModeSingleBit])/float64(total) < 0.5 {
+			t.Errorf("month %s: single-bit share below half: %+v",
+				simtime.MonthLabel(ms.Months[i]), row)
+		}
+	}
+	if ms.MaxShareDrift > 0.6 {
+		t.Errorf("mode mix drift = %v, implausibly unstable", ms.MaxShareDrift)
+	}
+}
+
+func TestAnalyzeInterarrivals(t *testing.T) {
+	_, records := generateSmall(t, 74, 400)
+	faults := Cluster(records, DefaultClusterConfig())
+	ia := AnalyzeInterarrivals(records, faults, 200)
+	if ia.FaultsMeasured == 0 || len(ia.Gaps) == 0 {
+		t.Fatal("no gaps measured")
+	}
+	// Gaps are sorted and non-negative.
+	for i, g := range ia.Gaps {
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		if i > 0 && g < ia.Gaps[i-1] {
+			t.Fatal("gaps not sorted")
+		}
+	}
+	// Bursty faults produce meaningful sub-minute mass.
+	if ia.SubMinuteFrac <= 0 {
+		t.Error("no sub-minute gaps despite bursts")
+	}
+	if ia.SubMinuteFrac >= 1 {
+		t.Error("all gaps sub-minute; spread faults missing")
+	}
+}
+
+func TestAnalyzeInterarrivalsSampling(t *testing.T) {
+	_, records := generateSmall(t, 75, 300)
+	faults := Cluster(records, DefaultClusterConfig())
+	full := AnalyzeInterarrivals(records, faults, 0)
+	sampled := AnalyzeInterarrivals(records, faults, 50)
+	if len(sampled.Gaps) > len(full.Gaps) {
+		t.Error("sampling produced more gaps than full scan")
+	}
+	if sampled.FaultsMeasured != full.FaultsMeasured {
+		t.Error("sampling changed the fault count")
+	}
+}

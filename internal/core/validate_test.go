@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestValidateClusteringOnGeneratedPopulation(t *testing.T) {
+	pop, records := generateSmall(t, 61, 500)
+	cfg := DefaultClusterConfig()
+	faults := Cluster(records, cfg)
+	m, err := ValidateClustering(pop, records, faults, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ok(len(records)); err != nil {
+		t.Fatalf("validation failed: %v (metrics %+v)", err, m)
+	}
+	if m.BanksChecked < 100 {
+		t.Errorf("only %d banks checked", m.BanksChecked)
+	}
+	if m.FaultCountRatio < 0.7 || m.FaultCountRatio > 1.3 {
+		t.Errorf("fault count ratio = %v", m.FaultCountRatio)
+	}
+}
+
+func TestValidateClusteringRejectsMisalignedStreams(t *testing.T) {
+	pop, records := generateSmall(t, 62, 100)
+	faults := Cluster(records, DefaultClusterConfig())
+	if _, err := ValidateClustering(pop, records[:len(records)-1], faults, DefaultClusterConfig()); err == nil {
+		t.Error("misaligned streams accepted")
+	}
+}
+
+func TestValidationMetricsOk(t *testing.T) {
+	good := ValidationMetrics{ErrorsAttributed: 100, BanksChecked: 60, ModeAgreement: 0.95}
+	if err := good.Ok(100); err != nil {
+		t.Errorf("good metrics rejected: %v", err)
+	}
+	for name, m := range map[string]ValidationMetrics{
+		"double-attribution": {ErrorsAttributed: 100, DoubleAttributed: 1},
+		"missing-errors":     {ErrorsAttributed: 99},
+		"low-agreement":      {ErrorsAttributed: 100, BanksChecked: 60, ModeAgreement: 0.5},
+	} {
+		if err := m.Ok(100); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Tiny samples skip the agreement bar (too noisy to judge).
+	small := ValidationMetrics{ErrorsAttributed: 100, BanksChecked: 10, ModeAgreement: 0.2}
+	if err := small.Ok(100); err != nil {
+		t.Errorf("small-sample agreement should not gate: %v", err)
+	}
+}
+
+func TestValidateClusteringDetectsBrokenClusterer(t *testing.T) {
+	// A deliberately broken clustering (everything merged into one fault
+	// per node) must fail the mode-agreement bar.
+	pop, records := generateSmall(t, 63, 400)
+	broken := Cluster(records, ClusterConfig{ColMinWords: 2, BankMinWords: 2, RowMinWords: 2})
+	// BankMinWords=2 merges any two scattered words into a phantom bank
+	// fault, degrading agreement on two-fault banks... those banks are
+	// excluded, so instead corrupt harder: relabel every fault's mode.
+	for i := range broken {
+		broken[i].Mode = ModeSingleBank
+	}
+	m, err := ValidateClustering(pop, records, broken, DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BanksChecked > 50 && m.ModeAgreement > 0.5 {
+		t.Errorf("broken clusterer scored %v agreement", m.ModeAgreement)
+	}
+}

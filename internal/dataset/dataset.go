@@ -1,0 +1,212 @@
+// Package dataset wires the substrates into the end-to-end pipeline the
+// paper's data went through — fault model → memory controller → EDAC
+// polling (with log-space loss) → syslog; machine checks → HET — and
+// implements the §2.4 open-data release formats: syslog text, CE/DUE
+// telemetry CSV, per-node sensor CSV, and inventory replacement logs, with
+// matching readers so the ETL path (cmd/astraparse) works on the files the
+// generator (cmd/astragen) writes.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/edac"
+	"repro/internal/envmodel"
+	"repro/internal/faultmodel"
+	"repro/internal/het"
+	"repro/internal/inventory"
+	"repro/internal/mce"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Config assembles the pipeline configuration.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed uint64
+	// Nodes bounds the system size (reduced-scale runs).
+	Nodes int
+	// Fault is the fault-population configuration; if zero-valued it is
+	// replaced by faultmodel.DefaultConfig(Seed) at Nodes scale.
+	Fault faultmodel.Config
+	// Env is the telemetry calibration; zero value replaced by defaults.
+	Env envmodel.Params
+	// EdacCapacity is the per-node CE log capacity (§2.3).
+	EdacCapacity int
+	// PollMinutes is the EDAC polling interval in minutes.
+	PollMinutes int64
+	// Inventory enables replacement-history generation.
+	Inventory bool
+}
+
+// DefaultConfig returns the full-scale pipeline configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:         seed,
+		Nodes:        topology.Nodes,
+		Fault:        faultmodel.DefaultConfig(seed),
+		Env:          envmodel.DefaultParams(),
+		EdacCapacity: edac.DefaultCapacity,
+		PollMinutes:  1,
+		Inventory:    true,
+	}
+}
+
+// Dataset is the built pipeline output: ground truth plus everything the
+// platform would actually have recorded.
+type Dataset struct {
+	Config Config
+	// Pop is the ground-truth population (not available to the analyses
+	// on the real system; used for validation only).
+	Pop *faultmodel.Population
+	// CERecords are the correctable errors that survived the EDAC path,
+	// time-ordered.
+	CERecords []mce.CERecord
+	// DUERecords are the uncorrectable machine-check records (never
+	// subject to log-space loss).
+	DUERecords []mce.DUERecord
+	// HETRecords are the Hardware Event Tracker records (memory DUEs
+	// plus ambient platform events), post firmware gate.
+	HETRecords []het.Record
+	// EdacStats accounts for CE logging loss.
+	EdacStats edac.Stats
+	// Env is the telemetry model (implements core.SensorSource).
+	Env *envmodel.Model
+	// Inventory is the replacement history (nil unless enabled).
+	Inventory *inventory.History
+}
+
+// Build runs the pipeline.
+func Build(cfg Config) (*Dataset, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("dataset: Nodes = %d", cfg.Nodes)
+	}
+	if cfg.Fault.Nodes == 0 {
+		cfg.Fault = faultmodel.DefaultConfig(cfg.Seed)
+	}
+	cfg.Fault.Nodes = cfg.Nodes
+	if cfg.Env == (envmodel.Params{}) {
+		cfg.Env = envmodel.DefaultParams()
+	}
+	if cfg.EdacCapacity <= 0 {
+		cfg.EdacCapacity = edac.DefaultCapacity
+	}
+	if cfg.PollMinutes <= 0 {
+		cfg.PollMinutes = 1
+	}
+
+	pop, err := faultmodel.Generate(cfg.Fault)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Config: cfg, Pop: pop, Env: envmodel.New(cfg.Seed, cfg.Env)}
+	ds.runEdac()
+	ds.encodeDUEs()
+	ds.buildHET()
+	if cfg.Inventory {
+		hist, err := inventory.Generate(cfg.Seed, cfg.Nodes, inventory.DefaultProcesses())
+		if err != nil {
+			return nil, err
+		}
+		ds.Inventory = hist
+	}
+	return ds, nil
+}
+
+// runEdac pushes the generated CE stream through per-node pollers,
+// dropping what the limited log space loses.
+func (ds *Dataset) runEdac() {
+	enc := mce.NewEncoder(ds.Config.Seed)
+	pollers := map[topology.NodeID]*edac.Poller[mce.CERecord]{}
+	out := func(recs []mce.CERecord) {
+		ds.CERecords = append(ds.CERecords, recs...)
+	}
+	for i, ev := range ds.Pop.CEs {
+		p, ok := pollers[ev.Node]
+		if !ok {
+			p = edac.NewPoller[mce.CERecord](ds.Config.EdacCapacity, ds.Config.PollMinutes, out)
+			pollers[ev.Node] = p
+		}
+		p.Offer(int64(ev.Minute), enc.EncodeCE(ev, i))
+	}
+	// Close in node order so the final drains land deterministically.
+	for n := 0; n < ds.Config.Nodes; n++ {
+		p, ok := pollers[topology.NodeID(n)]
+		if !ok {
+			continue
+		}
+		st := p.Close()
+		ds.EdacStats.Offered += st.Offered
+		ds.EdacStats.Logged += st.Logged
+		ds.EdacStats.Dropped += st.Dropped
+	}
+	sortCERecords(ds.CERecords)
+}
+
+func (ds *Dataset) encodeDUEs() {
+	enc := mce.NewEncoder(ds.Config.Seed)
+	ds.DUERecords = make([]mce.DUERecord, len(ds.Pop.DUEs))
+	for i, d := range ds.Pop.DUEs {
+		ds.DUERecords[i] = enc.EncodeDUE(d)
+	}
+}
+
+func (ds *Dataset) buildHET() {
+	fromDUEs := make([]het.Record, 0, len(ds.DUERecords))
+	for _, d := range ds.DUERecords {
+		fromDUEs = append(fromDUEs, het.FromDUE(d))
+	}
+	ambient := het.GenerateAmbient(ds.Config.Seed, simtime.HETStart, ds.Config.Fault.End, ds.Config.Nodes)
+	ds.HETRecords = het.Merge(fromDUEs, ambient)
+}
+
+// Verify runs the release self-check over the built dataset: every CE
+// record internally consistent, streams time-ordered and inside the study
+// window, HET records post-gate, and the EDAC accounting balanced. A
+// failure indicates a pipeline bug, so astragen refuses to publish on it.
+func (ds *Dataset) Verify() error {
+	var prev mce.CERecord
+	for i, r := range ds.CERecords {
+		if err := mce.ValidateRecord(r); err != nil {
+			return fmt.Errorf("dataset: CE record %d: %w", i, err)
+		}
+		if i > 0 && r.Time.Before(prev.Time) {
+			return fmt.Errorf("dataset: CE records out of order at %d", i)
+		}
+		if r.Time.Before(ds.Config.Fault.Start) || r.Time.After(ds.Config.Fault.End.Add(24*time.Hour)) {
+			return fmt.Errorf("dataset: CE record %d outside the study window: %v", i, r.Time)
+		}
+		prev = r
+	}
+	for i, h := range ds.HETRecords {
+		if !h.Recorded() {
+			return fmt.Errorf("dataset: HET record %d precedes the firmware gate", i)
+		}
+	}
+	if ds.EdacStats.Logged+ds.EdacStats.Dropped != ds.EdacStats.Offered {
+		return fmt.Errorf("dataset: EDAC accounting unbalanced: %+v", ds.EdacStats)
+	}
+	if ds.EdacStats.Logged != uint64(len(ds.CERecords)) {
+		return fmt.Errorf("dataset: %d records vs %d logged", len(ds.CERecords), ds.EdacStats.Logged)
+	}
+	if len(ds.DUERecords) != len(ds.Pop.DUEs) {
+		return fmt.Errorf("dataset: DUE records lost: %d of %d", len(ds.DUERecords), len(ds.Pop.DUEs))
+	}
+	return nil
+}
+
+func sortCERecords(recs []mce.CERecord) {
+	// The EDAC drain interleaves nodes; restore global time order with a
+	// deterministic tiebreak.
+	sort.Slice(recs, func(a, b int) bool {
+		if !recs[a].Time.Equal(recs[b].Time) {
+			return recs[a].Time.Before(recs[b].Time)
+		}
+		if recs[a].Node != recs[b].Node {
+			return recs[a].Node < recs[b].Node
+		}
+		return recs[a].Addr < recs[b].Addr
+	})
+}

@@ -1,0 +1,336 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/envmodel"
+	"repro/internal/het"
+	"repro/internal/mce"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/syslog"
+	"repro/internal/topology"
+)
+
+// WriteSyslog renders the CE, DUE and HET record streams as one merged,
+// time-ordered syslog, interleaving a line of unrelated kernel chatter
+// every noiseEvery records (0 disables) so parsers are exercised on
+// realistic input.
+func (ds *Dataset) WriteSyslog(w io.Writer, noiseEvery int) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	ci, di, hi := 0, 0, 0
+	n := 0
+	rng := simrand.NewStream(ds.Config.Seed).Derive("syslog-noise")
+	emit := func(line string) error {
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		n++
+		if noiseEvery > 0 && n%noiseEvery == 0 {
+			noise := fmt.Sprintf("%s %s kernel: slurmd[%d]: job step completed",
+				ds.timeCursor(ci, di, hi).UTC().Format(time.RFC3339),
+				topology.NodeID(rng.IntN(ds.Config.Nodes)), 1000+rng.IntN(9000))
+			if _, err := bw.WriteString(noise + "\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for ci < len(ds.CERecords) || di < len(ds.DUERecords) || hi < len(ds.HETRecords) {
+		switch ds.nextStream(ci, di, hi) {
+		case 0:
+			if err := emit(syslog.FormatCE(ds.CERecords[ci])); err != nil {
+				return err
+			}
+			ci++
+		case 1:
+			if err := emit(syslog.FormatDUE(ds.DUERecords[di])); err != nil {
+				return err
+			}
+			di++
+		default:
+			if err := emit(syslog.FormatHET(ds.HETRecords[hi])); err != nil {
+				return err
+			}
+			hi++
+		}
+	}
+	return bw.Flush()
+}
+
+// nextStream picks which stream has the earliest pending record.
+func (ds *Dataset) nextStream(ci, di, hi int) int {
+	far := time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+	tc, td, th := far, far, far
+	if ci < len(ds.CERecords) {
+		tc = ds.CERecords[ci].Time
+	}
+	if di < len(ds.DUERecords) {
+		td = ds.DUERecords[di].Time
+	}
+	if hi < len(ds.HETRecords) {
+		th = ds.HETRecords[hi].Time
+	}
+	switch {
+	case !tc.After(td) && !tc.After(th):
+		return 0
+	case !td.After(th):
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (ds *Dataset) timeCursor(ci, di, hi int) time.Time {
+	if ci < len(ds.CERecords) {
+		return ds.CERecords[ci].Time
+	}
+	if hi < len(ds.HETRecords) {
+		return ds.HETRecords[hi].Time
+	}
+	if di < len(ds.DUERecords) {
+		return ds.DUERecords[di].Time
+	}
+	return ds.Config.Fault.End
+}
+
+// ceCSVHeader matches the paper's §2.4 release schema: "timestamp, node
+// ID, socket, type of failure, DIMM slot, row, rank, bank, bit position,
+// physical address and vendor-specific syndrome data".
+var ceCSVHeader = []string{"timestamp", "node", "socket", "type", "slot", "row", "rank", "bank", "bitpos", "addr", "syndrome"}
+
+// WriteCETelemetryCSV writes the dataset's CE records in the open-data
+// CSV schema.
+func (ds *Dataset) WriteCETelemetryCSV(w io.Writer) error {
+	return WriteCERecordsCSV(w, ds.CERecords)
+}
+
+// WriteCERecordsCSV writes arbitrary CE records in the open-data CSV
+// schema (used by the ETL tool on parsed logs).
+func WriteCERecordsCSV(w io.Writer, records []mce.CERecord) error {
+	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<20))
+	if err := cw.Write(ceCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range records {
+		rec := []string{
+			r.Time.UTC().Format(time.RFC3339),
+			r.Node.String(),
+			strconv.Itoa(r.Socket),
+			"mem-ce",
+			r.Slot.Name(),
+			strconv.Itoa(r.RowRaw),
+			strconv.Itoa(r.Rank),
+			strconv.Itoa(r.Bank),
+			strconv.Itoa(r.BitPos),
+			"0x" + strconv.FormatUint(uint64(r.Addr), 16),
+			"0x" + strconv.FormatUint(uint64(r.Syndrome), 16),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCETelemetryCSV parses the open-data CE CSV back into records; the
+// column field is reconstructed from the physical address.
+func ReadCETelemetryCSV(r io.Reader) ([]mce.CERecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(ceCSVHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: CE CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: CE CSV empty")
+	}
+	out := make([]mce.CERecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := parseCECSVRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CE CSV row %d: %w", i+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseCECSVRow(row []string) (mce.CERecord, error) {
+	ts, err := time.Parse(time.RFC3339, row[0])
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	node, err := topology.ParseNodeID(row[1])
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	slot, err := topology.ParseSlot(row[4])
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	ints := make([]int64, 0, 5)
+	for _, idx := range []int{2, 5, 6, 7, 8} {
+		v, err := strconv.ParseInt(row[idx], 10, 64)
+		if err != nil {
+			return mce.CERecord{}, err
+		}
+		ints = append(ints, v)
+	}
+	addr, err := strconv.ParseUint(row[9][2:], 16, 64)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	syn, err := strconv.ParseUint(row[10][2:], 16, 8)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	rec := mce.CERecord{
+		Time: ts.UTC(), Node: node, Socket: int(ints[0]), Slot: slot,
+		RowRaw: int(ints[1]), Rank: int(ints[2]), Bank: int(ints[3]),
+		BitPos: int(ints[4]), Addr: topology.PhysAddr(addr), Syndrome: uint8(syn),
+	}
+	cell, _, err := topology.DecodePhysAddr(node, rec.Addr)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	rec.Col = cell.Col
+	return rec, nil
+}
+
+// SensorSample is one row of the environmental release.
+type SensorSample struct {
+	Time   time.Time
+	Node   topology.NodeID
+	Sensor topology.Sensor
+	Value  float64
+	// Valid reports whether the value passes the plausibility filter;
+	// invalid samples are retained in the file (as on the real system)
+	// and excluded during analysis.
+	Valid bool
+}
+
+// WriteSensorCSV writes sensor telemetry over the environmental window,
+// subsampled by nodeStride and minuteStride (both >= 1) to keep export
+// sizes manageable — the full-rate data is ~2.7e9 samples.
+func (ds *Dataset) WriteSensorCSV(w io.Writer, nodeStride, minuteStride int) error {
+	if nodeStride < 1 || minuteStride < 1 {
+		return fmt.Errorf("dataset: strides must be >= 1")
+	}
+	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<20))
+	if err := cw.Write([]string{"timestamp", "node", "sensor", "value"}); err != nil {
+		return err
+	}
+	start := simtime.MinuteOf(simtime.EnvStart)
+	end := simtime.MinuteOf(simtime.EnvEnd)
+	for n := 0; n < ds.Config.Nodes; n += nodeStride {
+		node := topology.NodeID(n)
+		for m := start; m < end; m += simtime.Minute(minuteStride) {
+			for s := topology.Sensor(0); s < topology.NumSensors; s++ {
+				v, _ := ds.Env.Sample(node, s, m)
+				rec := []string{
+					m.Time().Format(time.RFC3339),
+					node.String(),
+					s.String(),
+					strconv.FormatFloat(v, 'f', 2, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSensorCSV parses the environmental release, marking each sample's
+// validity with the plausibility filter (§2.2's exclusion of invalid
+// readings).
+func ReadSensorCSV(r io.Reader) ([]SensorSample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: sensor CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: sensor CSV empty")
+	}
+	out := make([]SensorSample, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
+		}
+		node, err := topology.ParseNodeID(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
+		}
+		sensor, err := topology.ParseSensor(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
+		}
+		lo, hi := envmodel.PlausibleRange(sensor)
+		out = append(out, SensorSample{
+			Time: ts.UTC(), Node: node, Sensor: sensor, Value: v,
+			Valid: v >= lo && v <= hi,
+		})
+	}
+	return out, nil
+}
+
+// WriteReplacementsCSV writes the inventory replacement log.
+func (ds *Dataset) WriteReplacementsCSV(w io.Writer) error {
+	if ds.Inventory == nil {
+		return fmt.Errorf("dataset: inventory not generated")
+	}
+	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<20))
+	if err := cw.Write([]string{"date", "kind", "location", "old_serial", "new_serial"}); err != nil {
+		return err
+	}
+	for _, rep := range ds.Inventory.Replacements {
+		rec := []string{
+			rep.Day.Time().Format("2006-01-02"),
+			rep.Kind.String(),
+			rep.Location(),
+			rep.OldSerial,
+			rep.NewSerial,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSyslog parses a merged syslog back into typed record streams.
+func ReadSyslog(r io.Reader) (ces []mce.CERecord, dues []mce.DUERecord, hets []het.Record, stats syslog.ScanStats, err error) {
+	sc := syslog.NewScanner(r)
+	for sc.Scan() {
+		p := sc.Record()
+		switch p.Kind {
+		case syslog.KindCE:
+			ces = append(ces, p.CE)
+		case syslog.KindDUE:
+			dues = append(dues, p.DUE)
+		case syslog.KindHET:
+			hets = append(hets, p.HET)
+		}
+	}
+	return ces, dues, hets, sc.Stats(), sc.Err()
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// TestRecordedSensorSourceDrivesAnalyses closes the ETL loop: the Fig 9
+// and Fig 13 analyses run against the re-parsed sensor CSV (a
+// SensorStore) and reach the same qualitative verdict as against the
+// procedural model.
+func TestRecordedSensorSourceDrivesAnalyses(t *testing.T) {
+	cfg := smallConfig(95)
+	cfg.Nodes = 60
+	ds, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteSensorCSV(&buf, 1, 240); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ReadSensorCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewSensorStore(samples)
+
+	// Fig 13 deciles from recorded data vs the model: decile spreads of
+	// the same magnitude, same no-trend verdict shape.
+	fromStore := core.AnalyzeTempDeciles(ds.CERecords, store, cfg.Nodes)
+	fromModel := core.AnalyzeTempDeciles(ds.CERecords, ds.Env, cfg.Nodes)
+	if len(fromStore) != len(fromModel) {
+		t.Fatal("panel counts differ")
+	}
+	for i := range fromStore {
+		a, b := fromStore[i], fromModel[i]
+		if len(a.Bins) == 0 || len(b.Bins) == 0 {
+			t.Fatalf("panel %v missing bins", a.Sensor)
+		}
+		if d := a.Spread - b.Spread; d > 2 || d < -2 {
+			t.Errorf("%v: decile spread recorded %v vs model %v", a.Sensor, a.Spread, b.Spread)
+		}
+	}
+
+	// Fig 9 windows run end to end on the recorded store.
+	windows := core.AnalyzeTempWindows(ds.CERecords, store, []int64{simtime.MinutesPerDay})
+	if len(windows) != 1 {
+		t.Fatal("window analysis failed")
+	}
+	total := 0
+	for _, c := range windows[0].Counts {
+		total += c
+	}
+	if total == 0 {
+		t.Error("no CEs binned using recorded telemetry")
+	}
+}
+
+// TestPipelineEndToEndViaSyslog replays the whole methodology over the
+// text artifacts only: generate → syslog → parse → cluster → analyses,
+// and cross-checks counts against the in-memory pipeline.
+func TestPipelineEndToEndViaSyslog(t *testing.T) {
+	cfg := smallConfig(96)
+	cfg.Nodes = 150
+	ds, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	ces, dues, hets, _, err := ReadSyslog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultsFromText := core.Cluster(ces, core.DefaultClusterConfig())
+	faultsFromMemory := core.Cluster(ds.CERecords, core.DefaultClusterConfig())
+	if len(faultsFromText) != len(faultsFromMemory) {
+		t.Errorf("fault counts differ: text %d vs memory %d", len(faultsFromText), len(faultsFromMemory))
+	}
+	u := core.AnalyzeUncorrectable(hets, cfg.Nodes*topology.SlotsPerNode, cfg.Fault.End)
+	if u.DUEs > len(dues) {
+		t.Errorf("HET DUEs %d exceed machine-check records %d", u.DUEs, len(dues))
+	}
+	breakdown := core.BreakdownByMode(ces, faultsFromText)
+	if breakdown.Total != len(ds.CERecords) {
+		t.Errorf("text-path total %d != memory-path %d", breakdown.Total, len(ds.CERecords))
+	}
+}

@@ -1,0 +1,124 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// SensorStore is a core.SensorSource backed by recorded sensor samples
+// (for example the re-parsed open-data CSV) instead of the procedural
+// model. Invalid samples are excluded at construction, mirroring the
+// paper's exclusion of implausible readings (§2.2). Window means are
+// O(log n) via per-series prefix sums.
+//
+// Because exported telemetry is subsampled, a window may contain few or no
+// samples; MeanBefore then widens to the nearest recorded samples around
+// the window (a recorded dataset can answer with *its* best estimate, but
+// never invents precision).
+type SensorStore struct {
+	series map[seriesKey]*series
+}
+
+type seriesKey struct {
+	node   topology.NodeID
+	sensor topology.Sensor
+}
+
+type series struct {
+	minutes []int64   // ascending
+	prefix  []float64 // prefix[i] = sum of values[0:i]
+}
+
+// NewSensorStore indexes recorded samples, dropping invalid ones.
+func NewSensorStore(samples []SensorSample) *SensorStore {
+	st := &SensorStore{series: map[seriesKey]*series{}}
+	type pair struct {
+		minute int64
+		value  float64
+	}
+	tmp := map[seriesKey][]pair{}
+	for _, s := range samples {
+		if !s.Valid {
+			continue
+		}
+		k := seriesKey{node: s.Node, sensor: s.Sensor}
+		tmp[k] = append(tmp[k], pair{int64(simtime.MinuteOf(s.Time)), s.Value})
+	}
+	for k, ps := range tmp {
+		sort.Slice(ps, func(a, b int) bool { return ps[a].minute < ps[b].minute })
+		se := &series{
+			minutes: make([]int64, len(ps)),
+			prefix:  make([]float64, len(ps)+1),
+		}
+		for i, p := range ps {
+			se.minutes[i] = p.minute
+			se.prefix[i+1] = se.prefix[i] + p.value
+		}
+		st.series[k] = se
+	}
+	return st
+}
+
+// Series returns the number of indexed (node, sensor) series.
+func (st *SensorStore) Series() int { return len(st.series) }
+
+// Samples returns the number of valid samples for one series.
+func (st *SensorStore) Samples(node topology.NodeID, sensor topology.Sensor) int {
+	se := st.series[seriesKey{node, sensor}]
+	if se == nil {
+		return 0
+	}
+	return len(se.minutes)
+}
+
+// rangeMean returns the mean of samples with minute in [lo, hi) and the
+// sample count.
+func (se *series) rangeMean(lo, hi int64) (float64, int) {
+	i := sort.Search(len(se.minutes), func(k int) bool { return se.minutes[k] >= lo })
+	j := sort.Search(len(se.minutes), func(k int) bool { return se.minutes[k] >= hi })
+	if j <= i {
+		return 0, 0
+	}
+	return (se.prefix[j] - se.prefix[i]) / float64(j-i), j - i
+}
+
+// nearest returns the value of the sample closest to minute m.
+func (se *series) nearest(m int64) float64 {
+	i := sort.Search(len(se.minutes), func(k int) bool { return se.minutes[k] >= m })
+	switch {
+	case len(se.minutes) == 0:
+		return math.NaN()
+	case i == 0:
+		return se.prefix[1] - se.prefix[0]
+	case i == len(se.minutes):
+		return se.prefix[i] - se.prefix[i-1]
+	}
+	if se.minutes[i]-m < m-se.minutes[i-1] {
+		return se.prefix[i+1] - se.prefix[i]
+	}
+	return se.prefix[i] - se.prefix[i-1]
+}
+
+// MeanBefore implements core.SensorSource: the mean of recorded samples
+// over the n minutes preceding t, widening to the nearest sample when the
+// window is empty. NaN when the series has no data at all.
+func (st *SensorStore) MeanBefore(node topology.NodeID, sensor topology.Sensor, t simtime.Minute, n int64) float64 {
+	se := st.series[seriesKey{node, sensor}]
+	if se == nil || len(se.minutes) == 0 {
+		return math.NaN()
+	}
+	if mean, cnt := se.rangeMean(int64(t)-n, int64(t)); cnt > 0 {
+		return mean
+	}
+	return se.nearest(int64(t) - n/2)
+}
+
+// MonthlyMean implements core.SensorSource over a calendar month.
+func (st *SensorStore) MonthlyMean(node topology.NodeID, sensor topology.Sensor, monthKey int) float64 {
+	start := simtime.MinuteOf(simtime.MonthKeyTime(monthKey))
+	end := simtime.MinuteOf(simtime.MonthKeyTime(monthKey + 1))
+	return st.MeanBefore(node, sensor, end, int64(end-start))
+}

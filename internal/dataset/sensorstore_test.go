@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func sampleAt(node topology.NodeID, sensor topology.Sensor, minute simtime.Minute, v float64, valid bool) SensorSample {
+	return SensorSample{Time: minute.Time(), Node: node, Sensor: sensor, Value: v, Valid: valid}
+}
+
+func TestSensorStoreWindowMean(t *testing.T) {
+	base := simtime.MinuteOf(simtime.EnvStart)
+	var samples []SensorSample
+	// Values 10, 20, 30 at minutes base, base+10, base+20.
+	for i, v := range []float64{10, 20, 30} {
+		samples = append(samples, sampleAt(5, topology.SensorCPU1, base+simtime.Minute(10*i), v, true))
+	}
+	st := NewSensorStore(samples)
+	if st.Series() != 1 || st.Samples(5, topology.SensorCPU1) != 3 {
+		t.Fatalf("series/sample counts wrong")
+	}
+	// Window covering all three.
+	if got := st.MeanBefore(5, topology.SensorCPU1, base+25, 30); got != 20 {
+		t.Errorf("full-window mean = %v, want 20", got)
+	}
+	// Window covering only the last sample.
+	if got := st.MeanBefore(5, topology.SensorCPU1, base+25, 6); got != 30 {
+		t.Errorf("tail-window mean = %v, want 30", got)
+	}
+	// Empty window widens to the nearest sample.
+	if got := st.MeanBefore(5, topology.SensorCPU1, base+500, 5); got != 30 {
+		t.Errorf("widened mean = %v, want 30 (nearest)", got)
+	}
+	// Unknown series: NaN.
+	if got := st.MeanBefore(6, topology.SensorCPU1, base, 10); !math.IsNaN(got) {
+		t.Errorf("missing series mean = %v, want NaN", got)
+	}
+}
+
+func TestSensorStoreDropsInvalid(t *testing.T) {
+	base := simtime.MinuteOf(simtime.EnvStart)
+	st := NewSensorStore([]SensorSample{
+		sampleAt(1, topology.SensorDCPower, base, 300, true),
+		sampleAt(1, topology.SensorDCPower, base+1, 65535, false),
+	})
+	if st.Samples(1, topology.SensorDCPower) != 1 {
+		t.Fatalf("invalid sample retained")
+	}
+	if got := st.MeanBefore(1, topology.SensorDCPower, base+2, 5); got != 300 {
+		t.Errorf("mean polluted by invalid sample: %v", got)
+	}
+}
+
+func TestSensorStoreMonthlyMean(t *testing.T) {
+	mk := simtime.MonthKey(simtime.EnvStart.AddDate(0, 1, 0))
+	start := simtime.MinuteOf(simtime.MonthKeyTime(mk))
+	var samples []SensorSample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, sampleAt(2, topology.SensorDIMMACEG, start+simtime.Minute(i*60), 40, true))
+	}
+	st := NewSensorStore(samples)
+	if got := st.MonthlyMean(2, topology.SensorDIMMACEG, mk); got != 40 {
+		t.Errorf("monthly mean = %v, want 40", got)
+	}
+}
+
+func TestSensorStoreAgreesWithModel(t *testing.T) {
+	// Round trip: export the procedural telemetry, re-parse it, and check
+	// the recorded store reproduces the model's monthly means.
+	cfg := smallConfig(91)
+	cfg.Nodes = 40
+	ds, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteSensorCSV(&buf, 1, 180); err != nil { // every 3 h, all nodes
+		t.Fatal(err)
+	}
+	samples, err := ReadSensorCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewSensorStore(samples)
+	mk := simtime.MonthKey(simtime.EnvStart.AddDate(0, 1, 0))
+	for node := topology.NodeID(0); node < 40; node += 7 {
+		for _, sensor := range []topology.Sensor{topology.SensorCPU1, topology.SensorDIMMJLNP, topology.SensorDCPower} {
+			want := ds.Env.MonthlyMean(node, sensor, mk)
+			got := st.MonthlyMean(node, sensor, mk)
+			tol := 1.0
+			if sensor == topology.SensorDCPower {
+				tol = 8
+			}
+			if math.Abs(got-want) > tol {
+				t.Errorf("node %d %v: recorded %v vs model %v", node, sensor, got, want)
+			}
+		}
+	}
+	// MeanBefore windows agree too.
+	at := simtime.MinuteOf(simtime.EnvStart) + 10*simtime.MinutesPerDay
+	want := ds.Env.MeanBefore(3, topology.SensorCPU1, at, simtime.MinutesPerDay)
+	got := st.MeanBefore(3, topology.SensorCPU1, at, simtime.MinutesPerDay)
+	if math.Abs(got-want) > 1.5 {
+		t.Errorf("window mean: recorded %v vs model %v", got, want)
+	}
+}
+
+func TestSensorStoreEmpty(t *testing.T) {
+	st := NewSensorStore(nil)
+	if st.Series() != 0 {
+		t.Error("empty store has series")
+	}
+	if got := st.MeanBefore(0, topology.SensorCPU1, 0, 10); !math.IsNaN(got) {
+		t.Errorf("empty store mean = %v", got)
+	}
+}
+
+func TestSensorStoreUnsortedInput(t *testing.T) {
+	base := simtime.MinuteOf(simtime.EnvStart)
+	st := NewSensorStore([]SensorSample{
+		sampleAt(1, topology.SensorCPU1, base+20, 30, true),
+		sampleAt(1, topology.SensorCPU1, base, 10, true),
+		sampleAt(1, topology.SensorCPU1, base+10, 20, true),
+	})
+	if got := st.MeanBefore(1, topology.SensorCPU1, base+25, 30); got != 20 {
+		t.Errorf("unsorted input mean = %v, want 20", got)
+	}
+}

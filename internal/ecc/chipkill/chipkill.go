@@ -1,0 +1,242 @@
+// Package chipkill implements a symbol-based error-correcting code of the
+// kind Astra deliberately omitted (§2.2: Astra uses SEC-DED because it is
+// cheaper and less power-hungry than Chipkill). The reproduction uses it
+// for an ablation: re-running the fault population through a chipkill-class
+// code shows how many of Astra's DUEs would have been correctable, at the
+// cost of 16 extra check bits per 64-bit word.
+//
+// The code is two interleaved shortened Reed-Solomon (10,8) codes over
+// GF(16) with 4-bit symbols matching x4 DRAM devices. Each interleave
+// corrects any single-symbol (single-chip) error; multi-symbol errors are
+// detected unless they alias, exactly as in real distance-3 symbol codes
+// ("SSC" chipkill).
+package chipkill
+
+import "fmt"
+
+// Geometry of the code.
+const (
+	// SymbolBits is the width of one code symbol (one x4 DRAM chip).
+	SymbolBits = 4
+	// DataSymbolsPerWay is the number of data symbols per interleave.
+	DataSymbolsPerWay = 8
+	// CheckSymbolsPerWay is the number of parity symbols per interleave.
+	CheckSymbolsPerWay = 2
+	// SymbolsPerWay is the shortened RS code length per interleave.
+	SymbolsPerWay = DataSymbolsPerWay + CheckSymbolsPerWay
+	// Ways is the number of interleaved codes covering one 64-bit word.
+	Ways = 2
+	// DataBits protected per codeword.
+	DataBits = Ways * DataSymbolsPerWay * SymbolBits
+	// CheckBits added per codeword.
+	CheckBits = Ways * CheckSymbolsPerWay * SymbolBits
+	// CodeBits is the total codeword width.
+	CodeBits = DataBits + CheckBits
+)
+
+// GF(16) arithmetic with primitive polynomial x^4 + x + 1.
+var (
+	gfExp [30]uint8 // alpha^i for i in [0, 30)
+	gfLog [16]int8  // log_alpha(v); gfLog[0] = -1
+)
+
+func init() {
+	x := uint8(1)
+	for i := 0; i < 15; i++ {
+		gfExp[i] = x
+		gfExp[i+15] = x
+		gfLog[x] = int8(i)
+		x <<= 1
+		if x&0x10 != 0 {
+			x ^= 0x13 // reduce by x^4 + x + 1
+		}
+	}
+	gfLog[0] = -1
+}
+
+func gfMul(a, b uint8) uint8 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+func gfDiv(a, b uint8) uint8 {
+	if b == 0 {
+		panic("chipkill: division by zero in GF(16)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])-int(gfLog[b])+15]
+}
+
+// Codeword holds the 64 data bits and the 16 check bits (two interleaves
+// of two 4-bit parity symbols each, packed little-endian by way then
+// symbol).
+type Codeword struct {
+	Data  uint64
+	Check uint16
+}
+
+// symbol extracts data symbol s of interleave way from a data word.
+// Symbols alternate between ways: nibble i of the word belongs to way
+// i%2, symbol i/2, so that one x4 chip (one nibble per beat) maps to one
+// symbol of one way.
+func symbol(data uint64, way, s int) uint8 {
+	nib := 2*s + way
+	return uint8(data >> (4 * nib) & 0xf)
+}
+
+func setSymbol(data uint64, way, s int, v uint8) uint64 {
+	nib := 2*s + way
+	return data&^(0xf<<(4*nib)) | uint64(v&0xf)<<(4*nib)
+}
+
+// checkSymbol extracts parity symbol j (0 or 1) of a way from the packed
+// check field.
+func checkSymbol(check uint16, way, j int) uint8 {
+	return uint8(check >> (4 * (2*way + j)) & 0xf)
+}
+
+func setCheckSymbol(check uint16, way, j int, v uint8) uint16 {
+	sh := 4 * (2*way + j)
+	return check&^(0xf<<sh) | uint16(v&0xf)<<sh
+}
+
+// Encode computes the chipkill codeword for 64 data bits. Each way's
+// codeword polynomial is c(x) = m(x)·x^2 + rem, with the two parity
+// symbols chosen so that c(alpha) = c(alpha^2) = 0.
+func Encode(data uint64) Codeword {
+	w := Codeword{Data: data}
+	for way := 0; way < Ways; way++ {
+		// Solve for p0, p1 (positions 0 and 1; data at positions 2..9):
+		//   sum_{i} c_i alpha^(i)   = 0
+		//   sum_{i} c_i alpha^(2i)  = 0
+		var s1, s2 uint8
+		for i := 0; i < DataSymbolsPerWay; i++ {
+			ci := symbol(data, way, i)
+			pos := i + CheckSymbolsPerWay
+			s1 ^= gfMul(ci, gfExp[pos%15])
+			s2 ^= gfMul(ci, gfExp[(2*pos)%15])
+		}
+		// p0·1 + p1·alpha   = s1
+		// p0·1 + p1·alpha^2 = s2  (alpha^0 = 1 at position 0)
+		// => p1 = (s1 ^ s2) / (alpha ^ alpha^2), p0 = s1 ^ p1·alpha.
+		den := gfExp[1] ^ gfExp[2]
+		p1 := gfDiv(s1^s2, den)
+		p0 := s1 ^ gfMul(p1, gfExp[1])
+		w.Check = setCheckSymbol(w.Check, way, 0, p0)
+		w.Check = setCheckSymbol(w.Check, way, 1, p1)
+	}
+	return w
+}
+
+// Result classifies a decode outcome.
+type Result int
+
+// Decode outcomes.
+const (
+	// OK: valid codeword.
+	OK Result = iota
+	// Corrected: one symbol error per affected way, corrected.
+	Corrected
+	// Uncorrectable: detected error beyond single-symbol per way.
+	Uncorrectable
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Decode examines a possibly corrupted codeword and returns the best-effort
+// data and classification. Each interleave is decoded independently; the
+// word is Corrected if at least one way needed (and admitted) correction
+// and no way was uncorrectable.
+func Decode(w Codeword) (uint64, Result) {
+	data := w.Data
+	res := OK
+	for way := 0; way < Ways; way++ {
+		var s1, s2 uint8
+		for pos := 0; pos < SymbolsPerWay; pos++ {
+			var c uint8
+			if pos < CheckSymbolsPerWay {
+				c = checkSymbol(w.Check, way, pos)
+			} else {
+				c = symbol(w.Data, way, pos-CheckSymbolsPerWay)
+			}
+			s1 ^= gfMul(c, gfExp[pos%15])
+			s2 ^= gfMul(c, gfExp[(2*pos)%15])
+		}
+		switch {
+		case s1 == 0 && s2 == 0:
+			// way clean
+		case s1 == 0 || s2 == 0:
+			return w.Data, Uncorrectable
+		default:
+			// Single-symbol hypothesis: error e at position i with
+			// s1 = e·alpha^i, s2 = e·alpha^(2i).
+			locator := gfDiv(s2, s1) // alpha^i
+			i := int(gfLog[locator])
+			if i >= SymbolsPerWay {
+				return w.Data, Uncorrectable
+			}
+			e := gfDiv(gfMul(s1, s1), s2) // s1^2/s2 = e
+			if i >= CheckSymbolsPerWay {
+				s := i - CheckSymbolsPerWay
+				data = setSymbol(data, way, s, symbol(data, way, s)^e)
+			}
+			res = Corrected
+		}
+	}
+	return data, res
+}
+
+// DecodeVsTruth decodes and reports whether the decoder's output matches
+// the original data, classifying aliased multi-symbol patterns as
+// miscorrections (returned as Uncorrectable=false, ok=false).
+func DecodeVsTruth(w Codeword, truth uint64) (res Result, silentlyWrong bool) {
+	data, res := Decode(w)
+	if res != Uncorrectable && data != truth {
+		return res, true
+	}
+	return res, false
+}
+
+// FlipBit returns the codeword with the given bit of the 64-bit data field
+// inverted (check-bit flips are modeled via FlipCheckBit). It panics if pos
+// is out of [0, 64).
+func FlipBit(w Codeword, pos int) Codeword {
+	if pos < 0 || pos >= 64 {
+		panic(fmt.Sprintf("chipkill: FlipBit position %d", pos))
+	}
+	w.Data ^= 1 << pos
+	return w
+}
+
+// FlipCheckBit inverts one of the 16 check bits. It panics if pos is out of
+// [0, 16).
+func FlipCheckBit(w Codeword, pos int) Codeword {
+	if pos < 0 || pos >= 16 {
+		panic(fmt.Sprintf("chipkill: FlipCheckBit position %d", pos))
+	}
+	w.Check ^= 1 << pos
+	return w
+}
+
+// ChipOfDataBit returns the index of the x4 chip (equivalently, the
+// (way, symbol) pair flattened as symbol*Ways+way) that stores the given
+// data bit. Bits within one nibble share a chip.
+func ChipOfDataBit(pos int) int {
+	return pos / SymbolBits
+}

@@ -1,0 +1,34 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// A single flipped bit is corrected; a double flip is detected but not
+// correctable — the SEC-DED contract Astra's memory relies on.
+func ExampleDecode() {
+	word := ecc.Encode(0xdeadbeef)
+
+	oneFlip := ecc.FlipBit(word, 17)
+	data, res, _, bit := ecc.Decode(oneFlip)
+	fmt.Printf("single flip: %v at bit %d, data intact: %v\n", res, bit, data == 0xdeadbeef)
+
+	twoFlips := ecc.FlipBit(oneFlip, 42)
+	_, res, _, _ = ecc.Decode(twoFlips)
+	fmt.Printf("double flip: %v\n", res)
+
+	// Output:
+	// single flip: corrected at bit 17, data intact: true
+	// double flip: uncorrectable
+}
+
+// The syndrome of a corrected error identifies the failed bit, which the
+// ETL uses to validate CE records.
+func ExampleBitForSyndrome() {
+	w := ecc.FlipBit(ecc.Encode(0), 5)
+	s := ecc.Syndrome(w)
+	fmt.Println(ecc.BitForSyndrome(s))
+	// Output: 5
+}

@@ -1,0 +1,192 @@
+// Package ecc implements the (72,64) Hsiao single-error-correction,
+// double-error-detection (SEC-DED) code used by Astra's memory controllers
+// (§2.2: Astra uses SEC-DED rather than Chipkill).
+//
+// The codec determines how the simulated memory controller classifies a
+// corrupted word: a single flipped bit yields a correctable error (CE) with
+// a syndrome identifying the bit; two flipped bits yield a detected
+// uncorrectable error (DUE); wider corruption is detected as uncorrectable
+// whenever the syndrome is nonzero (and, as with real SEC-DED, can alias to
+// a miscorrection for some >=3-bit patterns — which the fault model uses
+// when arguing why multi-rank/multi-bank faults manifest as DUEs, §3.2).
+package ecc
+
+import "fmt"
+
+// Code sizes.
+const (
+	// DataBits is the number of protected data bits per word.
+	DataBits = 64
+	// CheckBits is the number of check bits per word.
+	CheckBits = 8
+	// CodeBits is the total codeword width.
+	CodeBits = DataBits + CheckBits
+)
+
+// Codeword is a 72-bit SEC-DED codeword: 64 data bits and 8 check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// columns[i] is the 8-bit parity-check column for codeword bit i. Bits
+// 0..63 are data bits and use odd-weight columns (Hsiao construction:
+// the 56 weight-3 columns followed by 8 weight-5 columns); bits 64..71 are
+// check bits and use the unit columns.
+var columns [CodeBits]uint8
+
+// syndromeToBit maps a nonzero syndrome to the codeword bit position whose
+// column it equals, or -1.
+var syndromeToBit [256]int
+
+func init() {
+	idx := 0
+	for _, weight := range []int{3, 5} {
+		for v := 1; v < 256 && idx < DataBits; v++ {
+			if popcount8(uint8(v)) == weight {
+				columns[idx] = uint8(v)
+				idx++
+			}
+		}
+	}
+	if idx != DataBits {
+		panic("ecc: failed to construct data columns")
+	}
+	for i := 0; i < CheckBits; i++ {
+		columns[DataBits+i] = 1 << i
+	}
+	for i := range syndromeToBit {
+		syndromeToBit[i] = -1
+	}
+	for i, c := range columns {
+		if syndromeToBit[c] != -1 {
+			panic("ecc: duplicate column")
+		}
+		syndromeToBit[c] = i
+	}
+}
+
+func popcount8(v uint8) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Encode computes the codeword for 64 data bits.
+func Encode(data uint64) Codeword {
+	var check uint8
+	for bit := 0; bit < DataBits; bit++ {
+		if data>>bit&1 == 1 {
+			check ^= columns[bit]
+		}
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// Syndrome computes the 8-bit syndrome of a (possibly corrupted) codeword:
+// zero means the word is a valid codeword.
+func Syndrome(w Codeword) uint8 {
+	s := w.Check
+	for bit := 0; bit < DataBits; bit++ {
+		if w.Data>>bit&1 == 1 {
+			s ^= columns[bit]
+		}
+	}
+	return s
+}
+
+// FlipBit returns the codeword with bit position pos (0..71) inverted.
+// Positions 0..63 are data bits; 64..71 are check bits. It panics on an
+// out-of-range position.
+func FlipBit(w Codeword, pos int) Codeword {
+	switch {
+	case pos >= 0 && pos < DataBits:
+		w.Data ^= 1 << pos
+	case pos >= DataBits && pos < CodeBits:
+		w.Check ^= 1 << (pos - DataBits)
+	default:
+		panic(fmt.Sprintf("ecc: FlipBit position %d out of range", pos))
+	}
+	return w
+}
+
+// Result classifies the outcome of decoding a word.
+type Result int
+
+// Decode outcomes.
+const (
+	// OK: the word is a valid codeword (no error detected).
+	OK Result = iota
+	// Corrected: a single-bit error was detected and corrected.
+	Corrected
+	// Uncorrectable: an error was detected that the code cannot correct
+	// (even-weight syndrome, or odd-weight syndrome matching no column).
+	Uncorrectable
+	// Miscorrected is never returned by Decode (the decoder cannot know);
+	// it is returned by DecodeVsTruth when the decoder "corrected" to the
+	// wrong data. Real >=3-bit error patterns can alias this way.
+	Miscorrected
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	case Miscorrected:
+		return "miscorrected"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Decode examines a possibly corrupted codeword. It returns the decoder's
+// best-effort data, the classification, the syndrome, and for Corrected
+// results the corrected codeword bit position (otherwise -1).
+func Decode(w Codeword) (data uint64, res Result, syndrome uint8, bitPos int) {
+	s := Syndrome(w)
+	if s == 0 {
+		return w.Data, OK, 0, -1
+	}
+	if popcount8(s)%2 == 0 {
+		// Even-weight nonzero syndrome: >= 2 bit errors, uncorrectable.
+		return w.Data, Uncorrectable, s, -1
+	}
+	bit := syndromeToBit[s]
+	if bit < 0 {
+		// Odd-weight syndrome matching no column: >= 3 errors detected.
+		return w.Data, Uncorrectable, s, -1
+	}
+	return FlipBit(w, bit).Data, Corrected, s, bit
+}
+
+// BitForSyndrome returns the codeword bit position whose single-bit flip
+// produces the given syndrome, or -1 if no single-bit error does (zero,
+// even-weight, or unused odd-weight syndromes). ETL validators use it to
+// cross-check a CE record's syndrome against its reported bit position.
+func BitForSyndrome(s uint8) int {
+	return syndromeToBit[s]
+}
+
+// DecodeVsTruth decodes and, knowing the original data, upgrades the
+// classification: a Corrected result whose output differs from the truth
+// becomes Miscorrected, and an OK result with wrong data (an undetectable
+// error pattern) also becomes Miscorrected. Used by the fault-injection
+// harness to account for silent corruption, which the paper scopes out but
+// the simulator must not miscount as correct operation.
+func DecodeVsTruth(w Codeword, truth uint64) (Result, uint8, int) {
+	data, res, s, bit := Decode(w)
+	switch res {
+	case OK, Corrected:
+		if data != truth {
+			return Miscorrected, s, bit
+		}
+	}
+	return res, s, bit
+}

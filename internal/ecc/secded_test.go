@@ -1,0 +1,178 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func TestColumnsAreOddWeightAndDistinct(t *testing.T) {
+	seen := map[uint8]bool{}
+	for i, c := range columns {
+		if c == 0 {
+			t.Fatalf("column %d is zero", i)
+		}
+		if popcount8(c)%2 == 0 {
+			t.Errorf("column %d has even weight %d", i, popcount8(c))
+		}
+		if seen[c] {
+			t.Errorf("duplicate column %#x", c)
+		}
+		seen[c] = true
+	}
+	// Hsiao: 56 weight-3 columns then 8 weight-5 columns for data.
+	for i := 0; i < 56; i++ {
+		if popcount8(columns[i]) != 3 {
+			t.Errorf("data column %d weight = %d, want 3", i, popcount8(columns[i]))
+		}
+	}
+	for i := 56; i < 64; i++ {
+		if popcount8(columns[i]) != 5 {
+			t.Errorf("data column %d weight = %d, want 5", i, popcount8(columns[i]))
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(data uint64) bool {
+		w := Encode(data)
+		got, res, s, bit := Decode(w)
+		return got == data && res == OK && s == 0 && bit == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleBitErrorsCorrected(t *testing.T) {
+	f := func(data uint64, pos8 uint8) bool {
+		pos := int(pos8) % CodeBits
+		w := FlipBit(Encode(data), pos)
+		got, res, _, bit := Decode(w)
+		return res == Corrected && got == data && bit == pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive over positions for one word.
+	data := uint64(0xdeadbeefcafef00d)
+	for pos := 0; pos < CodeBits; pos++ {
+		got, res, _, bit := Decode(FlipBit(Encode(data), pos))
+		if res != Corrected || got != data || bit != pos {
+			t.Fatalf("pos %d: res=%v got=%#x bit=%d", pos, res, got, bit)
+		}
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	f := func(data uint64, a8, b8 uint8) bool {
+		a := int(a8) % CodeBits
+		b := int(b8) % CodeBits
+		if a == b {
+			return true
+		}
+		w := FlipBit(FlipBit(Encode(data), a), b)
+		_, res, _, _ := Decode(w)
+		return res == Uncorrectable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive over all C(72,2) pairs for one word.
+	data := uint64(0x0123456789abcdef)
+	cw := Encode(data)
+	for a := 0; a < CodeBits; a++ {
+		for b := a + 1; b < CodeBits; b++ {
+			_, res, _, _ := Decode(FlipBit(FlipBit(cw, a), b))
+			if res != Uncorrectable {
+				t.Fatalf("double error (%d,%d) classified %v", a, b, res)
+			}
+		}
+	}
+}
+
+func TestTripleBitErrorsNeverSilentlyOK(t *testing.T) {
+	// SEC-DED may miscorrect a triple error, but DecodeVsTruth must then
+	// report Miscorrected, never OK/Corrected-with-wrong-data.
+	rng := simrand.NewStream(12)
+	data := uint64(0xfeedfacefeedface)
+	cw := Encode(data)
+	for i := 0; i < 5000; i++ {
+		a := rng.IntN(CodeBits)
+		b := rng.IntN(CodeBits)
+		c := rng.IntN(CodeBits)
+		if a == b || b == c || a == c {
+			continue
+		}
+		w := FlipBit(FlipBit(FlipBit(cw, a), b), c)
+		res, _, _ := DecodeVsTruth(w, data)
+		if res == OK || res == Corrected {
+			// Corrected is only acceptable if the data is right, which
+			// DecodeVsTruth already verifies, so this is a real failure.
+			t.Fatalf("triple error (%d,%d,%d) reported %v", a, b, c, res)
+		}
+	}
+}
+
+func TestDecodeVsTruthAgreesOnCleanAndSingle(t *testing.T) {
+	data := uint64(42)
+	if res, _, _ := DecodeVsTruth(Encode(data), data); res != OK {
+		t.Errorf("clean word: %v", res)
+	}
+	if res, _, _ := DecodeVsTruth(FlipBit(Encode(data), 7), data); res != Corrected {
+		t.Errorf("single flip: %v", res)
+	}
+}
+
+func TestFlipBitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FlipBit(Codeword{}, CodeBits)
+}
+
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(data uint64, pos8 uint8) bool {
+		pos := int(pos8) % CodeBits
+		w := Encode(data)
+		return FlipBit(FlipBit(w, pos), pos) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyndromeIdentifiesBit(t *testing.T) {
+	// The syndrome of a single flip at pos equals columns[pos].
+	cw := Encode(0)
+	for pos := 0; pos < CodeBits; pos++ {
+		if s := Syndrome(FlipBit(cw, pos)); s != columns[pos] {
+			t.Fatalf("syndrome at %d = %#x, want %#x", pos, s, columns[pos])
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for r, want := range map[Result]string{OK: "ok", Corrected: "corrected", Uncorrectable: "uncorrectable", Miscorrected: "miscorrected"} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", int(r), r.String())
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkDecodeCorrected(b *testing.B) {
+	w := FlipBit(Encode(0xdeadbeef), 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(w)
+	}
+}

@@ -1,0 +1,135 @@
+package exclusion
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/simtime"
+)
+
+func buildStream(t *testing.T, seed uint64, nodes int) ([]mce.CERecord, []core.Fault, simtime.Minute) {
+	t.Helper()
+	cfg := faultmodel.DefaultConfig(seed)
+	cfg.Nodes = nodes
+	pop, err := faultmodel.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := mce.NewEncoder(seed)
+	records := make([]mce.CERecord, len(pop.CEs))
+	for i, ev := range pop.CEs {
+		records[i] = enc.EncodeCE(ev, i)
+	}
+	faults := core.Cluster(records, core.DefaultClusterConfig())
+	return records, faults, simtime.MinuteOf(cfg.End)
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{Trigger: ByFaults, FaultThreshold: 0},
+		{Trigger: ByErrors, ErrorThreshold: 0},
+		{Trigger: Trigger(9)},
+		{Trigger: ByFaults, FaultThreshold: 1, MaxExcluded: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d accepted: %+v", i, p)
+		}
+	}
+	if ByFaults.String() != "by-faults" || ByErrors.String() != "by-errors" {
+		t.Error("trigger names wrong")
+	}
+}
+
+func TestEvaluateConservation(t *testing.T) {
+	records, faults, end := buildStream(t, 41, 300)
+	out, err := Evaluate(records, faults, DefaultPolicy(), end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ErrorsAvoided+out.ErrorsDelivered != len(records) {
+		t.Errorf("conservation: %d + %d != %d", out.ErrorsAvoided, out.ErrorsDelivered, len(records))
+	}
+	if len(out.Excluded) == 0 {
+		t.Error("no nodes drained (pathological nodes exist)")
+	}
+	if out.NodeDaysLost <= 0 {
+		t.Error("no capacity cost accounted")
+	}
+	if out.AvoidedPerNodeDay <= 0 {
+		t.Error("no benefit/cost ratio")
+	}
+}
+
+func TestFaultTriggerDrainsTheRightNodes(t *testing.T) {
+	// The paper's point operationalized: an error-count trigger drains
+	// nodes whose single noisy fault would have been handled by page
+	// retirement, while the fault-count trigger only drains genuinely
+	// multi-fault machines. Compare "false drains": drained nodes with
+	// fewer than 3 distinct clustered faults.
+	records, faults, end := buildStream(t, 42, 400)
+	falseDrains := func(out Outcome) int {
+		perNode := map[int]int{}
+		for _, f := range faults {
+			perNode[int(f.Node)]++
+		}
+		n := 0
+		for node := range out.Excluded {
+			if perNode[int(node)] < 3 {
+				n++
+			}
+		}
+		return n
+	}
+	byFaults, err := Evaluate(records, faults, Policy{Trigger: ByFaults, FaultThreshold: 6, MaxExcluded: 12}, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byErrors, err := Evaluate(records, faults, Policy{Trigger: ByErrors, ErrorThreshold: 50, MaxExcluded: 12}, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byFaults.Excluded) == 0 || len(byErrors.Excluded) == 0 {
+		t.Skip("draw produced no drainable nodes")
+	}
+	if ff := falseDrains(byFaults); ff != 0 {
+		t.Errorf("fault trigger drained %d single-fault nodes", ff)
+	}
+	if fe := falseDrains(byErrors); fe == 0 {
+		t.Logf("note: error trigger made no false drains in this draw")
+	} else if falseDrains(byFaults) > fe {
+		t.Error("fault trigger made more false drains than the error trigger")
+	}
+}
+
+func TestMaxExcludedCap(t *testing.T) {
+	records, faults, end := buildStream(t, 43, 400)
+	out, err := Evaluate(records, faults, Policy{Trigger: ByFaults, FaultThreshold: 2, MaxExcluded: 3}, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Excluded) > 3 {
+		t.Errorf("excluded %d nodes, cap is 3", len(out.Excluded))
+	}
+}
+
+func TestEvaluateRejectsBadPolicy(t *testing.T) {
+	if _, err := Evaluate(nil, nil, Policy{Trigger: ByFaults}, 0); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestEvaluateEmptyStream(t *testing.T) {
+	out, err := Evaluate(nil, nil, DefaultPolicy(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ErrorsAvoided != 0 || out.ErrorsDelivered != 0 || len(out.Excluded) != 0 {
+		t.Errorf("empty stream outcome = %+v", out)
+	}
+}

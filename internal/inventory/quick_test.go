@@ -1,0 +1,55 @@
+package inventory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Diff(a, a) is empty, and Diff detects exactly the changed,
+// added and removed locations for arbitrary snapshots.
+func TestDiffProperty(t *testing.T) {
+	build := func(keys []uint8, vals []uint8) Snapshot {
+		s := Snapshot{}
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			s["loc"+string(rune('A'+keys[i]%16))] = "SN" + string(rune('0'+vals[i]%8))
+		}
+		return s
+	}
+	f := func(k1, v1, k2, v2 []uint8) bool {
+		a := build(k1, v1)
+		b := build(k2, v2)
+		if len(Diff(a, a)) != 0 || len(Diff(b, b)) != 0 {
+			return false
+		}
+		obs := Diff(a, b)
+		// Count expected differences directly.
+		want := 0
+		for loc, sa := range a {
+			if sb, ok := b[loc]; !ok || sb != sa {
+				want++
+			}
+		}
+		for loc := range b {
+			if _, ok := a[loc]; !ok {
+				want++
+			}
+		}
+		if len(obs) != want {
+			return false
+		}
+		// Output sorted by location.
+		for i := 1; i < len(obs); i++ {
+			if obs[i-1].Location >= obs[i].Location {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package inventory
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+// WriteScan writes one daily inventory scan in the site's text format:
+// one "location<TAB>serial" line per installed component, sorted by
+// location, preceded by a header naming the scan date.
+func WriteScan(w io.Writer, day simtime.Day, snap Snapshot) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "# inventory scan %s\n", day.Time().Format("2006-01-02")); err != nil {
+		return err
+	}
+	locs := make([]string, 0, len(snap))
+	for loc := range snap {
+		locs = append(locs, loc)
+	}
+	sort.Strings(locs)
+	for _, loc := range locs {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", loc, snap[loc]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadScan parses a daily scan written by WriteScan. Malformed lines are
+// an error: scans are machine-generated, so corruption means the file is
+// untrustworthy.
+func ReadScan(r io.Reader) (simtime.Day, Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return 0, nil, fmt.Errorf("inventory: empty scan")
+	}
+	header := sc.Text()
+	var y, m, d int
+	if _, err := fmt.Sscanf(header, "# inventory scan %04d-%02d-%02d", &y, &m, &d); err != nil {
+		return 0, nil, fmt.Errorf("inventory: bad scan header %q: %w", header, err)
+	}
+	day := simtime.DayOf(time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC))
+	snap := Snapshot{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		loc, serial, ok := strings.Cut(text, "\t")
+		if !ok || loc == "" || serial == "" {
+			return 0, nil, fmt.Errorf("inventory: malformed scan line %d: %q", line, text)
+		}
+		if _, dup := snap[loc]; dup {
+			return 0, nil, fmt.Errorf("inventory: duplicate location %q at line %d", loc, line)
+		}
+		snap[loc] = serial
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	return day, snap, nil
+}
+
+// WriteScanSeries replays the history through the registry and writes one
+// scan per stride days (stride >= 1) via open, which supplies a writer for
+// each day (for example a file per scan). The first scan precedes any
+// replacement.
+func (h *History) WriteScanSeries(nodes, stride int, open func(day simtime.Day) (io.WriteCloser, error)) error {
+	if stride < 1 {
+		return fmt.Errorf("inventory: stride must be >= 1")
+	}
+	reg := NewRegistry(nodes)
+	byDay := map[simtime.Day][]Replacement{}
+	for _, rep := range h.Replacements {
+		byDay[rep.Day] = append(byDay[rep.Day], rep)
+	}
+	start := simtime.DayOf(simtime.ReplacementStart)
+	end := simtime.DayOf(simtime.ReplacementEnd)
+	emit := func(day simtime.Day) error {
+		w, err := open(day)
+		if err != nil {
+			return err
+		}
+		if err := WriteScan(w, day, reg.Snapshot()); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	}
+	if err := emit(start); err != nil {
+		return err
+	}
+	for day := start; day < end; day++ {
+		for _, rep := range byDay[day] {
+			reg.serials[rep.Location()] = rep.NewSerial
+		}
+		if offset := int(day-start) + 1; offset%stride == 0 {
+			if err := emit(day + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DiffScanSeries reads consecutive scans (in order) and tallies observed
+// replacements per component kind — the site's Table 1 derivation over the
+// raw artifacts.
+func DiffScanSeries(scans []io.Reader) ([NumKinds]int, error) {
+	var totals [NumKinds]int
+	kindOfSlot := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		for _, s := range k.Slots() {
+			kindOfSlot[s] = k
+		}
+	}
+	var prev Snapshot
+	var prevDay simtime.Day
+	for i, r := range scans {
+		day, snap, err := ReadScan(r)
+		if err != nil {
+			return totals, fmt.Errorf("inventory: scan %d: %w", i, err)
+		}
+		if prev != nil {
+			if day <= prevDay {
+				return totals, fmt.Errorf("inventory: scans out of order (%v then %v)", prevDay, day)
+			}
+			for _, obs := range Diff(prev, snap) {
+				slot := obs.Location[lastSlash(obs.Location)+1:]
+				if k, ok := kindOfSlot[slot]; ok {
+					totals[k]++
+				}
+			}
+		}
+		prev, prevDay = snap, day
+	}
+	return totals, nil
+}

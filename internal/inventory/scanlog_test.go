@@ -1,0 +1,128 @@
+package inventory
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestScanRoundTrip(t *testing.T) {
+	reg := NewRegistry(3)
+	day := simtime.DayOf(simtime.ReplacementStart)
+	var buf bytes.Buffer
+	if err := WriteScan(&buf, day, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	gotDay, snap, err := ReadScan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDay != day {
+		t.Errorf("day = %v, want %v", gotDay, day)
+	}
+	want := reg.Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot size %d, want %d", len(snap), len(want))
+	}
+	for loc, serial := range want {
+		if snap[loc] != serial {
+			t.Errorf("location %q: %q vs %q", loc, snap[loc], serial)
+		}
+	}
+}
+
+func TestReadScanRejectsCorruption(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad-header":    "not a header\nfoo\tbar\n",
+		"malformed":     "# inventory scan 2019-02-17\nno-tab-here\n",
+		"empty-serial":  "# inventory scan 2019-02-17\nloc\t\n",
+		"duplicate-loc": "# inventory scan 2019-02-17\na/cpu0\tSN1\na/cpu0\tSN2\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadScan(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: corrupt scan accepted", name)
+		}
+	}
+}
+
+// memFile collects scan bytes per day.
+type memFile struct{ buf *bytes.Buffer }
+
+func (m memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m memFile) Close() error                { return nil }
+
+func TestScanSeriesRecoverasTable1(t *testing.T) {
+	const nodes = 200
+	h, err := Generate(31, nodes, DefaultProcesses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var days []simtime.Day
+	files := map[simtime.Day]*bytes.Buffer{}
+	err = h.WriteScanSeries(nodes, 1, func(day simtime.Day) (io.WriteCloser, error) {
+		buf := &bytes.Buffer{}
+		files[day] = buf
+		days = append(days, day)
+		return memFile{buf}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(days) < 200 {
+		t.Fatalf("only %d daily scans", len(days))
+	}
+	readers := make([]io.Reader, len(days))
+	for i, d := range days {
+		readers[i] = files[d]
+	}
+	detected, err := DiffScanSeries(readers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := h.Totals()
+	for k := Kind(0); k < NumKinds; k++ {
+		if detected[k] > truth[k] || truth[k]-detected[k] > 1+truth[k]/20 {
+			t.Errorf("%v: scan series detected %d of %d", k, detected[k], truth[k])
+		}
+	}
+}
+
+func TestScanSeriesStrideAndErrors(t *testing.T) {
+	h, err := Generate(32, 50, DefaultProcesses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err = h.WriteScanSeries(50, 30, func(simtime.Day) (io.WriteCloser, error) {
+		count++
+		return memFile{&bytes.Buffer{}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 5 || count > 10 {
+		t.Errorf("30-day stride produced %d scans", count)
+	}
+	if err := h.WriteScanSeries(50, 0, nil); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestDiffScanSeriesOrderEnforced(t *testing.T) {
+	reg := NewRegistry(2)
+	var a, b bytes.Buffer
+	start := simtime.DayOf(simtime.ReplacementStart)
+	if err := WriteScan(&a, start+5, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteScan(&b, start, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiffScanSeries([]io.Reader{&a, &b}); err == nil {
+		t.Error("out-of-order scans accepted")
+	}
+}

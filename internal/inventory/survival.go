@@ -1,0 +1,160 @@
+package inventory
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/stats"
+)
+
+// SurvivalData is the component-lifetime view of a replacement history:
+// observed lifetimes for parts that failed inside the tracking window and
+// right-censored lifetimes for parts still in service at its end — the
+// input to the Kaplan-Meier and Weibull analyses (the §3.1 infant-
+// mortality discussion, quantified; cf. Levy et al.'s Cielo lifetime study
+// and Ostrouchov et al.'s Titan GPU survival analysis from the paper's
+// related work).
+type SurvivalData struct {
+	Kind Kind
+	// Times are lifetimes in days; Observed[i] is true for a failure,
+	// false for censoring at window end.
+	Times    []float64
+	Observed []bool
+	// Failures and Censored count each class.
+	Failures, Censored int
+	// DeviceDays is the total observed device-time, for MTBF.
+	DeviceDays float64
+}
+
+// Survival extracts lifetime data for one component kind from the history,
+// over nodes [0, nodes). Factory parts are installed at the start of the
+// tracking window; replacement parts at their predecessor's failure day.
+func (h *History) Survival(kind Kind, nodes int) SurvivalData {
+	start := simtime.DayOf(simtime.ReplacementStart)
+	end := simtime.DayOf(simtime.ReplacementEnd)
+	out := SurvivalData{Kind: kind}
+
+	// install tracks the in-service part per location.
+	install := map[string]simtime.Day{}
+	record := func(days float64, observed bool) {
+		out.Times = append(out.Times, days)
+		out.Observed = append(out.Observed, observed)
+		out.DeviceDays += days
+		if observed {
+			out.Failures++
+		} else {
+			out.Censored++
+		}
+	}
+	for _, rep := range h.Replacements {
+		if rep.Kind != kind {
+			continue
+		}
+		loc := rep.Location()
+		installed, ok := install[loc]
+		if !ok {
+			installed = start
+		}
+		life := float64(rep.Day - installed)
+		if life <= 0 {
+			life = 0.5 // same-day failure: half a day of service
+		}
+		record(life, true)
+		install[loc] = rep.Day
+	}
+	// Censor everything still in service: the replaced locations' current
+	// parts, plus every location never touched.
+	slots := kind.Slots()
+	totalLocations := nodes * len(slots)
+	for _, installed := range install {
+		record(float64(end-installed), false)
+	}
+	untouched := totalLocations - len(install)
+	for i := 0; i < untouched; i++ {
+		record(float64(end-start), false)
+	}
+	return out
+}
+
+// SurvivalAnalysis summarizes a component kind's reliability.
+type SurvivalAnalysis struct {
+	Data SurvivalData
+	// KM is the Kaplan-Meier survival curve over the tracking window.
+	KM []stats.KMPoint
+	// Weibull fits the observed failure lifetimes; Shape < 1 quantifies
+	// infant mortality. The fit ignores censoring (it characterizes the
+	// failures that did occur, not the population lifetime).
+	Weibull    stats.WeibullFit
+	WeibullErr error
+	// MTBFDays is total device-days divided by failures.
+	MTBFDays float64
+	// WindowSurvival is S(window length): the fraction of parts expected
+	// to survive the whole tracking window, from the KM curve.
+	WindowSurvival float64
+}
+
+// AnalyzeSurvival runs the lifetime analyses for one kind.
+func (h *History) AnalyzeSurvival(kind Kind, nodes int) SurvivalAnalysis {
+	data := h.Survival(kind, nodes)
+	a := SurvivalAnalysis{Data: data}
+	a.KM = stats.KaplanMeier(data.Times, data.Observed)
+	var failed []float64
+	for i, t := range data.Times {
+		if data.Observed[i] {
+			failed = append(failed, t)
+		}
+	}
+	a.Weibull, a.WeibullErr = stats.FitWeibull(failed)
+	a.MTBFDays = stats.MTBF(data.DeviceDays, data.Failures)
+	window := float64(simtime.DayOf(simtime.ReplacementEnd) - simtime.DayOf(simtime.ReplacementStart))
+	a.WindowSurvival = stats.SurvivalAt(a.KM, window)
+	return a
+}
+
+// ScanDetectedTotals re-derives the Table 1 totals the way the site did:
+// by replaying the ground-truth swaps through a registry, snapshotting a
+// scan every day, and diffing consecutive scans. Same-day double swaps at
+// one location collapse into a single observed replacement, so the result
+// can undercount slightly — which is exactly what scan-based accounting
+// does in the field.
+func (h *History) ScanDetectedTotals(nodes int) ([NumKinds]int, error) {
+	var out [NumKinds]int
+	if nodes <= 0 {
+		return out, fmt.Errorf("inventory: nodes = %d", nodes)
+	}
+	reg := NewRegistry(nodes)
+	byDay := map[simtime.Day][]Replacement{}
+	for _, rep := range h.Replacements {
+		byDay[rep.Day] = append(byDay[rep.Day], rep)
+	}
+	kindOfSlot := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		for _, s := range k.Slots() {
+			kindOfSlot[s] = k
+		}
+	}
+	prev := reg.Snapshot()
+	for d := simtime.DayOf(simtime.ReplacementStart); d < simtime.DayOf(simtime.ReplacementEnd); d++ {
+		for _, rep := range byDay[d] {
+			reg.serials[rep.Location()] = rep.NewSerial
+		}
+		cur := reg.Snapshot()
+		for _, obs := range Diff(prev, cur) {
+			slot := obs.Location[lastSlash(obs.Location)+1:]
+			if k, ok := kindOfSlot[slot]; ok {
+				out[k]++
+			}
+		}
+		prev = cur
+	}
+	return out, nil
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,128 @@
+package inventory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func TestSurvivalDataAccounting(t *testing.T) {
+	h, err := Generate(21, 400, DefaultProcesses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		data := h.Survival(k, 400)
+		// Every failure in the history appears exactly once.
+		want := 0
+		for _, rep := range h.Replacements {
+			if rep.Kind == k {
+				want++
+			}
+		}
+		if data.Failures != want {
+			t.Errorf("%v: failures = %d, want %d", k, data.Failures, want)
+		}
+		// Censored parts: one per location currently in service.
+		locations := 400 * len(k.Slots())
+		if data.Censored != locations {
+			t.Errorf("%v: censored = %d, want %d (one live part per location)", k, data.Censored, locations)
+		}
+		if len(data.Times) != data.Failures+data.Censored {
+			t.Errorf("%v: times length inconsistent", k)
+		}
+		for i, tt := range data.Times {
+			if tt <= 0 {
+				t.Fatalf("%v: non-positive lifetime %v at %d", k, tt, i)
+			}
+			_ = i
+		}
+		// Device-days: bounded by window * locations plus failure overlap.
+		window := float64(simtime.DayOf(simtime.ReplacementEnd) - simtime.DayOf(simtime.ReplacementStart))
+		if data.DeviceDays > window*float64(locations)+float64(data.Failures) {
+			t.Errorf("%v: device-days %v exceed window capacity", k, data.DeviceDays)
+		}
+	}
+}
+
+func TestAnalyzeSurvivalDIMMs(t *testing.T) {
+	h, err := Generate(22, topology.Nodes, DefaultProcesses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AnalyzeSurvival(DIMM, topology.Nodes)
+	if a.WeibullErr != nil {
+		t.Fatalf("Weibull fit failed: %v", a.WeibullErr)
+	}
+	// The DIMM failure-time distribution mixes a decaying infant-
+	// mortality phase with later episodes; the fitted shape must not be
+	// in the strong wear-out regime.
+	if a.Weibull.Shape > 2 {
+		t.Errorf("Weibull shape = %v, implausibly wear-out-like", a.Weibull.Shape)
+	}
+	// ~3.7% of DIMMs are replaced, so window survival should be ~96%.
+	if a.WindowSurvival < 0.93 || a.WindowSurvival > 0.99 {
+		t.Errorf("window survival = %v, want ~0.96", a.WindowSurvival)
+	}
+	if len(a.KM) == 0 {
+		t.Fatal("empty KM curve")
+	}
+	// KM is non-increasing.
+	for i := 1; i < len(a.KM); i++ {
+		if a.KM[i].Survival > a.KM[i-1].Survival {
+			t.Fatal("KM curve increased")
+		}
+	}
+	// MTBF: ~41472 DIMMs * 212 days / ~1515 failures ~= 5800 device-days.
+	if a.MTBFDays < 3000 || a.MTBFDays > 12000 {
+		t.Errorf("MTBF = %v device-days", a.MTBFDays)
+	}
+}
+
+func TestInfantMortalityShapeBelowOne(t *testing.T) {
+	// A pure infant-mortality process (single decay phase) must fit with
+	// Weibull shape < 1.
+	procs := []Process{{Kind: Motherboard, Phases: []Phase{{
+		Label: "infant mortality", Shape: ShapeDecay,
+		Start: simtime.ReplacementStart, End: simtime.ReplacementEnd,
+		Expected: 300, DecayDays: 25,
+	}}}}
+	h, err := Generate(23, topology.Nodes, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.AnalyzeSurvival(Motherboard, topology.Nodes)
+	if a.WeibullErr != nil {
+		t.Fatal(a.WeibullErr)
+	}
+	if a.Weibull.Shape >= 1 {
+		t.Errorf("infant-mortality shape = %v, want < 1 (decreasing hazard)", a.Weibull.Shape)
+	}
+}
+
+func TestScanDetectedTotalsMatchGroundTruth(t *testing.T) {
+	h, err := Generate(24, 300, DefaultProcesses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, err := h.ScanDetectedTotals(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := h.Totals()
+	for k := Kind(0); k < NumKinds; k++ {
+		// Scan diffing may collapse same-day double swaps; allow a small
+		// undercount but nothing else.
+		if detected[k] > truth[k] {
+			t.Errorf("%v: detected %d > truth %d", k, detected[k], truth[k])
+		}
+		if deficit := truth[k] - detected[k]; float64(deficit) > math.Max(2, 0.05*float64(truth[k])) {
+			t.Errorf("%v: detected %d of %d", k, detected[k], truth[k])
+		}
+	}
+	if _, err := h.ScanDetectedTotals(0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}

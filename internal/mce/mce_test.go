@@ -1,0 +1,173 @@
+package mce
+
+import (
+	"testing"
+
+	"repro/internal/faultmodel"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func sampleEvent() faultmodel.CEEvent {
+	cell := topology.CellAddr{Node: 100, Slot: 9, Rank: 1, Bank: 5, Row: 1234, Col: 77}
+	return faultmodel.CEEvent{
+		Minute:  simtime.MinuteOf(simtime.StudyStart) + 500,
+		Node:    100,
+		Addr:    topology.EncodePhysAddr(cell, 0),
+		Bit:     33,
+		FaultID: 7,
+	}
+}
+
+func TestEncodeCEFields(t *testing.T) {
+	enc := NewEncoder(1)
+	r := enc.EncodeCE(sampleEvent(), 0)
+	if r.Node != 100 || r.Slot != 9 || r.Socket != 1 || r.Rank != 1 || r.Bank != 5 || r.Col != 77 {
+		t.Errorf("coordinate fields wrong: %+v", r)
+	}
+	if r.LineBit() != topology.LineBitPosition(77, 33) {
+		t.Errorf("LineBit = %d", r.LineBit())
+	}
+	if r.Syndrome == 0 {
+		t.Error("syndrome should be nonzero for a flipped bit")
+	}
+	if r.Time.Before(simtime.StudyStart) {
+		t.Errorf("time %v before study start", r.Time)
+	}
+	sec := r.Time.Second()
+	if sec < 0 || sec > 59 {
+		t.Errorf("second %d", sec)
+	}
+}
+
+func TestRowScrambleHidesRowButIsStable(t *testing.T) {
+	enc := NewEncoder(1)
+	ev := sampleEvent()
+	r1 := enc.EncodeCE(ev, 0)
+	r2 := enc.EncodeCE(ev, 1)
+	// Stable: same (node, row) yields the same scramble and address.
+	if r1.RowRaw != r2.RowRaw || r1.Addr != r2.Addr {
+		t.Error("row scramble not stable across repeated errors")
+	}
+	// Hides: the reported row differs from the true row for almost any
+	// row; check a few.
+	hits := 0
+	for row := 0; row < 64; row++ {
+		cell := topology.CellAddr{Node: 100, Slot: 9, Rank: 1, Bank: 5, Row: row, Col: 77}
+		ev := sampleEvent()
+		ev.Addr = topology.EncodePhysAddr(cell, 0)
+		if enc.EncodeCE(ev, 0).RowRaw == row {
+			hits++
+		}
+	}
+	if hits > 3 {
+		t.Errorf("scramble leaked the true row %d/64 times", hits)
+	}
+	// The non-row coordinates of the reported address stay correct.
+	got, _, err := topology.DecodePhysAddr(100, r1.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slot != 9 || got.Rank != 1 || got.Bank != 5 || got.Col != 77 {
+		t.Errorf("reported address corrupted non-row fields: %+v", got)
+	}
+}
+
+func TestVendorBitsConsistent(t *testing.T) {
+	enc := NewEncoder(1)
+	ev := sampleEvent()
+	r1 := enc.EncodeCE(ev, 0)
+	ev2 := ev
+	ev2.Minute += 10000
+	r2 := enc.EncodeCE(ev2, 3)
+	if r1.BitPos>>9 != r2.BitPos>>9 {
+		t.Error("vendor bits not consistent for same (node, slot)")
+	}
+	if r1.BitPos>>9 == 0 {
+		t.Log("note: vendor bits zero for this (node, slot); acceptable")
+	}
+	// Different DIMM gets (almost surely) different vendor bits somewhere;
+	// scan a few slots to confirm the encoding actually varies.
+	varies := false
+	base := r1.BitPos >> 9
+	for s := topology.Slot(0); s < topology.SlotsPerNode; s++ {
+		cell := topology.CellAddr{Node: 100, Slot: s, Rank: 0, Bank: 0, Row: 0, Col: 0}
+		ev := sampleEvent()
+		ev.Addr = topology.EncodePhysAddr(cell, 0)
+		if enc.EncodeCE(ev, 0).BitPos>>9 != base {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("vendor bits identical across all slots")
+	}
+}
+
+func TestEncoderDeterministicAcrossInstances(t *testing.T) {
+	a := NewEncoder(9)
+	b := NewEncoder(9)
+	if a.EncodeCE(sampleEvent(), 0) != b.EncodeCE(sampleEvent(), 0) {
+		t.Error("same-seed encoders disagree")
+	}
+	c := NewEncoder(10)
+	if a.EncodeCE(sampleEvent(), 0).RowRaw == c.EncodeCE(sampleEvent(), 0).RowRaw {
+		t.Log("note: row scramble collision across seeds (possible but unlikely)")
+	}
+}
+
+func TestEncodeDUE(t *testing.T) {
+	enc := NewEncoder(1)
+	cell := topology.CellAddr{Node: 5, Slot: 2, Rank: 0, Bank: 3, Row: 99, Col: 11}
+	due := faultmodel.DUEEvent{
+		Minute: simtime.MinuteOf(simtime.HETStart) + 100,
+		Node:   5,
+		Addr:   topology.EncodePhysAddr(cell, 0),
+		Bits:   []uint8{3, 40},
+		Cause:  faultmodel.CauseMachineCheck,
+	}
+	r := enc.EncodeDUE(due)
+	if r.Node != 5 || r.Cause != faultmodel.CauseMachineCheck || !r.Fatal {
+		t.Errorf("DUE record wrong: %+v", r)
+	}
+	due.Cause = faultmodel.CauseUncorrectableECC
+	if enc.EncodeDUE(due).Fatal {
+		t.Error("patrol-scrub DUE should not be fatal")
+	}
+}
+
+func TestVerifyClassifications(t *testing.T) {
+	if err := VerifyCEClassification(sampleEvent()); err != nil {
+		t.Errorf("valid CE rejected: %v", err)
+	}
+	due := faultmodel.DUEEvent{Bits: []uint8{3, 40}}
+	if err := VerifyDUEClassification(due); err != nil {
+		t.Errorf("valid DUE rejected: %v", err)
+	}
+	// A single-bit "DUE" must be rejected: it would have been corrected.
+	bad := faultmodel.DUEEvent{Bits: []uint8{3}}
+	if err := VerifyDUEClassification(bad); err == nil {
+		t.Error("single-bit DUE accepted")
+	}
+}
+
+func TestGeneratedPopulationClassifiesCleanly(t *testing.T) {
+	cfg := faultmodel.DefaultConfig(3)
+	cfg.Nodes = 150
+	pop, err := faultmodel.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ce := range pop.CEs {
+		if i > 5000 {
+			break
+		}
+		if err := VerifyCEClassification(ce); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, due := range pop.DUEs {
+		if err := VerifyDUEClassification(due); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

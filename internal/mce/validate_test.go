@@ -1,0 +1,51 @@
+package mce
+
+import (
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/topology"
+)
+
+func TestValidateRecordAcceptsEncoderOutput(t *testing.T) {
+	enc := NewEncoder(5)
+	r := enc.EncodeCE(sampleEvent(), 0)
+	if err := ValidateRecord(r); err != nil {
+		t.Fatalf("encoder output rejected: %v", err)
+	}
+}
+
+func TestValidateRecordRejectsCorruption(t *testing.T) {
+	enc := NewEncoder(5)
+	good := enc.EncodeCE(sampleEvent(), 0)
+
+	corruptions := map[string]func(*CERecord){
+		"socket-flip":    func(r *CERecord) { r.Socket = 1 - r.Socket },
+		"slot-moved":     func(r *CERecord) { r.Slot = (r.Slot + 1) % topology.SlotsPerNode; r.Socket = r.Slot.Socket() },
+		"bank-moved":     func(r *CERecord) { r.Bank = (r.Bank + 1) % topology.BanksPerRank },
+		"col-moved":      func(r *CERecord) { r.Col = (r.Col + 1) % topology.ColsPerRow },
+		"addr-garbage":   func(r *CERecord) { r.Addr = topology.PhysAddr(topology.NodeMemBytes) },
+		"zero-syndrome":  func(r *CERecord) { r.Syndrome = 0 },
+		"even-syndrome":  func(r *CERecord) { r.Syndrome = 0x03 },
+		"bitpos-garbage": func(r *CERecord) { r.BitPos ^= 0x1ff },
+	}
+	for name, corrupt := range corruptions {
+		r := good
+		corrupt(&r)
+		if err := ValidateRecord(r); err == nil {
+			t.Errorf("%s: corrupt record accepted", name)
+		}
+	}
+}
+
+func TestBitForSyndromeRoundTrip(t *testing.T) {
+	for bit := 0; bit < ecc.CodeBits; bit++ {
+		s := ecc.Syndrome(ecc.FlipBit(ecc.Encode(0), bit))
+		if got := ecc.BitForSyndrome(s); got != bit {
+			t.Fatalf("BitForSyndrome(%#02x) = %d, want %d", s, got, bit)
+		}
+	}
+	if ecc.BitForSyndrome(0) != -1 {
+		t.Error("zero syndrome should map to no bit")
+	}
+}

@@ -1,0 +1,466 @@
+// Package paper encodes the quantitative claims of Ferreira et al.
+// (HPDC'22) as machine-checkable comparisons against a reproduction run.
+// Each claim carries the paper's reported value, extracts the measured
+// equivalent from a Study/Results pair, and applies a shape check — the
+// reproduction standard is "who wins, by roughly what factor, where the
+// crossovers fall", not absolute-number equality (the substrate is a
+// simulator, not the authors' machine).
+//
+// The comparison table this package produces is the source of
+// EXPERIMENTS.md (via cmd/astrareport -experiments).
+package paper
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	astra "repro"
+	"repro/internal/core"
+	"repro/internal/inventory"
+	"repro/internal/report"
+	"repro/internal/topology"
+)
+
+// Claim is one quantitative statement from the paper.
+type Claim struct {
+	// ID is a stable slug ("fig5b-top8").
+	ID string
+	// Source cites the table/figure/section.
+	Source string
+	// Statement paraphrases the claim.
+	Statement string
+	// PaperValue is the value as the paper reports it.
+	PaperValue string
+	// Measure extracts the measured value and whether the shape holds.
+	Measure func(s *astra.Study, r *astra.Results) (measured string, pass bool)
+}
+
+// Row is one evaluated comparison.
+type Row struct {
+	Claim    Claim
+	Measured string
+	Pass     bool
+}
+
+// Compare evaluates every claim against a study.
+func Compare(s *astra.Study, r *astra.Results) []Row {
+	claims := Claims()
+	rows := make([]Row, len(claims))
+	for i, c := range claims {
+		measured, pass := c.Measure(s, r)
+		rows[i] = Row{Claim: c, Measured: measured, Pass: pass}
+	}
+	return rows
+}
+
+// PassCount returns how many rows passed.
+func PassCount(rows []Row) int {
+	n := 0
+	for _, row := range rows {
+		if row.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Markdown renders the comparison as a GitHub-flavored table.
+func Markdown(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("| ID | Source | Claim | Paper | Measured | Shape holds |\n")
+	sb.WriteString("|---|---|---|---|---|---|\n")
+	for _, row := range rows {
+		verdict := "yes"
+		if !row.Pass {
+			verdict = "**NO**"
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+			row.Claim.ID, row.Claim.Source, row.Claim.Statement,
+			row.Claim.PaperValue, row.Measured, verdict)
+	}
+	fmt.Fprintf(&sb, "\n%d of %d claims hold.\n", PassCount(rows), len(rows))
+	return sb.String()
+}
+
+// between reports lo <= v <= hi.
+func between(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+// Claims returns the full claim list. Checks are calibrated for full-scale
+// runs; several concentration statistics are meaningless on tiny systems.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID: "table1-processors", Source: "Table 1", Statement: "processors replaced during stabilization",
+			PaperValue: "836 (16.1% of 5184)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				totals := s.Dataset.Inventory.Totals()
+				pop := float64(inventory.Processor.Population()) * float64(s.Options.Nodes) / float64(topology.Nodes)
+				pct := float64(totals[inventory.Processor]) / pop
+				return fmt.Sprintf("%d (%s)", totals[inventory.Processor], report.FormatPct(pct)), between(pct, 0.08, 0.26)
+			},
+		},
+		{
+			ID: "table1-motherboards", Source: "Table 1", Statement: "motherboards replaced",
+			PaperValue: "46 (1.8% of 2592)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				totals := s.Dataset.Inventory.Totals()
+				pop := float64(inventory.Motherboard.Population()) * float64(s.Options.Nodes) / float64(topology.Nodes)
+				pct := float64(totals[inventory.Motherboard]) / pop
+				return fmt.Sprintf("%d (%s)", totals[inventory.Motherboard], report.FormatPct(pct)), between(pct, 0.005, 0.04)
+			},
+		},
+		{
+			ID: "table1-dimms", Source: "Table 1", Statement: "DIMMs replaced",
+			PaperValue: "1515 (3.7% of 41472)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				totals := s.Dataset.Inventory.Totals()
+				pop := float64(inventory.DIMM.Population()) * float64(s.Options.Nodes) / float64(topology.Nodes)
+				pct := float64(totals[inventory.DIMM]) / pop
+				return fmt.Sprintf("%d (%s)", totals[inventory.DIMM], report.FormatPct(pct)), between(pct, 0.018, 0.074)
+			},
+		},
+		{
+			ID: "fig4a-total-ces", Source: "§3.2 / Fig 4a", Statement: "total correctable errors over the study window",
+			PaperValue: "4,369,731 (≈6/node/day)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				perNodeDay := float64(r.Breakdown.Total) / float64(s.Options.Nodes) / astra.StudyWindowDays()
+				return fmt.Sprintf("%s (%.1f/node/day)", report.FormatCount(float64(r.Breakdown.Total)), perNodeDay),
+					between(perNodeDay, 2, 15)
+			},
+		},
+		{
+			ID: "fig4a-mode-order", Source: "Fig 4a", Statement: "single-bit faults dominate the fault mix",
+			PaperValue: "single-bit ≫ word/column/bank",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				fm := r.Breakdown.FaultsByMode
+				return fmt.Sprintf("bit=%d word=%d col=%d bank=%d",
+						fm[core.ModeSingleBit], fm[core.ModeSingleWord], fm[core.ModeSingleColumn], fm[core.ModeSingleBank]),
+					fm[core.ModeSingleBit] > 3*fm[core.ModeSingleWord] &&
+						fm[core.ModeSingleBit] > 3*fm[core.ModeSingleColumn] &&
+						fm[core.ModeSingleBit] > 3*fm[core.ModeSingleBank]
+			},
+		},
+		{
+			ID: "fig4a-trend", Source: "§3.2 / Fig 4a", Statement: "monthly error counts trend slightly downward",
+			PaperValue: "downward trend credited to page retirement",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				// OLS on log-counts over the full months; heavy-tailed
+				// noise allows anything up to mildly positive.
+				var xs, ys []float64
+				for i, c := range r.Breakdown.AllErrors {
+					if i == 0 || i == len(r.Breakdown.AllErrors)-1 || c == 0 {
+						continue // partial boundary months
+					}
+					xs = append(xs, float64(i))
+					ys = append(ys, math.Log(float64(c)))
+				}
+				fit, err := fitOLS(xs, ys)
+				if err != nil {
+					return "insufficient data", false
+				}
+				return fmt.Sprintf("log-slope %+.2f/month", fit), fit < 0.15
+			},
+		},
+		{
+			ID: "fig4b-median", Source: "Fig 4b", Statement: "median errors per fault",
+			PaperValue: "1",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return fmt.Sprintf("%.0f", r.ErrorsPerFault.Median), r.ErrorsPerFault.Median == 1
+			},
+		},
+		{
+			ID: "fig4b-max", Source: "Fig 4b", Statement: "maximum errors from a single fault",
+			PaperValue: "≈91,000",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return report.FormatCount(float64(r.ErrorsPerFault.Max)), between(float64(r.ErrorsPerFault.Max), 2e4, 9.2e4)
+			},
+		},
+		{
+			ID: "fig5-nodes-with-ce", Source: "§3.2 / Fig 5", Statement: "fraction of nodes with ≥1 CE",
+			PaperValue: "1013 of 2592 (39.1%)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				frac := float64(r.PerNode.NodesWithErrors) / float64(s.Options.Nodes)
+				return fmt.Sprintf("%d of %d (%s)", r.PerNode.NodesWithErrors, s.Options.Nodes, report.FormatPct(frac)),
+					between(frac, 0.28, 0.52)
+			},
+		},
+		{
+			ID: "fig5b-top8", Source: "Fig 5b", Statement: "CE share of the 8 busiest nodes",
+			PaperValue: ">50%",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return report.FormatPct(r.PerNode.TopShare8), between(r.PerNode.TopShare8, 0.4, 0.85)
+			},
+		},
+		{
+			ID: "fig5b-top2pct", Source: "Fig 5b", Statement: "CE share of the top 2% of nodes",
+			PaperValue: "≈90%",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return report.FormatPct(r.PerNode.TopShare2Pct), between(r.PerNode.TopShare2Pct, 0.8, 1.0)
+			},
+		},
+		{
+			ID: "fig5a-powerlaw", Source: "Fig 5a", Statement: "faults per node follow a power law",
+			PaperValue: "power law (Clauset et al.)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				if r.PerNode.PowerLawErr != nil {
+					return "fit failed", false
+				}
+				return fmt.Sprintf("alpha=%.2f KS=%.3f", r.PerNode.PowerLaw.Alpha, r.PerNode.PowerLaw.KS),
+					r.PerNode.PowerLaw.KS < 0.1
+			},
+		},
+		{
+			ID: "fig6-socket-uniform", Source: "Fig 6d", Statement: "faults uniform across CPU sockets",
+			PaperValue: "uniform (noise-level variation)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				p := r.Structures.Socket.FaultChi2.PValue
+				return fmt.Sprintf("χ² p=%.3f", p), p > 0.01
+			},
+		},
+		{
+			ID: "fig6-bank-uniform", Source: "Fig 6e", Statement: "faults uniform across banks",
+			PaperValue: "uniform",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				p := r.Structures.Bank.FaultChi2.PValue
+				return fmt.Sprintf("χ² p=%.3f", p), p > 0.001
+			},
+		},
+		{
+			ID: "fig6-column-uniform", Source: "Fig 6f", Statement: "faults uniform across columns",
+			PaperValue: "uniform (errors are not)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				p := r.Structures.Column.FaultChi2.PValue
+				errSkew := r.Structures.Column.Divergence().TotalVariation
+				return fmt.Sprintf("χ² p=%.3f (error/fault TV=%.2f)", p, errSkew), p > 0.001
+			},
+		},
+		{
+			ID: "fig7-rank0", Source: "Fig 7b", Statement: "rank 0 experiences more faults than rank 1",
+			PaperValue: "rank 0 high",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				f := r.Structures.Rank.Faults
+				return fmt.Sprintf("%d vs %d", f[0], f[1]), f[0] > f[1]
+			},
+		},
+		{
+			ID: "fig7-slots", Source: "Fig 7d", Statement: "slots J,E,I,P hottest; A,K,L,M,N coldest",
+			PaperValue: "J,E,I,P high / A,K,L,M,N low",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				f := r.Structures.Slot.Faults
+				mean := 0.0
+				for _, c := range f {
+					mean += float64(c)
+				}
+				mean /= float64(len(f))
+				ok := true
+				for _, hot := range []int{9, 4, 8, 15} { // J,E,I,P
+					if float64(f[hot]) < mean {
+						ok = false
+					}
+				}
+				for _, cold := range []int{0, 10, 11, 12, 13} { // A,K,L,M,N
+					if float64(f[cold]) > mean {
+						ok = false
+					}
+				}
+				return fmt.Sprintf("J=%d E=%d I=%d P=%d | A=%d K=%d", f[9], f[4], f[8], f[15], f[0], f[10]), ok
+			},
+		},
+		{
+			ID: "fig8a-bit-powerlaw", Source: "Fig 8a", Statement: "faults per bit position follow a power law",
+			PaperValue: "power law",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				if r.BitAddress.BitFitErr != nil {
+					return "fit failed", false
+				}
+				return fmt.Sprintf("alpha=%.2f KS=%.3f", r.BitAddress.BitFit.Alpha, r.BitAddress.BitFit.KS),
+					r.BitAddress.BitFit.KS < 0.15
+			},
+		},
+		{
+			ID: "fig8b-addr-collisions", Source: "Fig 8b", Statement: "some address locations host many faults",
+			PaperValue: "counts up to ~10²",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				maxCount := 0
+				for _, c := range r.BitAddress.PerAddr {
+					if c > maxCount {
+						maxCount = c
+					}
+				}
+				return fmt.Sprintf("max %d faults/location", maxCount), maxCount >= 3
+			},
+		},
+		{
+			ID: "fig9-flat", Source: "§3.3 / Fig 9", Statement: "preceding-window DIMM temperature does not predict CE counts",
+			PaperValue: "no strong correlation (all 4 windows)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				worst := 0.0
+				for _, w := range r.TempWindows {
+					if w.FitErr == nil && w.Fit.R2 > worst && w.Fit.Slope > 0 {
+						worst = w.Fit.R2
+					}
+				}
+				return fmt.Sprintf("max positive-slope R²=%.2f", worst), worst < 0.5
+			},
+		},
+		{
+			ID: "fig10-region-uniform", Source: "§3.4 / Fig 10", Statement: "faulty nodes spread evenly across rack regions",
+			PaperValue: "no significant top-of-rack excess",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				p := r.Positional.RegionNodeChi2.PValue
+				n := r.Positional.RegionFaultyNodes
+				return fmt.Sprintf("%d/%d/%d (χ² p=%.2f)", n[0], n[1], n[2], p), p > 0.01
+			},
+		},
+		{
+			ID: "fig12-rack-spike", Source: "Fig 12a", Statement: "one rack's error count dwarfs the others, absent in faults",
+			PaperValue: "rack 31 >2× any other (errors only)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return fmt.Sprintf("rack %d at %.1fx runner-up", r.Positional.MaxErrorRack, r.Positional.MaxRackErrorRatio),
+					r.Positional.MaxRackErrorRatio >= 1.3
+			},
+		},
+		{
+			ID: "fig13-cpu-spread", Source: "§3.3 / Fig 13a", Statement: "CPU temperature decile spread",
+			PaperValue: "≈7 °C",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				spread := 0.0
+				for _, p := range r.TempDeciles {
+					if p.Sensor == topology.SensorCPU1 {
+						spread = p.Spread
+					}
+				}
+				return fmt.Sprintf("%.1f °C", spread), between(spread, 3.5, 10.5)
+			},
+		},
+		{
+			ID: "fig13-dimm-spread", Source: "§3.3 / Fig 13b", Statement: "DIMM temperature decile spread",
+			PaperValue: "≈4 °C",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				spread := 0.0
+				for _, p := range r.TempDeciles {
+					if p.Sensor == topology.SensorDIMMACEG {
+						spread = p.Spread
+					}
+				}
+				return fmt.Sprintf("%.1f °C", spread), between(spread, 2, 6)
+			},
+		},
+		{
+			ID: "fig13-no-trend", Source: "§3.3 / Fig 13", Statement: "no discernible CE trend across temperature deciles",
+			PaperValue: "several cold deciles have the highest rates",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				strong := 0
+				for _, p := range r.TempDeciles {
+					if p.TrendErr == nil && core.TrendStrength(p.Trend, p.Bins) > 1 {
+						strong++
+					}
+				}
+				return fmt.Sprintf("%d of %d panels show a strong positive trend", strong, len(r.TempDeciles)),
+					strong <= 1
+			},
+		},
+		{
+			ID: "fig14-power-coupling", Source: "§3.3 / Fig 14", Statement: "hot samples sit at higher power (shared utilization)",
+			PaperValue: "hot curves shifted right",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				ok := 0
+				for _, p := range r.Utilization {
+					if p.HotPowerMean > p.ColdPowerMean {
+						ok++
+					}
+				}
+				return fmt.Sprintf("%d of %d panels", ok, len(r.Utilization)), ok >= len(r.Utilization)-1
+			},
+		},
+		{
+			ID: "fig14-no-util-trend", Source: "§3.3 / Fig 14", Statement: "node power does not predict CE rates",
+			PaperValue: "no strong relationship",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				strong := 0
+				total := 0
+				for _, p := range r.Utilization {
+					for _, half := range []struct {
+						err error
+						fit float64
+					}{
+						{p.HotTrendErr, core.TrendStrength(p.HotTrend, p.Hot)},
+						{p.ColdTrendErr, core.TrendStrength(p.ColdTrend, p.Cold)},
+					} {
+						if half.err == nil {
+							total++
+							if half.fit > 1.5 {
+								strong++
+							}
+						}
+					}
+				}
+				return fmt.Sprintf("%d of %d half-panels strongly positive", strong, total), strong <= total/4
+			},
+		},
+		{
+			ID: "fig15-due-rate", Source: "§3.5", Statement: "DUE rate per DIMM-year from the HET window",
+			PaperValue: "0.00948",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return fmt.Sprintf("%.5f", r.Uncorrectable.DUEsPerDIMMYear),
+					between(r.Uncorrectable.DUEsPerDIMMYear, 0.003, 0.03)
+			},
+		},
+		{
+			ID: "fig15-fit", Source: "§3.5", Statement: "FIT per DIMM",
+			PaperValue: "≈1081",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return fmt.Sprintf("%.0f", r.Uncorrectable.FITPerDIMM),
+					between(r.Uncorrectable.FITPerDIMM, 350, 3500)
+			},
+		},
+		{
+			ID: "thermal-region", Source: "§3.4", Statement: "region mean temperatures agree",
+			PaperValue: "differences well under 1 °C",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return fmt.Sprintf("max spread %.2f °C", r.RegionTemps.MaxSpread), r.RegionTemps.MaxSpread < 1
+			},
+		},
+		{
+			ID: "thermal-rack", Source: "§3.4", Statement: "rack-to-rack mean temperature spread",
+			PaperValue: "< ~4.2 °C",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				return fmt.Sprintf("max spread %.2f °C", r.RackTemps.MaxSpread), r.RackTemps.MaxSpread < 4.2
+			},
+		},
+		{
+			ID: "edac-loss", Source: "§2.3", Statement: "limited CE log space drops some errors; DUEs are never lost",
+			PaperValue: "CEs may be dropped (unquantified)",
+			Measure: func(s *astra.Study, r *astra.Results) (string, bool) {
+				lf := s.Dataset.EdacStats.LossFraction()
+				duesIntact := len(s.Dataset.DUERecords) == len(s.Dataset.Pop.DUEs)
+				return fmt.Sprintf("%.1f%% of CEs lost; DUEs intact=%v", 100*lf, duesIntact),
+					lf > 0 && lf < 0.3 && duesIntact
+			},
+		},
+	}
+}
+
+// fitOLS returns just the slope of an OLS fit (tiny local helper to avoid
+// exporting more of stats here).
+func fitOLS(xs, ys []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("paper: insufficient data")
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(len(xs)), sy/float64(len(xs))
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+		sxy += (xs[i] - mx) * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, fmt.Errorf("paper: degenerate x")
+	}
+	return sxy / sxx, nil
+}

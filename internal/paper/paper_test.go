@@ -1,0 +1,84 @@
+package paper
+
+import (
+	"strings"
+	"testing"
+
+	astra "repro"
+)
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Source == "" || c.Statement == "" || c.PaperValue == "" || c.Measure == nil {
+			t.Errorf("claim %+v incomplete", c.ID)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim ID %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(seen) < 25 {
+		t.Errorf("only %d claims; the evaluation has more content", len(seen))
+	}
+}
+
+func TestCompareSmallScale(t *testing.T) {
+	study, err := astra.Run(astra.Options{Seed: 1, Nodes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Compare(study, study.Analyze())
+	if len(rows) != len(Claims()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Claims()))
+	}
+	for _, row := range rows {
+		if row.Measured == "" {
+			t.Errorf("%s: empty measurement", row.Claim.ID)
+		}
+	}
+	// Even at reduced scale, the bulk of the shape claims hold.
+	if pass := PassCount(rows); float64(pass) < 0.7*float64(len(rows)) {
+		for _, row := range rows {
+			if !row.Pass {
+				t.Logf("failed: %s = %s", row.Claim.ID, row.Measured)
+			}
+		}
+		t.Errorf("only %d of %d claims hold at 600 nodes", pass, len(rows))
+	}
+}
+
+func TestCompareFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale comparison skipped in -short mode")
+	}
+	study, err := astra.Run(astra.Options{Seed: 1, Nodes: astra.FullScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Compare(study, study.Analyze())
+	var failed []string
+	for _, row := range rows {
+		if !row.Pass {
+			failed = append(failed, row.Claim.ID+" = "+row.Measured)
+		}
+	}
+	// At full scale every claim must hold: this is the reproduction bar.
+	if len(failed) > 0 {
+		t.Errorf("%d claims failed at full scale:\n%s", len(failed), strings.Join(failed, "\n"))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	rows := []Row{
+		{Claim: Claim{ID: "x", Source: "s", Statement: "st", PaperValue: "1"}, Measured: "2", Pass: true},
+		{Claim: Claim{ID: "y", Source: "s", Statement: "st", PaperValue: "1"}, Measured: "9", Pass: false},
+	}
+	md := Markdown(rows)
+	if !strings.Contains(md, "| x |") || !strings.Contains(md, "**NO**") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	if !strings.Contains(md, "1 of 2 claims hold") {
+		t.Errorf("summary missing:\n%s", md)
+	}
+}

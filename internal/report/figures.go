@@ -1,0 +1,471 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/envmodel"
+	"repro/internal/het"
+	"repro/internal/inventory"
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Table1 renders the component-replacement tally (paper Table 1).
+func Table1(h *inventory.History, nodes int) string {
+	t := NewTable("Table 1: component replacements (Feb 17 - Sep 17, 2019)",
+		"Component", "Number Replaced", "Percent of Total")
+	totals := h.Totals()
+	scale := float64(nodes) / float64(topology.Nodes)
+	for k := inventory.Kind(0); k < inventory.NumKinds; k++ {
+		pop := float64(k.Population()) * scale
+		t.AddRow(k.String(), FormatCount(float64(totals[k])),
+			fmt.Sprintf("%s of %s", FormatPct(float64(totals[k])/pop), FormatCount(pop)))
+	}
+	return t.String()
+}
+
+// Survival renders the component-lifetime analysis that extends Table 1:
+// Kaplan-Meier window survival, the Weibull hazard-shape verdict, and
+// MTBF per component kind.
+func Survival(h *inventory.History, nodes int) string {
+	t := NewTable("Component survival analysis (extension of Table 1)",
+		"Component", "Failures", "MTBF (device-days)", "Window survival", "Weibull shape", "Hazard verdict")
+	for k := inventory.Kind(0); k < inventory.NumKinds; k++ {
+		a := h.AnalyzeSurvival(k, nodes)
+		shape, verdict := "-", "-"
+		if a.WeibullErr == nil {
+			shape = fmt.Sprintf("%.2f", a.Weibull.Shape)
+			switch {
+			case a.Weibull.Shape < 0.9:
+				verdict = "infant mortality (decreasing hazard)"
+			case a.Weibull.Shape > 1.1:
+				verdict = "wear-out (increasing hazard)"
+			default:
+				verdict = "memoryless (steady-state)"
+			}
+		}
+		t.AddRow(k.String(),
+			FormatCount(float64(a.Data.Failures)),
+			FormatCount(a.MTBFDays),
+			FormatPct(a.WindowSurvival),
+			shape, verdict)
+	}
+	return t.String()
+}
+
+// Figure2 renders the sensor-value histograms (paper Fig 2) from sampled
+// telemetry: CPU temperature, DIMM temperature and node DC power.
+func Figure2(env *envmodel.Model, nodes int, seed uint64) string {
+	rng := simrand.NewStream(seed).Derive("fig2-sampling")
+	cpu := stats.NewHistogram(40, 100, 12)
+	dimm := stats.NewHistogram(28, 60, 8)
+	power := stats.NewHistogram(100, 500, 8)
+	start := simtime.MinuteOf(simtime.EnvStart)
+	span := int64(simtime.MinuteOf(simtime.EnvEnd) - start)
+	const samples = 30000
+	for i := 0; i < samples; i++ {
+		node := topology.NodeID(rng.IntN(nodes))
+		m := start + simtime.Minute(rng.Int64N(span))
+		if v, ok := env.Sample(node, topology.SensorCPU1, m); ok {
+			cpu.Add(v)
+		}
+		if v, ok := env.Sample(node, topology.SensorDIMMJLNP, m); ok {
+			dimm.Add(v)
+		}
+		if v, ok := env.Sample(node, topology.SensorDCPower, m); ok {
+			power.Add(v)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 2: sensor value distributions (May 20 - Sep 19)\n")
+	for _, h := range []struct {
+		name string
+		hist *stats.Histogram
+		unit string
+	}{
+		{"(a) CPU temperature", cpu, "°C"},
+		{"(b) DIMM temperature", dimm, "°C"},
+		{"(c) node DC power", power, "W"},
+	} {
+		labels := make([]string, len(h.hist.Counts))
+		values := make([]float64, len(h.hist.Counts))
+		for i, c := range h.hist.Counts {
+			labels[i] = fmt.Sprintf("%.0f%s", h.hist.BinCenter(i), h.unit)
+			values[i] = float64(c)
+		}
+		sb.WriteString(Bars(h.name, labels, values))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure3 renders the daily replacement series (paper Fig 3) as weekly
+// sums for readability.
+func Figure3(h *inventory.History) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: hardware replacements per week\n")
+	for k := inventory.Kind(0); k < inventory.NumKinds; k++ {
+		daily := h.DailyCounts(k)
+		weekly := map[int]int{}
+		for _, d := range SortedKeys(daily) {
+			weekly[int(d)/7] += daily[d]
+		}
+		weeks := SortedKeys(weekly)
+		labels := make([]string, len(weeks))
+		values := make([]float64, len(weeks))
+		for i, w := range weeks {
+			labels[i] = simtime.Day(w * 7).Time().Format("Jan 02")
+			values[i] = float64(weekly[w])
+		}
+		sb.WriteString(Bars(fmt.Sprintf("(%c) %s", 'a'+int(k), k), labels, values))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Figure4a renders the monthly error and fault-mode series.
+func Figure4a(b core.ModeBreakdown) string {
+	t := NewTable("Figure 4a: errors and fault modes by month",
+		"Month", "All Errors", "single-bit", "single-word", "single-column", "single-bank")
+	for i, mk := range b.Months {
+		t.AddRow(simtime.MonthLabel(mk),
+			FormatCount(float64(b.AllErrors[i])),
+			FormatCount(float64(b.ByMode[core.ModeSingleBit][i])),
+			FormatCount(float64(b.ByMode[core.ModeSingleWord][i])),
+			FormatCount(float64(b.ByMode[core.ModeSingleColumn][i])),
+			FormatCount(float64(b.ByMode[core.ModeSingleBank][i])))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "total CEs: %s; errors by mode: bit=%s word=%s column=%s bank=%s\n",
+		FormatCount(float64(b.Total)),
+		FormatCount(float64(b.ErrorsByMode[core.ModeSingleBit])),
+		FormatCount(float64(b.ErrorsByMode[core.ModeSingleWord])),
+		FormatCount(float64(b.ErrorsByMode[core.ModeSingleColumn])),
+		FormatCount(float64(b.ErrorsByMode[core.ModeSingleBank])))
+	return sb.String()
+}
+
+// Figure4b renders the errors-per-fault distribution (the violin of
+// Fig 4b) as quantiles.
+func Figure4b(d core.ErrorsPerFault) string {
+	t := NewTable("Figure 4b: errors per fault", "Statistic", "Value")
+	t.AddRow("faults", FormatCount(float64(len(d.Counts))))
+	t.AddRow("median", FormatCount(d.Median))
+	t.AddRow("mean", FormatCount(d.Mean))
+	t.AddRow("p90", FormatCount(d.Summary.Q3)) // quartile + quantiles below
+	if len(d.Counts) > 0 {
+		t.AddRow("p99", FormatCount(stats.Quantile(stats.CountsToFloats(d.Counts), 0.99)))
+	}
+	t.AddRow("max", FormatCount(float64(d.Max)))
+	return t.String()
+}
+
+// Figure5 renders the per-node concentration analysis.
+func Figure5(pn core.PerNode, totalNodes int) string {
+	var sb strings.Builder
+	t := NewTable("Figure 5: correctable errors and faults per node", "Statistic", "Value")
+	t.AddRow("nodes with >= 1 CE", fmt.Sprintf("%d of %d (%s)",
+		pn.NodesWithErrors, totalNodes, FormatPct(float64(pn.NodesWithErrors)/float64(totalNodes))))
+	t.AddRow("CE share of top 8 nodes", FormatPct(pn.TopShare8))
+	t.AddRow("CE share of top 2% of nodes", FormatPct(pn.TopShare2Pct))
+	if pn.PowerLawErr == nil {
+		t.AddRow("faults/node power-law alpha", fmt.Sprintf("%.2f (KS %.3f)", pn.PowerLaw.Alpha, pn.PowerLaw.KS))
+	}
+	sb.WriteString(t.String())
+	// Fig 5a histogram: fault count -> number of nodes.
+	keys := pn.FaultHistogram.SortedCounts()
+	labels := make([]string, 0, len(keys))
+	values := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		if len(labels) >= 12 {
+			break
+		}
+		labels = append(labels, strconv.Itoa(k)+" faults")
+		values = append(values, float64(pn.FaultHistogram[k]))
+	}
+	sb.WriteString(Bars("(a) nodes by fault count", labels, values))
+	return sb.String()
+}
+
+// structurePair renders one error/fault bar pair of Figs 6, 7, 10.
+func structurePair(name string, sc core.StructureCounts) string {
+	var sb strings.Builder
+	sb.WriteString(Bars(name+" — errors", sc.Labels, stats.CountsToFloats(sc.Errors)))
+	sb.WriteString(Bars(name+" — faults", sc.Labels, stats.CountsToFloats(sc.Faults)))
+	fmt.Fprintf(&sb, "uniformity (faults): chi2=%.1f p=%.3f; (errors): chi2=%.1f p=%.3g\n",
+		sc.FaultChi2.Statistic, sc.FaultChi2.PValue, sc.ErrorChi2.Statistic, sc.ErrorChi2.PValue)
+	div := sc.Divergence()
+	fmt.Fprintf(&sb, "errors-vs-faults divergence: TV=%.2f rank-corr=%.2f\n\n",
+		div.TotalVariation, div.RankCorrelation)
+	return sb.String()
+}
+
+// Figure6 renders the socket/bank/column error and fault distributions.
+func Figure6(s core.Structures) string {
+	return "Figure 6: errors vs faults per CPU socket, bank, column\n" +
+		structurePair("socket", s.Socket) +
+		structurePair("bank", s.Bank) +
+		structurePair("column (binned)", s.Column)
+}
+
+// Figure7 renders the rank and DIMM-slot distributions.
+func Figure7(s core.Structures) string {
+	return "Figure 7: errors vs faults per rank and DIMM slot\n" +
+		structurePair("rank", s.Rank) +
+		structurePair("slot", s.Slot)
+}
+
+// Figure8 renders the bit-position and physical-address fault-count
+// distributions.
+func Figure8(ba core.BitAddress) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8: faults per cache-line bit position and physical address\n")
+	render := func(name string, h stats.CountHistogram, fit stats.PowerLawFit, fitErr error) {
+		keys := h.SortedCounts()
+		var labels []string
+		var values []float64
+		for _, k := range keys {
+			if len(labels) >= 10 {
+				break
+			}
+			labels = append(labels, fmt.Sprintf("count=%d", k))
+			values = append(values, float64(h[k]))
+		}
+		sb.WriteString(Bars(name+" (locations by fault count)", labels, values))
+		if fitErr == nil {
+			fmt.Fprintf(&sb, "power-law fit: alpha=%.2f KS=%.3f\n\n", fit.Alpha, fit.KS)
+		} else {
+			fmt.Fprintf(&sb, "power-law fit unavailable: %v\n\n", fitErr)
+		}
+	}
+	render("(a) bit positions", ba.BitHistogram, ba.BitFit, ba.BitFitErr)
+	render("(b) physical addresses", ba.AddrHistogram, ba.AddrFit, ba.AddrFitErr)
+	return sb.String()
+}
+
+// Figure9 renders the temperature-window linear fits.
+func Figure9(windows []core.TempWindow) string {
+	t := NewTable("Figure 9: CE count vs mean DIMM temperature over preceding window",
+		"Window", "Slope (CE/°C)", "Intercept", "R²", "Verdict")
+	for _, w := range windows {
+		name := fmt.Sprintf("%dh", w.WindowMinutes/60)
+		switch w.WindowMinutes {
+		case simtime.MinutesPerDay:
+			name = "1 day"
+		case simtime.MinutesPerWeek:
+			name = "1 week"
+		case simtime.MinutesPerMonth:
+			name = "1 month"
+		case simtime.MinutesPerHour:
+			name = "1 hour"
+		}
+		if w.FitErr != nil {
+			t.AddRow(name, "-", "-", "-", fmt.Sprintf("fit failed: %v", w.FitErr))
+			continue
+		}
+		verdict := "no strong correlation"
+		if w.Fit.R2 > 0.5 && w.Fit.Slope > 0 {
+			verdict = "positive correlation"
+		}
+		t.AddRow(name, fmt.Sprintf("%.1f", w.Fit.Slope), fmt.Sprintf("%.1f", w.Fit.Intercept),
+			fmt.Sprintf("%.3f", w.Fit.R2), verdict)
+	}
+	return t.String()
+}
+
+// Figure10 renders errors and faults by rack region.
+func Figure10(p core.Positional) string {
+	labels := []string{"bottom", "middle", "top"}
+	var sb strings.Builder
+	sb.WriteString("Figure 10: errors and faults by rack region\n")
+	sb.WriteString(Bars("errors", labels, []float64{
+		float64(p.RegionErrors[0]), float64(p.RegionErrors[1]), float64(p.RegionErrors[2])}))
+	sb.WriteString(Bars("faults", labels, []float64{
+		float64(p.RegionFaults[0]), float64(p.RegionFaults[1]), float64(p.RegionFaults[2])}))
+	fmt.Fprintf(&sb, "fault-count uniformity: chi2=%.1f p=%.3g (over-rejects: faults cluster on nodes)\n",
+		p.RegionFaultChi2.Statistic, p.RegionFaultChi2.PValue)
+	fmt.Fprintf(&sb, "faulty nodes per region: %d / %d / %d; uniformity chi2=%.1f p=%.3f\n",
+		p.RegionFaultyNodes[0], p.RegionFaultyNodes[1], p.RegionFaultyNodes[2],
+		p.RegionNodeChi2.Statistic, p.RegionNodeChi2.PValue)
+	return sb.String()
+}
+
+// Figure11 renders the per-rack region fault shares.
+func Figure11(p core.Positional) string {
+	t := NewTable("Figure 11: fault share per region by rack", "Rack", "Bottom", "Middle", "Top")
+	for rack, shares := range p.RegionShareByRack {
+		if shares[0]+shares[1]+shares[2] == 0 {
+			continue
+		}
+		t.AddRow(strconv.Itoa(rack), FormatPct(shares[0]), FormatPct(shares[1]), FormatPct(shares[2]))
+	}
+	return t.String()
+}
+
+// Figure12 renders errors and faults by rack.
+func Figure12(p core.Positional) string {
+	labels := make([]string, topology.Racks)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("rack %02d", i)
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 12: errors and faults by rack\n")
+	sb.WriteString(Bars("errors", labels, stats.CountsToFloats(p.RackErrors)))
+	sb.WriteString(Bars("faults", labels, stats.CountsToFloats(p.RackFaults)))
+	fmt.Fprintf(&sb, "busiest rack: %d (%.1fx the runner-up); fault uniformity: chi2=%.1f p=%.3f\n",
+		p.MaxErrorRack, p.MaxRackErrorRatio, p.RackFaultChi2.Statistic, p.RackFaultChi2.PValue)
+	return sb.String()
+}
+
+// Figure13 renders the temperature-decile panels.
+func Figure13(panels []core.DecilePanel) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13: monthly CE rate by temperature decile\n")
+	for _, p := range panels {
+		t := NewTable(fmt.Sprintf("sensor %s (decile spread %.1f °C)", p.Sensor, p.Spread),
+			"Decile max °C", "Mean monthly CEs")
+		for _, b := range p.Bins {
+			t.AddRow(fmt.Sprintf("%.1f", b.MaxKey), fmt.Sprintf("%.2f", b.MeanValue))
+		}
+		sb.WriteString(t.String())
+		if p.TrendErr == nil {
+			fmt.Fprintf(&sb, "verdict: %s\n\n", core.DescribeTrend(p.Trend, p.Bins))
+		} else {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// Figure14 renders the utilization (power) panels with hot/cold splits.
+func Figure14(panels []core.UtilizationPanel) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 14: monthly CE rate vs node power, split by sensor temperature\n")
+	for _, p := range panels {
+		fmt.Fprintf(&sb, "sensor %s: hot mean power %.0f W, cold mean power %.0f W\n",
+			p.Sensor, p.HotPowerMean, p.ColdPowerMean)
+		if p.HotTrendErr == nil {
+			fmt.Fprintf(&sb, "  hot:  %s\n", core.DescribeTrend(p.HotTrend, p.Hot))
+		}
+		if p.ColdTrendErr == nil {
+			fmt.Fprintf(&sb, "  cold: %s\n", core.DescribeTrend(p.ColdTrend, p.Cold))
+		}
+	}
+	return sb.String()
+}
+
+// FaultRates renders the per-mode FIT table in the units of the field
+// studies the paper builds on (Sridharan & Liberty et al.).
+func FaultRates(r core.FaultRates) string {
+	t := NewTable("Correctable-fault rates (FIT per DIMM)", "Mode", "FIT/DIMM")
+	for m := core.FaultMode(0); m < core.NumFaultModes; m++ {
+		if r.PerMode[m] == 0 {
+			continue
+		}
+		t.AddRow(m.String(), fmt.Sprintf("%.0f", r.PerMode[m]))
+	}
+	t.AddRow("total", fmt.Sprintf("%.0f", r.Total))
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "faulty DIMMs: %s over %s device-hours\n",
+		FormatCount(float64(r.FaultyDIMMs)), FormatCount(r.DeviceHours))
+	return sb.String()
+}
+
+// Precursors renders the DUE-precursor analysis.
+func Precursors(p core.Precursors) string {
+	var sb strings.Builder
+	sb.WriteString("DUE precursors (do correctable faults warn of uncorrectable errors?)\n")
+	fmt.Fprintf(&sb, "DUEs with prior CE fault on the same DIMM: %d of %d (%s)\n",
+		p.WithPriorFault, p.DUEs, FormatPct(p.Fraction))
+	fmt.Fprintf(&sb, "chance level (fraction of DIMMs with any fault): %s -> lift %.1fx\n",
+		FormatPct(p.BaselineFraction), p.Lift)
+	if p.MedianLeadDays > 0 {
+		fmt.Fprintf(&sb, "median warning time: %.1f days\n", p.MedianLeadDays)
+	}
+	return sb.String()
+}
+
+// Thermal renders the §3.4 thermal-uniformity tables the paper describes
+// but omits for space: region means per sensor and the rack-to-rack
+// spread.
+func Thermal(region core.RegionTemps, rack core.RackTemps) string {
+	t := NewTable("Thermal uniformity (§3.4, data the paper omitted for space)",
+		"Sensor", "Bottom °C", "Middle °C", "Top °C")
+	for _, sensor := range topology.TemperatureSensors() {
+		m := region.Mean[sensor]
+		t.AddRow(sensor.String(),
+			fmt.Sprintf("%.2f", m[0]), fmt.Sprintf("%.2f", m[1]), fmt.Sprintf("%.2f", m[2]))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "max region spread: %.2f °C (paper: well under 1 °C)\n", region.MaxSpread)
+	fmt.Fprintf(&sb, "max rack-to-rack spread: %.2f °C (paper: under ~4.2 °C)\n", rack.MaxSpread)
+	return sb.String()
+}
+
+// ModeStability renders the per-month new-fault mode mix.
+func ModeStability(ms core.ModeStability) string {
+	t := NewTable("New-fault mode mix by month (Siddiqua-style stability check)",
+		"Month", "single-bit", "single-word", "single-column", "single-bank")
+	for i, mk := range ms.Months {
+		row := ms.NewFaults[i]
+		t.AddRow(simtime.MonthLabel(mk),
+			FormatCount(float64(row[core.ModeSingleBit])),
+			FormatCount(float64(row[core.ModeSingleWord])),
+			FormatCount(float64(row[core.ModeSingleColumn])),
+			FormatCount(float64(row[core.ModeSingleBank])))
+	}
+	var sb strings.Builder
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "max month-to-month share drift: %.2f (small = stable mix)\n", ms.MaxShareDrift)
+	return sb.String()
+}
+
+// Interarrivals renders the within-fault error-gap distribution.
+func Interarrivals(ia core.Interarrivals) string {
+	var sb strings.Builder
+	sb.WriteString("Within-fault error inter-arrival gaps (burstiness behind CE log loss)\n")
+	fmt.Fprintf(&sb, "faults measured: %d; gaps sampled: %s\n",
+		ia.FaultsMeasured, FormatCount(float64(len(ia.Gaps))))
+	if len(ia.Gaps) > 0 {
+		fmt.Fprintf(&sb, "median gap %.1f min, mean %.1f min, p90 %.1f min\n",
+			ia.Summary.Median, ia.Summary.Mean, ia.Summary.Q3)
+		fmt.Fprintf(&sb, "sub-minute gaps: %s (these are what overflow the CE log)\n",
+			FormatPct(ia.SubMinuteFrac))
+	}
+	return sb.String()
+}
+
+// Figure15 renders the HET analysis and the DUE/FIT rates.
+func Figure15(u core.Uncorrectable) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 15: Hardware Event Tracker records\n")
+	if !u.First.IsZero() {
+		fmt.Fprintf(&sb, "window: %s .. %s\n", u.First.Format("2006-01-02"), u.Last.Format("2006-01-02"))
+	}
+	t := NewTable("(a) events by type", "Type", "Total", "Peak day")
+	for et, daily := range u.DailyByType {
+		total, peak := 0, 0
+		for _, c := range daily {
+			total += c
+			if c > peak {
+				peak = c
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%v", het.EventType(et)), FormatCount(float64(total)), FormatCount(float64(peak)))
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "(b) memory DUEs: %d; rate %.5f DUEs/DIMM/year; FIT/DIMM %.0f\n",
+		u.DUEs, u.DUEsPerDIMMYear, u.FITPerDIMM)
+	return sb.String()
+}

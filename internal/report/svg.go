@@ -1,0 +1,215 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/inventory"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/svgplot"
+	"repro/internal/topology"
+)
+
+// SVGFigures renders the evaluation's figures as standalone SVG documents,
+// keyed by file-name-friendly figure IDs ("fig4a", "fig7-slot", ...).
+// The inputs mirror the text renderers; figures whose inputs are absent
+// are simply omitted.
+type SVGInputs struct {
+	Breakdown   *core.ModeBreakdown
+	PerNode     *core.PerNode
+	Structures  *core.Structures
+	BitAddress  *core.BitAddress
+	TempWindows []core.TempWindow
+	Positional  *core.Positional
+	TempDeciles []core.DecilePanel
+	Inventory   *inventory.History
+}
+
+// SVGFigures renders every figure with available inputs.
+func SVGFigures(in SVGInputs) map[string]string {
+	out := map[string]string{}
+	if in.Breakdown != nil {
+		out["fig4a-monthly-errors"] = svgFig4a(*in.Breakdown)
+	}
+	if in.PerNode != nil {
+		out["fig5a-faults-per-node"] = svgFig5a(*in.PerNode)
+		out["fig5b-node-cdf"] = svgFig5b(*in.PerNode)
+	}
+	if in.Structures != nil {
+		s := *in.Structures
+		out["fig6-socket"] = svgStructure("Fig 6a/6d: socket", s.Socket)
+		out["fig6-bank"] = svgStructure("Fig 6b/6e: bank", s.Bank)
+		out["fig6-column"] = svgStructure("Fig 6c/6f: column (binned)", s.Column)
+		out["fig7-rank"] = svgStructure("Fig 7a/7b: rank", s.Rank)
+		out["fig7-slot"] = svgStructure("Fig 7c/7d: DIMM slot", s.Slot)
+	}
+	if in.BitAddress != nil {
+		out["fig8a-bit-positions"] = svgCountHistogram("Fig 8a: faults per bit position", in.BitAddress.BitHistogram)
+		out["fig8b-addresses"] = svgCountHistogram("Fig 8b: faults per address location", in.BitAddress.AddrHistogram)
+	}
+	for _, w := range in.TempWindows {
+		out[fmt.Sprintf("fig9-window-%dm", w.WindowMinutes)] = svgFig9(w)
+	}
+	if in.Positional != nil {
+		out["fig10-region"] = svgRegion(*in.Positional)
+		out["fig12-rack"] = svgRack(*in.Positional)
+	}
+	if len(in.TempDeciles) > 0 {
+		out["fig13-deciles"] = svgFig13(in.TempDeciles)
+	}
+	if in.Inventory != nil {
+		out["fig3-replacements"] = svgFig3(in.Inventory)
+	}
+	return out
+}
+
+func svgFig4a(b core.ModeBreakdown) string {
+	labels := make([]string, len(b.Months))
+	for i, mk := range b.Months {
+		labels[i] = simtime.MonthLabel(mk)
+	}
+	series := []svgplot.Series{{Name: "all errors", Values: stats.CountsToFloats(b.AllErrors)}}
+	for _, m := range []core.FaultMode{core.ModeSingleBit, core.ModeSingleWord, core.ModeSingleColumn, core.ModeSingleBank} {
+		series = append(series, svgplot.Series{Name: m.String(), Values: stats.CountsToFloats(b.ByMode[m])})
+	}
+	return svgplot.Lines("Fig 4a: errors and fault modes by month", "errors", labels, series, true)
+}
+
+func svgFig5a(pn core.PerNode) string {
+	keys := pn.FaultHistogram.SortedCounts()
+	var labels []string
+	var values []float64
+	for _, k := range keys {
+		if len(labels) >= 20 {
+			break
+		}
+		labels = append(labels, strconv.Itoa(k))
+		values = append(values, float64(pn.FaultHistogram[k]))
+	}
+	return svgplot.Bars("Fig 5a: nodes by fault count", "nodes", labels, values)
+}
+
+func svgFig5b(pn core.PerNode) string {
+	n := len(pn.Lorenz)
+	step := 1
+	if n > 400 {
+		step = n / 400
+	}
+	var labels []string
+	var values []float64
+	for i := 0; i < n; i += step {
+		labels = append(labels, strconv.Itoa(i))
+		values = append(values, pn.Lorenz[i])
+	}
+	return svgplot.Lines("Fig 5b: cumulative CE share by node rank", "share of CEs", labels,
+		[]svgplot.Series{{Name: "CE share", Values: values}}, false)
+}
+
+func svgStructure(title string, sc core.StructureCounts) string {
+	return svgplot.GroupedBars(title, "count", sc.Labels, []svgplot.Series{
+		{Name: "errors", Values: stats.CountsToFloats(sc.Errors)},
+		{Name: "faults", Values: stats.CountsToFloats(sc.Faults)},
+	})
+}
+
+func svgCountHistogram(title string, h stats.CountHistogram) string {
+	keys := h.SortedCounts()
+	var labels []string
+	var values []float64
+	for _, k := range keys {
+		if len(labels) >= 24 {
+			break
+		}
+		labels = append(labels, strconv.Itoa(k))
+		values = append(values, float64(h[k]))
+	}
+	return svgplot.Bars(title+" (locations per count)", "locations", labels, values)
+}
+
+func svgFig9(w core.TempWindow) string {
+	var xs, ys []float64
+	for i, c := range w.Counts {
+		if c == 0 {
+			continue
+		}
+		xs = append(xs, w.BinLo+float64(i)+0.5)
+		ys = append(ys, float64(c))
+	}
+	title := fmt.Sprintf("Fig 9: CEs vs mean DIMM temp over preceding %s", windowName(w.WindowMinutes))
+	return svgplot.Scatter(title, "mean temperature °C", "CE count", xs, ys,
+		w.Fit.Intercept, w.Fit.Slope, w.FitErr == nil)
+}
+
+func windowName(minutes int64) string {
+	switch minutes {
+	case simtime.MinutesPerHour:
+		return "hour"
+	case simtime.MinutesPerDay:
+		return "day"
+	case simtime.MinutesPerWeek:
+		return "week"
+	case simtime.MinutesPerMonth:
+		return "month"
+	default:
+		return fmt.Sprintf("%d min", minutes)
+	}
+}
+
+func svgRegion(p core.Positional) string {
+	labels := []string{"bottom", "middle", "top"}
+	return svgplot.GroupedBars("Fig 10: errors and faults by rack region", "count", labels, []svgplot.Series{
+		{Name: "errors", Values: []float64{float64(p.RegionErrors[0]), float64(p.RegionErrors[1]), float64(p.RegionErrors[2])}},
+		{Name: "faults", Values: []float64{float64(p.RegionFaults[0]), float64(p.RegionFaults[1]), float64(p.RegionFaults[2])}},
+	})
+}
+
+func svgRack(p core.Positional) string {
+	labels := make([]string, topology.Racks)
+	for i := range labels {
+		labels[i] = strconv.Itoa(i)
+	}
+	return svgplot.GroupedBars("Fig 12: errors and faults by rack", "count", labels, []svgplot.Series{
+		{Name: "errors", Values: stats.CountsToFloats(p.RackErrors)},
+		{Name: "faults", Values: stats.CountsToFloats(p.RackFaults)},
+	})
+}
+
+func svgFig13(panels []core.DecilePanel) string {
+	var series []svgplot.Series
+	var labels []string
+	for _, p := range panels {
+		var values []float64
+		for i, b := range p.Bins {
+			values = append(values, b.MeanValue)
+			if len(labels) < len(p.Bins) {
+				labels = append(labels, fmt.Sprintf("d%d", i+1))
+			}
+		}
+		series = append(series, svgplot.Series{Name: p.Sensor.String(), Values: values})
+	}
+	return svgplot.Lines("Fig 13: monthly CE rate by temperature decile", "mean monthly CEs", labels, series, false)
+}
+
+func svgFig3(h *inventory.History) string {
+	var series []svgplot.Series
+	var labels []string
+	for k := inventory.Kind(0); k < inventory.NumKinds; k++ {
+		daily := h.DailyCounts(k)
+		weekly := map[int]int{}
+		for _, d := range SortedKeys(daily) {
+			weekly[int(d)/7] += daily[d]
+		}
+		weeks := SortedKeys(weekly)
+		var values []float64
+		for i, w := range weeks {
+			values = append(values, float64(weekly[w]))
+			if len(labels) <= i {
+				labels = append(labels, simtime.Day(w*7).Time().Format("Jan 02"))
+			}
+		}
+		series = append(series, svgplot.Series{Name: k.String(), Values: values})
+	}
+	return svgplot.Lines("Fig 3: weekly hardware replacements", "replacements", labels, series, false)
+}

@@ -1,0 +1,134 @@
+// Package scrub models the memory controller's patrol scrubber and the
+// resulting fault-detection latency. A DRAM fault is dormant until
+// something reads the affected word (§2.1: faults can be active or
+// dormant); detection happens either on a demand access — at a rate set by
+// how hot the page is — or when the patrol scrubber's linear sweep reaches
+// the address. The scrub period therefore bounds the worst-case latency
+// between a fault becoming active and its first correctable error, which
+// in turn bounds how stale the paper's fault-activity windows (Fault.First
+// in the clustering) can be.
+//
+// The package is used by the detection-latency ablation bench and the
+// fleet-monitor example; the headline fault model folds detection latency
+// into its empirical error-time distributions.
+package scrub
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+// Scrubber is a per-node patrol scrubber sweeping the node's physical
+// memory linearly with a fixed period. Nodes start their sweeps at
+// deterministic per-node offsets (real controllers free-run, so sweeps are
+// not fleet-synchronized).
+type Scrubber struct {
+	period simtime.Minute
+	seed   uint64
+}
+
+// DefaultPeriod is a typical patrol-scrub full-pass period (24 h).
+const DefaultPeriod = simtime.Minute(simtime.MinutesPerDay)
+
+// NewScrubber builds a scrubber with the given full-pass period. It panics
+// if period < 1 (programmer error).
+func NewScrubber(period simtime.Minute, seed uint64) *Scrubber {
+	if period < 1 {
+		panic(fmt.Sprintf("scrub: invalid period %d", period))
+	}
+	return &Scrubber{period: period, seed: simrand.Hash64(seed, simrand.HashString("scrub"))}
+}
+
+// Period returns the full-pass period.
+func (s *Scrubber) Period() simtime.Minute { return s.period }
+
+// phase returns the node's sweep offset in [0, period).
+func (s *Scrubber) phase(node topology.NodeID) simtime.Minute {
+	return simtime.Minute(simrand.Hash64(s.seed, uint64(node)) % uint64(s.period))
+}
+
+// addrFrac is the address's position in the sweep, in [0, 1).
+func addrFrac(addr topology.PhysAddr) float64 {
+	return float64(addr) / float64(topology.NodeMemBytes)
+}
+
+// NextScrub returns the first minute >= after at which the scrubber reads
+// the given address on the given node.
+func (s *Scrubber) NextScrub(node topology.NodeID, addr topology.PhysAddr, after simtime.Minute) simtime.Minute {
+	if !addr.Valid() {
+		panic(fmt.Sprintf("scrub: invalid address %#x", uint64(addr)))
+	}
+	p := float64(s.period)
+	// The address is visited at t = phase + (k + frac)*period.
+	offset := float64(s.phase(node)) + addrFrac(addr)*p
+	k := math.Ceil((float64(after) - offset) / p)
+	t := offset + k*p
+	if t < float64(after) { // guard float rounding
+		t += p
+	}
+	return simtime.Minute(t)
+}
+
+// Detector combines patrol scrub with demand accesses to produce
+// fault-detection times.
+type Detector struct {
+	scrubber *Scrubber
+	// demandRate is the per-minute probability-rate that a demand access
+	// touches the faulty word; 0 models cold (never-accessed) memory so
+	// only the scrubber finds the fault.
+	demandRate float64
+}
+
+// NewDetector builds a detector. demandRate must be >= 0.
+func NewDetector(s *Scrubber, demandRate float64) *Detector {
+	if demandRate < 0 {
+		panic("scrub: negative demand rate")
+	}
+	return &Detector{scrubber: s, demandRate: demandRate}
+}
+
+// DetectionTime returns when a fault that became active at the given
+// minute is first detected: the earlier of an exponential demand-access
+// hit (sampled from rng) and the next patrol-scrub visit.
+func (d *Detector) DetectionTime(rng *simrand.Stream, node topology.NodeID, addr topology.PhysAddr, active simtime.Minute) simtime.Minute {
+	scrubAt := d.scrubber.NextScrub(node, addr, active)
+	if d.demandRate == 0 {
+		return scrubAt
+	}
+	demandAt := active + simtime.Minute(math.Ceil(rng.Exp(d.demandRate)))
+	if demandAt < scrubAt {
+		return demandAt
+	}
+	return scrubAt
+}
+
+// MeanLatency estimates the mean detection latency (minutes) over n
+// sampled faults at uniformly random addresses and activation times —
+// the quantity the scrub-period ablation sweeps.
+func (d *Detector) MeanLatency(rng *simrand.Stream, nodes, n int) float64 {
+	if n <= 0 || nodes <= 0 {
+		panic("scrub: MeanLatency requires positive counts")
+	}
+	start := simtime.MinuteOf(simtime.StudyStart)
+	span := int64(simtime.MinuteOf(simtime.StudyEnd) - start)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		node := topology.NodeID(rng.IntN(nodes))
+		cell := topology.CellAddr{
+			Node: node,
+			Slot: topology.Slot(rng.IntN(topology.SlotsPerNode)),
+			Rank: rng.IntN(topology.RanksPerDIMM),
+			Bank: rng.IntN(topology.BanksPerRank),
+			Row:  rng.IntN(topology.RowsPerBank),
+			Col:  rng.IntN(topology.ColsPerRow),
+		}
+		addr := topology.EncodePhysAddr(cell, 0)
+		active := start + simtime.Minute(rng.Int64N(span))
+		total += float64(d.DetectionTime(rng, node, addr, active) - active)
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,143 @@
+package scrub
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+	"repro/internal/simtime"
+	"repro/internal/topology"
+)
+
+func validAddr(a32 uint32) topology.PhysAddr {
+	return topology.PhysAddr(uint64(a32) % topology.NodeMemBytes)
+}
+
+func TestNextScrubNeverBeforeAfter(t *testing.T) {
+	s := NewScrubber(DefaultPeriod, 1)
+	f := func(node16 uint16, a32 uint32, after32 uint32) bool {
+		node := topology.NodeID(int(node16) % topology.Nodes)
+		addr := validAddr(a32)
+		after := simtime.Minute(after32 % 400000)
+		got := s.NextScrub(node, addr, after)
+		return got >= after && got < after+s.Period()+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextScrubPeriodicity(t *testing.T) {
+	s := NewScrubber(1440, 2)
+	node := topology.NodeID(7)
+	addr := validAddr(123456789)
+	first := s.NextScrub(node, addr, 0)
+	second := s.NextScrub(node, addr, first+1)
+	if second-first != s.Period() {
+		t.Errorf("consecutive scrubs %d apart, want %d", second-first, s.Period())
+	}
+	// Asking at exactly the scrub time returns that time.
+	if again := s.NextScrub(node, addr, first); again != first {
+		t.Errorf("NextScrub at scrub time = %d, want %d", again, first)
+	}
+}
+
+func TestScrubOrderFollowsAddress(t *testing.T) {
+	// Within one sweep, higher addresses are scrubbed later.
+	s := NewScrubber(1440, 3)
+	node := topology.NodeID(0)
+	base := s.phase(node)
+	lo := s.NextScrub(node, 0, base)
+	hi := s.NextScrub(node, topology.PhysAddr(topology.NodeMemBytes-8), base)
+	if hi <= lo {
+		t.Errorf("high address scrubbed (%d) before low (%d)", hi, lo)
+	}
+}
+
+func TestNodesDesynchronized(t *testing.T) {
+	s := NewScrubber(1440, 4)
+	phases := map[simtime.Minute]int{}
+	for n := 0; n < 50; n++ {
+		phases[s.phase(topology.NodeID(n))]++
+	}
+	if len(phases) < 25 {
+		t.Errorf("only %d distinct phases across 50 nodes", len(phases))
+	}
+}
+
+func TestDetectionBoundedByScrub(t *testing.T) {
+	s := NewScrubber(1440, 5)
+	d := NewDetector(s, 0.001)
+	rng := simrand.NewStream(6)
+	for i := 0; i < 2000; i++ {
+		node := topology.NodeID(rng.IntN(topology.Nodes))
+		addr := validAddr(uint32(rng.Uint64()))
+		active := simtime.Minute(rng.Int64N(300000))
+		det := d.DetectionTime(rng, node, addr, active)
+		if det < active {
+			t.Fatal("detection before activation")
+		}
+		if det > s.NextScrub(node, addr, active) {
+			t.Fatal("detection after the guaranteed scrub visit")
+		}
+	}
+}
+
+func TestColdMemoryDetectedOnlyByScrub(t *testing.T) {
+	s := NewScrubber(1440, 7)
+	d := NewDetector(s, 0)
+	rng := simrand.NewStream(8)
+	node := topology.NodeID(3)
+	addr := validAddr(99999)
+	active := simtime.Minute(5000)
+	if det := d.DetectionTime(rng, node, addr, active); det != s.NextScrub(node, addr, active) {
+		t.Errorf("cold detection %d != scrub visit %d", det, s.NextScrub(node, addr, active))
+	}
+}
+
+func TestMeanLatencyDecreasesWithShorterPeriod(t *testing.T) {
+	latency := func(period simtime.Minute) float64 {
+		d := NewDetector(NewScrubber(period, 9), 0)
+		return d.MeanLatency(simrand.NewStream(10), 100, 4000)
+	}
+	day := latency(simtime.MinutesPerDay)
+	week := latency(simtime.MinutesPerWeek)
+	if day >= week {
+		t.Errorf("daily scrub latency %v >= weekly %v", day, week)
+	}
+	// Cold memory with uniform activation: mean latency ~ period/2.
+	if day < float64(simtime.MinutesPerDay)/4 || day > float64(simtime.MinutesPerDay)*3/4 {
+		t.Errorf("daily mean latency = %v, want ~%v", day, simtime.MinutesPerDay/2)
+	}
+}
+
+func TestHotMemoryDetectedFast(t *testing.T) {
+	// With a high demand rate, detection is demand-dominated.
+	d := NewDetector(NewScrubber(simtime.MinutesPerWeek, 11), 0.1)
+	mean := d.MeanLatency(simrand.NewStream(12), 100, 4000)
+	if mean > 60 {
+		t.Errorf("hot-memory mean latency %v minutes, want ~10", mean)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-period":   func() { NewScrubber(0, 1) },
+		"negative-rate": func() { NewDetector(NewScrubber(1440, 1), -1) },
+		"invalid-addr": func() {
+			NewScrubber(1440, 1).NextScrub(0, topology.PhysAddr(topology.NodeMemBytes), 0)
+		},
+		"bad-latency-args": func() {
+			NewDetector(NewScrubber(1440, 1), 0).MeanLatency(simrand.NewStream(1), 0, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// PowerLawFit is the result of fitting a discrete power law
+// P(k) ∝ k^-alpha for k >= Xmin to integer count data.
+type PowerLawFit struct {
+	Alpha float64 // fitted tail exponent
+	Xmin  int     // lower cutoff used for the fit
+	KS    float64 // Kolmogorov-Smirnov distance between data and fit
+	NTail int     // number of observations >= Xmin
+}
+
+// hurwitzZeta computes ζ(alpha, a) = Σ_{k=a}^{∞} k^-alpha for alpha > 1,
+// a >= 1, by direct summation plus an Euler-Maclaurin tail correction.
+func hurwitzZeta(alpha float64, a int) float64 {
+	n := a + 2000
+	sum := 0.0
+	for k := a; k < n; k++ {
+		sum += math.Pow(float64(k), -alpha)
+	}
+	fn := float64(n)
+	// Tail: ∫_n^∞ x^-alpha dx + f(n)/2 + alpha*f'(n)/12 correction.
+	sum += math.Pow(fn, 1-alpha)/(alpha-1) + math.Pow(fn, -alpha)/2 + alpha*math.Pow(fn, -alpha-1)/12
+	return sum
+}
+
+// hurwitzZetaLog computes Σ_{k=a}^{∞} ln(k)·k^-alpha for alpha > 1.
+func hurwitzZetaLog(alpha float64, a int) float64 {
+	n := a + 2000
+	sum := 0.0
+	for k := a; k < n; k++ {
+		fk := float64(k)
+		sum += math.Log(fk) * math.Pow(fk, -alpha)
+	}
+	fn := float64(n)
+	am1 := alpha - 1
+	// ∫_n^∞ ln(x)·x^-alpha dx = n^(1-alpha) (ln n/(alpha-1) + 1/(alpha-1)^2),
+	// plus half the boundary term.
+	sum += math.Pow(fn, 1-alpha)*(math.Log(fn)/am1+1/(am1*am1)) + math.Log(fn)*math.Pow(fn, -alpha)/2
+	return sum
+}
+
+// FitPowerLaw fits a discrete power law to the positive integer sample xs
+// using the exact discrete maximum-likelihood estimator of Clauset, Shalizi
+// & Newman (2009): alpha solves
+//
+//	Σ ln(k)·k^-alpha / Σ k^-alpha  (sums over k >= xmin)  =  mean(ln x_i)
+//
+// found by bisection, with the Kolmogorov-Smirnov distance between the
+// empirical and fitted CDFs over the tail reported as goodness of fit.
+// Values below xmin are ignored. It returns ErrInsufficientData if fewer
+// than 10 tail observations remain.
+func FitPowerLaw(xs []int, xmin int) (PowerLawFit, error) {
+	if xmin < 1 {
+		xmin = 1
+	}
+	tail := make([]int, 0, len(xs))
+	sumLn := 0.0
+	for _, x := range xs {
+		if x >= xmin {
+			tail = append(tail, x)
+			sumLn += math.Log(float64(x))
+		}
+	}
+	if len(tail) < 10 {
+		return PowerLawFit{}, ErrInsufficientData
+	}
+	meanLn := sumLn / float64(len(tail))
+	// g(alpha) = E_fit[ln k] - mean(ln x); decreasing in alpha. Bisect.
+	g := func(alpha float64) float64 {
+		return hurwitzZetaLog(alpha, xmin)/hurwitzZeta(alpha, xmin) - meanLn
+	}
+	lo, hi := 1.0001, 30.0
+	if g(lo) < 0 {
+		// Data heavier than any admissible power law head; report the
+		// boundary rather than failing.
+		return PowerLawFit{}, ErrInsufficientData
+	}
+	if g(hi) > 0 {
+		hi = 300 // essentially all mass at xmin
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	sort.Ints(tail)
+	fit := PowerLawFit{Alpha: (lo + hi) / 2, Xmin: xmin, NTail: len(tail)}
+	fit.KS = powerLawKS(tail, fit.Alpha, xmin)
+	return fit, nil
+}
+
+// FitPowerLawAuto scans candidate xmin values (every distinct value in the
+// sample up to the 90th percentile) and returns the fit minimizing the KS
+// distance, per the CSN recipe.
+func FitPowerLawAuto(xs []int) (PowerLawFit, error) {
+	distinct := map[int]bool{}
+	var vals []int
+	for _, x := range xs {
+		if x >= 1 && !distinct[x] {
+			distinct[x] = true
+			vals = append(vals, x)
+		}
+	}
+	if len(vals) == 0 {
+		return PowerLawFit{}, ErrInsufficientData
+	}
+	sort.Ints(vals)
+	cutoff := vals[(len(vals)*9)/10]
+	best := PowerLawFit{KS: math.Inf(1)}
+	found := false
+	for _, xmin := range vals {
+		if xmin > cutoff {
+			break
+		}
+		fit, err := FitPowerLaw(xs, xmin)
+		if err != nil {
+			continue
+		}
+		if fit.KS < best.KS {
+			best = fit
+			found = true
+		}
+	}
+	if !found {
+		return PowerLawFit{}, ErrInsufficientData
+	}
+	return best, nil
+}
+
+// powerLawKS computes the KS distance between the empirical CDF of the
+// sorted tail sample and the fitted discrete power-law CDF. The empirical
+// CDF is evaluated at distinct sample values (full step height), so heavy
+// ties at small k are handled correctly.
+func powerLawKS(sortedTail []int, alpha float64, xmin int) float64 {
+	n := float64(len(sortedTail))
+	maxX := sortedTail[len(sortedTail)-1]
+	z := hurwitzZeta(alpha, xmin)
+	// Fitted CDF over [xmin, maxX].
+	cdf := make([]float64, maxX+1)
+	acc := 0.0
+	for k := xmin; k <= maxX; k++ {
+		acc += math.Pow(float64(k), -alpha) / z
+		cdf[k] = acc
+	}
+	ks := 0.0
+	for i := 0; i < len(sortedTail); {
+		x := sortedTail[i]
+		j := i
+		for j+1 < len(sortedTail) && sortedTail[j+1] == x {
+			j++
+		}
+		emp := float64(j+1) / n // empirical CDF at x (after the full step)
+		if d := math.Abs(emp - cdf[x]); d > ks {
+			ks = d
+		}
+		// Also check the gap just before the step (empirical CDF at x-).
+		empBefore := float64(i) / n
+		model := 0.0
+		if x > xmin {
+			model = cdf[x-1]
+		}
+		if d := math.Abs(empBefore - model); d > ks {
+			ks = d
+		}
+		i = j + 1
+	}
+	return ks
+}
+
+// LogLogSlope estimates the power-law exponent of a count histogram by OLS
+// on (log k, log freq) pairs; a cruder estimator than the MLE but the one
+// visually implied by "appears to obey a power law" histogram figures.
+// Pairs with zero frequency are skipped. Returns ErrInsufficientData when
+// fewer than 3 usable points exist.
+func LogLogSlope(hist CountHistogram) (LinearFit, error) {
+	var lx, ly []float64
+	for _, k := range hist.SortedCounts() {
+		if k <= 0 || hist[k] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(k)))
+		ly = append(ly, math.Log(float64(hist[k])))
+	}
+	if len(lx) < 3 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	return FitLinear(lx, ly)
+}

@@ -1,0 +1,312 @@
+// Package svgplot renders the report's figures as standalone SVG
+// documents using only the standard library. It implements the minimal
+// chart vocabulary the paper's evaluation needs — bar charts, grouped
+// bars, line/step series, scatter plots with a fitted line, and log-scale
+// variants — with nice-number axes and dark-on-light styling that matches
+// the text report's semantics (errors vs faults pairs, decile curves,
+// monthly series).
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geometry and style defaults.
+const (
+	defaultWidth  = 720
+	defaultHeight = 360
+	marginLeft    = 64
+	marginRight   = 16
+	marginTop     = 36
+	marginBottom  = 48
+	fontFamily    = "system-ui, sans-serif"
+)
+
+// Series palette (colorblind-safe pairs for errors/faults contrasts).
+var palette = []string{"#3b6fb6", "#d1495b", "#4f9d69", "#e2a72e", "#7b5ea7", "#5f6b73"}
+
+// esc escapes text for SVG/XML.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// f formats a coordinate.
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// niceTicks returns ~n rounded tick values covering [0, max].
+func niceTicks(max float64, n int) []float64 {
+	if max <= 0 {
+		return []float64{0, 1}
+	}
+	raw := max / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag >= 5:
+		step = 10 * mag
+	case raw/mag >= 2:
+		step = 5 * mag
+	default:
+		step = 2 * mag
+	}
+	var ticks []float64
+	for v := 0.0; v <= max*1.0001; v += step {
+		ticks = append(ticks, v)
+	}
+	if len(ticks) == 0 || ticks[len(ticks)-1] < max {
+		ticks = append(ticks, ticks[len(ticks)-1]+step)
+	}
+	return ticks
+}
+
+// formatTick renders an axis value compactly (1.2k, 3.4M).
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// doc assembles an SVG document.
+type doc struct {
+	w, h int
+	b    strings.Builder
+}
+
+func newDoc(w, h int, title string) *doc {
+	d := &doc{w: w, h: h}
+	fmt.Fprintf(&d.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	fmt.Fprintf(&d.b, `<rect width="%d" height="%d" fill="#ffffff"/>`, w, h)
+	fmt.Fprintf(&d.b, `<text x="%d" y="22" font-family="%s" font-size="15" font-weight="bold" fill="#1a1a1a">%s</text>`,
+		marginLeft, fontFamily, esc(title))
+	return d
+}
+
+func (d *doc) text(x, y float64, size int, anchor, fill, s string) {
+	fmt.Fprintf(&d.b, `<text x="%s" y="%s" font-family="%s" font-size="%d" text-anchor="%s" fill="%s">%s</text>`,
+		f(x), f(y), fontFamily, size, anchor, fill, esc(s))
+}
+
+func (d *doc) line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	fmt.Fprintf(&d.b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="%s"/>`,
+		f(x1), f(y1), f(x2), f(y2), stroke, f(width))
+}
+
+func (d *doc) rect(x, y, w, h float64, fill string) {
+	if h < 0 {
+		y, h = y+h, -h
+	}
+	fmt.Fprintf(&d.b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s"/>`, f(x), f(y), f(w), f(h), fill)
+}
+
+func (d *doc) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&d.b, `<circle cx="%s" cy="%s" r="%s" fill="%s"/>`, f(x), f(y), f(r), fill)
+}
+
+func (d *doc) polyline(points []float64, stroke string, width float64) {
+	var sb strings.Builder
+	for i := 0; i+1 < len(points); i += 2 {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(f(points[i]) + "," + f(points[i+1]))
+	}
+	fmt.Fprintf(&d.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%s"/>`,
+		sb.String(), stroke, f(width))
+}
+
+func (d *doc) String() string { return d.b.String() + "</svg>" }
+
+// plotArea computes the drawable rectangle.
+func plotArea(w, h int) (x0, y0, x1, y1 float64) {
+	return marginLeft, marginTop, float64(w) - marginRight, float64(h) - marginBottom
+}
+
+// yAxis draws the ticks and grid for a [0, max] linear axis and returns
+// the scale function.
+func (d *doc) yAxis(x0, y0, x1, y1, max float64, label string) func(float64) float64 {
+	ticks := niceTicks(max, 5)
+	top := ticks[len(ticks)-1]
+	scale := func(v float64) float64 { return y1 - (v/top)*(y1-y0) }
+	for _, t := range ticks {
+		y := scale(t)
+		d.line(x0, y, x1, y, "#e4e4e4", 1)
+		d.text(x0-6, y+4, 11, "end", "#555555", formatTick(t))
+	}
+	d.line(x0, y0, x0, y1, "#888888", 1)
+	if label != "" {
+		d.text(x0-46, (y0+y1)/2, 11, "middle", "#555555", label)
+	}
+	return scale
+}
+
+// Bars renders a single-series bar chart.
+func Bars(title, yLabel string, labels []string, values []float64) string {
+	return GroupedBars(title, yLabel, labels, []Series{{Name: "", Values: values}})
+}
+
+// Series is one named value vector.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// GroupedBars renders side-by-side bars per label for up to len(palette)
+// series (the errors-vs-faults pairs of Figs 6, 7, 10).
+func GroupedBars(title, yLabel string, labels []string, series []Series) string {
+	d := newDoc(defaultWidth, defaultHeight, title)
+	x0, y0, x1, y1 := plotArea(defaultWidth, defaultHeight)
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			max = math.Max(max, v)
+		}
+	}
+	scale := d.yAxis(x0, y0, x1, y1, max, yLabel)
+	n := len(labels)
+	if n == 0 {
+		return d.String()
+	}
+	group := (x1 - x0) / float64(n)
+	barW := group * 0.8 / float64(len(series))
+	for i, lab := range labels {
+		gx := x0 + float64(i)*group
+		for si, s := range series {
+			if i >= len(s.Values) {
+				continue
+			}
+			bx := gx + group*0.1 + float64(si)*barW
+			d.rect(bx, scale(s.Values[i]), barW*0.95, y1-scale(s.Values[i]), palette[si%len(palette)])
+		}
+		if n <= 40 {
+			d.text(gx+group/2, y1+16, 10, "middle", "#555555", lab)
+		} else if i%(n/20) == 0 {
+			d.text(gx+group/2, y1+16, 10, "middle", "#555555", lab)
+		}
+	}
+	d.line(x0, y1, x1, y1, "#888888", 1)
+	legend(d, x1, series)
+	return d.String()
+}
+
+// legend draws series names at the top right.
+func legend(d *doc, x1 float64, series []Series) {
+	lx := x1 - 130
+	ly := float64(marginTop) + 4
+	for si, s := range series {
+		if s.Name == "" {
+			continue
+		}
+		d.rect(lx, ly-9, 10, 10, palette[si%len(palette)])
+		d.text(lx+14, ly, 11, "start", "#333333", s.Name)
+		ly += 16
+	}
+}
+
+// Lines renders one or more line series over shared x labels; logY plots
+// log10 of the values (Fig 4a's monthly error series).
+func Lines(title, yLabel string, xLabels []string, series []Series, logY bool) string {
+	d := newDoc(defaultWidth, defaultHeight, title)
+	x0, y0, x1, y1 := plotArea(defaultWidth, defaultHeight)
+	transform := func(v float64) float64 { return v }
+	suffix := ""
+	if logY {
+		transform = func(v float64) float64 {
+			if v < 1 {
+				return 0
+			}
+			return math.Log10(v)
+		}
+		suffix = " (log10)"
+	}
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			max = math.Max(max, transform(v))
+		}
+	}
+	scale := d.yAxis(x0, y0, x1, y1, max, yLabel+suffix)
+	n := len(xLabels)
+	if n == 0 {
+		return d.String()
+	}
+	step := (x1 - x0) / math.Max(1, float64(n-1))
+	for si, s := range series {
+		var pts []float64
+		for i, v := range s.Values {
+			pts = append(pts, x0+float64(i)*step, scale(transform(v)))
+		}
+		d.polyline(pts, palette[si%len(palette)], 2)
+		for i := 0; i+1 < len(pts); i += 2 {
+			d.circle(pts[i], pts[i+1], 2.5, palette[si%len(palette)])
+		}
+	}
+	for i, lab := range xLabels {
+		if n > 16 && i%(n/8+1) != 0 {
+			continue
+		}
+		d.text(x0+float64(i)*step, y1+16, 10, "middle", "#555555", lab)
+	}
+	d.line(x0, y1, x1, y1, "#888888", 1)
+	legend(d, x1, series)
+	return d.String()
+}
+
+// Scatter renders (x, y) points with an optional fitted line y = a + b·x
+// (the Fig 9 temperature-window panels).
+func Scatter(title, xLabel, yLabel string, xs, ys []float64, intercept, slope float64, drawFit bool) string {
+	d := newDoc(defaultWidth, defaultHeight, title)
+	x0, y0, x1, y1 := plotArea(defaultWidth, defaultHeight)
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return d.String()
+	}
+	xmin, xmax := xs[0], xs[0]
+	ymax := 0.0
+	for i := range xs {
+		xmin = math.Min(xmin, xs[i])
+		xmax = math.Max(xmax, xs[i])
+		ymax = math.Max(ymax, ys[i])
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	scaleY := d.yAxis(x0, y0, x1, y1, ymax, yLabel)
+	scaleX := func(v float64) float64 { return x0 + (v-xmin)/(xmax-xmin)*(x1-x0) }
+	for i := range xs {
+		d.circle(scaleX(xs[i]), scaleY(math.Min(ys[i], ymaxTop(ymax))), 3, palette[0])
+	}
+	if drawFit {
+		fy := func(x float64) float64 { return intercept + slope*x }
+		d.polyline([]float64{
+			scaleX(xmin), scaleY(clamp(fy(xmin), 0, ymaxTop(ymax))),
+			scaleX(xmax), scaleY(clamp(fy(xmax), 0, ymaxTop(ymax))),
+		}, palette[1], 2)
+	}
+	for _, t := range niceTicks(xmax-xmin, 5) {
+		v := xmin + t
+		if v > xmax*1.0001 {
+			break
+		}
+		d.text(scaleX(v), y1+16, 10, "middle", "#555555", formatTick(v))
+	}
+	d.text((x0+x1)/2, y1+34, 11, "middle", "#555555", xLabel)
+	d.line(x0, y1, x1, y1, "#888888", 1)
+	return d.String()
+}
+
+func ymaxTop(max float64) float64 {
+	ticks := niceTicks(max, 5)
+	return ticks[len(ticks)-1]
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Min(hi, math.Max(lo, v)) }

@@ -1,0 +1,140 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// parseSVG checks the output is well-formed XML with an svg root.
+func parseSVG(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	root := ""
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok && root == "" {
+			root = se.Name.Local
+		}
+	}
+	if root != "svg" {
+		t.Fatalf("root element %q, want svg", root)
+	}
+}
+
+func TestBarsWellFormed(t *testing.T) {
+	s := Bars("errors per slot", "errors", []string{"A", "B", "C"}, []float64{1, 5, 2})
+	parseSVG(t, s)
+	if !strings.Contains(s, "errors per slot") {
+		t.Error("title missing")
+	}
+	if strings.Count(s, "<rect") < 4 { // background + 3 bars
+		t.Errorf("expected bars, got %d rects", strings.Count(s, "<rect"))
+	}
+}
+
+func TestGroupedBarsLegend(t *testing.T) {
+	s := GroupedBars("pair", "count", []string{"x", "y"}, []Series{
+		{Name: "errors", Values: []float64{10, 20}},
+		{Name: "faults", Values: []float64{1, 2}},
+	})
+	parseSVG(t, s)
+	for _, want := range []string{"errors", "faults"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("legend missing %q", want)
+		}
+	}
+}
+
+func TestLinesLogScale(t *testing.T) {
+	s := Lines("monthly", "CEs", []string{"jan", "feb", "mar"},
+		[]Series{{Name: "all", Values: []float64{100, 10000, 1000}}}, true)
+	parseSVG(t, s)
+	if !strings.Contains(s, "log10") {
+		t.Error("log label missing")
+	}
+	if !strings.Contains(s, "<polyline") {
+		t.Error("line missing")
+	}
+}
+
+func TestScatterWithFit(t *testing.T) {
+	xs := []float64{30, 40, 50}
+	ys := []float64{5, 6, 7}
+	s := Scatter("fig9", "temp °C", "CEs", xs, ys, 2, 0.1, true)
+	parseSVG(t, s)
+	if strings.Count(s, "<circle") < 3 {
+		t.Error("points missing")
+	}
+	if !strings.Contains(s, "<polyline") {
+		t.Error("fit line missing")
+	}
+}
+
+func TestEmptyInputsDoNotPanic(t *testing.T) {
+	for _, s := range []string{
+		Bars("t", "y", nil, nil),
+		Lines("t", "y", nil, nil, false),
+		Scatter("t", "x", "y", nil, nil, 0, 0, false),
+		GroupedBars("t", "y", []string{"a"}, []Series{{Values: nil}}),
+	} {
+		parseSVG(t, s)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	s := Bars(`<script>&"`, "y", []string{"<b>"}, []float64{1})
+	parseSVG(t, s)
+	if strings.Contains(s, "<script>") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	for _, c := range []struct {
+		max  float64
+		want float64 // minimum top tick
+	}{{9, 9}, {100, 100}, {0, 1}, {1234567, 1234567}} {
+		ticks := niceTicks(c.max, 5)
+		if len(ticks) < 2 {
+			t.Fatalf("ticks for %v: %v", c.max, ticks)
+		}
+		if top := ticks[len(ticks)-1]; top < c.want {
+			t.Errorf("top tick %v < max %v", top, c.want)
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Fatalf("ticks not increasing: %v", ticks)
+			}
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500:    "1.5k",
+		2500000: "2.5M",
+		7:       "7",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestManyLabelsThinned(t *testing.T) {
+	labels := make([]string, 100)
+	values := make([]float64, 100)
+	for i := range labels {
+		labels[i] = "L" + string(rune('0'+i%10))
+		values[i] = math.Sqrt(float64(i))
+	}
+	parseSVG(t, Bars("many", "v", labels, values))
+	parseSVG(t, Lines("many", "v", labels, []Series{{Values: values}}, false))
+}

@@ -1,0 +1,33 @@
+package syslog_test
+
+import (
+	"fmt"
+
+	"repro/internal/syslog"
+)
+
+// The ETL classifies every line: record kinds parse strictly, kernel
+// chatter passes through as noise, and corrupt records are errors rather
+// than silently wrong data.
+func ExampleParseLine() {
+	lines := []string{
+		"2019-05-20T13:04:55Z astra-r03c11n2 kernel: EDAC tx2_mc: CE socket=1 slot=J rank=1 bank=5 row=0x2f3a col=0x04d bitpos=0x1e21 addr=0x012f3a0268 syndrome=0x38",
+		"2019-05-20T13:05:00Z astra-r03c11n2 kernel: usb 1-1: new device",
+		"2019-05-20T13:05:01Z astra-r03c11n2 kernel: EDAC tx2_mc: CE socket=0 slot=J rank=1 bank=5 row=0x2f3a col=0x04d bitpos=0x1e21 addr=0x012f3a0268 syndrome=0x38",
+	}
+	for _, line := range lines {
+		p, err := syslog.ParseLine(line)
+		switch {
+		case err != nil:
+			fmt.Println("corrupt record:", err)
+		case p.Kind == syslog.KindCE:
+			fmt.Printf("CE on %s slot %s\n", p.CE.Node, p.CE.Slot)
+		default:
+			fmt.Println("noise")
+		}
+	}
+	// Output:
+	// CE on astra-r03c11n2 slot J
+	// noise
+	// corrupt record: syslog: socket 0 inconsistent with slot J
+}

@@ -1,0 +1,75 @@
+package syslog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// ScanStats counts what a scan encountered.
+type ScanStats struct {
+	Lines     int
+	CEs       int
+	DUEs      int
+	HETs      int
+	Other     int
+	Malformed int
+}
+
+// Scanner streams a syslog and yields parsed records, tolerating (but
+// counting) malformed record lines, like the paper's handling of invalid
+// telemetry: excluded, accounted for, and expected to be rare.
+type Scanner struct {
+	sc    *bufio.Scanner
+	stats ScanStats
+	cur   Parsed
+	err   error
+}
+
+// NewScanner wraps a reader. Lines up to 1 MiB are supported.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Scanner{sc: sc}
+}
+
+// Scan advances to the next well-formed record line (CE, DUE or HET),
+// skipping noise and malformed lines. It returns false at end of input or
+// on a read error (see Err).
+func (s *Scanner) Scan() bool {
+	for s.sc.Scan() {
+		s.stats.Lines++
+		p, err := ParseLine(s.sc.Text())
+		if err != nil {
+			s.stats.Malformed++
+			continue
+		}
+		switch p.Kind {
+		case KindOther:
+			s.stats.Other++
+			continue
+		case KindCE:
+			s.stats.CEs++
+		case KindDUE:
+			s.stats.DUEs++
+		case KindHET:
+			s.stats.HETs++
+		}
+		s.cur = p
+		return true
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("syslog: read: %w", err)
+	}
+	return false
+}
+
+// Record returns the record produced by the last successful Scan.
+func (s *Scanner) Record() Parsed { return s.cur }
+
+// Stats returns the accounting so far.
+func (s *Scanner) Stats() ScanStats { return s.stats }
+
+// Err returns the first read error, if any. Malformed lines are not read
+// errors; they are counted in Stats.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,287 @@
+// Package syslog defines the text log formats the simulated Astra writes
+// and the strict parsers the ETL uses to read them back. Three record
+// kinds share the stream, as on the real system (§2.3): correctable-error
+// records drained by the EDAC poller, uncorrectable machine-check records,
+// and Hardware Event Tracker records; arbitrary other kernel chatter is
+// tolerated and classified as noise.
+//
+// Parsing is strict: a line that claims to be a CE/DUE/HET record but has
+// malformed or inconsistent fields is an error, not a silent skip — the
+// caller decides how to account for corruption (the dataset loader counts
+// and reports it, mirroring the paper's handling of invalid sensor data).
+package syslog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faultmodel"
+	"repro/internal/het"
+	"repro/internal/mce"
+	"repro/internal/topology"
+)
+
+// Markers identifying record kinds within a syslog line.
+const (
+	ceMarker  = "kernel: EDAC tx2_mc: CE"
+	dueMarker = "kernel: mce: [Hardware Error] DUE"
+	hetMarker = "HET:"
+)
+
+// timeLayout is the timestamp format at the head of each line.
+const timeLayout = time.RFC3339
+
+// FormatCE renders a correctable-error record as a syslog line.
+func FormatCE(r mce.CERecord) string {
+	return fmt.Sprintf("%s %s %s socket=%d slot=%s rank=%d bank=%d row=0x%04x col=0x%03x bitpos=0x%04x addr=0x%010x syndrome=0x%02x",
+		r.Time.UTC().Format(timeLayout), r.Node, ceMarker,
+		r.Socket, r.Slot, r.Rank, r.Bank, r.RowRaw, r.Col, r.BitPos, uint64(r.Addr), r.Syndrome)
+}
+
+// FormatDUE renders an uncorrectable-error record as a syslog line.
+func FormatDUE(r mce.DUERecord) string {
+	fatal := 0
+	if r.Fatal {
+		fatal = 1
+	}
+	return fmt.Sprintf("%s %s %s cause=%s addr=0x%010x fatal=%d",
+		r.Time.UTC().Format(timeLayout), r.Node, dueMarker, r.Cause, uint64(r.Addr), fatal)
+}
+
+// FormatHET renders a Hardware Event Tracker record as a syslog line.
+func FormatHET(r het.Record) string {
+	s := fmt.Sprintf("%s %s %s event=%s severity=%s",
+		r.Time.UTC().Format(timeLayout), r.Node, hetMarker, r.Type, r.Severity)
+	if r.Addr != 0 {
+		s += fmt.Sprintf(" addr=0x%010x", uint64(r.Addr))
+	}
+	return s
+}
+
+// Kind classifies a parsed line.
+type Kind int
+
+// Line kinds.
+const (
+	// KindOther is unrecognized kernel chatter (not an error).
+	KindOther Kind = iota
+	// KindCE is a correctable-error record.
+	KindCE
+	// KindDUE is an uncorrectable-error record.
+	KindDUE
+	// KindHET is a Hardware Event Tracker record.
+	KindHET
+)
+
+// Parsed is the result of parsing one syslog line; exactly the field
+// matching Kind is meaningful.
+type Parsed struct {
+	Kind Kind
+	CE   mce.CERecord
+	DUE  mce.DUERecord
+	HET  het.Record
+}
+
+// ParseLine classifies and parses one syslog line. Lines bearing none of
+// the record markers return Kind Other and no error; lines bearing a
+// marker but failing validation return an error describing the corruption.
+func ParseLine(line string) (Parsed, error) {
+	switch {
+	case strings.Contains(line, ceMarker):
+		ce, err := parseCE(line)
+		return Parsed{Kind: KindCE, CE: ce}, err
+	case strings.Contains(line, dueMarker):
+		due, err := parseDUE(line)
+		return Parsed{Kind: KindDUE, DUE: due}, err
+	case strings.Contains(line, hetMarker):
+		h, err := parseHET(line)
+		return Parsed{Kind: KindHET, HET: h}, err
+	default:
+		return Parsed{Kind: KindOther}, nil
+	}
+}
+
+// header parses the leading "<timestamp> <host> " of a record line and
+// returns the remainder after the given marker.
+func header(line, marker string) (time.Time, topology.NodeID, string, error) {
+	idx := strings.Index(line, marker)
+	head := strings.Fields(line[:idx])
+	if len(head) != 2 {
+		return time.Time{}, 0, "", fmt.Errorf("syslog: malformed header %q", line[:idx])
+	}
+	ts, err := time.Parse(timeLayout, head[0])
+	if err != nil {
+		return time.Time{}, 0, "", fmt.Errorf("syslog: bad timestamp: %w", err)
+	}
+	node, err := topology.ParseNodeID(head[1])
+	if err != nil {
+		return time.Time{}, 0, "", err
+	}
+	return ts.UTC(), node, strings.TrimSpace(line[idx+len(marker):]), nil
+}
+
+// kvFields splits "k=v" fields into a map, rejecting duplicates and
+// malformed pairs.
+func kvFields(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("syslog: malformed field %q", f)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("syslog: duplicate field %q", k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func needInt(kv map[string]string, key string, base int, lo, hi int64) (int64, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("syslog: missing field %q", key)
+	}
+	v = strings.TrimPrefix(v, "0x")
+	n, err := strconv.ParseInt(v, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("syslog: field %q: %w", key, err)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("syslog: field %q = %d out of [%d, %d]", key, n, lo, hi)
+	}
+	return n, nil
+}
+
+func parseCE(line string) (mce.CERecord, error) {
+	ts, node, rest, err := header(line, ceMarker)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	kv, err := kvFields(rest)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	slotName, ok := kv["slot"]
+	if !ok {
+		return mce.CERecord{}, fmt.Errorf("syslog: missing field \"slot\"")
+	}
+	slot, err := topology.ParseSlot(slotName)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	socket, err := needInt(kv, "socket", 10, 0, topology.SocketsPerNode-1)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	if int(socket) != slot.Socket() {
+		return mce.CERecord{}, fmt.Errorf("syslog: socket %d inconsistent with slot %s", socket, slot)
+	}
+	rank, err := needInt(kv, "rank", 10, 0, topology.RanksPerDIMM-1)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	bank, err := needInt(kv, "bank", 10, 0, topology.BanksPerRank-1)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	row, err := needInt(kv, "row", 16, 0, topology.RowsPerBank-1)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	col, err := needInt(kv, "col", 16, 0, topology.ColsPerRow-1)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	bitpos, err := needInt(kv, "bitpos", 16, 0, 1<<20)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	addr, err := needInt(kv, "addr", 16, 0, topology.NodeMemBytes-1)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	syndrome, err := needInt(kv, "syndrome", 16, 0, 255)
+	if err != nil {
+		return mce.CERecord{}, err
+	}
+	return mce.CERecord{
+		Time: ts, Node: node, Socket: int(socket), Slot: slot,
+		Rank: int(rank), Bank: int(bank), RowRaw: int(row), Col: int(col),
+		BitPos: int(bitpos), Addr: topology.PhysAddr(addr), Syndrome: uint8(syndrome),
+	}, nil
+}
+
+func parseDUE(line string) (mce.DUERecord, error) {
+	ts, node, rest, err := header(line, dueMarker)
+	if err != nil {
+		return mce.DUERecord{}, err
+	}
+	kv, err := kvFields(rest)
+	if err != nil {
+		return mce.DUERecord{}, err
+	}
+	causeName, ok := kv["cause"]
+	if !ok {
+		return mce.DUERecord{}, fmt.Errorf("syslog: missing field \"cause\"")
+	}
+	var cause faultmodel.DUECause
+	switch causeName {
+	case faultmodel.CauseUncorrectableECC.String():
+		cause = faultmodel.CauseUncorrectableECC
+	case faultmodel.CauseMachineCheck.String():
+		cause = faultmodel.CauseMachineCheck
+	default:
+		return mce.DUERecord{}, fmt.Errorf("syslog: unknown DUE cause %q", causeName)
+	}
+	addr, err := needInt(kv, "addr", 16, 0, topology.NodeMemBytes-1)
+	if err != nil {
+		return mce.DUERecord{}, err
+	}
+	fatal, err := needInt(kv, "fatal", 10, 0, 1)
+	if err != nil {
+		return mce.DUERecord{}, err
+	}
+	return mce.DUERecord{
+		Time: ts, Node: node, Addr: topology.PhysAddr(addr),
+		Cause: cause, Fatal: fatal == 1,
+	}, nil
+}
+
+func parseHET(line string) (het.Record, error) {
+	ts, node, rest, err := header(line, hetMarker)
+	if err != nil {
+		return het.Record{}, err
+	}
+	kv, err := kvFields(rest)
+	if err != nil {
+		return het.Record{}, err
+	}
+	evName, ok := kv["event"]
+	if !ok {
+		return het.Record{}, fmt.Errorf("syslog: missing field \"event\"")
+	}
+	ev, err := het.ParseEventType(evName)
+	if err != nil {
+		return het.Record{}, err
+	}
+	sevName, ok := kv["severity"]
+	if !ok {
+		return het.Record{}, fmt.Errorf("syslog: missing field \"severity\"")
+	}
+	sev, err := het.ParseSeverity(sevName)
+	if err != nil {
+		return het.Record{}, err
+	}
+	rec := het.Record{Time: ts, Node: node, Type: ev, Severity: sev}
+	if _, ok := kv["addr"]; ok {
+		addr, err := needInt(kv, "addr", 16, 0, topology.NodeMemBytes-1)
+		if err != nil {
+			return het.Record{}, err
+		}
+		rec.Addr = topology.PhysAddr(addr)
+	}
+	return rec, nil
+}

@@ -1,0 +1,135 @@
+package topology
+
+import "fmt"
+
+// CellAddr locates a single ECC word in the system's DRAM: a node, a DIMM
+// slot on that node, and the rank/bank/row/column coordinates of the word
+// within the DIMM. It is the coordinate system in which faults live.
+type CellAddr struct {
+	Node NodeID
+	Slot Slot
+	Rank int // 0 or 1: one side of the dual-rank DIMM
+	Bank int // [0, BanksPerRank)
+	Row  int // [0, RowsPerBank)
+	Col  int // [0, ColsPerRow): 64-bit word column
+}
+
+// Valid reports whether every coordinate is in range.
+func (a CellAddr) Valid() bool {
+	return a.Node.Valid() && a.Slot.Valid() &&
+		a.Rank >= 0 && a.Rank < RanksPerDIMM &&
+		a.Bank >= 0 && a.Bank < BanksPerRank &&
+		a.Row >= 0 && a.Row < RowsPerBank &&
+		a.Col >= 0 && a.Col < ColsPerRow
+}
+
+// String renders the address in a compact diagnostic form.
+func (a CellAddr) String() string {
+	return fmt.Sprintf("%s/%s/rank%d/bank%d/row%d/col%d", a.Node, a.Slot, a.Rank, a.Bank, a.Row, a.Col)
+}
+
+// Node-local physical address layout. The memory controller interleaving on
+// the real machine is proprietary; we use a transparent field-packed layout
+// so that address <-> coordinate mapping is exact and testable:
+//
+//	bit 36       35..33    32     31..28  27..13  12..3   2..0
+//	[socket=1] [channel=3][rank=1][bank=4][row=15][col=10][byte=3]
+//
+// for a total of 37 bits = 128 GiB per node, matching 16 x 8 GB DIMMs.
+const (
+	byteBits    = 3
+	colShift    = byteBits
+	colBits     = 10
+	rowShift    = colShift + colBits
+	rowBits     = 15
+	bankShift   = rowShift + rowBits
+	bankBits    = 4
+	rankShift   = bankShift + bankBits
+	rankBits    = 1
+	chanShift   = rankShift + rankBits
+	chanBits    = 3
+	socketShift = chanShift + chanBits
+	socketBits  = 1
+
+	// PhysAddrBits is the number of significant bits in a node-local
+	// physical address.
+	PhysAddrBits = socketShift + socketBits
+	// NodeMemBytes is the per-node physical memory size implied by the
+	// address layout (128 GiB).
+	NodeMemBytes = 1 << PhysAddrBits
+)
+
+// PhysAddr is a node-local physical byte address.
+type PhysAddr uint64
+
+// Valid reports whether the address is within the node's memory.
+func (p PhysAddr) Valid() bool { return p < NodeMemBytes }
+
+// EncodePhysAddr packs DRAM coordinates (and a byte offset within the
+// 64-bit word) into a node-local physical address. It panics on invalid
+// coordinates; byteOff must be in [0, WordBytes).
+func EncodePhysAddr(a CellAddr, byteOff int) PhysAddr {
+	if !a.Valid() || byteOff < 0 || byteOff >= WordBytes {
+		panic(fmt.Sprintf("topology: EncodePhysAddr invalid input %v byte %d", a, byteOff))
+	}
+	v := uint64(a.Slot.Socket())<<socketShift |
+		uint64(a.Slot.Channel())<<chanShift |
+		uint64(a.Rank)<<rankShift |
+		uint64(a.Bank)<<bankShift |
+		uint64(a.Row)<<rowShift |
+		uint64(a.Col)<<colShift |
+		uint64(byteOff)
+	return PhysAddr(v)
+}
+
+// DecodePhysAddr unpacks a node-local physical address into DRAM
+// coordinates on the given node, plus the byte offset within the word.
+func DecodePhysAddr(node NodeID, p PhysAddr) (CellAddr, int, error) {
+	if !p.Valid() {
+		return CellAddr{}, 0, fmt.Errorf("topology: physical address %#x out of range", uint64(p))
+	}
+	v := uint64(p)
+	mask := func(bits int) uint64 { return (1 << bits) - 1 }
+	socket := int(v >> socketShift & mask(socketBits))
+	channel := int(v >> chanShift & mask(chanBits))
+	a := CellAddr{
+		Node: node,
+		Slot: Slot(socket*ChannelsPerSocket + channel),
+		Rank: int(v >> rankShift & mask(rankBits)),
+		Bank: int(v >> bankShift & mask(bankBits)),
+		Row:  int(v >> rowShift & mask(rowBits)),
+		Col:  int(v >> colShift & mask(colBits)),
+	}
+	return a, int(v & mask(byteBits)), nil
+}
+
+// DIMMLocal strips the socket and channel fields, leaving the address of
+// the word within its DIMM (rank | bank | row | col | byte). Faults at the
+// same DIMM-internal location on different DIMMs — the manufacturing
+// weak-spot pattern behind Fig 8b — collide under this key.
+func (p PhysAddr) DIMMLocal() PhysAddr {
+	return p & (1<<chanShift - 1)
+}
+
+// PageBytes is the OS page size used by the page-retirement model.
+const PageBytes = 4096
+
+// Page returns the physical page frame number containing the address.
+func (p PhysAddr) Page() uint64 { return uint64(p) / PageBytes }
+
+// LineBitPosition maps a word column and a bit index within the 72-bit
+// codeword to the paper's "bit position in a cache line" coordinate.
+// Data bits (0..63) map to their position in the 512-bit line; check bits
+// (64..71) map to a per-word check region appended after the data bits
+// (positions 512..575), mirroring how the controller reports positions for
+// check-bit errors.
+func LineBitPosition(col, bit int) int {
+	word := col % WordsPerLine
+	if bit < DataBitsPerWord {
+		return word*DataBitsPerWord + bit
+	}
+	return LineBits + word*(CodeBitsPerWord-DataBitsPerWord) + (bit - DataBitsPerWord)
+}
+
+// MaxLineBitPosition is the largest value LineBitPosition can return.
+const MaxLineBitPosition = LineBits + WordsPerLine*(CodeBitsPerWord-DataBitsPerWord) - 1
