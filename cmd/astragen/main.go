@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/corrupt"
 	"repro/internal/dataset"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -35,8 +36,12 @@ func main() {
 		nodeStride   = flag.Int("sensor-node-stride", 16, "export sensor data for every Nth node")
 		minuteStride = flag.Int("sensor-minute-stride", 60, "export sensor data every N minutes")
 		scanStride   = flag.Int("scan-stride", 7, "write an inventory scan file every N days (0 disables)")
+		dirty        = flag.Float64("dirty", 0, "also write astra-syslog-dirty.log and ce-telemetry-dirty.csv corrupted at this combined rate (0 disables)")
 	)
 	flag.Parse()
+	if *dirty < 0 || *dirty > 1 {
+		log.Fatal("-dirty must be in [0, 1]")
+	}
 	if *nodes < 1 || *nodes > topology.Nodes {
 		log.Fatalf("-nodes must be in [1, %d]", topology.Nodes)
 	}
@@ -73,6 +78,28 @@ func main() {
 
 	write("astra-syslog.log", func(w io.Writer) error { return ds.WriteSyslog(w, *noiseEvery) })
 	write("ce-telemetry.csv", ds.WriteCETelemetryCSV)
+	if *dirty > 0 {
+		// Re-render the clean streams through the corruptor so the dirty
+		// files exercise ingest hardening against a known ground truth
+		// (the clean files next to them).
+		c := corrupt.New(corrupt.Uniform(*seed, *dirty))
+		write("astra-syslog-dirty.log", func(w io.Writer) error {
+			pr, pw := io.Pipe()
+			go func() { pw.CloseWithError(ds.WriteSyslog(pw, *noiseEvery)) }()
+			rep, err := c.Process(pr, w)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  dirty syslog: %d lines in, %d out, %d mutations\n", rep.LinesIn, rep.LinesOut, rep.Mutations())
+			return nil
+		})
+		write("ce-telemetry-dirty.csv", func(w io.Writer) error {
+			pr, pw := io.Pipe()
+			go func() { pw.CloseWithError(ds.WriteCETelemetryCSV(pw)) }()
+			_, err := c.ProcessCSV(pr, w)
+			return err
+		})
+	}
 	write("sensors.csv", func(w io.Writer) error {
 		return ds.WriteSensorCSV(w, *nodeStride, *minuteStride)
 	})

@@ -4,6 +4,12 @@
 // reliability information from the various system logs" step of the
 // paper's methodology (§1).
 //
+// Real relay logs are dirty: truncated, duplicated, reordered, garbled.
+// By default astraparse skips and counts malformed lines; -strict makes
+// the first one fatal, -max-malformed bounds how dirty a log may be
+// before the exit status is non-zero, and -dedup-window/-reorder-window
+// enable relay-fault tolerance.
+//
 // Usage:
 //
 //	astraparse -syslog astra-data/astra-syslog.log -out ./parsed
@@ -13,7 +19,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -24,60 +30,92 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("astraparse: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astraparse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in  = flag.String("syslog", "", "input syslog path (required)")
-		out = flag.String("out", "parsed", "output directory")
+		in            = fs.String("syslog", "", "input syslog path (required)")
+		out           = fs.String("out", "parsed", "output directory")
+		strict        = fs.Bool("strict", false, "treat the first malformed record line as fatal")
+		maxMalformed  = fs.Float64("max-malformed", -1, "exit non-zero when the malformed fraction of record lines exceeds this (negative disables)")
+		dedupWindow   = fs.Int("dedup-window", 0, "suppress record lines identical to one of the last N (0 disables)")
+		reorderWindow = fs.Duration("reorder-window", 0, "resequence records arriving up to this much late (0 disables)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "astraparse: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 
-	ces, dues, hets, stats, err := dataset.ReadSyslog(f)
-	if err != nil {
-		log.Fatal(err)
+	pol := dataset.IngestPolicy{
+		Strict:           *strict,
+		DedupWindow:      *dedupWindow,
+		ReorderWindow:    *reorderWindow,
+		MaxMalformedFrac: *maxMalformed,
+	}
+	ces, dues, hets, rep, readErr := dataset.ReadSyslogPolicy(f, pol)
+	// On a budget violation the salvage is still written before the
+	// non-zero exit; a strict failure aborts with nothing salvaged.
+	if readErr != nil && (*strict || len(ces)+len(dues)+len(hets) == 0) {
+		fmt.Fprintf(stderr, "astraparse: %v\n", readErr)
+		return 1
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "astraparse: %v\n", err)
+		return 1
 	}
 
 	cePath := filepath.Join(*out, "ce-telemetry.csv")
 	cf, err := os.Create(cePath)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "astraparse: %v\n", err)
+		return 1
 	}
 	if err := dataset.WriteCERecordsCSV(cf, ces); err != nil {
-		log.Fatalf("writing %s: %v", cePath, err)
+		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", cePath, err)
+		return 1
 	}
 	if err := cf.Close(); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "astraparse: %v\n", err)
+		return 1
 	}
 
 	duePath := filepath.Join(*out, "due-telemetry.csv")
 	if err := writeDUECSV(duePath, dues); err != nil {
-		log.Fatalf("writing %s: %v", duePath, err)
+		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", duePath, err)
+		return 1
 	}
 	hetPath := filepath.Join(*out, "het-events.csv")
 	if err := writeHETCSV(hetPath, hets); err != nil {
-		log.Fatalf("writing %s: %v", hetPath, err)
+		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", hetPath, err)
+		return 1
 	}
 
-	fmt.Printf("scanned %d lines: %d CE, %d DUE, %d HET, %d other, %d malformed\n",
-		stats.Lines, stats.CEs, stats.DUEs, stats.HETs, stats.Other, stats.Malformed)
-	fmt.Printf("wrote %s, %s, %s\n", cePath, duePath, hetPath)
-	if stats.Malformed > 0 {
-		frac := float64(stats.Malformed) / float64(stats.Lines)
-		fmt.Printf("warning: %.3f%% of lines were malformed and excluded\n", 100*frac)
+	fmt.Fprintf(stdout, "scanned %d lines: %d CE, %d DUE, %d HET, %d other, %d malformed\n",
+		rep.Lines, rep.CEs, rep.DUEs, rep.HETs, rep.Other, rep.Malformed)
+	fmt.Fprintf(stdout, "ingest health: truncated %d, garbage %d, duplicated %d, reordered %d, dropped-out-of-order %d\n",
+		rep.Truncated, rep.Garbage, rep.Duplicated, rep.Reordered, rep.DroppedOutOfOrder)
+	fmt.Fprintf(stdout, "wrote %s, %s, %s\n", cePath, duePath, hetPath)
+	if rep.Malformed > 0 {
+		fmt.Fprintf(stdout, "warning: %.3f%% of record lines were malformed and excluded\n", 100*rep.MalformedFrac)
 	}
+	if readErr != nil {
+		fmt.Fprintf(stderr, "astraparse: %v\n", readErr)
+		return 1
+	}
+	return 0
 }
 
 func writeDUECSV(path string, dues []mce.DUERecord) error {

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	astra "repro"
 	"repro/internal/core"
@@ -77,6 +78,8 @@ func main() {
 		nodes       = flag.Int("nodes", 432, "system size in nodes (full Astra is 2592)")
 		figures     = flag.String("figures", "all", "comma-separated figure list (table1,fig2..fig15,thermal,survival) or `all`")
 		fromSyslog  = flag.String("from-syslog", "", "analyze an existing syslog instead of the built-in pipeline")
+		dedupWindow = flag.Int("dedup-window", 0, "with -from-syslog, suppress record lines identical to one of the last N (0 disables)")
+		reorderWin  = flag.Duration("reorder-window", 2*time.Minute, "with -from-syslog, resequence records arriving up to this much late (0 disables)")
 		experiments = flag.Bool("experiments", false, "emit the paper-vs-measured comparison table (markdown) instead of figures")
 		svgDir      = flag.String("svg", "", "also write SVG figures into this directory")
 	)
@@ -85,7 +88,11 @@ func main() {
 		log.Fatalf("-nodes must be in [1, %d]", topology.Nodes)
 	}
 
-	study, err := buildStudy(*seed, *nodes, *fromSyslog)
+	study, err := buildStudy(*seed, *nodes, *fromSyslog, dataset.IngestPolicy{
+		DedupWindow:      *dedupWindow,
+		ReorderWindow:    *reorderWin,
+		MaxMalformedFrac: -1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -157,8 +164,12 @@ func writeSVGs(dir string, study *astra.Study, r *astra.Results) error {
 }
 
 // buildStudy either runs the synthetic pipeline or replaces its CE/DUE/HET
-// streams with records parsed from an existing syslog.
-func buildStudy(seed uint64, nodes int, fromSyslog string) (*astra.Study, error) {
+// streams with records parsed from an existing syslog. External logs are
+// never trusted: they pass through the tolerant ingest policy, any records
+// still out of order afterwards are repaired by core.SanitizeRecords, and
+// an ingest-health section is printed so the reader can judge how dirty
+// the input was.
+func buildStudy(seed uint64, nodes int, fromSyslog string, pol dataset.IngestPolicy) (*astra.Study, error) {
 	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes})
 	if err != nil {
 		return nil, err
@@ -171,11 +182,22 @@ func buildStudy(seed uint64, nodes int, fromSyslog string) (*astra.Study, error)
 		return nil, err
 	}
 	defer f.Close()
-	ces, dues, hets, stats, err := dataset.ReadSyslog(f)
+	ces, dues, hets, rep, err := dataset.ReadSyslogPolicy(f, pol)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("parsed %d lines (%d malformed) from %s\n", stats.Lines, stats.Malformed, fromSyslog)
+	// Repair ordering only when the log is still unsorted after the reorder
+	// window — a clean, sorted log must round-trip untouched (the generator
+	// legitimately emits byte-identical duplicate CE lines, which a blanket
+	// dedup would strip).
+	sanitized, san := core.SanitizeRecords(ces)
+	if san.WasUnsorted {
+		ces = sanitized
+	} else {
+		san = core.SanitizeReport{In: san.In, Out: san.In}
+	}
+	fmt.Printf("parsed %d lines (%d malformed) from %s\n", rep.Lines, rep.Malformed, fromSyslog)
+	fmt.Println(report.IngestHealth(rep, san))
 	study.Dataset.CERecords = ces
 	study.Dataset.DUERecords = dues
 	study.Dataset.HETRecords = hets

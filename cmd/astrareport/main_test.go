@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/corrupt"
+	"repro/internal/dataset"
+)
+
+// writeStudySyslog renders a small dataset's syslog, optionally corrupted,
+// and returns the dataset plus the log path.
+func writeStudySyslog(t *testing.T, seed uint64, nodes int, cfg *corrupt.Config) (*dataset.Dataset, string) {
+	t.Helper()
+	dcfg := dataset.DefaultConfig(seed)
+	dcfg.Nodes = nodes
+	ds, err := dataset.Build(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if cfg != nil {
+		var dirty bytes.Buffer
+		if _, err := corrupt.New(*cfg).Process(bytes.NewReader(data), &dirty); err != nil {
+			t.Fatal(err)
+		}
+		data = dirty.Bytes()
+	}
+	path := filepath.Join(t.TempDir(), "syslog.log")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ds, path
+}
+
+func tolerantPolicy() dataset.IngestPolicy {
+	return dataset.IngestPolicy{ReorderWindow: 2 * time.Minute, MaxMalformedFrac: -1}
+}
+
+// A clean, sorted log must round-trip through the hardened path untouched:
+// same record counts as the in-memory dataset, no sanitizer repairs.
+func TestBuildStudyCleanParity(t *testing.T) {
+	ds, log := writeStudySyslog(t, 7, 64, nil)
+	study, err := buildStudy(7, 64, log, tolerantPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(study.Dataset.CERecords), len(ds.CERecords); got != want {
+		t.Errorf("CE records: got %d, want %d", got, want)
+	}
+	if got, want := len(study.Dataset.DUERecords), len(ds.DUERecords); got != want {
+		t.Errorf("DUE records: got %d, want %d", got, want)
+	}
+	if got, want := len(study.Dataset.HETRecords), len(ds.HETRecords); got != want {
+		t.Errorf("HET records: got %d, want %d", got, want)
+	}
+}
+
+// A corrupted log must still build a study — salvaging most records and
+// producing a non-empty fault set — rather than erroring or panicking.
+func TestBuildStudyCorruptedSyslog(t *testing.T) {
+	cfg := corrupt.Uniform(9, 0.02)
+	ds, log := writeStudySyslog(t, 7, 64, &cfg)
+	study, err := buildStudy(7, 64, log, tolerantPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, min := len(study.Dataset.CERecords), len(ds.CERecords)*9/10; got < min {
+		t.Errorf("salvaged only %d of %d CE records, want >= %d", got, len(ds.CERecords), min)
+	}
+	if len(study.Faults) == 0 {
+		t.Error("no faults clustered from salvaged records")
+	}
+	results := study.Analyze()
+	if results.Breakdown.Total == 0 {
+		t.Error("analysis of salvaged records produced empty breakdown")
+	}
+}

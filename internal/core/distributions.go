@@ -25,12 +25,16 @@ type ModeBreakdown struct {
 	ErrorsByMode [NumFaultModes]int
 	// Total is the overall CE count (paper: 4,369,731).
 	Total int
+	// Degraded reports that the input was empty (reachable from fully
+	// corrupted telemetry) and every field is a defined zero value.
+	Degraded bool
 }
 
 // BreakdownByMode computes the Fig 4a series from clustered faults.
 func BreakdownByMode(records []mce.CERecord, faults []Fault) ModeBreakdown {
 	var b ModeBreakdown
 	if len(records) == 0 {
+		b.Degraded = true
 		return b
 	}
 	first, last := records[0].Time, records[0].Time
@@ -76,11 +80,13 @@ type ErrorsPerFault struct {
 	Mean    float64
 	Max     int
 	Summary stats.Summary
+	// Degraded reports an empty fault population (zero-valued summary).
+	Degraded bool
 }
 
 // ErrorsPerFaultDist computes the Fig 4b distribution.
 func ErrorsPerFaultDist(faults []Fault) ErrorsPerFault {
-	out := ErrorsPerFault{Counts: make([]int, 0, len(faults))}
+	out := ErrorsPerFault{Counts: make([]int, 0, len(faults)), Degraded: len(faults) == 0}
 	for _, f := range faults {
 		out.Counts = append(out.Counts, f.NErrors)
 		if f.NErrors > out.Max {
@@ -116,14 +122,18 @@ type PerNode struct {
 	PowerLaw stats.PowerLawFit
 	// PowerLawErr reports a fit failure (small samples).
 	PowerLawErr error
+	// Degraded reports an empty record population or a non-positive
+	// totalNodes; concentration statistics are zero-valued.
+	Degraded bool
 }
 
 // AnalyzePerNode computes the Fig 5 statistics. totalNodes is the system
 // size used for the top-2% cut (2592 on the full system).
 func AnalyzePerNode(records []mce.CERecord, faults []Fault, totalNodes int) PerNode {
 	out := PerNode{
-		Errors: map[topology.NodeID]int{},
-		Faults: map[topology.NodeID]int{},
+		Errors:   map[topology.NodeID]int{},
+		Faults:   map[topology.NodeID]int{},
+		Degraded: len(records) == 0 || totalNodes <= 0,
 	}
 	for _, r := range records {
 		out.Errors[r.Node]++

@@ -74,7 +74,7 @@ func AnalyzeDUEPrecursors(dues []mce.DUERecord, faults []Fault, dimms int) Precu
 	}
 	if len(leads) > 0 {
 		sort.Float64s(leads)
-		p.MedianLeadDays = stats.Quantile(leads, 0.5)
+		p.MedianLeadDays, _ = stats.Quantile(leads, 0.5)
 	}
 	return p
 }

@@ -19,13 +19,18 @@ type FaultRates struct {
 	FaultyDIMMs int
 	// DeviceHours is the exposure used for the denominator.
 	DeviceHours float64
+	// Degraded reports that no rates could be computed: no faults, or an
+	// undefined exposure (non-positive population or window). All rates
+	// are defined zeros.
+	Degraded bool
 }
 
 // AnalyzeFaultRates converts fault counts into FIT/DIMM over the
 // observation window for a population of dimms devices.
 func AnalyzeFaultRates(faults []Fault, dimms int, window time.Duration) FaultRates {
 	var r FaultRates
-	if dimms <= 0 || window <= 0 {
+	if dimms <= 0 || window <= 0 || len(faults) == 0 {
+		r.Degraded = true
 		return r
 	}
 	r.DeviceHours = float64(dimms) * window.Hours()

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/topology"
+)
+
+func sanRec(sec int, node int, addr uint64) mce.CERecord {
+	return mce.CERecord{
+		Time: time.Date(2019, 5, 1, 0, 0, sec, 0, time.UTC),
+		Node: topology.NodeID(node),
+		Addr: topology.PhysAddr(addr),
+	}
+}
+
+func TestSanitizeRecordsCleanPassthrough(t *testing.T) {
+	in := []mce.CERecord{sanRec(1, 0, 0x100), sanRec(2, 1, 0x200), sanRec(3, 0, 0x300)}
+	out, rep := SanitizeRecords(in)
+	if rep.Changed() {
+		t.Errorf("clean input reported changed: %+v", rep)
+	}
+	if len(out) != 3 || rep.In != 3 || rep.Out != 3 {
+		t.Errorf("clean input altered: %d records, report %+v", len(out), rep)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d changed: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestSanitizeRecordsRepairsOrderAndDupes(t *testing.T) {
+	in := []mce.CERecord{
+		sanRec(5, 0, 0x100),
+		sanRec(2, 1, 0x200),
+		sanRec(2, 1, 0x200), // exact duplicate
+		sanRec(1, 2, 0x300),
+	}
+	out, rep := SanitizeRecords(in)
+	if !rep.WasUnsorted || rep.DuplicatesRemoved != 1 {
+		t.Errorf("report = %+v, want unsorted with 1 duplicate", rep)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d records, want 3", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Time.Before(out[i-1].Time) {
+			t.Error("output not time-ordered")
+		}
+	}
+}
+
+func TestSanitizeRecordsKeepsDistinctSameSecond(t *testing.T) {
+	// Same timestamp, different address: a legitimate burst, not a dupe.
+	in := []mce.CERecord{sanRec(1, 0, 0x100), sanRec(1, 0, 0x108)}
+	out, rep := SanitizeRecords(in)
+	if len(out) != 2 || rep.DuplicatesRemoved != 0 {
+		t.Errorf("burst collapsed: %d records, report %+v", len(out), rep)
+	}
+}
+
+func TestSanitizeRecordsEmpty(t *testing.T) {
+	out, rep := SanitizeRecords(nil)
+	if out != nil || rep.Changed() {
+		t.Errorf("empty sanitize: %v, %+v", out, rep)
+	}
+}
+
+// TestAnalysesDegradeOnEmptyInput drives every analysis that feeds the
+// report with empty inputs — the end state of a fully corrupted ingest —
+// and requires defined zero values with Degraded set, not panics.
+func TestAnalysesDegradeOnEmptyInput(t *testing.T) {
+	var records []mce.CERecord
+	faults := Cluster(records, DefaultClusterConfig())
+	if len(faults) != 0 {
+		t.Fatalf("clustered %d faults from nothing", len(faults))
+	}
+
+	if b := BreakdownByMode(records, faults); !b.Degraded || b.Total != 0 {
+		t.Errorf("BreakdownByMode = %+v", b)
+	}
+	if e := ErrorsPerFaultDist(faults); !e.Degraded || e.Median != 0 {
+		t.Errorf("ErrorsPerFaultDist = %+v", e)
+	}
+	if p := AnalyzePerNode(records, faults, 100); !p.Degraded || p.TopShare2Pct != 0 {
+		t.Errorf("AnalyzePerNode = %+v", p)
+	}
+	if p := AnalyzePerNode(records, faults, 0); !p.Degraded {
+		t.Errorf("AnalyzePerNode(totalNodes=0) not degraded")
+	}
+	if r := AnalyzeFaultRates(faults, 200, StudyWindow()); !r.Degraded || r.Total != 0 {
+		t.Errorf("AnalyzeFaultRates = %+v", r)
+	}
+	// The remaining analyses must simply not panic on empty input.
+	_ = AnalyzeStructures(records, faults)
+	_ = AnalyzeBitAddress(faults)
+	_ = AnalyzePositional(records, faults)
+	_ = AnalyzeDUEPrecursors(nil, faults, 200)
+	_ = AnalyzeModeStability(faults)
+	_ = AnalyzeInterarrivals(records, faults, 10)
+}

@@ -1,0 +1,252 @@
+package corrupt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func inputLines(n int) string {
+	var sb strings.Builder
+	base := time.Date(2019, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%s astra-r%02dc00n0 kernel: line %d payload=0x%04x\n",
+			base.Add(time.Duration(i)*time.Second).Format(time.RFC3339), i%36, i, i)
+	}
+	return sb.String()
+}
+
+func run(t *testing.T, cfg Config, input string) (string, Report) {
+	t.Helper()
+	var out strings.Builder
+	rep, err := New(cfg).Process(strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), rep
+}
+
+func TestZeroConfigIsPassthrough(t *testing.T) {
+	in := inputLines(200)
+	out, rep := run(t, Config{Seed: 1}, in)
+	if out != in {
+		t.Error("zero-rate corruption modified the stream")
+	}
+	if rep.Mutations() != 0 {
+		t.Errorf("zero-rate mutations: %+v", rep)
+	}
+	if rep.LinesIn != 200 || rep.LinesOut != 200 {
+		t.Errorf("line accounting: %+v", rep)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	in := inputLines(500)
+	cfg := Uniform(42, 0.05)
+	a, ra := run(t, cfg, in)
+	b, rb := run(t, cfg, in)
+	if a != b {
+		t.Error("same seed produced different corrupted output")
+	}
+	if ra != rb {
+		t.Errorf("same seed produced different reports: %+v vs %+v", ra, rb)
+	}
+	c, _ := run(t, Uniform(43, 0.05), in)
+	if a == c {
+		t.Error("different seeds produced identical corrupted output")
+	}
+}
+
+func TestEachFaultClass(t *testing.T) {
+	in := inputLines(300)
+	nIn := 300
+
+	t.Run("truncate", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, Truncate: 1}, in)
+		if rep.Truncated != nIn {
+			t.Errorf("Truncated = %d, want %d", rep.Truncated, nIn)
+		}
+		for i, l := range nonEmpty(out) {
+			if strings.Contains(l, "payload=") && strings.HasSuffix(l, fmt.Sprintf("payload=0x%04x", i)) {
+				t.Fatalf("line %d survived truncation intact: %q", i, l)
+			}
+		}
+	})
+
+	t.Run("duplicate", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, Duplicate: 1}, in)
+		if rep.Duplicated != nIn {
+			t.Errorf("Duplicated = %d, want %d", rep.Duplicated, nIn)
+		}
+		lines := nonEmpty(out)
+		if len(lines) != 2*nIn {
+			t.Fatalf("lines out = %d, want %d", len(lines), 2*nIn)
+		}
+		for i := 0; i < len(lines); i += 2 {
+			if lines[i] != lines[i+1] {
+				t.Fatalf("line %d not duplicated adjacently", i)
+			}
+		}
+	})
+
+	t.Run("reorder-bounded", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, Reorder: 0.3, ReorderDepth: 4}, in)
+		if rep.Reordered == 0 {
+			t.Fatal("no lines reordered at rate 0.3")
+		}
+		lines := nonEmpty(out)
+		if len(lines) != nIn {
+			t.Fatalf("reorder changed line count: %d", len(lines))
+		}
+		// Bounded displacement: every line within ReorderDepth+held-queue
+		// slack of its input position. With depth 4 the displacement can
+		// compound slightly while several lines are held; assert a loose
+		// but finite bound.
+		pos := map[string]int{}
+		for i, l := range nonEmpty(in) {
+			pos[l] = i
+		}
+		for i, l := range lines {
+			want, ok := pos[l]
+			if !ok {
+				t.Fatalf("unknown line %q", l)
+			}
+			if d := i - want; d < -16 || d > 16 {
+				t.Fatalf("line displaced by %d positions", d)
+			}
+		}
+	})
+
+	t.Run("clock-skew", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, ClockSkew: 1, MaxSkewSeconds: 60}, in)
+		if rep.Skewed != nIn {
+			t.Errorf("Skewed = %d, want %d", rep.Skewed, nIn)
+		}
+		inLines := nonEmpty(in)
+		for i, l := range nonEmpty(out) {
+			if l == inLines[i] {
+				t.Fatalf("line %d not skewed", i)
+			}
+			ts := strings.Fields(l)[0]
+			got, err := time.Parse(time.RFC3339, ts)
+			if err != nil {
+				t.Fatalf("skewed timestamp unparseable: %v", err)
+			}
+			orig, _ := time.Parse(time.RFC3339, strings.Fields(inLines[i])[0])
+			d := got.Sub(orig)
+			if d == 0 || d < -60*time.Second || d > 60*time.Second {
+				t.Fatalf("skew %v out of bounds", d)
+			}
+		}
+		// Same node ⇒ same offset (stable per-node skew).
+		offsets := map[string]time.Duration{}
+		for i, l := range nonEmpty(out) {
+			node := strings.Fields(l)[1]
+			orig, _ := time.Parse(time.RFC3339, strings.Fields(inLines[i])[0])
+			got, _ := time.Parse(time.RFC3339, strings.Fields(l)[0])
+			if prev, ok := offsets[node]; ok && prev != got.Sub(orig) {
+				t.Fatalf("node %s skew not stable: %v vs %v", node, prev, got.Sub(orig))
+			}
+			offsets[node] = got.Sub(orig)
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, Garbage: 1}, in)
+		if rep.GarbageInserted != nIn {
+			t.Errorf("GarbageInserted = %d, want %d", rep.GarbageInserted, nIn)
+		}
+		if got := len(nonEmpty(out)); got != 2*nIn {
+			t.Errorf("lines out = %d, want %d", got, 2*nIn)
+		}
+	})
+
+	t.Run("rotation-split", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, RotationSplit: 1}, in)
+		if rep.RotationSplits != nIn {
+			t.Errorf("RotationSplits = %d, want %d", rep.RotationSplits, nIn)
+		}
+		lines := nonEmpty(out)
+		if len(lines) < 2*nIn-5 { // splits at byte 0 of empty-ish lines aside
+			t.Errorf("lines out = %d, want ~%d", len(lines), 2*nIn)
+		}
+	})
+
+	t.Run("drop-runs", func(t *testing.T) {
+		out, rep := run(t, Config{Seed: 7, DropRun: 0.02, DropRunLen: 8}, in)
+		if rep.DroppedLines == 0 {
+			t.Fatal("no lines dropped")
+		}
+		if got := len(nonEmpty(out)); got != nIn-rep.DroppedLines {
+			t.Errorf("lines out = %d, dropped = %d, in = %d", got, rep.DroppedLines, nIn)
+		}
+	})
+}
+
+func TestUniformRates(t *testing.T) {
+	in := inputLines(2000)
+	_, rep := run(t, Uniform(9, 0.01), in)
+	// Each class should fire at roughly 1% of 2000 = 20 lines; allow wide
+	// stochastic slop but require activity in every class.
+	for name, n := range map[string]int{
+		"Truncated":       rep.Truncated,
+		"Duplicated":      rep.Duplicated,
+		"Reordered":       rep.Reordered,
+		"GarbageInserted": rep.GarbageInserted,
+		"RotationSplits":  rep.RotationSplits,
+	} {
+		if n == 0 {
+			t.Errorf("%s = 0 at rate 0.01 over 2000 lines", name)
+		}
+		if n > 100 {
+			t.Errorf("%s = %d, implausibly high for rate 0.01", name, n)
+		}
+	}
+	// Dropped-run scaling: expected p*N = 20 dropped lines.
+	if rep.DroppedLines > 200 {
+		t.Errorf("DroppedLines = %d, want ~20", rep.DroppedLines)
+	}
+	if rep.Mutations() == 0 {
+		t.Error("no mutations at nonzero rate")
+	}
+}
+
+func TestProcessCSVKeepsHeader(t *testing.T) {
+	in := "timestamp,node,sensor,value\n" + strings.Repeat("2019-05-01T00:00:00Z,astra-r00c00n0,cpu1,40.0\n", 100)
+	var out strings.Builder
+	rep, err := New(Uniform(3, 0.5)).ProcessCSV(strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if first != "timestamp,node,sensor,value" {
+		t.Errorf("header corrupted: %q", first)
+	}
+	if rep.Mutations() == 0 {
+		t.Error("no data-row mutations")
+	}
+}
+
+func TestFullRateDoesNotLoseEverything(t *testing.T) {
+	// Even at 100% combined corruption the stream still yields lines (the
+	// ingest path must cope, not crash; the dropped-run rate is p/len).
+	in := inputLines(500)
+	out, rep := run(t, Uniform(11, 1), in)
+	if len(nonEmpty(out)) == 0 {
+		t.Error("rate-1 corruption produced an empty stream")
+	}
+	if rep.Truncated == 0 && rep.RotationSplits == 0 {
+		t.Error("rate-1 corruption left lines uncut")
+	}
+}
+
+func nonEmpty(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -141,6 +141,8 @@ func (ds *Dataset) runEdac() {
 		ds.EdacStats.Offered += st.Offered
 		ds.EdacStats.Logged += st.Logged
 		ds.EdacStats.Dropped += st.Dropped
+		ds.EdacStats.Reordered += st.Reordered
+		ds.EdacStats.DroppedOutOfOrder += st.DroppedOutOfOrder
 	}
 	sortCERecords(ds.CERecords)
 }

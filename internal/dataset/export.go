@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/envmodel"
@@ -186,11 +187,11 @@ func parseCECSVRow(row []string) (mce.CERecord, error) {
 		}
 		ints = append(ints, v)
 	}
-	addr, err := strconv.ParseUint(row[9][2:], 16, 64)
+	addr, err := parseHexCell(row[9], 64)
 	if err != nil {
 		return mce.CERecord{}, err
 	}
-	syn, err := strconv.ParseUint(row[10][2:], 16, 8)
+	syn, err := parseHexCell(row[10], 8)
 	if err != nil {
 		return mce.CERecord{}, err
 	}
@@ -268,29 +269,47 @@ func ReadSensorCSV(r io.Reader) ([]SensorSample, error) {
 	}
 	out := make([]SensorSample, 0, len(rows)-1)
 	for i, row := range rows[1:] {
-		ts, err := time.Parse(time.RFC3339, row[0])
+		s, err := parseSensorCSVRow(row)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
 		}
-		node, err := topology.ParseNodeID(row[1])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
-		}
-		sensor, err := topology.ParseSensor(row[2])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
-		}
-		v, err := strconv.ParseFloat(row[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: sensor CSV row %d: %w", i+2, err)
-		}
-		lo, hi := envmodel.PlausibleRange(sensor)
-		out = append(out, SensorSample{
-			Time: ts.UTC(), Node: node, Sensor: sensor, Value: v,
-			Valid: v >= lo && v <= hi,
-		})
+		out = append(out, s)
 	}
 	return out, nil
+}
+
+// parseHexCell parses a "0x"-prefixed hex CSV cell; a cell too short to
+// carry the prefix (truncated row) is an error, not a panic.
+func parseHexCell(cell string, bits int) (uint64, error) {
+	v, ok := strings.CutPrefix(cell, "0x")
+	if !ok || v == "" {
+		return 0, fmt.Errorf("malformed hex cell %q", cell)
+	}
+	return strconv.ParseUint(v, 16, bits)
+}
+
+func parseSensorCSVRow(row []string) (SensorSample, error) {
+	ts, err := time.Parse(time.RFC3339, row[0])
+	if err != nil {
+		return SensorSample{}, err
+	}
+	node, err := topology.ParseNodeID(row[1])
+	if err != nil {
+		return SensorSample{}, err
+	}
+	sensor, err := topology.ParseSensor(row[2])
+	if err != nil {
+		return SensorSample{}, err
+	}
+	v, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		return SensorSample{}, err
+	}
+	lo, hi := envmodel.PlausibleRange(sensor)
+	return SensorSample{
+		Time: ts.UTC(), Node: node, Sensor: sensor, Value: v,
+		Valid: v >= lo && v <= hi,
+	}, nil
 }
 
 // WriteReplacementsCSV writes the inventory replacement log.
@@ -318,19 +337,11 @@ func (ds *Dataset) WriteReplacementsCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadSyslog parses a merged syslog back into typed record streams.
+// ReadSyslog parses a merged syslog back into typed record streams with
+// the maximally lenient policy: malformed lines are counted, nothing is
+// deduplicated or reordered, and no malformed budget applies. Use
+// ReadSyslogPolicy to opt into tolerance or strictness.
 func ReadSyslog(r io.Reader) (ces []mce.CERecord, dues []mce.DUERecord, hets []het.Record, stats syslog.ScanStats, err error) {
-	sc := syslog.NewScanner(r)
-	for sc.Scan() {
-		p := sc.Record()
-		switch p.Kind {
-		case syslog.KindCE:
-			ces = append(ces, p.CE)
-		case syslog.KindDUE:
-			dues = append(dues, p.DUE)
-		case syslog.KindHET:
-			hets = append(hets, p.HET)
-		}
-	}
-	return ces, dues, hets, sc.Stats(), sc.Err()
+	ces, dues, hets, rep, err := ReadSyslogPolicy(r, IngestPolicy{MaxMalformedFrac: -1})
+	return ces, dues, hets, rep.ScanStats, err
 }

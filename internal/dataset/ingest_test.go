@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corrupt"
+)
+
+var (
+	smallDSOnce sync.Once
+	smallDS     *Dataset
+	smallDSErr  error
+)
+
+// smallDataset builds a compact dataset once, shared (read-only) by all
+// ingest tests — Build is the dominant cost here, especially under -race.
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	smallDSOnce.Do(func() {
+		cfg := DefaultConfig(77)
+		cfg.Nodes = 48
+		smallDS, smallDSErr = Build(cfg)
+	})
+	if smallDSErr != nil {
+		t.Fatal(smallDSErr)
+	}
+	return smallDS
+}
+
+func TestReadSyslogPolicyCleanMatchesDefault(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.String()
+
+	// With only a reorder window (the clean log is already time-ordered)
+	// nothing may change: no malformed lines, no drops, exact counts.
+	ces, dues, hets, rep, err := ReadSyslogPolicy(strings.NewReader(clean), IngestPolicy{
+		ReorderWindow: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Malformed != 0 || rep.DroppedOutOfOrder != 0 || rep.BudgetExceeded {
+		t.Errorf("clean log flagged dirty: %+v", rep)
+	}
+	if len(ces) != len(ds.CERecords) || len(dues) != len(ds.DUERecords) || len(hets) != len(ds.HETRecords) {
+		t.Errorf("reorder policy changed clean record counts: %d/%d/%d vs %d/%d/%d (report %+v)",
+			len(ces), len(dues), len(hets),
+			len(ds.CERecords), len(ds.DUERecords), len(ds.HETRecords), rep)
+	}
+
+	// Dedup is lossy on purpose: a burst hammering one cell renders as
+	// byte-identical lines, indistinguishable from relay duplication (the
+	// ambiguity real field data has too). The accounting must balance —
+	// every suppressed line is counted, none silently vanish.
+	ces2, _, _, rep2, err := ReadSyslogPolicy(strings.NewReader(clean), IngestPolicy{DedupWindow: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces2)+rep2.Duplicated != len(ds.CERecords) {
+		t.Errorf("dedup accounting imbalance: %d kept + %d suppressed != %d generated",
+			len(ces2), rep2.Duplicated, len(ds.CERecords))
+	}
+}
+
+func TestReadSyslogPolicyCorrupted(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	var dirty bytes.Buffer
+	crep, err := corrupt.New(corrupt.Uniform(5, 0.02)).Process(&buf, &dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Mutations() == 0 {
+		t.Fatal("corruptor did nothing")
+	}
+
+	ces, _, _, rep, err := ReadSyslogPolicy(bytes.NewReader(dirty.Bytes()), IngestPolicy{
+		DedupWindow:      32,
+		ReorderWindow:    5 * time.Minute,
+		MaxMalformedFrac: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Malformed == 0 {
+		t.Error("corrupted log reported no malformed lines")
+	}
+	if rep.Truncated+rep.Garbage != rep.Malformed {
+		t.Errorf("category accounting broken: %+v", rep)
+	}
+	if rep.Duplicated == 0 {
+		t.Error("relay duplicates not suppressed")
+	}
+	// Most records should survive 2% corruption.
+	if float64(len(ces)) < 0.9*float64(len(ds.CERecords)) {
+		t.Errorf("lost too many CEs: %d of %d", len(ces), len(ds.CERecords))
+	}
+}
+
+func TestReadSyslogPolicyMalformedBudget(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var dirty bytes.Buffer
+	if _, err := corrupt.New(corrupt.Config{Seed: 5, Truncate: 0.2}).Process(&buf, &dirty); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, _, rep, err := ReadSyslogPolicy(bytes.NewReader(dirty.Bytes()), IngestPolicy{MaxMalformedFrac: 0.01})
+	if err == nil || !rep.BudgetExceeded {
+		t.Errorf("20%% truncation passed a 1%% malformed budget: err=%v report=%+v", err, rep)
+	}
+	// The salvage is still returned alongside the error.
+	if rep.CEs == 0 {
+		t.Error("budget failure discarded the salvageable records")
+	}
+
+	// A generous budget passes.
+	buf.Reset()
+	if err := ds.WriteSyslog(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	dirty.Reset()
+	if _, err := corrupt.New(corrupt.Config{Seed: 5, Truncate: 0.2}).Process(&buf, &dirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, rep, err := ReadSyslogPolicy(bytes.NewReader(dirty.Bytes()), IngestPolicy{MaxMalformedFrac: 0.5}); err != nil {
+		t.Errorf("20%% truncation failed a 50%% budget: %v (report %+v)", err, rep)
+	}
+}
+
+func TestReadSyslogPolicyStrict(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var dirty bytes.Buffer
+	if _, err := corrupt.New(corrupt.Config{Seed: 5, Truncate: 0.1}).Process(&buf, &dirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadSyslogPolicy(bytes.NewReader(dirty.Bytes()), IngestPolicy{Strict: true}); err == nil {
+		t.Error("strict policy accepted a corrupted log")
+	}
+}
+
+func TestReadCETelemetryCSVLenient(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCETelemetryCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean file: lenient and strict agree.
+	strict, err := ReadCETelemetryCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, rep, err := ReadCETelemetryCSVLenient(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bad != 0 || len(lenient) != len(strict) {
+		t.Errorf("lenient read of clean CSV: %d records, report %+v; strict %d", len(lenient), rep, len(strict))
+	}
+
+	// Corrupted file: strict aborts, lenient salvages and accounts.
+	var dirty bytes.Buffer
+	if _, err := corrupt.New(corrupt.Uniform(7, 0.05)).ProcessCSV(&buf, &dirty); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCETelemetryCSV(bytes.NewReader(dirty.Bytes())); err == nil {
+		t.Log("strict reader happened to tolerate this corruption (dedup-invisible faults only)")
+	}
+	got, rep, err := ReadCETelemetryCSVLenient(bytes.NewReader(dirty.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bad == 0 {
+		t.Error("5% corruption produced zero bad rows")
+	}
+	if len(rep.Errors) == 0 || len(rep.Errors) > 10 {
+		t.Errorf("error sample size %d, want 1..10", len(rep.Errors))
+	}
+	// 5% line corruption costs more than 5% of rows (dropped runs take 8
+	// lines each; a torn row can swallow its neighbor) — but the large
+	// majority must survive.
+	if float64(len(got)) < 0.7*float64(len(strict)) {
+		t.Errorf("salvaged only %d of %d rows", len(got), len(strict))
+	}
+}
+
+func TestReadSensorCSVLenient(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteSensorCSV(&buf, 40, 20000); err != nil {
+		t.Fatal(err)
+	}
+	var dirty bytes.Buffer
+	if _, err := corrupt.New(corrupt.Uniform(7, 0.1)).ProcessCSV(&buf, &dirty); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := ReadSensorCSVLenient(bytes.NewReader(dirty.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows == 0 || len(got) == 0 {
+		t.Fatalf("lenient sensor read salvaged nothing: report %+v", rep)
+	}
+	if rep.Bad == 0 {
+		t.Error("10% corruption produced zero bad sensor rows")
+	}
+}

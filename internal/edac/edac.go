@@ -70,6 +70,14 @@ type Stats struct {
 	Offered uint64
 	Logged  uint64
 	Dropped uint64
+	// Reordered counts records that arrived with a time key earlier than
+	// the current polling interval but within the reorder slack; they are
+	// folded into the current interval's buffer rather than lost.
+	Reordered uint64
+	// DroppedOutOfOrder counts records too old for the reorder slack,
+	// discarded before reaching the buffer (they appear in no other
+	// counter, so Logged + Dropped == Offered still holds).
+	DroppedOutOfOrder uint64
 }
 
 // LossFraction returns the fraction of offered records that were dropped,
@@ -88,14 +96,22 @@ func (s Stats) LossFraction() float64 {
 type Poller[T any] struct {
 	ring     *Ring[T]
 	interval int64
+	slack    int64
 	cur      int64
 	started  bool
 	out      func([]T)
 	stats    Stats
 }
 
-// NewPoller builds a poller draining every interval key units into out.
-// It panics if interval <= 0 or out is nil.
+// DefaultReorderSlack is how many polling intervals late a record may
+// arrive and still be accepted (folded into the current interval's
+// buffer). Telemetry relays jitter by seconds, not minutes, so one
+// interval of slack absorbs realistic skew.
+const DefaultReorderSlack = 1
+
+// NewPoller builds a poller draining every interval key units into out,
+// tolerating records up to DefaultReorderSlack intervals late. It panics
+// if interval <= 0 or out is nil.
 func NewPoller[T any](capacity int, interval int64, out func([]T)) *Poller[T] {
 	if interval <= 0 {
 		panic("edac: poll interval must be positive")
@@ -103,12 +119,25 @@ func NewPoller[T any](capacity int, interval int64, out func([]T)) *Poller[T] {
 	if out == nil {
 		panic("edac: poller requires an output function")
 	}
-	return &Poller[T]{ring: NewRing[T](capacity), interval: interval, out: out}
+	return &Poller[T]{ring: NewRing[T](capacity), interval: interval, slack: DefaultReorderSlack, out: out}
 }
 
-// Offer feeds one record with its time key; keys must be non-decreasing
-// (time-ordered stream). Crossing an interval boundary triggers a drain of
-// everything buffered before the boundary.
+// SetReorderSlack overrides how many polling intervals late a record may
+// arrive before it is discarded. Zero restores strict ordering (any late
+// record is dropped and counted).
+func (p *Poller[T]) SetReorderSlack(intervals int64) {
+	if intervals < 0 {
+		intervals = 0
+	}
+	p.slack = intervals
+}
+
+// Offer feeds one record with its time key. Keys are expected to be
+// non-decreasing (time-ordered stream); a record up to the reorder slack
+// late is folded into the current interval's buffer and counted as
+// Reordered, while anything older is discarded and counted as
+// DroppedOutOfOrder — the intervals it belongs to have already been
+// drained, so there is no correct buffer to place it in.
 func (p *Poller[T]) Offer(key int64, rec T) {
 	slot := key / p.interval
 	if !p.started {
@@ -116,7 +145,13 @@ func (p *Poller[T]) Offer(key int64, rec T) {
 		p.started = true
 	}
 	if slot < p.cur {
-		panic("edac: out-of-order record offered to poller")
+		if p.cur-slot > p.slack {
+			p.stats.DroppedOutOfOrder++
+			return
+		}
+		p.stats.Reordered++
+		p.ring.Offer(rec)
+		return
 	}
 	if slot > p.cur {
 		p.flush()

@@ -101,15 +101,51 @@ func TestPollerDropsBursts(t *testing.T) {
 	}
 }
 
-func TestPollerRejectsOutOfOrder(t *testing.T) {
+func TestPollerReordersWithinSlack(t *testing.T) {
+	// A record one interval late (default slack) folds into the current
+	// buffer instead of panicking or being lost.
+	var logged []int
+	p := NewPoller[int](4, 60, func(recs []int) { logged = append(logged, recs...) })
+	p.Offer(120, 1) // minute 2
+	p.Offer(70, 2)  // minute 1: one interval late — accepted
+	stats := p.Close()
+	if len(logged) != 2 {
+		t.Errorf("logged = %v, want both records", logged)
+	}
+	if stats.Reordered != 1 || stats.DroppedOutOfOrder != 0 {
+		t.Errorf("stats = %+v, want Reordered 1", stats)
+	}
+	if stats.Logged+stats.Dropped != stats.Offered {
+		t.Errorf("accounting imbalance: %+v", stats)
+	}
+}
+
+func TestPollerDropsBeyondSlack(t *testing.T) {
+	var logged []int
+	p := NewPoller[int](4, 60, func(recs []int) { logged = append(logged, recs...) })
+	p.Offer(300, 1) // minute 5
+	p.Offer(30, 2)  // minute 0: four intervals late — dropped
+	stats := p.Close()
+	if len(logged) != 1 || logged[0] != 1 {
+		t.Errorf("logged = %v, want just the in-order record", logged)
+	}
+	if stats.DroppedOutOfOrder != 1 || stats.Reordered != 0 {
+		t.Errorf("stats = %+v, want DroppedOutOfOrder 1", stats)
+	}
+	// The late record never reached the ring, so the loss balance holds.
+	if stats.Offered != 1 || stats.Logged+stats.Dropped != stats.Offered {
+		t.Errorf("accounting imbalance: %+v", stats)
+	}
+}
+
+func TestPollerZeroSlackStrictOrdering(t *testing.T) {
 	p := NewPoller[int](4, 60, func([]int) {})
+	p.SetReorderSlack(0)
 	p.Offer(120, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on out-of-order record")
-		}
-	}()
-	p.Offer(30, 2)
+	p.Offer(70, 2) // one interval late: dropped under zero slack
+	if stats := p.Close(); stats.DroppedOutOfOrder != 1 {
+		t.Errorf("stats = %+v, want DroppedOutOfOrder 1", stats)
+	}
 }
 
 func TestPollerConstructorPanics(t *testing.T) {

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -160,7 +161,11 @@ func Figure4b(d core.ErrorsPerFault) string {
 	t.AddRow("mean", FormatCount(d.Mean))
 	t.AddRow("p90", FormatCount(d.Summary.Q3)) // quartile + quantiles below
 	if len(d.Counts) > 0 {
-		t.AddRow("p99", FormatCount(stats.Quantile(stats.CountsToFloats(d.Counts), 0.99)))
+		counts := stats.CountsToFloats(d.Counts)
+		sort.Float64s(counts)
+		if p99, ok := stats.Quantile(counts, 0.99); ok {
+			t.AddRow("p99", FormatCount(p99))
+		}
 	}
 	t.AddRow("max", FormatCount(float64(d.Max)))
 	return t.String()
@@ -170,8 +175,15 @@ func Figure4b(d core.ErrorsPerFault) string {
 func Figure5(pn core.PerNode, totalNodes int) string {
 	var sb strings.Builder
 	t := NewTable("Figure 5: correctable errors and faults per node", "Statistic", "Value")
+	nodeFrac := 0.0
+	if totalNodes > 0 {
+		nodeFrac = float64(pn.NodesWithErrors) / float64(totalNodes)
+	}
 	t.AddRow("nodes with >= 1 CE", fmt.Sprintf("%d of %d (%s)",
-		pn.NodesWithErrors, totalNodes, FormatPct(float64(pn.NodesWithErrors)/float64(totalNodes))))
+		pn.NodesWithErrors, totalNodes, FormatPct(nodeFrac)))
+	if pn.Degraded {
+		t.AddRow("DEGRADED", "empty input; statistics are zero-valued")
+	}
 	t.AddRow("CE share of top 8 nodes", FormatPct(pn.TopShare8))
 	t.AddRow("CE share of top 2% of nodes", FormatPct(pn.TopShare2Pct))
 	if pn.PowerLawErr == nil {

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// IngestHealth renders the telemetry ingest-health section: per-category
+// line accounting from the syslog scan, the malformed-line fraction, and
+// any order/duplicate repairs applied to the parsed records before
+// analysis. It is printed whenever a report is built from an external
+// syslog rather than the in-memory pipeline, so a reader can judge how
+// much the figures may have degraded from dirty input.
+func IngestHealth(rep dataset.IngestReport, san core.SanitizeReport) string {
+	t := NewTable("Ingest health (external syslog)", "metric", "value")
+	t.AddRow("lines scanned", FormatCount(float64(rep.Lines)))
+	t.AddRow("CE records", FormatCount(float64(rep.CEs)))
+	t.AddRow("DUE records", FormatCount(float64(rep.DUEs)))
+	t.AddRow("HET records", FormatCount(float64(rep.HETs)))
+	t.AddRow("non-record lines", FormatCount(float64(rep.Other)))
+	t.AddRow("truncated", FormatCount(float64(rep.Truncated)))
+	t.AddRow("garbage", FormatCount(float64(rep.Garbage)))
+	t.AddRow("duplicates suppressed", FormatCount(float64(rep.Duplicated)))
+	t.AddRow("reordered (resequenced)", FormatCount(float64(rep.Reordered)))
+	t.AddRow("dropped out-of-order", FormatCount(float64(rep.DroppedOutOfOrder)))
+	t.AddRow("malformed fraction", FormatPct(rep.MalformedFrac))
+	if rep.BudgetExceeded {
+		t.AddRow("BUDGET EXCEEDED", "malformed fraction above configured limit")
+	}
+	if san.Changed() {
+		t.AddRow("records re-sorted", fmt.Sprintf("%v", san.WasUnsorted))
+		t.AddRow("adjacent duplicates removed", FormatCount(float64(san.DuplicatesRemoved)))
+	}
+	return t.String()
+}

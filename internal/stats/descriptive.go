@@ -56,37 +56,38 @@ func Summarize(xs []float64) Summary {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	s.Median = Quantile(sorted, 0.5)
-	s.Q1 = Quantile(sorted, 0.25)
-	s.Q3 = Quantile(sorted, 0.75)
+	s.Median, _ = Quantile(sorted, 0.5)
+	s.Q1, _ = Quantile(sorted, 0.25)
+	s.Q3, _ = Quantile(sorted, 0.75)
 	return s
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of an ascending-sorted
-// sample using linear interpolation between order statistics. It panics if
-// the sample is empty or unsorted inputs are detectable cheaply (first >
-// last); callers must sort first.
-func Quantile(sorted []float64, q float64) float64 {
+// sample using linear interpolation between order statistics. An empty
+// sample — reachable from degraded external data — returns (0, false)
+// rather than panicking; a detectably unsorted input (first > last) is a
+// programming error and still panics.
+func Quantile(sorted []float64, q float64) (float64, bool) {
 	if len(sorted) == 0 {
-		panic("stats: Quantile of empty sample")
+		return 0, false
 	}
 	if sorted[0] > sorted[len(sorted)-1] {
 		panic("stats: Quantile requires ascending-sorted input")
 	}
 	if q <= 0 {
-		return sorted[0]
+		return sorted[0], true
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		return sorted[len(sorted)-1], true
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], true
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, true
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
@@ -108,7 +109,8 @@ func Median(xs []float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	return Quantile(sorted, 0.5)
+	m, _ := Quantile(sorted, 0.5)
+	return m
 }
 
 // ECDF is an empirical cumulative distribution function over a sample.

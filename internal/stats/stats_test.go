@@ -38,9 +38,13 @@ func TestQuantile(t *testing.T) {
 		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
 	}
 	for _, c := range cases {
-		if got := Quantile(sorted, c.q); !almostEqual(got, c.want, 1e-12) {
-			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		got, ok := Quantile(sorted, c.q)
+		if !ok || !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, %v, want %v", c.q, got, ok, c.want)
 		}
+	}
+	if v, ok := Quantile(nil, 0.5); ok || v != 0 {
+		t.Errorf("Quantile(empty) = %v, %v, want 0, false", v, ok)
 	}
 }
 
@@ -436,12 +440,18 @@ func TestBootstrapCI(t *testing.T) {
 	for i := range xs {
 		xs[i] = rng.Norm(50, 5)
 	}
-	lo, hi := BootstrapCI(rng, xs, Mean, 500, 0.025)
+	lo, hi, ok := BootstrapCI(rng, xs, Mean, 500, 0.025)
+	if !ok {
+		t.Fatal("BootstrapCI not ok on a 500-sample input")
+	}
 	if lo > 50 || hi < 50 {
 		t.Errorf("95%% CI [%v, %v] should cover 50", lo, hi)
 	}
 	if hi-lo > 2 {
 		t.Errorf("CI too wide: [%v, %v]", lo, hi)
+	}
+	if lo, hi, ok := BootstrapCI(rng, nil, Mean, 10, 0.025); ok || lo != 0 || hi != 0 {
+		t.Errorf("BootstrapCI(empty) = %v, %v, %v, want zeros and false", lo, hi, ok)
 	}
 }
 

@@ -147,10 +147,11 @@ func KolmogorovSmirnov(a, b []float64) float64 {
 
 // BootstrapCI estimates a (1-2p) confidence interval for statistic fn over
 // sample xs using iters bootstrap resamples driven by rng. For example
-// p = 0.025 yields a 95% interval. It panics on an empty sample.
-func BootstrapCI(rng *simrand.Stream, xs []float64, fn func([]float64) float64, iters int, p float64) (lo, hi float64) {
+// p = 0.025 yields a 95% interval. An empty sample — reachable from
+// degraded external data — returns (0, 0, false).
+func BootstrapCI(rng *simrand.Stream, xs []float64, fn func([]float64) float64, iters int, p float64) (lo, hi float64, ok bool) {
 	if len(xs) == 0 {
-		panic("stats: BootstrapCI of empty sample")
+		return 0, 0, false
 	}
 	if iters <= 0 {
 		iters = 1000
@@ -164,5 +165,7 @@ func BootstrapCI(rng *simrand.Stream, xs []float64, fn func([]float64) float64, 
 		vals[i] = fn(resample)
 	}
 	sort.Float64s(vals)
-	return Quantile(vals, p), Quantile(vals, 1-p)
+	lo, _ = Quantile(vals, p)
+	hi, _ = Quantile(vals, 1-p)
+	return lo, hi, true
 }

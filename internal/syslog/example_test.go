@@ -29,5 +29,5 @@ func ExampleParseLine() {
 	// Output:
 	// CE on astra-r03c11n2 slot J
 	// noise
-	// corrupt record: syslog: socket 0 inconsistent with slot J
+	// corrupt record: record garbled: syslog: socket 0 inconsistent with slot J
 }

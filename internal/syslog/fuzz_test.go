@@ -1,0 +1,77 @@
+package syslog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseLine asserts the parser's contract on arbitrary bytes: it never
+// panics, and every error it returns is classified as exactly one of the
+// two corruption categories. The seed corpus covers the realistic dirty
+// inputs the corrupt package produces: truncations at every interesting
+// boundary, garbled fields, binary noise, and torn/merged lines.
+func FuzzParseLine(f *testing.F) {
+	ce := FormatCE(sampleCE())
+	due := FormatDUE(sampleDUE())
+	hetLine := FormatHET(sampleHET())
+
+	seeds := []string{
+		"", " ", "\x00\x01\x02",
+		ce, due, hetLine,
+		// Truncations: mid-header, mid-marker, mid-field, trailing cut.
+		ce[:10], ce[:25], ce[:len(ce)/2], ce[:len(ce)-1], ce[:len(ce)-7],
+		due[:len(due)/2], hetLine[:len(hetLine)-4],
+		// Garbling: bad values, duplicate fields, swapped bytes.
+		strings.Replace(ce, "rank=1", "rank=zz", 1),
+		strings.Replace(ce, "socket=1", "socket=9", 1),
+		ce + " rank=1",
+		strings.Replace(due, "fatal=1", "fatal=yes", 1),
+		strings.Replace(hetLine, "severity=", "sev eritY=", 1),
+		// Torn and merged lines (rotation splits, interleaved writes).
+		ce[:30] + due[30:],
+		ce + due,
+		"\xff\xfe" + ce,
+		"2019-05-20T13:04:55Z kernel: EDAC tx2_mc: CE", // marker, no host
+		"9999-99-99T99:99:99Z astra-r00c00n0 kernel: EDAC tx2_mc: CE socket=0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, line string) {
+		p, err := ParseLine(line) // must not panic
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrGarbled) {
+				t.Errorf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		if p.Kind == KindOther {
+			return
+		}
+		// A successfully parsed record must format back to a valid line
+		// that parses to the same record (canonicalization is allowed to
+		// change the bytes, not the meaning). Skip inputs that aren't
+		// valid UTF-8 — Format always emits UTF-8.
+		if !utf8.ValidString(line) {
+			return
+		}
+		var round string
+		switch p.Kind {
+		case KindCE:
+			round = FormatCE(p.CE)
+		case KindDUE:
+			round = FormatDUE(p.DUE)
+		case KindHET:
+			round = FormatHET(p.HET)
+		}
+		q, err := ParseLine(round)
+		if err != nil {
+			t.Errorf("re-parse of formatted record failed: %v\n in: %q\nout: %q", err, line, round)
+		} else if q.Kind != p.Kind {
+			t.Errorf("kind changed on round trip: %v -> %v", p.Kind, q.Kind)
+		}
+	})
+}

@@ -2,66 +2,224 @@ package syslog
 
 import (
 	"bufio"
+	"container/heap"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
-// ScanStats counts what a scan encountered.
+// ScanStats counts what a scan encountered, by category, so the ingest
+// path can report the *shape* of a log's corruption — the accounting the
+// field studies behind the paper spend real effort on before any analysis
+// runs.
 type ScanStats struct {
-	Lines     int
-	CEs       int
-	DUEs      int
-	HETs      int
-	Other     int
+	// Lines is the total number of input lines.
+	Lines int
+	// CEs, DUEs and HETs count the well-formed records delivered.
+	CEs  int
+	DUEs int
+	HETs int
+	// Other counts unrecognized kernel chatter (not an error).
+	Other int
+	// Malformed counts record lines that failed to parse; it is always
+	// Truncated + Garbage.
 	Malformed int
+	// Truncated counts malformed lines classified as cut short
+	// (ErrTruncated); Garbage counts the garbled remainder (ErrGarbled).
+	Truncated int
+	Garbage   int
+	// Duplicated counts record lines suppressed as exact duplicates of a
+	// recent line (syslog relay at-least-once delivery). Only counted
+	// when a dedup window is configured.
+	Duplicated int
+	// Reordered counts records that arrived after a later-timestamped
+	// record but were resequenced within the reorder window (recovered,
+	// and included in the kind counts above).
+	Reordered int
+	// DroppedOutOfOrder counts records that arrived too late for the
+	// reorder window and were discarded to preserve output time order.
+	DroppedOutOfOrder int
+}
+
+// ScanConfig tunes the scanner's corruption tolerance. The zero value is
+// the strict-ordering, no-tolerance behaviour of the raw parser: no
+// dedup, no reordering, malformed lines skipped and counted.
+type ScanConfig struct {
+	// Strict makes the first malformed record line a scan error
+	// (Scan returns false and Err reports the parse failure) instead of
+	// a counted skip.
+	Strict bool
+	// DedupWindow suppresses a record line identical to one of the last
+	// N record lines (0 disables). Real repeated errors can render as
+	// identical lines too; suppressions are counted, not silent.
+	DedupWindow int
+	// ReorderWindow buffers records and emits them in timestamp order,
+	// tolerating arrival skew up to the window (0 disables). Records
+	// later than the window are dropped and counted.
+	ReorderWindow time.Duration
 }
 
 // Scanner streams a syslog and yields parsed records, tolerating (but
 // counting) malformed record lines, like the paper's handling of invalid
-// telemetry: excluded, accounted for, and expected to be rare.
+// telemetry: excluded, accounted for, and expected to be rare. With a
+// ScanConfig it additionally absorbs relay duplication and bounded
+// arrival reordering.
 type Scanner struct {
 	sc    *bufio.Scanner
+	cfg   ScanConfig
 	stats ScanStats
 	cur   Parsed
 	err   error
+
+	// dedup ring over recent record lines.
+	recent []string
+	rpos   int
+
+	// reorder machinery (cfg.ReorderWindow > 0).
+	pending   recHeap
+	ready     []Parsed
+	maxSeen   time.Time
+	watermark time.Time
+	eof       bool
 }
 
-// NewScanner wraps a reader. Lines up to 1 MiB are supported.
+// NewScanner wraps a reader with the zero-tolerance configuration. Lines
+// up to 1 MiB are supported.
 func NewScanner(r io.Reader) *Scanner {
+	return NewScannerConfig(r, ScanConfig{})
+}
+
+// NewScannerConfig wraps a reader with explicit corruption tolerance.
+func NewScannerConfig(r io.Reader, cfg ScanConfig) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &Scanner{sc: sc}
+	s := &Scanner{sc: sc, cfg: cfg}
+	if cfg.DedupWindow > 0 {
+		s.recent = make([]string, 0, cfg.DedupWindow)
+	}
+	return s
 }
 
-// Scan advances to the next well-formed record line (CE, DUE or HET),
-// skipping noise and malformed lines. It returns false at end of input or
-// on a read error (see Err).
+// Scan advances to the next well-formed record (CE, DUE or HET), skipping
+// noise and malformed lines. It returns false at end of input, on a read
+// error, or (in strict mode) on the first malformed record line; see Err.
 func (s *Scanner) Scan() bool {
-	for s.sc.Scan() {
+	for {
+		if len(s.ready) > 0 {
+			s.cur = s.ready[0]
+			s.ready = s.ready[1:]
+			s.countKind(s.cur.Kind)
+			return true
+		}
+		if s.err != nil || s.eof {
+			return false
+		}
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				s.err = fmt.Errorf("syslog: read: %w", err)
+				return false
+			}
+			s.eof = true
+			s.drain(true)
+			continue
+		}
 		s.stats.Lines++
-		p, err := ParseLine(s.sc.Text())
+		line := s.sc.Text()
+		p, err := ParseLine(line)
 		if err != nil {
 			s.stats.Malformed++
+			switch {
+			case errors.Is(err, ErrTruncated):
+				s.stats.Truncated++
+			default:
+				s.stats.Garbage++
+			}
+			if s.cfg.Strict {
+				s.err = fmt.Errorf("syslog: line %d: %w", s.stats.Lines, err)
+				return false
+			}
 			continue
 		}
-		switch p.Kind {
-		case KindOther:
+		if p.Kind == KindOther {
 			s.stats.Other++
 			continue
-		case KindCE:
-			s.stats.CEs++
-		case KindDUE:
-			s.stats.DUEs++
-		case KindHET:
-			s.stats.HETs++
 		}
-		s.cur = p
-		return true
+		if s.isDuplicate(line) {
+			s.stats.Duplicated++
+			continue
+		}
+		s.accept(p)
 	}
-	if err := s.sc.Err(); err != nil {
-		s.err = fmt.Errorf("syslog: read: %w", err)
+}
+
+// accept routes a parsed record through the reorder buffer (or straight
+// to ready when reordering is disabled).
+func (s *Scanner) accept(p Parsed) {
+	if s.cfg.ReorderWindow <= 0 {
+		s.ready = append(s.ready, p)
+		return
+	}
+	t := p.Time()
+	if !s.watermark.IsZero() && t.Before(s.watermark) {
+		// Its slot has already been emitted; resequencing would break
+		// output time order.
+		s.stats.DroppedOutOfOrder++
+		return
+	}
+	if t.Before(s.maxSeen) {
+		s.stats.Reordered++
+	}
+	if t.After(s.maxSeen) {
+		s.maxSeen = t
+	}
+	heap.Push(&s.pending, p)
+	s.drain(false)
+}
+
+// drain moves pending records older than the reorder window (all of them
+// at EOF) into the ready queue, advancing the watermark.
+func (s *Scanner) drain(all bool) {
+	for s.pending.Len() > 0 {
+		oldest := s.pending[0].Time()
+		if !all && s.maxSeen.Sub(oldest) < s.cfg.ReorderWindow {
+			return
+		}
+		p := heap.Pop(&s.pending).(Parsed)
+		s.watermark = p.Time()
+		s.ready = append(s.ready, p)
+	}
+}
+
+// isDuplicate checks the record line against the dedup ring and records
+// it for future checks.
+func (s *Scanner) isDuplicate(line string) bool {
+	if s.cfg.DedupWindow <= 0 {
+		return false
+	}
+	for _, prev := range s.recent {
+		if prev == line {
+			return true
+		}
+	}
+	if len(s.recent) < s.cfg.DedupWindow {
+		s.recent = append(s.recent, line)
+	} else {
+		s.recent[s.rpos] = line
+		s.rpos = (s.rpos + 1) % s.cfg.DedupWindow
 	}
 	return false
+}
+
+func (s *Scanner) countKind(k Kind) {
+	switch k {
+	case KindCE:
+		s.stats.CEs++
+	case KindDUE:
+		s.stats.DUEs++
+	case KindHET:
+		s.stats.HETs++
+	}
 }
 
 // Record returns the record produced by the last successful Scan.
@@ -70,6 +228,22 @@ func (s *Scanner) Record() Parsed { return s.cur }
 // Stats returns the accounting so far.
 func (s *Scanner) Stats() ScanStats { return s.stats }
 
-// Err returns the first read error, if any. Malformed lines are not read
-// errors; they are counted in Stats.
+// Err returns the first read error (or, in strict mode, parse error), if
+// any. In lenient mode malformed lines are not errors; they are counted
+// in Stats.
 func (s *Scanner) Err() error { return s.err }
+
+// recHeap is a min-heap of parsed records by timestamp.
+type recHeap []Parsed
+
+func (h recHeap) Len() int           { return len(h) }
+func (h recHeap) Less(i, j int) bool { return h[i].Time().Before(h[j].Time()) }
+func (h recHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *recHeap) Push(x any)        { *h = append(*h, x.(Parsed)) }
+func (h *recHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,151 @@
+package syslog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shiftCE returns a sample CE line with its timestamp shifted by d.
+func shiftCE(t *testing.T, d time.Duration) string {
+	t.Helper()
+	r := sampleCE()
+	r.Time = r.Time.Add(d)
+	return FormatCE(r)
+}
+
+func TestScannerDedupWindow(t *testing.T) {
+	line := FormatCE(sampleCE())
+	in := strings.Repeat(line+"\n", 3) + FormatDUE(sampleDUE()) + "\n" + line + "\n"
+
+	sc := NewScannerConfig(strings.NewReader(in), ScanConfig{DedupWindow: 4})
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	st := sc.Stats()
+	// First CE + DUE survive; the two adjacent repeats and the one after the
+	// DUE are all inside the window.
+	if n != 2 || st.Duplicated != 3 {
+		t.Errorf("records = %d, Duplicated = %d, want 2 and 3 (stats %+v)", n, st.Duplicated, st)
+	}
+	if st.CEs != 1 || st.DUEs != 1 {
+		t.Errorf("kind counts after dedup: %+v", st)
+	}
+}
+
+func TestScannerDedupWindowBounded(t *testing.T) {
+	// With window 1, a repeat separated by a different record is NOT
+	// suppressed — real repeated errors at a distance must survive.
+	line := FormatCE(sampleCE())
+	in := line + "\n" + FormatDUE(sampleDUE()) + "\n" + line + "\n"
+	sc := NewScannerConfig(strings.NewReader(in), ScanConfig{DedupWindow: 1})
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if st := sc.Stats(); n != 3 || st.Duplicated != 0 {
+		t.Errorf("records = %d, Duplicated = %d, want 3 and 0", n, st.Duplicated)
+	}
+}
+
+func TestScannerReorderWindowRecovers(t *testing.T) {
+	// Lines at t+0s, t+30s arrive swapped; a 2m window resequences them.
+	in := shiftCE(t, 30*time.Second) + "\n" + shiftCE(t, 0) + "\n" + shiftCE(t, 60*time.Second) + "\n"
+	sc := NewScannerConfig(strings.NewReader(in), ScanConfig{ReorderWindow: 2 * time.Minute})
+	var times []time.Time
+	for sc.Scan() {
+		times = append(times, sc.Record().Time())
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(times) != 3 {
+		t.Fatalf("records = %d, want 3", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Before(times[i-1]) {
+			t.Fatalf("output not time-ordered: %v after %v", times[i], times[i-1])
+		}
+	}
+	st := sc.Stats()
+	if st.Reordered != 1 || st.DroppedOutOfOrder != 0 {
+		t.Errorf("Reordered = %d, DroppedOutOfOrder = %d, want 1 and 0", st.Reordered, st.DroppedOutOfOrder)
+	}
+}
+
+func TestScannerReorderWindowDropsTooLate(t *testing.T) {
+	// A record 10m older than the stream head arrives after the window has
+	// advanced past it: counted as dropped, not emitted out of order.
+	in := shiftCE(t, 0) + "\n" + shiftCE(t, 5*time.Minute) + "\n" + shiftCE(t, -10*time.Minute) + "\n"
+	sc := NewScannerConfig(strings.NewReader(in), ScanConfig{ReorderWindow: time.Minute})
+	n := 0
+	var prev time.Time
+	for sc.Scan() {
+		if cur := sc.Record().Time(); n > 0 && cur.Before(prev) {
+			t.Fatalf("output not time-ordered")
+		} else {
+			prev = cur
+		}
+		n++
+	}
+	st := sc.Stats()
+	if n != 2 || st.DroppedOutOfOrder != 1 {
+		t.Errorf("records = %d, DroppedOutOfOrder = %d, want 2 and 1 (stats %+v)", n, st.DroppedOutOfOrder, st)
+	}
+}
+
+func TestScannerStrictMode(t *testing.T) {
+	good := FormatCE(sampleCE())
+	bad := strings.Replace(good, "slot=J", "slot=Q", 1)
+	in := good + "\n" + bad + "\n" + FormatDUE(sampleDUE()) + "\n"
+
+	sc := NewScannerConfig(strings.NewReader(in), ScanConfig{Strict: true})
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("strict scan yielded %d records before stopping, want 1", n)
+	}
+	if err := sc.Err(); err == nil {
+		t.Fatal("strict scan swallowed a malformed line")
+	} else if !errors.Is(err, ErrGarbled) {
+		t.Errorf("strict error not classified: %v", err)
+	}
+}
+
+func TestScannerCorruptionCategories(t *testing.T) {
+	good := FormatCE(sampleCE())
+	truncated := good[:len(good)-15] // cut mid-field
+	garbled := strings.Replace(good, "rank=1", "rank=widget", 1)
+	in := good + "\n" + truncated + "\n" + garbled + "\n"
+
+	sc := NewScanner(strings.NewReader(in))
+	for sc.Scan() {
+	}
+	st := sc.Stats()
+	if st.Malformed != 2 || st.Truncated != 1 || st.Garbage != 1 {
+		t.Errorf("stats = %+v, want Malformed 2 = Truncated 1 + Garbage 1", st)
+	}
+}
+
+func TestScannerZeroConfigMatchesDefault(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(FormatCE(sampleCE()) + "\n")
+	sb.WriteString(FormatCE(sampleCE()) + "\n")   // legit adjacent duplicate: must pass
+	sb.WriteString(shiftCE(t, -time.Hour) + "\n") // out of order: must pass
+
+	sc := NewScanner(strings.NewReader(sb.String()))
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	if st := sc.Stats(); n != 3 || st.Duplicated != 0 || st.Reordered != 0 || st.DroppedOutOfOrder != 0 {
+		t.Errorf("zero-config scanner altered the stream: records = %d, stats = %+v", n, st)
+	}
+}

@@ -12,6 +12,7 @@
 package syslog
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -21,6 +22,23 @@ import (
 	"repro/internal/het"
 	"repro/internal/mce"
 	"repro/internal/topology"
+)
+
+// Malformed record lines are classified into two corruption categories so
+// the ingest path can report *how* a log went bad, not just that it did:
+//
+//   - ErrTruncated: the record was cut short — the marker and leading
+//     fields parse but required trailing fields are missing (partial
+//     write, rotation cut, relay MTU).
+//   - ErrGarbled: the record's bytes are inconsistent or unparseable —
+//     bad header, out-of-range or contradictory field values, duplicate
+//     fields (bit rot, interleaved writes, forged lines).
+//
+// Every non-nil ParseLine error wraps exactly one of the two; test with
+// errors.Is.
+var (
+	ErrTruncated = errors.New("record truncated")
+	ErrGarbled   = errors.New("record garbled")
 )
 
 // Markers identifying record kinds within a syslog line.
@@ -84,23 +102,47 @@ type Parsed struct {
 	HET  het.Record
 }
 
+// Time returns the record's timestamp (zero for KindOther).
+func (p Parsed) Time() time.Time {
+	switch p.Kind {
+	case KindCE:
+		return p.CE.Time
+	case KindDUE:
+		return p.DUE.Time
+	case KindHET:
+		return p.HET.Time
+	default:
+		return time.Time{}
+	}
+}
+
 // ParseLine classifies and parses one syslog line. Lines bearing none of
 // the record markers return Kind Other and no error; lines bearing a
-// marker but failing validation return an error describing the corruption.
+// marker but failing validation return an error describing the corruption,
+// wrapping ErrTruncated or ErrGarbled.
 func ParseLine(line string) (Parsed, error) {
 	switch {
 	case strings.Contains(line, ceMarker):
 		ce, err := parseCE(line)
-		return Parsed{Kind: KindCE, CE: ce}, err
+		return Parsed{Kind: KindCE, CE: ce}, classify(err)
 	case strings.Contains(line, dueMarker):
 		due, err := parseDUE(line)
-		return Parsed{Kind: KindDUE, DUE: due}, err
+		return Parsed{Kind: KindDUE, DUE: due}, classify(err)
 	case strings.Contains(line, hetMarker):
 		h, err := parseHET(line)
-		return Parsed{Kind: KindHET, HET: h}, err
+		return Parsed{Kind: KindHET, HET: h}, classify(err)
 	default:
 		return Parsed{Kind: KindOther}, nil
 	}
+}
+
+// classify guarantees every parse error wraps one of the two corruption
+// categories; errors not tagged at the failure site default to garbled.
+func classify(err error) error {
+	if err == nil || errors.Is(err, ErrTruncated) || errors.Is(err, ErrGarbled) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrGarbled, err)
 }
 
 // header parses the leading "<timestamp> <host> " of a record line and
@@ -123,16 +165,22 @@ func header(line, marker string) (time.Time, topology.NodeID, string, error) {
 }
 
 // kvFields splits "k=v" fields into a map, rejecting duplicates and
-// malformed pairs.
+// malformed pairs. A malformed *final* field is classified as truncation
+// (the cut landed mid-field); anywhere else it is garbling.
 func kvFields(s string) (map[string]string, error) {
 	out := map[string]string{}
-	for _, f := range strings.Fields(s) {
+	fields := strings.Fields(s)
+	for i, f := range fields {
 		k, v, ok := strings.Cut(f, "=")
 		if !ok || k == "" || v == "" {
-			return nil, fmt.Errorf("syslog: malformed field %q", f)
+			cat := ErrGarbled
+			if i == len(fields)-1 {
+				cat = ErrTruncated
+			}
+			return nil, fmt.Errorf("%w: syslog: malformed field %q", cat, f)
 		}
 		if _, dup := out[k]; dup {
-			return nil, fmt.Errorf("syslog: duplicate field %q", k)
+			return nil, fmt.Errorf("%w: syslog: duplicate field %q", ErrGarbled, k)
 		}
 		out[k] = v
 	}
@@ -142,7 +190,7 @@ func kvFields(s string) (map[string]string, error) {
 func needInt(kv map[string]string, key string, base int, lo, hi int64) (int64, error) {
 	v, ok := kv[key]
 	if !ok {
-		return 0, fmt.Errorf("syslog: missing field %q", key)
+		return 0, fmt.Errorf("%w: syslog: missing field %q", ErrTruncated, key)
 	}
 	v = strings.TrimPrefix(v, "0x")
 	n, err := strconv.ParseInt(v, base, 64)
@@ -166,7 +214,7 @@ func parseCE(line string) (mce.CERecord, error) {
 	}
 	slotName, ok := kv["slot"]
 	if !ok {
-		return mce.CERecord{}, fmt.Errorf("syslog: missing field \"slot\"")
+		return mce.CERecord{}, fmt.Errorf("%w: syslog: missing field \"slot\"", ErrTruncated)
 	}
 	slot, err := topology.ParseSlot(slotName)
 	if err != nil {
@@ -225,7 +273,7 @@ func parseDUE(line string) (mce.DUERecord, error) {
 	}
 	causeName, ok := kv["cause"]
 	if !ok {
-		return mce.DUERecord{}, fmt.Errorf("syslog: missing field \"cause\"")
+		return mce.DUERecord{}, fmt.Errorf("%w: syslog: missing field \"cause\"", ErrTruncated)
 	}
 	var cause faultmodel.DUECause
 	switch causeName {
@@ -261,7 +309,7 @@ func parseHET(line string) (het.Record, error) {
 	}
 	evName, ok := kv["event"]
 	if !ok {
-		return het.Record{}, fmt.Errorf("syslog: missing field \"event\"")
+		return het.Record{}, fmt.Errorf("%w: syslog: missing field \"event\"", ErrTruncated)
 	}
 	ev, err := het.ParseEventType(evName)
 	if err != nil {
@@ -269,7 +317,7 @@ func parseHET(line string) (het.Record, error) {
 	}
 	sevName, ok := kv["severity"]
 	if !ok {
-		return het.Record{}, fmt.Errorf("syslog: missing field \"severity\"")
+		return het.Record{}, fmt.Errorf("%w: syslog: missing field \"severity\"", ErrTruncated)
 	}
 	sev, err := het.ParseSeverity(sevName)
 	if err != nil {

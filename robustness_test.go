@@ -1,0 +1,183 @@
+package astra
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corrupt"
+	"repro/internal/dataset"
+)
+
+// The differential robustness harness: the same study analyzed from a
+// clean syslog and from the syslog corrupted at a combined rate p must
+// agree within a quantified tolerance. This is the acceptance bar for the
+// dirty-telemetry work — hardened ingest is only worth having if the
+// figures it feeds stay stable under realistic log damage.
+
+// parseVariant corrupts a rendered syslog at rate p (p = 0 passes it
+// through untouched), re-ingests it with pol, and repairs any residual
+// disorder, returning analysis-ready records.
+type variant struct {
+	breakdown core.ModeBreakdown
+	rates     core.FaultRates
+	perNode   core.PerNode
+	nCEs      int
+}
+
+func parseVariant(t *testing.T, raw []byte, seed uint64, p float64, pol dataset.IngestPolicy) variant {
+	t.Helper()
+	var in io.Reader = bytes.NewReader(raw)
+	if p > 0 {
+		var dirty bytes.Buffer
+		if _, err := corrupt.New(corrupt.Uniform(seed, p)).Process(bytes.NewReader(raw), &dirty); err != nil {
+			t.Fatal(err)
+		}
+		in = &dirty
+	}
+	ces, _, _, _, err := dataset.ReadSyslogPolicy(in, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed, rep := core.SanitizeRecords(ces); rep.WasUnsorted {
+		ces = fixed
+	}
+	faults := core.Cluster(ces, core.DefaultClusterConfig())
+	return variant{
+		breakdown: core.BreakdownByMode(ces, faults),
+		rates:     core.AnalyzeFaultRates(faults, 80*8, core.StudyWindow()),
+		perNode:   core.AnalyzePerNode(ces, faults, 80),
+		nCEs:      len(ces),
+	}
+}
+
+// modeFractions converts per-mode error counts to fractions of the total.
+func modeFractions(b core.ModeBreakdown) []float64 {
+	out := make([]float64, len(b.ErrorsByMode))
+	if b.Total == 0 {
+		return out
+	}
+	for m, n := range b.ErrorsByMode {
+		out[m] = float64(n) / float64(b.Total)
+	}
+	return out
+}
+
+// TestDifferentialCorruption checks the headline tolerance: at a 1%
+// combined corruption rate, fault-mode breakdown fractions and the
+// FIT-per-DIMM rate stay within 10% relative error of the clean run
+// (absolute 0.02 for modes below a 2% clean share, where relative error
+// is noise-dominated).
+func TestDifferentialCorruption(t *testing.T) {
+	cfg := dataset.DefaultConfig(41)
+	cfg.Nodes = 80
+	ds, err := dataset.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := ds.WriteSyslog(&raw, 100); err != nil {
+		t.Fatal(err)
+	}
+	pol := dataset.IngestPolicy{ReorderWindow: 5 * time.Minute, MaxMalformedFrac: -1}
+
+	clean := parseVariant(t, raw.Bytes(), 0, 0, pol)
+	dirty := parseVariant(t, raw.Bytes(), 17, 0.01, pol)
+	t.Logf("clean: %d CEs, FIT %.1f; dirty: %d CEs, FIT %.1f",
+		clean.nCEs, clean.rates.Total, dirty.nCEs, dirty.rates.Total)
+
+	if dirty.nCEs < clean.nCEs*95/100 {
+		t.Fatalf("1%% corruption lost %d of %d CE records", clean.nCEs-dirty.nCEs, clean.nCEs)
+	}
+	cf, df := modeFractions(clean.breakdown), modeFractions(dirty.breakdown)
+	for m := range cf {
+		mode := core.FaultMode(m).String()
+		switch diff := math.Abs(df[m] - cf[m]); {
+		case cf[m] >= 0.02:
+			if rel := diff / cf[m]; rel > 0.10 {
+				t.Errorf("mode %s fraction drifted %.1f%% (clean %.4f, dirty %.4f)",
+					mode, 100*rel, cf[m], df[m])
+			}
+		default:
+			if diff > 0.02 {
+				t.Errorf("minor mode %s fraction drifted by %.4f (clean %.4f, dirty %.4f)",
+					mode, diff, cf[m], df[m])
+			}
+		}
+	}
+	if clean.rates.Total <= 0 {
+		t.Fatal("clean FIT rate is zero; harness has no signal")
+	}
+	if rel := math.Abs(dirty.rates.Total-clean.rates.Total) / clean.rates.Total; rel > 0.10 {
+		t.Errorf("FIT/DIMM drifted %.1f%% (clean %.1f, dirty %.1f)",
+			100*rel, clean.rates.Total, dirty.rates.Total)
+	}
+	// Per-node concentration (the paper's headline skew) must also hold up.
+	if rel := math.Abs(dirty.perNode.TopShare8-clean.perNode.TopShare8) / clean.perNode.TopShare8; rel > 0.10 {
+		t.Errorf("top-8-node CE share drifted %.1f%% (clean %.3f, dirty %.3f)",
+			100*rel, clean.perNode.TopShare8, dirty.perNode.TopShare8)
+	}
+	if rel := math.Abs(dirty.perNode.TopShare2Pct-clean.perNode.TopShare2Pct) / clean.perNode.TopShare2Pct; rel > 0.10 {
+		t.Errorf("top-2%%-node CE share drifted %.1f%% (clean %.3f, dirty %.3f)",
+			100*rel, clean.perNode.TopShare2Pct, dirty.perNode.TopShare2Pct)
+	}
+}
+
+// TestAnalyzeSurvivesAnyCorruptionRate sweeps heavy corruption rates —
+// up to every line mutated — and requires the entire analysis and report
+// pipeline to complete without panicking, however little survives.
+func TestAnalyzeSurvivesAnyCorruptionRate(t *testing.T) {
+	cfg := dataset.DefaultConfig(43)
+	cfg.Nodes = 48
+	ds, err := dataset.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := ds.WriteSyslog(&raw, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.25, 1.0} {
+		t.Run(fmt.Sprintf("p=%v", p), func(t *testing.T) {
+			var dirty bytes.Buffer
+			if _, err := corrupt.New(corrupt.Uniform(29, p)).Process(bytes.NewReader(raw.Bytes()), &dirty); err != nil {
+				t.Fatal(err)
+			}
+			pol := dataset.IngestPolicy{
+				DedupWindow:      32,
+				ReorderWindow:    5 * time.Minute,
+				MaxMalformedFrac: -1,
+			}
+			ces, dues, hets, rep, err := dataset.ReadSyslogPolicy(&dirty, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fixed, srep := core.SanitizeRecords(ces); srep.WasUnsorted {
+				ces = fixed
+			}
+			t.Logf("p=%v: %d/%d CE records survive, %d malformed", p, len(ces), len(ds.CERecords), rep.Malformed)
+
+			wounded := *ds
+			wounded.CERecords = ces
+			wounded.DUERecords = dues
+			wounded.HETRecords = hets
+			study := &Study{
+				Options: Options{Seed: 43, Nodes: cfg.Nodes},
+				Dataset: &wounded,
+				Faults:  core.Cluster(ces, core.DefaultClusterConfig()),
+			}
+			results := study.Analyze()
+			var out bytes.Buffer
+			if err := study.WriteReport(&out, results); err != nil {
+				t.Fatalf("report over corrupted study: %v", err)
+			}
+			if out.Len() == 0 {
+				t.Error("empty report")
+			}
+		})
+	}
+}
