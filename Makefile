@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test verify
+# Pinned system size for benchmarks and the parallel determinism gate, so
+# numbers (and test cost) are comparable across runs.
+ASTRA_BENCH_NODES ?= 256
+
+.PHONY: build test verify bench
 
 build:
 	$(GO) build ./...
@@ -9,10 +13,20 @@ test:
 	$(GO) test ./...
 
 # verify is the robustness gate: static checks, the full suite including
-# the differential dirty-telemetry harness (robustness_test.go), and the
-# race detector over the concurrent ingest/poller paths.
+# the differential dirty-telemetry harness (robustness_test.go), the race
+# detector over the concurrent ingest/poller paths, and the parallel
+# determinism contract (serial vs sharded pipelines must be bit-identical)
+# under the race detector at a pinned scale.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
+	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
+
+# bench runs the analysis micro-benchmarks (bench_test.go), the
+# pipeline-stage benchmarks (bench_pipeline_test.go), and writes the
+# BENCH_pipeline.json regression baseline via cmd/astrabench.
+bench:
+	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) test -run '^$$' -bench . -benchmem .
+	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -out BENCH_pipeline.json

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -43,6 +44,13 @@ type Options struct {
 	// Dataset overrides the full pipeline configuration; zero value uses
 	// dataset.DefaultConfig(Seed) at Nodes scale.
 	Dataset dataset.Config
+	// Parallelism bounds the worker pools every pipeline stage (generation,
+	// EDAC replay, clustering, analysis) shards across: 0 (the default)
+	// uses runtime.GOMAXPROCS(0), 1 restores the serial code path. Results
+	// are bit-identical at every setting for a given Seed; see DESIGN.md §8.
+	// Explicit Parallelism values already set on Dataset or Cluster take
+	// precedence for their stage.
+	Parallelism int
 }
 
 // Study is a built pipeline plus its clustered faults.
@@ -67,13 +75,20 @@ func Run(opts Options) (*Study, error) {
 	}
 	cfg.Seed = opts.Seed
 	cfg.Nodes = opts.Nodes
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = opts.Parallelism
+	}
 	ds, err := dataset.Build(cfg)
 	if err != nil {
 		return nil, err
 	}
 	cc := opts.Cluster
-	if cc == (core.ClusterConfig{}) {
+	if cc == (core.ClusterConfig{Parallelism: cc.Parallelism}) {
 		cc = core.DefaultClusterConfig()
+		cc.Parallelism = opts.Cluster.Parallelism
+	}
+	if cc.Parallelism == 0 {
+		cc.Parallelism = opts.Parallelism
 	}
 	return &Study{
 		Options: opts,
@@ -102,28 +117,38 @@ type Results struct {
 	Interarrivals  core.Interarrivals      // within-fault error gaps
 }
 
-// Analyze runs the full evaluation over the study.
+// Analyze runs the full evaluation over the study. The analyses share a
+// single precomputed record index (one sharded pass over the CE records
+// instead of one scan per analysis) and run concurrently up to
+// Options.Parallelism workers; each analysis writes its own Results field,
+// so the output is identical at every parallelism setting.
 func (s *Study) Analyze() *Results {
 	ds := s.Dataset
 	n := s.Options.Nodes
-	return &Results{
-		Breakdown:      core.BreakdownByMode(ds.CERecords, s.Faults),
-		ErrorsPerFault: core.ErrorsPerFaultDist(s.Faults),
-		PerNode:        core.AnalyzePerNode(ds.CERecords, s.Faults, n),
-		Structures:     core.AnalyzeStructures(ds.CERecords, s.Faults),
-		BitAddress:     core.AnalyzeBitAddress(s.Faults),
-		TempWindows:    core.AnalyzeTempWindows(ds.CERecords, ds.Env, core.Fig9Windows),
-		Positional:     core.AnalyzePositional(ds.CERecords, s.Faults),
-		TempDeciles:    core.AnalyzeTempDeciles(ds.CERecords, ds.Env, n),
-		Utilization:    core.AnalyzeUtilization(ds.CERecords, ds.Env, n),
-		Uncorrectable:  core.AnalyzeUncorrectable(ds.HETRecords, n*topology.SlotsPerNode, ds.Config.Fault.End),
-		RegionTemps:    core.AnalyzeRegionTemps(ds.Env, n, 1),
-		RackTemps:      core.AnalyzeRackTemps(ds.Env, n, 1),
-		FaultRates:     core.AnalyzeFaultRates(s.Faults, n*topology.SlotsPerNode, core.StudyWindow()),
-		Precursors:     core.AnalyzeDUEPrecursors(ds.DUERecords, s.Faults, n*topology.SlotsPerNode),
-		ModeStability:  core.AnalyzeModeStability(s.Faults),
-		Interarrivals:  core.AnalyzeInterarrivals(ds.CERecords, s.Faults, 500),
-	}
+	par := s.Options.Parallelism
+	ix := core.NewRecordIndex(ds.CERecords, n, par)
+	r := &Results{}
+	parallel.Run(par,
+		func() { r.Breakdown = ix.BreakdownByMode(s.Faults) },
+		func() { r.ErrorsPerFault = core.ErrorsPerFaultDist(s.Faults) },
+		func() { r.PerNode = ix.AnalyzePerNode(s.Faults) },
+		func() { r.Structures = ix.AnalyzeStructures(s.Faults) },
+		func() { r.BitAddress = core.AnalyzeBitAddress(s.Faults) },
+		func() { r.TempWindows = ix.AnalyzeTempWindows(ds.Env, core.Fig9Windows) },
+		func() { r.Positional = ix.AnalyzePositional(s.Faults) },
+		func() { r.TempDeciles = ix.AnalyzeTempDeciles(ds.Env) },
+		func() { r.Utilization = ix.AnalyzeUtilization(ds.Env) },
+		func() {
+			r.Uncorrectable = core.AnalyzeUncorrectable(ds.HETRecords, n*topology.SlotsPerNode, ds.Config.Fault.End)
+		},
+		func() { r.RegionTemps = core.AnalyzeRegionTemps(ds.Env, n, 1) },
+		func() { r.RackTemps = core.AnalyzeRackTemps(ds.Env, n, 1) },
+		func() { r.FaultRates = core.AnalyzeFaultRates(s.Faults, n*topology.SlotsPerNode, core.StudyWindow()) },
+		func() { r.Precursors = core.AnalyzeDUEPrecursors(ds.DUERecords, s.Faults, n*topology.SlotsPerNode) },
+		func() { r.ModeStability = core.AnalyzeModeStability(s.Faults) },
+		func() { r.Interarrivals = core.AnalyzeInterarrivals(ds.CERecords, s.Faults, 500) },
+	)
+	return r
 }
 
 // WriteReport renders every table and figure to w.

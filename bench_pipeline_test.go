@@ -1,0 +1,64 @@
+package astra_test
+
+// Pipeline-stage benchmarks: each stage at the serial (workers=1) and
+// auto (workers=GOMAXPROCS) settings, sharing one fixture. This file is
+// an external test package because it imports internal/benchstage, which
+// itself imports the root package.
+//
+//	ASTRA_BENCH_NODES=256 go test -run '^$' -bench 'Stage' -benchmem .
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/benchstage"
+)
+
+var (
+	stageOnce sync.Once
+	stageSet  *benchstage.Set
+	stageErr  error
+)
+
+func stageSetup(b *testing.B) *benchstage.Set {
+	b.Helper()
+	stageOnce.Do(func() {
+		stageSet, stageErr = benchstage.New(1, benchstage.Nodes())
+	})
+	if stageErr != nil {
+		b.Fatal(stageErr)
+	}
+	return stageSet
+}
+
+func benchStage(b *testing.B, name string) {
+	set := stageSetup(b)
+	var stage *benchstage.Stage
+	for i := range set.Stages {
+		if set.Stages[i].Name == name {
+			stage = &set.Stages[i]
+			break
+		}
+	}
+	if stage == nil {
+		b.Fatalf("unknown stage %q", name)
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"auto", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				stage.Op(bench.workers)
+			}
+			b.ReportMetric(float64(stage.Records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+func BenchmarkStageGenerate(b *testing.B)     { benchStage(b, "generate") }
+func BenchmarkStageDatasetBuild(b *testing.B) { benchStage(b, "dataset-build") }
+func BenchmarkStageCluster(b *testing.B)      { benchStage(b, "cluster") }
+func BenchmarkStageAnalyze(b *testing.B)      { benchStage(b, "analyze") }
+func BenchmarkStageReport(b *testing.B)       { benchStage(b, "report") }

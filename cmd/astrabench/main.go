@@ -1,0 +1,114 @@
+// Command astrabench runs the pipeline-stage benchmarks and writes
+// BENCH_pipeline.json, the perf-regression baseline `make bench` tracks:
+// for every stage (generation, dataset build, clustering, analysis,
+// report) at the serial and the GOMAXPROCS worker counts, ns/op,
+// allocs/op, bytes/op and records/sec, plus the parallel-over-serial
+// speedup per stage.
+//
+// Usage:
+//
+//	astrabench [-seed 1] [-nodes N] [-out BENCH_pipeline.json]
+//
+// The node count defaults to ASTRA_BENCH_NODES (then 256), pinning the
+// scale so numbers are comparable across runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchstage"
+)
+
+// StageResult is one (stage, workers) measurement row.
+type StageResult struct {
+	Stage         string  `json:"stage"`
+	Workers       int     `json:"workers"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	Records       int     `json:"records"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// Baseline is the BENCH_pipeline.json document.
+type Baseline struct {
+	Seed       uint64        `json:"seed"`
+	Nodes      int           `json:"nodes"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Stages     []StageResult `json:"stages"`
+	// Speedup maps stage -> serial ns/op over parallel ns/op (only
+	// meaningful when GOMAXPROCS > 1).
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+func main() {
+	seed := flag.Uint64("seed", 1, "pipeline seed")
+	nodes := flag.Int("nodes", benchstage.Nodes(), "system size (defaults to ASTRA_BENCH_NODES, then 256)")
+	out := flag.String("out", "BENCH_pipeline.json", "output path")
+	flag.Parse()
+
+	set, err := benchstage.New(*seed, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1}
+	if maxWorkers > 1 {
+		workerCounts = append(workerCounts, maxWorkers)
+	}
+
+	doc := Baseline{
+		Seed:       set.Seed,
+		Nodes:      set.Nodes,
+		GOMAXPROCS: maxWorkers,
+		Speedup:    map[string]float64{},
+	}
+	serialNs := map[string]int64{}
+	for _, stage := range set.Stages {
+		for _, w := range workerCounts {
+			stage, w := stage, w
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					stage.Op(w)
+				}
+			})
+			row := StageResult{
+				Stage:       stage.Name,
+				Workers:     w,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Records:     stage.Records,
+			}
+			if row.NsPerOp > 0 {
+				row.RecordsPerSec = float64(stage.Records) / (float64(row.NsPerOp) / 1e9)
+			}
+			doc.Stages = append(doc.Stages, row)
+			if w == 1 {
+				serialNs[stage.Name] = row.NsPerOp
+			} else if s := serialNs[stage.Name]; s > 0 && row.NsPerOp > 0 {
+				doc.Speedup[stage.Name] = float64(s) / float64(row.NsPerOp)
+			}
+			fmt.Printf("%-14s workers=%-2d %12d ns/op %10d B/op %8d allocs/op %14.0f records/s\n",
+				stage.Name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.RecordsPerSec)
+		}
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (seed %d, %d nodes, GOMAXPROCS %d)\n", *out, doc.Seed, doc.Nodes, doc.GOMAXPROCS)
+}

@@ -37,6 +37,7 @@ func main() {
 		minuteStride = flag.Int("sensor-minute-stride", 60, "export sensor data every N minutes")
 		scanStride   = flag.Int("scan-stride", 7, "write an inventory scan file every N days (0 disables)")
 		dirty        = flag.Float64("dirty", 0, "also write astra-syslog-dirty.log and ce-telemetry-dirty.csv corrupted at this combined rate (0 disables)")
+		workers      = flag.Int("workers", 0, "pipeline worker count: 0 uses GOMAXPROCS, 1 forces the serial path (output is identical either way)")
 	)
 	flag.Parse()
 	if *dirty < 0 || *dirty > 1 {
@@ -48,6 +49,7 @@ func main() {
 
 	cfg := dataset.DefaultConfig(*seed)
 	cfg.Nodes = *nodes
+	cfg.Parallelism = *workers
 	ds, err := dataset.Build(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -82,13 +82,14 @@ func main() {
 		reorderWin  = flag.Duration("reorder-window", 2*time.Minute, "with -from-syslog, resequence records arriving up to this much late (0 disables)")
 		experiments = flag.Bool("experiments", false, "emit the paper-vs-measured comparison table (markdown) instead of figures")
 		svgDir      = flag.String("svg", "", "also write SVG figures into this directory")
+		workers     = flag.Int("workers", 0, "pipeline worker count: 0 uses GOMAXPROCS, 1 forces the serial path (report is byte-identical either way)")
 	)
 	flag.Parse()
 	if *nodes < 1 || *nodes > topology.Nodes {
 		log.Fatalf("-nodes must be in [1, %d]", topology.Nodes)
 	}
 
-	study, err := buildStudy(*seed, *nodes, *fromSyslog, dataset.IngestPolicy{
+	study, err := buildStudy(*seed, *nodes, *workers, *fromSyslog, dataset.IngestPolicy{
 		DedupWindow:      *dedupWindow,
 		ReorderWindow:    *reorderWin,
 		MaxMalformedFrac: -1,
@@ -169,8 +170,8 @@ func writeSVGs(dir string, study *astra.Study, r *astra.Results) error {
 // still out of order afterwards are repaired by core.SanitizeRecords, and
 // an ingest-health section is printed so the reader can judge how dirty
 // the input was.
-func buildStudy(seed uint64, nodes int, fromSyslog string, pol dataset.IngestPolicy) (*astra.Study, error) {
-	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes})
+func buildStudy(seed uint64, nodes, workers int, fromSyslog string, pol dataset.IngestPolicy) (*astra.Study, error) {
+	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes, Parallelism: workers})
 	if err != nil {
 		return nil, err
 	}

@@ -48,7 +48,7 @@ func tolerantPolicy() dataset.IngestPolicy {
 // same record counts as the in-memory dataset, no sanitizer repairs.
 func TestBuildStudyCleanParity(t *testing.T) {
 	ds, log := writeStudySyslog(t, 7, 64, nil)
-	study, err := buildStudy(7, 64, log, tolerantPolicy())
+	study, err := buildStudy(7, 64, 0, log, tolerantPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestBuildStudyCleanParity(t *testing.T) {
 func TestBuildStudyCorruptedSyslog(t *testing.T) {
 	cfg := corrupt.Uniform(9, 0.02)
 	ds, log := writeStudySyslog(t, 7, 64, &cfg)
-	study, err := buildStudy(7, 64, log, tolerantPolicy())
+	study, err := buildStudy(7, 64, 0, log, tolerantPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}

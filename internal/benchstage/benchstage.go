@@ -1,0 +1,131 @@
+// Package benchstage defines the pipeline-stage benchmark operations
+// shared by cmd/astrabench (the `make bench` JSON writer) and the
+// bench_pipeline_test.go suite. Each stage measures one pipeline layer —
+// generation, dataset build, clustering, analysis, report rendering — at
+// an explicit worker count, so the serial/parallel trajectory of every
+// layer is tracked release to release.
+package benchstage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	astra "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faultmodel"
+)
+
+// DefaultNodes is the pinned system size `make bench` runs at unless
+// ASTRA_BENCH_NODES overrides it.
+const DefaultNodes = 256
+
+// Nodes returns the benchmark system size: ASTRA_BENCH_NODES when set and
+// valid, DefaultNodes otherwise.
+func Nodes() int {
+	if v := os.Getenv("ASTRA_BENCH_NODES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 && n <= astra.FullScale {
+			return n
+		}
+	}
+	return DefaultNodes
+}
+
+// Stage is one benchmarkable pipeline layer.
+type Stage struct {
+	// Name identifies the stage in benchmark output and BENCH_pipeline.json.
+	Name string
+	// Records is the number of records the stage processes per op (CE
+	// events for generation, CE records for the downstream stages), the
+	// denominator of records/sec.
+	Records int
+	// Op runs the stage once at the given worker count (1 = the serial
+	// code path, 0 = GOMAXPROCS). It panics on pipeline errors: a
+	// benchmark input that fails to build is a bug, not a measurement.
+	Op func(workers int)
+}
+
+// Set is the shared benchmark fixture: every stage plus the inputs it
+// reuses across ops.
+type Set struct {
+	Seed   uint64
+	Nodes  int
+	Stages []Stage
+}
+
+// New builds the fixture once (full pipeline at the given scale) and
+// returns the stage list.
+func New(seed uint64, nodes int) (*Set, error) {
+	fcfg := faultmodel.DefaultConfig(seed)
+	fcfg.Nodes = nodes
+	pop, err := faultmodel.Generate(fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("benchstage: generate: %w", err)
+	}
+	dcfg := dataset.DefaultConfig(seed)
+	dcfg.Nodes = nodes
+	ds, err := dataset.Build(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("benchstage: dataset: %w", err)
+	}
+	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes})
+	if err != nil {
+		return nil, fmt.Errorf("benchstage: study: %w", err)
+	}
+	results := study.Analyze()
+
+	stages := []Stage{
+		{
+			Name:    "generate",
+			Records: len(pop.CEs),
+			Op: func(workers int) {
+				cfg := fcfg
+				cfg.Parallelism = workers
+				if _, err := faultmodel.Generate(cfg); err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
+			Name:    "dataset-build",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				cfg := dcfg
+				cfg.Parallelism = workers
+				if _, err := dataset.Build(cfg); err != nil {
+					panic(err)
+				}
+			},
+		},
+		{
+			Name:    "cluster",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				cc := core.DefaultClusterConfig()
+				cc.Parallelism = workers
+				core.Cluster(ds.CERecords, cc)
+			},
+		},
+		{
+			Name:    "analyze",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				s := *study
+				s.Options.Parallelism = workers
+				s.Analyze()
+			},
+		},
+		{
+			Name:    "report",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				if err := study.WriteReport(io.Discard, results); err != nil {
+					panic(err)
+				}
+			},
+		},
+	}
+	return &Set{Seed: seed, Nodes: nodes, Stages: stages}, nil
+}

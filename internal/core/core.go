@@ -13,11 +13,13 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 	"time"
 
 	"repro/internal/faultmodel"
 	"repro/internal/mce"
+	"repro/internal/parallel"
 	"repro/internal/topology"
 )
 
@@ -105,6 +107,11 @@ type ClusterConfig struct {
 	RowClustering bool
 	// RowMinWords is the single-row analogue of ColMinWords.
 	RowMinWords int
+	// Parallelism bounds the worker pool Cluster shards the grouping scan
+	// and per-bank classification across: 0 uses runtime.GOMAXPROCS(0),
+	// 1 restores the serial code path. Banks are independent by
+	// construction, so the fault list is bit-identical at every setting.
+	Parallelism int
 }
 
 // DefaultClusterConfig returns the thresholds used by the reproduction.
@@ -120,12 +127,38 @@ type bankKey struct {
 	bank int8
 }
 
+// lineBits is a fixed-size bitset over codeword line-bit positions
+// (LineBit values are at most topology.MaxLineBitPosition), replacing the
+// map[int]struct{} the grouping scan used to allocate per word group.
+type lineBits struct {
+	words [(topology.MaxLineBitPosition + 64) / 64]uint64
+	n     int
+}
+
+func (b *lineBits) set(i int) {
+	w, m := i>>6, uint64(1)<<(i&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.n++
+	}
+}
+
+// union folds another bitset in, keeping the distinct-bit count exact.
+func (b *lineBits) union(o *lineBits) {
+	n := 0
+	for w := range b.words {
+		b.words[w] |= o.words[w]
+		n += bits.OnesCount64(b.words[w])
+	}
+	b.n = n
+}
+
 // wordGroup accumulates the errors observed on one word address.
 type wordGroup struct {
 	addr        topology.PhysAddr
 	col         int
 	rowBits     int
-	bits        map[int]struct{}
+	bits        lineBits
 	firstBit    int
 	errors      []int
 	first, last time.Time
@@ -147,9 +180,75 @@ type wordGroup struct {
 // §3.2), step 2.5 merges word clusters sharing row bits into single-row
 // faults.
 func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
-	banks := map[bankKey]map[topology.PhysAddr]*wordGroup{}
+	workers := parallel.Workers(cfg.Parallelism)
+	var grouped bankGroups
+	if workers <= 1 || len(records) < 2*minGroupShard {
+		grouped = groupRecords(records, 0, len(records))
+	} else {
+		// Shard the grouping scan over contiguous record ranges and merge
+		// shard-by-shard: contiguous ranges mean a bank (or word) first
+		// seen in shard k was first seen globally in shard k, so folding
+		// shards in order reproduces the serial first-appearance order
+		// and per-group error order exactly.
+		shards := parallel.NumChunks(workers, len(records))
+		parts := make([]bankGroups, shards)
+		parallel.ForEachChunk(workers, len(records), func(shard, lo, hi int) {
+			parts[shard] = groupRecords(records, lo, hi)
+		})
+		grouped = parts[0]
+		for _, part := range parts[1:] {
+			grouped.merge(part)
+		}
+	}
+
+	banks, order := grouped.banks, grouped.order
+	if workers <= 1 || len(order) < 2 {
+		var faults []Fault
+		for _, key := range order {
+			faults = appendBankFaults(faults, key, banks[key], cfg)
+		}
+		return faults
+	}
+	shards := parallel.NumChunks(workers, len(order))
+	parts := make([][]Fault, shards)
+	parallel.ForEachChunk(workers, len(order), func(shard, lo, hi int) {
+		var fs []Fault
+		for _, key := range order[lo:hi] {
+			fs = appendBankFaults(fs, key, banks[key], cfg)
+		}
+		parts[shard] = fs
+	})
+	total := 0
+	for _, fs := range parts {
+		total += len(fs)
+	}
+	faults := make([]Fault, 0, total)
+	for _, fs := range parts {
+		faults = append(faults, fs...)
+	}
+	return faults
+}
+
+// minGroupShard keeps the grouping scan serial for small inputs where the
+// per-shard map setup would cost more than the scan itself.
+const minGroupShard = 1 << 14
+
+// bankGroups is the grouping-scan output: word groups keyed by bank, plus
+// the banks' first-appearance order.
+type bankGroups struct {
+	banks map[bankKey]map[topology.PhysAddr]*wordGroup
+	order []bankKey
+}
+
+// groupRecords builds word groups from records[lo:hi]. Error indices are
+// global (the caller's full slice), so sharded scans can be merged.
+func groupRecords(records []mce.CERecord, lo, hi int) bankGroups {
+	// Pre-size for the common shape: errors concentrate on few banks, so
+	// the bank map stays small relative to the record count.
+	banks := make(map[bankKey]map[topology.PhysAddr]*wordGroup, (hi-lo)/256+8)
 	var order []bankKey // deterministic output ordering
-	for i, r := range records {
+	for i := lo; i < hi; i++ {
+		r := &records[i]
 		key := bankKey{node: r.Node, slot: r.Slot, rank: int8(r.Rank), bank: int8(r.Bank)}
 		words, ok := banks[key]
 		if !ok {
@@ -163,14 +262,14 @@ func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
 				addr:     r.Addr,
 				col:      r.Col,
 				rowBits:  r.RowRaw,
-				bits:     map[int]struct{}{},
 				firstBit: r.LineBit(),
+				errors:   make([]int, 0, 4),
 				first:    r.Time,
 				last:     r.Time,
 			}
 			words[r.Addr] = g
 		}
-		g.bits[r.LineBit()] = struct{}{}
+		g.bits.set(r.LineBit())
 		g.errors = append(g.errors, i)
 		if r.Time.Before(g.first) {
 			g.first = r.Time
@@ -179,12 +278,36 @@ func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
 			g.last = r.Time
 		}
 	}
+	return bankGroups{banks: banks, order: order}
+}
 
-	var faults []Fault
-	for _, key := range order {
-		faults = appendBankFaults(faults, key, banks[key], cfg)
+// merge folds a later shard's groups into bg. bg must cover records that
+// all precede o's, so bg's first-seen metadata (anchor record fields,
+// bank order) wins and o's errors append after bg's.
+func (bg *bankGroups) merge(o bankGroups) {
+	for _, key := range o.order {
+		words, ok := bg.banks[key]
+		if !ok {
+			bg.banks[key] = o.banks[key]
+			bg.order = append(bg.order, key)
+			continue
+		}
+		for addr, og := range o.banks[key] {
+			g, ok := words[addr]
+			if !ok {
+				words[addr] = og
+				continue
+			}
+			g.bits.union(&og.bits)
+			g.errors = append(g.errors, og.errors...)
+			if og.first.Before(g.first) {
+				g.first = og.first
+			}
+			if og.last.After(g.last) {
+				g.last = og.last
+			}
+		}
 	}
-	return faults
 }
 
 // dominanceFrac is the fraction of a bank's word groups that must share
@@ -212,7 +335,7 @@ func classifyGroups(faults []Fault, key bankKey, groups []*wordGroup, cfg Cluste
 	wordFault := func(g *wordGroup) Fault {
 		f := base
 		f.Addr = g.addr
-		if len(g.bits) == 1 {
+		if g.bits.n == 1 {
 			f.Mode = ModeSingleBit
 			f.Bit = g.firstBit
 		} else {

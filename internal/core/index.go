@@ -1,0 +1,553 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/parallel"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// RecordIndex precomputes, in one sharded pass, everything the per-record
+// analyses used to recompute by scanning all records each: per-record month
+// keys and env-window membership, per-node/structure/region/rack error
+// tallies, the month totals, and the per-sensor (node, month) domain
+// counts the environmental analyses share. Study.Analyze builds one index
+// and hands it to the indexed analysis variants below; the free-function
+// analyses are kept for direct use (and as the benchmark baseline).
+//
+// All aggregates are integer counts merged in shard order, so the index —
+// and every analysis derived from it — is identical at any parallelism.
+// The indexed variants additionally iterate nodes in ascending order where
+// the free functions ranged over Go maps, making float accumulations
+// (notably stats.FitPowerLaw over per-node fault counts) bit-deterministic
+// run to run.
+type RecordIndex struct {
+	records []mce.CERecord
+	nodes   int
+	par     int
+
+	// Per-record precomputation (indexed by record position).
+	monthOf []int32
+	inEnv   []bool
+
+	// Aggregates over all records.
+	minTime, maxTime time.Time
+	monthCounts      map[int]int
+	perNodeErrors    []int
+	socketErrors     [2]int
+	bankErrors       [topology.BanksPerRank]int
+	columnErrors     [ColumnBins]int
+	rankErrors       [2]int
+	slotErrors       [topology.SlotsPerNode]int
+	regionErrors     [topology.NumRegions]int
+	rackErrors       []int
+
+	// Environmental-window precomputation.
+	envMonths []int
+	// domain[sensor] counts the in-window CEs per (node, month) inside the
+	// sensor's domain (the covered slots for DIMM sensors, the socket's
+	// DIMMs for CPU sensors) — what sensorDomainErrors computed per call.
+	domain map[topology.Sensor]map[[2]int]int
+}
+
+// indexShard accumulates one contiguous record range's tallies; shards are
+// merged in shard order.
+type indexShard struct {
+	minTime, maxTime time.Time
+	monthCounts      map[int]int
+	perNodeErrors    []int
+	socketErrors     [2]int
+	bankErrors       [topology.BanksPerRank]int
+	columnErrors     [ColumnBins]int
+	rankErrors       [2]int
+	slotErrors       [topology.SlotsPerNode]int
+	regionErrors     [topology.NumRegions]int
+	rackErrors       []int
+	domain           map[topology.Sensor]map[[2]int]int
+}
+
+// NewRecordIndex scans records once (sharded across parallelism workers;
+// <= 1 scans inline) and returns the shared index. totalNodes bounds the
+// node range, as in AnalyzePerNode.
+func NewRecordIndex(records []mce.CERecord, totalNodes, parallelism int) *RecordIndex {
+	ix := &RecordIndex{
+		records:       records,
+		nodes:         totalNodes,
+		par:           parallelism,
+		monthOf:       make([]int32, len(records)),
+		inEnv:         make([]bool, len(records)),
+		monthCounts:   map[int]int{},
+		perNodeErrors: make([]int, totalNodes),
+		rackErrors:    make([]int, topology.Racks),
+		envMonths:     monthKeys(),
+		domain:        map[topology.Sensor]map[[2]int]int{},
+	}
+	for _, s := range topology.TemperatureSensors() {
+		ix.domain[s] = map[[2]int]int{}
+	}
+	if len(records) == 0 {
+		return ix
+	}
+
+	// CPU sensor per socket (the non-DIMM temperature sensors).
+	var cpuSensor [2]topology.Sensor
+	for _, s := range topology.TemperatureSensors() {
+		if !s.IsDIMM() {
+			cpuSensor[s.Socket()] = s
+		}
+	}
+
+	shards := parallel.NumChunks(parallelism, len(records))
+	accs := make([]indexShard, shards)
+	parallel.ForEachChunk(parallelism, len(records), func(shard, lo, hi int) {
+		a := &accs[shard]
+		a.minTime, a.maxTime = records[lo].Time, records[lo].Time
+		a.monthCounts = map[int]int{}
+		a.perNodeErrors = make([]int, totalNodes)
+		a.rackErrors = make([]int, topology.Racks)
+		a.domain = map[topology.Sensor]map[[2]int]int{}
+		for _, s := range topology.TemperatureSensors() {
+			a.domain[s] = map[[2]int]int{}
+		}
+		colBin := func(col int) int { return col * ColumnBins / topology.ColsPerRow }
+		for i := lo; i < hi; i++ {
+			r := &records[i]
+			if r.Time.Before(a.minTime) {
+				a.minTime = r.Time
+			}
+			if r.Time.After(a.maxTime) {
+				a.maxTime = r.Time
+			}
+			mk := simtime.MonthKey(r.Time)
+			ix.monthOf[i] = int32(mk)
+			a.monthCounts[mk]++
+			if int(r.Node) < totalNodes {
+				a.perNodeErrors[r.Node]++
+			}
+			a.socketErrors[r.Socket]++
+			a.bankErrors[r.Bank]++
+			a.columnErrors[colBin(r.Col)]++
+			a.rankErrors[r.Rank]++
+			a.slotErrors[r.Slot]++
+			a.regionErrors[r.Node.Region()]++
+			a.rackErrors[r.Node.Rack()]++
+			if inEnvWindow(*r) {
+				ix.inEnv[i] = true
+				key := [2]int{int(r.Node), mk}
+				a.domain[topology.SensorForSlot(r.Slot)][key]++
+				a.domain[cpuSensor[r.Socket]][key]++
+			}
+		}
+	})
+
+	ix.minTime, ix.maxTime = accs[0].minTime, accs[0].maxTime
+	for s := range accs {
+		a := &accs[s]
+		if a.minTime.Before(ix.minTime) {
+			ix.minTime = a.minTime
+		}
+		if a.maxTime.After(ix.maxTime) {
+			ix.maxTime = a.maxTime
+		}
+		for mk, c := range a.monthCounts {
+			ix.monthCounts[mk] += c
+		}
+		for n, c := range a.perNodeErrors {
+			ix.perNodeErrors[n] += c
+		}
+		for i, c := range a.socketErrors {
+			ix.socketErrors[i] += c
+		}
+		for i, c := range a.bankErrors {
+			ix.bankErrors[i] += c
+		}
+		for i, c := range a.columnErrors {
+			ix.columnErrors[i] += c
+		}
+		for i, c := range a.rankErrors {
+			ix.rankErrors[i] += c
+		}
+		for i, c := range a.slotErrors {
+			ix.slotErrors[i] += c
+		}
+		for i, c := range a.regionErrors {
+			ix.regionErrors[i] += c
+		}
+		for i, c := range a.rackErrors {
+			ix.rackErrors[i] += c
+		}
+		for sensor, dom := range a.domain {
+			dst := ix.domain[sensor]
+			for k, c := range dom {
+				dst[k] += c
+			}
+		}
+	}
+	return ix
+}
+
+// EnvMonths returns the calendar months inside the environmental window
+// (hoisted monthKeys computation).
+func (ix *RecordIndex) EnvMonths() []int { return ix.envMonths }
+
+// BreakdownByMode is the indexed BreakdownByMode: month totals come from
+// the index, and the per-fault attribution loop shards across faults with
+// per-shard series merged by integer sums.
+func (ix *RecordIndex) BreakdownByMode(faults []Fault) ModeBreakdown {
+	var b ModeBreakdown
+	if len(ix.records) == 0 {
+		b.Degraded = true
+		return b
+	}
+	startKey := simtime.MonthKey(ix.minTime)
+	endKey := simtime.MonthKey(ix.maxTime)
+	n := endKey - startKey + 1
+	b.Months = make([]int, n)
+	for i := range b.Months {
+		b.Months[i] = startKey + i
+	}
+	b.AllErrors = make([]int, n)
+	for mk, c := range ix.monthCounts {
+		b.AllErrors[mk-startKey] += c
+	}
+	b.Total = len(ix.records)
+	for m := range b.ByMode {
+		b.ByMode[m] = make([]int, n)
+	}
+
+	shards := parallel.NumChunks(ix.par, len(faults))
+	type acc struct {
+		faultsByMode [NumFaultModes]int
+		errorsByMode [NumFaultModes]int
+		byMode       [NumFaultModes][]int
+	}
+	accs := make([]acc, shards)
+	parallel.ForEachChunk(ix.par, len(faults), func(shard, lo, hi int) {
+		a := &accs[shard]
+		for m := range a.byMode {
+			a.byMode[m] = make([]int, n)
+		}
+		for i := lo; i < hi; i++ {
+			f := &faults[i]
+			a.faultsByMode[f.Mode]++
+			a.errorsByMode[f.Mode] += f.NErrors
+			series := a.byMode[f.Mode]
+			for _, idx := range f.Errors {
+				series[int(ix.monthOf[idx])-startKey]++
+			}
+		}
+	})
+	for s := range accs {
+		a := &accs[s]
+		for m := FaultMode(0); m < NumFaultModes; m++ {
+			b.FaultsByMode[m] += a.faultsByMode[m]
+			b.ErrorsByMode[m] += a.errorsByMode[m]
+			if a.byMode[m] != nil {
+				for i, c := range a.byMode[m] {
+					b.ByMode[m][i] += c
+				}
+			}
+		}
+	}
+	return b
+}
+
+// AnalyzePerNode is the indexed AnalyzePerNode. Per-node error counts come
+// from the index, and both count vectors are assembled in ascending node
+// order, so the power-law fit no longer depends on map iteration order.
+func (ix *RecordIndex) AnalyzePerNode(faults []Fault) PerNode {
+	out := PerNode{
+		Errors:   map[topology.NodeID]int{},
+		Faults:   map[topology.NodeID]int{},
+		Degraded: len(ix.records) == 0 || ix.nodes <= 0,
+	}
+	perNode := make([]float64, 0, len(ix.records)/64+8)
+	for n, c := range ix.perNodeErrors {
+		if c > 0 {
+			out.Errors[topology.NodeID(n)] = c
+			perNode = append(perNode, float64(c))
+		}
+	}
+	perNodeFaults := make([]int, ix.nodes)
+	for i := range faults {
+		f := &faults[i]
+		out.Faults[f.Node]++
+		if int(f.Node) < ix.nodes {
+			perNodeFaults[f.Node]++
+		}
+	}
+	out.NodesWithErrors = len(out.Errors)
+	out.TopShare8 = stats.TopShare(perNode, 8)
+	out.TopShare2Pct = stats.TopShare(perNode, ix.nodes*2/100)
+	out.Lorenz = stats.LorenzCurve(perNode)
+	var faultCounts []int
+	for _, c := range perNodeFaults {
+		if c > 0 {
+			faultCounts = append(faultCounts, c)
+		}
+	}
+	out.FaultHistogram = stats.NewCountHistogram(faultCounts)
+	out.PowerLaw, out.PowerLawErr = stats.FitPowerLaw(faultCounts, 1)
+	return out
+}
+
+// AnalyzeStructures is the indexed AnalyzeStructures: the error tallies
+// come from the index, the (cheap) fault loop is unchanged.
+func (ix *RecordIndex) AnalyzeStructures(faults []Fault) Structures {
+	var s Structures
+	s.Socket = newStructure([]string{"0", "1"})
+	bankLabels := make([]string, topology.BanksPerRank)
+	for i := range bankLabels {
+		bankLabels[i] = strconv.Itoa(i)
+	}
+	s.Bank = newStructure(bankLabels)
+	colLabels := make([]string, ColumnBins)
+	for i := range colLabels {
+		colLabels[i] = strconv.Itoa(i)
+	}
+	s.Column = newStructure(colLabels)
+	s.Rank = newStructure([]string{"0", "1"})
+	slotLabels := make([]string, topology.SlotsPerNode)
+	for i, sl := range topology.AllSlots() {
+		slotLabels[i] = sl.Name()
+	}
+	s.Slot = newStructure(slotLabels)
+
+	copy(s.Socket.Errors, ix.socketErrors[:])
+	copy(s.Bank.Errors, ix.bankErrors[:])
+	copy(s.Column.Errors, ix.columnErrors[:])
+	copy(s.Rank.Errors, ix.rankErrors[:])
+	copy(s.Slot.Errors, ix.slotErrors[:])
+
+	colBin := func(col int) int { return col * ColumnBins / topology.ColsPerRow }
+	for _, f := range faults {
+		s.Socket.Faults[f.Slot.Socket()]++
+		s.Bank.Faults[f.Bank]++
+		s.Rank.Faults[f.Rank]++
+		s.Slot.Faults[f.Slot]++
+		col := f.Col
+		if col < 0 {
+			if cell, _, err := topology.DecodePhysAddr(f.Node, f.Addr); err == nil && f.Addr != 0 {
+				col = cell.Col
+			} else if len(f.Errors) > 0 {
+				col = ix.records[f.Errors[0]].Col
+			} else {
+				continue
+			}
+		}
+		s.Column.Faults[colBin(col)]++
+	}
+	s.Socket.finish()
+	s.Bank.finish()
+	s.Column.finish()
+	s.Rank.finish()
+	s.Slot.finish()
+	return s
+}
+
+// AnalyzePositional is the indexed AnalyzePositional: region and rack
+// error tallies come from the index, the fault loop is unchanged.
+func (ix *RecordIndex) AnalyzePositional(faults []Fault) Positional {
+	p := Positional{
+		RackErrors:        make([]int, topology.Racks),
+		RackFaults:        make([]int, topology.Racks),
+		RegionShareByRack: make([][topology.NumRegions]float64, topology.Racks),
+	}
+	copy(p.RegionErrors[:], ix.regionErrors[:])
+	copy(p.RackErrors, ix.rackErrors)
+	rackRegionFaults := make([][topology.NumRegions]int, topology.Racks)
+	faultyNodes := map[topology.NodeID]bool{}
+	for _, f := range faults {
+		reg := f.Region()
+		rack := f.Node.Rack()
+		p.RegionFaults[reg]++
+		p.RackFaults[rack]++
+		rackRegionFaults[rack][reg]++
+		if !faultyNodes[f.Node] {
+			faultyNodes[f.Node] = true
+			p.RegionFaultyNodes[reg]++
+		}
+	}
+	for rack, counts := range rackRegionFaults {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		for reg, c := range counts {
+			p.RegionShareByRack[rack][reg] = float64(c) / float64(total)
+		}
+	}
+	if cs, err := stats.ChiSquareUniform(p.RegionFaults[:]); err == nil {
+		p.RegionFaultChi2 = cs
+	}
+	if cs, err := stats.ChiSquareUniform(p.RegionFaultyNodes[:]); err == nil {
+		p.RegionNodeChi2 = cs
+	}
+	if cs, err := stats.ChiSquareUniform(p.RackFaults); err == nil {
+		p.RackFaultChi2 = cs
+	}
+	best, second := -1, -1
+	for rack, c := range p.RackErrors {
+		if best < 0 || c > p.RackErrors[best] {
+			second = best
+			best = rack
+		} else if second < 0 || c > p.RackErrors[second] {
+			second = rack
+		}
+	}
+	p.MaxErrorRack = best
+	if best >= 0 && second >= 0 && p.RackErrors[second] > 0 {
+		p.MaxRackErrorRatio = float64(p.RackErrors[best]) / float64(p.RackErrors[second])
+	}
+	return p
+}
+
+// AnalyzeTempWindows is the indexed AnalyzeTempWindows: env-window
+// membership comes from the index, and each window's record scan (the
+// expensive MeanBefore lookups) shards across workers with per-shard bin
+// counts merged by integer sums.
+func (ix *RecordIndex) AnalyzeTempWindows(src SensorSource, windows []int64) []TempWindow {
+	const binLo, binHi = 20.0, 70.0
+	nBins := int(binHi - binLo)
+	out := make([]TempWindow, 0, len(windows))
+	for _, w := range windows {
+		tw := TempWindow{WindowMinutes: w, BinLo: binLo, Counts: make([]int, nBins)}
+		shards := parallel.NumChunks(ix.par, len(ix.records))
+		counts := make([][]int, shards)
+		parallel.ForEachChunk(ix.par, len(ix.records), func(shard, lo, hi int) {
+			c := make([]int, nBins)
+			for i := lo; i < hi; i++ {
+				if !ix.inEnv[i] {
+					continue
+				}
+				r := &ix.records[i]
+				sensor := topology.SensorForSlot(r.Slot)
+				mean := src.MeanBefore(r.Node, sensor, simtime.MinuteOf(r.Time), w)
+				bin := int(mean - binLo)
+				if bin < 0 || bin >= nBins {
+					continue
+				}
+				c[bin]++
+			}
+			counts[shard] = c
+		})
+		for _, c := range counts {
+			for i, v := range c {
+				tw.Counts[i] += v
+			}
+		}
+		var xs, ys []float64
+		for i, c := range tw.Counts {
+			if c == 0 {
+				continue
+			}
+			xs = append(xs, binLo+float64(i)+0.5)
+			ys = append(ys, float64(c))
+		}
+		tw.Fit, tw.FitErr = stats.FitLinear(xs, ys)
+		out = append(out, tw)
+	}
+	return out
+}
+
+// AnalyzeTempDeciles is the indexed AnalyzeTempDeciles: domain counts and
+// months come from the index, and the six sensors run concurrently, each
+// sharding its (node, month) MonthlyMean grid across workers.
+func (ix *RecordIndex) AnalyzeTempDeciles(src SensorSource) []DecilePanel {
+	months := ix.envMonths
+	sensors := topology.TemperatureSensors()
+	out := make([]DecilePanel, len(sensors))
+	tasks := make([]func(), len(sensors))
+	for si, sensor := range sensors {
+		si, sensor := si, sensor
+		tasks[si] = func() {
+			domain := ix.domain[sensor]
+			keys := make([]float64, ix.nodes*len(months))
+			vals := make([]float64, ix.nodes*len(months))
+			parallel.ForEachChunk(ix.par, ix.nodes, func(_, lo, hi int) {
+				for n := lo; n < hi; n++ {
+					for j, mk := range months {
+						keys[n*len(months)+j] = src.MonthlyMean(topology.NodeID(n), sensor, mk)
+						vals[n*len(months)+j] = float64(domain[[2]int{n, mk}])
+					}
+				}
+			})
+			panel := DecilePanel{Sensor: sensor}
+			bins, err := stats.Deciles(keys, vals)
+			if err != nil {
+				out[si] = panel
+				return
+			}
+			panel.Bins = bins
+			panel.Spread = stats.DecileSpread(bins)
+			panel.Trend, panel.TrendErr = stats.TrendVerdict(bins)
+			out[si] = panel
+		}
+	}
+	parallel.Run(ix.par, tasks...)
+	return out
+}
+
+// AnalyzeUtilization is the indexed AnalyzeUtilization, parallel across
+// the six sensors with the (node, month) grid sharded as in
+// AnalyzeTempDeciles.
+func (ix *RecordIndex) AnalyzeUtilization(src SensorSource) []UtilizationPanel {
+	months := ix.envMonths
+	sensors := topology.TemperatureSensors()
+	out := make([]UtilizationPanel, len(sensors))
+	tasks := make([]func(), len(sensors))
+	for si, sensor := range sensors {
+		si, sensor := si, sensor
+		tasks[si] = func() {
+			domain := ix.domain[sensor]
+			grid := ix.nodes * len(months)
+			temps := make([]float64, grid)
+			powers := make([]float64, grid)
+			errsCounts := make([]float64, grid)
+			parallel.ForEachChunk(ix.par, ix.nodes, func(_, lo, hi int) {
+				for n := lo; n < hi; n++ {
+					for j, mk := range months {
+						i := n*len(months) + j
+						temps[i] = src.MonthlyMean(topology.NodeID(n), sensor, mk)
+						powers[i] = src.MonthlyMean(topology.NodeID(n), topology.SensorDCPower, mk)
+						errsCounts[i] = float64(domain[[2]int{n, mk}])
+					}
+				}
+			})
+			med := stats.Median(temps)
+			var hotP, hotE, coldP, coldE []float64
+			for i, tv := range temps {
+				if tv > med {
+					hotP = append(hotP, powers[i])
+					hotE = append(hotE, errsCounts[i])
+				} else {
+					coldP = append(coldP, powers[i])
+					coldE = append(coldE, errsCounts[i])
+				}
+			}
+			panel := UtilizationPanel{
+				Sensor:        sensor,
+				HotPowerMean:  stats.Mean(hotP),
+				ColdPowerMean: stats.Mean(coldP),
+			}
+			if bins, err := stats.Deciles(hotP, hotE); err == nil {
+				panel.Hot = bins
+				panel.HotTrend, panel.HotTrendErr = stats.TrendVerdict(bins)
+			}
+			if bins, err := stats.Deciles(coldP, coldE); err == nil {
+				panel.Cold = bins
+				panel.ColdTrend, panel.ColdTrendErr = stats.TrendVerdict(bins)
+			}
+			out[si] = panel
+		}
+	}
+	parallel.Run(ix.par, tasks...)
+	return out
+}

@@ -9,6 +9,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/het"
 	"repro/internal/inventory"
 	"repro/internal/mce"
+	"repro/internal/parallel"
 	"repro/internal/simtime"
 	"repro/internal/topology"
 )
@@ -39,6 +41,10 @@ type Config struct {
 	PollMinutes int64
 	// Inventory enables replacement-history generation.
 	Inventory bool
+	// Parallelism bounds the worker pool the pipeline stages shard across:
+	// 0 (the default) uses runtime.GOMAXPROCS(0), 1 restores the serial
+	// code path. Output is bit-identical at every setting; see DESIGN.md §8.
+	Parallelism int
 }
 
 // DefaultConfig returns the full-scale pipeline configuration.
@@ -87,6 +93,9 @@ func Build(cfg Config) (*Dataset, error) {
 		cfg.Fault = faultmodel.DefaultConfig(cfg.Seed)
 	}
 	cfg.Fault.Nodes = cfg.Nodes
+	if cfg.Fault.Parallelism == 0 {
+		cfg.Fault.Parallelism = cfg.Parallelism
+	}
 	if cfg.Env == (envmodel.Params{}) {
 		cfg.Env = envmodel.DefaultParams()
 	}
@@ -116,33 +125,107 @@ func Build(cfg Config) (*Dataset, error) {
 }
 
 // runEdac pushes the generated CE stream through per-node pollers,
-// dropping what the limited log space loses.
+// dropping what the limited log space loses. Pollers are independent per
+// node, so with Parallelism > 1 each node's stream runs on a worker pool;
+// the flushed batches are stitched back in the order the serial scan would
+// have produced them (each batch is tagged with the global index of the
+// event whose Offer triggered the flush — unique per node — and Close
+// drains sort after every Offer, tie-broken by node), so the record stream
+// handed to sortCERecords is bit-identical to the serial path.
 func (ds *Dataset) runEdac() {
 	enc := mce.NewEncoder(ds.Config.Seed)
-	pollers := map[topology.NodeID]*edac.Poller[mce.CERecord]{}
-	out := func(recs []mce.CERecord) {
-		ds.CERecords = append(ds.CERecords, recs...)
+	if parallel.Workers(ds.Config.Parallelism) <= 1 {
+		pollers := map[topology.NodeID]*edac.Poller[mce.CERecord]{}
+		out := func(recs []mce.CERecord) {
+			ds.CERecords = append(ds.CERecords, recs...)
+		}
+		for i, ev := range ds.Pop.CEs {
+			p, ok := pollers[ev.Node]
+			if !ok {
+				p = edac.NewPoller[mce.CERecord](ds.Config.EdacCapacity, ds.Config.PollMinutes, out)
+				pollers[ev.Node] = p
+			}
+			p.Offer(int64(ev.Minute), enc.EncodeCE(ev, i))
+		}
+		// Close in node order so the final drains land deterministically.
+		for n := 0; n < ds.Config.Nodes; n++ {
+			p, ok := pollers[topology.NodeID(n)]
+			if !ok {
+				continue
+			}
+			ds.EdacStats.Add(p.Close())
+		}
+		sortCERecords(ds.CERecords)
+		return
 	}
+
+	// Partition the global event stream by node, keeping each event's
+	// global index (EncodeCE takes it, and it doubles as the batch tag).
+	perNode := make([][]int32, ds.Config.Nodes)
 	for i, ev := range ds.Pop.CEs {
-		p, ok := pollers[ev.Node]
-		if !ok {
-			p = edac.NewPoller[mce.CERecord](ds.Config.EdacCapacity, ds.Config.PollMinutes, out)
-			pollers[ev.Node] = p
-		}
-		p.Offer(int64(ev.Minute), enc.EncodeCE(ev, i))
+		perNode[ev.Node] = append(perNode[ev.Node], int32(i))
 	}
-	// Close in node order so the final drains land deterministically.
-	for n := 0; n < ds.Config.Nodes; n++ {
-		p, ok := pollers[topology.NodeID(n)]
-		if !ok {
-			continue
+
+	type nodeResult struct {
+		recs  []mce.CERecord // drained records, in emission order
+		keys  []int64        // per batch: global index of the triggering event
+		ends  []int          // per batch: end offset into recs
+		stats edac.Stats
+	}
+	results := make([]nodeResult, ds.Config.Nodes)
+	parallel.ForEachChunk(ds.Config.Parallelism, ds.Config.Nodes, func(_, lo, hi int) {
+		for n := lo; n < hi; n++ {
+			events := perNode[n]
+			if len(events) == 0 {
+				continue
+			}
+			res := &results[n]
+			var trigger int64
+			out := func(recs []mce.CERecord) {
+				res.recs = append(res.recs, recs...)
+				res.keys = append(res.keys, trigger)
+				res.ends = append(res.ends, len(res.recs))
+			}
+			p := edac.NewPoller[mce.CERecord](ds.Config.EdacCapacity, ds.Config.PollMinutes, out)
+			for _, gi := range events {
+				ev := ds.Pop.CEs[gi]
+				trigger = int64(gi)
+				p.Offer(int64(ev.Minute), enc.EncodeCE(ev, int(gi)))
+			}
+			trigger = math.MaxInt64
+			res.stats = p.Close()
 		}
-		st := p.Close()
-		ds.EdacStats.Offered += st.Offered
-		ds.EdacStats.Logged += st.Logged
-		ds.EdacStats.Dropped += st.Dropped
-		ds.EdacStats.Reordered += st.Reordered
-		ds.EdacStats.DroppedOutOfOrder += st.DroppedOutOfOrder
+	})
+
+	type batch struct {
+		key  int64
+		node int
+		recs []mce.CERecord
+	}
+	var batches []batch
+	total := 0
+	for n := range results {
+		res := &results[n]
+		start := 0
+		for b, end := range res.ends {
+			batches = append(batches, batch{res.keys[b], n, res.recs[start:end]})
+			start = end
+		}
+		total += len(res.recs)
+		ds.EdacStats.Add(res.stats)
+	}
+	// Global indexes are unique and belong to exactly one node, so sorting
+	// by key replays the serial Offer interleaving; the MaxInt64 Close
+	// drains tie-break by node, matching the serial node-order Close loop.
+	sort.Slice(batches, func(a, b int) bool {
+		if batches[a].key != batches[b].key {
+			return batches[a].key < batches[b].key
+		}
+		return batches[a].node < batches[b].node
+	})
+	ds.CERecords = make([]mce.CERecord, 0, total)
+	for _, b := range batches {
+		ds.CERecords = append(ds.CERecords, b.recs...)
 	}
 	sortCERecords(ds.CERecords)
 }
@@ -150,17 +233,21 @@ func (ds *Dataset) runEdac() {
 func (ds *Dataset) encodeDUEs() {
 	enc := mce.NewEncoder(ds.Config.Seed)
 	ds.DUERecords = make([]mce.DUERecord, len(ds.Pop.DUEs))
-	for i, d := range ds.Pop.DUEs {
-		ds.DUERecords[i] = enc.EncodeDUE(d)
-	}
+	parallel.ForEachChunk(ds.Config.Parallelism, len(ds.Pop.DUEs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ds.DUERecords[i] = enc.EncodeDUE(ds.Pop.DUEs[i])
+		}
+	})
 }
 
 func (ds *Dataset) buildHET() {
-	fromDUEs := make([]het.Record, 0, len(ds.DUERecords))
-	for _, d := range ds.DUERecords {
-		fromDUEs = append(fromDUEs, het.FromDUE(d))
-	}
-	ambient := het.GenerateAmbient(ds.Config.Seed, simtime.HETStart, ds.Config.Fault.End, ds.Config.Nodes)
+	fromDUEs := make([]het.Record, len(ds.DUERecords))
+	parallel.ForEachChunk(ds.Config.Parallelism, len(ds.DUERecords), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fromDUEs[i] = het.FromDUE(ds.DUERecords[i])
+		}
+	})
+	ambient := het.GenerateAmbientWorkers(ds.Config.Seed, simtime.HETStart, ds.Config.Fault.End, ds.Config.Nodes, ds.Config.Parallelism)
 	ds.HETRecords = het.Merge(fromDUEs, ambient)
 }
 

@@ -242,3 +242,47 @@ func TestDatasetVerify(t *testing.T) {
 		t.Error("corrupted record passed self-check")
 	}
 }
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	serialCfg := smallConfig(62)
+	serialCfg.Parallelism = 1
+	parCfg := smallConfig(62)
+	parCfg.Parallelism = 8
+
+	serial, err := Build(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Build(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.EdacStats != par.EdacStats {
+		t.Errorf("EDAC stats differ:\nserial   %+v\nparallel %+v", serial.EdacStats, par.EdacStats)
+	}
+	if len(serial.CERecords) != len(par.CERecords) {
+		t.Fatalf("CE record counts differ: serial %d, parallel %d", len(serial.CERecords), len(par.CERecords))
+	}
+	for i := range serial.CERecords {
+		if serial.CERecords[i] != par.CERecords[i] {
+			t.Fatalf("CE record %d differs:\nserial   %+v\nparallel %+v", i, serial.CERecords[i], par.CERecords[i])
+		}
+	}
+	if len(serial.DUERecords) != len(par.DUERecords) {
+		t.Fatalf("DUE record counts differ: serial %d, parallel %d", len(serial.DUERecords), len(par.DUERecords))
+	}
+	for i := range serial.DUERecords {
+		if serial.DUERecords[i] != par.DUERecords[i] {
+			t.Fatalf("DUE record %d differs", i)
+		}
+	}
+	if len(serial.HETRecords) != len(par.HETRecords) {
+		t.Fatalf("HET record counts differ: serial %d, parallel %d", len(serial.HETRecords), len(par.HETRecords))
+	}
+	for i := range serial.HETRecords {
+		if serial.HETRecords[i] != par.HETRecords[i] {
+			t.Fatalf("HET record %d differs", i)
+		}
+	}
+}

@@ -80,6 +80,16 @@ type Stats struct {
 	DroppedOutOfOrder uint64
 }
 
+// Add accumulates another poller's counters (used when per-node pollers
+// run on a worker pool and their stats are merged afterwards).
+func (s *Stats) Add(o Stats) {
+	s.Offered += o.Offered
+	s.Logged += o.Logged
+	s.Dropped += o.Dropped
+	s.Reordered += o.Reordered
+	s.DroppedOutOfOrder += o.DroppedOutOfOrder
+}
+
 // LossFraction returns the fraction of offered records that were dropped,
 // or 0 when nothing was offered.
 func (s Stats) LossFraction() float64 {

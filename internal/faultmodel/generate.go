@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -100,6 +101,12 @@ func (g *generator) weakBit(s *simrand.Stream) int {
 }
 
 // placeFaults decides which nodes are faulty and creates their faults.
+// Nodes draw from independent derived streams, so placement shards across
+// a worker pool keyed by node; faults are stitched back in node order and
+// renumbered, making the output identical to the serial path. The one
+// cross-node dependency — the first pathological node in node order is
+// the super-node — is resolved by a cheap pre-scan before the sharded
+// pass.
 func (g *generator) placeFaults(pop *Population) {
 	cfg := g.cfg
 	// Normalize region weights so the system-wide faulty-node fraction
@@ -110,81 +117,151 @@ func (g *generator) placeFaults(pop *Population) {
 	}
 	regionMean /= float64(len(cfg.RegionWeights))
 
+	if parallel.Workers(cfg.Parallelism) <= 1 {
+		for n := 0; n < cfg.Nodes; n++ {
+			pop.Faults = append(pop.Faults, g.faultsForNode(n, regionMean, func() bool {
+				// One machine dominates the study the way the paper's
+				// rack-31 node does (Fig 12a): the first pathological
+				// node drawn is the super-node.
+				if g.superAssigned {
+					return false
+				}
+				g.superAssigned = true
+				return true
+			})...)
+		}
+	} else {
+		superNode := g.findSuperNode(regionMean)
+		perNode := make([][]Fault, cfg.Nodes)
+		parallel.ForEachChunk(cfg.Parallelism, cfg.Nodes, func(_, lo, hi int) {
+			for n := lo; n < hi; n++ {
+				n := n
+				perNode[n] = g.faultsForNode(n, regionMean, func() bool { return n == superNode })
+			}
+		})
+		total := 0
+		for _, fs := range perNode {
+			total += len(fs)
+		}
+		pop.Faults = make([]Fault, 0, total)
+		for _, fs := range perNode {
+			pop.Faults = append(pop.Faults, fs...)
+		}
+	}
+	for i := range pop.Faults {
+		pop.Faults[i].ID = i
+	}
+}
+
+// findSuperNode locates the first pathological node in node order (-1 if
+// none) by replaying only the faulty/pathological draws of every node's
+// stream — the prefix of the per-node draw sequence, so the answer matches
+// what the serial pass would have decided.
+func (g *generator) findSuperNode(regionMean float64) int {
+	cfg := g.cfg
+	if cfg.PathologicalNodeFrac <= 0 || cfg.PathSeverityMax <= 1 {
+		return -1
+	}
+	shards := parallel.NumChunks(cfg.Parallelism, cfg.Nodes)
+	firstPath := make([]int, shards)
+	parallel.ForEachChunk(cfg.Parallelism, cfg.Nodes, func(shard, lo, hi int) {
+		firstPath[shard] = -1
+		for n := lo; n < hi; n++ {
+			ns := g.root.DeriveN("node", uint64(n))
+			pFaulty := cfg.FaultyNodeFrac * cfg.RegionWeights[topology.NodeID(n).Region()] / regionMean
+			if !ns.Bool(pFaulty) {
+				continue
+			}
+			if ns.Bool(cfg.PathologicalNodeFrac / pFaulty) {
+				firstPath[shard] = n
+				break
+			}
+		}
+	})
+	for _, n := range firstPath {
+		if n >= 0 {
+			return n
+		}
+	}
+	return -1
+}
+
+// faultsForNode replays one node's placement draws and returns its faults
+// (IDs unset; placeFaults renumbers). isSuper is consulted only when the
+// node is pathological and severity heterogeneity is enabled — exactly
+// where the serial path consults superAssigned — and reports whether the
+// node takes the super-node slot.
+func (g *generator) faultsForNode(n int, regionMean float64, isSuper func() bool) []Fault {
+	cfg := g.cfg
+	node := topology.NodeID(n)
+	ns := g.root.DeriveN("node", uint64(n))
+	pFaulty := cfg.FaultyNodeFrac * cfg.RegionWeights[node.Region()] / regionMean
+	if !ns.Bool(pFaulty) {
+		return nil
+	}
+	// A small fraction of the faulty nodes are pathological: extra
+	// faults, each with a guaranteed-heavy error stream. Severity is
+	// heterogeneous so a single node (and its rack) can dominate the
+	// error counts the way rack 31 does in Fig 12a.
+	pathological := cfg.PathologicalNodeFrac > 0 && ns.Bool(cfg.PathologicalNodeFrac/pFaulty)
+	nf := g.nodeFaults.Sample(ns)
+	pathFaults := 0
+	if pathological {
+		severity := 1.0
+		if cfg.PathSeverityMax > 1 {
+			if isSuper() {
+				severity = cfg.PathSeverityMax
+			} else {
+				severity = ns.Pareto(cfg.PathSeverityAlpha, 1, 1+(cfg.PathSeverityMax-1)/2.5)
+			}
+		}
+		pathFaults = int(severity*float64(cfg.PathMinFaults) + 0.5)
+		nf += pathFaults
+	}
 	slotW := cfg.SlotWeights[:]
 	rankW := cfg.RankWeights[:]
 	modeW := cfg.ModeWeights[:]
-
-	for n := 0; n < cfg.Nodes; n++ {
-		node := topology.NodeID(n)
-		ns := g.root.DeriveN("node", uint64(n))
-		pFaulty := cfg.FaultyNodeFrac * cfg.RegionWeights[node.Region()] / regionMean
-		if !ns.Bool(pFaulty) {
-			continue
+	faults := make([]Fault, 0, nf)
+	for f := 0; f < nf; f++ {
+		mode := Mode(ns.Categorical(modeW))
+		anchor := topology.CellAddr{
+			Node: node,
+			Slot: topology.Slot(ns.Categorical(slotW)),
+			Rank: ns.Categorical(rankW),
+			Bank: ns.IntN(topology.BanksPerRank),
+			Row:  skewCoord(ns.Float64(), topology.RowsPerBank, cfg.RowSkew),
+			Col:  skewCoord(ns.Float64(), topology.ColsPerRow, cfg.ColSkew),
 		}
-		// A small fraction of the faulty nodes are pathological: extra
-		// faults, each with a guaranteed-heavy error stream. Severity is
-		// heterogeneous so a single node (and its rack) can dominate the
-		// error counts the way rack 31 does in Fig 12a.
-		pathological := cfg.PathologicalNodeFrac > 0 && ns.Bool(cfg.PathologicalNodeFrac/pFaulty)
-		nf := g.nodeFaults.Sample(ns)
-		pathFaults := 0
-		if pathological {
-			severity := 1.0
-			if cfg.PathSeverityMax > 1 {
-				if !g.superAssigned {
-					// One machine dominates the study the way the paper's
-					// rack-31 node does (Fig 12a): the first pathological
-					// node drawn is the super-node.
-					severity = cfg.PathSeverityMax
-					g.superAssigned = true
-				} else {
-					severity = ns.Pareto(cfg.PathSeverityAlpha, 1, 1+(cfg.PathSeverityMax-1)/2.5)
-				}
-			}
-			pathFaults = int(severity*float64(cfg.PathMinFaults) + 0.5)
-			nf += pathFaults
+		bit := g.weakBit(ns)
+		// Word-level faults sometimes hit a population-wide weak
+		// spot (Fig 8b's address-collision power law).
+		if (mode == SingleBit || mode == SingleWord) && g.sigRank != nil && ns.Bool(cfg.SignatureProb) {
+			sig := g.signatures[g.sigRank.Sample(ns)-1]
+			anchor.Rank, anchor.Row = sig.rank, sig.row
+			bit = sig.bit
 		}
-		for f := 0; f < nf; f++ {
-			mode := Mode(ns.Categorical(modeW))
-			anchor := topology.CellAddr{
-				Node: node,
-				Slot: topology.Slot(ns.Categorical(slotW)),
-				Rank: ns.Categorical(rankW),
-				Bank: ns.IntN(topology.BanksPerRank),
-				Row:  skewCoord(ns.Float64(), topology.RowsPerBank, cfg.RowSkew),
-				Col:  skewCoord(ns.Float64(), topology.ColsPerRow, cfg.ColSkew),
-			}
-			bit := g.weakBit(ns)
-			// Word-level faults sometimes hit a population-wide weak
-			// spot (Fig 8b's address-collision power law).
-			if (mode == SingleBit || mode == SingleWord) && g.sigRank != nil && ns.Bool(cfg.SignatureProb) {
-				sig := g.signatures[g.sigRank.Sample(ns)-1]
-				anchor.Rank, anchor.Row = sig.rank, sig.row
-				bit = sig.bit
-			}
-			// Activation is strongly front-loaded: defects are present
-			// from bring-up and surface early (the same infant-mortality
-			// physics as §3.1), which combined with per-fault decay gives
-			// Fig 4a's downward monthly trend.
-			span := float64(g.endMin - g.startMin)
-			start := g.startMin + simtime.Minute(span*math.Pow(ns.Float64(), cfg.StartSkew))
-			nErr := 1
-			switch {
-			case pathological && f < pathFaults:
-				nErr = g.pathErrors.Sample(ns)
-			case !ns.Bool(cfg.POneError):
-				nErr = g.errPerFault.Sample(ns)
-			}
-			pop.Faults = append(pop.Faults, Fault{
-				ID:      len(pop.Faults),
-				Mode:    mode,
-				Anchor:  anchor,
-				Bit:     bit,
-				Start:   start,
-				NErrors: nErr,
-			})
+		// Activation is strongly front-loaded: defects are present
+		// from bring-up and surface early (the same infant-mortality
+		// physics as §3.1), which combined with per-fault decay gives
+		// Fig 4a's downward monthly trend.
+		span := float64(g.endMin - g.startMin)
+		start := g.startMin + simtime.Minute(span*math.Pow(ns.Float64(), cfg.StartSkew))
+		nErr := 1
+		switch {
+		case pathological && f < pathFaults:
+			nErr = g.pathErrors.Sample(ns)
+		case !ns.Bool(cfg.POneError):
+			nErr = g.errPerFault.Sample(ns)
 		}
+		faults = append(faults, Fault{
+			Mode:    mode,
+			Anchor:  anchor,
+			Bit:     bit,
+			Start:   start,
+			NErrors: nErr,
+		})
 	}
+	return faults
 }
 
 // errorTimeFrac draws the position of an error within [fault start, window
@@ -206,67 +283,23 @@ func (g *generator) emitCEs(pop *Population) {
 	for i := range pop.Faults {
 		total += pop.Faults[i].NErrors
 	}
-	pop.CEs = make([]CEEvent, 0, total)
+	// Each fault's error stream comes from its own derived stream, so
+	// emission shards freely across faults. Prefix sums over NErrors give
+	// every fault a disjoint output window in the final slice, which makes
+	// the pre-sort event sequence — and therefore the sorted stream —
+	// identical to the serial path. (sort.Slice is not stable, so byte
+	// identity requires reproducing the exact pre-sort order, not merely
+	// the same multiset.)
+	offsets := make([]int, len(pop.Faults)+1)
 	for i := range pop.Faults {
-		f := &pop.Faults[i]
-		fs := g.root.DeriveN("fault-errors", uint64(f.ID))
-		span := float64(g.endMin - f.Start)
-		if span < 1 {
-			span = 1
-		}
-		// Bursty faults emit errors in storms around shared centers; the
-		// kernel's CE log overflows on exactly these (§2.3).
-		// Burst sizes are heavy-tailed (a stuck bit swept by the patrol
-		// scrubber floods the log within a couple of minutes), so a
-		// meaningful fraction of bursts overflows the CE log space.
-		burstSize := 0
-		if cfg.BurstFrac > 0 && f.NErrors > 1 && fs.Bool(cfg.BurstFrac) {
-			burstSize = fs.PowerLawInt(1.2, 8, cfg.BurstMaxSize)
-		}
-		var center simtime.Minute
-		for e := 0; e < f.NErrors; e++ {
-			var t simtime.Minute
-			if burstSize > 0 {
-				if e%burstSize == 0 {
-					center = f.Start + simtime.Minute(span*errorTimeFrac(fs, cfg.TrendDecay))
-				}
-				t = center + simtime.Minute(fs.IntN(cfg.BurstSpreadMin))
-				if t > g.endMin {
-					t = g.endMin
-				}
-			} else {
-				t = f.Start + simtime.Minute(span*errorTimeFrac(fs, cfg.TrendDecay))
-			}
-			cell := f.Anchor
-			bit := f.Bit
-			switch f.Mode {
-			case SingleBit:
-				// anchored cell and bit
-			case SingleWord:
-				// anchored word; bits within the word vary
-				if fs.Bool(0.5) {
-					bit = g.weakBit(fs)
-				}
-			case SingleColumn:
-				cell.Row = skewCoord(fs.Float64(), topology.RowsPerBank, cfg.RowSkew)
-			case SingleRow:
-				cell.Col = skewCoord(fs.Float64(), topology.ColsPerRow, cfg.ColSkew)
-			case SingleBank:
-				cell.Row = skewCoord(fs.Float64(), topology.RowsPerBank, cfg.RowSkew)
-				cell.Col = skewCoord(fs.Float64(), topology.ColsPerRow, cfg.ColSkew)
-				if fs.Bool(0.3) {
-					bit = g.weakBit(fs)
-				}
-			}
-			pop.CEs = append(pop.CEs, CEEvent{
-				Minute:  t,
-				Node:    f.Anchor.Node,
-				Addr:    topology.EncodePhysAddr(cell, 0),
-				Bit:     uint8(bit),
-				FaultID: int32(f.ID),
-			})
-		}
+		offsets[i+1] = offsets[i] + pop.Faults[i].NErrors
 	}
+	pop.CEs = make([]CEEvent, total)
+	parallel.ForEachChunk(cfg.Parallelism, len(pop.Faults), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.emitFaultCEs(&pop.Faults[i], pop.CEs[offsets[i]:offsets[i+1]])
+		}
+	})
 	sort.Slice(pop.CEs, func(a, b int) bool {
 		ea, eb := &pop.CEs[a], &pop.CEs[b]
 		if ea.Minute != eb.Minute {
@@ -277,6 +310,69 @@ func (g *generator) emitCEs(pop *Population) {
 		}
 		return ea.Addr < eb.Addr
 	})
+}
+
+// emitFaultCEs fills out (sized to f.NErrors) with one fault's error
+// stream, drawn from the fault's own derived stream.
+func (g *generator) emitFaultCEs(f *Fault, out []CEEvent) {
+	cfg := g.cfg
+	fs := g.root.DeriveN("fault-errors", uint64(f.ID))
+	span := float64(g.endMin - f.Start)
+	if span < 1 {
+		span = 1
+	}
+	// Bursty faults emit errors in storms around shared centers; the
+	// kernel's CE log overflows on exactly these (§2.3).
+	// Burst sizes are heavy-tailed (a stuck bit swept by the patrol
+	// scrubber floods the log within a couple of minutes), so a
+	// meaningful fraction of bursts overflows the CE log space.
+	burstSize := 0
+	if cfg.BurstFrac > 0 && f.NErrors > 1 && fs.Bool(cfg.BurstFrac) {
+		burstSize = fs.PowerLawInt(1.2, 8, cfg.BurstMaxSize)
+	}
+	var center simtime.Minute
+	for e := 0; e < f.NErrors; e++ {
+		var t simtime.Minute
+		if burstSize > 0 {
+			if e%burstSize == 0 {
+				center = f.Start + simtime.Minute(span*errorTimeFrac(fs, cfg.TrendDecay))
+			}
+			t = center + simtime.Minute(fs.IntN(cfg.BurstSpreadMin))
+			if t > g.endMin {
+				t = g.endMin
+			}
+		} else {
+			t = f.Start + simtime.Minute(span*errorTimeFrac(fs, cfg.TrendDecay))
+		}
+		cell := f.Anchor
+		bit := f.Bit
+		switch f.Mode {
+		case SingleBit:
+			// anchored cell and bit
+		case SingleWord:
+			// anchored word; bits within the word vary
+			if fs.Bool(0.5) {
+				bit = g.weakBit(fs)
+			}
+		case SingleColumn:
+			cell.Row = skewCoord(fs.Float64(), topology.RowsPerBank, cfg.RowSkew)
+		case SingleRow:
+			cell.Col = skewCoord(fs.Float64(), topology.ColsPerRow, cfg.ColSkew)
+		case SingleBank:
+			cell.Row = skewCoord(fs.Float64(), topology.RowsPerBank, cfg.RowSkew)
+			cell.Col = skewCoord(fs.Float64(), topology.ColsPerRow, cfg.ColSkew)
+			if fs.Bool(0.3) {
+				bit = g.weakBit(fs)
+			}
+		}
+		out[e] = CEEvent{
+			Minute:  t,
+			Node:    f.Anchor.Node,
+			Addr:    topology.EncodePhysAddr(cell, 0),
+			Bit:     uint8(bit),
+			FaultID: int32(f.ID),
+		}
+	}
 }
 
 // emitDUEs generates the uncorrectable-error stream: a background Poisson

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/mce"
+	"repro/internal/parallel"
 	"repro/internal/simrand"
 	"repro/internal/simtime"
 	"repro/internal/topology"
@@ -160,46 +161,77 @@ var ambientRates = map[EventType]float64{
 // burstFactor, reproducing the spiky daily counts of Fig 15a. Events
 // before the firmware gate are suppressed.
 func GenerateAmbient(seed uint64, start, end time.Time, nodes int) []Record {
+	return GenerateAmbientWorkers(seed, start, end, nodes, 1)
+}
+
+// GenerateAmbientWorkers is GenerateAmbient sharded by day across a worker
+// pool (every day draws from its own derived stream, so day order is the
+// only cross-day coupling). The output is bit-identical at every worker
+// count; workers <= 1 runs inline.
+func GenerateAmbientWorkers(seed uint64, start, end time.Time, nodes, workers int) []Record {
+	rng := simrand.NewStream(seed).Derive("het-ambient")
+	first := simtime.DayOf(start)
+	days := 0
+	for day := first; day.Time().Before(end); day++ {
+		days++
+	}
+	perDay := make([][]Record, days)
+	parallel.ForEachChunk(workers, days, func(_, lo, hi int) {
+		for d := lo; d < hi; d++ {
+			perDay[d] = ambientForDay(rng, first+simtime.Day(d), end, nodes)
+		}
+	})
+	total := 0
+	for _, recs := range perDay {
+		total += len(recs)
+	}
+	out := make([]Record, 0, total)
+	for _, recs := range perDay {
+		out = append(out, recs...)
+	}
+	sortRecords(out)
+	return out
+}
+
+// ambientForDay draws one day's ambient events from the day's derived
+// stream.
+func ambientForDay(rng *simrand.Stream, day simtime.Day, end time.Time, nodes int) []Record {
 	const (
 		burstProb   = 0.06
 		burstFactor = 8
 	)
-	rng := simrand.NewStream(seed).Derive("het-ambient")
+	ds := rng.DeriveN("day", uint64(day))
+	factor := 1.0
+	if ds.Bool(burstProb) {
+		factor = burstFactor
+	}
 	var out []Record
-	for day := simtime.DayOf(start); day.Time().Before(end); day++ {
-		ds := rng.DeriveN("day", uint64(day))
-		factor := 1.0
-		if ds.Bool(burstProb) {
-			factor = burstFactor
+	for t := EventType(0); t < NumEventTypes; t++ {
+		rate, ok := ambientRates[t]
+		if !ok {
+			continue
 		}
-		for t := EventType(0); t < NumEventTypes; t++ {
-			rate, ok := ambientRates[t]
-			if !ok {
+		n := ds.Poisson(rate * factor)
+		for i := 0; i < n; i++ {
+			minute := day.Start() + simtime.Minute(ds.IntN(simtime.MinutesPerDay))
+			node := topology.NodeID(ds.IntN(nodes))
+			rec := Record{Time: minute.Time(), Node: node, Type: t, Severity: SeverityOf(t)}
+			if !rec.Recorded() {
 				continue
 			}
-			n := ds.Poisson(rate * factor)
-			for i := 0; i < n; i++ {
-				minute := day.Start() + simtime.Minute(ds.IntN(simtime.MinutesPerDay))
-				node := topology.NodeID(ds.IntN(nodes))
-				rec := Record{Time: minute.Time(), Node: node, Type: t, Severity: SeverityOf(t)}
-				if !rec.Recorded() {
-					continue
-				}
-				out = append(out, rec)
-				// PSU failures de-assert within the hour.
-				if t == PowerSupplyFailure {
-					clear := rec
-					clear.Type = PowerSupplyFailureDeasserted
-					clear.Severity = SeverityOf(clear.Type)
-					clear.Time = rec.Time.Add(time.Duration(5+ds.IntN(55)) * time.Minute)
-					if clear.Recorded() && clear.Time.Before(end) {
-						out = append(out, clear)
-					}
+			out = append(out, rec)
+			// PSU failures de-assert within the hour.
+			if t == PowerSupplyFailure {
+				clear := rec
+				clear.Type = PowerSupplyFailureDeasserted
+				clear.Severity = SeverityOf(clear.Type)
+				clear.Time = rec.Time.Add(time.Duration(5+ds.IntN(55)) * time.Minute)
+				if clear.Recorded() && clear.Time.Before(end) {
+					out = append(out, clear)
 				}
 			}
 		}
 	}
-	sortRecords(out)
 	return out
 }
 

@@ -1,0 +1,112 @@
+// Package parallel provides the deterministic fan-out primitives the
+// pipeline stages share. Every helper takes an explicit worker count with
+// one convention module-wide: 0 (or negative) means "auto", i.e.
+// runtime.GOMAXPROCS(0); 1 runs inline on the calling goroutine with no
+// synchronization, restoring the serial code path exactly.
+//
+// Determinism is the caller's contract: work is split into contiguous
+// index ranges whose outputs land in caller-owned, disjoint slots (or are
+// merged in range order), so the result of any helper is a pure function
+// of its inputs — never of the scheduler. See DESIGN.md §8 for the
+// system-wide argument.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested parallelism degree: values <= 0 become
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// chunks splits [0, n) into at most workers contiguous [lo, hi) ranges of
+// near-equal size. It returns nil when n == 0.
+func chunks(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		// Distribute the remainder one element at a time so sizes differ
+		// by at most one.
+		size := (n - lo) / (workers - w)
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ForEachChunk partitions [0, n) into contiguous ranges and calls
+// fn(shard, lo, hi) for each, concurrently across up to workers
+// goroutines. shard is the dense chunk index (0-based, in range order) so
+// callers can write per-shard partial results into a slice and merge them
+// in shard order afterwards. workers <= 1 calls fn(0, 0, n) inline.
+func ForEachChunk(workers, n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	ranges := chunks(n, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for shard, r := range ranges {
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, r[0], r[1])
+	}
+	wg.Wait()
+}
+
+// NumChunks reports how many shards ForEachChunk will use for n items at
+// the given worker count, so callers can pre-size per-shard result slices.
+func NumChunks(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers = Workers(workers)
+	if workers <= 1 {
+		return 1
+	}
+	return len(chunks(n, workers))
+}
+
+// Run executes the given tasks with at most workers running concurrently.
+// workers <= 1 runs them inline in slice order. Tasks must synchronize
+// only through their own disjoint outputs (the helper adds the final
+// happens-before edge when it returns).
+func Run(workers int, tasks ...func()) {
+	workers = Workers(workers)
+	if workers <= 1 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		go func(t func()) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t()
+		}(t)
+	}
+	wg.Wait()
+}

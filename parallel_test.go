@@ -1,0 +1,86 @@
+package astra
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// parallelTestNodes returns the node count for the differential
+// determinism tests: ASTRA_BENCH_NODES when set (make verify pins 64),
+// otherwise a reduced default that keeps the -race run fast.
+func parallelTestNodes(t *testing.T) int {
+	t.Helper()
+	if v := os.Getenv("ASTRA_BENCH_NODES"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 && n <= FullScale {
+			return n
+		}
+	}
+	return 96
+}
+
+// TestParallelReportByteIdentical is the end-to-end determinism contract:
+// the full pipeline (Run + Analyze + WriteReport) at Parallelism=1 and
+// Parallelism=8 must render byte-identical reports for the same seed.
+func TestParallelReportByteIdentical(t *testing.T) {
+	nodes := parallelTestNodes(t)
+	render := func(par int) []byte {
+		study, err := Run(Options{Seed: 1, Nodes: nodes, Parallelism: par})
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		var buf bytes.Buffer
+		if err := study.WriteReport(&buf, study.Analyze()); err != nil {
+			t.Fatalf("Parallelism=%d: %v", par, err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	par := render(8)
+	if !bytes.Equal(serial, par) {
+		line := 1
+		for i := 0; i < len(serial) && i < len(par); i++ {
+			if serial[i] != par[i] {
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("reports diverge at byte %d (line %d):\nserial:   %q\nparallel: %q",
+					i, line, serial[lo:min(i+80, len(serial))], par[lo:min(i+80, len(par))])
+			}
+			if serial[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("report lengths differ: serial %d bytes, parallel %d bytes", len(serial), len(par))
+	}
+}
+
+// TestParallelAnalyzeDeterministic asserts Analyze at the same parallelism
+// gives identical rendered output run to run (guards against map-order
+// float accumulation sneaking back into an analysis).
+func TestParallelAnalyzeDeterministic(t *testing.T) {
+	nodes := parallelTestNodes(t)
+	study, err := Run(Options{Seed: 2, Nodes: nodes, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := study.WriteReport(&buf, study.Analyze()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Error("repeated Analyze renders differ at fixed parallelism")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
