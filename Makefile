@@ -4,7 +4,7 @@ GO ?= go
 # numbers (and test cost) are comparable across runs.
 ASTRA_BENCH_NODES ?= 256
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-guard
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
 	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
+	@if [ -n "$$ASTRA_BENCH_GUARD" ]; then $(MAKE) bench-guard; fi
 
 # bench runs the analysis micro-benchmarks (bench_test.go), the
 # pipeline-stage benchmarks (bench_pipeline_test.go), and writes the
@@ -30,3 +31,10 @@ verify:
 bench:
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) test -run '^$$' -bench . -benchmem .
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -out BENCH_pipeline.json
+
+# bench-guard fails when the allocation-sensitive stages (dataset-build,
+# parse) regress more than 10% allocs/op against the checked-in
+# BENCH_pipeline.json. Opt into it during verify with ASTRA_BENCH_GUARD=1
+# (it re-runs the pipeline fixture, so it is not free).
+bench-guard:
+	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -guard -against BENCH_pipeline.json

@@ -59,6 +59,7 @@ func benchStage(b *testing.B, name string) {
 
 func BenchmarkStageGenerate(b *testing.B)     { benchStage(b, "generate") }
 func BenchmarkStageDatasetBuild(b *testing.B) { benchStage(b, "dataset-build") }
+func BenchmarkStageParse(b *testing.B)        { benchStage(b, "parse") }
 func BenchmarkStageCluster(b *testing.B)      { benchStage(b, "cluster") }
 func BenchmarkStageAnalyze(b *testing.B)      { benchStage(b, "analyze") }
 func BenchmarkStageReport(b *testing.B)       { benchStage(b, "report") }

@@ -1,16 +1,22 @@
 // Command astrabench runs the pipeline-stage benchmarks and writes
 // BENCH_pipeline.json, the perf-regression baseline `make bench` tracks:
-// for every stage (generation, dataset build, clustering, analysis,
-// report) at the serial and the GOMAXPROCS worker counts, ns/op,
-// allocs/op, bytes/op and records/sec, plus the parallel-over-serial
-// speedup per stage.
+// for every stage (generation, dataset build, parse, clustering,
+// analysis, report) at each requested worker count, ns/op, allocs/op,
+// bytes/op and records/sec, plus the parallel-over-serial speedup per
+// stage. The serial (workers=1) row is always measured, even when not
+// listed in -workers, so every run carries its own baseline and the
+// speedup map is never empty: a serial-only run records 1.0 per stage.
 //
 // Usage:
 //
-//	astrabench [-seed 1] [-nodes N] [-out BENCH_pipeline.json]
+//	astrabench [-seed 1] [-nodes N] [-workers 1,4,8] [-out BENCH_pipeline.json]
+//	astrabench -guard [-against BENCH_pipeline.json] [-tolerance 0.10]
 //
-// The node count defaults to ASTRA_BENCH_NODES (then 256), pinning the
-// scale so numbers are comparable across runs.
+// -guard re-measures the allocation-sensitive stages (dataset-build and
+// parse) at workers=1 and exits non-zero if allocs/op regressed more
+// than -tolerance against the checked-in baseline, instead of writing a
+// new one. The node count defaults to ASTRA_BENCH_NODES (then 256),
+// pinning the scale so numbers are comparable across runs.
 package main
 
 import (
@@ -19,6 +25,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/benchstage"
@@ -41,16 +50,31 @@ type Baseline struct {
 	Nodes      int           `json:"nodes"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Stages     []StageResult `json:"stages"`
-	// Speedup maps stage -> serial ns/op over parallel ns/op (only
-	// meaningful when GOMAXPROCS > 1).
+	// Speedup maps stage -> serial ns/op over the fastest parallel
+	// ns/op measured. A serial-only run records 1.0 for every stage, so
+	// the map always describes the run instead of silently vanishing.
 	Speedup map[string]float64 `json:"speedup"`
 }
+
+// guardStages are the allocation-budget stages `-guard` re-measures:
+// the two layers the zero-allocation codec work targets.
+var guardStages = []string{"dataset-build", "parse"}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "pipeline seed")
 	nodes := flag.Int("nodes", benchstage.Nodes(), "system size (defaults to ASTRA_BENCH_NODES, then 256)")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts to sweep (serial 1 is always included; default: 1 and GOMAXPROCS)")
 	out := flag.String("out", "BENCH_pipeline.json", "output path")
+	guard := flag.Bool("guard", false, "check allocs/op of the guarded stages against -against instead of writing a baseline")
+	against := flag.String("against", "BENCH_pipeline.json", "baseline to guard against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth before -guard fails")
 	flag.Parse()
+
+	workerCounts, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astrabench:", err)
+		os.Exit(2)
+	}
 
 	set, err := benchstage.New(*seed, *nodes)
 	if err != nil {
@@ -58,43 +82,29 @@ func main() {
 		os.Exit(1)
 	}
 
-	maxWorkers := runtime.GOMAXPROCS(0)
-	workerCounts := []int{1}
-	if maxWorkers > 1 {
-		workerCounts = append(workerCounts, maxWorkers)
+	if *guard {
+		os.Exit(runGuard(set, *against, *tolerance))
 	}
 
 	doc := Baseline{
 		Seed:       set.Seed,
 		Nodes:      set.Nodes,
-		GOMAXPROCS: maxWorkers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Speedup:    map[string]float64{},
 	}
-	serialNs := map[string]int64{}
 	for _, stage := range set.Stages {
+		var serialNs int64
 		for _, w := range workerCounts {
-			stage, w := stage, w
-			r := testing.Benchmark(func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					stage.Op(w)
-				}
-			})
-			row := StageResult{
-				Stage:       stage.Name,
-				Workers:     w,
-				NsPerOp:     r.NsPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				Records:     stage.Records,
-			}
-			if row.NsPerOp > 0 {
-				row.RecordsPerSec = float64(stage.Records) / (float64(row.NsPerOp) / 1e9)
-			}
+			row := measure(stage, w)
 			doc.Stages = append(doc.Stages, row)
 			if w == 1 {
-				serialNs[stage.Name] = row.NsPerOp
-			} else if s := serialNs[stage.Name]; s > 0 && row.NsPerOp > 0 {
-				doc.Speedup[stage.Name] = float64(s) / float64(row.NsPerOp)
+				serialNs = row.NsPerOp
+				// Baseline entry: overwritten below if a sweep beats it.
+				doc.Speedup[stage.Name] = 1.0
+			} else if serialNs > 0 && row.NsPerOp > 0 {
+				if s := float64(serialNs) / float64(row.NsPerOp); s > doc.Speedup[stage.Name] {
+					doc.Speedup[stage.Name] = s
+				}
 			}
 			fmt.Printf("%-14s workers=%-2d %12d ns/op %10d B/op %8d allocs/op %14.0f records/s\n",
 				stage.Name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.RecordsPerSec)
@@ -111,4 +121,120 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (seed %d, %d nodes, GOMAXPROCS %d)\n", *out, doc.Seed, doc.Nodes, doc.GOMAXPROCS)
+}
+
+// parseWorkers expands the -workers flag into a sorted, deduplicated
+// sweep that always starts with the serial baseline.
+func parseWorkers(s string) ([]int, error) {
+	counts := map[int]bool{1: true}
+	if s == "" {
+		if n := runtime.GOMAXPROCS(0); n > 1 {
+			counts[n] = true
+		}
+	} else {
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("invalid -workers entry %q", part)
+			}
+			counts[n] = true
+		}
+	}
+	var out []int
+	for n := range counts {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	// 0 means GOMAXPROCS inside the stages; sweep it last, after the
+	// explicit counts, rather than sorting it before the serial row.
+	if len(out) > 0 && out[0] == 0 {
+		out = append(out[1:], 0)
+	}
+	return out, nil
+}
+
+func measure(stage benchstage.Stage, workers int) StageResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stage.Op(workers)
+		}
+	})
+	row := StageResult{
+		Stage:       stage.Name,
+		Workers:     workers,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Records:     stage.Records,
+	}
+	if row.NsPerOp > 0 {
+		row.RecordsPerSec = float64(stage.Records) / (float64(row.NsPerOp) / 1e9)
+	}
+	return row
+}
+
+// runGuard re-measures the guarded stages serially and compares
+// allocs/op to the baseline, failing on growth beyond the tolerance. A
+// small absolute slack absorbs runtime jitter on near-zero budgets.
+func runGuard(set *benchstage.Set, path string, tolerance float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astrabench: guard: %v\n", err)
+		return 1
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "astrabench: guard: %s: %v\n", path, err)
+		return 1
+	}
+	if base.Nodes != set.Nodes {
+		fmt.Fprintf(os.Stderr, "astrabench: guard: baseline is for %d nodes, run is %d; regenerate with `make bench`\n", base.Nodes, set.Nodes)
+		return 1
+	}
+	baseAllocs := map[string]int64{}
+	for _, row := range base.Stages {
+		if row.Workers == 1 {
+			baseAllocs[row.Stage] = row.AllocsPerOp
+		}
+	}
+	failed := false
+	for _, name := range guardStages {
+		old, ok := baseAllocs[name]
+		if !ok {
+			fmt.Printf("%-14s no serial baseline row in %s; skipping (regenerate with `make bench`)\n", name, path)
+			continue
+		}
+		var stage *benchstage.Stage
+		for i := range set.Stages {
+			if set.Stages[i].Name == name {
+				stage = &set.Stages[i]
+				break
+			}
+		}
+		if stage == nil {
+			fmt.Fprintf(os.Stderr, "astrabench: guard: unknown stage %q\n", name)
+			return 1
+		}
+		row := measure(*stage, 1)
+		limit := old + int64(float64(old)*tolerance)
+		if limit < old+16 {
+			limit = old + 16
+		}
+		status := "ok"
+		if row.AllocsPerOp > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s allocs/op %8d (baseline %8d, limit %8d) %s\n",
+			name, row.AllocsPerOp, old, limit, status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "astrabench: guard: allocs/op regressed beyond tolerance; investigate or regenerate the baseline with `make bench`")
+		return 1
+	}
+	return 0
 }

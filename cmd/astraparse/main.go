@@ -16,17 +16,18 @@
 package main
 
 import (
-	"encoding/csv"
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
-	"time"
+	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/het"
 	"repro/internal/mce"
+	"repro/internal/syslog"
 )
 
 func main() {
@@ -118,31 +119,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// writeDUECSV and writeHETCSV render rows through the append emitters into
+// one reused buffer (no field needs CSV quoting), mirroring the CE path in
+// internal/dataset.
 func writeDUECSV(path string, dues []mce.DUERecord) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	cw := csv.NewWriter(f)
-	if err := cw.Write([]string{"timestamp", "node", "cause", "addr", "fatal"}); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.WriteString("timestamp,node,cause,addr,fatal\n"); err != nil {
 		return err
 	}
-	for _, d := range dues {
-		fatal := "0"
+	var buf []byte
+	for i := range dues {
+		d := &dues[i]
+		buf = syslog.AppendTimestamp(buf[:0], d.Time)
+		buf = append(buf, ',')
+		buf = d.Node.AppendString(buf)
+		buf = append(buf, ',')
+		buf = append(buf, d.Cause.String()...)
+		buf = append(buf, ",0x"...)
+		buf = strconv.AppendUint(buf, uint64(d.Addr), 16)
 		if d.Fatal {
-			fatal = "1"
+			buf = append(buf, ",1\n"...)
+		} else {
+			buf = append(buf, ",0\n"...)
 		}
-		rec := []string{
-			d.Time.UTC().Format(time.RFC3339), d.Node.String(), d.Cause.String(),
-			fmt.Sprintf("0x%x", uint64(d.Addr)), fatal,
-		}
-		if err := cw.Write(rec); err != nil {
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
 }
 
 func writeHETCSV(path string, hets []het.Record) error {
@@ -151,19 +160,26 @@ func writeHETCSV(path string, hets []het.Record) error {
 		return err
 	}
 	defer f.Close()
-	cw := csv.NewWriter(f)
-	if err := cw.Write([]string{"timestamp", "node", "event", "severity", "addr"}); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.WriteString("timestamp,node,event,severity,addr\n"); err != nil {
 		return err
 	}
-	for _, h := range hets {
-		rec := []string{
-			h.Time.UTC().Format(time.RFC3339), h.Node.String(),
-			h.Type.String(), h.Severity.String(), fmt.Sprintf("0x%x", uint64(h.Addr)),
-		}
-		if err := cw.Write(rec); err != nil {
+	var buf []byte
+	for i := range hets {
+		h := &hets[i]
+		buf = syslog.AppendTimestamp(buf[:0], h.Time)
+		buf = append(buf, ',')
+		buf = h.Node.AppendString(buf)
+		buf = append(buf, ',')
+		buf = append(buf, h.Type.String()...)
+		buf = append(buf, ',')
+		buf = append(buf, h.Severity.String()...)
+		buf = append(buf, ",0x"...)
+		buf = strconv.AppendUint(buf, uint64(h.Addr), 16)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
 }

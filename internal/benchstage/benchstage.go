@@ -7,6 +7,7 @@
 package benchstage
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faultmodel"
+	"repro/internal/syslog"
 )
 
 // DefaultNodes is the pinned system size `make bench` runs at unless
@@ -76,6 +78,15 @@ func New(seed uint64, nodes int) (*Set, error) {
 	}
 	results := study.Analyze()
 
+	// The parse stage scans a pre-rendered syslog held in memory, so it
+	// measures the wire codec alone (no disk, no dataset build per op).
+	var logBuf bytes.Buffer
+	if err := ds.WriteSyslog(&logBuf, 100); err != nil {
+		return nil, fmt.Errorf("benchstage: render syslog: %w", err)
+	}
+	logBytes := logBuf.Bytes()
+	logRecords := len(ds.CERecords) + len(ds.DUERecords) + len(ds.HETRecords)
+
 	stages := []Stage{
 		{
 			Name:    "generate",
@@ -96,6 +107,25 @@ func New(seed uint64, nodes int) (*Set, error) {
 				cfg.Parallelism = workers
 				if _, err := dataset.Build(cfg); err != nil {
 					panic(err)
+				}
+			},
+		},
+		{
+			Name:    "parse",
+			Records: logRecords,
+			Op: func(workers int) {
+				// Scanning is inherently serial (one log, one cursor);
+				// workers is accepted for interface symmetry like report.
+				sc := syslog.NewScanner(bytes.NewReader(logBytes))
+				n := 0
+				for sc.Scan() {
+					n++
+				}
+				if err := sc.Err(); err != nil {
+					panic(err)
+				}
+				if n != logRecords {
+					panic(fmt.Sprintf("benchstage: parse saw %d records, want %d", n, logRecords))
 				}
 			},
 		},

@@ -135,6 +135,9 @@ func Build(cfg Config) (*Dataset, error) {
 func (ds *Dataset) runEdac() {
 	enc := mce.NewEncoder(ds.Config.Seed)
 	if parallel.Workers(ds.Config.Parallelism) <= 1 {
+		// Logged <= offered, so the full event count is a safe upper bound
+		// that spares every growth reallocation on the hot append below.
+		ds.CERecords = make([]mce.CERecord, 0, len(ds.Pop.CEs))
 		pollers := map[topology.NodeID]*edac.Poller[mce.CERecord]{}
 		out := func(recs []mce.CERecord) {
 			ds.CERecords = append(ds.CERecords, recs...)
@@ -161,7 +164,19 @@ func (ds *Dataset) runEdac() {
 
 	// Partition the global event stream by node, keeping each event's
 	// global index (EncodeCE takes it, and it doubles as the batch tag).
+	// Counting first sizes every per-node slice exactly — one backing
+	// array for the whole partition instead of per-node growth chains.
+	counts := make([]int32, ds.Config.Nodes)
+	for _, ev := range ds.Pop.CEs {
+		counts[ev.Node]++
+	}
+	backing := make([]int32, len(ds.Pop.CEs))
 	perNode := make([][]int32, ds.Config.Nodes)
+	next := 0
+	for n := range perNode {
+		perNode[n] = backing[next : next : next+int(counts[n])]
+		next += int(counts[n])
+	}
 	for i, ev := range ds.Pop.CEs {
 		perNode[ev.Node] = append(perNode[ev.Node], int32(i))
 	}
@@ -180,6 +195,7 @@ func (ds *Dataset) runEdac() {
 				continue
 			}
 			res := &results[n]
+			res.recs = make([]mce.CERecord, 0, len(events))
 			var trigger int64
 			out := func(recs []mce.CERecord) {
 				res.recs = append(res.recs, recs...)

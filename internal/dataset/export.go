@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/envmodel"
@@ -18,28 +19,44 @@ import (
 	"repro/internal/topology"
 )
 
+// linePool recycles the per-line append buffers the streaming emitters
+// render into, so writing a multi-gigabyte release allocates a handful of
+// buffers total instead of one string per record.
+var linePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
 // WriteSyslog renders the CE, DUE and HET record streams as one merged,
 // time-ordered syslog, interleaving a line of unrelated kernel chatter
 // every noiseEvery records (0 disables) so parsers are exercised on
-// realistic input.
+// realistic input. Records are rendered through the zero-allocation wire
+// codec into a pooled buffer and written straight to a buffered writer —
+// no per-line string is ever built.
 func (ds *Dataset) WriteSyslog(w io.Writer, noiseEvery int) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	ci, di, hi := 0, 0, 0
 	n := 0
 	rng := simrand.NewStream(ds.Config.Seed).Derive("syslog-noise")
-	emit := func(line string) error {
-		if _, err := bw.WriteString(line); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+	bufp := linePool.Get().(*[]byte)
+	buf := *bufp
+	defer func() { *bufp = buf; linePool.Put(bufp) }()
+	// emit writes the rendered line in buf plus its newline, then any due
+	// noise line (reusing the same buffer).
+	emit := func() error {
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 		n++
 		if noiseEvery > 0 && n%noiseEvery == 0 {
-			noise := fmt.Sprintf("%s %s kernel: slurmd[%d]: job step completed",
-				ds.timeCursor(ci, di, hi).UTC().Format(time.RFC3339),
-				topology.NodeID(rng.IntN(ds.Config.Nodes)), 1000+rng.IntN(9000))
-			if _, err := bw.WriteString(noise + "\n"); err != nil {
+			buf = syslog.AppendTimestamp(buf[:0], ds.timeCursor(ci, di, hi))
+			buf = append(buf, ' ')
+			buf = topology.NodeID(rng.IntN(ds.Config.Nodes)).AppendString(buf)
+			buf = append(buf, " kernel: slurmd["...)
+			buf = strconv.AppendInt(buf, int64(1000+rng.IntN(9000)), 10)
+			buf = append(buf, "]: job step completed\n"...)
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}
@@ -48,17 +65,20 @@ func (ds *Dataset) WriteSyslog(w io.Writer, noiseEvery int) error {
 	for ci < len(ds.CERecords) || di < len(ds.DUERecords) || hi < len(ds.HETRecords) {
 		switch ds.nextStream(ci, di, hi) {
 		case 0:
-			if err := emit(syslog.FormatCE(ds.CERecords[ci])); err != nil {
+			buf = syslog.AppendCE(buf[:0], ds.CERecords[ci])
+			if err := emit(); err != nil {
 				return err
 			}
 			ci++
 		case 1:
-			if err := emit(syslog.FormatDUE(ds.DUERecords[di])); err != nil {
+			buf = syslog.AppendDUE(buf[:0], ds.DUERecords[di])
+			if err := emit(); err != nil {
 				return err
 			}
 			di++
 		default:
-			if err := emit(syslog.FormatHET(ds.HETRecords[hi])); err != nil {
+			buf = syslog.AppendHET(buf[:0], ds.HETRecords[hi])
+			if err := emit(); err != nil {
 				return err
 			}
 			hi++
@@ -115,32 +135,44 @@ func (ds *Dataset) WriteCETelemetryCSV(w io.Writer) error {
 }
 
 // WriteCERecordsCSV writes arbitrary CE records in the open-data CSV
-// schema (used by the ETL tool on parsed logs).
+// schema (used by the ETL tool on parsed logs). No field ever needs CSV
+// quoting, so rows are rendered into a pooled buffer with the append
+// emitters instead of going through encoding/csv's per-row []string.
 func WriteCERecordsCSV(w io.Writer, records []mce.CERecord) error {
-	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<20))
-	if err := cw.Write(ceCSVHeader); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(strings.Join(ceCSVHeader, ",") + "\n"); err != nil {
 		return err
 	}
-	for _, r := range records {
-		rec := []string{
-			r.Time.UTC().Format(time.RFC3339),
-			r.Node.String(),
-			strconv.Itoa(r.Socket),
-			"mem-ce",
-			r.Slot.Name(),
-			strconv.Itoa(r.RowRaw),
-			strconv.Itoa(r.Rank),
-			strconv.Itoa(r.Bank),
-			strconv.Itoa(r.BitPos),
-			"0x" + strconv.FormatUint(uint64(r.Addr), 16),
-			"0x" + strconv.FormatUint(uint64(r.Syndrome), 16),
-		}
-		if err := cw.Write(rec); err != nil {
+	bufp := linePool.Get().(*[]byte)
+	buf := *bufp
+	defer func() { *bufp = buf; linePool.Put(bufp) }()
+	for i := range records {
+		r := &records[i]
+		buf = syslog.AppendTimestamp(buf[:0], r.Time)
+		buf = append(buf, ',')
+		buf = r.Node.AppendString(buf)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Socket), 10)
+		buf = append(buf, ",mem-ce,"...)
+		buf = r.Slot.AppendName(buf)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.RowRaw), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Rank), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.Bank), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(r.BitPos), 10)
+		buf = append(buf, ",0x"...)
+		buf = strconv.AppendUint(buf, uint64(r.Addr), 16)
+		buf = append(buf, ",0x"...)
+		buf = strconv.AppendUint(buf, uint64(r.Syndrome), 16)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
 }
 
 // ReadCETelemetryCSV parses the open-data CE CSV back into records; the
@@ -227,31 +259,38 @@ func (ds *Dataset) WriteSensorCSV(w io.Writer, nodeStride, minuteStride int) err
 	if nodeStride < 1 || minuteStride < 1 {
 		return fmt.Errorf("dataset: strides must be >= 1")
 	}
-	cw := csv.NewWriter(bufio.NewWriterSize(w, 1<<20))
-	if err := cw.Write([]string{"timestamp", "node", "sensor", "value"}); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString("timestamp,node,sensor,value\n"); err != nil {
 		return err
 	}
 	start := simtime.MinuteOf(simtime.EnvStart)
 	end := simtime.MinuteOf(simtime.EnvEnd)
+	bufp := linePool.Get().(*[]byte)
+	buf := *bufp
+	defer func() { *bufp = buf; linePool.Put(bufp) }()
+	var pfx []byte
 	for n := 0; n < ds.Config.Nodes; n += nodeStride {
 		node := topology.NodeID(n)
 		for m := start; m < end; m += simtime.Minute(minuteStride) {
+			// The "timestamp,node," prefix is shared by NumSensors rows.
+			pfx = syslog.AppendTimestamp(pfx[:0], m.Time())
+			pfx = append(pfx, ',')
+			pfx = node.AppendString(pfx)
+			pfx = append(pfx, ',')
 			for s := topology.Sensor(0); s < topology.NumSensors; s++ {
 				v, _ := ds.Env.Sample(node, s, m)
-				rec := []string{
-					m.Time().Format(time.RFC3339),
-					node.String(),
-					s.String(),
-					strconv.FormatFloat(v, 'f', 2, 64),
-				}
-				if err := cw.Write(rec); err != nil {
+				buf = append(buf[:0], pfx...)
+				buf = append(buf, s.String()...)
+				buf = append(buf, ',')
+				buf = strconv.AppendFloat(buf, v, 'f', 2, 64)
+				buf = append(buf, '\n')
+				if _, err := bw.Write(buf); err != nil {
 					return err
 				}
 			}
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return bw.Flush()
 }
 
 // ReadSensorCSV parses the environmental release, marking each sample's

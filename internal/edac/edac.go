@@ -56,6 +56,16 @@ func (r *Ring[T]) Drain() []T {
 	return out
 }
 
+// view returns the buffered records without copying; reset empties the
+// buffer afterwards. Together they are the allocation-free drain the
+// Poller uses: the view is only valid until the next Offer.
+func (r *Ring[T]) view() []T { return r.buf[:r.n] }
+
+func (r *Ring[T]) reset() {
+	r.buf = r.buf[:0]
+	r.n = 0
+}
+
 // Len returns the number of buffered records.
 func (r *Ring[T]) Len() int { return r.n }
 
@@ -122,6 +132,10 @@ const DefaultReorderSlack = 1
 // NewPoller builds a poller draining every interval key units into out,
 // tolerating records up to DefaultReorderSlack intervals late. It panics
 // if interval <= 0 or out is nil.
+//
+// The slice passed to out borrows the poller's internal buffer: it is
+// valid only for the duration of the callback, which must copy anything it
+// keeps. This makes a poll flush allocation-free.
 func NewPoller[T any](capacity int, interval int64, out func([]T)) *Poller[T] {
 	if interval <= 0 {
 		panic("edac: poll interval must be positive")
@@ -180,7 +194,8 @@ func (p *Poller[T]) Close() Stats {
 }
 
 func (p *Poller[T]) flush() {
-	if recs := p.ring.Drain(); len(recs) > 0 {
+	if recs := p.ring.view(); len(recs) > 0 {
 		p.out(recs)
 	}
+	p.ring.reset()
 }

@@ -69,6 +69,17 @@ func ParseEventType(s string) (EventType, error) {
 	return 0, fmt.Errorf("het: unknown event type %q", s)
 }
 
+// ParseEventTypeBytes parses a wire name from raw bytes without allocating
+// (the string conversions below compile to allocation-free comparisons).
+func ParseEventTypeBytes(b []byte) (EventType, error) {
+	for t := EventType(0); t < NumEventTypes; t++ {
+		if string(b) == eventNames[t] {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("het: unknown event type %q", b)
+}
+
 // Severity of a HET record.
 type Severity int
 
@@ -105,6 +116,16 @@ func ParseSeverity(v string) (Severity, error) {
 		}
 	}
 	return 0, fmt.Errorf("het: unknown severity %q", v)
+}
+
+// ParseSeverityBytes parses a wire name from raw bytes without allocating.
+func ParseSeverityBytes(b []byte) (Severity, error) {
+	for s := Severity(0); s < NumSeverities; s++ {
+		if string(b) == severityNames[s] {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("het: unknown severity %q", b)
 }
 
 // SeverityOf returns the severity the firmware assigns to an event type.

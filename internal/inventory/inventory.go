@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/simrand"
@@ -72,22 +73,29 @@ func (k Kind) Population() int {
 	}
 }
 
-// Slots returns the per-node location names for a kind.
+// slotNames holds the per-node location names per kind, computed once:
+// Slots is called inside per-day and per-node loops, where rebuilding the
+// DIMM name list (17 allocations) dominated the whole generator's
+// allocation profile.
+var slotNames = func() [NumKinds][]string {
+	var out [NumKinds][]string
+	out[Processor] = []string{"cpu0", "cpu1"}
+	out[Motherboard] = []string{"mb"}
+	names := make([]string, topology.SlotsPerNode)
+	for i, s := range topology.AllSlots() {
+		names[i] = "dimm" + s.Name()
+	}
+	out[DIMM] = names
+	return out
+}()
+
+// Slots returns the per-node location names for a kind. The slice is
+// shared; callers must not modify it.
 func (k Kind) Slots() []string {
-	switch k {
-	case Processor:
-		return []string{"cpu0", "cpu1"}
-	case Motherboard:
-		return []string{"mb"}
-	case DIMM:
-		names := make([]string, topology.SlotsPerNode)
-		for i, s := range topology.AllSlots() {
-			names[i] = "dimm" + s.Name()
-		}
-		return names
-	default:
+	if k < 0 || k >= NumKinds {
 		return nil
 	}
+	return slotNames[k]
 }
 
 // Shape of a replacement-process phase.
@@ -270,14 +278,25 @@ type Registry struct {
 }
 
 // NewRegistry builds a registry with factory serials for nodes [0, nodes).
+// Location keys and serials are rendered append-style into a scratch
+// buffer — one string allocation each, instead of Sprintf's per-argument
+// boxing, which matters because the factory fill is tens of thousands of
+// entries at full scale.
 func NewRegistry(nodes int) *Registry {
-	r := &Registry{nodes: nodes, serials: map[string]string{}}
+	perNode := 0
+	for k := Kind(0); k < NumKinds; k++ {
+		perNode += len(k.Slots())
+	}
+	r := &Registry{nodes: nodes, serials: make(map[string]string, nodes*perNode)}
+	var buf []byte
 	for n := 0; n < nodes; n++ {
 		node := topology.NodeID(n)
 		for k := Kind(0); k < NumKinds; k++ {
 			for _, slot := range k.Slots() {
-				loc := fmt.Sprintf("%s/%s", node, slot)
-				r.serials[loc] = r.mint(k)
+				buf = node.AppendString(buf[:0])
+				buf = append(buf, '/')
+				buf = append(buf, slot...)
+				r.serials[string(buf)] = r.mint(k)
 			}
 		}
 	}
@@ -286,7 +305,20 @@ func NewRegistry(nodes int) *Registry {
 
 func (r *Registry) mint(k Kind) string {
 	r.next++
-	return fmt.Sprintf("SN-%s-%07d", k, r.next)
+	var tmp [40]byte
+	b := append(tmp[:0], "SN-"...)
+	b = append(b, k.String()...)
+	b = append(b, '-')
+	// %07d: zero-pad to at least 7 digits.
+	digits := 1
+	for v := r.next; v >= 10; v /= 10 {
+		digits++
+	}
+	for ; digits < 7; digits++ {
+		b = append(b, '0')
+	}
+	b = strconv.AppendInt(b, int64(r.next), 10)
+	return string(b)
 }
 
 // SerialAt returns the serial currently at a location, or "" if unknown.

@@ -42,6 +42,26 @@ func FuzzParseLine(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, line string) {
 		p, err := ParseLine(line) // must not panic
+		// Differential contract: the byte decoder must agree with the
+		// string parser on every input — success, record values, and
+		// error category. A fresh Decoder exercises the cold caches; the
+		// warm path is covered by the repeated corpus entries.
+		var dec Decoder
+		bp, berr := dec.ParseLineBytes([]byte(line)) // must not panic either
+		if (err == nil) != (berr == nil) {
+			t.Errorf("byte/string parser disagreement:\n string err: %v\n bytes err:  %v\n line: %q", err, berr, line)
+		} else if err != nil {
+			st := errors.Is(err, ErrTruncated)
+			bt := errors.Is(berr, ErrTruncated)
+			if st != bt {
+				t.Errorf("error category disagreement:\n string: %v\n bytes:  %v\n line: %q", err, berr, line)
+			}
+		} else if p != bp {
+			t.Errorf("record disagreement:\n string: %+v\n bytes:  %+v\n line: %q", p, bp, line)
+		}
+		if berr != nil && !errors.Is(berr, ErrTruncated) && !errors.Is(berr, ErrGarbled) {
+			t.Errorf("unclassified byte parse error: %v", berr)
+		}
 		if err != nil {
 			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrGarbled) {
 				t.Errorf("unclassified parse error: %v", err)

@@ -2,6 +2,7 @@ package syslog
 
 import (
 	"bufio"
+	"bytes"
 	"container/heap"
 	"errors"
 	"fmt"
@@ -65,20 +66,30 @@ type ScanConfig struct {
 // telemetry: excluded, accounted for, and expected to be rare. With a
 // ScanConfig it additionally absorbs relay duplication and bounded
 // arrival reordering.
+//
+// Scanning is allocation-free per line: each line is parsed in place from
+// the bufio buffer through the Decoder's byte codec; no per-line string is
+// ever materialized.
 type Scanner struct {
 	sc    *bufio.Scanner
 	cfg   ScanConfig
+	dec   Decoder
 	stats ScanStats
 	cur   Parsed
 	err   error
 
-	// dedup ring over recent record lines.
-	recent []string
+	// dedup ring over recent record lines; entry buffers are reused.
+	recent [][]byte
 	rpos   int
 
 	// reorder machinery (cfg.ReorderWindow > 0).
-	pending   recHeap
+	pending recHeap
+	// ready is the emit queue; rhead indexes the next record so pops
+	// never re-slice the front (which would shrink the backing array and
+	// force a reallocation per record). Once drained, both reset and the
+	// array is reused.
 	ready     []Parsed
+	rhead     int
 	maxSeen   time.Time
 	watermark time.Time
 	eof       bool
@@ -96,7 +107,7 @@ func NewScannerConfig(r io.Reader, cfg ScanConfig) *Scanner {
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	s := &Scanner{sc: sc, cfg: cfg}
 	if cfg.DedupWindow > 0 {
-		s.recent = make([]string, 0, cfg.DedupWindow)
+		s.recent = make([][]byte, 0, cfg.DedupWindow)
 	}
 	return s
 }
@@ -106,9 +117,13 @@ func NewScannerConfig(r io.Reader, cfg ScanConfig) *Scanner {
 // error, or (in strict mode) on the first malformed record line; see Err.
 func (s *Scanner) Scan() bool {
 	for {
-		if len(s.ready) > 0 {
-			s.cur = s.ready[0]
-			s.ready = s.ready[1:]
+		if s.rhead < len(s.ready) {
+			s.cur = s.ready[s.rhead]
+			s.rhead++
+			if s.rhead == len(s.ready) {
+				s.ready = s.ready[:0]
+				s.rhead = 0
+			}
 			s.countKind(s.cur.Kind)
 			return true
 		}
@@ -125,8 +140,8 @@ func (s *Scanner) Scan() bool {
 			continue
 		}
 		s.stats.Lines++
-		line := s.sc.Text()
-		p, err := ParseLine(line)
+		line := s.sc.Bytes()
+		p, err := s.dec.ParseLineBytes(line)
 		if err != nil {
 			s.stats.Malformed++
 			switch {
@@ -192,20 +207,21 @@ func (s *Scanner) drain(all bool) {
 }
 
 // isDuplicate checks the record line against the dedup ring and records
-// it for future checks.
-func (s *Scanner) isDuplicate(line string) bool {
+// it for future checks. Ring entries keep their backing arrays across
+// replacements, so a warm ring costs no allocation per line.
+func (s *Scanner) isDuplicate(line []byte) bool {
 	if s.cfg.DedupWindow <= 0 {
 		return false
 	}
 	for _, prev := range s.recent {
-		if prev == line {
+		if bytes.Equal(prev, line) {
 			return true
 		}
 	}
 	if len(s.recent) < s.cfg.DedupWindow {
-		s.recent = append(s.recent, line)
+		s.recent = append(s.recent, append([]byte(nil), line...))
 	} else {
-		s.recent[s.rpos] = line
+		s.recent[s.rpos] = append(s.recent[s.rpos][:0], line...)
 		s.rpos = (s.rpos + 1) % s.cfg.DedupWindow
 	}
 	return false

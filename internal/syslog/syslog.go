@@ -51,31 +51,22 @@ const (
 // timeLayout is the timestamp format at the head of each line.
 const timeLayout = time.RFC3339
 
-// FormatCE renders a correctable-error record as a syslog line.
+// FormatCE renders a correctable-error record as a syslog line. It is a
+// thin wrapper over AppendCE; hot paths should use the append form.
 func FormatCE(r mce.CERecord) string {
-	return fmt.Sprintf("%s %s %s socket=%d slot=%s rank=%d bank=%d row=0x%04x col=0x%03x bitpos=0x%04x addr=0x%010x syndrome=0x%02x",
-		r.Time.UTC().Format(timeLayout), r.Node, ceMarker,
-		r.Socket, r.Slot, r.Rank, r.Bank, r.RowRaw, r.Col, r.BitPos, uint64(r.Addr), r.Syndrome)
+	return string(AppendCE(make([]byte, 0, 160), r))
 }
 
-// FormatDUE renders an uncorrectable-error record as a syslog line.
+// FormatDUE renders an uncorrectable-error record as a syslog line. It is
+// a thin wrapper over AppendDUE; hot paths should use the append form.
 func FormatDUE(r mce.DUERecord) string {
-	fatal := 0
-	if r.Fatal {
-		fatal = 1
-	}
-	return fmt.Sprintf("%s %s %s cause=%s addr=0x%010x fatal=%d",
-		r.Time.UTC().Format(timeLayout), r.Node, dueMarker, r.Cause, uint64(r.Addr), fatal)
+	return string(AppendDUE(make([]byte, 0, 128), r))
 }
 
-// FormatHET renders a Hardware Event Tracker record as a syslog line.
+// FormatHET renders a Hardware Event Tracker record as a syslog line. It
+// is a thin wrapper over AppendHET; hot paths should use the append form.
 func FormatHET(r het.Record) string {
-	s := fmt.Sprintf("%s %s %s event=%s severity=%s",
-		r.Time.UTC().Format(timeLayout), r.Node, hetMarker, r.Type, r.Severity)
-	if r.Addr != 0 {
-		s += fmt.Sprintf(" addr=0x%010x", uint64(r.Addr))
-	}
-	return s
+	return string(AppendHET(make([]byte, 0, 128), r))
 }
 
 // Kind classifies a parsed line.
@@ -187,12 +178,22 @@ func kvFields(s string) (map[string]string, error) {
 	return out, nil
 }
 
+// needInt extracts an integer field. Values must be exact digit strings —
+// decimal digits for base 10, hex digits with an optional "0x" prefix for
+// base 16. strconv's wider syntax ("+5", "-0", a "0x" prefix aliasing into
+// a decimal field) is rejected so garbled bytes cannot alias to valid
+// fields.
 func needInt(kv map[string]string, key string, base int, lo, hi int64) (int64, error) {
 	v, ok := kv[key]
 	if !ok {
 		return 0, fmt.Errorf("%w: syslog: missing field %q", ErrTruncated, key)
 	}
-	v = strings.TrimPrefix(v, "0x")
+	if base == 16 {
+		v = strings.TrimPrefix(v, "0x")
+	}
+	if !exactDigits(v, base) {
+		return 0, fmt.Errorf("%w: syslog: field %q: not exact base-%d digits: %q", ErrGarbled, key, base, v)
+	}
 	n, err := strconv.ParseInt(v, base, 64)
 	if err != nil {
 		return 0, fmt.Errorf("syslog: field %q: %w", key, err)
@@ -201,6 +202,24 @@ func needInt(kv map[string]string, key string, base int, lo, hi int64) (int64, e
 		return 0, fmt.Errorf("syslog: field %q = %d out of [%d, %d]", key, n, lo, hi)
 	}
 	return n, nil
+}
+
+// exactDigits reports whether v is one or more digits of the given base,
+// nothing else.
+func exactDigits(v string, base int) bool {
+	if v == "" {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case base == 16 && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'):
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func parseCE(line string) (mce.CERecord, error) {

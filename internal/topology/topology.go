@@ -92,6 +92,19 @@ func (n NodeID) String() string {
 	return fmt.Sprintf("astra-r%02dc%02dn%d", n.Rack(), n.Chassis(), n.NodeInChassis())
 }
 
+// AppendString appends the canonical host name to dst without allocating
+// (for valid IDs; out-of-range IDs fall back to String's rendering).
+func (n NodeID) AppendString(dst []byte) []byte {
+	if !n.Valid() {
+		return append(dst, n.String()...)
+	}
+	rack, chassis := n.Rack(), n.Chassis()
+	dst = append(dst, "astra-r"...)
+	dst = append(dst, byte('0'+rack/10), byte('0'+rack%10), 'c')
+	dst = append(dst, byte('0'+chassis/10), byte('0'+chassis%10), 'n')
+	return append(dst, byte('0'+n.NodeInChassis()))
+}
+
 // ParseNodeID parses the canonical host-name form produced by String.
 func ParseNodeID(s string) (NodeID, error) {
 	var r, c, nn int
@@ -165,6 +178,15 @@ func (s Slot) Name() string {
 
 // String is an alias for Name.
 func (s Slot) String() string { return s.Name() }
+
+// AppendName appends the slot letter to dst without allocating (for valid
+// slots; out-of-range slots fall back to Name's rendering).
+func (s Slot) AppendName(dst []byte) []byte {
+	if !s.Valid() {
+		return append(dst, s.Name()...)
+	}
+	return append(dst, byte('A'+int(s)))
+}
 
 // ParseSlot parses a slot letter "A".."P" (case-insensitive).
 func ParseSlot(name string) (Slot, error) {
