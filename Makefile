@@ -14,15 +14,21 @@ test:
 
 # verify is the robustness gate: static checks, the full suite including
 # the differential dirty-telemetry harness (robustness_test.go), the race
-# detector over the concurrent ingest/poller paths, and the parallel
+# detector over the concurrent ingest/poller paths, the parallel
 # determinism contract (serial vs sharded pipelines must be bit-identical)
-# under the race detector at a pinned scale.
+# under the race detector at a pinned scale, and a short fuzz smoke over
+# the two hostile-input parsers (syslog lines, dataset manifests).
+# ASTRA_CRASH_TESTS=1 additionally sweeps the kill/resume differential
+# test over every I/O operation instead of its default 24-point sample.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
 	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
+	$(GO) test -run '^$$' -fuzz '^FuzzParseLine$$' -fuzztime 5s ./internal/syslog
+	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 5s ./internal/atomicio
+	@if [ -n "$$ASTRA_CRASH_TESTS" ]; then ASTRA_CRASH_TESTS=1 $(GO) test -run 'TestExportCrashResumeDifferential' ./internal/dataset; fi
 	@if [ -n "$$ASTRA_BENCH_GUARD" ]; then $(MAKE) bench-guard; fi
 
 # bench runs the analysis micro-benchmarks (bench_test.go), the

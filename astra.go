@@ -7,8 +7,8 @@
 //
 // Typical use:
 //
-//	study, err := astra.Run(astra.Options{Seed: 1, Nodes: astra.FullScale})
-//	results := study.Analyze()
+//	study, err := astra.Run(ctx, astra.Options{Seed: 1, Nodes: astra.FullScale})
+//	results, err := study.Analyze(ctx)
 //	study.WriteReport(os.Stdout, results)
 //
 // Run builds the full pipeline (generate → log → parse-equivalent records)
@@ -17,6 +17,7 @@
 package astra
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -61,8 +62,11 @@ type Study struct {
 }
 
 // Run builds the synthetic system, pushes its error streams through the
-// logging path, and clusters the logged records into faults.
-func Run(opts Options) (*Study, error) {
+// logging path, and clusters the logged records into faults. Cancelling
+// ctx aborts the pipeline between (and within) stages and returns the
+// context's error; a panic in any worker surfaces as a
+// *parallel.PanicError rather than crashing the process.
+func Run(ctx context.Context, opts Options) (*Study, error) {
 	if opts.Nodes == 0 {
 		opts.Nodes = FullScale
 	}
@@ -78,7 +82,7 @@ func Run(opts Options) (*Study, error) {
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = opts.Parallelism
 	}
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -90,10 +94,14 @@ func Run(opts Options) (*Study, error) {
 	if cc.Parallelism == 0 {
 		cc.Parallelism = opts.Parallelism
 	}
+	faults, err := core.Cluster(ctx, ds.CERecords, cc)
+	if err != nil {
+		return nil, err
+	}
 	return &Study{
 		Options: opts,
 		Dataset: ds,
-		Faults:  core.Cluster(ds.CERecords, cc),
+		Faults:  faults,
 	}, nil
 }
 
@@ -121,34 +129,43 @@ type Results struct {
 // single precomputed record index (one sharded pass over the CE records
 // instead of one scan per analysis) and run concurrently up to
 // Options.Parallelism workers; each analysis writes its own Results field,
-// so the output is identical at every parallelism setting.
-func (s *Study) Analyze() *Results {
+// so the output is identical at every parallelism setting. Cancelling ctx
+// stops launching analyses and returns the context's error; a panic inside
+// any analysis is recovered and returned as a *parallel.PanicError.
+func (s *Study) Analyze(ctx context.Context) (res *Results, err error) {
+	defer parallel.Recover(&err)
 	ds := s.Dataset
 	n := s.Options.Nodes
 	par := s.Options.Parallelism
 	ix := core.NewRecordIndex(ds.CERecords, n, par)
 	r := &Results{}
-	parallel.Run(par,
-		func() { r.Breakdown = ix.BreakdownByMode(s.Faults) },
-		func() { r.ErrorsPerFault = core.ErrorsPerFaultDist(s.Faults) },
-		func() { r.PerNode = ix.AnalyzePerNode(s.Faults) },
-		func() { r.Structures = ix.AnalyzeStructures(s.Faults) },
-		func() { r.BitAddress = core.AnalyzeBitAddress(s.Faults) },
-		func() { r.TempWindows = ix.AnalyzeTempWindows(ds.Env, core.Fig9Windows) },
-		func() { r.Positional = ix.AnalyzePositional(s.Faults) },
-		func() { r.TempDeciles = ix.AnalyzeTempDeciles(ds.Env) },
-		func() { r.Utilization = ix.AnalyzeUtilization(ds.Env) },
-		func() {
+	task := func(fn func()) func(context.Context) error {
+		return func(context.Context) error { fn(); return nil }
+	}
+	err = parallel.RunCtx(ctx, par,
+		task(func() { r.Breakdown = ix.BreakdownByMode(s.Faults) }),
+		task(func() { r.ErrorsPerFault = core.ErrorsPerFaultDist(s.Faults) }),
+		task(func() { r.PerNode = ix.AnalyzePerNode(s.Faults) }),
+		task(func() { r.Structures = ix.AnalyzeStructures(s.Faults) }),
+		task(func() { r.BitAddress = core.AnalyzeBitAddress(s.Faults) }),
+		task(func() { r.TempWindows = ix.AnalyzeTempWindows(ds.Env, core.Fig9Windows) }),
+		task(func() { r.Positional = ix.AnalyzePositional(s.Faults) }),
+		task(func() { r.TempDeciles = ix.AnalyzeTempDeciles(ds.Env) }),
+		task(func() { r.Utilization = ix.AnalyzeUtilization(ds.Env) }),
+		task(func() {
 			r.Uncorrectable = core.AnalyzeUncorrectable(ds.HETRecords, n*topology.SlotsPerNode, ds.Config.Fault.End)
-		},
-		func() { r.RegionTemps = core.AnalyzeRegionTemps(ds.Env, n, 1) },
-		func() { r.RackTemps = core.AnalyzeRackTemps(ds.Env, n, 1) },
-		func() { r.FaultRates = core.AnalyzeFaultRates(s.Faults, n*topology.SlotsPerNode, core.StudyWindow()) },
-		func() { r.Precursors = core.AnalyzeDUEPrecursors(ds.DUERecords, s.Faults, n*topology.SlotsPerNode) },
-		func() { r.ModeStability = core.AnalyzeModeStability(s.Faults) },
-		func() { r.Interarrivals = core.AnalyzeInterarrivals(ds.CERecords, s.Faults, 500) },
+		}),
+		task(func() { r.RegionTemps = core.AnalyzeRegionTemps(ds.Env, n, 1) }),
+		task(func() { r.RackTemps = core.AnalyzeRackTemps(ds.Env, n, 1) }),
+		task(func() { r.FaultRates = core.AnalyzeFaultRates(s.Faults, n*topology.SlotsPerNode, core.StudyWindow()) }),
+		task(func() { r.Precursors = core.AnalyzeDUEPrecursors(ds.DUERecords, s.Faults, n*topology.SlotsPerNode) }),
+		task(func() { r.ModeStability = core.AnalyzeModeStability(s.Faults) }),
+		task(func() { r.Interarrivals = core.AnalyzeInterarrivals(ds.CERecords, s.Faults, 500) }),
 	)
-	return r
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // WriteReport renders every table and figure to w.

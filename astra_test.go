@@ -7,14 +7,14 @@ import (
 )
 
 func TestRunSmall(t *testing.T) {
-	study, err := Run(Options{Seed: 81, Nodes: 200})
+	study, err := Run(testCtx, Options{Seed: 81, Nodes: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(study.Dataset.CERecords) == 0 || len(study.Faults) == 0 {
 		t.Fatal("empty study")
 	}
-	r := study.Analyze()
+	r := mustAnalyze(study)
 	if r.Breakdown.Total != len(study.Dataset.CERecords) {
 		t.Errorf("breakdown total %d != records %d", r.Breakdown.Total, len(study.Dataset.CERecords))
 	}
@@ -37,20 +37,20 @@ func TestRunSmall(t *testing.T) {
 }
 
 func TestRunValidatesOptions(t *testing.T) {
-	if _, err := Run(Options{Seed: 1, Nodes: -1}); err == nil {
+	if _, err := Run(testCtx, Options{Seed: 1, Nodes: -1}); err == nil {
 		t.Error("negative nodes accepted")
 	}
-	if _, err := Run(Options{Seed: 1, Nodes: FullScale + 1}); err == nil {
+	if _, err := Run(testCtx, Options{Seed: 1, Nodes: FullScale + 1}); err == nil {
 		t.Error("oversize accepted")
 	}
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a, err := Run(Options{Seed: 82, Nodes: 120})
+	a, err := Run(testCtx, Options{Seed: 82, Nodes: 120})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(Options{Seed: 82, Nodes: 120})
+	b, err := Run(testCtx, Options{Seed: 82, Nodes: 120})
 	if err != nil {
 		t.Fatal(err)
 	}

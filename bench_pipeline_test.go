@@ -8,6 +8,7 @@ package astra_test
 //	ASTRA_BENCH_NODES=256 go test -run '^$' -bench 'Stage' -benchmem .
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -23,7 +24,7 @@ var (
 func stageSetup(b *testing.B) *benchstage.Set {
 	b.Helper()
 	stageOnce.Do(func() {
-		stageSet, stageErr = benchstage.New(1, benchstage.Nodes())
+		stageSet, stageErr = benchstage.New(context.Background(), 1, benchstage.Nodes())
 	})
 	if stageErr != nil {
 		b.Fatal(stageErr)

@@ -58,7 +58,7 @@ func benchNodes() int {
 func benchSetup(b *testing.B) *Study {
 	b.Helper()
 	benchOnce.Do(func() {
-		benchStudy, benchErr = Run(Options{Seed: benchSeed, Nodes: benchNodes()})
+		benchStudy, benchErr = Run(testCtx, Options{Seed: benchSeed, Nodes: benchNodes()})
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -268,7 +268,7 @@ func BenchmarkAblationRowClustering(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = 0
-		for _, f := range core.Cluster(s.Dataset.CERecords, cfg) {
+		for _, f := range mustCluster(s.Dataset.CERecords, cfg) {
 			if f.Mode == core.ModeSingleRow {
 				rows++
 			}
@@ -332,7 +332,7 @@ func BenchmarkAblationEdacCapacity(b *testing.B) {
 			cfg.Nodes = nodes
 			cfg.EdacCapacity = capacity
 			cfg.Inventory = false
-			ds, err := dataset.Build(cfg)
+			ds, err := dataset.Build(testCtx, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -378,7 +378,7 @@ func BenchmarkAblationBaselineWorlds(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, kind := range []baseline.Kind{baseline.Astra, baseline.Schroeder} {
-			w, err := baseline.NewScenario(kind, benchSeed, nodes).Generate()
+			w, err := baseline.NewScenario(kind, benchSeed, nodes).Generate(testCtx)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -471,11 +471,11 @@ func BenchmarkAblationWeakSignatures(b *testing.B) {
 			if !sig {
 				cfg.SignatureCount = 0
 			}
-			pop, err := faultmodel.Generate(cfg)
+			pop, err := faultmodel.Generate(testCtx, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
-			ba := core.AnalyzeBitAddress(core.Cluster(dsRecordsFromPop(pop), core.DefaultClusterConfig()))
+			ba := core.AnalyzeBitAddress(mustCluster(dsRecordsFromPop(pop), core.DefaultClusterConfig()))
 			maxCount := 0
 			for _, c := range ba.PerAddr {
 				if c > maxCount {
@@ -528,7 +528,7 @@ func BenchmarkClusteringValidation(b *testing.B) {
 	}
 	cfg := faultmodel.DefaultConfig(benchSeed)
 	cfg.Nodes = nodes
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(testCtx, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -536,7 +536,7 @@ func BenchmarkClusteringValidation(b *testing.B) {
 	var m core.ValidationMetrics
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		faults := core.Cluster(records, core.DefaultClusterConfig())
+		faults := mustCluster(records, core.DefaultClusterConfig())
 		m, err = core.ValidateClustering(pop, records, faults, core.DefaultClusterConfig())
 		if err != nil {
 			b.Fatal(err)
@@ -557,7 +557,7 @@ func dsRecordsFromPop(pop *faultmodel.Population) []mce.CERecord {
 	enc := mce.NewEncoder(pop.Config.Seed)
 	out := make([]mce.CERecord, len(pop.CEs))
 	for i, ev := range pop.CEs {
-		out[i] = enc.EncodeCE(ev, i)
+		out[i] = mustEncodeCE(enc, ev, i)
 	}
 	return out
 }

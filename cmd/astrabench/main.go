@@ -20,16 +20,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 
+	"repro/internal/atomicio"
 	"repro/internal/benchstage"
 )
 
@@ -76,7 +81,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	set, err := benchstage.New(*seed, *nodes)
+	// SIGINT/SIGTERM stop the sweep between measurements; nothing partial
+	// is ever written (the baseline lands via one atomic rename).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	set, err := benchstage.New(ctx, *seed, *nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -95,6 +105,10 @@ func main() {
 	for _, stage := range set.Stages {
 		var serialNs int64
 		for _, w := range workerCounts {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "astrabench: interrupted; no baseline written")
+				os.Exit(130)
+			}
 			row := measure(stage, w)
 			doc.Stages = append(doc.Stages, row)
 			if w == 1 {
@@ -116,7 +130,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if _, err := atomicio.WriteFile(context.WithoutCancel(ctx), atomicio.OS, *out, func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

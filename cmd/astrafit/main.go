@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 
 	"repro/internal/stats"
 )
@@ -40,8 +44,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	rows, err := readCSV(*in)
+	// SIGINT/SIGTERM abort the CSV read (the only unbounded stage here).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rows, err := readCSV(ctx, *in)
 	if err != nil {
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 	switch *mode {
@@ -95,15 +105,28 @@ func main() {
 	}
 }
 
-func readCSV(path string) ([][]string, error) {
+func readCSV(ctx context.Context, path string) ([][]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	cr := csv.NewReader(f)
+	cr := csv.NewReader(&ctxReader{ctx: ctx, r: f})
 	cr.FieldsPerRecord = -1
 	return cr.ReadAll()
+}
+
+// ctxReader aborts the streaming read when ctx is cancelled.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 // column extracts a column, skipping a leading header row if its cell does

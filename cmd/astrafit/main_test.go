@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -60,14 +61,14 @@ func TestReadCSV(t *testing.T) {
 	if err := os.WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := readCSV(path)
+	rows, err := readCSV(context.Background(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != 2 || rows[1][1] != "2" {
 		t.Errorf("readCSV = %v", rows)
 	}
-	if _, err := readCSV(filepath.Join(dir, "missing.csv")); err == nil {
+	if _, err := readCSV(context.Background(), filepath.Join(dir, "missing.csv")); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -8,20 +8,26 @@
 //	astragen -out ./data -seed 1 -nodes 2592
 //
 // The output is fully determined by the flags; re-running reproduces
-// byte-identical files.
+// byte-identical files. Every artifact is written atomically (temp file +
+// fsync + rename) and recorded in a checksummed MANIFEST.json, so an
+// interrupted run (Ctrl-C, crash, full disk) never leaves a partial file
+// at a final path. Re-running with -resume skips artifacts whose
+// checksums already verify and produces a tree byte-identical to an
+// uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
-	"path/filepath"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/corrupt"
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
-	"repro/internal/simtime"
 	"repro/internal/topology"
 )
 
@@ -38,6 +44,7 @@ func main() {
 		scanStride   = flag.Int("scan-stride", 7, "write an inventory scan file every N days (0 disables)")
 		dirty        = flag.Float64("dirty", 0, "also write astra-syslog-dirty.log and ce-telemetry-dirty.csv corrupted at this combined rate (0 disables)")
 		workers      = flag.Int("workers", 0, "pipeline worker count: 0 uses GOMAXPROCS, 1 forces the serial path (output is identical either way)")
+		resume       = flag.Bool("resume", false, "skip artifacts already recorded in the output manifest whose checksums verify")
 	)
 	flag.Parse()
 	if *dirty < 0 || *dirty > 1 {
@@ -47,85 +54,63 @@ func main() {
 		log.Fatalf("-nodes must be in [1, %d]", topology.Nodes)
 	}
 
+	// SIGINT/SIGTERM cancel the pipeline; the exporter checkpoints after
+	// every completed artifact, so an interrupted run leaves a valid
+	// manifest behind for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := dataset.DefaultConfig(*seed)
 	cfg.Nodes = *nodes
 	cfg.Parallelism = *workers
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(ctx, cfg)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	if err := ds.Verify(); err != nil {
 		log.Fatalf("self-check failed, refusing to publish: %v", err)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
-	}
 
-	write := func(name string, fn func(io.Writer) error) {
-		path := filepath.Join(*out, name)
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			log.Fatalf("writing %s: %v", path, err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("closing %s: %v", path, err)
-		}
-		st, _ := os.Stat(path)
-		fmt.Printf("wrote %-24s %10d bytes\n", name, st.Size())
-	}
-
-	write("astra-syslog.log", func(w io.Writer) error { return ds.WriteSyslog(w, *noiseEvery) })
-	write("ce-telemetry.csv", ds.WriteCETelemetryCSV)
-	if *dirty > 0 {
-		// Re-render the clean streams through the corruptor so the dirty
-		// files exercise ingest hardening against a known ground truth
-		// (the clean files next to them).
-		c := corrupt.New(corrupt.Uniform(*seed, *dirty))
-		write("astra-syslog-dirty.log", func(w io.Writer) error {
-			pr, pw := io.Pipe()
-			go func() { pw.CloseWithError(ds.WriteSyslog(pw, *noiseEvery)) }()
-			rep, err := c.Process(pr, w)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  dirty syslog: %d lines in, %d out, %d mutations\n", rep.LinesIn, rep.LinesOut, rep.Mutations())
-			return nil
-		})
-		write("ce-telemetry-dirty.csv", func(w io.Writer) error {
-			pr, pw := io.Pipe()
-			go func() { pw.CloseWithError(ds.WriteCETelemetryCSV(pw)) }()
-			_, err := c.ProcessCSV(pr, w)
-			return err
-		})
-	}
-	write("sensors.csv", func(w io.Writer) error {
-		return ds.WriteSensorCSV(w, *nodeStride, *minuteStride)
+	rep, err := ds.Export(ctx, atomicio.OS, *out, dataset.ExportOptions{
+		NoiseEvery:         *noiseEvery,
+		SensorNodeStride:   *nodeStride,
+		SensorMinuteStride: *minuteStride,
+		ScanStride:         *scanStride,
+		Dirty:              *dirty,
+		Resume:             *resume,
 	})
-	write("replacements.csv", ds.WriteReplacementsCSV)
-
-	if *scanStride > 0 {
-		scanDir := filepath.Join(*out, "scans")
-		if err := os.MkdirAll(scanDir, 0o755); err != nil {
-			log.Fatal(err)
+	scans := 0
+	for _, f := range rep.Files {
+		verb := "wrote"
+		if f.Skipped {
+			verb = "kept "
 		}
-		scans := 0
-		err := ds.Inventory.WriteScanSeries(*nodes, *scanStride, func(day simtime.Day) (io.WriteCloser, error) {
+		if len(f.Name) > 5 && f.Name[:6] == "scans/" {
 			scans++
-			return os.Create(filepath.Join(scanDir, "scan-"+day.Time().Format("2006-01-02")+".txt"))
-		})
-		if err != nil {
-			log.Fatalf("writing scans: %v", err)
+			continue
 		}
-		fmt.Printf("wrote %d inventory scans to %s\n", scans, scanDir)
+		fmt.Printf("%s %-24s %10d bytes  sha256=%s...\n", verb, f.Name, f.Size, f.SHA256[:12])
+	}
+	if scans > 0 {
+		fmt.Printf("wrote/kept %d inventory scans under %s/scans\n", scans, *out)
+	}
+	if err != nil {
+		fail(err)
 	}
 
-	fmt.Printf("\nseed=%d nodes=%d\n", *seed, *nodes)
+	fmt.Printf("\nseed=%d nodes=%d (%d artifacts written, %d reused)\n", *seed, *nodes, rep.Written, rep.Skipped)
 	fmt.Printf("correctable errors: generated %d, logged %d, dropped by CE log space %d (%.2f%%)\n",
 		ds.EdacStats.Offered, ds.EdacStats.Logged, ds.EdacStats.Dropped, 100*ds.EdacStats.LossFraction())
 	fmt.Printf("uncorrectable errors: %d; HET records: %d; replacements: %d\n",
 		len(ds.DUERecords), len(ds.HETRecords), len(ds.Inventory.Replacements))
+}
+
+// fail reports a pipeline error; an interrupt exits with the conventional
+// 130 and points at -resume, since the partial output is reusable.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Println("interrupted; completed artifacts are recorded in MANIFEST.json — re-run with -resume to continue")
+		os.Exit(130)
+	}
+	log.Fatal(err)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ func writeTestSyslog(t *testing.T, cfg *corrupt.Config) string {
 	cleanLogOnce.Do(func() {
 		dcfg := dataset.DefaultConfig(43)
 		dcfg.Nodes = 48
-		ds, err := dataset.Build(dcfg)
+		ds, err := dataset.Build(context.Background(), dcfg)
 		if err != nil {
 			cleanLogErr = err
 			return
@@ -60,7 +61,7 @@ func TestRunCleanLog(t *testing.T) {
 	log := writeTestSyslog(t, nil)
 	out := t.TempDir()
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-syslog", log, "-out", out}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-syslog", log, "-out", out}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
 	}
 	for _, f := range []string{"ce-telemetry.csv", "due-telemetry.csv", "het-events.csv"} {
@@ -77,7 +78,7 @@ func TestRunCorruptedLogDiagnostics(t *testing.T) {
 	cfg := corrupt.Uniform(3, 0.02)
 	log := writeTestSyslog(t, &cfg)
 	var stdout, stderr bytes.Buffer
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-syslog", log, "-out", t.TempDir(),
 		"-dedup-window", "32", "-reorder-window", "5m",
 	}, &stdout, &stderr)
@@ -100,7 +101,7 @@ func TestRunStrictFailsOnCorruption(t *testing.T) {
 	cfg := corrupt.Config{Seed: 3, Truncate: 0.1}
 	log := writeTestSyslog(t, &cfg)
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-syslog", log, "-out", t.TempDir(), "-strict"}, &stdout, &stderr); code == 0 {
+	if code := run(context.Background(), []string{"-syslog", log, "-out", t.TempDir(), "-strict"}, &stdout, &stderr); code == 0 {
 		t.Error("strict run on corrupted log exited 0")
 	}
 	if !strings.Contains(stderr.String(), "astraparse:") {
@@ -111,7 +112,7 @@ func TestRunStrictFailsOnCorruption(t *testing.T) {
 func TestRunStrictPassesOnCleanLog(t *testing.T) {
 	log := writeTestSyslog(t, nil)
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-syslog", log, "-out", t.TempDir(), "-strict"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-syslog", log, "-out", t.TempDir(), "-strict"}, &stdout, &stderr); code != 0 {
 		t.Errorf("strict run on clean log exited %d: %s", code, stderr.String())
 	}
 }
@@ -122,7 +123,7 @@ func TestRunMalformedBudget(t *testing.T) {
 
 	var stdout, stderr bytes.Buffer
 	out := t.TempDir()
-	code := run([]string{"-syslog", log, "-out", out, "-max-malformed", "0.01"}, &stdout, &stderr)
+	code := run(context.Background(), []string{"-syslog", log, "-out", out, "-max-malformed", "0.01"}, &stdout, &stderr)
 	if code == 0 {
 		t.Error("10% truncation passed a 1% budget")
 	}
@@ -133,17 +134,17 @@ func TestRunMalformedBudget(t *testing.T) {
 
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-syslog", log, "-out", t.TempDir(), "-max-malformed", "0.5"}, &stdout, &stderr); code != 0 {
+	if code := run(context.Background(), []string{"-syslog", log, "-out", t.TempDir(), "-max-malformed", "0.5"}, &stdout, &stderr); code != 0 {
 		t.Errorf("10%% truncation failed a 50%% budget: exit %d, %s", code, stderr.String())
 	}
 }
 
 func TestRunUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run(nil, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), nil, &stdout, &stderr); code != 2 {
 		t.Errorf("missing -syslog: exit %d, want 2", code)
 	}
-	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }

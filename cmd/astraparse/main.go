@@ -17,13 +17,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
 
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
 	"repro/internal/het"
 	"repro/internal/mce"
@@ -31,10 +35,17 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	if code != 0 && ctx.Err() != nil {
+		code = 130
+	}
+	os.Exit(code)
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("astraparse", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -66,7 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ReorderWindow:    *reorderWindow,
 		MaxMalformedFrac: *maxMalformed,
 	}
-	ces, dues, hets, rep, readErr := dataset.ReadSyslogPolicy(f, pol)
+	// The scan aborts mid-file on SIGINT/SIGTERM: the input reader polls
+	// ctx, so a cancelled parse surfaces as a read error and the salvage
+	// logic below decides what is still worth writing.
+	ces, dues, hets, rep, readErr := dataset.ReadSyslogPolicy(&ctxReader{ctx: ctx, r: f}, pol)
 	// On a budget violation the salvage is still written before the
 	// non-zero exit; a strict failure aborts with nothing salvaged.
 	if readErr != nil && (*strict || len(ces)+len(dues)+len(hets) == 0) {
@@ -78,28 +92,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Outputs land atomically (temp file + fsync + rename): a crash or
+	// interrupt mid-write never leaves a truncated CSV at a final path.
+	// The salvage of an interrupted parse is still written below with a
+	// fresh context — the data already in memory is valid.
+	wctx := context.WithoutCancel(ctx)
 	cePath := filepath.Join(*out, "ce-telemetry.csv")
-	cf, err := os.Create(cePath)
-	if err != nil {
-		fmt.Fprintf(stderr, "astraparse: %v\n", err)
-		return 1
-	}
-	if err := dataset.WriteCERecordsCSV(cf, ces); err != nil {
+	if _, err := atomicio.WriteFile(wctx, atomicio.OS, cePath, func(w io.Writer) error {
+		return dataset.WriteCERecordsCSV(w, ces)
+	}); err != nil {
 		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", cePath, err)
-		return 1
-	}
-	if err := cf.Close(); err != nil {
-		fmt.Fprintf(stderr, "astraparse: %v\n", err)
 		return 1
 	}
 
 	duePath := filepath.Join(*out, "due-telemetry.csv")
-	if err := writeDUECSV(duePath, dues); err != nil {
+	if _, err := atomicio.WriteFile(wctx, atomicio.OS, duePath, func(w io.Writer) error {
+		return writeDUECSV(w, dues)
+	}); err != nil {
 		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", duePath, err)
 		return 1
 	}
 	hetPath := filepath.Join(*out, "het-events.csv")
-	if err := writeHETCSV(hetPath, hets); err != nil {
+	if _, err := atomicio.WriteFile(wctx, atomicio.OS, hetPath, func(w io.Writer) error {
+		return writeHETCSV(w, hets)
+	}); err != nil {
 		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", hetPath, err)
 		return 1
 	}
@@ -119,15 +135,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// ctxReader aborts a streaming read when ctx is cancelled, turning a
+// SIGINT during a multi-gigabyte parse into an ordinary read error.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
 // writeDUECSV and writeHETCSV render rows through the append emitters into
 // one reused buffer (no field needs CSV quoting), mirroring the CE path in
 // internal/dataset.
-func writeDUECSV(path string, dues []mce.DUERecord) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+func writeDUECSV(f io.Writer, dues []mce.DUERecord) error {
 	bw := bufio.NewWriterSize(f, 1<<20)
 	if _, err := bw.WriteString("timestamp,node,cause,addr,fatal\n"); err != nil {
 		return err
@@ -154,12 +179,7 @@ func writeDUECSV(path string, dues []mce.DUERecord) error {
 	return bw.Flush()
 }
 
-func writeHETCSV(path string, hets []het.Record) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+func writeHETCSV(f io.Writer, hets []het.Record) error {
 	bw := bufio.NewWriterSize(f, 1<<20)
 	if _, err := bw.WriteString("timestamp,node,event,severity,addr\n"); err != nil {
 		return err

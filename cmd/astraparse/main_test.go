@@ -15,8 +15,11 @@ import (
 )
 
 func TestWriteDUECSV(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "due.csv")
+	path := filepath.Join(t.TempDir(), "due.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dues := []mce.DUERecord{
 		{
 			Time:  simtime.HETStart.Add(time.Hour),
@@ -26,7 +29,10 @@ func TestWriteDUECSV(t *testing.T) {
 			Fatal: true,
 		},
 	}
-	if err := writeDUECSV(path, dues); err != nil {
+	if err := writeDUECSV(f, dues); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -42,8 +48,11 @@ func TestWriteDUECSV(t *testing.T) {
 }
 
 func TestWriteHETCSV(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "het.csv")
+	path := filepath.Join(t.TempDir(), "het.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 	recs := []het.Record{
 		{
 			Time:     simtime.HETStart.Add(2 * time.Hour),
@@ -52,7 +61,10 @@ func TestWriteHETCSV(t *testing.T) {
 			Severity: het.SeverityWarning,
 		},
 	}
-	if err := writeHETCSV(path, recs); err != nil {
+	if err := writeHETCSV(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -67,11 +79,20 @@ func TestWriteHETCSV(t *testing.T) {
 	}
 }
 
-func TestWriteCSVUnwritablePath(t *testing.T) {
-	if err := writeDUECSV(filepath.Join(t.TempDir(), "missing", "x.csv"), nil); err == nil {
-		t.Error("unwritable path accepted")
+// failWriter rejects every write, standing in for a full disk now that
+// the CSV emitters write through io.Writer (path handling moved to the
+// atomic-write layer).
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, os.ErrPermission }
+
+func TestWriteCSVFailingWriter(t *testing.T) {
+	dues := []mce.DUERecord{{Node: topology.NewNodeID(0, 0, 1)}}
+	if err := writeDUECSV(failWriter{}, dues); err == nil {
+		t.Error("DUE CSV write error swallowed")
 	}
-	if err := writeHETCSV(filepath.Join(t.TempDir(), "missing", "x.csv"), nil); err == nil {
-		t.Error("unwritable path accepted")
+	recs := []het.Record{{Node: topology.NewNodeID(0, 0, 1)}}
+	if err := writeHETCSV(failWriter{}, recs); err == nil {
+		t.Error("HET CSV write error swallowed")
 	}
 }

@@ -14,16 +14,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	astra "repro"
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/paper"
@@ -89,15 +95,22 @@ func main() {
 		log.Fatalf("-nodes must be in [1, %d]", topology.Nodes)
 	}
 
-	study, err := buildStudy(*seed, *nodes, *workers, *fromSyslog, dataset.IngestPolicy{
+	// SIGINT/SIGTERM cancel the pipeline between (and inside) stages.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	study, err := buildStudy(ctx, *seed, *nodes, *workers, *fromSyslog, dataset.IngestPolicy{
 		DedupWindow:      *dedupWindow,
 		ReorderWindow:    *reorderWin,
 		MaxMalformedFrac: -1,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
-	results := study.Analyze()
+	results, err := study.Analyze(ctx)
+	if err != nil {
+		fail(err)
+	}
 
 	if *experiments {
 		rows := paper.Compare(study, results)
@@ -126,16 +139,27 @@ func main() {
 		log.Fatalf("no figures matched %q", *figures)
 	}
 	if *svgDir != "" {
-		if err := writeSVGs(*svgDir, study, results); err != nil {
-			log.Fatal(err)
+		if err := writeSVGs(ctx, *svgDir, study, results); err != nil {
+			fail(err)
 		}
 	}
 	fmt.Printf("faults: %d; CE records: %d; EDAC loss: %.2f%%\n",
 		len(study.Faults), len(study.Dataset.CERecords), 100*study.Dataset.EdacStats.LossFraction())
 }
 
-// writeSVGs renders the figures as SVG files under dir.
-func writeSVGs(dir string, study *astra.Study, r *astra.Results) error {
+// fail reports a pipeline error, exiting 130 on interrupt.
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		log.Println("interrupted")
+		os.Exit(130)
+	}
+	log.Fatal(err)
+}
+
+// writeSVGs renders the figures as SVG files under dir, each through an
+// atomic temp-file + rename so a crash never leaves a truncated SVG at a
+// final path.
+func writeSVGs(ctx context.Context, dir string, study *astra.Study, r *astra.Results) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -156,7 +180,11 @@ func writeSVGs(dir string, study *astra.Study, r *astra.Results) error {
 	sort.Strings(names)
 	for _, name := range names {
 		path := filepath.Join(dir, name+".svg")
-		if err := os.WriteFile(path, []byte(svgs[name]), 0o644); err != nil {
+		svg := svgs[name]
+		if _, err := atomicio.WriteFile(ctx, atomicio.OS, path, func(w io.Writer) error {
+			_, werr := io.WriteString(w, svg)
+			return werr
+		}); err != nil {
 			return err
 		}
 	}
@@ -170,8 +198,8 @@ func writeSVGs(dir string, study *astra.Study, r *astra.Results) error {
 // still out of order afterwards are repaired by core.SanitizeRecords, and
 // an ingest-health section is printed so the reader can judge how dirty
 // the input was.
-func buildStudy(seed uint64, nodes, workers int, fromSyslog string, pol dataset.IngestPolicy) (*astra.Study, error) {
-	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes, Parallelism: workers})
+func buildStudy(ctx context.Context, seed uint64, nodes, workers int, fromSyslog string, pol dataset.IngestPolicy) (*astra.Study, error) {
+	study, err := astra.Run(ctx, astra.Options{Seed: seed, Nodes: nodes, Parallelism: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +230,10 @@ func buildStudy(seed uint64, nodes, workers int, fromSyslog string, pol dataset.
 	study.Dataset.CERecords = ces
 	study.Dataset.DUERecords = dues
 	study.Dataset.HETRecords = hets
-	study.Faults = core.Cluster(ces, core.DefaultClusterConfig())
+	faults, err := core.Cluster(ctx, ces, core.DefaultClusterConfig())
+	if err != nil {
+		return nil, err
+	}
+	study.Faults = faults
 	return study, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ func writeStudySyslog(t *testing.T, seed uint64, nodes int, cfg *corrupt.Config)
 	t.Helper()
 	dcfg := dataset.DefaultConfig(seed)
 	dcfg.Nodes = nodes
-	ds, err := dataset.Build(dcfg)
+	ds, err := dataset.Build(context.Background(), dcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func tolerantPolicy() dataset.IngestPolicy {
 // same record counts as the in-memory dataset, no sanitizer repairs.
 func TestBuildStudyCleanParity(t *testing.T) {
 	ds, log := writeStudySyslog(t, 7, 64, nil)
-	study, err := buildStudy(7, 64, 0, log, tolerantPolicy())
+	study, err := buildStudy(context.Background(), 7, 64, 0, log, tolerantPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestBuildStudyCleanParity(t *testing.T) {
 func TestBuildStudyCorruptedSyslog(t *testing.T) {
 	cfg := corrupt.Uniform(9, 0.02)
 	ds, log := writeStudySyslog(t, 7, 64, &cfg)
-	study, err := buildStudy(7, 64, 0, log, tolerantPolicy())
+	study, err := buildStudy(context.Background(), 7, 64, 0, log, tolerantPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,10 @@ func TestBuildStudyCorruptedSyslog(t *testing.T) {
 	if len(study.Faults) == 0 {
 		t.Error("no faults clustered from salvaged records")
 	}
-	results := study.Analyze()
+	results, err := study.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if results.Breakdown.Total == 0 {
 		t.Error("analysis of salvaged records produced empty breakdown")
 	}

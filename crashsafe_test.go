@@ -1,0 +1,54 @@
+package astra
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestAnalyzePanicIsolated is the acceptance check for panic isolation:
+// a panic on an analysis worker goroutine (here provoked by analyzing a
+// zero Study, whose nil population dereferences inside the fan-out) must
+// come back from Analyze as a *parallel.PanicError carrying the worker's
+// stack — the process must not crash.
+func TestAnalyzePanicIsolated(t *testing.T) {
+	s := &Study{}
+	res, err := s.Analyze(testCtx)
+	if res != nil {
+		t.Error("Analyze returned results alongside a panic")
+	}
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *parallel.PanicError", err)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("captured stack missing or empty:\n%s", pe.Stack)
+	}
+}
+
+// TestRunCancelled: a pre-cancelled context stops the pipeline before it
+// builds anything.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Options{Seed: 1, Nodes: 48}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeCancelled: cancellation surfaces from Analyze as an error,
+// not a partial result.
+func TestAnalyzeCancelled(t *testing.T) {
+	study, err := Run(testCtx, Options{Seed: 1, Nodes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := study.Analyze(ctx); !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result and context.Canceled", res != nil, err)
+	}
+}

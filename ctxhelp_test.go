@@ -1,0 +1,39 @@
+package astra
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+)
+
+// testCtx is the context the legacy single-value test call sites thread
+// through the cancellable pipeline APIs.
+var testCtx = context.Background()
+
+// mustCluster, mustAnalyze and mustEncodeCE adapt the ctx+error APIs for
+// test sites where an error is simply a test bug.
+func mustCluster(records []mce.CERecord, cfg core.ClusterConfig) []core.Fault {
+	faults, err := core.Cluster(testCtx, records, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return faults
+}
+
+func mustAnalyze(s *Study) *Results {
+	r, err := s.Analyze(testCtx)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mustEncodeCE(enc *mce.Encoder, ev faultmodel.CEEvent, i int) mce.CERecord {
+	rec, err := enc.EncodeCE(ev, i)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -26,11 +27,15 @@ func main() {
 	log.SetFlags(0)
 	cfg := dataset.DefaultConfig(7)
 	cfg.Nodes = 432
-	ds, err := dataset.Build(cfg)
+	ctx := context.Background()
+	ds, err := dataset.Build(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	faults := core.Cluster(ds.CERecords, core.DefaultClusterConfig())
+	faults, err := core.Cluster(ctx, ds.CERecords, core.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	end := simtime.MinuteOf(cfg.Fault.End)
 
 	fmt.Println("=== fleet monitor: mitigations over the logged CE stream ===")

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -33,9 +34,10 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	// --- Publish ---
+	ctx := context.Background()
 	cfg := dataset.DefaultConfig(19)
 	cfg.Nodes = 216 // three racks
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +78,10 @@ func main() {
 	fmt.Printf("parsed syslog: %d CE, %d DUE, %d HET records (%d malformed lines)\n",
 		stats.CEs, len(dues), len(hets), stats.Malformed)
 
-	faults := core.Cluster(ces, core.DefaultClusterConfig())
+	faults, err := core.Cluster(ctx, ces, core.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("clustered %s errors into %d faults (median errors/fault %.0f)\n",
 		report.FormatCount(float64(len(ces))), len(faults),
 		core.ErrorsPerFaultDist(faults).Median)
@@ -111,7 +116,10 @@ func main() {
 	}
 
 	// Cross-check against the in-memory pipeline.
-	memFaults := core.Cluster(ds.CERecords, core.DefaultClusterConfig())
+	memFaults, err := core.Cluster(ctx, ds.CERecords, core.DefaultClusterConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ncross-check: text-path faults %d vs memory-path faults %d (equal: %v)\n",
 		len(faults), len(memFaults), len(faults) == len(memFaults))
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,11 +19,15 @@ func main() {
 	log.SetFlags(0)
 	// 432 nodes = 6 racks: big enough for every distribution to take
 	// shape, small enough to run in a couple of seconds.
-	study, err := astra.Run(astra.Options{Seed: 1, Nodes: 432})
+	ctx := context.Background()
+	study, err := astra.Run(ctx, astra.Options{Seed: 1, Nodes: 432})
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := study.Analyze()
+	r, err := study.Analyze(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("=== Astra memory-failure study (synthetic, 432 nodes) ===")
 	fmt.Printf("correctable errors logged:   %s (plus %s lost to CE log space)\n",

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +24,20 @@ import (
 func main() {
 	log.SetFlags(0)
 	const nodes = topology.Nodes // positional analyses need all 36 racks
+	ctx := context.Background()
 	for _, kind := range []baseline.Kind{baseline.Astra, baseline.Sridharan} {
-		world, err := baseline.NewScenario(kind, 13, nodes).Generate()
+		world, err := baseline.NewScenario(kind, 13, nodes).Generate(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		records := encode(world)
-		faults := core.Cluster(records, core.DefaultClusterConfig())
+		records, err := encode(world)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults, err := core.Cluster(ctx, records, core.DefaultClusterConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
 		pos := core.AnalyzePositional(records, faults)
 
 		fmt.Printf("=== world: %v ===\n", kind)
@@ -60,13 +68,17 @@ func main() {
 	}
 }
 
-func encode(world *baseline.World) []mce.CERecord {
+func encode(world *baseline.World) ([]mce.CERecord, error) {
 	enc := mce.NewEncoder(world.Pop.Config.Seed)
 	out := make([]mce.CERecord, len(world.Pop.CEs))
 	for i, ev := range world.Pop.CEs {
-		out[i] = enc.EncodeCE(ev, i)
+		rec, err := enc.EncodeCE(ev, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
 	}
-	return out
+	return out, nil
 }
 
 func ratio(a, b int) float64 {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,12 +24,16 @@ const nodes = 432
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	for _, kind := range []baseline.Kind{baseline.Astra, baseline.Schroeder} {
-		world, err := baseline.NewScenario(kind, 11, nodes).Generate()
+		world, err := baseline.NewScenario(kind, 11, nodes).Generate(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		records := envWindowRecords(world)
+		records, err := envWindowRecords(world)
+		if err != nil {
+			log.Fatal(err)
+		}
 		panels := core.AnalyzeTempDeciles(records, world.Env, nodes)
 		fmt.Printf("=== world: %v (%d CEs in env window) ===\n", kind, len(records))
 		fmt.Print(report.Figure13(panels))
@@ -41,7 +46,7 @@ func main() {
 	fmt.Println("Schroeder world: the identical analysis finds the injected doubling.")
 }
 
-func envWindowRecords(world *baseline.World) []mce.CERecord {
+func envWindowRecords(world *baseline.World) ([]mce.CERecord, error) {
 	enc := mce.NewEncoder(world.Pop.Config.Seed)
 	var out []mce.CERecord
 	start := simtime.MinuteOf(simtime.EnvStart)
@@ -50,7 +55,11 @@ func envWindowRecords(world *baseline.World) []mce.CERecord {
 		if ev.Minute < start || ev.Minute >= end {
 			continue
 		}
-		out = append(out, enc.EncodeCE(ev, i))
+		rec, err := enc.EncodeCE(ev, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,361 @@
+package atomicio
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+// listDir returns the base names in dir, for temp-leak assertions.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	content := "hello\nworld\n"
+
+	info, err := WriteFile(ctxb(), OS, path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, content)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != content {
+		t.Errorf("content = %q, want %q", data, content)
+	}
+	sum := sha256.Sum256([]byte(content))
+	if want := hex.EncodeToString(sum[:]); info.SHA256 != want {
+		t.Errorf("SHA256 = %s, want %s", info.SHA256, want)
+	}
+	if info.Size != int64(len(content)) {
+		t.Errorf("Size = %d, want %d", info.Size, len(content))
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "out.txt" {
+		t.Errorf("directory not clean after commit: %v", names)
+	}
+}
+
+func TestWriteFileFinalInvisibleUntilCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	_, err := WriteFile(ctxb(), OS, path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "partial"); werr != nil {
+			return werr
+		}
+		// Mid-write: the final path must not exist, and the bytes so far
+		// must live in a recognizable temp file.
+		if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+			t.Errorf("final path exists mid-write (err=%v)", serr)
+		}
+		temps := 0
+		for _, name := range listDir(t, dir) {
+			if IsTemp(name) {
+				temps++
+			}
+		}
+		if temps != 1 {
+			t.Errorf("mid-write temp count = %d, want 1", temps)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileProducerErrorLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	boom := errors.New("render failed")
+	_, err := WriteFile(ctxb(), OS, path, func(w io.Writer) error {
+		io.WriteString(w, "half a file")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Errorf("leftovers after failed write: %v", names)
+	}
+}
+
+func TestWriterAbort(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(OS, filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "doomed")
+	w.Abort()
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Errorf("leftovers after abort: %v", names)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("Close after Abort returned nil")
+	}
+}
+
+func TestWriteFileCancelledContext(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(ctxb())
+	cancel()
+	_, err := WriteFile(ctx, OS, filepath.Join(dir, "out.txt"), func(w io.Writer) error {
+		t.Error("write callback ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestIsTemp(t *testing.T) {
+	for name, want := range map[string]bool{
+		".tmp-12345":          true,
+		"dir/.tmp-x":          true,
+		"out.txt":             false,
+		"data/.hidden":        false,
+		"scans/.tmp-scan.txt": true,
+	} {
+		if got := IsTemp(name); got != want {
+			t.Errorf("IsTemp(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{".tmp-aaa", ".tmp-bbb", "keep.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := SweepTemps(OS, dir); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(listDir(t, dir), ",")
+	if got != "keep.txt,sub" {
+		t.Errorf("after sweep: %s, want keep.txt,sub", got)
+	}
+	if err := SweepTemps(OS, filepath.Join(dir, "missing")); err != nil {
+		t.Errorf("sweep of a missing dir: %v", err)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("wrapped: %w", ErrTransient), true},
+		{syscall.EAGAIN, true},
+		{syscall.EINTR, true},
+		{syscall.ENOSPC, false},
+		{os.ErrPermission, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryPolicyEventualSuccess(t *testing.T) {
+	var sleeps []time.Duration
+	p := RetryPolicy{Attempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 25 * time.Millisecond,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) }}
+	calls := 0
+	err := p.Do(ctxb(), func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flaky: %w", ErrTransient)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; want nil, 3", err, calls)
+	}
+	// Backoff doubles from BaseDelay and clamps at MaxDelay.
+	if len(sleeps) != 2 || sleeps[0] != 10*time.Millisecond || sleeps[1] != 20*time.Millisecond {
+		t.Errorf("sleeps = %v", sleeps)
+	}
+}
+
+func TestRetryPolicyNonTransientImmediate(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, Sleep: func(time.Duration) { t.Error("slept on a non-transient error") }}
+	boom := errors.New("fatal")
+	calls := 0
+	err := p.Do(ctxb(), func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want fatal after 1 call", err, calls)
+	}
+}
+
+func TestRetryPolicyExhaustion(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := p.Do(ctxb(), func() error { calls++; return ErrTransient })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if !IsTransient(err) {
+		t.Errorf("exhaustion error lost the transient mark: %v", err)
+	}
+}
+
+func TestRetryPolicyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(ctxb())
+	p := RetryPolicy{Attempts: 5, Sleep: func(time.Duration) { cancel() }}
+	calls := 0
+	err := p.Do(ctx, func() error { calls++; return ErrTransient })
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d; want Canceled after 1 call", err, calls)
+	}
+}
+
+func TestWriteFileRetryRewritesFreshTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	p := RetryPolicy{Attempts: 3, Sleep: func(time.Duration) {}}
+	attempt := 0
+	info, err := WriteFileRetry(ctxb(), OS, path, p, func(w io.Writer) error {
+		attempt++
+		if _, werr := io.WriteString(w, "attempt data"); werr != nil {
+			return werr
+		}
+		if attempt == 1 {
+			return fmt.Errorf("first pass dies: %w", ErrTransient)
+		}
+		return nil
+	})
+	if err != nil || attempt != 2 {
+		t.Fatalf("err = %v, attempt = %d; want nil, 2", err, attempt)
+	}
+	if info.Size != int64(len("attempt data")) {
+		t.Errorf("Size = %d", info.Size)
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "out.txt" {
+		t.Errorf("directory after retried write: %v", names)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest(42, map[string]string{"nodes": "16", "dirty": "0.01"})
+	m.SetFile("a.log", WriteInfo{SHA256: strings.Repeat("ab", 32), Size: 100}, 7)
+	m.SetFile("scans/s.txt", WriteInfo{SHA256: strings.Repeat("cd", 32), Size: 5}, 0)
+
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := again.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("marshal not deterministic across a round trip:\n%s\n%s", data, data2)
+	}
+	if !again.ConfigMatches(42, map[string]string{"nodes": "16", "dirty": "0.01"}) {
+		t.Error("ConfigMatches rejected its own fingerprint")
+	}
+	if again.ConfigMatches(43, map[string]string{"nodes": "16", "dirty": "0.01"}) {
+		t.Error("ConfigMatches accepted a different seed")
+	}
+	if again.ConfigMatches(42, map[string]string{"nodes": "32", "dirty": "0.01"}) {
+		t.Error("ConfigMatches accepted a different config")
+	}
+	if names := again.FileNames(); strings.Join(names, ",") != "a.log,scans/s.txt" {
+		t.Errorf("FileNames = %v", names)
+	}
+}
+
+func TestParseManifestRejects(t *testing.T) {
+	digest := strings.Repeat("ab", 32)
+	cases := map[string]string{
+		"not json":       `{`,
+		"wrong version":  `{"version":2,"seed":1,"files":{}}`,
+		"escaping name":  `{"version":1,"seed":1,"files":{"../evil":{"sha256":"` + digest + `","size":1}}}`,
+		"absolute name":  `{"version":1,"seed":1,"files":{"/etc/passwd":{"sha256":"` + digest + `","size":1}}}`,
+		"unclean name":   `{"version":1,"seed":1,"files":{"a//b":{"sha256":"` + digest + `","size":1}}}`,
+		"short digest":   `{"version":1,"seed":1,"files":{"a":{"sha256":"abcd","size":1}}}`,
+		"non-hex digest": `{"version":1,"seed":1,"files":{"a":{"sha256":"` + strings.Repeat("zz", 32) + `","size":1}}}`,
+		"negative size":  `{"version":1,"seed":1,"files":{"a":{"sha256":"` + digest + `","size":-1}}}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseManifest([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestManifestSaveLoadVerify(t *testing.T) {
+	dir := t.TempDir()
+	content := "record one\nrecord two\n"
+	info, err := WriteFile(ctxb(), OS, filepath.Join(dir, "data.log"), func(w io.Writer) error {
+		_, werr := io.WriteString(w, content)
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest(7, map[string]string{"nodes": "4"})
+	m.SetFile("data.log", info, 2)
+	if err := m.Save(ctxb(), OS, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadManifest(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.VerifyFile(OS, dir, "data.log"); err != nil {
+		t.Errorf("verify of an intact file: %v", err)
+	}
+	if err := loaded.VerifyFile(OS, dir, "missing.log"); err == nil {
+		t.Error("verify of an unrecorded file succeeded")
+	}
+
+	// Corrupt the file; verification must fail even though the size is
+	// unchanged.
+	bad := []byte(strings.Replace(content, "one", "0ne", 1))
+	if err := os.WriteFile(filepath.Join(dir, "data.log"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.VerifyFile(OS, dir, "data.log"); err == nil {
+		t.Error("verify of a corrupted file succeeded")
+	}
+}

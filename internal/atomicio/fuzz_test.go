@@ -1,0 +1,47 @@
+package atomicio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzManifest holds ParseManifest to its contract on arbitrary bytes:
+// never panic, and anything it accepts must survive a marshal/parse round
+// trip unchanged (the determinism the resume path's byte-identical
+// guarantee leans on).
+func FuzzManifest(f *testing.F) {
+	m := NewManifest(1, map[string]string{"nodes": "4", "dirty": "0.5"})
+	m.SetFile("astra-syslog.log", WriteInfo{SHA256: strings.Repeat("ab", 32), Size: 10}, 3)
+	good, err := m.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"seed":0,"files":{}}`))
+	f.Add([]byte(`{"version":1,"files":{"../x":{"sha256":"ab","size":-3}}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted manifest fails to marshal: %v", err)
+		}
+		again, err := ParseManifest(out)
+		if err != nil {
+			t.Fatalf("own marshal rejected: %v\n%s", err, out)
+		}
+		out2, err := again.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("marshal unstable across round trip:\n%s\n%s", out, out2)
+		}
+	})
+}

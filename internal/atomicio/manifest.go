@@ -1,0 +1,178 @@
+package atomicio
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"path/filepath"
+	"sort"
+)
+
+// ManifestName is the manifest's file name inside a dataset directory.
+const ManifestName = "MANIFEST.json"
+
+// manifestVersion is the schema version this package reads and writes.
+const manifestVersion = 1
+
+// Manifest is the checksummed record of a dataset directory: which
+// generator configuration produced it and, per completed file, the
+// SHA-256, size and record count. It is written atomically after every
+// completed artifact, so at any crash point it describes exactly the set
+// of complete, verified files — the checkpoint granularity of resume
+// (DESIGN.md §10).
+type Manifest struct {
+	// Version is the schema version (manifestVersion).
+	Version int `json:"version"`
+	// Seed is the generator seed.
+	Seed uint64 `json:"seed"`
+	// Config is the flat fingerprint of every knob that shapes output
+	// bytes; resume refuses a manifest whose fingerprint differs.
+	Config map[string]string `json:"config,omitempty"`
+	// Files maps slash-separated relative paths to their entries.
+	Files map[string]FileEntry `json:"files"`
+}
+
+// FileEntry describes one completed artifact.
+type FileEntry struct {
+	// SHA256 is the lowercase hex digest of the file contents.
+	SHA256 string `json:"sha256"`
+	// Size is the file length in bytes.
+	Size int64 `json:"size"`
+	// Records is the number of records the file carries (0 when the
+	// notion doesn't apply).
+	Records int64 `json:"records,omitempty"`
+}
+
+// NewManifest returns an empty manifest for the given fingerprint.
+func NewManifest(seed uint64, config map[string]string) *Manifest {
+	return &Manifest{Version: manifestVersion, Seed: seed, Config: config, Files: map[string]FileEntry{}}
+}
+
+// ParseManifest decodes and validates manifest bytes. It never panics on
+// arbitrary input (FuzzManifest holds it to that) and rejects entries
+// that could escape the dataset directory.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("atomicio: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("atomicio: manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	if m.Files == nil {
+		m.Files = map[string]FileEntry{}
+	}
+	for name, e := range m.Files {
+		if name == "" || name != path.Clean(name) || !fs.ValidPath(name) {
+			return nil, fmt.Errorf("atomicio: manifest: invalid file name %q", name)
+		}
+		if len(e.SHA256) != sha256.Size*2 {
+			return nil, fmt.Errorf("atomicio: manifest: %s: digest length %d", name, len(e.SHA256))
+		}
+		if _, err := hex.DecodeString(e.SHA256); err != nil {
+			return nil, fmt.Errorf("atomicio: manifest: %s: digest: %w", name, err)
+		}
+		if e.Size < 0 || e.Records < 0 {
+			return nil, fmt.Errorf("atomicio: manifest: %s: negative size or record count", name)
+		}
+	}
+	return &m, nil
+}
+
+// LoadManifest reads and validates dir's manifest. A missing manifest
+// returns fs.ErrNotExist (via the FS).
+func LoadManifest(fsys FS, dir string) (*Manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	return ParseManifest(data)
+}
+
+// Marshal renders the manifest deterministically (sorted keys, stable
+// indentation): equal manifests are byte-equal files.
+func (m *Manifest) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Save atomically writes the manifest into dir.
+func (m *Manifest) Save(ctx context.Context, fsys FS, dir string) error {
+	data, err := m.Marshal()
+	if err != nil {
+		return fmt.Errorf("atomicio: manifest: %w", err)
+	}
+	_, err = WriteFile(ctx, fsys, filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	return err
+}
+
+// SetFile records a completed artifact (name is slash-separated, relative
+// to the dataset directory).
+func (m *Manifest) SetFile(name string, info WriteInfo, records int64) {
+	if m.Files == nil {
+		m.Files = map[string]FileEntry{}
+	}
+	m.Files[name] = FileEntry{SHA256: info.SHA256, Size: info.Size, Records: records}
+}
+
+// FileNames returns the recorded artifact names in sorted order.
+func (m *Manifest) FileNames() []string {
+	names := make([]string, 0, len(m.Files))
+	for name := range m.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VerifyFile re-hashes dir/name and checks it against the manifest entry.
+// It returns nil only for a recorded, present, checksum-matching file —
+// the gate resume uses to decide what to skip.
+func (m *Manifest) VerifyFile(fsys FS, dir, name string) error {
+	e, ok := m.Files[name]
+	if !ok {
+		return fmt.Errorf("atomicio: manifest: %s not recorded", name)
+	}
+	f, err := fsys.Open(filepath.Join(dir, filepath.FromSlash(name)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return fmt.Errorf("atomicio: verify %s: %w", name, err)
+	}
+	if n != e.Size {
+		return fmt.Errorf("atomicio: verify %s: size %d, manifest says %d", name, n, e.Size)
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != e.SHA256 {
+		return fmt.Errorf("atomicio: verify %s: digest mismatch", name)
+	}
+	return nil
+}
+
+// ConfigMatches reports whether the manifest was produced by the same
+// seed and fingerprint.
+func (m *Manifest) ConfigMatches(seed uint64, config map[string]string) bool {
+	if m.Seed != seed || len(m.Config) != len(config) {
+		return false
+	}
+	for k, v := range config {
+		if m.Config[k] != v {
+			return false
+		}
+	}
+	return true
+}

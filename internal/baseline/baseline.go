@@ -17,6 +17,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -124,9 +125,9 @@ type World struct {
 
 // Generate builds the world: the fault population (with any coupling
 // applied) and the matching telemetry model.
-func (s Scenario) Generate() (*World, error) {
+func (s Scenario) Generate(ctx context.Context) (*World, error) {
 	env := envmodel.New(s.Fault.Seed, s.Env)
-	pop, err := faultmodel.Generate(s.Fault)
+	pop, err := faultmodel.Generate(ctx, s.Fault)
 	if err != nil {
 		return nil, err
 	}

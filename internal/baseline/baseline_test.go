@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -24,7 +25,7 @@ func TestKindNames(t *testing.T) {
 
 func generateWorld(t *testing.T, kind Kind, seed uint64, nodes int) *World {
 	t.Helper()
-	w, err := NewScenario(kind, seed, nodes).Generate()
+	w, err := NewScenario(kind, seed, nodes).Generate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func envWindowRecords(pop *faultmodel.Population) []mce.CERecord {
 		if ev.Minute < simtime.MinuteOf(simtime.EnvStart) || ev.Minute >= simtime.MinuteOf(simtime.EnvEnd) {
 			continue
 		}
-		out = append(out, enc.EncodeCE(ev, i))
+		out = append(out, mustEncodeCE(enc, ev, i))
 	}
 	return out
 }
@@ -71,7 +72,7 @@ func TestSchroederCouplingDetectable(t *testing.T) {
 	// comparison isolates the temperature effect.
 	control := NewScenario(Schroeder, 50, nodes)
 	control.TempDoublingC = 0
-	cw, err := control.Generate()
+	cw, err := control.Generate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestHsuPreservesFaultStructure(t *testing.T) {
 	// Control: the same world with the placement coupling switched off.
 	control := NewScenario(Hsu, 53, 300)
 	control.NodeDoublingC = 0
-	plain, err := control.Generate()
+	plain, err := control.Generate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

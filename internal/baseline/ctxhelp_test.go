@@ -1,0 +1,16 @@
+package baseline
+
+import (
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+)
+
+// mustEncodeCE adapts the error-returning encoder for test sites where an
+// encode failure is simply a test bug.
+func mustEncodeCE(enc *mce.Encoder, ev faultmodel.CEEvent, i int) mce.CERecord {
+	rec, err := enc.EncodeCE(ev, i)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}

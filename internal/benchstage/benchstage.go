@@ -8,6 +8,7 @@ package benchstage
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -58,25 +59,29 @@ type Set struct {
 }
 
 // New builds the fixture once (full pipeline at the given scale) and
-// returns the stage list.
-func New(seed uint64, nodes int) (*Set, error) {
+// returns the stage list. ctx bounds fixture construction; the per-op
+// closures run uncancellable (a measurement is all-or-nothing).
+func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 	fcfg := faultmodel.DefaultConfig(seed)
 	fcfg.Nodes = nodes
-	pop, err := faultmodel.Generate(fcfg)
+	pop, err := faultmodel.Generate(ctx, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("benchstage: generate: %w", err)
 	}
 	dcfg := dataset.DefaultConfig(seed)
 	dcfg.Nodes = nodes
-	ds, err := dataset.Build(dcfg)
+	ds, err := dataset.Build(ctx, dcfg)
 	if err != nil {
 		return nil, fmt.Errorf("benchstage: dataset: %w", err)
 	}
-	study, err := astra.Run(astra.Options{Seed: seed, Nodes: nodes})
+	study, err := astra.Run(ctx, astra.Options{Seed: seed, Nodes: nodes})
 	if err != nil {
 		return nil, fmt.Errorf("benchstage: study: %w", err)
 	}
-	results := study.Analyze()
+	results, err := study.Analyze(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("benchstage: analyze: %w", err)
+	}
 
 	// The parse stage scans a pre-rendered syslog held in memory, so it
 	// measures the wire codec alone (no disk, no dataset build per op).
@@ -94,7 +99,7 @@ func New(seed uint64, nodes int) (*Set, error) {
 			Op: func(workers int) {
 				cfg := fcfg
 				cfg.Parallelism = workers
-				if _, err := faultmodel.Generate(cfg); err != nil {
+				if _, err := faultmodel.Generate(context.Background(), cfg); err != nil {
 					panic(err)
 				}
 			},
@@ -105,7 +110,7 @@ func New(seed uint64, nodes int) (*Set, error) {
 			Op: func(workers int) {
 				cfg := dcfg
 				cfg.Parallelism = workers
-				if _, err := dataset.Build(cfg); err != nil {
+				if _, err := dataset.Build(context.Background(), cfg); err != nil {
 					panic(err)
 				}
 			},
@@ -135,7 +140,9 @@ func New(seed uint64, nodes int) (*Set, error) {
 			Op: func(workers int) {
 				cc := core.DefaultClusterConfig()
 				cc.Parallelism = workers
-				core.Cluster(ds.CERecords, cc)
+				if _, err := core.Cluster(context.Background(), ds.CERecords, cc); err != nil {
+					panic(err)
+				}
 			},
 		},
 		{
@@ -144,7 +151,9 @@ func New(seed uint64, nodes int) (*Set, error) {
 			Op: func(workers int) {
 				s := *study
 				s.Options.Parallelism = workers
-				s.Analyze()
+				if _, err := s.Analyze(context.Background()); err != nil {
+					panic(err)
+				}
 			},
 		},
 		{

@@ -15,7 +15,7 @@ import (
 
 func TestBreakdownByMode(t *testing.T) {
 	_, records := generateSmall(t, 31, 400)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	b := BreakdownByMode(records, faults)
 	if b.Total != len(records) {
 		t.Errorf("Total = %d, want %d", b.Total, len(records))
@@ -61,7 +61,7 @@ func TestBreakdownEmpty(t *testing.T) {
 
 func TestErrorsPerFaultDist(t *testing.T) {
 	_, records := generateSmall(t, 32, 400)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	d := ErrorsPerFaultDist(faults)
 	if d.Median != 1 {
 		t.Errorf("median errors/fault = %v, want 1 (Fig 4b)", d.Median)
@@ -79,7 +79,7 @@ func TestErrorsPerFaultDist(t *testing.T) {
 
 func TestAnalyzePerNode(t *testing.T) {
 	_, records := generateSmall(t, 33, 400)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	pn := AnalyzePerNode(records, faults, 400)
 	if pn.NodesWithErrors == 0 || pn.NodesWithErrors > 400 {
 		t.Fatalf("NodesWithErrors = %d", pn.NodesWithErrors)
@@ -115,7 +115,7 @@ func TestAnalyzePerNode(t *testing.T) {
 
 func TestAnalyzeStructures(t *testing.T) {
 	_, records := generateSmall(t, 34, 600)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	s := AnalyzeStructures(records, faults)
 
 	sumInts := func(xs []int) int {
@@ -163,7 +163,7 @@ func TestAnalyzeStructures(t *testing.T) {
 
 func TestAnalyzeBitAddress(t *testing.T) {
 	_, records := generateSmall(t, 35, 600)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	ba := AnalyzeBitAddress(faults)
 	if len(ba.PerBit) == 0 || len(ba.PerAddr) == 0 {
 		t.Fatal("empty bit/address maps")
@@ -187,7 +187,7 @@ func TestAnalyzeBitAddress(t *testing.T) {
 
 func TestAnalyzePositional(t *testing.T) {
 	_, records := generateSmall(t, 36, 600)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	p := AnalyzePositional(records, faults)
 	sumErr := 0
 	for _, c := range p.RegionErrors {
@@ -317,14 +317,14 @@ func TestTrendStrengthAndDescribe(t *testing.T) {
 
 func TestAnalyzeUncorrectable(t *testing.T) {
 	cfg := faultmodel.DefaultConfig(41)
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	enc := mce.NewEncoder(41)
 	var hetRecs []het.Record
 	for _, d := range pop.DUEs {
-		hetRecs = append(hetRecs, het.FromDUE(enc.EncodeDUE(d)))
+		hetRecs = append(hetRecs, het.FromDUE(mustEncodeDUE(enc, d)))
 	}
 	hetRecs = het.Merge(hetRecs, het.GenerateAmbient(41, simtime.HETStart, simtime.StudyEnd, topology.Nodes))
 	u := AnalyzeUncorrectable(hetRecs, topology.DIMMs, simtime.StudyEnd)

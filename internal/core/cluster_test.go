@@ -33,7 +33,7 @@ func TestClusterSingleBit(t *testing.T) {
 		rec(1, 0, 0, 3, 100, 40, 5, 10),
 		rec(1, 0, 0, 3, 100, 40, 5, 20),
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 1 {
 		t.Fatalf("got %d faults, want 1", len(faults))
 	}
@@ -54,7 +54,7 @@ func TestClusterSingleWord(t *testing.T) {
 		rec(1, 0, 0, 3, 100, 40, 5, 0),
 		rec(1, 0, 0, 3, 100, 40, 9, 10), // same word, different bit
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 1 || faults[0].Mode != ModeSingleWord {
 		t.Fatalf("faults = %+v", faults)
 	}
@@ -66,7 +66,7 @@ func TestClusterSingleColumn(t *testing.T) {
 		rec(1, 2, 1, 7, 200, 55, 3, 10), // same column, different row
 		rec(1, 2, 1, 7, 300, 55, 3, 20),
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 1 || faults[0].Mode != ModeSingleColumn {
 		t.Fatalf("faults = %+v", faults)
 	}
@@ -81,7 +81,7 @@ func TestClusterSingleBank(t *testing.T) {
 		rec(1, 2, 1, 7, 200, 20, 3, 10),
 		rec(1, 2, 1, 7, 300, 30, 3, 20), // three words, three columns
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 1 || faults[0].Mode != ModeSingleBank {
 		t.Fatalf("faults = %+v", faults)
 	}
@@ -97,7 +97,7 @@ func TestClusterKeepsIndependentFaultsSeparate(t *testing.T) {
 		rec(1, 2, 1, 7, 200, 20, 4, 10),
 		rec(1, 2, 1, 7, 200, 20, 4, 15),
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 2 {
 		t.Fatalf("got %d faults, want 2: %+v", len(faults), faults)
 	}
@@ -116,7 +116,7 @@ func TestClusterSeparatesBanksAndNodes(t *testing.T) {
 		rec(1, 3, 1, 7, 100, 10, 3, 0), // different slot
 		rec(1, 2, 0, 7, 100, 10, 3, 0), // different rank
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 5 {
 		t.Fatalf("got %d faults, want 5", len(faults))
 	}
@@ -130,20 +130,20 @@ func TestClusterRowAblation(t *testing.T) {
 		rec(1, 2, 1, 7, 123, 20, 3, 10),
 		rec(1, 2, 1, 7, 123, 30, 3, 20),
 	}
-	noRow := Cluster(records, DefaultClusterConfig())
+	noRow := mustCluster(records, DefaultClusterConfig())
 	if len(noRow) != 1 || noRow[0].Mode != ModeSingleBank {
 		t.Fatalf("without row clustering: %+v", noRow)
 	}
 	cfg := DefaultClusterConfig()
 	cfg.RowClustering = true
-	withRow := Cluster(records, cfg)
+	withRow := mustCluster(records, cfg)
 	if len(withRow) != 1 || withRow[0].Mode != ModeSingleRow {
 		t.Fatalf("with row clustering: %+v", withRow)
 	}
 }
 
 func TestClusterEmptyInput(t *testing.T) {
-	if got := Cluster(nil, DefaultClusterConfig()); len(got) != 0 {
+	if got := mustCluster(nil, DefaultClusterConfig()); len(got) != 0 {
 		t.Errorf("Cluster(nil) = %+v", got)
 	}
 }
@@ -154,8 +154,8 @@ func TestClusterDeterministicOrder(t *testing.T) {
 		rec(1, 2, 1, 7, 100, 10, 3, 1),
 		rec(2, 0, 0, 0, 5, 5, 0, 2),
 	}
-	a := Cluster(records, DefaultClusterConfig())
-	b := Cluster(records, DefaultClusterConfig())
+	a := mustCluster(records, DefaultClusterConfig())
+	b := mustCluster(records, DefaultClusterConfig())
 	if len(a) != len(b) {
 		t.Fatal("lengths differ")
 	}
@@ -171,7 +171,7 @@ func encodePopulation(pop *faultmodel.Population) []mce.CERecord {
 	enc := mce.NewEncoder(pop.Config.Seed)
 	out := make([]mce.CERecord, len(pop.CEs))
 	for i, ev := range pop.CEs {
-		out[i] = enc.EncodeCE(ev, i)
+		out[i] = mustEncodeCE(enc, ev, i)
 	}
 	return out
 }
@@ -180,7 +180,7 @@ func generateSmall(t testing.TB, seed uint64, nodes int) (*faultmodel.Population
 	t.Helper()
 	cfg := faultmodel.DefaultConfig(seed)
 	cfg.Nodes = nodes
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func generateSmall(t testing.TB, seed uint64, nodes int) (*faultmodel.Population
 func TestClusterAgainstGroundTruth(t *testing.T) {
 	pop, records := generateSmall(t, 21, 400)
 	cfg := DefaultClusterConfig()
-	clustered := Cluster(records, cfg)
+	clustered := mustCluster(records, cfg)
 
 	// Every error must be attributed to exactly one fault.
 	total := 0
@@ -278,7 +278,7 @@ func TestRowAblationRecoversRowFaults(t *testing.T) {
 	pop, records := generateSmall(t, 22, 400)
 	cfg := DefaultClusterConfig()
 	cfg.RowClustering = true
-	clustered := Cluster(records, cfg)
+	clustered := mustCluster(records, cfg)
 	rowFaults := 0
 	for _, f := range clustered {
 		if f.Mode == ModeSingleRow {
@@ -298,7 +298,7 @@ func TestRowAblationRecoversRowFaults(t *testing.T) {
 		t.Errorf("row ablation recovered 0 of %d ground-truth row faults", gtRows)
 	}
 	// Without the ablation, none are visible.
-	for _, f := range Cluster(records, DefaultClusterConfig()) {
+	for _, f := range mustCluster(records, DefaultClusterConfig()) {
 		if f.Mode == ModeSingleRow {
 			t.Fatal("default config must not produce single-row faults")
 		}
@@ -331,7 +331,7 @@ func BenchmarkCluster(b *testing.B) {
 	_, records := generateSmall(b, 23, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Cluster(records, DefaultClusterConfig())
+		mustCluster(records, DefaultClusterConfig())
 	}
 }
 
@@ -342,8 +342,8 @@ func TestClusterParallelMatchesSerial(t *testing.T) {
 	parCfg := DefaultClusterConfig()
 	parCfg.Parallelism = 8
 
-	serial := Cluster(records, serialCfg)
-	par := Cluster(records, parCfg)
+	serial := mustCluster(records, serialCfg)
+	par := mustCluster(records, parCfg)
 	if len(serial) != len(par) {
 		t.Fatalf("fault counts differ: serial %d, parallel %d", len(serial), len(par))
 	}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 	"sort"
 	"time"
@@ -179,11 +180,18 @@ type wordGroup struct {
 // With cfg.RowClustering (an ablation the real platform could not run,.
 // §3.2), step 2.5 merges word clusters sharing row bits into single-row
 // faults.
-func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
+//
+// Cancelling ctx aborts the clustering and returns the context's error; a
+// panic in any worker is recovered and returned as a *parallel.PanicError.
+func Cluster(ctx context.Context, records []mce.CERecord, cfg ClusterConfig) (faults []Fault, err error) {
+	defer parallel.Recover(&err)
 	workers := parallel.Workers(cfg.Parallelism)
 	var grouped bankGroups
 	if workers <= 1 || len(records) < 2*minGroupShard {
-		grouped = groupRecords(records, 0, len(records))
+		grouped, err = groupRecords(ctx, records, 0, len(records))
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		// Shard the grouping scan over contiguous record ranges and merge
 		// shard-by-shard: contiguous ranges mean a bank (or word) first
@@ -192,9 +200,17 @@ func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
 		// and per-group error order exactly.
 		shards := parallel.NumChunks(workers, len(records))
 		parts := make([]bankGroups, shards)
-		parallel.ForEachChunk(workers, len(records), func(shard, lo, hi int) {
-			parts[shard] = groupRecords(records, lo, hi)
+		err = parallel.ForEachChunkCtx(ctx, workers, len(records), func(ctx context.Context, shard, lo, hi int) error {
+			part, err := groupRecords(ctx, records, lo, hi)
+			if err != nil {
+				return err
+			}
+			parts[shard] = part
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		grouped = parts[0]
 		for _, part := range parts[1:] {
 			grouped.merge(part)
@@ -203,30 +219,39 @@ func Cluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
 
 	banks, order := grouped.banks, grouped.order
 	if workers <= 1 || len(order) < 2 {
-		var faults []Fault
-		for _, key := range order {
+		for i, key := range order {
+			if err := parallel.Poll(ctx, i); err != nil {
+				return nil, err
+			}
 			faults = appendBankFaults(faults, key, banks[key], cfg)
 		}
-		return faults
+		return faults, nil
 	}
 	shards := parallel.NumChunks(workers, len(order))
 	parts := make([][]Fault, shards)
-	parallel.ForEachChunk(workers, len(order), func(shard, lo, hi int) {
+	err = parallel.ForEachChunkCtx(ctx, workers, len(order), func(ctx context.Context, shard, lo, hi int) error {
 		var fs []Fault
-		for _, key := range order[lo:hi] {
+		for i, key := range order[lo:hi] {
+			if err := parallel.Poll(ctx, i); err != nil {
+				return err
+			}
 			fs = appendBankFaults(fs, key, banks[key], cfg)
 		}
 		parts[shard] = fs
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, fs := range parts {
 		total += len(fs)
 	}
-	faults := make([]Fault, 0, total)
+	faults = make([]Fault, 0, total)
 	for _, fs := range parts {
 		faults = append(faults, fs...)
 	}
-	return faults
+	return faults, nil
 }
 
 // minGroupShard keeps the grouping scan serial for small inputs where the
@@ -242,12 +267,16 @@ type bankGroups struct {
 
 // groupRecords builds word groups from records[lo:hi]. Error indices are
 // global (the caller's full slice), so sharded scans can be merged.
-func groupRecords(records []mce.CERecord, lo, hi int) bankGroups {
+// Cancellation is polled every few thousand records.
+func groupRecords(ctx context.Context, records []mce.CERecord, lo, hi int) (bankGroups, error) {
 	// Pre-size for the common shape: errors concentrate on few banks, so
 	// the bank map stays small relative to the record count.
 	banks := make(map[bankKey]map[topology.PhysAddr]*wordGroup, (hi-lo)/256+8)
 	var order []bankKey // deterministic output ordering
 	for i := lo; i < hi; i++ {
+		if err := parallel.Poll(ctx, i-lo); err != nil {
+			return bankGroups{}, err
+		}
 		r := &records[i]
 		key := bankKey{node: r.Node, slot: r.Slot, rank: int8(r.Rank), bank: int8(r.Bank)}
 		words, ok := banks[key]
@@ -278,7 +307,7 @@ func groupRecords(records []mce.CERecord, lo, hi int) bankGroups {
 			g.last = r.Time
 		}
 	}
-	return bankGroups{banks: banks, order: order}
+	return bankGroups{banks: banks, order: order}, nil
 }
 
 // merge folds a later shard's groups into bg. bg must cover records that

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+)
+
+// testCtx is the context the legacy single-value test call sites thread
+// through the cancellable pipeline APIs.
+var testCtx = context.Background()
+
+// mustCluster and the must-encoders adapt the ctx+error APIs for test
+// sites where an error is simply a test bug.
+func mustCluster(records []mce.CERecord, cfg ClusterConfig) []Fault {
+	faults, err := Cluster(testCtx, records, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return faults
+}
+
+func mustEncodeCE(enc *mce.Encoder, ev faultmodel.CEEvent, i int) mce.CERecord {
+	rec, err := enc.EncodeCE(ev, i)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
+func mustEncodeDUE(enc *mce.Encoder, ev faultmodel.DUEEvent) mce.DUERecord {
+	rec, err := enc.EncodeDUE(ev)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}

@@ -50,7 +50,7 @@ func TestDivergenceOnGeneratedData(t *testing.T) {
 	// node dominates one socket; at minimum, the divergence fields are
 	// well-formed and the per-slot TV is nonzero.
 	_, records := generateSmall(t, 41, 500)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	s := AnalyzeStructures(records, faults)
 	for name, sc := range map[string]StructureCounts{
 		"socket": s.Socket, "rank": s.Rank, "slot": s.Slot, "bank": s.Bank,

@@ -16,7 +16,7 @@ import (
 func TestRecordIndexMatchesDirectAnalyses(t *testing.T) {
 	const nodes = 400
 	_, records := generateSmall(t, 41, nodes)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	env := envmodel.New(41, envmodel.DefaultParams())
 
 	for _, par := range []int{1, 8} {
@@ -59,7 +59,7 @@ func TestRecordIndexMatchesDirectAnalyses(t *testing.T) {
 func TestRecordIndexParallelMatchesSerial(t *testing.T) {
 	const nodes = 400
 	_, records := generateSmall(t, 43, nodes)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	env := envmodel.New(43, envmodel.DefaultParams())
 
 	serial := NewRecordIndex(records, nodes, 1)

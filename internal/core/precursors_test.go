@@ -56,19 +56,19 @@ func TestEscalatedDUEsHavePrecursors(t *testing.T) {
 	// chance level.
 	cfg := faultmodel.DefaultConfig(71)
 	cfg.Nodes = 1200 // enough DIMMs for a stable baseline
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	enc := mce.NewEncoder(cfg.Seed)
 	records := make([]mce.CERecord, len(pop.CEs))
 	for i, ev := range pop.CEs {
-		records[i] = enc.EncodeCE(ev, i)
+		records[i] = mustEncodeCE(enc, ev, i)
 	}
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	dues := make([]mce.DUERecord, len(pop.DUEs))
 	for i, d := range pop.DUEs {
-		dues[i] = enc.EncodeDUE(d)
+		dues[i] = mustEncodeDUE(enc, d)
 	}
 	p := AnalyzeDUEPrecursors(dues, faults, cfg.Nodes*topology.SlotsPerNode)
 	if p.DUEs < 30 {
@@ -84,13 +84,13 @@ func TestEscalatedDUEsHavePrecursors(t *testing.T) {
 	// Ablation: with escalation off, the lift collapses toward 1.
 	cfg2 := cfg
 	cfg2.EscalationPerKErrors = 0
-	pop2, err := faultmodel.Generate(cfg2)
+	pop2, err := faultmodel.Generate(testCtx, cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dues2 := make([]mce.DUERecord, len(pop2.DUEs))
 	for i, d := range pop2.DUEs {
-		dues2[i] = enc.EncodeDUE(d)
+		dues2[i] = mustEncodeDUE(enc, d)
 	}
 	p2 := AnalyzeDUEPrecursors(dues2, faults, cfg.Nodes*topology.SlotsPerNode)
 	if p2.DUEs > 30 && p2.Lift > p.Lift {

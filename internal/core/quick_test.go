@@ -59,7 +59,7 @@ func TestClusterConservationProperty(t *testing.T) {
 		for i, rs := range specs {
 			records[i] = rs.record()
 		}
-		faults := Cluster(records, DefaultClusterConfig())
+		faults := mustCluster(records, DefaultClusterConfig())
 		seen := map[int]bool{}
 		for _, fa := range faults {
 			if fa.NErrors != len(fa.Errors) {
@@ -93,7 +93,7 @@ func TestClusterTimeBoundsProperty(t *testing.T) {
 		for i, rs := range specs {
 			records[i] = rs.record()
 		}
-		for _, fa := range Cluster(records, DefaultClusterConfig()) {
+		for _, fa := range mustCluster(records, DefaultClusterConfig()) {
 			for _, idx := range fa.Errors {
 				tm := records[idx].Time
 				if tm.Before(fa.First) || tm.After(fa.Last) {

@@ -34,7 +34,7 @@ func TestAnalyzeFaultRates(t *testing.T) {
 
 func TestFaultRatesOnGeneratedData(t *testing.T) {
 	_, records := generateSmall(t, 72, 500)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	r := AnalyzeFaultRates(faults, 500*topology.SlotsPerNode, StudyWindow())
 	if r.Total <= 0 {
 		t.Fatal("zero total FIT")

@@ -74,7 +74,7 @@ func TestSanitizeRecordsEmpty(t *testing.T) {
 // and requires defined zero values with Degraded set, not panics.
 func TestAnalysesDegradeOnEmptyInput(t *testing.T) {
 	var records []mce.CERecord
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if len(faults) != 0 {
 		t.Fatalf("clustered %d faults from nothing", len(faults))
 	}

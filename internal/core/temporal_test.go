@@ -30,7 +30,7 @@ func TestAnalyzeModeStabilityHandBuilt(t *testing.T) {
 
 func TestAnalyzeModeStabilityOnGeneratedData(t *testing.T) {
 	_, records := generateSmall(t, 73, 500)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	ms := AnalyzeModeStability(faults)
 	if len(ms.Months) < 5 {
 		t.Fatalf("only %d months with new faults", len(ms.Months))
@@ -57,7 +57,7 @@ func TestAnalyzeModeStabilityOnGeneratedData(t *testing.T) {
 
 func TestAnalyzeInterarrivals(t *testing.T) {
 	_, records := generateSmall(t, 74, 400)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	ia := AnalyzeInterarrivals(records, faults, 200)
 	if ia.FaultsMeasured == 0 || len(ia.Gaps) == 0 {
 		t.Fatal("no gaps measured")
@@ -82,7 +82,7 @@ func TestAnalyzeInterarrivals(t *testing.T) {
 
 func TestAnalyzeInterarrivalsSampling(t *testing.T) {
 	_, records := generateSmall(t, 75, 300)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	full := AnalyzeInterarrivals(records, faults, 0)
 	sampled := AnalyzeInterarrivals(records, faults, 50)
 	if len(sampled.Gaps) > len(full.Gaps) {

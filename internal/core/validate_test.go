@@ -5,7 +5,7 @@ import "testing"
 func TestValidateClusteringOnGeneratedPopulation(t *testing.T) {
 	pop, records := generateSmall(t, 61, 500)
 	cfg := DefaultClusterConfig()
-	faults := Cluster(records, cfg)
+	faults := mustCluster(records, cfg)
 	m, err := ValidateClustering(pop, records, faults, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -23,7 +23,7 @@ func TestValidateClusteringOnGeneratedPopulation(t *testing.T) {
 
 func TestValidateClusteringRejectsMisalignedStreams(t *testing.T) {
 	pop, records := generateSmall(t, 62, 100)
-	faults := Cluster(records, DefaultClusterConfig())
+	faults := mustCluster(records, DefaultClusterConfig())
 	if _, err := ValidateClustering(pop, records[:len(records)-1], faults, DefaultClusterConfig()); err == nil {
 		t.Error("misaligned streams accepted")
 	}
@@ -54,7 +54,7 @@ func TestValidateClusteringDetectsBrokenClusterer(t *testing.T) {
 	// A deliberately broken clustering (everything merged into one fault
 	// per node) must fail the mode-agreement bar.
 	pop, records := generateSmall(t, 63, 400)
-	broken := Cluster(records, ClusterConfig{ColMinWords: 2, BankMinWords: 2, RowMinWords: 2})
+	broken := mustCluster(records, ClusterConfig{ColMinWords: 2, BankMinWords: 2, RowMinWords: 2})
 	// BankMinWords=2 merges any two scattered words into a phantom bank
 	// fault, degrading agreement on two-fault banks... those banks are
 	// excluded, so instead corrupt harder: relabel every fault's mode.

@@ -1,0 +1,365 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/iofault"
+)
+
+// crashDS is the dataset shared by the crash tests. It is deliberately
+// tiny (the crash invariants are size-independent) so the differential
+// sweep can afford dozens of full exports.
+var (
+	crashOnce sync.Once
+	crashDS   *Dataset
+	crashRef  map[string]string
+	crashErr  error
+)
+
+func crashDataset(t *testing.T) *Dataset {
+	t.Helper()
+	crashOnce.Do(func() {
+		cfg := DefaultConfig(97)
+		cfg.Nodes = 48
+		crashDS, crashErr = Build(testCtx, cfg)
+	})
+	if crashErr != nil {
+		t.Fatal(crashErr)
+	}
+	return crashDS
+}
+
+// crashOpts exercises every artifact class: noise-interleaved syslog,
+// dirty copies, subsampled sensors, and per-day scans.
+func crashOpts() ExportOptions {
+	return ExportOptions{
+		NoiseEvery:         50,
+		SensorNodeStride:   64,
+		SensorMinuteStride: 720,
+		ScanStride:         60,
+		Dirty:              0.02,
+		Retry:              atomicio.RetryPolicy{Attempts: 1, Sleep: func(time.Duration) {}},
+	}
+}
+
+// readTree reads every file under dir into a rel-path → content map.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	tree := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		tree[filepath.ToSlash(rel)] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// diffTrees fails the test when two directory trees differ anywhere.
+func diffTrees(t *testing.T, label string, got, want map[string]string) {
+	t.Helper()
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: missing %s", label, name)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: %s differs (%d vs %d bytes)", label, name, len(g), len(w))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: extra file %s", label, name)
+		}
+	}
+}
+
+// exportRef produces (once) the uninterrupted reference tree.
+func exportRef(t *testing.T, ds *Dataset) map[string]string {
+	t.Helper()
+	if crashRef == nil {
+		dir := t.TempDir()
+		if _, err := ds.Export(testCtx, atomicio.OS, dir, crashOpts()); err != nil {
+			t.Fatal(err)
+		}
+		crashRef = readTree(t, dir)
+	}
+	return crashRef
+}
+
+// checkCrashInvariant walks a crashed export directory: every file at a
+// final path must be a complete artifact (byte-equal to the reference) or
+// a valid manifest prefix; torn bytes may exist only in temp files.
+func checkCrashInvariant(t *testing.T, label, dir string, ref map[string]string) {
+	t.Helper()
+	for name, content := range readTree(t, dir) {
+		if atomicio.IsTemp(name) {
+			continue // torn temps are the allowed crash residue
+		}
+		if filepath.Base(name) == atomicio.ManifestName {
+			m, err := atomicio.ParseManifest([]byte(content))
+			if err != nil {
+				t.Errorf("%s: manifest at final path unparsable: %v", label, err)
+				continue
+			}
+			for _, rec := range m.FileNames() {
+				if err := m.VerifyFile(atomicio.OS, dir, rec); err != nil {
+					t.Errorf("%s: manifest records unverifiable %s: %v", label, rec, err)
+				}
+			}
+			continue
+		}
+		if want, ok := ref[name]; !ok {
+			t.Errorf("%s: unexpected final-path file %s", label, name)
+		} else if content != want {
+			t.Errorf("%s: partial file visible at final path %s (%d of %d bytes)",
+				label, name, len(content), len(want))
+		}
+	}
+}
+
+// TestExportCrashResumeDifferential is the acceptance test for the
+// checkpoint/resume contract: kill the export at many seeded operation
+// counts, verify no partial file is ever visible at a final path, resume,
+// and require the resumed tree — manifest included — to be byte-identical
+// to an uninterrupted run. Set ASTRA_CRASH_TESTS=1 to sweep every
+// kill-point instead of a 24-point sample.
+func TestExportCrashResumeDifferential(t *testing.T) {
+	ds := crashDataset(t)
+	ref := exportRef(t, ds)
+
+	// Measure the operation space with a fault-free injector.
+	probe := iofault.New(atomicio.OS, iofault.Config{Seed: 1})
+	if _, err := ds.Export(testCtx, probe, t.TempDir(), crashOpts()); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 50 {
+		t.Fatalf("operation space suspiciously small: %d", total)
+	}
+
+	var kills []int64
+	if os.Getenv("ASTRA_CRASH_TESTS") == "1" {
+		for k := int64(1); k <= total; k++ {
+			kills = append(kills, k)
+		}
+	} else {
+		// 24 kill-points spread across the run, endpoints included.
+		const n = 24
+		for i := 0; i < n; i++ {
+			k := 1 + i*int(total-1)/(n-1)
+			kills = append(kills, int64(k))
+		}
+	}
+
+	for _, kill := range kills {
+		dir := t.TempDir()
+		fsys := iofault.New(atomicio.OS, iofault.Config{Seed: uint64(kill), KillAfterOps: kill})
+		rep, err := ds.Export(testCtx, fsys, dir, crashOpts())
+		if err == nil {
+			t.Fatalf("kill=%d: export survived its own crash", kill)
+		}
+		if !errors.Is(err, iofault.ErrKilled) {
+			t.Fatalf("kill=%d: err = %v, want ErrKilled in the chain", kill, err)
+		}
+		if rep == nil {
+			t.Fatalf("kill=%d: nil report from failed export", kill)
+		}
+		checkCrashInvariant(t, labelKill(kill), dir, ref)
+
+		// Resume on healthy storage must converge to the reference tree.
+		rep2, err := ds.Export(testCtx, atomicio.OS, dir, func() ExportOptions {
+			o := crashOpts()
+			o.Resume = true
+			return o
+		}())
+		if err != nil {
+			t.Fatalf("kill=%d: resume failed: %v", kill, err)
+		}
+		if rep2.Written+rep2.Skipped != len(rep2.Files) {
+			t.Errorf("kill=%d: report does not balance: %d+%d != %d",
+				kill, rep2.Written, rep2.Skipped, len(rep2.Files))
+		}
+		diffTrees(t, labelKill(kill)+" resumed", readTree(t, dir), ref)
+	}
+}
+
+func labelKill(k int64) string { return fmt.Sprintf("kill=%d", k) }
+
+// TestExportTransientFaultsRetried drives the export through storage that
+// fails a fraction of writes transiently; the retry policy must absorb
+// them and still produce the exact reference tree.
+func TestExportTransientFaultsRetried(t *testing.T) {
+	ds := crashDataset(t)
+	ref := exportRef(t, ds)
+
+	dir := t.TempDir()
+	fsys := iofault.New(atomicio.OS, iofault.Config{Seed: 23, TransientWrite: 0.02, TransientRead: 0.02})
+	opts := crashOpts()
+	opts.Retry = atomicio.RetryPolicy{Attempts: 25, Sleep: func(time.Duration) {}}
+	if _, err := ds.Export(testCtx, fsys, dir, opts); err != nil {
+		t.Fatalf("retry did not absorb transient faults: %v", err)
+	}
+	diffTrees(t, "transient", readTree(t, dir), ref)
+}
+
+// TestExportENOSPCThenResume fills the disk mid-export (hard failure, not
+// retryable), then resumes on recovered storage and requires byte-for-byte
+// convergence.
+func TestExportENOSPCThenResume(t *testing.T) {
+	ds := crashDataset(t)
+	ref := exportRef(t, ds)
+
+	failed := false
+	for seed := uint64(1); seed <= 16 && !failed; seed++ {
+		dir := t.TempDir()
+		fsys := iofault.New(atomicio.OS, iofault.Config{Seed: seed, ENOSPC: 0.05})
+		_, err := ds.Export(testCtx, fsys, dir, crashOpts())
+		if err == nil {
+			continue // this seed got lucky; try another
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("seed=%d: err = %v, want ENOSPC", seed, err)
+		}
+		failed = true
+		checkCrashInvariant(t, "enospc", dir, ref)
+
+		opts := crashOpts()
+		opts.Resume = true
+		if _, rerr := ds.Export(testCtx, atomicio.OS, dir, opts); rerr != nil {
+			t.Fatalf("resume after ENOSPC: %v", rerr)
+		}
+		diffTrees(t, "enospc resumed", readTree(t, dir), ref)
+	}
+	if !failed {
+		t.Fatal("no seed produced an ENOSPC failure; raise the rate")
+	}
+}
+
+// cancelOnRenameFS cancels a context the moment the first artifact
+// commits (renames into place), modelling a SIGINT that lands in the
+// narrow window between an artifact's rename and its checkpoint.
+type cancelOnRenameFS struct {
+	atomicio.FS
+	cancel context.CancelFunc
+}
+
+func (f cancelOnRenameFS) Rename(oldpath, newpath string) error {
+	err := f.FS.Rename(oldpath, newpath)
+	if err == nil && filepath.Base(newpath) != atomicio.ManifestName {
+		f.cancel()
+	}
+	return err
+}
+
+// TestExportInterruptRecordsCompletedWork is the regression test for the
+// checkpoint-save-under-cancellation bug: an interrupt right after an
+// artifact commits must still record that artifact in the manifest (the
+// save runs detached from the cancelled context), so resume skips it
+// instead of redoing the work.
+func TestExportInterruptRecordsCompletedWork(t *testing.T) {
+	ds := crashDataset(t)
+	ref := exportRef(t, ds)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(testCtx)
+	defer cancel()
+	fsys := cancelOnRenameFS{FS: atomicio.OS, cancel: cancel}
+	rep, err := ds.Export(ctx, fsys, dir, crashOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if len(rep.Files) != 1 {
+		t.Fatalf("report covers %d artifacts, want the 1 completed before the interrupt", len(rep.Files))
+	}
+
+	m, lerr := atomicio.LoadManifest(atomicio.OS, dir)
+	if lerr != nil {
+		t.Fatalf("interrupted export left no readable manifest: %v", lerr)
+	}
+	if len(m.Files) != 1 {
+		t.Fatalf("manifest records %d files, want 1: %v", len(m.Files), m.FileNames())
+	}
+	name := m.FileNames()[0]
+	if name != rep.Files[0].Name {
+		t.Errorf("manifest records %s, report says %s", name, rep.Files[0].Name)
+	}
+	if verr := m.VerifyFile(atomicio.OS, dir, name); verr != nil {
+		t.Errorf("recorded artifact does not verify: %v", verr)
+	}
+
+	opts := crashOpts()
+	opts.Resume = true
+	rep2, rerr := ds.Export(testCtx, atomicio.OS, dir, opts)
+	if rerr != nil {
+		t.Fatalf("resume: %v", rerr)
+	}
+	if rep2.Skipped == 0 {
+		t.Error("resume redid the recorded artifact instead of skipping it")
+	}
+	diffTrees(t, "interrupt resumed", readTree(t, dir), ref)
+}
+
+// TestExportResumeRefusesForeignManifest guards the fingerprint gate: a
+// manifest from a different configuration must refuse to resume rather
+// than silently mixing two datasets.
+func TestExportResumeRefusesForeignManifest(t *testing.T) {
+	ds := crashDataset(t)
+	dir := t.TempDir()
+	if _, err := ds.Export(testCtx, atomicio.OS, dir, crashOpts()); err != nil {
+		t.Fatal(err)
+	}
+	opts := crashOpts()
+	opts.Resume = true
+	opts.Dirty = 0 // changes the fingerprint (and the artifact set)
+	if _, err := ds.Export(testCtx, atomicio.OS, dir, opts); err == nil {
+		t.Fatal("resume accepted a manifest from a different config")
+	}
+}
+
+// TestExportResumeIsFullSkip pins the fast path: resuming a completed
+// directory rewrites nothing and leaves every byte untouched.
+func TestExportResumeIsFullSkip(t *testing.T) {
+	ds := crashDataset(t)
+	dir := t.TempDir()
+	rep1, err := ds.Export(testCtx, atomicio.OS, dir, crashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := readTree(t, dir)
+
+	opts := crashOpts()
+	opts.Resume = true
+	rep2, err := ds.Export(testCtx, atomicio.OS, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Written != 0 || rep2.Skipped != len(rep1.Files) {
+		t.Errorf("full-skip resume wrote %d, skipped %d (want 0, %d)",
+			rep2.Written, rep2.Skipped, len(rep1.Files))
+	}
+	diffTrees(t, "full skip", readTree(t, dir), before)
+}

@@ -1,0 +1,22 @@
+package dataset
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/mce"
+)
+
+// testCtx is the context the legacy test call sites thread through the
+// cancellable pipeline APIs.
+var testCtx = context.Background()
+
+// mustCluster adapts the ctx+error clustering API for test sites where an
+// error is simply a test bug.
+func mustCluster(records []mce.CERecord, cfg core.ClusterConfig) []core.Fault {
+	faults, err := core.Cluster(testCtx, records, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return faults
+}

@@ -8,6 +8,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -84,8 +85,11 @@ type Dataset struct {
 	Inventory *inventory.History
 }
 
-// Build runs the pipeline.
-func Build(cfg Config) (*Dataset, error) {
+// Build runs the pipeline. Cancelling ctx aborts between (and inside)
+// stages with ctx's error; a worker panic in any parallel stage surfaces
+// as a *parallel.PanicError instead of crashing the process.
+func Build(ctx context.Context, cfg Config) (ds *Dataset, err error) {
+	defer parallel.Recover(&err)
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("dataset: Nodes = %d", cfg.Nodes)
 	}
@@ -106,15 +110,24 @@ func Build(cfg Config) (*Dataset, error) {
 		cfg.PollMinutes = 1
 	}
 
-	pop, err := faultmodel.Generate(cfg.Fault)
+	pop, err := faultmodel.Generate(ctx, cfg.Fault)
 	if err != nil {
 		return nil, err
 	}
-	ds := &Dataset{Config: cfg, Pop: pop, Env: envmodel.New(cfg.Seed, cfg.Env)}
-	ds.runEdac()
-	ds.encodeDUEs()
-	ds.buildHET()
+	ds = &Dataset{Config: cfg, Pop: pop, Env: envmodel.New(cfg.Seed, cfg.Env)}
+	if err := ds.runEdac(ctx); err != nil {
+		return nil, err
+	}
+	if err := ds.encodeDUEs(ctx); err != nil {
+		return nil, err
+	}
+	if err := ds.buildHET(ctx); err != nil {
+		return nil, err
+	}
 	if cfg.Inventory {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		hist, err := inventory.Generate(cfg.Seed, cfg.Nodes, inventory.DefaultProcesses())
 		if err != nil {
 			return nil, err
@@ -132,7 +145,7 @@ func Build(cfg Config) (*Dataset, error) {
 // event whose Offer triggered the flush — unique per node — and Close
 // drains sort after every Offer, tie-broken by node), so the record stream
 // handed to sortCERecords is bit-identical to the serial path.
-func (ds *Dataset) runEdac() {
+func (ds *Dataset) runEdac(ctx context.Context) error {
 	enc := mce.NewEncoder(ds.Config.Seed)
 	if parallel.Workers(ds.Config.Parallelism) <= 1 {
 		// Logged <= offered, so the full event count is a safe upper bound
@@ -143,12 +156,19 @@ func (ds *Dataset) runEdac() {
 			ds.CERecords = append(ds.CERecords, recs...)
 		}
 		for i, ev := range ds.Pop.CEs {
+			if err := parallel.Poll(ctx, i); err != nil {
+				return err
+			}
 			p, ok := pollers[ev.Node]
 			if !ok {
 				p = edac.NewPoller[mce.CERecord](ds.Config.EdacCapacity, ds.Config.PollMinutes, out)
 				pollers[ev.Node] = p
 			}
-			p.Offer(int64(ev.Minute), enc.EncodeCE(ev, i))
+			rec, err := enc.EncodeCE(ev, i)
+			if err != nil {
+				return fmt.Errorf("dataset: CE event %d: %w", i, err)
+			}
+			p.Offer(int64(ev.Minute), rec)
 		}
 		// Close in node order so the final drains land deterministically.
 		for n := 0; n < ds.Config.Nodes; n++ {
@@ -159,7 +179,7 @@ func (ds *Dataset) runEdac() {
 			ds.EdacStats.Add(p.Close())
 		}
 		sortCERecords(ds.CERecords)
-		return
+		return nil
 	}
 
 	// Partition the global event stream by node, keeping each event's
@@ -188,8 +208,11 @@ func (ds *Dataset) runEdac() {
 		stats edac.Stats
 	}
 	results := make([]nodeResult, ds.Config.Nodes)
-	parallel.ForEachChunk(ds.Config.Parallelism, ds.Config.Nodes, func(_, lo, hi int) {
+	err := parallel.ForEachChunkCtx(ctx, ds.Config.Parallelism, ds.Config.Nodes, func(ctx context.Context, _, lo, hi int) error {
 		for n := lo; n < hi; n++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			events := perNode[n]
 			if len(events) == 0 {
 				continue
@@ -206,12 +229,20 @@ func (ds *Dataset) runEdac() {
 			for _, gi := range events {
 				ev := ds.Pop.CEs[gi]
 				trigger = int64(gi)
-				p.Offer(int64(ev.Minute), enc.EncodeCE(ev, int(gi)))
+				rec, err := enc.EncodeCE(ev, int(gi))
+				if err != nil {
+					return fmt.Errorf("dataset: CE event %d: %w", gi, err)
+				}
+				p.Offer(int64(ev.Minute), rec)
 			}
 			trigger = math.MaxInt64
 			res.stats = p.Close()
 		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 
 	type batch struct {
 		key  int64
@@ -244,27 +275,47 @@ func (ds *Dataset) runEdac() {
 		ds.CERecords = append(ds.CERecords, b.recs...)
 	}
 	sortCERecords(ds.CERecords)
+	return nil
 }
 
-func (ds *Dataset) encodeDUEs() {
+func (ds *Dataset) encodeDUEs(ctx context.Context) error {
 	enc := mce.NewEncoder(ds.Config.Seed)
 	ds.DUERecords = make([]mce.DUERecord, len(ds.Pop.DUEs))
-	parallel.ForEachChunk(ds.Config.Parallelism, len(ds.Pop.DUEs), func(_, lo, hi int) {
+	return parallel.ForEachChunkCtx(ctx, ds.Config.Parallelism, len(ds.Pop.DUEs), func(ctx context.Context, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			ds.DUERecords[i] = enc.EncodeDUE(ds.Pop.DUEs[i])
+			if err := parallel.Poll(ctx, i-lo); err != nil {
+				return err
+			}
+			rec, err := enc.EncodeDUE(ds.Pop.DUEs[i])
+			if err != nil {
+				return fmt.Errorf("dataset: DUE event %d: %w", i, err)
+			}
+			ds.DUERecords[i] = rec
 		}
+		return nil
 	})
 }
 
-func (ds *Dataset) buildHET() {
+func (ds *Dataset) buildHET(ctx context.Context) error {
 	fromDUEs := make([]het.Record, len(ds.DUERecords))
-	parallel.ForEachChunk(ds.Config.Parallelism, len(ds.DUERecords), func(_, lo, hi int) {
+	err := parallel.ForEachChunkCtx(ctx, ds.Config.Parallelism, len(ds.DUERecords), func(ctx context.Context, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := parallel.Poll(ctx, i-lo); err != nil {
+				return err
+			}
 			fromDUEs[i] = het.FromDUE(ds.DUERecords[i])
 		}
+		return nil
 	})
-	ambient := het.GenerateAmbientWorkers(ds.Config.Seed, simtime.HETStart, ds.Config.Fault.End, ds.Config.Nodes, ds.Config.Parallelism)
+	if err != nil {
+		return err
+	}
+	ambient, err := het.GenerateAmbientWorkers(ctx, ds.Config.Seed, simtime.HETStart, ds.Config.Fault.End, ds.Config.Nodes, ds.Config.Parallelism)
+	if err != nil {
+		return err
+	}
 	ds.HETRecords = het.Merge(fromDUEs, ambient)
+	return nil
 }
 
 // Verify runs the release self-check over the built dataset: every CE

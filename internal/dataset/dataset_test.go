@@ -16,7 +16,7 @@ func smallConfig(seed uint64) Config {
 
 func buildSmall(t testing.TB, seed uint64) *Dataset {
 	t.Helper()
-	ds, err := Build(smallConfig(seed))
+	ds, err := Build(testCtx, smallConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestBuildDeterministic(t *testing.T) {
 }
 
 func TestBuildRejectsBadConfig(t *testing.T) {
-	if _, err := Build(Config{Nodes: 0}); err == nil {
+	if _, err := Build(testCtx, Config{Nodes: 0}); err == nil {
 		t.Error("Build with zero nodes should fail")
 	}
 }
@@ -222,7 +222,7 @@ func TestReplacementsCSV(t *testing.T) {
 	// Inventory disabled: writing fails cleanly.
 	cfg := smallConfig(68)
 	cfg.Inventory = false
-	ds2, err := Build(cfg)
+	ds2, err := Build(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,11 +249,11 @@ func TestBuildParallelMatchesSerial(t *testing.T) {
 	parCfg := smallConfig(62)
 	parCfg.Parallelism = 8
 
-	serial, err := Build(serialCfg)
+	serial, err := Build(testCtx, serialCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Build(parCfg)
+	par, err := Build(testCtx, parCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

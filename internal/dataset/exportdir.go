@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/atomicio"
+	"repro/internal/corrupt"
+)
+
+// ExportOptions configures a checkpointed directory export.
+type ExportOptions struct {
+	// NoiseEvery interleaves one kernel-noise line per N syslog records
+	// (0 disables).
+	NoiseEvery int
+	// SensorNodeStride / SensorMinuteStride subsample the sensor CSV.
+	SensorNodeStride   int
+	SensorMinuteStride int
+	// ScanStride writes an inventory scan file every N days (0 disables).
+	ScanStride int
+	// Dirty, when > 0, also writes corrupted copies of the syslog and CE
+	// CSV at this combined mutation rate.
+	Dirty float64
+	// Resume skips artifacts already recorded in the directory's manifest
+	// whose on-disk checksums still verify. The resumed tree is
+	// byte-identical to a clean run, manifest included.
+	Resume bool
+	// Retry bounds re-attempts of each artifact on transient I/O errors;
+	// the zero value uses atomicio.DefaultRetry.
+	Retry atomicio.RetryPolicy
+}
+
+// ExportedFile is one artifact's outcome in an ExportReport.
+type ExportedFile struct {
+	Name    string
+	SHA256  string
+	Size    int64
+	Records int64
+	// Skipped reports that resume verified an existing file instead of
+	// rewriting it.
+	Skipped bool
+}
+
+// ExportReport summarizes an Export: which artifacts were written and
+// which were skipped by resume.
+type ExportReport struct {
+	Files   []ExportedFile
+	Written int
+	Skipped int
+}
+
+// exportConfig is the manifest fingerprint: every option that changes the
+// output bytes. A resume against a manifest with a different fingerprint
+// (or seed) is refused rather than silently mixing two datasets.
+func (ds *Dataset) exportConfig(opts ExportOptions) map[string]string {
+	return map[string]string{
+		"nodes":                strconv.Itoa(ds.Config.Nodes),
+		"noise_every":          strconv.Itoa(opts.NoiseEvery),
+		"sensor_node_stride":   strconv.Itoa(opts.SensorNodeStride),
+		"sensor_minute_stride": strconv.Itoa(opts.SensorMinuteStride),
+		"scan_stride":          strconv.Itoa(opts.ScanStride),
+		"dirty":                strconv.FormatFloat(opts.Dirty, 'g', -1, 64),
+	}
+}
+
+// artifact is one export unit: a relative slash-separated name plus a
+// renderer. Rendering is deterministic, so an artifact can be retried,
+// skipped, or re-rendered after a crash without changing its bytes.
+type artifact struct {
+	name  string
+	write func(ctx context.Context, w io.Writer) error
+}
+
+// Export writes the dataset's release files into dir through fsys with
+// crash-safe semantics: every artifact lands via temp-file + fsync +
+// rename (a final path never holds a partial file), a checksummed
+// MANIFEST.json is re-saved after each completed artifact (the checkpoint
+// granularity), and transient I/O errors are retried under opts.Retry.
+// With opts.Resume, artifacts whose manifest checksums verify against the
+// existing files are skipped; the resulting tree — manifest included — is
+// byte-identical to an uninterrupted run.
+//
+// On error (including ctx cancellation) the returned report covers the
+// artifacts completed so far; the directory is left resumable.
+func (ds *Dataset) Export(ctx context.Context, fsys atomicio.FS, dir string, opts ExportOptions) (*ExportReport, error) {
+	rep := &ExportReport{}
+	if opts.Dirty < 0 || opts.Dirty > 1 {
+		return rep, fmt.Errorf("dataset: export: dirty rate %v out of [0, 1]", opts.Dirty)
+	}
+	if opts.SensorNodeStride < 1 || opts.SensorMinuteStride < 1 {
+		return rep, fmt.Errorf("dataset: export: sensor strides must be >= 1")
+	}
+	cfg := ds.exportConfig(opts)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return rep, err
+	}
+	if opts.ScanStride > 0 {
+		if err := fsys.MkdirAll(filepath.Join(dir, "scans"), 0o755); err != nil {
+			return rep, err
+		}
+	}
+	// Torn temp files from a killed run are invisible to readers (final
+	// paths are only ever renamed into) but still occupy space.
+	if err := atomicio.SweepTemps(fsys, dir); err != nil {
+		return rep, err
+	}
+	if opts.ScanStride > 0 {
+		if err := atomicio.SweepTemps(fsys, filepath.Join(dir, "scans")); err != nil {
+			return rep, err
+		}
+	}
+
+	manifest := atomicio.NewManifest(ds.Config.Seed, cfg)
+	var prev *atomicio.Manifest
+	if opts.Resume {
+		m, err := atomicio.LoadManifest(fsys, dir)
+		switch {
+		case err == nil && m.ConfigMatches(ds.Config.Seed, cfg):
+			prev = m
+		case err == nil:
+			return rep, fmt.Errorf("dataset: export: %s was produced with a different seed or config; refusing to resume (use a fresh directory)", atomicio.ManifestName)
+		default:
+			// No readable manifest: nothing to resume, fall through to a
+			// clean build. A corrupt manifest is equivalent to none — the
+			// files it described are unverifiable.
+		}
+	}
+
+	arts, err := ds.artifacts(opts)
+	if err != nil {
+		return rep, err
+	}
+	// The manifest save IS the checkpoint: it must survive cancellation,
+	// or an interrupt landing between an artifact's rename and its
+	// manifest entry would discard the record of work just completed (and
+	// resume would redo it). The save is small and bounded, so detaching
+	// it from ctx costs nothing.
+	saveCtx := context.WithoutCancel(ctx)
+	for _, a := range arts {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		done, err := ds.exportOne(ctx, fsys, dir, a, opts, manifest, prev, rep)
+		if err != nil {
+			return rep, fmt.Errorf("dataset: export %s: %w", a.name, err)
+		}
+		rep.Files = append(rep.Files, done)
+		if err := manifest.Save(saveCtx, fsys, dir); err != nil {
+			return rep, fmt.Errorf("dataset: export: saving manifest: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// exportOne writes (or, on resume, verifies and skips) a single artifact
+// and records it in the in-progress manifest.
+func (ds *Dataset) exportOne(ctx context.Context, fsys atomicio.FS, dir string, a artifact, opts ExportOptions, manifest, prev *atomicio.Manifest, rep *ExportReport) (ExportedFile, error) {
+	if prev != nil {
+		if err := prev.VerifyFile(fsys, dir, a.name); err == nil {
+			e := prev.Files[a.name]
+			manifest.SetFile(a.name, atomicio.WriteInfo{SHA256: e.SHA256, Size: e.Size}, e.Records)
+			rep.Skipped++
+			return ExportedFile{Name: a.name, SHA256: e.SHA256, Size: e.Size, Records: e.Records, Skipped: true}, nil
+		}
+		// Missing, truncated, or corrupted: rewrite it from scratch.
+	}
+	var records int64
+	full := filepath.Join(dir, filepath.FromSlash(a.name))
+	info, err := atomicio.WriteFileRetry(ctx, fsys, full, opts.Retry, func(w io.Writer) error {
+		cw := &countingWriter{w: w, ctx: ctx}
+		if err := a.write(ctx, cw); err != nil {
+			return err
+		}
+		records = cw.lines
+		return nil
+	})
+	if err != nil {
+		return ExportedFile{}, err
+	}
+	manifest.SetFile(a.name, info, records)
+	rep.Written++
+	return ExportedFile{Name: a.name, SHA256: info.SHA256, Size: info.Size, Records: records}, nil
+}
+
+// artifacts returns the export units in their fixed order. The order is
+// part of the checkpoint contract: a resumed run replays the same sequence
+// and skips the verified prefix (and any other completed entries).
+func (ds *Dataset) artifacts(opts ExportOptions) ([]artifact, error) {
+	arts := []artifact{
+		{"astra-syslog.log", func(ctx context.Context, w io.Writer) error {
+			return ds.WriteSyslog(w, opts.NoiseEvery)
+		}},
+		{"ce-telemetry.csv", func(ctx context.Context, w io.Writer) error {
+			return ds.WriteCETelemetryCSV(w)
+		}},
+	}
+	if opts.Dirty > 0 {
+		arts = append(arts,
+			artifact{"astra-syslog-dirty.log", ds.dirtyArtifact(opts, func(w io.Writer) error {
+				return ds.WriteSyslog(w, opts.NoiseEvery)
+			}, false)},
+			artifact{"ce-telemetry-dirty.csv", ds.dirtyArtifact(opts, ds.WriteCETelemetryCSV, true)},
+		)
+	}
+	arts = append(arts,
+		artifact{"sensors.csv", func(ctx context.Context, w io.Writer) error {
+			return ds.WriteSensorCSV(w, opts.SensorNodeStride, opts.SensorMinuteStride)
+		}},
+		artifact{"replacements.csv", func(ctx context.Context, w io.Writer) error {
+			return ds.WriteReplacementsCSV(w)
+		}},
+	)
+	if opts.ScanStride > 0 {
+		if ds.Inventory == nil {
+			return nil, fmt.Errorf("dataset: export: inventory not generated")
+		}
+		days, err := ds.Inventory.ScanDays(opts.ScanStride)
+		if err != nil {
+			return nil, err
+		}
+		for _, day := range days {
+			day := day
+			arts = append(arts, artifact{
+				name: "scans/scan-" + day.Time().Format("2006-01-02") + ".txt",
+				write: func(ctx context.Context, w io.Writer) error {
+					return ds.Inventory.WriteScanDay(w, ds.Config.Nodes, day)
+				},
+			})
+		}
+	}
+	return arts, nil
+}
+
+// dirtyArtifact renders a clean stream through a freshly-seeded corruptor.
+// The corruptor is constructed per attempt so retries and resumes replay
+// identical mutations.
+func (ds *Dataset) dirtyArtifact(opts ExportOptions, clean func(io.Writer) error, csv bool) func(context.Context, io.Writer) error {
+	return func(ctx context.Context, w io.Writer) error {
+		c := corrupt.New(corrupt.Uniform(ds.Config.Seed, opts.Dirty))
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(clean(pw)) }()
+		var err error
+		if csv {
+			_, err = c.ProcessCSV(pr, w)
+		} else {
+			_, err = c.Process(pr, w)
+		}
+		if err != nil {
+			// Unblock the producer goroutine if the consumer died first
+			// (an injected write fault, cancellation).
+			pr.CloseWithError(err)
+			return err
+		}
+		return nil
+	}
+}
+
+// countingWriter counts newlines (the manifest's record count) and polls
+// ctx so a cancelled export stops between writes rather than rendering a
+// multi-gigabyte artifact to completion first.
+type countingWriter struct {
+	w     io.Writer
+	ctx   context.Context
+	lines int64
+	calls int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.calls++
+	if c.calls&0xff == 0 {
+		if err := c.ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := c.w.Write(p)
+	for _, b := range p[:n] {
+		if b == '\n' {
+			c.lines++
+		}
+	}
+	return n, err
+}

@@ -23,7 +23,7 @@ func smallDataset(t *testing.T) *Dataset {
 	smallDSOnce.Do(func() {
 		cfg := DefaultConfig(77)
 		cfg.Nodes = 48
-		smallDS, smallDSErr = Build(cfg)
+		smallDS, smallDSErr = Build(testCtx, cfg)
 	})
 	if smallDSErr != nil {
 		t.Fatal(smallDSErr)

@@ -16,7 +16,7 @@ import (
 func TestRecordedSensorSourceDrivesAnalyses(t *testing.T) {
 	cfg := smallConfig(95)
 	cfg.Nodes = 60
-	ds, err := Build(cfg)
+	ds, err := Build(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestRecordedSensorSourceDrivesAnalyses(t *testing.T) {
 func TestPipelineEndToEndViaSyslog(t *testing.T) {
 	cfg := smallConfig(96)
 	cfg.Nodes = 150
-	ds, err := Build(cfg)
+	ds, err := Build(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +79,8 @@ func TestPipelineEndToEndViaSyslog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	faultsFromText := core.Cluster(ces, core.DefaultClusterConfig())
-	faultsFromMemory := core.Cluster(ds.CERecords, core.DefaultClusterConfig())
+	faultsFromText := mustCluster(ces, core.DefaultClusterConfig())
+	faultsFromMemory := mustCluster(ds.CERecords, core.DefaultClusterConfig())
 	if len(faultsFromText) != len(faultsFromMemory) {
 		t.Errorf("fault counts differ: text %d vs memory %d", len(faultsFromText), len(faultsFromMemory))
 	}

@@ -74,7 +74,7 @@ func TestSensorStoreAgreesWithModel(t *testing.T) {
 	// the recorded store reproduces the model's monthly means.
 	cfg := smallConfig(91)
 	cfg.Nodes = 40
-	ds, err := Build(cfg)
+	ds, err := Build(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,27 @@
+package exclusion
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+)
+
+// mustEncodeCE and mustCluster adapt the ctx+error APIs for test sites
+// where an error is simply a test bug.
+func mustEncodeCE(enc *mce.Encoder, ev faultmodel.CEEvent, i int) mce.CERecord {
+	rec, err := enc.EncodeCE(ev, i)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
+func mustCluster(records []mce.CERecord, cfg core.ClusterConfig) []core.Fault {
+	faults, err := core.Cluster(context.Background(), records, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return faults
+}

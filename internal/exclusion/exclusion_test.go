@@ -1,6 +1,7 @@
 package exclusion
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -13,16 +14,16 @@ func buildStream(t *testing.T, seed uint64, nodes int) ([]mce.CERecord, []core.F
 	t.Helper()
 	cfg := faultmodel.DefaultConfig(seed)
 	cfg.Nodes = nodes
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	enc := mce.NewEncoder(seed)
 	records := make([]mce.CERecord, len(pop.CEs))
 	for i, ev := range pop.CEs {
-		records[i] = enc.EncodeCE(ev, i)
+		records[i] = mustEncodeCE(enc, ev, i)
 	}
-	faults := core.Cluster(records, core.DefaultClusterConfig())
+	faults := mustCluster(records, core.DefaultClusterConfig())
 	return records, faults, simtime.MinuteOf(cfg.End)
 }
 

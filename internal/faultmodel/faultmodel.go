@@ -121,13 +121,15 @@ type CEEvent struct {
 	FaultID int32
 }
 
-// Cell decodes the event's DRAM coordinates.
-func (e CEEvent) Cell() topology.CellAddr {
+// Cell decodes the event's DRAM coordinates. An event carrying an
+// invalid address (a corrupted or hand-built stream) is an error for the
+// caller to handle, not a panic — bad data must never kill the process.
+func (e CEEvent) Cell() (topology.CellAddr, error) {
 	cell, _, err := topology.DecodePhysAddr(e.Node, e.Addr)
 	if err != nil {
-		panic(fmt.Sprintf("faultmodel: event with invalid address: %v", err))
+		return topology.CellAddr{}, fmt.Errorf("faultmodel: event with invalid address: %w", err)
 	}
-	return cell
+	return cell, nil
 }
 
 // DUECause classifies an uncorrectable event, matching the Fig 15 legend.

@@ -1,6 +1,7 @@
 package faultmodel
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"sort"
@@ -21,7 +22,7 @@ func smallConfig(seed uint64) Config {
 
 func mustGenerate(t *testing.T, cfg Config) *Population {
 	t.Helper()
-	pop, err := Generate(cfg)
+	pop, err := Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,10 @@ func TestEventsRespectFaultFootprint(t *testing.T) {
 	pop := mustGenerate(t, smallConfig(10))
 	for _, e := range pop.CEs {
 		f := pop.Faults[e.FaultID]
-		cell := e.Cell()
+		cell, err := e.Cell()
+		if err != nil {
+			t.Fatalf("Cell: %v", err)
+		}
 		if cell.Node != f.Anchor.Node || cell.Slot != f.Anchor.Slot ||
 			cell.Rank != f.Anchor.Rank || cell.Bank != f.Anchor.Bank {
 			t.Fatalf("error escaped fault bank footprint: %v vs %v", cell, f.Anchor)
@@ -355,7 +359,7 @@ func BenchmarkGenerateSmall(b *testing.B) {
 	cfg.Nodes = 100
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i)
-		if _, err := Generate(cfg); err != nil {
+		if _, err := Generate(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

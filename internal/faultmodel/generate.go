@@ -1,6 +1,7 @@
 package faultmodel
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -13,7 +14,12 @@ import (
 // Generate produces a ground-truth fault population, its correctable-error
 // stream and its uncorrectable-error stream, all sorted by time. The result
 // is fully determined by cfg (including cfg.Seed).
-func Generate(cfg Config) (*Population, error) {
+//
+// Cancelling ctx stops generation between shards (and within the long
+// emission loops) with ctx's error; a panic in any worker surfaces as a
+// *parallel.PanicError instead of crashing the process.
+func Generate(ctx context.Context, cfg Config) (pop *Population, err error) {
+	defer parallel.Recover(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -32,10 +38,16 @@ func Generate(cfg Config) (*Population, error) {
 	g.bitPerm = g.root.Derive("bit-perm").Perm(topology.CodeBitsPerWord)
 	g.buildSignatures()
 
-	pop := &Population{Config: cfg}
-	g.placeFaults(pop)
-	g.emitCEs(pop)
-	g.emitDUEs(pop)
+	pop = &Population{Config: cfg}
+	if err := g.placeFaults(ctx, pop); err != nil {
+		return nil, err
+	}
+	if err := g.emitCEs(ctx, pop); err != nil {
+		return nil, err
+	}
+	if err := g.emitDUEs(ctx, pop); err != nil {
+		return nil, err
+	}
 	return pop, nil
 }
 
@@ -107,7 +119,7 @@ func (g *generator) weakBit(s *simrand.Stream) int {
 // cross-node dependency — the first pathological node in node order is
 // the super-node — is resolved by a cheap pre-scan before the sharded
 // pass.
-func (g *generator) placeFaults(pop *Population) {
+func (g *generator) placeFaults(ctx context.Context, pop *Population) error {
 	cfg := g.cfg
 	// Normalize region weights so the system-wide faulty-node fraction
 	// stays at FaultyNodeFrac.
@@ -119,6 +131,9 @@ func (g *generator) placeFaults(pop *Population) {
 
 	if parallel.Workers(cfg.Parallelism) <= 1 {
 		for n := 0; n < cfg.Nodes; n++ {
+			if err := parallel.Poll(ctx, n); err != nil {
+				return err
+			}
 			pop.Faults = append(pop.Faults, g.faultsForNode(n, regionMean, func() bool {
 				// One machine dominates the study the way the paper's
 				// rack-31 node does (Fig 12a): the first pathological
@@ -133,12 +148,18 @@ func (g *generator) placeFaults(pop *Population) {
 	} else {
 		superNode := g.findSuperNode(regionMean)
 		perNode := make([][]Fault, cfg.Nodes)
-		parallel.ForEachChunk(cfg.Parallelism, cfg.Nodes, func(_, lo, hi int) {
+		err := parallel.ForEachChunkCtx(ctx, cfg.Parallelism, cfg.Nodes, func(ctx context.Context, _, lo, hi int) error {
 			for n := lo; n < hi; n++ {
-				n := n
+				if err := parallel.Poll(ctx, n-lo); err != nil {
+					return err
+				}
 				perNode[n] = g.faultsForNode(n, regionMean, func() bool { return n == superNode })
 			}
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 		total := 0
 		for _, fs := range perNode {
 			total += len(fs)
@@ -151,6 +172,7 @@ func (g *generator) placeFaults(pop *Population) {
 	for i := range pop.Faults {
 		pop.Faults[i].ID = i
 	}
+	return nil
 }
 
 // findSuperNode locates the first pathological node in node order (-1 if
@@ -277,7 +299,7 @@ func errorTimeFrac(s *simrand.Stream, decay float64) float64 {
 }
 
 // emitCEs generates every fault's correctable errors and sorts the stream.
-func (g *generator) emitCEs(pop *Population) {
+func (g *generator) emitCEs(ctx context.Context, pop *Population) error {
 	cfg := g.cfg
 	total := 0
 	for i := range pop.Faults {
@@ -295,11 +317,18 @@ func (g *generator) emitCEs(pop *Population) {
 		offsets[i+1] = offsets[i] + pop.Faults[i].NErrors
 	}
 	pop.CEs = make([]CEEvent, total)
-	parallel.ForEachChunk(cfg.Parallelism, len(pop.Faults), func(_, lo, hi int) {
+	err := parallel.ForEachChunkCtx(ctx, cfg.Parallelism, len(pop.Faults), func(ctx context.Context, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
+			if err := parallel.Poll(ctx, i-lo); err != nil {
+				return err
+			}
 			g.emitFaultCEs(&pop.Faults[i], pop.CEs[offsets[i]:offsets[i+1]])
 		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 	sort.Slice(pop.CEs, func(a, b int) bool {
 		ea, eb := &pop.CEs[a], &pop.CEs[b]
 		if ea.Minute != eb.Minute {
@@ -310,6 +339,7 @@ func (g *generator) emitCEs(pop *Population) {
 		}
 		return ea.Addr < eb.Addr
 	})
+	return nil
 }
 
 // emitFaultCEs fills out (sized to f.NErrors) with one fault's error
@@ -379,7 +409,7 @@ func (g *generator) emitFaultCEs(f *Fault, out []CEEvent) {
 // process at DUEsPerDIMMYear across the population's DIMMs, plus
 // escalations — faults whose heavy CE streams eventually defeat SEC-DED at
 // their own address. Escalated DUEs are the ones with CE precursors.
-func (g *generator) emitDUEs(pop *Population) {
+func (g *generator) emitDUEs(ctx context.Context, pop *Population) error {
 	cfg := g.cfg
 	g.emitEscalations(pop)
 	s := g.root.Derive("dues")
@@ -388,6 +418,9 @@ func (g *generator) emitDUEs(pop *Population) {
 	n := s.Poisson(mean)
 	span := int64(g.endMin - g.startMin)
 	for i := 0; i < n; i++ {
+		if err := parallel.Poll(ctx, i); err != nil {
+			return err
+		}
 		cell := topology.CellAddr{
 			Node: topology.NodeID(s.IntN(cfg.Nodes)),
 			Slot: topology.Slot(s.IntN(topology.SlotsPerNode)),
@@ -414,6 +447,7 @@ func (g *generator) emitDUEs(pop *Population) {
 		})
 	}
 	sort.Slice(pop.DUEs, func(a, b int) bool { return pop.DUEs[a].Minute < pop.DUEs[b].Minute })
+	return nil
 }
 
 // emitEscalations converts a NErrors-proportional fraction of faults into

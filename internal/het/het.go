@@ -10,6 +10,7 @@
 package het
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -182,14 +183,20 @@ var ambientRates = map[EventType]float64{
 // burstFactor, reproducing the spiky daily counts of Fig 15a. Events
 // before the firmware gate are suppressed.
 func GenerateAmbient(seed uint64, start, end time.Time, nodes int) []Record {
-	return GenerateAmbientWorkers(seed, start, end, nodes, 1)
+	recs, err := GenerateAmbientWorkers(context.Background(), seed, start, end, nodes, 1)
+	if err != nil {
+		// Unreachable: a background context never cancels and the inline
+		// path has no other error source.
+		panic(err)
+	}
+	return recs
 }
 
 // GenerateAmbientWorkers is GenerateAmbient sharded by day across a worker
 // pool (every day draws from its own derived stream, so day order is the
 // only cross-day coupling). The output is bit-identical at every worker
-// count; workers <= 1 runs inline.
-func GenerateAmbientWorkers(seed uint64, start, end time.Time, nodes, workers int) []Record {
+// count; workers <= 1 runs inline. Cancelling ctx aborts with its error.
+func GenerateAmbientWorkers(ctx context.Context, seed uint64, start, end time.Time, nodes, workers int) ([]Record, error) {
 	rng := simrand.NewStream(seed).Derive("het-ambient")
 	first := simtime.DayOf(start)
 	days := 0
@@ -197,11 +204,18 @@ func GenerateAmbientWorkers(seed uint64, start, end time.Time, nodes, workers in
 		days++
 	}
 	perDay := make([][]Record, days)
-	parallel.ForEachChunk(workers, days, func(_, lo, hi int) {
+	err := parallel.ForEachChunkCtx(ctx, workers, days, func(ctx context.Context, _, lo, hi int) error {
 		for d := lo; d < hi; d++ {
+			if err := parallel.Poll(ctx, d-lo); err != nil {
+				return err
+			}
 			perDay[d] = ambientForDay(rng, first+simtime.Day(d), end, nodes)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, recs := range perDay {
 		total += len(recs)
@@ -211,7 +225,7 @@ func GenerateAmbientWorkers(seed uint64, start, end time.Time, nodes, workers in
 		out = append(out, recs...)
 	}
 	sortRecords(out)
-	return out
+	return out, nil
 }
 
 // ambientForDay draws one day's ambient events from the day's derived

@@ -70,43 +70,62 @@ func ReadScan(r io.Reader) (simtime.Day, Snapshot, error) {
 	return day, snap, nil
 }
 
-// WriteScanSeries replays the history through the registry and writes one
-// scan per stride days (stride >= 1) via open, which supplies a writer for
-// each day (for example a file per scan). The first scan precedes any
-// replacement.
-func (h *History) WriteScanSeries(nodes, stride int, open func(day simtime.Day) (io.WriteCloser, error)) error {
+// ScanDays returns the days on which a scan series with the given stride
+// (>= 1) takes a scan: the replacement-window start, then every stride
+// days after it. The list is the unit of checkpointing for exports — each
+// day's scan is an independent, deterministic artifact.
+func (h *History) ScanDays(stride int) ([]simtime.Day, error) {
 	if stride < 1 {
-		return fmt.Errorf("inventory: stride must be >= 1")
-	}
-	reg := NewRegistry(nodes)
-	byDay := map[simtime.Day][]Replacement{}
-	for _, rep := range h.Replacements {
-		byDay[rep.Day] = append(byDay[rep.Day], rep)
+		return nil, fmt.Errorf("inventory: stride must be >= 1")
 	}
 	start := simtime.DayOf(simtime.ReplacementStart)
 	end := simtime.DayOf(simtime.ReplacementEnd)
-	emit := func(day simtime.Day) error {
+	days := []simtime.Day{start}
+	for day := start; day < end; day++ {
+		if offset := int(day-start) + 1; offset%stride == 0 {
+			days = append(days, day+1)
+		}
+	}
+	return days, nil
+}
+
+// WriteScanDay writes the single scan a series would take on day: the
+// registry state after every replacement strictly before day (Replacements
+// are recorded in day order, so a linear replay reproduces the series'
+// incremental state exactly). The first scan of a series therefore
+// precedes any replacement.
+func (h *History) WriteScanDay(w io.Writer, nodes int, day simtime.Day) error {
+	reg := NewRegistry(nodes)
+	start := simtime.DayOf(simtime.ReplacementStart)
+	for _, rep := range h.Replacements {
+		if rep.Day >= start && rep.Day < day {
+			reg.serials[rep.Location()] = rep.NewSerial
+		}
+	}
+	return WriteScan(w, day, reg.Snapshot())
+}
+
+// WriteScanSeries replays the history through the registry and writes one
+// scan per stride days (stride >= 1) via open, which supplies a writer for
+// each day (for example a file per scan). The first scan precedes any
+// replacement. The series is exactly ScanDays/WriteScanDay composed, so
+// per-day exports and the streaming series are byte-identical.
+func (h *History) WriteScanSeries(nodes, stride int, open func(day simtime.Day) (io.WriteCloser, error)) error {
+	days, err := h.ScanDays(stride)
+	if err != nil {
+		return err
+	}
+	for _, day := range days {
 		w, err := open(day)
 		if err != nil {
 			return err
 		}
-		if err := WriteScan(w, day, reg.Snapshot()); err != nil {
+		if err := h.WriteScanDay(w, nodes, day); err != nil {
 			w.Close()
 			return err
 		}
-		return w.Close()
-	}
-	if err := emit(start); err != nil {
-		return err
-	}
-	for day := start; day < end; day++ {
-		for _, rep := range byDay[day] {
-			reg.serials[rep.Location()] = rep.NewSerial
-		}
-		if offset := int(day-start) + 1; offset%stride == 0 {
-			if err := emit(day + 1); err != nil {
-				return err
-			}
+		if err := w.Close(); err != nil {
+			return err
 		}
 	}
 	return nil

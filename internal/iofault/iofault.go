@@ -1,0 +1,260 @@
+// Package iofault is the I/O-layer sibling of internal/corrupt: a
+// deterministic, seeded fault injector that wraps an atomicio.FS and
+// makes it misbehave the way real storage does under pressure — ENOSPC
+// with a short prefix landing first, transient read/write errors that
+// succeed on retry, and kill-points that simulate a process crash by
+// failing every operation from some point on.
+//
+// The differential crash tests (internal/dataset) use kill-points to
+// prove the checkpoint/resume contract: kill an export at an arbitrary
+// operation, resume, and the final dataset tree is byte-identical to an
+// uninterrupted run — with no torn file ever visible at a final path.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"syscall"
+
+	"repro/internal/atomicio"
+	"repro/internal/simrand"
+)
+
+// ErrKilled is the error every operation returns once a kill-point has
+// fired: the moral equivalent of the process dying mid-run.
+var ErrKilled = errors.New("iofault: simulated crash")
+
+// Config sets the fault rates. All probabilities are per-operation and
+// independent; zero disables a class.
+type Config struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// ENOSPC is the probability a write fails with syscall.ENOSPC after
+	// persisting a random prefix (the classic almost-full filesystem:
+	// some bytes land, then the device is out of space). Not transient:
+	// retries fail too until the injector is replaced.
+	ENOSPC float64
+	// TransientWrite is the probability a write fails with an error
+	// marked atomicio.ErrTransient, persisting nothing. A retry draws a
+	// fresh decision.
+	TransientWrite float64
+	// TransientRead is the probability a read (Open/ReadFile/Read) fails
+	// transiently.
+	TransientRead float64
+	// KillAfterOps simulates a crash: once the operation counter reaches
+	// this value every subsequent operation fails with ErrKilled, and a
+	// write in flight at the kill-point tears (a random prefix lands).
+	// <= 0 disables.
+	KillAfterOps int64
+}
+
+// FS wraps an inner atomicio.FS with fault injection. Safe for
+// concurrent use; decisions are drawn from one seeded stream in
+// operation order, so a single-goroutine caller sees a reproducible
+// fault sequence.
+type FS struct {
+	inner atomicio.FS
+	cfg   Config
+
+	mu     sync.Mutex
+	rng    *simrand.Stream
+	ops    int64
+	killed bool
+}
+
+// New wraps inner with the given fault configuration.
+func New(inner atomicio.FS, cfg Config) *FS {
+	return &FS{inner: inner, cfg: cfg, rng: simrand.NewStream(cfg.Seed).Derive("iofault")}
+}
+
+// Ops returns the number of operations observed so far (including the
+// one that tripped the kill-point). Counting an export with a fault-free
+// config measures the kill-point space for the crash tests.
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Killed reports whether the kill-point has fired.
+func (f *FS) Killed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed
+}
+
+// op counts one operation and reports whether the injector is (now)
+// dead. Every FS and file method calls it exactly once.
+func (f *FS) op() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed {
+		return ErrKilled
+	}
+	f.ops++
+	if f.cfg.KillAfterOps > 0 && f.ops >= f.cfg.KillAfterOps {
+		f.killed = true
+		return ErrKilled
+	}
+	return nil
+}
+
+// roll draws one seeded decision.
+func (f *FS) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Bool(p)
+}
+
+// prefixLen draws how much of a torn write lands: 0..n-1 bytes.
+func (f *FS) prefixLen(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.IntN(n)
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (atomicio.File, string, error) {
+	if err := f.op(); err != nil {
+		return nil, "", err
+	}
+	inner, name, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, "", err
+	}
+	return &file{fs: f, f: inner}, name, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	if f.roll(f.cfg.TransientRead) {
+		return nil, fmt.Errorf("iofault: open %s: %w", name, atomicio.ErrTransient)
+	}
+	rc, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &reader{fs: f, r: rc}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	if f.roll(f.cfg.TransientRead) {
+		return nil, fmt.Errorf("iofault: read %s: %w", name, atomicio.ErrTransient)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FS) ReadDir(name string) ([]fs.DirEntry, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file wraps a temp-file handle with write faults.
+type file struct {
+	fs *FS
+	f  atomicio.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	if err := w.fs.op(); err != nil {
+		// A crash tears the write: a random prefix lands before the
+		// process "dies". Only ever observable in a temp file.
+		n := w.fs.prefixLen(len(p))
+		if n > 0 {
+			n, _ = w.f.Write(p[:n])
+		}
+		return n, err
+	}
+	if w.fs.roll(w.fs.cfg.TransientWrite) {
+		return 0, fmt.Errorf("iofault: write: %w", atomicio.ErrTransient)
+	}
+	if w.fs.roll(w.fs.cfg.ENOSPC) {
+		n := w.fs.prefixLen(len(p))
+		if n > 0 {
+			n, _ = w.f.Write(p[:n])
+		}
+		return n, fmt.Errorf("iofault: write: %w", syscall.ENOSPC)
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) Sync() error {
+	if err := w.fs.op(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Close() error {
+	if err := w.fs.op(); err != nil {
+		// Crash with the handle open: the temp survives, torn.
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// reader wraps an open file with transient read faults.
+type reader struct {
+	fs *FS
+	r  io.ReadCloser
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	if err := r.fs.op(); err != nil {
+		return 0, err
+	}
+	if r.fs.roll(r.fs.cfg.TransientRead) {
+		return 0, fmt.Errorf("iofault: read: %w", atomicio.ErrTransient)
+	}
+	return r.r.Read(p)
+}
+
+func (r *reader) Close() error {
+	// Closing a read handle mutates nothing; not a counted op so kill
+	// points always land on state-changing operations.
+	return r.r.Close()
+}

@@ -1,0 +1,169 @@
+package iofault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/atomicio"
+)
+
+func ctxb() context.Context { return context.Background() }
+
+// writeOnce pushes one atomic write through fsys.
+func writeOnce(fsys atomicio.FS, path, content string) error {
+	_, err := atomicio.WriteFile(ctxb(), fsys, path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, content)
+		return werr
+	})
+	return err
+}
+
+func TestKillPointSemantics(t *testing.T) {
+	dir := t.TempDir()
+	// Count a fault-free write first to learn the op space.
+	probe := New(atomicio.OS, Config{Seed: 1})
+	if err := writeOnce(probe, filepath.Join(dir, "probe.txt"), "data\n"); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops()
+	if total < 4 { // create, write, sync, close, rename, syncdir at minimum
+		t.Fatalf("suspiciously few ops counted: %d", total)
+	}
+
+	for kill := int64(1); kill <= total; kill++ {
+		fsys := New(atomicio.OS, Config{Seed: 1, KillAfterOps: kill})
+		sub := filepath.Join(dir, "kill")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		err := writeOnce(fsys, filepath.Join(sub, "out.txt"), "data\n")
+		if !errors.Is(err, ErrKilled) {
+			t.Fatalf("kill=%d: err = %v, want ErrKilled", kill, err)
+		}
+		if !fsys.Killed() {
+			t.Fatalf("kill=%d: Killed() = false after a killed write", kill)
+		}
+		// Post-kill, every operation is dead — the process is gone.
+		if _, rerr := fsys.ReadFile(filepath.Join(sub, "out.txt")); !errors.Is(rerr, ErrKilled) {
+			t.Fatalf("kill=%d: op after kill = %v, want ErrKilled", kill, rerr)
+		}
+		// The invariant: the final path either holds the COMPLETE file
+		// (the crash hit after the rename committed) or does not exist.
+		// A partial file at the final path is never acceptable.
+		if data, serr := os.ReadFile(filepath.Join(sub, "out.txt")); serr == nil {
+			if string(data) != "data\n" {
+				t.Fatalf("kill=%d: torn file at final path: %q", kill, data)
+			}
+		} else if !errors.Is(serr, os.ErrNotExist) {
+			t.Fatal(serr)
+		}
+		entries, rerr := os.ReadDir(sub)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+		for _, e := range entries {
+			if e.Name() != "out.txt" && !atomicio.IsTemp(e.Name()) {
+				t.Fatalf("kill=%d: non-temp leftover %s", kill, e.Name())
+			}
+		}
+		if err := os.RemoveAll(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKillDeterministic(t *testing.T) {
+	run := func() (int64, bool, error) {
+		dir := t.TempDir()
+		fsys := New(atomicio.OS, Config{Seed: 9, KillAfterOps: 5})
+		err := writeOnce(fsys, filepath.Join(dir, "out.txt"), strings.Repeat("line\n", 100))
+		return fsys.Ops(), fsys.Killed(), err
+	}
+	ops1, killed1, err1 := run()
+	ops2, killed2, err2 := run()
+	if ops1 != ops2 || killed1 != killed2 || (err1 == nil) != (err2 == nil) {
+		t.Errorf("same seed, different behaviour: (%d,%v,%v) vs (%d,%v,%v)",
+			ops1, killed1, err1, ops2, killed2, err2)
+	}
+}
+
+func TestTransientWriteIsRetryable(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(atomicio.OS, Config{Seed: 3, TransientWrite: 1})
+	err := writeOnce(fsys, filepath.Join(dir, "out.txt"), "data\n")
+	if err == nil {
+		t.Fatal("TransientWrite=1 produced no error")
+	}
+	if !atomicio.IsTransient(err) {
+		t.Errorf("injected transient write not classified transient: %v", err)
+	}
+}
+
+func TestENOSPCIsNotTransient(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(atomicio.OS, Config{Seed: 3, ENOSPC: 1})
+	err := writeOnce(fsys, filepath.Join(dir, "out.txt"), "a reasonably long line of data\n")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if atomicio.IsTransient(err) {
+		t.Errorf("ENOSPC classified transient: %v", err)
+	}
+	// The failed write never surfaces at the final path.
+	if _, serr := os.Stat(filepath.Join(dir, "out.txt")); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("final path exists after ENOSPC (err=%v)", serr)
+	}
+}
+
+func TestTransientReadRetrySucceeds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// With rate < 1 and a bounded retry, some attempt draws a clean read.
+	fsys := New(atomicio.OS, Config{Seed: 5, TransientRead: 0.5})
+	policy := atomicio.RetryPolicy{Attempts: 20, Sleep: func(d time.Duration) {}}
+	var data []byte
+	err := policy.Do(ctxb(), func() error {
+		var rerr error
+		data, rerr = fsys.ReadFile(path)
+		return rerr
+	})
+	if err != nil {
+		t.Fatalf("retry never recovered: %v", err)
+	}
+	if string(data) != "payload" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestRetryDefeatsTransientWrites(t *testing.T) {
+	// End-to-end: a flaky-but-not-dead FS plus the production retry policy
+	// still lands a complete, correct file.
+	dir := t.TempDir()
+	fsys := New(atomicio.OS, Config{Seed: 11, TransientWrite: 0.3})
+	policy := atomicio.RetryPolicy{Attempts: 30, Sleep: func(d time.Duration) {}}
+	content := strings.Repeat("record\n", 50)
+	info, err := atomicio.WriteFileRetry(ctxb(), fsys, filepath.Join(dir, "out.txt"), policy, func(w io.Writer) error {
+		_, werr := io.WriteString(w, content)
+		return werr
+	})
+	if err != nil {
+		t.Fatalf("retry exhausted: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != content || info.Size != int64(len(content)) {
+		t.Errorf("content mismatch after retried write (size %d)", info.Size)
+	}
+}

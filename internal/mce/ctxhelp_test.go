@@ -1,0 +1,23 @@
+package mce
+
+import (
+	"repro/internal/faultmodel"
+)
+
+// mustEncodeCE and mustEncodeDUE adapt the error-returning encoders for
+// test sites where an encode failure is simply a test bug.
+func mustEncodeCE(enc *Encoder, ev faultmodel.CEEvent, i int) CERecord {
+	rec, err := enc.EncodeCE(ev, i)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}
+
+func mustEncodeDUE(enc *Encoder, ev faultmodel.DUEEvent) DUERecord {
+	rec, err := enc.EncodeDUE(ev)
+	if err != nil {
+		panic(err)
+	}
+	return rec
+}

@@ -113,9 +113,13 @@ func (e *Encoder) second(node topology.NodeID, m simtime.Minute, addr topology.P
 
 // EncodeCE converts a fault-model CE event into the record the OS sees.
 // The index i distinguishes repeated errors at the same coordinates within
-// one minute (it only perturbs the second-of-minute).
-func (e *Encoder) EncodeCE(ev faultmodel.CEEvent, i int) CERecord {
-	cell := ev.Cell()
+// one minute (it only perturbs the second-of-minute). An event with an
+// invalid address is an error, not a panic.
+func (e *Encoder) EncodeCE(ev faultmodel.CEEvent, i int) (CERecord, error) {
+	cell, err := ev.Cell()
+	if err != nil {
+		return CERecord{}, fmt.Errorf("mce: encode CE: %w", err)
+	}
 	scrambled := e.scrambleRow(cell.Row)
 	reported := cell
 	reported.Row = scrambled
@@ -132,16 +136,16 @@ func (e *Encoder) EncodeCE(ev faultmodel.CEEvent, i int) CERecord {
 		BitPos:   topology.LineBitPosition(cell.Col, int(ev.Bit)) | e.vendorBits(ev.Node, cell.Slot)<<10,
 		Addr:     topology.EncodePhysAddr(reported, 0),
 		Syndrome: syndrome,
-	}
+	}, nil
 }
 
 // EncodeDUE converts a fault-model DUE event into a machine-check record.
 // Machine-check-exception DUEs are fatal; patrol-scrub ECC detections are
-// not.
-func (e *Encoder) EncodeDUE(ev faultmodel.DUEEvent) DUERecord {
+// not. An event with an invalid address is an error, not a panic.
+func (e *Encoder) EncodeDUE(ev faultmodel.DUEEvent) (DUERecord, error) {
 	cell, _, err := topology.DecodePhysAddr(ev.Node, ev.Addr)
 	if err != nil {
-		panic(fmt.Sprintf("mce: DUE with invalid address: %v", err))
+		return DUERecord{}, fmt.Errorf("mce: DUE with invalid address: %w", err)
 	}
 	reported := cell
 	reported.Row = e.scrambleRow(cell.Row)
@@ -151,7 +155,7 @@ func (e *Encoder) EncodeDUE(ev faultmodel.DUEEvent) DUERecord {
 		Addr:  topology.EncodePhysAddr(reported, 0),
 		Cause: ev.Cause,
 		Fatal: ev.Cause == faultmodel.CauseMachineCheck,
-	}
+	}, nil
 }
 
 // ValidateRecord cross-checks the internal consistency of a CE record the

@@ -1,6 +1,7 @@
 package mce
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/faultmodel"
@@ -21,7 +22,7 @@ func sampleEvent() faultmodel.CEEvent {
 
 func TestEncodeCEFields(t *testing.T) {
 	enc := NewEncoder(1)
-	r := enc.EncodeCE(sampleEvent(), 0)
+	r := mustEncodeCE(enc, sampleEvent(), 0)
 	if r.Node != 100 || r.Slot != 9 || r.Socket != 1 || r.Rank != 1 || r.Bank != 5 || r.Col != 77 {
 		t.Errorf("coordinate fields wrong: %+v", r)
 	}
@@ -43,8 +44,8 @@ func TestEncodeCEFields(t *testing.T) {
 func TestRowScrambleHidesRowButIsStable(t *testing.T) {
 	enc := NewEncoder(1)
 	ev := sampleEvent()
-	r1 := enc.EncodeCE(ev, 0)
-	r2 := enc.EncodeCE(ev, 1)
+	r1 := mustEncodeCE(enc, ev, 0)
+	r2 := mustEncodeCE(enc, ev, 1)
 	// Stable: same (node, row) yields the same scramble and address.
 	if r1.RowRaw != r2.RowRaw || r1.Addr != r2.Addr {
 		t.Error("row scramble not stable across repeated errors")
@@ -56,7 +57,7 @@ func TestRowScrambleHidesRowButIsStable(t *testing.T) {
 		cell := topology.CellAddr{Node: 100, Slot: 9, Rank: 1, Bank: 5, Row: row, Col: 77}
 		ev := sampleEvent()
 		ev.Addr = topology.EncodePhysAddr(cell, 0)
-		if enc.EncodeCE(ev, 0).RowRaw == row {
+		if mustEncodeCE(enc, ev, 0).RowRaw == row {
 			hits++
 		}
 	}
@@ -76,10 +77,10 @@ func TestRowScrambleHidesRowButIsStable(t *testing.T) {
 func TestVendorBitsConsistent(t *testing.T) {
 	enc := NewEncoder(1)
 	ev := sampleEvent()
-	r1 := enc.EncodeCE(ev, 0)
+	r1 := mustEncodeCE(enc, ev, 0)
 	ev2 := ev
 	ev2.Minute += 10000
-	r2 := enc.EncodeCE(ev2, 3)
+	r2 := mustEncodeCE(enc, ev2, 3)
 	if r1.BitPos>>9 != r2.BitPos>>9 {
 		t.Error("vendor bits not consistent for same (node, slot)")
 	}
@@ -94,7 +95,7 @@ func TestVendorBitsConsistent(t *testing.T) {
 		cell := topology.CellAddr{Node: 100, Slot: s, Rank: 0, Bank: 0, Row: 0, Col: 0}
 		ev := sampleEvent()
 		ev.Addr = topology.EncodePhysAddr(cell, 0)
-		if enc.EncodeCE(ev, 0).BitPos>>9 != base {
+		if mustEncodeCE(enc, ev, 0).BitPos>>9 != base {
 			varies = true
 		}
 	}
@@ -106,11 +107,11 @@ func TestVendorBitsConsistent(t *testing.T) {
 func TestEncoderDeterministicAcrossInstances(t *testing.T) {
 	a := NewEncoder(9)
 	b := NewEncoder(9)
-	if a.EncodeCE(sampleEvent(), 0) != b.EncodeCE(sampleEvent(), 0) {
+	if mustEncodeCE(a, sampleEvent(), 0) != mustEncodeCE(b, sampleEvent(), 0) {
 		t.Error("same-seed encoders disagree")
 	}
 	c := NewEncoder(10)
-	if a.EncodeCE(sampleEvent(), 0).RowRaw == c.EncodeCE(sampleEvent(), 0).RowRaw {
+	if mustEncodeCE(a, sampleEvent(), 0).RowRaw == mustEncodeCE(c, sampleEvent(), 0).RowRaw {
 		t.Log("note: row scramble collision across seeds (possible but unlikely)")
 	}
 }
@@ -125,12 +126,12 @@ func TestEncodeDUE(t *testing.T) {
 		Bits:   []uint8{3, 40},
 		Cause:  faultmodel.CauseMachineCheck,
 	}
-	r := enc.EncodeDUE(due)
+	r := mustEncodeDUE(enc, due)
 	if r.Node != 5 || r.Cause != faultmodel.CauseMachineCheck || !r.Fatal {
 		t.Errorf("DUE record wrong: %+v", r)
 	}
 	due.Cause = faultmodel.CauseUncorrectableECC
-	if enc.EncodeDUE(due).Fatal {
+	if mustEncodeDUE(enc, due).Fatal {
 		t.Error("patrol-scrub DUE should not be fatal")
 	}
 }
@@ -153,7 +154,7 @@ func TestVerifyClassifications(t *testing.T) {
 func TestGeneratedPopulationClassifiesCleanly(t *testing.T) {
 	cfg := faultmodel.DefaultConfig(3)
 	cfg.Nodes = 150
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

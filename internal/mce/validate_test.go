@@ -9,7 +9,7 @@ import (
 
 func TestValidateRecordAcceptsEncoderOutput(t *testing.T) {
 	enc := NewEncoder(5)
-	r := enc.EncodeCE(sampleEvent(), 0)
+	r := mustEncodeCE(enc, sampleEvent(), 0)
 	if err := ValidateRecord(r); err != nil {
 		t.Fatalf("encoder output rejected: %v", err)
 	}
@@ -17,7 +17,7 @@ func TestValidateRecordAcceptsEncoderOutput(t *testing.T) {
 
 func TestValidateRecordRejectsCorruption(t *testing.T) {
 	enc := NewEncoder(5)
-	good := enc.EncodeCE(sampleEvent(), 0)
+	good := mustEncodeCE(enc, sampleEvent(), 0)
 
 	corruptions := map[string]func(*CERecord){
 		"socket-flip":    func(r *CERecord) { r.Socket = 1 - r.Socket },

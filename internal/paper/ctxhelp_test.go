@@ -1,0 +1,17 @@
+package paper
+
+import (
+	"context"
+
+	astra "repro"
+)
+
+// mustAnalyze adapts the ctx+error analysis API for test sites where an
+// error is simply a test bug.
+func mustAnalyze(s *astra.Study) *astra.Results {
+	r, err := s.Analyze(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,11 +25,11 @@ func TestClaimsWellFormed(t *testing.T) {
 }
 
 func TestCompareSmallScale(t *testing.T) {
-	study, err := astra.Run(astra.Options{Seed: 1, Nodes: 600})
+	study, err := astra.Run(context.Background(), astra.Options{Seed: 1, Nodes: 600})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := Compare(study, study.Analyze())
+	rows := Compare(study, mustAnalyze(study))
 	if len(rows) != len(Claims()) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(Claims()))
 	}
@@ -52,11 +53,11 @@ func TestCompareFullScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale comparison skipped in -short mode")
 	}
-	study, err := astra.Run(astra.Options{Seed: 1, Nodes: astra.FullScale})
+	study, err := astra.Run(context.Background(), astra.Options{Seed: 1, Nodes: astra.FullScale})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := Compare(study, study.Analyze())
+	rows := Compare(study, mustAnalyze(study))
 	var failed []string
 	for _, row := range rows {
 		if !row.Pass {

@@ -1,0 +1,207 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachChunkCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		called := atomic.Bool{}
+		err := ForEachChunkCtx(ctx, workers, 100, func(context.Context, int, int, int) error {
+			called.Store(true)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if called.Load() {
+			t.Errorf("workers=%d: shard ran under a pre-cancelled context", workers)
+		}
+	}
+}
+
+func TestForEachChunkCtxPollStopsShards(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var iters atomic.Int64
+	err := ForEachChunkCtx(ctx, 4, 1<<20, func(ctx context.Context, shard, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := Poll(ctx, i); err != nil {
+				return err
+			}
+			if iters.Add(1) == 100 {
+				cancel()
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// Each shard stops within one Poll stride of the cancel instead of
+	// finishing its whole range.
+	if n := iters.Load(); n >= 1<<20 {
+		t.Errorf("cancellation did not stop the loops: %d iterations", n)
+	}
+}
+
+func TestForEachChunkCtxFirstErrorInShardOrder(t *testing.T) {
+	// Shards 1 and 3 fail; shard 1's error must win at every worker count —
+	// the determinism contract extended to failures.
+	for _, workers := range []int{2, 4, 8} {
+		err := ForEachChunkCtx(context.Background(), workers, 64, func(_ context.Context, shard, lo, hi int) error {
+			if shard == 1 || shard == 3 {
+				return errors.New("shard " + string(rune('0'+shard)) + " failed")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "shard 1 failed" {
+			t.Errorf("workers=%d: err = %v, want shard 1's error", workers, err)
+		}
+	}
+}
+
+func TestForEachChunkCtxPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEachChunkCtx(context.Background(), workers, 16, func(_ context.Context, shard, lo, hi int) error {
+			if lo <= 5 && 5 < hi {
+				panic("index 5 exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "index 5 exploded" {
+			t.Errorf("workers=%d: Value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "ctx_test.go") {
+			t.Errorf("workers=%d: captured stack does not point at the panic site:\n%s", workers, pe.Stack)
+		}
+	}
+}
+
+func TestForEachChunkRethrowsWorkerPanic(t *testing.T) {
+	defer func() {
+		v := recover()
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %v, want *PanicError", v)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("Value = %v", pe.Value)
+		}
+	}()
+	ForEachChunk(4, 16, func(shard, lo, hi int) {
+		if shard == 2 {
+			panic("boom")
+		}
+	})
+	t.Fatal("worker panic was swallowed")
+}
+
+func TestRecoverPreservesWorkerStack(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		ForEachChunk(4, 16, func(shard, lo, hi int) {
+			if shard == 1 {
+				panic("deep failure")
+			}
+		})
+		return nil
+	}
+	err := run()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	// The stack must be the worker's (where the panic happened), not the
+	// caller's recover site.
+	if !strings.Contains(string(pe.Stack), "ctx_test.go") {
+		t.Errorf("stack lost the panic site:\n%s", pe.Stack)
+	}
+}
+
+func TestRunCtxFirstErrorInTaskOrder(t *testing.T) {
+	e2 := errors.New("task 2")
+	e5 := errors.New("task 5")
+	fail := func(err error) func(context.Context) error {
+		return func(context.Context) error { return err }
+	}
+	ok := func(context.Context) error { return nil }
+	// With a single worker, execution is in task order and task 2 fails
+	// first; later tasks never start.
+	var ran atomic.Int32
+	count := func(context.Context) error { ran.Add(1); return nil }
+	err := RunCtx(context.Background(), 1, count, count, fail(e2), count, count, fail(e5))
+	if !errors.Is(err, e2) {
+		t.Errorf("serial: err = %v, want task 2's", err)
+	}
+	if ran.Load() != 2 {
+		t.Errorf("serial: %d tasks ran after the failure point", ran.Load())
+	}
+	// Concurrently, whichever failure is observed, the reported error is
+	// the first in task order among tasks that ran.
+	err = RunCtx(context.Background(), 4, ok, ok, fail(e2), ok, ok, fail(e5))
+	if !errors.Is(err, e2) && !errors.Is(err, e5) {
+		t.Errorf("parallel: err = %v, want a task error", err)
+	}
+}
+
+func TestRunCtxCancelSkipsUnstarted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	tasks := make([]func(context.Context) error, 64)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(context.Context) error {
+			ran.Add(1)
+			if i == 0 {
+				cancel()
+			}
+			return nil
+		}
+	}
+	err := RunCtx(ctx, 1, tasks...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if ran.Load() == 64 {
+		t.Error("cancellation skipped nothing")
+	}
+}
+
+func TestRunCtxPanicBecomesError(t *testing.T) {
+	err := RunCtx(context.Background(), 4,
+		func(context.Context) error { return nil },
+		func(context.Context) error { panic("task died") },
+	)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "task died" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+}
+
+func TestPollStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Poll(ctx, 1); err != nil {
+		t.Error("Poll checked the context off-stride")
+	}
+	if err := Poll(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Error("Poll missed the context on-stride")
+	}
+	if err := Poll(ctx, 8192); !errors.Is(err, context.Canceled) {
+		t.Error("Poll missed the context at the stride boundary")
+	}
+}

@@ -9,12 +9,64 @@
 // merged in range order), so the result of any helper is a pure function
 // of its inputs — never of the scheduler. See DESIGN.md §8 for the
 // system-wide argument.
+//
+// Crash safety (DESIGN.md §10) adds two properties on top:
+//
+//   - Cancellation: the Ctx variants take a context.Context and stop
+//     scheduling new work once it is done, returning ctx.Err(). Long per-
+//     shard loops are expected to poll the context themselves.
+//   - Panic isolation: a panic on a worker goroutine never kills the
+//     process. The Ctx variants return it as a *PanicError carrying the
+//     worker's stack; the infallible variants re-throw it on the calling
+//     goroutine, where an enclosing Recover (at the Generate / Build /
+//     Cluster / Analyze boundary) converts it to an error.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// PanicError is a worker panic captured as an error: the recovered value
+// plus the stack of the goroutine that panicked.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value and the captured worker stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Recover converts an in-flight panic into a *PanicError assigned to
+// *errp. Use it as `defer parallel.Recover(&err)` at a pipeline-stage
+// boundary so a panic anywhere below — this goroutine or a re-thrown
+// worker panic — surfaces as an ordinary error instead of crashing the
+// process. A panic that is already a *PanicError keeps its original
+// worker stack.
+func Recover(errp *error) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	if pe, ok := v.(*PanicError); ok {
+		*errp = pe
+		return
+	}
+	*errp = &PanicError{Value: v, Stack: debug.Stack()}
+}
+
+// capture runs fn on the current goroutine, converting a panic into a
+// *PanicError (preserving the original capture when fn re-threw one).
+func capture(fn func() error) (err error) {
+	defer Recover(&err)
+	return fn()
+}
 
 // Workers normalizes a requested parallelism degree: values <= 0 become
 // runtime.GOMAXPROCS(0), everything else is returned unchanged.
@@ -46,30 +98,59 @@ func chunks(n, workers int) [][2]int {
 	return out
 }
 
-// ForEachChunk partitions [0, n) into contiguous ranges and calls
-// fn(shard, lo, hi) for each, concurrently across up to workers
+// ForEachChunkCtx partitions [0, n) into contiguous ranges and calls
+// fn(ctx, shard, lo, hi) for each, concurrently across up to workers
 // goroutines. shard is the dense chunk index (0-based, in range order) so
 // callers can write per-shard partial results into a slice and merge them
-// in shard order afterwards. workers <= 1 calls fn(0, 0, n) inline.
-func ForEachChunk(workers, n int, fn func(shard, lo, hi int)) {
+// in shard order afterwards. workers <= 1 calls fn(ctx, 0, 0, n) inline.
+//
+// The first error in shard order wins (deterministic at every worker
+// count); a worker panic is returned as a *PanicError. When ctx is done
+// before any shard fails, ctx.Err() is returned. Shards all start
+// together, so cancellation mid-shard relies on fn polling ctx.
+func ForEachChunkCtx(ctx context.Context, workers, n int, fn func(ctx context.Context, shard, lo, hi int) error) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	workers = Workers(workers)
 	if workers <= 1 {
-		fn(0, 0, n)
-		return
+		return capture(func() error { return fn(ctx, 0, 0, n) })
 	}
 	ranges := chunks(n, workers)
+	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
 	wg.Add(len(ranges))
 	for shard, r := range ranges {
 		go func(shard, lo, hi int) {
 			defer wg.Done()
-			fn(shard, lo, hi)
+			errs[shard] = capture(func() error { return fn(ctx, shard, lo, hi) })
 		}(shard, r[0], r[1])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// ForEachChunk is the infallible ForEachChunkCtx: no cancellation, and a
+// worker panic is re-thrown on the calling goroutine (as a *PanicError
+// carrying the worker's stack) instead of crashing the process from a
+// goroutine no recover can reach. Pipeline entry points recover it via
+// parallel.Recover.
+func ForEachChunk(workers, n int, fn func(shard, lo, hi int)) {
+	err := ForEachChunkCtx(context.Background(), workers, n, func(_ context.Context, shard, lo, hi int) error {
+		fn(shard, lo, hi)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
 }
 
 // NumChunks reports how many shards ForEachChunk will use for n items at
@@ -85,28 +166,82 @@ func NumChunks(workers, n int) int {
 	return len(chunks(n, workers))
 }
 
-// Run executes the given tasks with at most workers running concurrently.
-// workers <= 1 runs them inline in slice order. Tasks must synchronize
-// only through their own disjoint outputs (the helper adds the final
-// happens-before edge when it returns).
-func Run(workers int, tasks ...func()) {
+// RunCtx executes the given tasks with at most workers running
+// concurrently. workers <= 1 runs them inline in slice order. Tasks must
+// synchronize only through their own disjoint outputs (the helper adds
+// the final happens-before edge when it returns).
+//
+// Once any task fails (or ctx is done) tasks that have not yet started are
+// skipped; already-running tasks are waited for. The reported error is the
+// first failure in task order among the tasks that ran, falling back to
+// ctx.Err(); a task panic is returned as a *PanicError.
+func RunCtx(ctx context.Context, workers int, tasks ...func(ctx context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers = Workers(workers)
 	if workers <= 1 {
 		for _, t := range tasks {
-			t()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := capture(func() error { return t(ctx) }); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
+	errs := make([]error, len(tasks))
+	ran := make([]bool, len(tasks))
+	var failed atomic.Bool
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	wg.Add(len(tasks))
-	for _, t := range tasks {
-		go func(t func()) {
+	for i, t := range tasks {
+		go func(i int, t func(ctx context.Context) error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			t()
-		}(t)
+			if failed.Load() || ctx.Err() != nil {
+				return
+			}
+			ran[i] = true
+			if err := capture(func() error { return t(ctx) }); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}(i, t)
 	}
 	wg.Wait()
+	for i, err := range errs {
+		if err != nil && ran[i] {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Run is the infallible RunCtx: no cancellation, every task runs, and a
+// task panic is re-thrown on the calling goroutine as a *PanicError (see
+// ForEachChunk).
+func Run(workers int, tasks ...func()) {
+	wrapped := make([]func(ctx context.Context) error, len(tasks))
+	for i, t := range tasks {
+		t := t
+		wrapped[i] = func(context.Context) error { t(); return nil }
+	}
+	if err := RunCtx(context.Background(), workers, wrapped...); err != nil {
+		panic(err)
+	}
+}
+
+// Poll returns ctx.Err() every strideth call site iteration: callers in
+// hot loops write `if err := parallel.Poll(ctx, i); err != nil { return
+// err }` with i their loop index, paying one atomic-free modulo per
+// iteration and a context check every 8192.
+func Poll(ctx context.Context, i int) error {
+	if i&8191 != 0 {
+		return nil
+	}
+	return ctx.Err()
 }

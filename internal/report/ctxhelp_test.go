@@ -1,0 +1,18 @@
+package report
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/mce"
+)
+
+// mustCluster adapts the ctx+error clustering API for test sites where an
+// error is simply a test bug.
+func mustCluster(records []mce.CERecord, cfg core.ClusterConfig) []core.Fault {
+	faults, err := core.Cluster(context.Background(), records, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return faults
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,11 +77,11 @@ func TestSortedKeys(t *testing.T) {
 func TestAllFiguresRender(t *testing.T) {
 	cfg := dataset.DefaultConfig(71)
 	cfg.Nodes = 200
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	faults := core.Cluster(ds.CERecords, core.DefaultClusterConfig())
+	faults := mustCluster(ds.CERecords, core.DefaultClusterConfig())
 	outputs := map[string]string{
 		"Table1":   Table1(ds.Inventory, cfg.Nodes),
 		"Figure2":  Figure2(ds.Env, cfg.Nodes, cfg.Seed),
@@ -120,11 +121,11 @@ func TestAllFiguresRender(t *testing.T) {
 func TestSVGFigures(t *testing.T) {
 	cfg := dataset.DefaultConfig(72)
 	cfg.Nodes = 150
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	faults := core.Cluster(ds.CERecords, core.DefaultClusterConfig())
+	faults := mustCluster(ds.CERecords, core.DefaultClusterConfig())
 	breakdown := core.BreakdownByMode(ds.CERecords, faults)
 	perNode := core.AnalyzePerNode(ds.CERecords, faults, cfg.Nodes)
 	structures := core.AnalyzeStructures(ds.CERecords, faults)

@@ -1,6 +1,7 @@
 package retire
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/faultmodel"
@@ -99,7 +100,7 @@ func TestPageBudget(t *testing.T) {
 func TestFilterReducesHeavyFaultStream(t *testing.T) {
 	cfg := faultmodel.DefaultConfig(11)
 	cfg.Nodes = 200
-	pop, err := faultmodel.Generate(cfg)
+	pop, err := faultmodel.Generate(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

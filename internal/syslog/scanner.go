@@ -93,6 +93,11 @@ type Scanner struct {
 	maxSeen   time.Time
 	watermark time.Time
 	eof       bool
+
+	// consumed is the byte offset just past the last line the split
+	// function handed to Scan — the resume point a Checkpoint captures.
+	// The bufio read-ahead beyond it is invisible to this count.
+	consumed int64
 }
 
 // NewScanner wraps a reader with the zero-tolerance configuration. Lines
@@ -106,10 +111,98 @@ func NewScannerConfig(r io.Reader, cfg ScanConfig) *Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	s := &Scanner{sc: sc, cfg: cfg}
+	sc.Split(func(data []byte, atEOF bool) (advance int, token []byte, err error) {
+		advance, token, err = bufio.ScanLines(data, atEOF)
+		s.consumed += int64(advance)
+		return advance, token, err
+	})
 	if cfg.DedupWindow > 0 {
 		s.recent = make([][]byte, 0, cfg.DedupWindow)
 	}
 	return s
+}
+
+// Offset returns the byte offset just past the last input line consumed
+// by Scan. Input the scanner has read ahead but not yet handed to Scan is
+// not counted, so restarting a new Scanner at this offset (with the state
+// from Checkpoint) continues the record stream exactly.
+func (s *Scanner) Offset() int64 { return s.consumed }
+
+// Checkpoint is a resumable snapshot of a Scanner: the input offset plus
+// the tolerance state (dedup ring, reorder buffer, pending emits) that
+// spans lines. Taken between Scan calls, it lets a restarted process
+// reopen the log, seek to Offset, and Restore to produce the identical
+// remaining record sequence — including suppressions and resequencing
+// decisions that depend on lines before the offset.
+type Checkpoint struct {
+	// Offset is the resume position in the input, as per (*Scanner).Offset.
+	Offset int64
+	// Stats is the accounting at the checkpoint.
+	Stats ScanStats
+
+	// recent/rpos snapshot the dedup ring; pending the reorder heap;
+	// ready/maxSeen/watermark the emit queue and its time cursors.
+	recent    [][]byte
+	rpos      int
+	pending   []Parsed
+	ready     []Parsed
+	maxSeen   time.Time
+	watermark time.Time
+}
+
+// Checkpoint snapshots the scanner between Scan calls. The snapshot is a
+// deep copy: further scanning does not mutate it.
+func (s *Scanner) Checkpoint() Checkpoint {
+	cp := Checkpoint{
+		Offset:    s.consumed,
+		Stats:     s.stats,
+		rpos:      s.rpos,
+		maxSeen:   s.maxSeen,
+		watermark: s.watermark,
+	}
+	if len(s.recent) > 0 {
+		cp.recent = make([][]byte, len(s.recent))
+		for i, b := range s.recent {
+			cp.recent[i] = append([]byte(nil), b...)
+		}
+	}
+	if len(s.pending) > 0 {
+		cp.pending = append([]Parsed(nil), s.pending...)
+	}
+	if s.rhead < len(s.ready) {
+		cp.ready = append([]Parsed(nil), s.ready[s.rhead:]...)
+	}
+	return cp
+}
+
+// Restore loads a Checkpoint into a freshly constructed Scanner whose
+// reader is positioned at cp.Offset. The scanner must have the same
+// ScanConfig as the one that produced the checkpoint and must not have
+// scanned yet; subsequent Scan calls yield the same records the original
+// scanner would have yielded past the checkpoint.
+func (s *Scanner) Restore(cp Checkpoint) error {
+	if s.consumed != 0 || s.stats.Lines != 0 {
+		return errors.New("syslog: Restore on a scanner that has already scanned")
+	}
+	s.consumed = cp.Offset
+	s.stats = cp.Stats
+	s.rpos = cp.rpos
+	s.maxSeen = cp.maxSeen
+	s.watermark = cp.watermark
+	if len(cp.recent) > 0 {
+		s.recent = make([][]byte, len(cp.recent))
+		for i, b := range cp.recent {
+			s.recent[i] = append([]byte(nil), b...)
+		}
+	}
+	// A copy of a heap preserves the heap invariant; no re-push needed.
+	if len(cp.pending) > 0 {
+		s.pending = append(recHeap(nil), cp.pending...)
+	}
+	if len(cp.ready) > 0 {
+		s.ready = append([]Parsed(nil), cp.ready...)
+	}
+	return nil
 }
 
 // Scan advances to the next well-formed record (CE, DUE or HET), skipping

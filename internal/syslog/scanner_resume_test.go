@@ -1,0 +1,188 @@
+package syslog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// resumeLog builds a log that exercises every piece of cross-line state a
+// checkpoint must carry: duplicates at varying distances (dedup ring,
+// including wrap-around), out-of-order timestamps (reorder heap), kernel
+// noise, and a malformed line.
+func resumeLog(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	base := sampleCE().Time
+	ce := func(d time.Duration, addr uint64) string {
+		r := sampleCE()
+		r.Time = base.Add(d)
+		r.Addr = topology.PhysAddr(addr)
+		return FormatCE(r)
+	}
+	due := func(d time.Duration) string {
+		r := sampleDUE()
+		r.Time = base.Add(d)
+		return FormatDUE(r)
+	}
+	het := func(d time.Duration) string {
+		r := sampleHET()
+		r.Time = base.Add(d)
+		return FormatHET(r)
+	}
+	lines := []string{
+		ce(0, 0x1000),
+		ce(10*time.Second, 0x2000),
+		ce(10*time.Second, 0x2000), // adjacent duplicate
+		"kernel: ordinary chatter",
+		ce(5*time.Second, 0x3000), // arrives late: reordered
+		due(20 * time.Second),
+		ce(0, 0x1000), // distant duplicate: needs the full ring
+		ce(40*time.Second, 0x4000),
+		ce(30*time.Second, 0x5000), // late again
+		"EDAC MC0: garbled CE record beyond repair",
+		het(50 * time.Second),
+		ce(90*time.Second, 0x6000),
+		ce(40*time.Second, 0x4000), // duplicate across ring boundary
+		ce(120*time.Second, 0x7000),
+		ce(150*time.Second, 0x8000),
+	}
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// collect drains a scanner, returning its records.
+func collect(t *testing.T, sc *Scanner) []Parsed {
+	t.Helper()
+	var recs []Parsed
+	for sc.Scan() {
+		recs = append(recs, sc.Record())
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	return recs
+}
+
+// TestScannerCheckpointResume proves the checkpoint contract: for every
+// possible checkpoint position, a fresh scanner restored at that point
+// over the remaining bytes yields exactly the record tail and final stats
+// of the uninterrupted scan. The dedup ring is sized so duplicates after
+// the checkpoint refer to lines before it, and the reorder window keeps
+// records pending across checkpoints.
+func TestScannerCheckpointResume(t *testing.T) {
+	in := resumeLog(t)
+	cfg := ScanConfig{DedupWindow: 3, ReorderWindow: time.Minute}
+
+	ref := NewScannerConfig(strings.NewReader(in), cfg)
+	want := collect(t, ref)
+	wantStats := ref.Stats()
+	if len(want) < 8 {
+		t.Fatalf("weak fixture: only %d records", len(want))
+	}
+	if wantStats.Duplicated == 0 || wantStats.Reordered == 0 {
+		t.Fatalf("fixture exercises no tolerance state: %+v", wantStats)
+	}
+
+	for stop := 0; stop <= len(want); stop++ {
+		first := NewScannerConfig(strings.NewReader(in), cfg)
+		var head []Parsed
+		for i := 0; i < stop; i++ {
+			if !first.Scan() {
+				t.Fatalf("stop=%d: premature end at %d", stop, i)
+			}
+			head = append(head, first.Record())
+		}
+		cp := first.Checkpoint()
+		if cp.Offset < 0 || cp.Offset > int64(len(in)) {
+			t.Fatalf("stop=%d: offset %d out of range", stop, cp.Offset)
+		}
+
+		second := NewScannerConfig(strings.NewReader(in[cp.Offset:]), cfg)
+		if err := second.Restore(cp); err != nil {
+			t.Fatalf("stop=%d: restore: %v", stop, err)
+		}
+		tail := collect(t, second)
+
+		got := append(head, tail...)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stop=%d: resumed stream diverges:\n got %+v\nwant %+v", stop, got, want)
+		}
+		if st := second.Stats(); st != wantStats {
+			t.Errorf("stop=%d: resumed stats = %+v, want %+v", stop, st, wantStats)
+		}
+		if off := second.Offset(); off != int64(len(in)) {
+			t.Errorf("stop=%d: final offset = %d, want %d", stop, off, len(in))
+		}
+	}
+}
+
+// TestScannerCheckpointIsDeepCopy ensures later scanning does not reach
+// back into a taken checkpoint.
+func TestScannerCheckpointIsDeepCopy(t *testing.T) {
+	in := resumeLog(t)
+	cfg := ScanConfig{DedupWindow: 3, ReorderWindow: time.Minute}
+
+	sc := NewScannerConfig(strings.NewReader(in), cfg)
+	if !sc.Scan() || !sc.Scan() {
+		t.Fatal("fixture too short")
+	}
+	cp := sc.Checkpoint()
+	before := append([][]byte(nil), cp.recent...)
+	for i, b := range before {
+		before[i] = append([]byte(nil), b...)
+	}
+	collect(t, sc) // keep scanning; ring entries are reused in place
+
+	for i := range before {
+		if string(before[i]) != string(cp.recent[i]) {
+			t.Fatalf("checkpoint dedup ring mutated by later scanning")
+		}
+	}
+}
+
+// TestScannerRestoreUsed rejects restoring into a scanner that has
+// already consumed input — its tolerance state would be inconsistent.
+func TestScannerRestoreUsed(t *testing.T) {
+	in := resumeLog(t)
+	sc := NewScanner(strings.NewReader(in))
+	if !sc.Scan() {
+		t.Fatal("no records")
+	}
+	if err := sc.Restore(Checkpoint{Offset: 3}); err == nil {
+		t.Fatal("Restore on a used scanner succeeded")
+	}
+}
+
+// TestScannerOffsetIgnoresReadahead pins the offset semantics: after k
+// records, Offset is a line boundary and re-parsing from it alone (no
+// tolerance state in play) reproduces the tail.
+func TestScannerOffsetIgnoresReadahead(t *testing.T) {
+	line := FormatCE(sampleCE())
+	in := strings.Repeat(line+"\n", 50)
+	sc := NewScanner(strings.NewReader(in))
+	for i := 0; i < 20; i++ {
+		if !sc.Scan() {
+			t.Fatal("premature end")
+		}
+	}
+	off := sc.Offset()
+	want := int64(20 * (len(line) + 1))
+	if off != want {
+		t.Fatalf("Offset = %d, want %d", off, want)
+	}
+	rest := NewScanner(strings.NewReader(in[off:]))
+	n := 0
+	for rest.Scan() {
+		n++
+	}
+	if n != 30 {
+		t.Fatalf("tail records = %d, want 30", n)
+	}
+}

@@ -26,12 +26,12 @@ func parallelTestNodes(t *testing.T) int {
 func TestParallelReportByteIdentical(t *testing.T) {
 	nodes := parallelTestNodes(t)
 	render := func(par int) []byte {
-		study, err := Run(Options{Seed: 1, Nodes: nodes, Parallelism: par})
+		study, err := Run(testCtx, Options{Seed: 1, Nodes: nodes, Parallelism: par})
 		if err != nil {
 			t.Fatalf("Parallelism=%d: %v", par, err)
 		}
 		var buf bytes.Buffer
-		if err := study.WriteReport(&buf, study.Analyze()); err != nil {
+		if err := study.WriteReport(&buf, mustAnalyze(study)); err != nil {
 			t.Fatalf("Parallelism=%d: %v", par, err)
 		}
 		return buf.Bytes()
@@ -62,13 +62,13 @@ func TestParallelReportByteIdentical(t *testing.T) {
 // float accumulation sneaking back into an analysis).
 func TestParallelAnalyzeDeterministic(t *testing.T) {
 	nodes := parallelTestNodes(t)
-	study, err := Run(Options{Seed: 2, Nodes: nodes, Parallelism: 8})
+	study, err := Run(testCtx, Options{Seed: 2, Nodes: nodes, Parallelism: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	render := func() []byte {
 		var buf bytes.Buffer
-		if err := study.WriteReport(&buf, study.Analyze()); err != nil {
+		if err := study.WriteReport(&buf, mustAnalyze(study)); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()

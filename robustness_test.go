@@ -46,7 +46,7 @@ func parseVariant(t *testing.T, raw []byte, seed uint64, p float64, pol dataset.
 	if fixed, rep := core.SanitizeRecords(ces); rep.WasUnsorted {
 		ces = fixed
 	}
-	faults := core.Cluster(ces, core.DefaultClusterConfig())
+	faults := mustCluster(ces, core.DefaultClusterConfig())
 	return variant{
 		breakdown: core.BreakdownByMode(ces, faults),
 		rates:     core.AnalyzeFaultRates(faults, 80*8, core.StudyWindow()),
@@ -75,7 +75,7 @@ func modeFractions(b core.ModeBreakdown) []float64 {
 func TestDifferentialCorruption(t *testing.T) {
 	cfg := dataset.DefaultConfig(41)
 	cfg.Nodes = 80
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestDifferentialCorruption(t *testing.T) {
 func TestAnalyzeSurvivesAnyCorruptionRate(t *testing.T) {
 	cfg := dataset.DefaultConfig(43)
 	cfg.Nodes = 48
-	ds, err := dataset.Build(cfg)
+	ds, err := dataset.Build(testCtx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,9 +168,9 @@ func TestAnalyzeSurvivesAnyCorruptionRate(t *testing.T) {
 			study := &Study{
 				Options: Options{Seed: 43, Nodes: cfg.Nodes},
 				Dataset: &wounded,
-				Faults:  core.Cluster(ces, core.DefaultClusterConfig()),
+				Faults:  mustCluster(ces, core.DefaultClusterConfig()),
 			}
-			results := study.Analyze()
+			results := mustAnalyze(study)
 			var out bytes.Buffer
 			if err := study.WriteReport(&out, results); err != nil {
 				t.Fatalf("report over corrupted study: %v", err)
