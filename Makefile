@@ -20,11 +20,17 @@ test:
 # the two hostile-input parsers (syslog lines, dataset manifests).
 # ASTRA_CRASH_TESTS=1 additionally sweeps the kill/resume differential
 # test over every I/O operation instead of its default 24-point sample.
+# The online subsystem gets an explicit race-enabled pass: the stream
+# engine's batch-equivalence property tests, the tail/checkpoint resume
+# differentials, and the astrad kill/restart test are the contracts most
+# exposed to concurrency bugs, so they run under the race detector even
+# when the blanket -race sweep is trimmed locally.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./cmd/astrad
 	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLine$$' -fuzztime 5s ./internal/syslog
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 5s ./internal/atomicio

@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/mce"
+	"repro/internal/stream"
+	"repro/internal/syslog"
+)
+
+// daemonConfig is the parsed flag set.
+type daemonConfig struct {
+	logPath   string
+	statePath string
+	listen    string
+
+	dedupWindow   int
+	reorderWindow time.Duration
+	poll          time.Duration
+	checkpointSec time.Duration
+
+	dimms   int
+	window  time.Duration
+	workers int
+}
+
+// daemon owns the ingest loop and the state shared with the HTTP layer.
+type daemon struct {
+	cfg    daemonConfig
+	log    *slog.Logger
+	engine *stream.Engine
+
+	// statsMu guards the published copy of the scanner's accounting; the
+	// scanner itself is touched only by the ingest goroutine.
+	statsMu sync.Mutex
+	stats   syslog.ScanStats
+
+	offset      atomic.Int64
+	checkpoints atomic.Uint64
+}
+
+// publishStats exposes a snapshot of the scanner accounting to the HTTP
+// layer (the scanner itself is not concurrency-safe).
+func (d *daemon) publishStats(st syslog.ScanStats) {
+	d.statsMu.Lock()
+	d.stats = st
+	d.statsMu.Unlock()
+}
+
+func (d *daemon) snapshotStats() syslog.ScanStats {
+	d.statsMu.Lock()
+	defer d.statsMu.Unlock()
+	return d.stats
+}
+
+func (d *daemon) scanConfig() syslog.ScanConfig {
+	return syslog.ScanConfig{DedupWindow: d.cfg.dedupWindow, ReorderWindow: d.cfg.reorderWindow}
+}
+
+// ingest is the daemon's heart: tail the log through the hardened scanner,
+// feed every CE into the engine, and checkpoint periodically. It returns
+// nil on a clean stop (context cancelled), after writing a final
+// checkpoint so the restart resumes exactly where this process left off.
+func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) error {
+	follower := syslog.NewFollower(ctx, f, syslog.TailConfig{Poll: d.cfg.poll})
+	sc := syslog.NewScannerConfig(follower, d.scanConfig())
+	if err := sc.Restore(cp); err != nil {
+		return err
+	}
+	last := time.Now()
+	for sc.Scan() {
+		if rec := sc.Record(); rec.Kind == syslog.KindCE {
+			d.engine.Ingest(rec.CE)
+		}
+		d.publishStats(sc.Stats())
+		d.offset.Store(sc.Offset())
+		if d.cfg.statePath != "" && time.Since(last) >= d.cfg.checkpointSec {
+			if err := d.writeState(sc.Checkpoint()); err != nil {
+				d.log.Warn("checkpoint failed", "err", err)
+			}
+			last = time.Now()
+		}
+	}
+	d.publishStats(sc.Stats())
+	d.offset.Store(sc.Offset())
+
+	err := sc.Err()
+	if errors.Is(err, syslog.ErrTailStopped) {
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	// Clean stop: persist the exact resume point, reorder heap included.
+	if d.cfg.statePath != "" {
+		if werr := d.writeState(sc.Checkpoint()); werr != nil {
+			return fmt.Errorf("final checkpoint: %w", werr)
+		}
+	}
+	return nil
+}
+
+// writeState atomically persists the scanner checkpoint plus the engine's
+// replayable record state. The write is keyed to the checkpoint, taken
+// between Scan calls, so the engine records are exactly the CEs the
+// scanner had emitted at that point: a restart loses nothing and
+// duplicates nothing.
+func (d *daemon) writeState(cp syslog.Checkpoint) error {
+	data, err := marshalState(cp, d.engine.Records())
+	if err != nil {
+		return err
+	}
+	_, err = atomicio.WriteFile(context.Background(), atomicio.OS, d.cfg.statePath, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	d.checkpoints.Add(1)
+	d.log.Info("checkpoint", "offset", cp.Offset, "records", d.engine.Summary().Records)
+	return nil
+}
+
+// stateMagic heads the daemon state file; version-bumped on change.
+const stateMagic = "astrad-state v1"
+
+// marshalState renders the daemon's durable state: the serialized scanner
+// checkpoint (length-prefixed) followed by the engine's CE records as
+// canonical syslog lines. Replaying those lines into a fresh engine
+// reproduces the fault state exactly (the engine's replay contract), and
+// the scanner checkpoint resumes the tail at the matching byte.
+func marshalState(cp syslog.Checkpoint, recs []mce.CERecord) ([]byte, error) {
+	cpb, err := cp.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\ncheckpoint %d\n", stateMagic, len(cpb))
+	b.Write(cpb)
+	fmt.Fprintf(&b, "records %d\n", len(recs))
+	var line []byte
+	for _, r := range recs {
+		line = syslog.AppendCE(line[:0], r)
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes(), nil
+}
+
+// unmarshalState parses a state file back into its checkpoint and records.
+func unmarshalState(data []byte) (syslog.Checkpoint, []mce.CERecord, error) {
+	var cp syslog.Checkpoint
+	rest, ok := bytes.CutPrefix(data, []byte(stateMagic+"\n"))
+	if !ok {
+		return cp, nil, fmt.Errorf("astrad: state file: bad header")
+	}
+	var cpLen int
+	n, err := fmt.Sscanf(string(firstLine(rest)), "checkpoint %d", &cpLen)
+	if err != nil || n != 1 {
+		return cp, nil, fmt.Errorf("astrad: state file: bad checkpoint header")
+	}
+	rest = rest[len(firstLine(rest))+1:]
+	if cpLen < 0 || cpLen > len(rest) {
+		return cp, nil, fmt.Errorf("astrad: state file: truncated checkpoint")
+	}
+	if err := cp.UnmarshalBinary(rest[:cpLen]); err != nil {
+		return cp, nil, err
+	}
+	rest = rest[cpLen:]
+	var count int
+	if n, err := fmt.Sscanf(string(firstLine(rest)), "records %d", &count); err != nil || n != 1 {
+		return cp, nil, fmt.Errorf("astrad: state file: bad records header")
+	}
+	rest = rest[len(firstLine(rest))+1:]
+	var dec syslog.Decoder
+	recs := make([]mce.CERecord, 0, count)
+	for i := 0; i < count; i++ {
+		line := firstLine(rest)
+		if line == nil {
+			return cp, nil, fmt.Errorf("astrad: state file: truncated at record %d of %d", i, count)
+		}
+		rest = rest[len(line)+1:]
+		p, err := dec.ParseLineBytes(line)
+		if err != nil || p.Kind != syslog.KindCE {
+			return cp, nil, fmt.Errorf("astrad: state file: record %d: bad CE line %q: %v", i, line, err)
+		}
+		recs = append(recs, p.CE)
+	}
+	if len(rest) != 0 {
+		return cp, nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
+	}
+	return cp, recs, nil
+}
+
+// firstLine returns data up to (excluding) the first newline, or nil if
+// data holds no complete line.
+func firstLine(data []byte) []byte {
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return nil
+	}
+	return data[:i]
+}
+
+// loadState reads the state file; a missing file is a fresh start.
+func loadState(path string) (syslog.Checkpoint, []mce.CERecord, error) {
+	var cp syslog.Checkpoint
+	if path == "" {
+		return cp, nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return cp, nil, nil
+	}
+	if err != nil {
+		return cp, nil, err
+	}
+	return unmarshalState(data)
+}

@@ -1,0 +1,173 @@
+// Command astrad is the online face of the pipeline: a long-running
+// daemon that tails a syslog, clusters correctable errors incrementally
+// (identically to the batch clusterer — the stream engine's differential
+// guarantee), and serves live analyses over HTTP:
+//
+//	GET /v1/faults      current fault list (?mode=single-bit filters)
+//	GET /v1/breakdown   rolling summary: counts, mode breakdown, CE rates
+//	GET /v1/fit         windowed and overall FIT/DIMM estimates
+//	GET /v1/nodes/{id}  per-node status (id is the host name)
+//	GET /healthz        liveness
+//	GET /metrics        Prometheus text exposition
+//
+// The daemon checkpoints its scanner state and record set atomically to
+// -state; a killed daemon restarted over the same log resumes exactly,
+// losing and duplicating nothing — including records still buffered in
+// the reorder window at the moment of death. SIGTERM/SIGINT drain
+// in-flight requests, write a final checkpoint, and exit 0.
+//
+// Usage:
+//
+//	astrad -log astra-data/astra-syslog.log -state astrad.state -listen 127.0.0.1:9137
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/syslog"
+	"repro/internal/topology"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astrad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg daemonConfig
+	fs.StringVar(&cfg.logPath, "log", "", "syslog file to tail (required)")
+	fs.StringVar(&cfg.statePath, "state", "", "checkpoint state file (empty disables persistence)")
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:9137", "HTTP listen address")
+	fs.IntVar(&cfg.dedupWindow, "dedup-window", 64, "suppress record lines identical to one of the last N (0 disables)")
+	fs.DurationVar(&cfg.reorderWindow, "reorder-window", 5*time.Minute, "resequence records arriving up to this much late (0 disables)")
+	fs.DurationVar(&cfg.poll, "poll", syslog.DefaultTailPoll, "log growth poll interval")
+	fs.DurationVar(&cfg.checkpointSec, "checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
+	fs.IntVar(&cfg.dimms, "dimms", topology.DIMMs, "DIMM population for FIT denominators")
+	fs.DurationVar(&cfg.window, "window", stream.DefaultWindow, "rolling event-time window for rates and FIT")
+	fs.IntVar(&cfg.workers, "workers", 0, "clustering parallelism (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfg.logPath == "" {
+		fs.Usage()
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
+
+	code, err := serveDaemon(ctx, cfg, logger)
+	if err != nil {
+		logger.Error("astrad failed", "err", err)
+	}
+	return code
+}
+
+// serveDaemon wires state restore, the ingest loop and the HTTP server,
+// then blocks until the context is cancelled or ingest fails.
+func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (int, error) {
+	cp, recs, err := loadState(cfg.statePath)
+	if err != nil {
+		return 1, err
+	}
+	f, err := os.Open(cfg.logPath)
+	if err != nil {
+		return 1, err
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err != nil {
+		return 1, err
+	} else if fi.Size() < cp.Offset {
+		// The log shrank beneath the checkpoint (rotation/truncation):
+		// the saved state describes bytes that no longer exist.
+		logger.Warn("log shorter than checkpoint; starting fresh",
+			"size", fi.Size(), "offset", cp.Offset)
+		cp, recs = syslog.Checkpoint{}, nil
+	}
+	if _, err := f.Seek(cp.Offset, io.SeekStart); err != nil {
+		return 1, err
+	}
+
+	d := &daemon{
+		cfg: cfg,
+		log: logger,
+		engine: stream.New(stream.Config{
+			Cluster:     core.ClusterConfig{Parallelism: cfg.workers},
+			Window:      cfg.window,
+			DIMMs:       cfg.dimms,
+			Parallelism: cfg.workers,
+		}),
+	}
+	d.engine.IngestBatch(recs)
+	if len(recs) > 0 {
+		logger.Info("restored", "records", len(recs), "offset", cp.Offset,
+			"pendingReorder", cp.Buffered())
+	}
+
+	srv := serve.New(serve.Config{Engine: d.engine, Logger: logger, ScanStats: d.snapshotStats})
+	reg := srv.Registry()
+	reg.NewCounterFunc("astrad_checkpoints_total", "", "State checkpoints written.",
+		func() float64 { return float64(d.checkpoints.Load()) })
+	reg.NewGaugeFunc("astrad_log_offset_bytes", "", "Byte offset consumed in the tailed log.",
+		func() float64 { return float64(d.offset.Load()) })
+
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		return 1, err
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "log", cfg.logPath)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+
+	tailCtx, cancelTail := context.WithCancel(context.Background())
+	defer cancelTail()
+	ingestDone := make(chan error, 1)
+	go func() { ingestDone <- d.ingest(tailCtx, f, cp) }()
+
+	var ingestErr error
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+		cancelTail()
+		ingestErr = <-ingestDone
+	case ingestErr = <-ingestDone:
+		cancelTail()
+	case err := <-httpErr:
+		cancelTail()
+		ingestErr = <-ingestDone
+		if ingestErr == nil {
+			ingestErr = fmt.Errorf("http server: %w", err)
+		}
+	}
+
+	// Drain in-flight requests before exiting; the engine stays queryable
+	// throughout.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("http shutdown", "err", err)
+	}
+
+	if ingestErr != nil {
+		return 1, ingestErr
+	}
+	sum := d.engine.Summary()
+	logger.Info("stopped", "records", sum.Records, "faults", sum.Faults,
+		"checkpoints", d.checkpoints.Load())
+	return 0, nil
+}

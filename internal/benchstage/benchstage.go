@@ -18,7 +18,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faultmodel"
+	"repro/internal/stream"
 	"repro/internal/syslog"
+	"repro/internal/topology"
 )
 
 // DefaultNodes is the pinned system size `make bench` runs at unless
@@ -142,6 +144,24 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 				cc.Parallelism = workers
 				if _, err := core.Cluster(context.Background(), ds.CERecords, cc); err != nil {
 					panic(err)
+				}
+			},
+		},
+		{
+			Name:    "stream-ingest",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				// The online path: a fresh engine ingests the full record
+				// stream and is forced through classification by Summary,
+				// mirroring what astrad does between scrapes.
+				e := stream.New(stream.Config{
+					Cluster:     core.ClusterConfig{Parallelism: workers},
+					DIMMs:       nodes * topology.SlotsPerNode,
+					Parallelism: workers,
+				})
+				e.IngestBatch(ds.CERecords)
+				if sum := e.Summary(); sum.Records != len(ds.CERecords) {
+					panic(fmt.Sprintf("benchstage: stream ingested %d records, want %d", sum.Records, len(ds.CERecords)))
 				}
 			},
 		},

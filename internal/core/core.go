@@ -120,12 +120,21 @@ func DefaultClusterConfig() ClusterConfig {
 	return ClusterConfig{ColMinWords: 2, BankMinWords: 3, RowMinWords: 2}
 }
 
-// bankKey addresses one DRAM bank in the system.
-type bankKey struct {
-	node topology.NodeID
-	slot topology.Slot
-	rank int8
-	bank int8
+// BankKey addresses one DRAM bank in the system. It is the grouping key
+// shared by the batch clusterer and the incremental stream engine
+// (internal/stream): both accumulate per-bank state under this key and
+// classify it with the same code, so their fault outputs agree by
+// construction.
+type BankKey struct {
+	Node topology.NodeID
+	Slot topology.Slot
+	Rank int8
+	Bank int8
+}
+
+// RecordBankKey returns the bank a CE record belongs to.
+func RecordBankKey(r *mce.CERecord) BankKey {
+	return BankKey{Node: r.Node, Slot: r.Slot, Rank: int8(r.Rank), Bank: int8(r.Bank)}
 }
 
 // lineBits is a fixed-size bitset over codeword line-bit positions
@@ -163,6 +172,101 @@ type wordGroup struct {
 	firstBit    int
 	errors      []int
 	first, last time.Time
+}
+
+// BankState accumulates the word groups of one bank, one CE record at a
+// time. It is the unit of incremental clustering: batch Cluster builds one
+// per bank during its grouping scan, and the stream engine keeps one per
+// bank for the lifetime of the stream, re-deriving faults on demand via
+// AppendFaults. Classification is a pure function of the accumulated
+// state, so the order queries interleave with Add calls never changes the
+// resulting faults.
+type BankState struct {
+	words map[topology.PhysAddr]*wordGroup
+}
+
+// NewBankState returns an empty accumulator.
+func NewBankState() *BankState {
+	return &BankState{words: map[topology.PhysAddr]*wordGroup{}}
+}
+
+// Add folds one CE record into the bank. i is the caller's index for the
+// record (batch: position in the input slice; stream: arrival number);
+// it is recorded in the eventual Fault.Errors. Records must be added in
+// index order for the per-fault error lists to come out in input order.
+func (b *BankState) Add(i int, r *mce.CERecord) {
+	g, ok := b.words[r.Addr]
+	if !ok {
+		g = &wordGroup{
+			addr:     r.Addr,
+			col:      r.Col,
+			rowBits:  r.RowRaw,
+			firstBit: r.LineBit(),
+			errors:   make([]int, 0, 4),
+			first:    r.Time,
+			last:     r.Time,
+		}
+		b.words[r.Addr] = g
+	}
+	g.bits.set(r.LineBit())
+	g.errors = append(g.errors, i)
+	if r.Time.Before(g.first) {
+		g.first = r.Time
+	}
+	if r.Time.After(g.last) {
+		g.last = r.Time
+	}
+}
+
+// Words returns the number of distinct word addresses seen.
+func (b *BankState) Words() int { return len(b.words) }
+
+// Errors returns the number of CE records folded in.
+func (b *BankState) Errors() int {
+	n := 0
+	for _, g := range b.words {
+		n += len(g.errors)
+	}
+	return n
+}
+
+// Merge folds a later shard's accumulator into b. Every record index in o
+// must follow every index already in b (contiguous shards merged in shard
+// order), so b's first-seen anchor fields win and o's errors append after
+// b's — exactly the serial Add order.
+func (b *BankState) Merge(o *BankState) {
+	for addr, og := range o.words {
+		g, ok := b.words[addr]
+		if !ok {
+			b.words[addr] = og
+			continue
+		}
+		g.bits.union(&og.bits)
+		g.errors = append(g.errors, og.errors...)
+		if og.first.Before(g.first) {
+			g.first = og.first
+		}
+		if og.last.After(g.last) {
+			g.last = og.last
+		}
+	}
+}
+
+// AppendFaults classifies the bank's accumulated word groups and appends
+// the resulting faults, choosing the smallest fault footprint consistent
+// with the group structure — the field-study convention (a bank rarely
+// hosts two simultaneous independent faults, but the two-word case is
+// deliberately kept separate so that two independent stuck bits never
+// masquerade as a bank fault). The accumulator is not consumed: the same
+// state can be classified again after further Add calls.
+func (b *BankState) AppendFaults(faults []Fault, key BankKey, cfg ClusterConfig) []Fault {
+	// Deterministic order: by address.
+	groups := make([]*wordGroup, 0, len(b.words))
+	for _, g := range b.words {
+		groups = append(groups, g)
+	}
+	sortWordGroups(groups)
+	return classifyGroups(faults, key, groups, cfg)
 }
 
 // Cluster groups CE records into faults and classifies each fault's mode.
@@ -223,7 +327,7 @@ func Cluster(ctx context.Context, records []mce.CERecord, cfg ClusterConfig) (fa
 			if err := parallel.Poll(ctx, i); err != nil {
 				return nil, err
 			}
-			faults = appendBankFaults(faults, key, banks[key], cfg)
+			faults = banks[key].AppendFaults(faults, key, cfg)
 		}
 		return faults, nil
 	}
@@ -235,7 +339,7 @@ func Cluster(ctx context.Context, records []mce.CERecord, cfg ClusterConfig) (fa
 			if err := parallel.Poll(ctx, i); err != nil {
 				return err
 			}
-			fs = appendBankFaults(fs, key, banks[key], cfg)
+			fs = banks[key].AppendFaults(fs, key, cfg)
 		}
 		parts[shard] = fs
 		return nil
@@ -258,54 +362,34 @@ func Cluster(ctx context.Context, records []mce.CERecord, cfg ClusterConfig) (fa
 // per-shard map setup would cost more than the scan itself.
 const minGroupShard = 1 << 14
 
-// bankGroups is the grouping-scan output: word groups keyed by bank, plus
-// the banks' first-appearance order.
+// bankGroups is the grouping-scan output: per-bank accumulators plus the
+// banks' first-appearance order.
 type bankGroups struct {
-	banks map[bankKey]map[topology.PhysAddr]*wordGroup
-	order []bankKey
+	banks map[BankKey]*BankState
+	order []BankKey
 }
 
-// groupRecords builds word groups from records[lo:hi]. Error indices are
-// global (the caller's full slice), so sharded scans can be merged.
-// Cancellation is polled every few thousand records.
+// groupRecords builds per-bank accumulators from records[lo:hi]. Error
+// indices are global (the caller's full slice), so sharded scans can be
+// merged. Cancellation is polled every few thousand records.
 func groupRecords(ctx context.Context, records []mce.CERecord, lo, hi int) (bankGroups, error) {
 	// Pre-size for the common shape: errors concentrate on few banks, so
 	// the bank map stays small relative to the record count.
-	banks := make(map[bankKey]map[topology.PhysAddr]*wordGroup, (hi-lo)/256+8)
-	var order []bankKey // deterministic output ordering
+	banks := make(map[BankKey]*BankState, (hi-lo)/256+8)
+	var order []BankKey // deterministic output ordering
 	for i := lo; i < hi; i++ {
 		if err := parallel.Poll(ctx, i-lo); err != nil {
 			return bankGroups{}, err
 		}
 		r := &records[i]
-		key := bankKey{node: r.Node, slot: r.Slot, rank: int8(r.Rank), bank: int8(r.Bank)}
-		words, ok := banks[key]
+		key := RecordBankKey(r)
+		bank, ok := banks[key]
 		if !ok {
-			words = map[topology.PhysAddr]*wordGroup{}
-			banks[key] = words
+			bank = NewBankState()
+			banks[key] = bank
 			order = append(order, key)
 		}
-		g, ok := words[r.Addr]
-		if !ok {
-			g = &wordGroup{
-				addr:     r.Addr,
-				col:      r.Col,
-				rowBits:  r.RowRaw,
-				firstBit: r.LineBit(),
-				errors:   make([]int, 0, 4),
-				first:    r.Time,
-				last:     r.Time,
-			}
-			words[r.Addr] = g
-		}
-		g.bits.set(r.LineBit())
-		g.errors = append(g.errors, i)
-		if r.Time.Before(g.first) {
-			g.first = r.Time
-		}
-		if r.Time.After(g.last) {
-			g.last = r.Time
-		}
+		bank.Add(i, r)
 	}
 	return bankGroups{banks: banks, order: order}, nil
 }
@@ -315,27 +399,13 @@ func groupRecords(ctx context.Context, records []mce.CERecord, lo, hi int) (bank
 // bank order) wins and o's errors append after bg's.
 func (bg *bankGroups) merge(o bankGroups) {
 	for _, key := range o.order {
-		words, ok := bg.banks[key]
+		bank, ok := bg.banks[key]
 		if !ok {
 			bg.banks[key] = o.banks[key]
 			bg.order = append(bg.order, key)
 			continue
 		}
-		for addr, og := range o.banks[key] {
-			g, ok := words[addr]
-			if !ok {
-				words[addr] = og
-				continue
-			}
-			g.bits.union(&og.bits)
-			g.errors = append(g.errors, og.errors...)
-			if og.first.Before(g.first) {
-				g.first = og.first
-			}
-			if og.last.After(g.last) {
-				g.last = og.last
-			}
-		}
+		bank.Merge(o.banks[key])
 	}
 }
 
@@ -344,23 +414,8 @@ func (bg *bankGroups) merge(o bankGroups) {
 // out as its own fault when the bank also has stragglers.
 const dominanceFrac = 0.8
 
-// appendBankFaults classifies the word groups of one bank, choosing the
-// smallest fault footprint consistent with the group structure — the
-// field-study convention (a bank rarely hosts two simultaneous independent
-// faults, but the two-word case is deliberately kept separate so that two
-// independent stuck bits never masquerade as a bank fault).
-func appendBankFaults(faults []Fault, key bankKey, words map[topology.PhysAddr]*wordGroup, cfg ClusterConfig) []Fault {
-	// Deterministic order: by address.
-	groups := make([]*wordGroup, 0, len(words))
-	for _, g := range words {
-		groups = append(groups, g)
-	}
-	sortWordGroups(groups)
-	return classifyGroups(faults, key, groups, cfg)
-}
-
-func classifyGroups(faults []Fault, key bankKey, groups []*wordGroup, cfg ClusterConfig) []Fault {
-	base := Fault{Node: key.node, Slot: key.slot, Rank: int(key.rank), Bank: int(key.bank), Col: -1, Bit: -1}
+func classifyGroups(faults []Fault, key BankKey, groups []*wordGroup, cfg ClusterConfig) []Fault {
+	base := Fault{Node: key.Node, Slot: key.Slot, Rank: int(key.Rank), Bank: int(key.Bank), Col: -1, Bit: -1}
 	wordFault := func(g *wordGroup) Fault {
 		f := base
 		f.Addr = g.addr

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/syslog"
+	"repro/internal/topology"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine is the live clustering engine to serve (required).
+	Engine *stream.Engine
+	// Logger receives structured request logs; nil means slog.Default().
+	Logger *slog.Logger
+	// ScanStats, when set, supplies the ingest path's accounting for
+	// /metrics (lines, malformed, duplicates, reorder drops).
+	ScanStats func() syslog.ScanStats
+}
+
+// Server exposes a stream.Engine over HTTP: JSON analyses under /v1,
+// liveness under /healthz, and Prometheus-text metrics under /metrics.
+// Every endpoint is instrumented with a per-endpoint request counter and
+// latency histogram.
+type Server struct {
+	e         *stream.Engine
+	log       *slog.Logger
+	reg       *Registry
+	scanStats func() syslog.ScanStats
+	mux       *http.ServeMux
+}
+
+// New builds a server around an engine.
+func New(cfg Config) *Server {
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{
+		e:         cfg.Engine,
+		log:       log,
+		reg:       NewRegistry(),
+		scanStats: cfg.ScanStats,
+		mux:       http.NewServeMux(),
+	}
+	s.registerMetrics()
+	s.route("GET /healthz", "/healthz", s.handleHealthz)
+	s.route("GET /v1/faults", "/v1/faults", s.handleFaults)
+	s.route("GET /v1/breakdown", "/v1/breakdown", s.handleBreakdown)
+	s.route("GET /v1/fit", "/v1/fit", s.handleFIT)
+	s.route("GET /v1/nodes/{id}", "/v1/nodes/{id}", s.handleNode)
+	s.route("GET /metrics", "/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry so the host process can
+// attach its own series (checkpoint age, ingest rate, ...).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// route installs an instrumented handler: per-endpoint request counter,
+// latency histogram, and a debug-level structured log line.
+func (s *Server) route(pattern, path string, h http.HandlerFunc) {
+	labels := `path="` + path + `"`
+	reqs := s.reg.NewCounter("astrad_http_requests_total", labels, "HTTP requests served, by endpoint.")
+	lat := s.reg.NewHistogram("astrad_http_request_seconds", labels, "HTTP request latency in seconds, by endpoint.", nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		d := time.Since(start)
+		reqs.Inc()
+		lat.Observe(d.Seconds())
+		s.log.Debug("request", "path", r.URL.Path, "dur", d)
+	})
+}
+
+// registerMetrics wires the engine's rolling aggregates — and, when
+// available, the scanner's corruption accounting — into the registry.
+// Values are read at scrape time, so /metrics always reflects the live
+// engine without a copy pipeline.
+func (s *Server) registerMetrics() {
+	sum := func() stream.Summary { return s.e.Summary() }
+	s.reg.NewCounterFunc("astrad_stream_records_total", "", "CE records ingested into the clustering engine.",
+		func() float64 { return float64(sum().Records) })
+	s.reg.NewCounterFunc("astrad_fault_escalations_total", "", "Observed per-bank fault-mode escalations.",
+		func() float64 { return float64(sum().Escalations) })
+	for m := core.FaultMode(0); m < core.NumFaultModes; m++ {
+		m := m
+		s.reg.NewGaugeFunc("astrad_open_faults", `mode="`+m.String()+`"`, "Live fault count by observable mode.",
+			func() float64 { return float64(sum().FaultsByMode[m]) })
+	}
+	s.reg.NewGaugeFunc("astrad_faulty_nodes", "", "Nodes with at least one live fault.",
+		func() float64 { return float64(sum().FaultyNodes) })
+	s.reg.NewGaugeFunc("astrad_window_ce_count", "", "CE records inside the rolling event-time window.",
+		func() float64 { return float64(sum().WindowCount) })
+	s.reg.NewGaugeFunc("astrad_window_ce_rate", "", "CE records per second over the rolling event-time window.",
+		func() float64 { return sum().WindowRate })
+
+	if s.scanStats == nil {
+		return
+	}
+	st := s.scanStats
+	ingest := []struct {
+		name, help string
+		get        func(syslog.ScanStats) int
+	}{
+		{"astrad_ingest_lines_total", "Syslog lines consumed.", func(v syslog.ScanStats) int { return v.Lines }},
+		{"astrad_ingest_ces_total", "Well-formed CE records scanned.", func(v syslog.ScanStats) int { return v.CEs }},
+		{"astrad_ingest_malformed_total", "Record lines that failed to parse.", func(v syslog.ScanStats) int { return v.Malformed }},
+		{"astrad_ingest_duplicated_total", "Record lines suppressed as relay duplicates.", func(v syslog.ScanStats) int { return v.Duplicated }},
+		{"astrad_ingest_reordered_total", "Records resequenced within the reorder window.", func(v syslog.ScanStats) int { return v.Reordered }},
+		{"astrad_ingest_dropped_out_of_order_total", "Records dropped as too late to resequence.", func(v syslog.ScanStats) int { return v.DroppedOutOfOrder }},
+	}
+	for _, m := range ingest {
+		get := m.get
+		s.reg.NewCounterFunc(m.name, "", m.help, func() float64 { return float64(get(st())) })
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Records int    `json:"records"`
+	}{"ok", s.e.Summary().Records})
+}
+
+// faultView is one fault in operator-facing form: the node as its
+// hostname (feedable back into /v1/nodes/{id}), the slot by name, the
+// mode by its Fig-4a string, and the address in hex. The raw per-error
+// index list is internal bookkeeping and is not exposed.
+type faultView struct {
+	Node    string    `json:"node"`
+	Slot    string    `json:"slot"`
+	Rank    int       `json:"rank"`
+	Bank    int       `json:"bank"`
+	Mode    string    `json:"mode"`
+	Col     int       `json:"col"`
+	Addr    string    `json:"addr"`
+	Bit     int       `json:"bit"`
+	NErrors int       `json:"nErrors"`
+	First   time.Time `json:"first"`
+	Last    time.Time `json:"last"`
+}
+
+func viewFault(f core.Fault) faultView {
+	return faultView{
+		Node:    f.Node.String(),
+		Slot:    f.Slot.Name(),
+		Rank:    f.Rank,
+		Bank:    f.Bank,
+		Mode:    f.Mode.String(),
+		Col:     f.Col,
+		Addr:    fmt.Sprintf("%#x", uint64(f.Addr)),
+		Bit:     f.Bit,
+		NErrors: f.NErrors,
+		First:   f.First,
+		Last:    f.Last,
+	}
+}
+
+// faultsResponse is the /v1/faults payload.
+type faultsResponse struct {
+	Count  int         `json:"count"`
+	Faults []faultView `json:"faults"`
+}
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	faults := s.e.Snapshot()
+	if modeStr := r.URL.Query().Get("mode"); modeStr != "" {
+		mode := core.FaultMode(-1)
+		for m := core.FaultMode(0); m < core.NumFaultModes; m++ {
+			if m.String() == modeStr {
+				mode = m
+			}
+		}
+		if mode < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{"unknown mode " + modeStr})
+			return
+		}
+		kept := faults[:0:0]
+		for _, f := range faults {
+			if f.Mode == mode {
+				kept = append(kept, f)
+			}
+		}
+		faults = kept
+	}
+	views := make([]faultView, len(faults))
+	for i, f := range faults {
+		views[i] = viewFault(f)
+	}
+	writeJSON(w, http.StatusOK, faultsResponse{Count: len(faults), Faults: views})
+}
+
+func (s *Server) handleBreakdown(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Summary())
+}
+
+// fitResponse pairs the rolling windowed estimate with the rate over the
+// whole observed span.
+type fitResponse struct {
+	Windowed stream.WindowedFIT `json:"windowed"`
+	// Overall is the FIT/DIMM analysis over the observed event-time span
+	// (degraded when nothing has been observed yet).
+	Overall     core.FaultRates `json:"overall"`
+	SpanSeconds float64         `json:"spanSeconds"`
+}
+
+func (s *Server) handleFIT(w http.ResponseWriter, r *http.Request) {
+	sum := s.e.Summary()
+	span := time.Duration(0)
+	if !sum.First.IsZero() {
+		span = sum.Last.Sub(sum.First)
+	}
+	writeJSON(w, http.StatusOK, fitResponse{
+		Windowed:    s.e.WindowedFIT(),
+		Overall:     s.e.FaultRates(span),
+		SpanSeconds: span.Seconds(),
+	})
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id, err := topology.ParseNodeID(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	st, ok := s.e.NodeStatus(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"no records from node " + id.String()})
+		return
+	}
+	views := make([]faultView, len(st.Faults))
+	for i, f := range st.Faults {
+		views[i] = viewFault(f)
+	}
+	writeJSON(w, http.StatusOK, nodeResponse{
+		Node:        st.Node.String(),
+		CEs:         st.CEs,
+		First:       st.First,
+		Last:        st.Last,
+		WindowCount: st.WindowCount,
+		WindowRate:  st.WindowRate,
+		Faults:      views,
+	})
+}
+
+// nodeResponse is stream.NodeStatus in operator-facing form: the node as
+// its hostname, faults as faultView.
+type nodeResponse struct {
+	Node        string      `json:"node"`
+	CEs         int         `json:"ces"`
+	First       time.Time   `json:"first"`
+	Last        time.Time   `json:"last"`
+	WindowCount int         `json:"windowCount"`
+	WindowRate  float64     `json:"windowRate"`
+	Faults      []faultView `json:"faults"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}

@@ -1,0 +1,129 @@
+package stats
+
+import "time"
+
+// RateWindow counts events in a trailing time window using a ring of
+// fixed-width buckets, the standard streaming estimator: Add is O(1) and
+// allocation-free after construction, and Count/Rate answer "how many in
+// the last W" at bucket resolution. The stream engine keeps one per node
+// (and one global) to expose live CE rates without rescanning history.
+//
+// Time is event time, not wall time: the window advances with the largest
+// timestamp added, so replaying a historical log produces the same
+// answers the live system would have given. Events earlier than the
+// window's trailing edge are dropped (and counted in Late); events within
+// the window but out of order land in their proper bucket.
+//
+// The zero value is unusable; use NewRateWindow. RateWindow is not
+// concurrency-safe.
+type RateWindow struct {
+	bucket time.Duration
+	counts []int
+	// headIdx is the absolute bucket index (unix time / bucket width) of
+	// the newest bucket; headIdx-len(counts)+1 is the oldest retained.
+	headIdx int64
+	started bool
+	total   int
+	late    int
+}
+
+// NewRateWindow returns an estimator over a trailing window of the given
+// length, resolved into buckets slots (minimum 1). The effective window is
+// buckets whole bucket-widths, so window should be a multiple of buckets
+// for exact semantics.
+func NewRateWindow(window time.Duration, buckets int) *RateWindow {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	b := window / time.Duration(buckets)
+	if b <= 0 {
+		b = 1
+	}
+	return &RateWindow{bucket: b, counts: make([]int, buckets)}
+}
+
+// Window returns the effective trailing window length.
+func (w *RateWindow) Window() time.Duration {
+	return w.bucket * time.Duration(len(w.counts))
+}
+
+func (w *RateWindow) idx(t time.Time) int64 {
+	return t.UnixNano() / int64(w.bucket)
+}
+
+// slot maps an absolute bucket index to its ring position.
+func (w *RateWindow) slot(abs int64) int {
+	n := int64(len(w.counts))
+	return int(((abs % n) + n) % n)
+}
+
+// Add records one event at time t, advancing the window if t is the
+// newest time seen. Events that precede the retained window are dropped
+// and counted as late.
+func (w *RateWindow) Add(t time.Time) {
+	abs := w.idx(t)
+	if !w.started {
+		w.started = true
+		w.headIdx = abs
+	}
+	switch {
+	case abs > w.headIdx:
+		w.advance(abs)
+	case abs <= w.headIdx-int64(len(w.counts)):
+		w.late++
+		return
+	}
+	w.counts[w.slot(abs)]++
+	w.total++
+}
+
+// advance moves the head forward to abs, expiring buckets that fall off
+// the trailing edge.
+func (w *RateWindow) advance(abs int64) {
+	steps := abs - w.headIdx
+	if steps >= int64(len(w.counts)) {
+		for i := range w.counts {
+			w.counts[i] = 0
+		}
+		w.total = 0
+		w.headIdx = abs
+		return
+	}
+	for i := int64(1); i <= steps; i++ {
+		s := w.slot(w.headIdx + i)
+		w.total -= w.counts[s]
+		w.counts[s] = 0
+	}
+	w.headIdx = abs
+}
+
+// Count returns the number of events in the window ending at now. A now
+// ahead of the newest event first expires the buckets that fall out of
+// the window; a now at or before the newest event returns the full
+// retained count.
+func (w *RateWindow) Count(now time.Time) int {
+	if !w.started {
+		return 0
+	}
+	if abs := w.idx(now); abs > w.headIdx {
+		w.advance(abs)
+	}
+	return w.total
+}
+
+// Rate returns events per second over the window ending at now.
+func (w *RateWindow) Rate(now time.Time) float64 {
+	c := w.Count(now)
+	secs := w.Window().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(c) / secs
+}
+
+// Late returns the number of events dropped for preceding the retained
+// window at the time they were added.
+func (w *RateWindow) Late() int { return w.late }

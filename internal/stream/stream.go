@@ -1,0 +1,467 @@
+// Package stream is the online half of the paper's methodology: an
+// incremental fault-clustering engine that consumes CE records one at a
+// time (or in micro-batches) and keeps per-bank fault state current, so
+// fault counts, mode mixes, per-node CE rates and FIT estimates are
+// available at any instant instead of after a nightly batch run.
+//
+// The engine carries a differential guarantee: replaying any record
+// sequence through Ingest/IngestBatch — at any micro-batch size and any
+// Parallelism — then calling Snapshot yields exactly the faults (order,
+// modes, error index lists) that core.Cluster produces over the same
+// records. This is not an accident of testing but of construction: both
+// paths accumulate core.BankState per bank and classify through
+// BankState.AppendFaults, and the property tests in this package pin it.
+//
+// Mode escalation is the natural history of a DRAM fault under this
+// methodology: a bank that has shown one stuck bit (single-bit) may grow
+// to several bits in a word (single-word), a column, or scattered words
+// (single-bank) as more errors arrive. The engine re-derives each bank's
+// classification lazily — banks are marked dirty on ingest and
+// reclassified on the next query — and counts observed escalations.
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mce"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// DefaultWindow is the trailing window for rolling rates and windowed FIT
+// estimates when Config.Window is zero.
+const DefaultWindow = 24 * time.Hour
+
+// DefaultRateBuckets is the ring resolution of the rolling-rate windows.
+const DefaultRateBuckets = 48
+
+// Config tunes the engine. The zero value is usable: default clustering
+// thresholds, a 24-hour rolling window, no FIT denominator (rate queries
+// report Degraded until DIMMs is set).
+type Config struct {
+	// Cluster sets the clustering thresholds; the zero value means
+	// core.DefaultClusterConfig().
+	Cluster core.ClusterConfig
+	// Window is the trailing window for rolling CE rates and windowed FIT
+	// estimates; 0 means DefaultWindow.
+	Window time.Duration
+	// RateBuckets resolves the rolling windows; 0 means DefaultRateBuckets.
+	RateBuckets int
+	// DIMMs is the monitored device population, the denominator of FIT
+	// estimates (nodes × topology.SlotsPerNode on the full system).
+	DIMMs int
+	// Parallelism bounds the workers IngestBatch shards large batches
+	// across; 0 uses GOMAXPROCS, 1 keeps ingest serial. Results are
+	// identical at every setting.
+	Parallelism int
+}
+
+// nodeState is the per-node rolling view.
+type nodeState struct {
+	ces         int
+	first, last time.Time
+	rw          *stats.RateWindow
+}
+
+// Engine is the incremental clustering engine. All methods are safe for
+// concurrent use: ingest and queries serialize on one mutex (queries may
+// reclassify dirty banks, so they mutate cached state too).
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// records is every ingested CE in arrival order; fault Errors index
+	// into it. It grows for the lifetime of the engine, like the input
+	// slice of a batch run.
+	records []mce.CERecord
+
+	banks map[core.BankKey]*core.BankState
+	order []core.BankKey // first-appearance order, as in batch Cluster
+
+	// dirty marks banks touched since their last classification; cache
+	// holds each bank's current fault list; the aggregate counters below
+	// are maintained by delta on reclassification.
+	dirty        map[core.BankKey]struct{}
+	cache        map[core.BankKey][]core.Fault
+	nFaults      int
+	faultsByMode [core.NumFaultModes]int
+	errorsByMode [core.NumFaultModes]int
+	escalations  int
+
+	perNode map[topology.NodeID]*nodeState
+	dimms   map[[2]int32]struct{} // distinct (node, slot) with ≥1 fault
+	rate    *stats.RateWindow
+	first   time.Time
+	last    time.Time
+}
+
+// New returns an engine with no state.
+func New(cfg Config) *Engine {
+	if cfg.Cluster == (core.ClusterConfig{Parallelism: cfg.Cluster.Parallelism}) {
+		p := cfg.Cluster.Parallelism
+		cfg.Cluster = core.DefaultClusterConfig()
+		cfg.Cluster.Parallelism = p
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.RateBuckets <= 0 {
+		cfg.RateBuckets = DefaultRateBuckets
+	}
+	return &Engine{
+		cfg:     cfg,
+		banks:   map[core.BankKey]*core.BankState{},
+		dirty:   map[core.BankKey]struct{}{},
+		cache:   map[core.BankKey][]core.Fault{},
+		perNode: map[topology.NodeID]*nodeState{},
+		dimms:   map[[2]int32]struct{}{},
+		rate:    stats.NewRateWindow(cfg.Window, cfg.RateBuckets),
+	}
+}
+
+// Ingest folds one CE record into the engine. The hot path allocates only
+// when it sees a new bank, word address or node (steady-state ingest of a
+// warmed fault population is allocation-free, amortized).
+func (e *Engine) Ingest(r mce.CERecord) {
+	e.mu.Lock()
+	e.ingestLocked(r)
+	e.mu.Unlock()
+}
+
+func (e *Engine) ingestLocked(r mce.CERecord) {
+	i := len(e.records)
+	e.records = append(e.records, r)
+	rec := &e.records[i]
+	key := core.RecordBankKey(rec)
+	bank, ok := e.banks[key]
+	if !ok {
+		bank = core.NewBankState()
+		e.banks[key] = bank
+		e.order = append(e.order, key)
+		e.dimms[[2]int32{int32(key.Node), int32(key.Slot)}] = struct{}{}
+	}
+	bank.Add(i, rec)
+	e.dirty[key] = struct{}{}
+	e.scalars(rec)
+}
+
+// scalars maintains the per-record rolling aggregates (everything except
+// the bank state itself).
+func (e *Engine) scalars(r *mce.CERecord) {
+	ns, ok := e.perNode[r.Node]
+	if !ok {
+		ns = &nodeState{first: r.Time, last: r.Time,
+			rw: stats.NewRateWindow(e.cfg.Window, e.cfg.RateBuckets)}
+		e.perNode[r.Node] = ns
+	}
+	ns.ces++
+	if r.Time.Before(ns.first) {
+		ns.first = r.Time
+	}
+	if r.Time.After(ns.last) {
+		ns.last = r.Time
+	}
+	ns.rw.Add(r.Time)
+	e.rate.Add(r.Time)
+	if e.first.IsZero() || r.Time.Before(e.first) {
+		e.first = r.Time
+	}
+	if r.Time.After(e.last) {
+		e.last = r.Time
+	}
+}
+
+// minBatchShard keeps micro-batch grouping serial below this size; the
+// per-shard map setup would cost more than the scan.
+const minBatchShard = 1 << 12
+
+// IngestBatch folds a micro-batch of records into the engine, sharding
+// the bank-grouping scan across Config.Parallelism workers when the batch
+// is large. The result is identical to ingesting the records one by one
+// in order, at every batch size and worker count: shards cover contiguous
+// ranges and merge in shard order, reproducing the serial first-appearance
+// order exactly (the same argument as the batch clusterer's sharded scan).
+func (e *Engine) IngestBatch(rs []mce.CERecord) {
+	if len(rs) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	workers := parallel.Workers(e.cfg.Parallelism)
+	if workers <= 1 || len(rs) < 2*minBatchShard {
+		for i := range rs {
+			e.ingestLocked(rs[i])
+		}
+		return
+	}
+
+	base := len(e.records)
+	e.records = append(e.records, rs...)
+
+	type part struct {
+		banks map[core.BankKey]*core.BankState
+		order []core.BankKey
+	}
+	shards := parallel.NumChunks(workers, len(rs))
+	parts := make([]part, shards)
+	parallel.ForEachChunk(workers, len(rs), func(shard, lo, hi int) {
+		p := part{banks: make(map[core.BankKey]*core.BankState, 8)}
+		for i := lo; i < hi; i++ {
+			rec := &e.records[base+i]
+			key := core.RecordBankKey(rec)
+			bank, ok := p.banks[key]
+			if !ok {
+				bank = core.NewBankState()
+				p.banks[key] = bank
+				p.order = append(p.order, key)
+			}
+			bank.Add(base+i, rec)
+		}
+		parts[shard] = p
+	})
+	for _, p := range parts {
+		for _, key := range p.order {
+			bank, ok := e.banks[key]
+			if !ok {
+				e.banks[key] = p.banks[key]
+				e.order = append(e.order, key)
+				e.dimms[[2]int32{int32(key.Node), int32(key.Slot)}] = struct{}{}
+			} else {
+				bank.Merge(p.banks[key])
+			}
+			e.dirty[key] = struct{}{}
+		}
+	}
+	for i := base; i < len(e.records); i++ {
+		e.scalars(&e.records[i])
+	}
+}
+
+// reclassify re-derives the fault lists of dirty banks and updates the
+// aggregate counters by delta. Caller holds e.mu.
+func (e *Engine) reclassify() {
+	if len(e.dirty) == 0 {
+		return
+	}
+	for key := range e.dirty {
+		old := e.cache[key]
+		fs := e.banks[key].AppendFaults(nil, key, e.cfg.Cluster)
+		oldMax, newMax := -1, -1
+		for i := range old {
+			f := &old[i]
+			e.faultsByMode[f.Mode]--
+			e.errorsByMode[f.Mode] -= f.NErrors
+			if int(f.Mode) > oldMax {
+				oldMax = int(f.Mode)
+			}
+		}
+		for i := range fs {
+			f := &fs[i]
+			e.faultsByMode[f.Mode]++
+			e.errorsByMode[f.Mode] += f.NErrors
+			if int(f.Mode) > newMax {
+				newMax = int(f.Mode)
+			}
+		}
+		e.nFaults += len(fs) - len(old)
+		// An escalation is a bank whose worst observed mode grew (bit →
+		// word → column → bank). Lazily observed: transitions between two
+		// queries collapse into one.
+		if oldMax >= 0 && newMax > oldMax {
+			e.escalations++
+		}
+		e.cache[key] = fs
+		delete(e.dirty, key)
+	}
+}
+
+// Snapshot returns the full fault list over everything ingested so far —
+// exactly what core.Cluster would return for the same records in the same
+// order (nil when nothing has been ingested). The returned faults share
+// their Errors backing arrays with the engine's cache; callers must not
+// mutate them.
+func (e *Engine) Snapshot() []core.Fault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+func (e *Engine) snapshotLocked() []core.Fault {
+	e.reclassify()
+	if len(e.order) == 0 {
+		return nil
+	}
+	out := make([]core.Fault, 0, e.nFaults)
+	for _, key := range e.order {
+		out = append(out, e.cache[key]...)
+	}
+	return out
+}
+
+// Records returns a copy of every ingested CE record in arrival order —
+// the engine's replayable state (IngestBatch of this slice into a fresh
+// engine reproduces the engine exactly).
+func (e *Engine) Records() []mce.CERecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.records) == 0 {
+		return nil
+	}
+	return append([]mce.CERecord(nil), e.records...)
+}
+
+// Summary is the live top-level view.
+type Summary struct {
+	// Records is the number of CE records ingested.
+	Records int `json:"records"`
+	// First and Last bound the observed event time (zero when empty).
+	First time.Time `json:"first"`
+	Last  time.Time `json:"last"`
+	// Banks, FaultyDIMMs and FaultyNodes count the distinct structures
+	// with at least one fault.
+	Banks       int `json:"banks"`
+	FaultyDIMMs int `json:"faultyDIMMs"`
+	FaultyNodes int `json:"faultyNodes"`
+	// Faults is the current fault count; FaultsByMode and ErrorsByMode
+	// decompose faults and their attributed errors by mode.
+	Faults       int                     `json:"faults"`
+	FaultsByMode [core.NumFaultModes]int `json:"faultsByMode"`
+	ErrorsByMode [core.NumFaultModes]int `json:"errorsByMode"`
+	// Escalations counts banks whose worst observed mode grew between two
+	// classifications (single-bit → single-word → single-column →
+	// single-bank).
+	Escalations int `json:"escalations"`
+	// WindowCount and WindowRate are the CE count and per-second rate
+	// over the trailing window ending at Last.
+	Window      time.Duration `json:"window"`
+	WindowCount int           `json:"windowCount"`
+	WindowRate  float64       `json:"windowRate"`
+}
+
+// Summary returns the live top-level view, reclassifying dirty banks
+// first.
+func (e *Engine) Summary() Summary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reclassify()
+	return Summary{
+		Records:      len(e.records),
+		First:        e.first,
+		Last:         e.last,
+		Banks:        len(e.order),
+		FaultyDIMMs:  len(e.dimms),
+		FaultyNodes:  len(e.perNode),
+		Faults:       e.nFaults,
+		FaultsByMode: e.faultsByMode,
+		ErrorsByMode: e.errorsByMode,
+		Escalations:  e.escalations,
+		Window:       e.cfg.Window,
+		WindowCount:  e.rate.Count(e.last),
+		WindowRate:   e.rate.Rate(e.last),
+	}
+}
+
+// FaultRates converts the current fault population into FIT/DIMM over the
+// given window, exactly as core.AnalyzeFaultRates does over a batch
+// clustering of the same records.
+func (e *Engine) FaultRates(window time.Duration) core.FaultRates {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return core.AnalyzeFaultRates(e.snapshotLocked(), e.cfg.DIMMs, window)
+}
+
+// WindowedFIT is a rolling FIT estimate: fault arrivals inside the
+// trailing window scaled to failures per 10⁹ device-hours.
+type WindowedFIT struct {
+	// Window is the trailing window; End is its right edge (the newest
+	// event time seen).
+	Window time.Duration `json:"window"`
+	End    time.Time     `json:"end"`
+	// NewFaults counts faults first observed inside the window;
+	// ActiveFaults counts faults with any activity inside it.
+	NewFaults    int `json:"newFaults"`
+	ActiveFaults int `json:"activeFaults"`
+	// FITPerDIMM scales NewFaults to FIT over the window and the
+	// configured DIMM population.
+	FITPerDIMM float64 `json:"fitPerDIMM"`
+	// Degraded reports an undefined estimate: no events yet, or no
+	// configured DIMM population.
+	Degraded bool `json:"degraded"`
+}
+
+// WindowedFIT computes the rolling FIT estimate over the configured
+// window ending at the newest event time.
+func (e *Engine) WindowedFIT() WindowedFIT {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reclassify()
+	w := WindowedFIT{Window: e.cfg.Window, End: e.last}
+	if e.last.IsZero() || e.cfg.DIMMs <= 0 {
+		w.Degraded = true
+		return w
+	}
+	cut := e.last.Add(-e.cfg.Window)
+	for _, key := range e.order {
+		for i := range e.cache[key] {
+			f := &e.cache[key][i]
+			if f.First.After(cut) {
+				w.NewFaults++
+			}
+			if f.Last.After(cut) {
+				w.ActiveFaults++
+			}
+		}
+	}
+	hours := e.cfg.Window.Hours()
+	if hours > 0 {
+		w.FITPerDIMM = float64(w.NewFaults) / (float64(e.cfg.DIMMs) * hours) * 1e9
+	}
+	return w
+}
+
+// NodeStatus is the live per-node view.
+type NodeStatus struct {
+	Node topology.NodeID `json:"node"`
+	// CEs is the node's total CE count; First/Last bound its activity.
+	CEs   int       `json:"ces"`
+	First time.Time `json:"first"`
+	Last  time.Time `json:"last"`
+	// WindowCount and WindowRate cover the trailing window ending at the
+	// engine's newest event time.
+	WindowCount int     `json:"windowCount"`
+	WindowRate  float64 `json:"windowRate"`
+	// Faults is the node's current fault list.
+	Faults []core.Fault `json:"faults"`
+}
+
+// NodeStatus returns the live view of one node; ok is false when the node
+// has produced no CE records.
+func (e *Engine) NodeStatus(id topology.NodeID) (NodeStatus, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ns, ok := e.perNode[id]
+	if !ok {
+		return NodeStatus{}, false
+	}
+	e.reclassify()
+	st := NodeStatus{
+		Node:        id,
+		CEs:         ns.ces,
+		First:       ns.first,
+		Last:        ns.last,
+		WindowCount: ns.rw.Count(e.last),
+		WindowRate:  ns.rw.Rate(e.last),
+	}
+	for _, key := range e.order {
+		if key.Node == id {
+			st.Faults = append(st.Faults, e.cache[key]...)
+		}
+	}
+	return st, true
+}
+
+// Config returns the engine's effective configuration (defaults applied).
+func (e *Engine) Config() Config { return e.cfg }

@@ -1,0 +1,132 @@
+package syslog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Source is the streaming record source the online subsystem consumes: a
+// Scan/Record iteration with error reporting and corruption accounting.
+// *Scanner satisfies it over any reader; a Scanner over a Follower turns a
+// growing log file into a live record feed.
+type Source interface {
+	Scan() bool
+	Record() Parsed
+	Err() error
+	Stats() ScanStats
+}
+
+var _ Source = (*Scanner)(nil)
+
+// ErrTailStopped is the terminal "error" a Follower reports once its
+// context is cancelled and every complete line has been delivered. It is
+// deliberately not io.EOF: a scanner that sees EOF flushes its reorder
+// heap as if the log had ended, which would emit records early and change
+// resequencing decisions after a resume. A read error leaves the heap
+// intact, so a checkpoint taken after the stop resumes exactly.
+var ErrTailStopped = errors.New("syslog: tail stopped")
+
+// ErrTailLineTooLong reports an unterminated line exceeding the follower's
+// buffer cap; handing out part of it would put the scanner's offset inside
+// a line.
+var ErrTailLineTooLong = errors.New("syslog: tail: unterminated line exceeds buffer cap")
+
+// maxTailLine caps how many bytes a Follower buffers while waiting for a
+// newline — matching the scanner's own maximum line length, since a longer
+// line could not be parsed anyway.
+const maxTailLine = 1 << 20
+
+// DefaultTailPoll is the growth-poll interval used when TailConfig leaves
+// Poll zero.
+const DefaultTailPoll = 200 * time.Millisecond
+
+// TailConfig tunes a Follower.
+type TailConfig struct {
+	// Poll is how long to wait before re-reading after the file stops
+	// yielding data (0 means DefaultTailPoll).
+	Poll time.Duration
+}
+
+// Follower adapts a growing log file into an io.Reader that releases only
+// whole lines: bytes after the last newline are held back until their
+// terminator arrives, so every byte a downstream Scanner consumes — and
+// therefore every offset a Checkpoint records — is a line boundary in the
+// file. At end of data it polls for growth instead of reporting EOF;
+// cancelling the context ends the stream with ErrTailStopped once the
+// buffered complete lines are drained.
+//
+// Follower is not concurrency-safe; it is read from one scanner loop.
+type Follower struct {
+	ctx  context.Context
+	r    io.Reader
+	poll time.Duration
+
+	buf   []byte // raw bytes read from r, not yet handed out
+	pos   int    // next byte of buf to hand out
+	ready int    // bytes buf[:ready] end on a newline
+	chunk []byte // scratch read buffer
+}
+
+// NewFollower wraps r (typically an *os.File positioned at the resume
+// offset) as a line-complete tail reader. The context governs the
+// follower's lifetime; a nil context follows forever.
+func NewFollower(ctx context.Context, r io.Reader, cfg TailConfig) *Follower {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = DefaultTailPoll
+	}
+	return &Follower{ctx: ctx, r: r, poll: poll, chunk: make([]byte, 64*1024)}
+}
+
+// Read implements io.Reader over the complete-line stream.
+func (f *Follower) Read(p []byte) (int, error) {
+	for {
+		if f.pos < f.ready {
+			n := copy(p, f.buf[f.pos:f.ready])
+			f.pos += n
+			return n, nil
+		}
+		// All released bytes are consumed; compact the held partial line
+		// to the front before reading more.
+		if f.pos > 0 {
+			f.buf = f.buf[:copy(f.buf, f.buf[f.pos:])]
+			f.pos, f.ready = 0, 0
+		}
+		n, err := f.r.Read(f.chunk)
+		if n > 0 {
+			f.buf = append(f.buf, f.chunk[:n]...)
+			if i := bytes.LastIndexByte(f.buf, '\n'); i >= 0 {
+				f.ready = i + 1
+			}
+			if f.ready == 0 && len(f.buf) > maxTailLine {
+				return 0, fmt.Errorf("%w (%d bytes)", ErrTailLineTooLong, len(f.buf))
+			}
+			if f.ready > 0 || err == nil {
+				// Either a line is releasable or the reader is still
+				// producing mid-line bytes; keep going without polling.
+				continue
+			}
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		// No complete line available: stop if asked, else wait for growth.
+		select {
+		case <-f.ctx.Done():
+			return 0, ErrTailStopped
+		default:
+		}
+		select {
+		case <-f.ctx.Done():
+			return 0, ErrTailStopped
+		case <-time.After(f.poll):
+		}
+	}
+}
