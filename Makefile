@@ -4,7 +4,7 @@ GO ?= go
 # numbers (and test cost) are comparable across runs.
 ASTRA_BENCH_NODES ?= 256
 
-.PHONY: build test verify bench bench-guard
+.PHONY: build test verify bench bench-serve bench-guard
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
-	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./cmd/astrad
+	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./internal/overload ./cmd/astrad ./cmd/astraload
 	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLine$$' -fuzztime 5s ./internal/syslog
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 5s ./internal/atomicio
@@ -44,9 +44,26 @@ bench:
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) test -run '^$$' -bench . -benchmem .
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -out BENCH_pipeline.json
 
+# bench-serve runs the overload/chaos harness (cmd/astraload) at a
+# pinned small scale and writes BENCH_serve.json: the serving-path
+# baseline (API p50/p99 under sustained ingest + bursts + slow clients +
+# a stalling checkpoint disk, shed rate, recovery time). The scenario is
+# deliberately drain-throttled so the shed rate is overload arithmetic,
+# not machine speed.
+bench-serve:
+	$(GO) run ./cmd/astraload -seed 1 -nodes 64 -duration 3 -ingest-rate 100000 \
+		-burst-factor 3 -burst-at 1 -burst-for 0.5 \
+		-api-clients 4 -api-qps 400 -slow-clients 2 \
+		-queue-depth 32768 -drain-batch 128 -drain-interval 5 \
+		-disk-stall 0.5 -disk-stall-for 100 -checkpoint-every 100 -checkpoint-timeout 50 \
+		-out BENCH_serve.json
+
 # bench-guard fails when the allocation-sensitive stages (dataset-build,
 # parse) regress more than 10% allocs/op against the checked-in
-# BENCH_pipeline.json. Opt into it during verify with ASTRA_BENCH_GUARD=1
-# (it re-runs the pipeline fixture, so it is not free).
+# BENCH_pipeline.json, or when the serving path regresses against
+# BENCH_serve.json (p99 latency or shed rate beyond 10% + slack, or any
+# overload-contract violation). Opt into it during verify with
+# ASTRA_BENCH_GUARD=1 (both re-run their fixtures, so it is not free).
 bench-guard:
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -guard -against BENCH_pipeline.json
+	$(GO) run ./cmd/astraload -guard -against BENCH_serve.json

@@ -63,5 +63,6 @@ func BenchmarkStageDatasetBuild(b *testing.B) { benchStage(b, "dataset-build") }
 func BenchmarkStageParse(b *testing.B)        { benchStage(b, "parse") }
 func BenchmarkStageCluster(b *testing.B)      { benchStage(b, "cluster") }
 func BenchmarkStageStreamIngest(b *testing.B) { benchStage(b, "stream-ingest") }
+func BenchmarkStageAdmission(b *testing.B)    { benchStage(b, "admission") }
 func BenchmarkStageAnalyze(b *testing.B)      { benchStage(b, "analyze") }
 func BenchmarkStageReport(b *testing.B)       { benchStage(b, "report") }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/mce"
+	"repro/internal/overload"
 	"repro/internal/stream"
 	"repro/internal/syslog"
 )
@@ -32,6 +33,28 @@ type daemonConfig struct {
 	dimms   int
 	window  time.Duration
 	workers int
+
+	// Admission queue between the scanner and the engine.
+	queueDepth    int
+	queueHigh     int
+	queueLow      int
+	shedPolicy    overload.Policy
+	drainBatch    int
+	drainInterval time.Duration
+
+	// Checkpoint circuit breaker.
+	cpFailures int
+	cpCooldown time.Duration
+	cpTimeout  time.Duration
+
+	// HTTP server hardening.
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	maxHeaderBytes    int
+	maxConcurrent     int
+	requestTimeout    time.Duration
 }
 
 // daemon owns the ingest loop and the state shared with the HTTP layer.
@@ -40,6 +63,18 @@ type daemon struct {
 	log    *slog.Logger
 	engine *stream.Engine
 
+	// queue is the admission layer: the scanner Offers, the drainer
+	// Takes into the engine, sheds charge engine.NoteShed.
+	queue   *overload.Queue[mce.CERecord]
+	breaker *overload.Breaker
+	// cpCh carries pre-marshaled state snapshots to the checkpoint
+	// writer; capacity 1 so a stalled disk backs up into skipped
+	// checkpoints, never into the ingest loop.
+	cpCh chan []byte
+	// fs is the filesystem for state writes; tests and the load harness
+	// substitute a fault injector.
+	fs atomicio.FS
+
 	// statsMu guards the published copy of the scanner's accounting; the
 	// scanner itself is touched only by the ingest goroutine.
 	statsMu sync.Mutex
@@ -47,6 +82,7 @@ type daemon struct {
 
 	offset      atomic.Int64
 	checkpoints atomic.Uint64
+	cpSkipped   atomic.Uint64
 }
 
 // publishStats exposes a snapshot of the scanner accounting to the HTTP
@@ -67,27 +103,35 @@ func (d *daemon) scanConfig() syslog.ScanConfig {
 	return syslog.ScanConfig{DedupWindow: d.cfg.dedupWindow, ReorderWindow: d.cfg.reorderWindow}
 }
 
-// ingest is the daemon's heart: tail the log through the hardened scanner,
-// feed every CE into the engine, and checkpoint periodically. It returns
-// nil on a clean stop (context cancelled), after writing a final
-// checkpoint so the restart resumes exactly where this process left off.
-func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) error {
+// overloadStatus bundles the admission layer's state for /healthz and
+// /metrics.
+func (d *daemon) overloadStatus() overload.Status {
+	return overload.Status{Queue: d.queue.Stats(), Breaker: d.breaker.Stats()}
+}
+
+// ingest is the daemon's heart: tail the log through the hardened
+// scanner and offer every CE to the admission queue. The drainer — not
+// this goroutine — feeds the engine, so a slow clustering step backs up
+// into the queue (visible, bounded, shed by policy) instead of into the
+// tail. Checkpoints are snapshotted here, between Scan calls, and handed
+// to the async writer. It returns the final scanner checkpoint so the
+// shutdown path can persist the exact resume point once the queue has
+// drained.
+func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) (syslog.Checkpoint, error) {
 	follower := syslog.NewFollower(ctx, f, syslog.TailConfig{Poll: d.cfg.poll})
 	sc := syslog.NewScannerConfig(follower, d.scanConfig())
 	if err := sc.Restore(cp); err != nil {
-		return err
+		return cp, err
 	}
 	last := time.Now()
 	for sc.Scan() {
 		if rec := sc.Record(); rec.Kind == syslog.KindCE {
-			d.engine.Ingest(rec.CE)
+			d.queue.Offer(rec.CE)
 		}
 		d.publishStats(sc.Stats())
 		d.offset.Store(sc.Offset())
 		if d.cfg.statePath != "" && time.Since(last) >= d.cfg.checkpointSec {
-			if err := d.writeState(sc.Checkpoint()); err != nil {
-				d.log.Warn("checkpoint failed", "err", err)
-			}
+			d.offerCheckpoint(sc.Checkpoint())
 			last = time.Now()
 		}
 	}
@@ -98,49 +142,117 @@ func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) e
 	if errors.Is(err, syslog.ErrTailStopped) {
 		err = nil
 	}
-	if err != nil {
-		return err
-	}
-	// Clean stop: persist the exact resume point, reorder heap included.
-	if d.cfg.statePath != "" {
-		if werr := d.writeState(sc.Checkpoint()); werr != nil {
-			return fmt.Errorf("final checkpoint: %w", werr)
-		}
-	}
-	return nil
+	return sc.Checkpoint(), err
 }
 
-// writeState atomically persists the scanner checkpoint plus the engine's
-// replayable record state. The write is keyed to the checkpoint, taken
-// between Scan calls, so the engine records are exactly the CEs the
-// scanner had emitted at that point: a restart loses nothing and
-// duplicates nothing.
-func (d *daemon) writeState(cp syslog.Checkpoint) error {
-	data, err := marshalState(cp, d.engine.Records())
-	if err != nil {
-		return err
+// drain is the consumer side of the admission queue: batches go into
+// the engine, Done releases any Freeze waiting for a consistent
+// snapshot. An optional pause between batches exists for the chaos
+// harness (and operators throttling a cold restore); it runs after
+// Done, so checkpoints never wait out the pause.
+func (d *daemon) drain() {
+	for {
+		batch, ok := d.queue.Take(d.cfg.drainBatch)
+		if len(batch) > 0 {
+			d.engine.IngestBatch(batch)
+			d.queue.Done()
+			if d.cfg.drainInterval > 0 {
+				time.Sleep(d.cfg.drainInterval)
+			}
+		}
+		if !ok {
+			return
+		}
 	}
-	_, err = atomicio.WriteFile(context.Background(), atomicio.OS, d.cfg.statePath, func(w io.Writer) error {
+}
+
+// snapshotState renders the daemon's durable state at a consistent
+// instant: Freeze waits out any in-flight drain batch, then the engine's
+// records plus the still-queued records are exactly the CEs the scanner
+// had emitted at cp — a restart loses nothing and duplicates nothing,
+// and the shed count carried alongside keeps the degraded accounting
+// honest across the restart. Memory-only; the disk write happens in the
+// checkpoint writer.
+func (d *daemon) snapshotState(cp syslog.Checkpoint) (data []byte, err error) {
+	d.queue.Freeze(func(queued []mce.CERecord, _ overload.QueueStats) {
+		recs := d.engine.Records()
+		recs = append(recs, queued...)
+		data, err = marshalState(cp, d.engine.Shed(), recs)
+	})
+	return data, err
+}
+
+// offerCheckpoint snapshots state and hands it to the async writer; if
+// the writer is still busy with the previous snapshot (stalled disk),
+// the checkpoint is skipped — cadence degrades, ingest does not.
+func (d *daemon) offerCheckpoint(cp syslog.Checkpoint) {
+	data, err := d.snapshotState(cp)
+	if err != nil {
+		d.log.Warn("checkpoint snapshot failed", "err", err)
+		return
+	}
+	select {
+	case d.cpCh <- data:
+	default:
+		d.cpSkipped.Add(1)
+		d.log.Warn("checkpoint skipped", "reason", "writer busy")
+	}
+}
+
+// checkpointWriter drains cpCh through the circuit breaker: writes that
+// fail — or stall past -checkpoint-timeout — count against the breaker,
+// and an open breaker fast-fails checkpoints for the cooldown instead of
+// queueing more I/O behind a sick disk.
+func (d *daemon) checkpointWriter() {
+	for data := range d.cpCh {
+		if !d.breaker.Allow() {
+			d.cpSkipped.Add(1)
+			continue
+		}
+		start := time.Now()
+		err := d.persist(data)
+		elapsed := time.Since(start)
+		switch {
+		case err != nil:
+			d.breaker.Failure()
+			d.log.Warn("checkpoint failed", "err", err)
+		case d.cfg.cpTimeout > 0 && elapsed > d.cfg.cpTimeout:
+			// The write landed but the disk is stalling: trip toward open
+			// so the next writes are skipped instead of piling up.
+			d.breaker.Failure()
+			d.checkpoints.Add(1)
+			d.log.Warn("checkpoint slow", "elapsed", elapsed, "breaker", d.breaker.State().String())
+		default:
+			d.breaker.Success()
+			d.checkpoints.Add(1)
+			d.log.Info("checkpoint", "bytes", len(data), "offset", d.offset.Load())
+		}
+	}
+}
+
+// persist writes one marshaled state snapshot atomically.
+func (d *daemon) persist(data []byte) error {
+	_, err := atomicio.WriteFile(context.Background(), d.fs, d.cfg.statePath, func(w io.Writer) error {
 		_, werr := w.Write(data)
 		return werr
 	})
-	if err != nil {
-		return err
-	}
-	d.checkpoints.Add(1)
-	d.log.Info("checkpoint", "offset", cp.Offset, "records", d.engine.Summary().Records)
-	return nil
+	return err
 }
 
-// stateMagic heads the daemon state file; version-bumped on change.
-const stateMagic = "astrad-state v1"
+// State file magics; v2 added the shed count. v1 files (no shed line)
+// still load, with shed = 0.
+const (
+	stateMagic   = "astrad-state v2"
+	stateMagicV1 = "astrad-state v1"
+)
 
 // marshalState renders the daemon's durable state: the serialized scanner
-// checkpoint (length-prefixed) followed by the engine's CE records as
-// canonical syslog lines. Replaying those lines into a fresh engine
-// reproduces the fault state exactly (the engine's replay contract), and
-// the scanner checkpoint resumes the tail at the matching byte.
-func marshalState(cp syslog.Checkpoint, recs []mce.CERecord) ([]byte, error) {
+// checkpoint (length-prefixed), the overload shed count, and the engine's
+// CE records as canonical syslog lines. Replaying those lines into a
+// fresh engine reproduces the fault state exactly (the engine's replay
+// contract), the shed count restores the degraded accounting, and the
+// scanner checkpoint resumes the tail at the matching byte.
+func marshalState(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byte, error) {
 	cpb, err := cp.MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -148,6 +260,7 @@ func marshalState(cp syslog.Checkpoint, recs []mce.CERecord) ([]byte, error) {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "%s\ncheckpoint %d\n", stateMagic, len(cpb))
 	b.Write(cpb)
+	fmt.Fprintf(&b, "shed %d\n", shed)
 	fmt.Fprintf(&b, "records %d\n", len(recs))
 	var line []byte
 	for _, r := range recs {
@@ -158,29 +271,42 @@ func marshalState(cp syslog.Checkpoint, recs []mce.CERecord) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// unmarshalState parses a state file back into its checkpoint and records.
-func unmarshalState(data []byte) (syslog.Checkpoint, []mce.CERecord, error) {
+// unmarshalState parses a state file back into its checkpoint, shed
+// count, and records.
+func unmarshalState(data []byte) (syslog.Checkpoint, uint64, []mce.CERecord, error) {
 	var cp syslog.Checkpoint
+	hasShed := true
 	rest, ok := bytes.CutPrefix(data, []byte(stateMagic+"\n"))
 	if !ok {
-		return cp, nil, fmt.Errorf("astrad: state file: bad header")
+		rest, ok = bytes.CutPrefix(data, []byte(stateMagicV1+"\n"))
+		hasShed = false
+		if !ok {
+			return cp, 0, nil, fmt.Errorf("astrad: state file: bad header")
+		}
 	}
 	var cpLen int
 	n, err := fmt.Sscanf(string(firstLine(rest)), "checkpoint %d", &cpLen)
 	if err != nil || n != 1 {
-		return cp, nil, fmt.Errorf("astrad: state file: bad checkpoint header")
+		return cp, 0, nil, fmt.Errorf("astrad: state file: bad checkpoint header")
 	}
 	rest = rest[len(firstLine(rest))+1:]
 	if cpLen < 0 || cpLen > len(rest) {
-		return cp, nil, fmt.Errorf("astrad: state file: truncated checkpoint")
+		return cp, 0, nil, fmt.Errorf("astrad: state file: truncated checkpoint")
 	}
 	if err := cp.UnmarshalBinary(rest[:cpLen]); err != nil {
-		return cp, nil, err
+		return cp, 0, nil, err
 	}
 	rest = rest[cpLen:]
+	var shed uint64
+	if hasShed {
+		if n, err := fmt.Sscanf(string(firstLine(rest)), "shed %d", &shed); err != nil || n != 1 {
+			return cp, 0, nil, fmt.Errorf("astrad: state file: bad shed header")
+		}
+		rest = rest[len(firstLine(rest))+1:]
+	}
 	var count int
 	if n, err := fmt.Sscanf(string(firstLine(rest)), "records %d", &count); err != nil || n != 1 {
-		return cp, nil, fmt.Errorf("astrad: state file: bad records header")
+		return cp, 0, nil, fmt.Errorf("astrad: state file: bad records header")
 	}
 	rest = rest[len(firstLine(rest))+1:]
 	var dec syslog.Decoder
@@ -188,19 +314,19 @@ func unmarshalState(data []byte) (syslog.Checkpoint, []mce.CERecord, error) {
 	for i := 0; i < count; i++ {
 		line := firstLine(rest)
 		if line == nil {
-			return cp, nil, fmt.Errorf("astrad: state file: truncated at record %d of %d", i, count)
+			return cp, 0, nil, fmt.Errorf("astrad: state file: truncated at record %d of %d", i, count)
 		}
 		rest = rest[len(line)+1:]
 		p, err := dec.ParseLineBytes(line)
 		if err != nil || p.Kind != syslog.KindCE {
-			return cp, nil, fmt.Errorf("astrad: state file: record %d: bad CE line %q: %v", i, line, err)
+			return cp, 0, nil, fmt.Errorf("astrad: state file: record %d: bad CE line %q: %v", i, line, err)
 		}
 		recs = append(recs, p.CE)
 	}
 	if len(rest) != 0 {
-		return cp, nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
+		return cp, 0, nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
 	}
-	return cp, recs, nil
+	return cp, shed, recs, nil
 }
 
 // firstLine returns data up to (excluding) the first newline, or nil if
@@ -214,17 +340,17 @@ func firstLine(data []byte) []byte {
 }
 
 // loadState reads the state file; a missing file is a fresh start.
-func loadState(path string) (syslog.Checkpoint, []mce.CERecord, error) {
+func loadState(path string) (syslog.Checkpoint, uint64, []mce.CERecord, error) {
 	var cp syslog.Checkpoint
 	if path == "" {
-		return cp, nil, nil
+		return cp, 0, nil, nil
 	}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return cp, nil, nil
+		return cp, 0, nil, nil
 	}
 	if err != nil {
-		return cp, nil, err
+		return cp, 0, nil, err
 	}
 	return unmarshalState(data)
 }

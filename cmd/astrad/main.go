@@ -34,7 +34,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
+	"repro/internal/mce"
+	"repro/internal/overload"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/syslog"
@@ -61,6 +64,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.dimms, "dimms", topology.DIMMs, "DIMM population for FIT denominators")
 	fs.DurationVar(&cfg.window, "window", stream.DefaultWindow, "rolling event-time window for rates and FIT")
 	fs.IntVar(&cfg.workers, "workers", 0, "clustering parallelism (0 = GOMAXPROCS)")
+
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 65536, "admission queue capacity (records) between the tail and the engine")
+	fs.IntVar(&cfg.queueHigh, "queue-high", 0, "high watermark: depth at which admission starts shedding (0 = capacity)")
+	fs.IntVar(&cfg.queueLow, "queue-low", 0, "low watermark: depth at which shedding stops (0 = capacity/2)")
+	shedPolicy := fs.String("shed-policy", overload.PolicyReject.String(), "what a saturated queue sheds: reject (newest) or drop-oldest")
+	fs.IntVar(&cfg.drainBatch, "drain-batch", 1024, "max records per engine ingest batch")
+	fs.DurationVar(&cfg.drainInterval, "drain-interval", 0, "pause between drain batches (throttle; chaos testing)")
+
+	fs.IntVar(&cfg.cpFailures, "checkpoint-failures", overload.DefaultBreakerFailures, "consecutive checkpoint failures that open the circuit breaker")
+	fs.DurationVar(&cfg.cpCooldown, "checkpoint-cooldown", 30*time.Second, "how long an open checkpoint breaker skips writes before probing")
+	fs.DurationVar(&cfg.cpTimeout, "checkpoint-timeout", 5*time.Second, "checkpoint writes slower than this count as breaker failures (0 disables)")
+
+	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second, "time limit for reading request headers (slow-loris defense)")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "time limit for reading an entire request")
+	fs.DurationVar(&cfg.writeTimeout, "write-timeout", 30*time.Second, "time limit for writing a response (slow-reader defense)")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	fs.IntVar(&cfg.maxHeaderBytes, "max-header-bytes", 1<<20, "maximum request header size")
+	fs.IntVar(&cfg.maxConcurrent, "max-concurrent", serve.DefaultMaxConcurrent, "per-endpoint in-flight request cap (503 beyond; <0 disables)")
+	fs.DurationVar(&cfg.requestTimeout, "request-timeout", serve.DefaultRequestTimeout, "per-request deadline (<0 disables)")
+
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +91,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	policy, err := overload.ParsePolicy(*shedPolicy)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		fs.Usage()
+		return 2
+	}
+	cfg.shedPolicy = policy
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 
 	code, err := serveDaemon(ctx, cfg, logger)
@@ -77,10 +107,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-// serveDaemon wires state restore, the ingest loop and the HTTP server,
-// then blocks until the context is cancelled or ingest fails.
+// serveDaemon wires state restore, the admission queue, the ingest
+// loop, the drainer, the checkpoint writer and the HTTP server, then
+// blocks until the context is cancelled or ingest fails.
 func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (int, error) {
-	cp, recs, err := loadState(cfg.statePath)
+	cp, shed, recs, err := loadState(cfg.statePath)
 	if err != nil {
 		return 1, err
 	}
@@ -96,7 +127,7 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		// the saved state describes bytes that no longer exist.
 		logger.Warn("log shorter than checkpoint; starting fresh",
 			"size", fi.Size(), "offset", cp.Offset)
-		cp, recs = syslog.Checkpoint{}, nil
+		cp, shed, recs = syslog.Checkpoint{}, 0, nil
 	}
 	if _, err := f.Seek(cp.Offset, io.SeekStart); err != nil {
 		return 1, err
@@ -111,17 +142,45 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 			DIMMs:       cfg.dimms,
 			Parallelism: cfg.workers,
 		}),
+		breaker: overload.NewBreaker(overload.BreakerConfig{
+			Failures: cfg.cpFailures,
+			Cooldown: cfg.cpCooldown,
+		}),
+		cpCh: make(chan []byte, 1),
+		fs:   atomicio.OS,
 	}
+	d.queue = overload.NewQueue[mce.CERecord](overload.Config{
+		Capacity: cfg.queueDepth,
+		High:     cfg.queueHigh,
+		Low:      cfg.queueLow,
+		Policy:   cfg.shedPolicy,
+		// Every shed record is charged to the engine's degraded
+		// accounting: offered == ingested + shed, and every analysis
+		// that undercounts says so.
+		OnShed: func(n int) { d.engine.NoteShed(n) },
+	})
 	d.engine.IngestBatch(recs)
+	if shed > 0 {
+		d.engine.NoteShed(int(shed))
+	}
 	if len(recs) > 0 {
-		logger.Info("restored", "records", len(recs), "offset", cp.Offset,
-			"pendingReorder", cp.Buffered())
+		logger.Info("restored", "records", len(recs), "shed", shed,
+			"offset", cp.Offset, "pendingReorder", cp.Buffered())
 	}
 
-	srv := serve.New(serve.Config{Engine: d.engine, Logger: logger, ScanStats: d.snapshotStats})
+	srv := serve.New(serve.Config{
+		Engine:         d.engine,
+		Logger:         logger,
+		ScanStats:      d.snapshotStats,
+		Overload:       d.overloadStatus,
+		MaxConcurrent:  cfg.maxConcurrent,
+		RequestTimeout: cfg.requestTimeout,
+	})
 	reg := srv.Registry()
 	reg.NewCounterFunc("astrad_checkpoints_total", "", "State checkpoints written.",
 		func() float64 { return float64(d.checkpoints.Load()) })
+	reg.NewCounterFunc("astrad_checkpoints_skipped_total", "", "Checkpoints skipped by the breaker or a busy writer.",
+		func() float64 { return float64(d.cpSkipped.Load()) })
 	reg.NewGaugeFunc("astrad_log_offset_bytes", "", "Byte offset consumed in the tailed log.",
 		func() float64 { return float64(d.offset.Load()) })
 
@@ -130,28 +189,72 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		return 1, err
 	}
 	logger.Info("listening", "addr", ln.Addr().String(), "log", cfg.logPath)
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
+		MaxHeaderBytes:    cfg.maxHeaderBytes,
+	}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.Serve(ln) }()
 
+	drainDone := make(chan struct{})
+	go func() { defer close(drainDone); d.drain() }()
+	writerDone := make(chan struct{})
+	go func() { defer close(writerDone); d.checkpointWriter() }()
+
 	tailCtx, cancelTail := context.WithCancel(context.Background())
 	defer cancelTail()
-	ingestDone := make(chan error, 1)
-	go func() { ingestDone <- d.ingest(tailCtx, f, cp) }()
+	type ingestResult struct {
+		cp  syslog.Checkpoint
+		err error
+	}
+	ingestDone := make(chan ingestResult, 1)
+	go func() {
+		cp, err := d.ingest(tailCtx, f, cp)
+		ingestDone <- ingestResult{cp, err}
+	}()
 
 	var ingestErr error
+	var finalCP syslog.Checkpoint
 	select {
 	case <-ctx.Done():
 		logger.Info("shutting down", "reason", "signal")
 		cancelTail()
-		ingestErr = <-ingestDone
-	case ingestErr = <-ingestDone:
+		res := <-ingestDone
+		finalCP, ingestErr = res.cp, res.err
+	case res := <-ingestDone:
 		cancelTail()
+		finalCP, ingestErr = res.cp, res.err
 	case err := <-httpErr:
 		cancelTail()
-		ingestErr = <-ingestDone
+		res := <-ingestDone
+		finalCP, ingestErr = res.cp, res.err
 		if ingestErr == nil {
 			ingestErr = fmt.Errorf("http server: %w", err)
+		}
+	}
+
+	// The tail has stopped: drain what the queue still holds into the
+	// engine, stop the checkpoint writer, then persist the final state
+	// synchronously — bypassing the breaker, because this is the last
+	// chance to save the shed accounting and the resume point.
+	d.queue.Close()
+	<-drainDone
+	close(d.cpCh)
+	<-writerDone
+	if ingestErr == nil && cfg.statePath != "" {
+		data, err := d.snapshotState(finalCP)
+		if err == nil {
+			err = d.persist(data)
+		}
+		if err != nil {
+			ingestErr = fmt.Errorf("final checkpoint: %w", err)
+		} else {
+			d.checkpoints.Add(1)
+			d.log.Info("checkpoint", "final", true, "bytes", len(data), "shed", d.engine.Shed())
 		}
 	}
 
@@ -168,6 +271,6 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 	}
 	sum := d.engine.Summary()
 	logger.Info("stopped", "records", sum.Records, "faults", sum.Faults,
-		"checkpoints", d.checkpoints.Load())
+		"shed", sum.Shed, "checkpoints", d.checkpoints.Load())
 	return 0, nil
 }

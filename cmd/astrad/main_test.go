@@ -324,17 +324,20 @@ func TestStateRoundTrip(t *testing.T) {
 	cp := sc.Checkpoint()
 	recs := ces[:10]
 
-	data, err := marshalState(cp, recs)
+	data, err := marshalState(cp, 7, recs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp2, recs2, err := unmarshalState(data)
+	cp2, shed2, recs2, err := unmarshalState(data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cp2.Offset != cp.Offset || cp2.Buffered() != cp.Buffered() {
 		t.Fatalf("checkpoint round trip: offset %d/%d buffered %d/%d",
 			cp2.Offset, cp.Offset, cp2.Buffered(), cp.Buffered())
+	}
+	if shed2 != 7 {
+		t.Fatalf("shed round trip: %d, want 7", shed2)
 	}
 	if len(recs2) != len(recs) {
 		t.Fatalf("records round trip: %d, want %d", len(recs2), len(recs))
@@ -344,7 +347,7 @@ func TestStateRoundTrip(t *testing.T) {
 			t.Fatalf("record %d diverges after round trip", i)
 		}
 	}
-	data2, err := marshalState(cp2, recs2)
+	data2, err := marshalState(cp2, shed2, recs2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,10 +359,23 @@ func TestStateRoundTrip(t *testing.T) {
 		"empty":     nil,
 		"truncated": data[:len(data)-3],
 		"header":    []byte("nope\n"),
+		"shed":      bytes.Replace(data, []byte("\nshed 7\n"), []byte("\nshed x\n"), 1),
 	} {
-		if _, _, err := unmarshalState(corrupt); err == nil {
+		if _, _, _, err := unmarshalState(corrupt); err == nil {
 			t.Errorf("%s: corrupted state accepted", name)
 		}
+	}
+
+	// A v1 state file (no shed line) must still load, with shed = 0: a
+	// daemon upgraded in place keeps its checkpoint.
+	v1 := bytes.Replace(data, []byte(stateMagic), []byte(stateMagicV1), 1)
+	v1 = bytes.Replace(v1, []byte("\nshed 7\n"), []byte("\n"), 1)
+	cpV1, shedV1, recsV1, err := unmarshalState(v1)
+	if err != nil {
+		t.Fatalf("v1 state rejected: %v", err)
+	}
+	if shedV1 != 0 || cpV1.Offset != cp.Offset || len(recsV1) != len(recs) {
+		t.Fatalf("v1 state round trip: shed=%d offset=%d records=%d", shedV1, cpV1.Offset, len(recsV1))
 	}
 }
 

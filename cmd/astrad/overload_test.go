@@ -1,0 +1,241 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// startDaemonArgs launches run() in-process with extra flags appended
+// and waits for its listen address.
+func startDaemonArgs(t *testing.T, logPath, statePath string, extra ...string) (addr string, cancel context.CancelFunc, done chan int, errs *syncBuf) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	errs = &syncBuf{}
+	done = make(chan int, 1)
+	args := append([]string{
+		"-log", logPath, "-state", statePath, "-listen", "127.0.0.1:0",
+		"-dedup-window", fmt.Sprint(testDedup), "-reorder-window", testReorder.String(),
+		"-poll", "1ms", "-checkpoint-every", "100ms",
+		"-dimms", fmt.Sprint(48 * topology.SlotsPerNode),
+	}, extra...)
+	go func() { done <- run(ctx, args, io.Discard, errs) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(errs.String()); m != nil {
+			return m[1], cancelCtx, done, errs
+		}
+		if time.Now().After(deadline) {
+			cancelCtx()
+			t.Fatalf("daemon never listened; stderr:\n%s", errs.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// healthBody mirrors the /healthz response fields the overload tests
+// care about.
+type healthBody struct {
+	Status   string `json:"status"`
+	Records  int    `json:"records"`
+	Offered  int    `json:"offered"`
+	Shed     int    `json:"shed"`
+	Overload *struct {
+		Queue struct {
+			Offered   uint64 `json:"offered"`
+			Shed      uint64 `json:"shed"`
+			Depth     int    `json:"depth"`
+			Saturated bool   `json:"saturated"`
+		} `json:"queue"`
+	} `json:"overload"`
+}
+
+// TestDaemonSIGTERMUnderOverload: a tiny admission queue and a
+// throttled drainer force sustained shedding, then shutdown arrives
+// mid-overload. The daemon must exit 0, persist the shed count, and a
+// restart must reproduce balanced books: offered == records + shed, no
+// record lost beyond the counted sheds, none duplicated.
+func TestDaemonSIGTERMUnderOverload(t *testing.T) {
+	full, ces := testLog(t)
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "syslog.log")
+	statePath := filepath.Join(dir, "astrad.state")
+	if err := os.WriteFile(logPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, cancel, done, errs := startDaemonArgs(t, logPath, statePath,
+		"-queue-depth", "64", "-queue-high", "32", "-queue-low", "8",
+		"-drain-batch", "8", "-drain-interval", "5ms",
+		"-shed-policy", "reject", "-checkpoint-every", "50ms")
+
+	// Wait for overload to bite: the engine's degraded accounting shows
+	// shed records and /healthz says so.
+	var h healthBody
+	deadline := time.Now().Add(20 * time.Second)
+	for h.Shed == 0 {
+		if code := httpGetJSON(t, "http://"+addr+"/healthz", &h); code != http.StatusOK {
+			t.Fatalf("healthz = %d mid-overload", code)
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("overload never shed; healthz=%+v stderr:\n%s", h, errs.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h.Status != "shedding" && h.Status != "degraded" {
+		t.Fatalf("healthz status = %q while shedding", h.Status)
+	}
+	if h.Overload == nil {
+		t.Fatal("healthz missing overload accounting")
+	}
+	if h.Offered != h.Records+h.Shed {
+		t.Fatalf("healthz books do not balance: offered %d != records %d + shed %d",
+			h.Offered, h.Records, h.Shed)
+	}
+
+	// SIGTERM equivalent mid-overload: drain, persist, exit 0.
+	cancel()
+	if code := <-done; code != 0 {
+		t.Fatalf("overloaded shutdown exit = %d; stderr:\n%s", code, errs.String())
+	}
+	_, shed, recs, err := unmarshalState(mustReadFile(t, statePath))
+	if err != nil {
+		t.Fatalf("state after overloaded shutdown: %v", err)
+	}
+	if shed == 0 {
+		t.Fatal("shed count not persisted")
+	}
+
+	// Restart with a deep queue and no throttle: the rest of the log
+	// flows in, the shed stays charged, and the books still balance.
+	addr, cancel, done, errs = startDaemonArgs(t, logPath, statePath)
+	defer func() {
+		cancel()
+		<-done
+	}()
+	want := len(ces) - int(shed)
+	if want < len(recs) {
+		t.Fatalf("state carries %d records but only %d remain reachable", len(recs), want)
+	}
+	sum := waitForRecords(t, addr, want)
+	if sum.Records != want {
+		t.Fatalf("records = %d, want %d (= %d scanned - %d shed)", sum.Records, want, len(ces), shed)
+	}
+	if sum.Shed < int(shed) {
+		t.Fatalf("restored shed = %d, want >= %d", sum.Shed, shed)
+	}
+	if sum.Offered != sum.Records+sum.Shed {
+		t.Fatalf("books do not balance after restart: %+v", sum)
+	}
+	if !sum.Degraded {
+		t.Fatal("engine not degraded despite shed records")
+	}
+	var fit struct {
+		Windowed struct {
+			Degraded bool `json:"degraded"`
+		} `json:"windowed"`
+	}
+	httpGetJSON(t, "http://"+addr+"/v1/fit", &fit)
+	if !fit.Windowed.Degraded {
+		t.Fatal("windowed FIT hides the shed records")
+	}
+}
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDaemonKillUnderBacklogDifferential: SIGKILL the real binary while
+// a throttled drainer holds a deep backlog, so the surviving state file
+// is whatever the async checkpoint writer last managed to land — taken
+// by Freeze mid-backlog. Restarting over it must still converge to the
+// exact batch answer: the frozen snapshot (engine records + queued
+// records) was prefix-consistent with the scanner checkpoint.
+func TestDaemonKillUnderBacklogDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the astrad binary")
+	}
+	full, ces := testLog(t)
+	wantFaults := mustCluster(t, ces)
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "astrad")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	logPath := filepath.Join(dir, "syslog.log")
+	statePath := filepath.Join(dir, "astrad.state")
+	if err := os.WriteFile(logPath, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin,
+		"-log", logPath, "-state", statePath, "-listen", "127.0.0.1:0",
+		"-dedup-window", fmt.Sprint(testDedup), "-reorder-window", testReorder.String(),
+		"-poll", "1ms", "-checkpoint-every", "20ms",
+		"-drain-batch", "16", "-drain-interval", "2ms")
+	errs := &syncBuf{}
+	cmd.Stderr = errs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for at least one async checkpoint while the backlog drains.
+	deadline := time.Now().Add(20 * time.Second)
+	for !strings.Contains(errs.String(), "msg=checkpoint") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint before kill; stderr:\n%s", errs.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("no state file survived the kill: %v", err)
+	}
+
+	// Restart in-process over the survivor: exact convergence, nothing
+	// shed (the queue was deep), nothing lost or duplicated.
+	addr, cancel, done, _ := startDaemonArgs(t, logPath, statePath)
+	defer func() {
+		cancel()
+		<-done
+	}()
+	sum := waitForRecords(t, addr, len(ces))
+	if sum.Records != len(ces) {
+		t.Fatalf("records = %d, want %d", sum.Records, len(ces))
+	}
+	if sum.Shed != 0 {
+		t.Fatalf("deep queue shed %d records", sum.Shed)
+	}
+	if sum.Faults != len(wantFaults) {
+		t.Fatalf("faults = %d, want batch %d", sum.Faults, len(wantFaults))
+	}
+	var h healthBody
+	httpGetJSON(t, "http://"+addr+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("healthz after convergence = %q, want ok", h.Status)
+	}
+}

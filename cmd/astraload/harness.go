@@ -1,0 +1,431 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/iofault"
+	"repro/internal/mce"
+	"repro/internal/overload"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Scenario pins one load/chaos run. Every field lands in the result so
+// a baseline is self-describing and `-guard` can re-run it exactly.
+type Scenario struct {
+	Seed  uint64 `json:"seed"`
+	Nodes int    `json:"nodes"`
+	// DurationSec is the load phase length; IngestRate is the sustained
+	// offer rate in records/s, multiplied by BurstFactor inside the
+	// burst window [BurstAtSec, BurstAtSec+BurstForSec).
+	DurationSec float64 `json:"durationSec"`
+	IngestRate  int     `json:"ingestRate"`
+	BurstFactor float64 `json:"burstFactor"`
+	BurstAtSec  float64 `json:"burstAtSec"`
+	BurstForSec float64 `json:"burstForSec"`
+	// API load: APIClients goroutines sharing APIQPS requests/s across
+	// the read endpoints, plus SlowClients that trickle bytes to prove
+	// the server's timeouts cut them off.
+	APIClients  int `json:"apiClients"`
+	APIQPS      int `json:"apiQPS"`
+	SlowClients int `json:"slowClients"`
+	// Admission queue shape.
+	QueueDepth      int     `json:"queueDepth"`
+	QueueHigh       int     `json:"queueHigh"`
+	QueueLow        int     `json:"queueLow"`
+	ShedPolicy      string  `json:"shedPolicy"`
+	DrainBatch      int     `json:"drainBatch"`
+	DrainIntervalMS float64 `json:"drainIntervalMS"`
+	// Disk chaos: checkpoint writes stall with probability DiskStallP
+	// for DiskStallMS; writes slower than CheckpointTimeoutMS count as
+	// breaker failures.
+	DiskStallP          float64 `json:"diskStallP"`
+	DiskStallMS         float64 `json:"diskStallMS"`
+	CheckpointEveryMS   float64 `json:"checkpointEveryMS"`
+	CheckpointTimeoutMS float64 `json:"checkpointTimeoutMS"`
+}
+
+// APIStats aggregates the read-side experience under load.
+type APIStats struct {
+	Requests uint64  `json:"requests"`
+	Rejected uint64  `json:"rejected"` // 503s: explicit shed, not failure
+	Errors   uint64  `json:"errors"`   // transport errors and 5xx
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+}
+
+// CheckpointStats aggregates the breaker-guarded checkpoint path.
+type CheckpointStats struct {
+	Written      uint64 `json:"written"`
+	Skipped      uint64 `json:"skipped"`
+	BreakerOpens uint64 `json:"breakerOpens"`
+}
+
+// Result is one astraload run: the scenario echoed, the accounting, and
+// the verdicts. BENCH_serve.json is exactly this document.
+type Result struct {
+	Scenario Scenario `json:"scenario"`
+
+	Offered  uint64  `json:"offered"`
+	Ingested uint64  `json:"ingested"`
+	Shed     uint64  `json:"shed"`
+	ShedRate float64 `json:"shedRate"`
+	// InvariantOK: offered == ingested + shed, exactly, and the engine's
+	// own shed ledger agrees with the queue's.
+	InvariantOK bool `json:"invariantOK"`
+	// DifferentialOK: the engine's final fault population equals a batch
+	// clustering of exactly the records it ingested.
+	DifferentialOK bool `json:"differentialOK"`
+	Faults         int  `json:"faults"`
+
+	Saturations uint64 `json:"saturations"`
+	// RecoveryMs is how long after the load stopped the backlog took to
+	// drain to empty.
+	RecoveryMs float64 `json:"recoveryMs"`
+
+	API         APIStats        `json:"api"`
+	SlowKilled  uint64          `json:"slowKilled"`
+	Checkpoints CheckpointStats `json:"checkpoints"`
+}
+
+// Run executes the scenario end to end against a real HTTP server on a
+// loopback listener.
+func (sc Scenario) Run(ctx context.Context, logger *slog.Logger) (Result, error) {
+	var res Result
+	res.Scenario = sc
+	policy, err := overload.ParsePolicy(sc.ShedPolicy)
+	if err != nil {
+		return res, err
+	}
+	ds, err := dataset.Build(ctx, func() dataset.Config {
+		cfg := dataset.DefaultConfig(sc.Seed)
+		cfg.Nodes = sc.Nodes
+		return cfg
+	}())
+	if err != nil {
+		return res, err
+	}
+	if len(ds.CERecords) == 0 {
+		return res, fmt.Errorf("astraload: dataset produced no CE records")
+	}
+
+	engine := stream.New(stream.Config{DIMMs: sc.Nodes * topology.SlotsPerNode})
+	queue := overload.NewQueue[mce.CERecord](overload.Config{
+		Capacity: sc.QueueDepth,
+		High:     sc.QueueHigh,
+		Low:      sc.QueueLow,
+		Policy:   policy,
+		OnShed:   func(n int) { engine.NoteShed(n) },
+	})
+	breaker := overload.NewBreaker(overload.BreakerConfig{
+		Failures: 2,
+		Cooldown: 250 * time.Millisecond,
+	})
+
+	srv := serve.New(serve.Config{
+		Engine: engine,
+		Logger: logger,
+		Overload: func() overload.Status {
+			return overload.Status{Queue: queue.Stats(), Breaker: breaker.Stats()}
+		},
+		MaxConcurrent:  32,
+		RequestTimeout: 2 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 500 * time.Millisecond,
+		ReadTimeout:       2 * time.Second,
+		WriteTimeout:      2 * time.Second,
+		IdleTimeout:       10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	addr := ln.Addr().String()
+
+	// Drainer: queue -> engine, pausing after Done so Freeze and the
+	// checkpoint path never wait out the throttle.
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for {
+			batch, ok := queue.Take(sc.DrainBatch)
+			if len(batch) > 0 {
+				engine.IngestBatch(batch)
+				queue.Done()
+				if sc.DrainIntervalMS > 0 {
+					time.Sleep(time.Duration(sc.DrainIntervalMS * float64(time.Millisecond)))
+				}
+			}
+			if !ok {
+				return
+			}
+		}
+	}()
+
+	// Chaos-checkpoint loop: periodic snapshots through a stalling disk,
+	// gated by the breaker so the stalls degrade cadence, never ingest.
+	stateDir, err := os.MkdirTemp("", "astraload")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(stateDir)
+	fsys := iofault.New(atomicio.OS, iofault.Config{
+		Seed:       sc.Seed,
+		StallWrite: sc.DiskStallP,
+		Stall:      time.Duration(sc.DiskStallMS * float64(time.Millisecond)),
+	})
+	cpCtx, cpStop := context.WithCancel(ctx)
+	cpDone := make(chan struct{})
+	var cpWritten, cpSkipped atomic.Uint64
+	go func() {
+		defer close(cpDone)
+		path := filepath.Join(stateDir, "astraload.state")
+		timeout := time.Duration(sc.CheckpointTimeoutMS * float64(time.Millisecond))
+		tick := time.NewTicker(time.Duration(sc.CheckpointEveryMS * float64(time.Millisecond)))
+		defer tick.Stop()
+		for {
+			select {
+			case <-cpCtx.Done():
+				return
+			case <-tick.C:
+			}
+			if !breaker.Allow() {
+				cpSkipped.Add(1)
+				continue
+			}
+			var payload []byte
+			queue.Freeze(func(queued []mce.CERecord, st overload.QueueStats) {
+				payload, _ = json.Marshal(struct {
+					Records int                 `json:"records"`
+					Queued  int                 `json:"queued"`
+					Stats   overload.QueueStats `json:"stats"`
+				}{engine.Summary().Records, len(queued), st})
+			})
+			start := time.Now()
+			_, werr := atomicio.WriteFile(context.Background(), fsys, path, func(w io.Writer) error {
+				_, e := w.Write(payload)
+				return e
+			})
+			if werr != nil || (timeout > 0 && time.Since(start) > timeout) {
+				breaker.Failure()
+			} else {
+				breaker.Success()
+				cpWritten.Add(1)
+			}
+		}
+	}()
+
+	// API herd.
+	apiCtx, apiStop := context.WithCancel(ctx)
+	var apiWG sync.WaitGroup
+	var apiRejected, apiErrors, slowKilled atomic.Uint64
+	latencies := make([][]float64, sc.APIClients)
+	endpoints := []string{"/v1/breakdown", "/v1/faults", "/v1/fit", "/healthz"}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for c := 0; c < sc.APIClients; c++ {
+		c := c
+		perClient := sc.APIQPS / max(sc.APIClients, 1)
+		if perClient <= 0 {
+			perClient = 1
+		}
+		apiWG.Add(1)
+		go func() {
+			defer apiWG.Done()
+			tick := time.NewTicker(time.Second / time.Duration(perClient))
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-apiCtx.Done():
+					return
+				case <-tick.C:
+				}
+				start := time.Now()
+				resp, err := client.Get("http://" + addr + endpoints[i%len(endpoints)])
+				if err != nil {
+					apiErrors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latencies[c] = append(latencies[c], float64(time.Since(start).Microseconds())/1000)
+				switch {
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					apiRejected.Add(1)
+				case resp.StatusCode >= 500:
+					apiErrors.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Slow clients: trickle half a request and hold; the server's
+	// header timeout must cut the connection, not a human.
+	for s := 0; s < sc.SlowClients; s++ {
+		apiWG.Add(1)
+		go func() {
+			defer apiWG.Done()
+			for apiCtx.Err() == nil {
+				conn, err := net.DialTimeout("tcp", addr, time.Second)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(conn, "GET /v1/faults HTTP/1.1\r\nHost: astraload\r\n")
+				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				buf := make([]byte, 1)
+				if _, err := conn.Read(buf); err != nil {
+					// Connection cut without a response: the timeout won.
+					slowKilled.Add(1)
+				}
+				conn.Close()
+			}
+		}()
+	}
+
+	// Producer: paced offers with the burst window, record times shifted
+	// forward on every pool wrap so event time stays monotonic.
+	duration := time.Duration(sc.DurationSec * float64(time.Second))
+	burstAt := time.Duration(sc.BurstAtSec * float64(time.Second))
+	burstEnd := burstAt + time.Duration(sc.BurstForSec*float64(time.Second))
+	pool := ds.CERecords
+	var minT, maxT time.Time
+	for _, r := range pool {
+		if minT.IsZero() || r.Time.Before(minT) {
+			minT = r.Time
+		}
+		if r.Time.After(maxT) {
+			maxT = r.Time
+		}
+	}
+	span := maxT.Sub(minT) + time.Minute
+	idx, wrap := 0, 0
+	next := func() mce.CERecord {
+		r := pool[idx]
+		if wrap > 0 {
+			r.Time = r.Time.Add(time.Duration(wrap) * span)
+		}
+		idx++
+		if idx == len(pool) {
+			idx = 0
+			wrap++
+		}
+		return r
+	}
+	var sent float64
+	start := time.Now()
+	tick := time.NewTicker(2 * time.Millisecond)
+	for ctx.Err() == nil {
+		<-tick.C
+		elapsed := time.Since(start)
+		if elapsed > duration {
+			elapsed = duration
+		}
+		target := float64(sc.IngestRate) * elapsed.Seconds()
+		if sc.BurstFactor > 1 && elapsed > burstAt {
+			be := elapsed
+			if be > burstEnd {
+				be = burstEnd
+			}
+			target += (sc.BurstFactor - 1) * float64(sc.IngestRate) * (be - burstAt).Seconds()
+		}
+		for sent < target {
+			queue.Offer(next())
+			sent++
+		}
+		if elapsed >= duration {
+			break
+		}
+	}
+	tick.Stop()
+	loadEnd := time.Now()
+	if err := ctx.Err(); err != nil {
+		apiStop()
+		cpStop()
+		queue.Close()
+		<-drainDone
+		return res, err
+	}
+
+	// Load is off: measure recovery (backlog drain to empty), then stop
+	// everything in dependency order.
+	queue.Close()
+	<-drainDone
+	res.RecoveryMs = float64(time.Since(loadEnd).Microseconds()) / 1000
+	apiStop()
+	cpStop()
+	apiWG.Wait()
+	<-cpDone
+
+	// Books.
+	qs := queue.Stats()
+	sum := engine.Summary()
+	res.Offered = qs.Offered
+	res.Ingested = uint64(sum.Records)
+	res.Shed = qs.Shed
+	if qs.Offered > 0 {
+		res.ShedRate = float64(qs.Shed) / float64(qs.Offered)
+	}
+	res.Saturations = qs.Saturations
+	res.InvariantOK = qs.Offered == res.Ingested+qs.Shed && engine.Shed() == qs.Shed
+	res.Faults = sum.Faults
+
+	// Differential: batch-cluster exactly what the engine ingested.
+	batch, err := core.Cluster(ctx, engine.Records(), core.DefaultClusterConfig())
+	if err != nil {
+		return res, err
+	}
+	wantBreak := core.BreakdownByMode(engine.Records(), batch)
+	res.DifferentialOK = sum.Faults == len(batch) &&
+		sum.FaultsByMode == wantBreak.FaultsByMode &&
+		sum.ErrorsByMode == wantBreak.ErrorsByMode
+
+	// Latency distribution.
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	res.API = APIStats{
+		Requests: uint64(len(all)),
+		Rejected: apiRejected.Load(),
+		Errors:   apiErrors.Load(),
+		P50Ms:    percentile(all, 0.50),
+		P99Ms:    percentile(all, 0.99),
+	}
+	res.SlowKilled = slowKilled.Load()
+	res.Checkpoints = CheckpointStats{
+		Written:      cpWritten.Load(),
+		Skipped:      cpSkipped.Load(),
+		BreakerOpens: breaker.Stats().Opens,
+	}
+	return res, nil
+}
+
+// percentile reads q from an ascending slice (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

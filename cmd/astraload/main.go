@@ -1,0 +1,168 @@
+// Command astraload is the overload/chaos harness for the online
+// subsystem: it drives a real serve.Server + admission queue + engine
+// stack with sustained high-rate ingest, an API request herd, slow
+// clients, traffic bursts and a stalling checkpoint disk, then verifies
+// the overload contract and measures the experience:
+//
+//   - offered == ingested + shed, exactly (no record silently lost)
+//   - the final fault population equals a batch clustering of exactly
+//     the ingested records (overload never corrupts analyses)
+//   - p50/p99 API latency, shed rate, recovery time after the load
+//     stops, checkpoint-breaker behavior under disk stalls
+//
+// The result document is BENCH_serve.json, the serving-path baseline
+// `make bench-serve` writes and `make bench-guard` defends:
+//
+//	astraload [flags] [-out BENCH_serve.json]
+//	astraload -guard [-against BENCH_serve.json] [-tolerance 0.10]
+//
+// -guard re-runs the baseline's own pinned scenario and fails on p99
+// latency or shed-rate regressions beyond the tolerance (plus a small
+// absolute slack to absorb scheduler jitter), or on any contract
+// violation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/atomicio"
+	"repro/internal/overload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("astraload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sc := Scenario{}
+	fs.Uint64Var(&sc.Seed, "seed", 1, "dataset seed")
+	fs.IntVar(&sc.Nodes, "nodes", 64, "dataset system size")
+	fs.Float64Var(&sc.DurationSec, "duration", 3, "load phase seconds")
+	fs.IntVar(&sc.IngestRate, "ingest-rate", 100000, "sustained offer rate, records/s")
+	fs.Float64Var(&sc.BurstFactor, "burst-factor", 3, "rate multiplier inside the burst window")
+	fs.Float64Var(&sc.BurstAtSec, "burst-at", 1, "burst start, seconds into the run")
+	fs.Float64Var(&sc.BurstForSec, "burst-for", 0.5, "burst length, seconds")
+	fs.IntVar(&sc.APIClients, "api-clients", 4, "concurrent API reader goroutines")
+	fs.IntVar(&sc.APIQPS, "api-qps", 400, "total API requests/s across clients")
+	fs.IntVar(&sc.SlowClients, "slow-clients", 2, "clients that trickle partial requests")
+	fs.IntVar(&sc.QueueDepth, "queue-depth", 32768, "admission queue capacity")
+	fs.IntVar(&sc.QueueHigh, "queue-high", 0, "high watermark (0 = capacity)")
+	fs.IntVar(&sc.QueueLow, "queue-low", 0, "low watermark (0 = capacity/2)")
+	fs.StringVar(&sc.ShedPolicy, "shed-policy", overload.PolicyReject.String(), "reject or drop-oldest")
+	fs.IntVar(&sc.DrainBatch, "drain-batch", 128, "records per engine ingest batch")
+	fs.Float64Var(&sc.DrainIntervalMS, "drain-interval", 5, "pause between drain batches, ms (bounds drain rate)")
+	fs.Float64Var(&sc.DiskStallP, "disk-stall", 0.5, "probability a checkpoint write stalls")
+	fs.Float64Var(&sc.DiskStallMS, "disk-stall-for", 100, "stall length, ms")
+	fs.Float64Var(&sc.CheckpointEveryMS, "checkpoint-every", 100, "checkpoint cadence, ms")
+	fs.Float64Var(&sc.CheckpointTimeoutMS, "checkpoint-timeout", 50, "writes slower than this count as breaker failures, ms")
+	out := fs.String("out", "BENCH_serve.json", "result/baseline path")
+	guard := fs.Bool("guard", false, "re-run the baseline's scenario and fail on regression instead of writing")
+	against := fs.String("against", "BENCH_serve.json", "baseline to guard against")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional p99/shed-rate growth before -guard fails")
+	p99Slack := fs.Float64("p99-slack", 5, "absolute p99 slack, ms, on top of the tolerance")
+	shedSlack := fs.Float64("shed-slack", 0.02, "absolute shed-rate slack on top of the tolerance")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	if *guard {
+		return runGuard(ctx, logger, stdout, stderr, *against, *tolerance, *p99Slack, *shedSlack)
+	}
+
+	res, err := sc.Run(ctx, logger)
+	if err != nil {
+		fmt.Fprintln(stderr, "astraload:", err)
+		return 1
+	}
+	report(stdout, res)
+	if !res.InvariantOK || !res.DifferentialOK {
+		fmt.Fprintln(stderr, "astraload: overload contract violated; not writing a baseline")
+		return 1
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "astraload:", err)
+		return 1
+	}
+	if _, err := atomicio.WriteFile(context.WithoutCancel(ctx), atomicio.OS, *out, func(w io.Writer) error {
+		_, werr := w.Write(append(data, '\n'))
+		return werr
+	}); err != nil {
+		fmt.Fprintln(stderr, "astraload:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return 0
+}
+
+func report(w io.Writer, res Result) {
+	fmt.Fprintf(w, "offered %d  ingested %d  shed %d (%.1f%%)  invariant=%v differential=%v\n",
+		res.Offered, res.Ingested, res.Shed, 100*res.ShedRate, res.InvariantOK, res.DifferentialOK)
+	fmt.Fprintf(w, "api: %d requests, %d rejected (503), %d errors, p50 %.2fms p99 %.2fms\n",
+		res.API.Requests, res.API.Rejected, res.API.Errors, res.API.P50Ms, res.API.P99Ms)
+	fmt.Fprintf(w, "recovery %.0fms  saturations %d  slow clients cut %d  checkpoints %d written %d skipped %d breaker opens\n",
+		res.RecoveryMs, res.Saturations, res.SlowKilled,
+		res.Checkpoints.Written, res.Checkpoints.Skipped, res.Checkpoints.BreakerOpens)
+}
+
+// runGuard re-runs the baseline's own scenario and compares the two
+// regression-sensitive numbers: read-path p99 and shed rate. Contract
+// violations fail outright.
+func runGuard(ctx context.Context, logger *slog.Logger, stdout, stderr io.Writer, path string, tolerance, p99Slack, shedSlack float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "astraload: guard: %v\n", err)
+		return 1
+	}
+	var base Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "astraload: guard: %s: %v\n", path, err)
+		return 1
+	}
+	res, err := base.Scenario.Run(ctx, logger)
+	if err != nil {
+		fmt.Fprintln(stderr, "astraload: guard:", err)
+		return 1
+	}
+	report(stdout, res)
+	if !res.InvariantOK || !res.DifferentialOK {
+		fmt.Fprintln(stderr, "astraload: guard: overload contract violated")
+		return 1
+	}
+	failed := false
+	p99Limit := base.API.P99Ms*(1+tolerance) + p99Slack
+	status := "ok"
+	if res.API.P99Ms > p99Limit {
+		status = "REGRESSION"
+		failed = true
+	}
+	fmt.Fprintf(stdout, "p99       %8.2fms (baseline %8.2fms, limit %8.2fms) %s\n",
+		res.API.P99Ms, base.API.P99Ms, p99Limit, status)
+	shedLimit := base.ShedRate*(1+tolerance) + shedSlack
+	status = "ok"
+	if res.ShedRate > shedLimit {
+		status = "REGRESSION"
+		failed = true
+	}
+	fmt.Fprintf(stdout, "shed rate %8.4f   (baseline %8.4f,   limit %8.4f)   %s\n",
+		res.ShedRate, base.ShedRate, shedLimit, status)
+	if failed {
+		fmt.Fprintln(stderr, "astraload: guard: serving-path regression beyond tolerance; investigate or regenerate the baseline with `make bench-serve`")
+		return 1
+	}
+	return 0
+}

@@ -18,6 +18,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/overload"
 	"repro/internal/stream"
 	"repro/internal/syslog"
 	"repro/internal/topology"
@@ -162,6 +164,48 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 				e.IngestBatch(ds.CERecords)
 				if sum := e.Summary(); sum.Records != len(ds.CERecords) {
 					panic(fmt.Sprintf("benchstage: stream ingested %d records, want %d", sum.Records, len(ds.CERecords)))
+				}
+			},
+		},
+		{
+			Name:    "admission",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				// The overload path at its fast edge: every record through
+				// the admission queue (producer + drainer handoff) into the
+				// engine, queue deep enough that nothing sheds — measuring
+				// the queue's overhead over raw stream-ingest.
+				e := stream.New(stream.Config{
+					Cluster:     core.ClusterConfig{Parallelism: workers},
+					DIMMs:       nodes * topology.SlotsPerNode,
+					Parallelism: workers,
+				})
+				q := overload.NewQueue[mce.CERecord](overload.Config{
+					Capacity: len(ds.CERecords) + 1,
+					OnShed:   func(n int) { e.NoteShed(n) },
+				})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						batch, ok := q.Take(1024)
+						if len(batch) > 0 {
+							e.IngestBatch(batch)
+							q.Done()
+						}
+						if !ok {
+							return
+						}
+					}
+				}()
+				for _, r := range ds.CERecords {
+					q.Offer(r)
+				}
+				q.Close()
+				<-done
+				if sum := e.Summary(); sum.Records != len(ds.CERecords) || sum.Shed != 0 {
+					panic(fmt.Sprintf("benchstage: admission ingested %d records (%d shed), want %d",
+						sum.Records, sum.Shed, len(ds.CERecords)))
 				}
 			},
 		},

@@ -18,6 +18,7 @@ import (
 	"io/fs"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/atomicio"
 	"repro/internal/simrand"
@@ -49,7 +50,21 @@ type Config struct {
 	// write in flight at the kill-point tears (a random prefix lands).
 	// <= 0 disables.
 	KillAfterOps int64
+	// StallWrite is the probability a write blocks for Stall before
+	// proceeding (it still succeeds): a disk that has not failed, just
+	// stopped answering promptly — the shape of a controller resetting or
+	// a filesystem journal flushing. Overload tests use it to prove a
+	// slow checkpoint device degrades checkpoint cadence without wedging
+	// ingest.
+	StallWrite float64
+	// Stall is how long a stalled write blocks; defaults to
+	// DefaultStall when StallWrite is set and Stall is zero.
+	Stall time.Duration
 }
+
+// DefaultStall is the per-write stall applied when StallWrite is set
+// without an explicit duration.
+const DefaultStall = 50 * time.Millisecond
 
 // FS wraps an inner atomicio.FS with fault injection. Safe for
 // concurrent use; decisions are drawn from one seeded stream in
@@ -198,7 +213,22 @@ type file struct {
 	f  atomicio.File
 }
 
+// stall blocks the calling writer when the stall fault fires. The sleep
+// happens outside the injector mutex so a stalled writer slows only
+// itself — exactly how one laggard file handle behaves on real storage.
+func (f *FS) stall() {
+	if !f.roll(f.cfg.StallWrite) {
+		return
+	}
+	d := f.cfg.Stall
+	if d <= 0 {
+		d = DefaultStall
+	}
+	time.Sleep(d)
+}
+
 func (w *file) Write(p []byte) (int, error) {
+	w.fs.stall()
 	if err := w.fs.op(); err != nil {
 		// A crash tears the write: a random prefix lands before the
 		// process "dies". Only ever observable in a temp file.

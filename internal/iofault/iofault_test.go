@@ -167,3 +167,51 @@ func TestRetryDefeatsTransientWrites(t *testing.T) {
 		t.Errorf("content mismatch after retried write (size %d)", info.Size)
 	}
 }
+
+// TestStallWrite: a stalling disk delays writes but loses nothing — the
+// file lands intact, just late. StallWrite=1 makes every write stall
+// deterministically.
+func TestStallWrite(t *testing.T) {
+	dir := t.TempDir()
+	const stall = 30 * time.Millisecond
+	fsys := New(atomicio.OS, Config{Seed: 9, StallWrite: 1, Stall: stall})
+
+	start := time.Now()
+	path := filepath.Join(dir, "slow.txt")
+	if err := writeOnce(fsys, path, "late but whole\n"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("stalled write finished in %v, want >= %v", elapsed, stall)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "late but whole\n" {
+		t.Fatalf("stalled write corrupted content: %q", got)
+	}
+
+	// StallWrite=0 must never sleep: the fast path stays fast.
+	quick := New(atomicio.OS, Config{Seed: 9})
+	start = time.Now()
+	if err := writeOnce(quick, filepath.Join(dir, "fast.txt"), "now\n"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fault-free write took %v", elapsed)
+	}
+}
+
+// TestStallDefaultDuration: Stall left zero falls back to DefaultStall.
+func TestStallDefaultDuration(t *testing.T) {
+	dir := t.TempDir()
+	fsys := New(atomicio.OS, Config{Seed: 3, StallWrite: 1})
+	start := time.Now()
+	if err := writeOnce(fsys, filepath.Join(dir, "d.txt"), "x\n"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < DefaultStall {
+		t.Fatalf("default stall write finished in %v, want >= %v", elapsed, DefaultStall)
+	}
+}

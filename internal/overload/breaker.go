@@ -1,0 +1,172 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every request through (healthy dependency).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast without touching the dependency until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets one probe through; its outcome closes or
+	// re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and /healthz.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerFailures = 3
+	DefaultBreakerCooldown = 30 * time.Second
+)
+
+// BreakerConfig tunes a Breaker. The zero value is usable: 3 consecutive
+// failures open the circuit for 30 seconds.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that opens the circuit
+	// (0 means DefaultBreakerFailures).
+	Failures int
+	// Cooldown is how long the circuit stays open before a half-open
+	// probe is allowed (0 means DefaultBreakerCooldown).
+	Cooldown time.Duration
+	// Now is the clock, injectable for tests (nil means time.Now).
+	Now func() time.Time
+}
+
+// BreakerStats is a point-in-time view of a breaker.
+type BreakerStats struct {
+	// State is the current position ("closed", "open", "half-open").
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	// Opens counts transitions into the open state; Rejected counts
+	// requests failed fast while open.
+	Opens    uint64 `json:"opens"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Breaker is a consecutive-failure circuit breaker. astrad wraps its
+// checkpoint writes with one so a stalling or erroring disk degrades
+// checkpoint cadence (writes are skipped, counted, and retried after a
+// cooldown) instead of stalling the ingest path behind storage.
+//
+// Safe for concurrent use, though the intended shape is one goroutine
+// calling Allow/Success/Failure and others reading Stats.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	opens    uint64
+	rejected uint64
+}
+
+// NewBreaker builds a breaker with defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Failures <= 0 {
+		cfg.Failures = DefaultBreakerFailures
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may proceed. While open it fails fast
+// until the cooldown elapses, then admits exactly one half-open probe;
+// the probe's Success or Failure decides what happens next. Every
+// allowed request must be followed by exactly one Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		b.rejected++
+		return false
+	default: // BreakerHalfOpen
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		b.rejected++
+		return false
+	}
+}
+
+// Success records a successful request: the circuit closes and the
+// failure streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed request. A half-open probe failure re-opens
+// immediately; otherwise the circuit opens once the consecutive-failure
+// threshold is reached.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	wasProbe := b.state == BreakerHalfOpen
+	b.probing = false
+	if wasProbe || b.fails >= b.cfg.Failures {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// State returns the current position without transitioning it (an open
+// circuit past its cooldown still reads open until Allow probes it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns the breaker's accounting.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.fails,
+		Opens:               b.opens,
+		Rejected:            b.rejected,
+	}
+}

@@ -1,0 +1,118 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(failures int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	return NewBreaker(BreakerConfig{Failures: failures, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("opened below the failure threshold")
+	}
+	// An interleaved success resets the streak.
+	if !b.Allow() {
+		t.Fatal("rejected while closed")
+	}
+	b.Success()
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open after 3 consecutive failures")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	st := b.Stats()
+	if st.Opens != 1 || st.Rejected != 1 || st.State != "open" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Minute)
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	clk.advance(59 * time.Second)
+	if b.Allow() {
+		t.Fatal("allowed before cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admit = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second probe admitted while first outstanding")
+	}
+	// Probe fails: straight back to open, cooldown restarts.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted without a fresh cooldown")
+	}
+	clk.advance(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused after fresh cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejecting")
+	}
+	b.Success()
+	if st := b.Stats(); st.Opens != 2 {
+		t.Fatalf("opens = %d, want 2", st.Opens)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < DefaultBreakerFailures-1; i++ {
+		b.Allow()
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("opened before the default threshold")
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("default threshold did not open")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("breaker state strings changed; /healthz consumers depend on them")
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Overload-protection defaults. They are deliberately conservative: a
+// telemetry daemon's API must stay answerable during fleet-wide
+// incidents, which is exactly when request herds arrive.
+const (
+	// DefaultMaxConcurrent is the per-endpoint in-flight request cap.
+	DefaultMaxConcurrent = 64
+	// DefaultRequestTimeout bounds one request end to end, including
+	// writing the response to a slow client.
+	DefaultRequestTimeout = 10 * time.Second
+	// DefaultMaxStaleness is the served-view age beyond which /healthz
+	// reports the daemon degraded.
+	DefaultMaxStaleness = 30 * time.Second
+	// DefaultRetryAfter is the Retry-After hint on 503 responses.
+	DefaultRetryAfter = 1 * time.Second
+)
+
+// limited wraps h with a per-endpoint concurrency cap: when cap
+// requests are already in flight the request is rejected immediately
+// with 503 + Retry-After instead of queueing — shedding read load at
+// admission, the HTTP-side mirror of the ingest queue's policy. A
+// saturated endpoint therefore degrades to fast, explicit refusals
+// rather than a convoy of slow successes, and one herd (say, a
+// dashboard fleet re-rendering /v1/faults) cannot starve the others:
+// every endpoint has its own semaphore.
+func limited(capacity int, rejected *Counter, h http.HandlerFunc) http.HandlerFunc {
+	if capacity <= 0 {
+		return h
+	}
+	sem := make(chan struct{}, capacity)
+	retryAfter := strconv.Itoa(int(DefaultRetryAfter / time.Second))
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+		default:
+			rejected.Inc()
+			w.Header().Set("Retry-After", retryAfter)
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{"saturated: concurrency limit reached; retry later"})
+			return
+		}
+		defer func() { <-sem }()
+		h(w, r)
+	}
+}
+
+// deadlined wraps h with a per-request deadline: the request context is
+// cancelled and — where the ResponseWriter supports it — the
+// connection's write deadline is set, so a slow-reading client cannot
+// pin a handler (or its response buffer) forever. Handlers observe the
+// context; the write deadline backstops the client side.
+func deadlined(d time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	if d <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		// Best effort: httptest recorders and some middlewares do not
+		// support write deadlines; the context still bounds the handler.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(d))
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// recovered is the outermost backstop: a panicking handler becomes a
+// logged 500 on that one request instead of a dead daemon. Malformed
+// input must never get this far — the input-hardening tests pin 4xx —
+// but an overloaded monitoring pipeline must not die of its own bugs
+// mid-incident either.
+func recovered(s *Server, panics *Counter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				panics.Inc()
+				s.log.Error("handler panic", "path", r.URL.Path, "panic", rec,
+					"stack", string(debug.Stack()))
+				// The header may already be out; this is best effort.
+				writeJSON(w, http.StatusInternalServerError, errorBody{"internal error"})
+			}
+		}()
+		h(w, r)
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/overload"
 	"repro/internal/stream"
 	"repro/internal/syslog"
 	"repro/internal/topology"
@@ -22,18 +24,46 @@ type Config struct {
 	// ScanStats, when set, supplies the ingest path's accounting for
 	// /metrics (lines, malformed, duplicates, reorder drops).
 	ScanStats func() syslog.ScanStats
+	// Overload, when set, supplies the admission layer's state (queue
+	// depth, watermarks, shed counts, checkpoint-breaker position) for
+	// /healthz and /metrics.
+	Overload func() overload.Status
+	// MaxConcurrent caps in-flight requests per endpoint; beyond it
+	// requests are refused with 503 + Retry-After. 0 means
+	// DefaultMaxConcurrent; negative disables the cap.
+	MaxConcurrent int
+	// RequestTimeout bounds each request end to end (handler context
+	// plus connection write deadline). 0 means DefaultRequestTimeout;
+	// negative disables it.
+	RequestTimeout time.Duration
+	// MaxStaleness is the served-view age beyond which /healthz reports
+	// degraded. 0 means DefaultMaxStaleness.
+	MaxStaleness time.Duration
 }
 
 // Server exposes a stream.Engine over HTTP: JSON analyses under /v1,
 // liveness under /healthz, and Prometheus-text metrics under /metrics.
 // Every endpoint is instrumented with a per-endpoint request counter and
-// latency histogram.
+// latency histogram, capped to MaxConcurrent in-flight requests, and
+// bounded by RequestTimeout.
+//
+// Reads are snapshot-based: handlers serve an immutable stream.View, so
+// a herd of API clients never contends with ingest on the engine mutex.
+// When ingest holds the engine (a batch in flight), the previous view is
+// served as-is and the response carries X-Astra-Staleness (the view's
+// age) and X-Astra-Staleness-Records (how many records it trails by) —
+// stale data is served honestly, never silently.
 type Server struct {
 	e         *stream.Engine
 	log       *slog.Logger
 	reg       *Registry
 	scanStats func() syslog.ScanStats
+	ovl       func() overload.Status
 	mux       *http.ServeMux
+
+	maxConcurrent  int
+	requestTimeout time.Duration
+	maxStaleness   time.Duration
 }
 
 // New builds a server around an engine.
@@ -47,7 +77,21 @@ func New(cfg Config) *Server {
 		log:       log,
 		reg:       NewRegistry(),
 		scanStats: cfg.ScanStats,
+		ovl:       cfg.Overload,
 		mux:       http.NewServeMux(),
+
+		maxConcurrent:  cfg.MaxConcurrent,
+		requestTimeout: cfg.RequestTimeout,
+		maxStaleness:   cfg.MaxStaleness,
+	}
+	if s.maxConcurrent == 0 {
+		s.maxConcurrent = DefaultMaxConcurrent
+	}
+	if s.requestTimeout == 0 {
+		s.requestTimeout = DefaultRequestTimeout
+	}
+	if s.maxStaleness <= 0 {
+		s.maxStaleness = DefaultMaxStaleness
 	}
 	s.registerMetrics()
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
@@ -66,20 +110,39 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // attach its own series (checkpoint age, ingest rate, ...).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// route installs an instrumented handler: per-endpoint request counter,
-// latency histogram, and a debug-level structured log line.
+// route installs a protected, instrumented handler. Inside out: the
+// handler itself, the per-endpoint concurrency cap (innermost so a
+// rejection is cheap), the request deadline, instrumentation, and the
+// panic backstop outermost.
 func (s *Server) route(pattern, path string, h http.HandlerFunc) {
 	labels := `path="` + path + `"`
 	reqs := s.reg.NewCounter("astrad_http_requests_total", labels, "HTTP requests served, by endpoint.")
 	lat := s.reg.NewHistogram("astrad_http_request_seconds", labels, "HTTP request latency in seconds, by endpoint.", nil)
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+	rejected := s.reg.NewCounter("astrad_http_rejected_total", labels, "Requests refused with 503 at the per-endpoint concurrency cap.")
+	panics := s.reg.NewCounter("astrad_http_panics_total", labels, "Handler panics recovered into 500s.")
+	wrapped := limited(s.maxConcurrent, rejected, h)
+	wrapped = deadlined(s.requestTimeout, wrapped)
+	instrumented := func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
+		wrapped(w, r)
 		d := time.Since(start)
 		reqs.Inc()
 		lat.Observe(d.Seconds())
 		s.log.Debug("request", "path", r.URL.Path, "dur", d)
-	})
+	}
+	s.mux.HandleFunc(pattern, recovered(s, panics, instrumented))
+}
+
+// liveView fetches the engine view to serve and stamps staleness
+// headers when it trails the engine (ingest busy: the stale view is
+// served rather than blocking the reader behind the engine mutex).
+func (s *Server) liveView(w http.ResponseWriter) *stream.View {
+	v := s.e.LiveView()
+	if lag := s.e.Seq() - v.Seq; lag > 0 {
+		w.Header().Set("X-Astra-Staleness", time.Since(v.BuiltAt).String())
+		w.Header().Set("X-Astra-Staleness-Records", strconv.FormatUint(lag, 10))
+	}
+	return v
 }
 
 // registerMetrics wires the engine's rolling aggregates — and, when
@@ -103,6 +166,66 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(sum().WindowCount) })
 	s.reg.NewGaugeFunc("astrad_window_ce_rate", "", "CE records per second over the rolling event-time window.",
 		func() float64 { return sum().WindowRate })
+	s.reg.NewCounterFunc("astrad_stream_shed_total", "", "CE records shed at admission and charged to the engine's degraded accounting.",
+		func() float64 { return float64(s.e.Shed()) })
+	s.reg.NewGaugeFunc("astrad_view_lag_records", "", "State changes the currently served view trails the engine by.",
+		func() float64 {
+			v := s.e.LiveView()
+			return float64(s.e.Seq() - v.Seq)
+		})
+
+	if s.ovl != nil {
+		ost := s.ovl
+		queue := []struct {
+			name, help string
+			counter    bool
+			get        func(overload.QueueStats) float64
+		}{
+			{"astrad_admission_offered_total", "Records offered to the admission queue.", true,
+				func(q overload.QueueStats) float64 { return float64(q.Offered) }},
+			{"astrad_admission_admitted_total", "Records admitted past the watermarks.", true,
+				func(q overload.QueueStats) float64 { return float64(q.Admitted) }},
+			{"astrad_admission_drained_total", "Records drained into the engine.", true,
+				func(q overload.QueueStats) float64 { return float64(q.Drained) }},
+			{"astrad_admission_shed_total", "Records shed (rejected plus evicted) under overload.", true,
+				func(q overload.QueueStats) float64 { return float64(q.Shed) }},
+			{"astrad_admission_saturations_total", "Times the queue crossed its high watermark into shedding.", true,
+				func(q overload.QueueStats) float64 { return float64(q.Saturations) }},
+			{"astrad_admission_queue_depth", "Records waiting in the admission queue.", false,
+				func(q overload.QueueStats) float64 { return float64(q.Depth) }},
+			{"astrad_admission_queue_capacity", "Admission queue capacity.", false,
+				func(q overload.QueueStats) float64 { return float64(q.Capacity) }},
+			{"astrad_admission_saturated", "1 while the queue is between its watermarks shedding load.", false,
+				func(q overload.QueueStats) float64 {
+					if q.Saturated {
+						return 1
+					}
+					return 0
+				}},
+		}
+		for _, m := range queue {
+			get := m.get
+			if m.counter {
+				s.reg.NewCounterFunc(m.name, "", m.help, func() float64 { return get(ost().Queue) })
+			} else {
+				s.reg.NewGaugeFunc(m.name, "", m.help, func() float64 { return get(ost().Queue) })
+			}
+		}
+		s.reg.NewGaugeFunc("astrad_checkpoint_breaker_state", "", "Checkpoint circuit breaker: 0 closed, 1 half-open, 2 open.",
+			func() float64 {
+				switch ost().Breaker.State {
+				case overload.BreakerOpen.String():
+					return 2
+				case overload.BreakerHalfOpen.String():
+					return 1
+				}
+				return 0
+			})
+		s.reg.NewCounterFunc("astrad_checkpoint_breaker_opens_total", "", "Times the checkpoint breaker tripped open.",
+			func() float64 { return float64(ost().Breaker.Opens) })
+		s.reg.NewCounterFunc("astrad_checkpoint_breaker_rejected_total", "", "Checkpoint attempts refused while the breaker was open.",
+			func() float64 { return float64(ost().Breaker.Rejected) })
+	}
 
 	if s.scanStats == nil {
 		return
@@ -137,11 +260,55 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// healthResponse is the /healthz body. Status is "ok", "degraded"
+// (checkpoint breaker not closed, or served views older than the
+// staleness bound, or records already shed), or "shedding" (the
+// admission queue is actively between its watermarks refusing load).
+// The response is always 200: health is reported, not enforced — load
+// balancers act on the body, humans on the detail fields.
+type healthResponse struct {
+	Status  string `json:"status"`
+	Records int    `json:"records"`
+	Offered int    `json:"offered"`
+	Shed    int    `json:"shed"`
+	// StalenessSeconds is the age of the currently served view;
+	// LagRecords is how many state changes it trails the engine by.
+	StalenessSeconds float64 `json:"stalenessSeconds"`
+	LagRecords       uint64  `json:"lagRecords"`
+	// Overload is the admission layer's live accounting (absent when the
+	// daemon runs without one, e.g. under tests).
+	Overload *overload.Status `json:"overload,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Status  string `json:"status"`
-		Records int    `json:"records"`
-	}{"ok", s.e.Summary().Records})
+	v := s.liveView(w)
+	staleness := time.Since(v.BuiltAt)
+	lag := s.e.Seq() - v.Seq
+	if lag == 0 {
+		staleness = 0 // current view: not stale, whatever its age
+	}
+	resp := healthResponse{
+		Status:           "ok",
+		Records:          v.Summary.Records,
+		Offered:          v.Summary.Offered,
+		Shed:             v.Summary.Shed,
+		StalenessSeconds: staleness.Seconds(),
+		LagRecords:       lag,
+	}
+	if staleness > s.maxStaleness || v.Summary.Degraded {
+		resp.Status = "degraded"
+	}
+	if s.ovl != nil {
+		st := s.ovl()
+		resp.Overload = &st
+		if st.Breaker.State != "" && st.Breaker.State != overload.BreakerClosed.String() {
+			resp.Status = "degraded"
+		}
+		if st.Queue.Saturated {
+			resp.Status = "shedding"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // faultView is one fault in operator-facing form: the node as its
@@ -185,7 +352,7 @@ type faultsResponse struct {
 }
 
 func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	faults := s.e.Snapshot()
+	faults := s.liveView(w).Faults
 	if modeStr := r.URL.Query().Get("mode"); modeStr != "" {
 		mode := core.FaultMode(-1)
 		for m := core.FaultMode(0); m < core.NumFaultModes; m++ {
@@ -213,7 +380,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBreakdown(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.e.Summary())
+	writeJSON(w, http.StatusOK, s.liveView(w).Summary)
 }
 
 // fitResponse pairs the rolling windowed estimate with the rate over the
@@ -227,14 +394,15 @@ type fitResponse struct {
 }
 
 func (s *Server) handleFIT(w http.ResponseWriter, r *http.Request) {
-	sum := s.e.Summary()
+	v := s.liveView(w)
+	sum := v.Summary
 	span := time.Duration(0)
 	if !sum.First.IsZero() {
 		span = sum.Last.Sub(sum.First)
 	}
 	writeJSON(w, http.StatusOK, fitResponse{
-		Windowed:    s.e.WindowedFIT(),
-		Overall:     s.e.FaultRates(span),
+		Windowed:    v.FIT,
+		Overall:     v.FaultRates(s.e.Config().DIMMs, span),
 		SpanSeconds: span.Seconds(),
 	})
 }
@@ -245,7 +413,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
 	}
-	st, ok := s.e.NodeStatus(id)
+	st, ok := s.liveView(w).NodeStatus(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{"no records from node " + id.String()})
 		return

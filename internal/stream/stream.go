@@ -22,6 +22,7 @@ package stream
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -96,6 +97,13 @@ type Engine struct {
 	rate    *stats.RateWindow
 	first   time.Time
 	last    time.Time
+
+	// seq counts state changes (records made visible plus shed
+	// notifications) and is readable without the mutex; view caches the
+	// last built read-only View, stale when its Seq trails seq.
+	seq  atomic.Uint64
+	shed atomic.Uint64
+	view atomic.Pointer[View]
 }
 
 // New returns an engine with no state.
@@ -128,6 +136,7 @@ func New(cfg Config) *Engine {
 func (e *Engine) Ingest(r mce.CERecord) {
 	e.mu.Lock()
 	e.ingestLocked(r)
+	e.seq.Add(1)
 	e.mu.Unlock()
 }
 
@@ -190,6 +199,7 @@ func (e *Engine) IngestBatch(rs []mce.CERecord) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	defer e.seq.Add(uint64(len(rs)))
 	workers := parallel.Workers(e.cfg.Parallelism)
 	if workers <= 1 || len(rs) < 2*minBatchShard {
 		for i := range rs {
@@ -339,6 +349,13 @@ type Summary struct {
 	Window      time.Duration `json:"window"`
 	WindowCount int           `json:"windowCount"`
 	WindowRate  float64       `json:"windowRate"`
+	// Shed counts records refused admission upstream of the engine
+	// (reported via NoteShed); Offered is Records + Shed. When Shed is
+	// non-zero every aggregate above undercounts and Degraded is set —
+	// overload loses data loudly, never silently.
+	Shed     int  `json:"shed"`
+	Offered  int  `json:"offered"`
+	Degraded bool `json:"degraded"`
 }
 
 // Summary returns the live top-level view, reclassifying dirty banks
@@ -346,7 +363,12 @@ type Summary struct {
 func (e *Engine) Summary() Summary {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.summaryLocked()
+}
+
+func (e *Engine) summaryLocked() Summary {
 	e.reclassify()
+	shed := int(e.shed.Load())
 	return Summary{
 		Records:      len(e.records),
 		First:        e.first,
@@ -361,8 +383,32 @@ func (e *Engine) Summary() Summary {
 		Window:       e.cfg.Window,
 		WindowCount:  e.rate.Count(e.last),
 		WindowRate:   e.rate.Rate(e.last),
+		Shed:         shed,
+		Offered:      len(e.records) + shed,
+		Degraded:     shed > 0,
 	}
 }
+
+// NoteShed records n CE records lost to load shedding upstream of the
+// engine (the admission queue's reject/evict paths call this through
+// overload.Config.OnShed). The loss flows into Summary — Shed, Offered,
+// Degraded — and marks WindowedFIT degraded, so the books
+// offered == ingested + shed stay visible at every layer.
+func (e *Engine) NoteShed(n int) {
+	if n <= 0 {
+		return
+	}
+	e.shed.Add(uint64(n))
+	e.seq.Add(uint64(n))
+}
+
+// Shed returns the count of records reported lost via NoteShed.
+func (e *Engine) Shed() uint64 { return e.shed.Load() }
+
+// Seq returns the engine's state-change counter: it advances for every
+// record made visible and every shed notification, without taking the
+// engine mutex. View staleness is measured against it.
+func (e *Engine) Seq() uint64 { return e.seq.Load() }
 
 // FaultRates converts the current fault population into FIT/DIMM over the
 // given window, exactly as core.AnalyzeFaultRates does over a batch
@@ -387,8 +433,9 @@ type WindowedFIT struct {
 	// FITPerDIMM scales NewFaults to FIT over the window and the
 	// configured DIMM population.
 	FITPerDIMM float64 `json:"fitPerDIMM"`
-	// Degraded reports an undefined estimate: no events yet, or no
-	// configured DIMM population.
+	// Degraded reports an untrustworthy estimate: no events yet, no
+	// configured DIMM population, or records shed under overload (the
+	// fault population undercounts).
 	Degraded bool `json:"degraded"`
 }
 
@@ -397,8 +444,16 @@ type WindowedFIT struct {
 func (e *Engine) WindowedFIT() WindowedFIT {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.windowedFITLocked()
+}
+
+func (e *Engine) windowedFITLocked() WindowedFIT {
 	e.reclassify()
 	w := WindowedFIT{Window: e.cfg.Window, End: e.last}
+	if e.shed.Load() > 0 {
+		// Shed records mean the fault population undercounts.
+		w.Degraded = true
+	}
 	if e.last.IsZero() || e.cfg.DIMMs <= 0 {
 		w.Degraded = true
 		return w

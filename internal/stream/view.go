@@ -1,0 +1,106 @@
+package stream
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// View is an immutable point-in-time snapshot of the engine: everything
+// the HTTP layer serves, materialized once so a herd of API readers
+// never contends with ingest on the engine mutex. A View is never
+// mutated after publication; callers may share it freely but must not
+// modify Faults or the per-node slices.
+type View struct {
+	// Seq is the engine state-change counter the view was built at; the
+	// view is stale while Engine.Seq() is ahead of it.
+	Seq uint64
+	// BuiltAt is the wall-clock build time, the base of staleness ages.
+	BuiltAt time.Time
+	// Summary, Faults and FIT are what Engine.Summary, Engine.Snapshot
+	// and Engine.WindowedFIT would have returned at Seq.
+	Summary Summary
+	Faults  []core.Fault
+	FIT     WindowedFIT
+
+	nodes map[topology.NodeID]NodeStatus // scalars only; Faults filled on demand
+}
+
+// NodeStatus returns the view's per-node status; ok is false when the
+// node had produced no CE records at build time. The fault list is
+// assembled per call from the view's fault snapshot (allocates, but
+// touches no engine state).
+func (v *View) NodeStatus(id topology.NodeID) (NodeStatus, bool) {
+	ns, ok := v.nodes[id]
+	if !ok {
+		return NodeStatus{}, false
+	}
+	for i := range v.Faults {
+		if v.Faults[i].Node == id {
+			ns.Faults = append(ns.Faults, v.Faults[i])
+		}
+	}
+	return ns, true
+}
+
+// FaultRates converts the view's fault population into FIT/DIMM over
+// the given window, as Engine.FaultRates would at the view's Seq.
+func (v *View) FaultRates(dimms int, window time.Duration) core.FaultRates {
+	return core.AnalyzeFaultRates(v.Faults, dimms, window)
+}
+
+// LiveView returns a current or recent View. If the cached view is
+// current it is returned directly (no lock). Otherwise the engine tries
+// to rebuild — but only with a try-lock: when an ingest batch holds the
+// engine mutex, the previous view is returned as-is instead of
+// blocking, so read traffic can never stall behind ingest (nor ingest
+// behind a herd of readers). Callers detect staleness by comparing
+// view.Seq against Engine.Seq() and view.BuiltAt against the clock.
+// Only the very first view of an engine's life may block.
+func (e *Engine) LiveView() *View {
+	seq := e.seq.Load()
+	if v := e.view.Load(); v != nil && v.Seq == seq {
+		return v
+	}
+	if e.mu.TryLock() {
+		v := e.buildViewLocked()
+		e.mu.Unlock()
+		return v
+	}
+	if v := e.view.Load(); v != nil {
+		return v // stale, but nobody waits
+	}
+	// No view exists yet (first request racing the first ingest): build
+	// one properly.
+	e.mu.Lock()
+	v := e.buildViewLocked()
+	e.mu.Unlock()
+	return v
+}
+
+// buildViewLocked materializes and publishes a fresh view. Caller holds
+// e.mu, so the publication is ordered: a concurrent builder cannot
+// overwrite a newer view with an older one.
+func (e *Engine) buildViewLocked() *View {
+	v := &View{
+		Seq:     e.seq.Load(),
+		BuiltAt: time.Now(),
+		Summary: e.summaryLocked(),
+		Faults:  e.snapshotLocked(),
+		FIT:     e.windowedFITLocked(),
+		nodes:   make(map[topology.NodeID]NodeStatus, len(e.perNode)),
+	}
+	for id, ns := range e.perNode {
+		v.nodes[id] = NodeStatus{
+			Node:        id,
+			CEs:         ns.ces,
+			First:       ns.first,
+			Last:        ns.last,
+			WindowCount: ns.rw.Count(e.last),
+			WindowRate:  ns.rw.Rate(e.last),
+		}
+	}
+	e.view.Store(v)
+	return v
+}
