@@ -17,7 +17,8 @@ test:
 # detector over the concurrent ingest/poller paths, the parallel
 # determinism contract (serial vs sharded pipelines must be bit-identical)
 # under the race detector at a pinned scale, and a short fuzz smoke over
-# the two hostile-input parsers (syslog lines, dataset manifests).
+# the hostile-input parsers (syslog lines, the block-parallel scanner's
+# serial-differential, the columnar decoder, dataset manifests).
 # ASTRA_CRASH_TESTS=1 additionally sweeps the kill/resume differential
 # test over every I/O operation instead of its default 24-point sample.
 # The online subsystem gets an explicit race-enabled pass: the stream
@@ -30,9 +31,11 @@ verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
-	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./internal/overload ./cmd/astrad ./cmd/astraload
+	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./internal/overload ./internal/syslog ./internal/colfmt ./cmd/astrad ./cmd/astraload
 	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLine$$' -fuzztime 5s ./internal/syslog
+	$(GO) test -run '^$$' -fuzz '^FuzzBlockScan$$' -fuzztime 5s ./internal/syslog
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s ./internal/colfmt
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 5s ./internal/atomicio
 	@if [ -n "$$ASTRA_CRASH_TESTS" ]; then ASTRA_CRASH_TESTS=1 $(GO) test -run 'TestExportCrashResumeDifferential' ./internal/dataset; fi
 	@if [ -n "$$ASTRA_BENCH_GUARD" ]; then $(MAKE) bench-guard; fi
@@ -58,12 +61,13 @@ bench-serve:
 		-disk-stall 0.5 -disk-stall-for 100 -checkpoint-every 100 -checkpoint-timeout 50 \
 		-out BENCH_serve.json
 
-# bench-guard fails when the allocation-sensitive stages (dataset-build,
-# parse) regress more than 10% allocs/op against the checked-in
-# BENCH_pipeline.json, or when the serving path regresses against
-# BENCH_serve.json (p99 latency or shed rate beyond 10% + slack, or any
-# overload-contract violation). Opt into it during verify with
-# ASTRA_BENCH_GUARD=1 (both re-run their fixtures, so it is not free).
+# bench-guard fails when the budgeted stages (dataset-build, parse,
+# parse-parallel, colfmt-replay) regress more than 10% allocs/op or 15%
+# records/s against the checked-in BENCH_pipeline.json, or when the
+# serving path regresses against BENCH_serve.json (p99 latency or shed
+# rate beyond 10% + slack, or any overload-contract violation). Opt into
+# it during verify with ASTRA_BENCH_GUARD=1 (both re-run their fixtures,
+# so it is not free).
 bench-guard:
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -guard -against BENCH_pipeline.json
 	$(GO) run ./cmd/astraload -guard -against BENCH_serve.json

@@ -147,7 +147,7 @@ func (s *Study) Analyze(ctx context.Context) (res *Results, err error) {
 		task(func() { r.ErrorsPerFault = core.ErrorsPerFaultDist(s.Faults) }),
 		task(func() { r.PerNode = ix.AnalyzePerNode(s.Faults) }),
 		task(func() { r.Structures = ix.AnalyzeStructures(s.Faults) }),
-		task(func() { r.BitAddress = core.AnalyzeBitAddress(s.Faults) }),
+		task(func() { r.BitAddress = core.AnalyzeBitAddressWorkers(s.Faults, par) }),
 		task(func() { r.TempWindows = ix.AnalyzeTempWindows(ds.Env, core.Fig9Windows) }),
 		task(func() { r.Positional = ix.AnalyzePositional(s.Faults) }),
 		task(func() { r.TempDeciles = ix.AnalyzeTempDeciles(ds.Env) }),

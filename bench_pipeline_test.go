@@ -9,6 +9,7 @@ package astra_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -32,29 +33,46 @@ func stageSetup(b *testing.B) *benchstage.Set {
 	return stageSet
 }
 
-func benchStage(b *testing.B, name string) {
+func findStage(b *testing.B, name string) *benchstage.Stage {
+	b.Helper()
 	set := stageSetup(b)
-	var stage *benchstage.Stage
 	for i := range set.Stages {
 		if set.Stages[i].Name == name {
-			stage = &set.Stages[i]
-			break
+			return &set.Stages[i]
 		}
 	}
-	if stage == nil {
-		b.Fatalf("unknown stage %q", name)
+	b.Fatalf("unknown stage %q", name)
+	return nil
+}
+
+func runStage(b *testing.B, stage *benchstage.Stage, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stage.Op(workers)
 	}
+	b.ReportMetric(float64(stage.Records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+	if stage.Bytes > 0 {
+		b.ReportMetric(float64(stage.Bytes)/1e6*float64(b.N)/b.Elapsed().Seconds(), "MB/s")
+	}
+}
+
+func benchStage(b *testing.B, name string) {
+	stage := findStage(b, name)
 	for _, bench := range []struct {
 		name    string
 		workers int
 	}{{"serial", 1}, {"auto", 0}} {
-		b.Run(bench.name, func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				stage.Op(bench.workers)
-			}
-			b.ReportMetric(float64(stage.Records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
-		})
+		b.Run(bench.name, func(b *testing.B) { runStage(b, stage, bench.workers) })
+	}
+}
+
+// benchStageSweep runs a stage across an explicit worker-count ladder so
+// the scaling curve of a parallelized layer is visible release to
+// release, not just its serial/auto endpoints.
+func benchStageSweep(b *testing.B, name string, workerCounts []int) {
+	stage := findStage(b, name)
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { runStage(b, stage, w) })
 	}
 }
 
@@ -64,5 +82,17 @@ func BenchmarkStageParse(b *testing.B)        { benchStage(b, "parse") }
 func BenchmarkStageCluster(b *testing.B)      { benchStage(b, "cluster") }
 func BenchmarkStageStreamIngest(b *testing.B) { benchStage(b, "stream-ingest") }
 func BenchmarkStageAdmission(b *testing.B)    { benchStage(b, "admission") }
-func BenchmarkStageAnalyze(b *testing.B)      { benchStage(b, "analyze") }
 func BenchmarkStageReport(b *testing.B)       { benchStage(b, "report") }
+
+// The block-parallel scanner and the columnar replay: the two ingest
+// paths the text parse stage above is the baseline for.
+func BenchmarkStageParseParallel(b *testing.B) {
+	benchStageSweep(b, "parse-parallel", []int{1, 2, 4, 8})
+}
+func BenchmarkStageColfmtReplay(b *testing.B) { benchStage(b, "colfmt-replay") }
+
+// Analyze sweeps a worker ladder: its per-node and bit/address layers
+// are parallelized, so the curve matters, not just the endpoints.
+func BenchmarkStageAnalyze(b *testing.B) {
+	benchStageSweep(b, "analyze", []int{1, 2, 4, 8})
+}

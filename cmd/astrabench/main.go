@@ -12,11 +12,12 @@
 //	astrabench [-seed 1] [-nodes N] [-workers 1,4,8] [-out BENCH_pipeline.json]
 //	astrabench -guard [-against BENCH_pipeline.json] [-tolerance 0.10]
 //
-// -guard re-measures the allocation-sensitive stages (dataset-build and
-// parse) at workers=1 and exits non-zero if allocs/op regressed more
-// than -tolerance against the checked-in baseline, instead of writing a
-// new one. The node count defaults to ASTRA_BENCH_NODES (then 256),
-// pinning the scale so numbers are comparable across runs.
+// -guard re-measures the allocation-sensitive stages (dataset-build,
+// parse, parse-parallel, colfmt-replay) at workers=1 and exits non-zero
+// if allocs/op regressed more than -tolerance or records/s fell more
+// than -tput-tolerance against the checked-in baseline, instead of
+// writing a new one. The node count defaults to ASTRA_BENCH_NODES (then
+// 256), pinning the scale so numbers are comparable across runs.
 package main
 
 import (
@@ -47,6 +48,10 @@ type StageResult struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	Records       int     `json:"records"`
 	RecordsPerSec float64 `json:"records_per_sec"`
+	// InputBytes and MBPerSec describe byte-stream stages (parse,
+	// parse-parallel, colfmt-replay); both are 0 elsewhere.
+	InputBytes int64   `json:"input_bytes,omitempty"`
+	MBPerSec   float64 `json:"mb_per_sec,omitempty"`
 }
 
 // Baseline is the BENCH_pipeline.json document.
@@ -61,9 +66,9 @@ type Baseline struct {
 	Speedup map[string]float64 `json:"speedup"`
 }
 
-// guardStages are the allocation-budget stages `-guard` re-measures:
-// the two layers the zero-allocation codec work targets.
-var guardStages = []string{"dataset-build", "parse"}
+// guardStages are the budgeted stages `-guard` re-measures: the layers
+// the zero-allocation codec and ingest-throughput work target.
+var guardStages = []string{"dataset-build", "parse", "parse-parallel", "colfmt-replay"}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "pipeline seed")
@@ -73,6 +78,7 @@ func main() {
 	guard := flag.Bool("guard", false, "check allocs/op of the guarded stages against -against instead of writing a baseline")
 	against := flag.String("against", "BENCH_pipeline.json", "baseline to guard against")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op growth before -guard fails")
+	tputTolerance := flag.Float64("tput-tolerance", 0.15, "allowed fractional records/s drop before -guard fails")
 	flag.Parse()
 
 	workerCounts, err := parseWorkers(*workersFlag)
@@ -93,7 +99,7 @@ func main() {
 	}
 
 	if *guard {
-		os.Exit(runGuard(set, *against, *tolerance))
+		os.Exit(runGuard(set, *against, *tolerance, *tputTolerance))
 	}
 
 	doc := Baseline{
@@ -120,8 +126,12 @@ func main() {
 					doc.Speedup[stage.Name] = s
 				}
 			}
-			fmt.Printf("%-14s workers=%-2d %12d ns/op %10d B/op %8d allocs/op %14.0f records/s\n",
+			line := fmt.Sprintf("%-14s workers=%-2d %12d ns/op %10d B/op %8d allocs/op %14.0f records/s",
 				stage.Name, w, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp, row.RecordsPerSec)
+			if row.MBPerSec > 0 {
+				line += fmt.Sprintf(" %9.1f MB/s", row.MBPerSec)
+			}
+			fmt.Println(line)
 		}
 	}
 
@@ -191,13 +201,23 @@ func measure(stage benchstage.Stage, workers int) StageResult {
 	if row.NsPerOp > 0 {
 		row.RecordsPerSec = float64(stage.Records) / (float64(row.NsPerOp) / 1e9)
 	}
+	if stage.Bytes > 0 {
+		row.InputBytes = stage.Bytes
+		if row.NsPerOp > 0 {
+			row.MBPerSec = float64(stage.Bytes) / 1e6 / (float64(row.NsPerOp) / 1e9)
+		}
+	}
 	return row
 }
 
-// runGuard re-measures the guarded stages serially and compares
-// allocs/op to the baseline, failing on growth beyond the tolerance. A
-// small absolute slack absorbs runtime jitter on near-zero budgets.
-func runGuard(set *benchstage.Set, path string, tolerance float64) int {
+// runGuard re-measures the guarded stages serially and compares them to
+// the baseline, failing on allocs/op growth beyond tolerance or a
+// records/s drop beyond tputTolerance. A small absolute slack absorbs
+// runtime jitter on near-zero allocation budgets; stages the baseline
+// predates are reported and skipped rather than failed, so a freshly
+// extended guard list never breaks `make bench-guard` until the
+// baseline is regenerated.
+func runGuard(set *benchstage.Set, path string, tolerance, tputTolerance float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "astrabench: guard: %v\n", err)
@@ -212,15 +232,15 @@ func runGuard(set *benchstage.Set, path string, tolerance float64) int {
 		fmt.Fprintf(os.Stderr, "astrabench: guard: baseline is for %d nodes, run is %d; regenerate with `make bench`\n", base.Nodes, set.Nodes)
 		return 1
 	}
-	baseAllocs := map[string]int64{}
+	baseRows := map[string]StageResult{}
 	for _, row := range base.Stages {
 		if row.Workers == 1 {
-			baseAllocs[row.Stage] = row.AllocsPerOp
+			baseRows[row.Stage] = row
 		}
 	}
 	failed := false
 	for _, name := range guardStages {
-		old, ok := baseAllocs[name]
+		baseRow, ok := baseRows[name]
 		if !ok {
 			fmt.Printf("%-14s no serial baseline row in %s; skipping (regenerate with `make bench`)\n", name, path)
 			continue
@@ -236,7 +256,19 @@ func runGuard(set *benchstage.Set, path string, tolerance float64) int {
 			fmt.Fprintf(os.Stderr, "astrabench: guard: unknown stage %q\n", name)
 			return 1
 		}
+		// Best of three: wall-clock noise on a shared box is one-sided
+		// (runs are only ever slower than the code allows), so the
+		// fastest observation is the honest throughput estimate to hold
+		// against the floor. Allocs/op is noise-free; any run serves.
 		row := measure(*stage, 1)
+		for i := 0; i < 2; i++ {
+			if again := measure(*stage, 1); again.RecordsPerSec > row.RecordsPerSec {
+				again.AllocsPerOp = row.AllocsPerOp
+				row = again
+			}
+		}
+
+		old := baseRow.AllocsPerOp
 		limit := old + int64(float64(old)*tolerance)
 		if limit < old+16 {
 			limit = old + 16
@@ -248,9 +280,20 @@ func runGuard(set *benchstage.Set, path string, tolerance float64) int {
 		}
 		fmt.Printf("%-14s allocs/op %8d (baseline %8d, limit %8d) %s\n",
 			name, row.AllocsPerOp, old, limit, status)
+
+		if baseRow.RecordsPerSec > 0 {
+			floor := baseRow.RecordsPerSec * (1 - tputTolerance)
+			status = "ok"
+			if row.RecordsPerSec < floor {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-14s records/s %8.0f (baseline %8.0f, floor %8.0f) %s\n",
+				name, row.RecordsPerSec, baseRow.RecordsPerSec, floor, status)
+		}
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "astrabench: guard: allocs/op regressed beyond tolerance; investigate or regenerate the baseline with `make bench`")
+		fmt.Fprintln(os.Stderr, "astrabench: guard: allocs/op or records/s regressed beyond tolerance; investigate or regenerate the baseline with `make bench`")
 		return 1
 	}
 	return 0

@@ -6,13 +6,17 @@
 // Usage:
 //
 //	astrafit -mode powerlaw -in counts.csv -col 2 [-xmin 1 | -auto]
+//	astrafit -mode powerlaw -in records.col -field bitpos [-auto]
 //	astrafit -mode linear -in data.csv -xcol 0 -ycol 1
 //
 // Columns are zero-based; the first row is assumed to be a header and
-// skipped unless it parses as a number.
+// skipped unless it parses as a number. A columnar records.col replay
+// (detected by magic) can feed the power-law fit directly: -field names
+// the CE column to fit, skipping CSV rendering and parsing entirely.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/csv"
 	"flag"
@@ -24,6 +28,7 @@ import (
 	"strconv"
 	"syscall"
 
+	"repro/internal/colfmt"
 	"repro/internal/stats"
 )
 
@@ -31,32 +36,41 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("astrafit: ")
 	var (
-		mode = flag.String("mode", "powerlaw", "fit mode: powerlaw, linear or weibull")
-		in   = flag.String("in", "", "input CSV path (required)")
-		col  = flag.Int("col", 0, "powerlaw: value column")
-		xmin = flag.Int("xmin", 1, "powerlaw: lower cutoff")
-		auto = flag.Bool("auto", false, "powerlaw: scan xmin by KS distance")
-		xcol = flag.Int("xcol", 0, "linear: x column")
-		ycol = flag.Int("ycol", 1, "linear: y column")
+		mode  = flag.String("mode", "powerlaw", "fit mode: powerlaw, linear or weibull")
+		in    = flag.String("in", "", "input CSV path (required)")
+		col   = flag.Int("col", 0, "powerlaw: value column")
+		xmin  = flag.Int("xmin", 1, "powerlaw: lower cutoff")
+		auto  = flag.Bool("auto", false, "powerlaw: scan xmin by KS distance")
+		xcol  = flag.Int("xcol", 0, "linear: x column")
+		ycol  = flag.Int("ycol", 1, "linear: y column")
+		field = flag.String("field", "bitpos", "powerlaw with a records.col input: CE column to fit (bitpos, bank, row, col, rank, socket, slot, node, syndrome)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// SIGINT/SIGTERM abort the CSV read (the only unbounded stage here).
+	// SIGINT/SIGTERM abort the input read (the only unbounded stage here).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rows, err := readCSV(ctx, *in)
+	rows, recs, err := readInput(ctx, *in)
 	if err != nil {
 		if ctx.Err() != nil {
 			os.Exit(130)
 		}
 		log.Fatal(err)
 	}
+	if recs != nil && *mode != "powerlaw" {
+		log.Fatalf("columnar input supports -mode powerlaw only (got %q)", *mode)
+	}
 	switch *mode {
 	case "powerlaw":
-		xs, err := intColumn(rows, *col)
+		var xs []int
+		if recs != nil {
+			xs, err = ceField(recs, *field)
+		} else {
+			xs, err = intColumn(rows, *col)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,15 +119,50 @@ func main() {
 	}
 }
 
-func readCSV(ctx context.Context, path string) ([][]string, error) {
+// readInput opens path and sniffs its format: a columnar replay decodes
+// to records (rows nil), anything else parses as CSV (recs nil).
+func readInput(ctx context.Context, path string) ([][]string, *colfmt.Records, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	cr := csv.NewReader(&ctxReader{ctx: ctx, r: f})
+	br := bufio.NewReaderSize(&ctxReader{ctx: ctx, r: f}, 64*1024)
+	prefix, _ := br.Peek(colfmt.MagicLen)
+	if colfmt.Sniff(prefix) {
+		recs, err := colfmt.Read(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &recs, nil
+	}
+	cr := csv.NewReader(br)
 	cr.FieldsPerRecord = -1
-	return cr.ReadAll()
+	rows, err := cr.ReadAll()
+	return rows, nil, err
+}
+
+// ceField pulls one integer CE column out of decoded columnar records.
+func ceField(recs *colfmt.Records, field string) ([]int, error) {
+	get, ok := map[string]func(i int) int{
+		"bitpos":   func(i int) int { return recs.CEs[i].BitPos },
+		"bank":     func(i int) int { return recs.CEs[i].Bank },
+		"row":      func(i int) int { return recs.CEs[i].RowRaw },
+		"col":      func(i int) int { return recs.CEs[i].Col },
+		"rank":     func(i int) int { return recs.CEs[i].Rank },
+		"socket":   func(i int) int { return recs.CEs[i].Socket },
+		"slot":     func(i int) int { return int(recs.CEs[i].Slot) },
+		"node":     func(i int) int { return int(recs.CEs[i].Node) },
+		"syndrome": func(i int) int { return int(recs.CEs[i].Syndrome) },
+	}[field]
+	if !ok {
+		return nil, fmt.Errorf("unknown CE field %q", field)
+	}
+	out := make([]int, len(recs.CEs))
+	for i := range recs.CEs {
+		out[i] = get(i)
+	}
+	return out, nil
 }
 
 // ctxReader aborts the streaming read when ctx is cancelled.

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
+
+	"repro/internal/colfmt"
+	"repro/internal/mce"
 )
 
 func TestColumnExtraction(t *testing.T) {
@@ -55,20 +61,67 @@ func TestFloatColumnsPairing(t *testing.T) {
 	}
 }
 
-func TestReadCSV(t *testing.T) {
+func TestReadInputCSV(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "data.csv")
 	if err := os.WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := readCSV(context.Background(), path)
+	rows, recs, err := readInput(context.Background(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || rows[1][1] != "2" {
-		t.Errorf("readCSV = %v", rows)
+	if recs != nil {
+		t.Error("CSV input sniffed as columnar")
 	}
-	if _, err := readCSV(context.Background(), filepath.Join(dir, "missing.csv")); err == nil {
+	if len(rows) != 2 || rows[1][1] != "2" {
+		t.Errorf("readInput = %v", rows)
+	}
+	if _, _, err := readInput(context.Background(), filepath.Join(dir, "missing.csv")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestReadInputColfmt covers the sniffed columnar path end to end: the
+// file decodes to records and -field extraction yields fit-ready values.
+func TestReadInputColfmt(t *testing.T) {
+	want := colfmt.Records{CEs: []mce.CERecord{
+		{Time: time.Unix(100, 0).UTC(), Node: 1, Slot: 2, Bank: 3, BitPos: 7, Syndrome: 9},
+		{Time: time.Unix(200, 0).UTC(), Node: 4, Slot: 5, Bank: 6, BitPos: 11, Syndrome: 13},
+	}}
+	var buf bytes.Buffer
+	if err := colfmt.Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "records.col")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := readInput(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs == nil {
+		t.Fatal("columnar input not sniffed")
+	}
+	for _, tc := range []struct {
+		field string
+		want  []int
+	}{
+		{"bitpos", []int{7, 11}},
+		{"bank", []int{3, 6}},
+		{"node", []int{1, 4}},
+		{"syndrome", []int{9, 13}},
+	} {
+		xs, err := ceField(recs, tc.field)
+		if err != nil {
+			t.Fatalf("field %s: %v", tc.field, err)
+		}
+		if !reflect.DeepEqual(xs, tc.want) {
+			t.Errorf("field %s = %v, want %v", tc.field, xs, tc.want)
+		}
+	}
+	if _, err := ceField(recs, "nonsense"); err == nil {
+		t.Error("unknown field accepted")
 	}
 }

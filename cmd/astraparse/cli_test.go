@@ -148,3 +148,68 @@ func TestRunUsageErrors(t *testing.T) {
 		t.Errorf("bad flag: exit %d, want 2", code)
 	}
 }
+
+// TestRunEmitColfmt proves the full ETL loop through the columnar
+// format: parse text -> emit records.col -> re-ingest the binary file
+// and get the same CSVs the text parse produced, at several worker
+// counts.
+func TestRunEmitColfmt(t *testing.T) {
+	log := writeTestSyslog(t, nil)
+	csvOut := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-syslog", log, "-out", csvOut}, &stdout, &stderr); code != 0 {
+		t.Fatalf("csv run: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	colOut := t.TempDir()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-syslog", log, "-out", colOut, "-emit", "colfmt", "-workers", "4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("colfmt run: exit %d, stderr: %s", code, stderr.String())
+	}
+	colPath := filepath.Join(colOut, "records.col")
+	if _, err := os.Stat(colPath); err != nil {
+		t.Fatalf("missing records.col: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(colOut, "ce-telemetry.csv")); err == nil {
+		t.Error("-emit colfmt also wrote CSVs")
+	}
+
+	// Replay: feed records.col back in as the input; the CSVs must be
+	// byte-identical to the ones parsed from text.
+	replayOut := t.TempDir()
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(context.Background(), []string{"-syslog", colPath, "-out", replayOut}, &stdout, &stderr); code != 0 {
+		t.Fatalf("replay run: exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, f := range []string{"ce-telemetry.csv", "due-telemetry.csv", "het-events.csv"} {
+		want, err := os.ReadFile(filepath.Join(csvOut, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(replayOut, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s from columnar replay differs from text parse", f)
+		}
+	}
+
+	// -emit both writes all four.
+	bothOut := t.TempDir()
+	if code := run(context.Background(), []string{"-syslog", log, "-out", bothOut, "-emit", "both"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("both run: exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, f := range []string{"ce-telemetry.csv", "due-telemetry.csv", "het-events.csv", "records.col"} {
+		if _, err := os.Stat(filepath.Join(bothOut, f)); err != nil {
+			t.Errorf("missing output %s: %v", f, err)
+		}
+	}
+
+	// Unknown format is a usage error.
+	if code := run(context.Background(), []string{"-syslog", log, "-out", t.TempDir(), "-emit", "xml"}, &stdout, &stderr); code != 2 {
+		t.Errorf("-emit xml: exit %d, want 2", code)
+	}
+}

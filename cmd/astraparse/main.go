@@ -25,9 +25,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/atomicio"
+	"repro/internal/colfmt"
 	"repro/internal/dataset"
 	"repro/internal/het"
 	"repro/internal/mce"
@@ -55,6 +57,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxMalformed  = fs.Float64("max-malformed", -1, "exit non-zero when the malformed fraction of record lines exceeds this (negative disables)")
 		dedupWindow   = fs.Int("dedup-window", 0, "suppress record lines identical to one of the last N (0 disables)")
 		reorderWindow = fs.Duration("reorder-window", 0, "resequence records arriving up to this much late (0 disables)")
+		workers       = fs.Int("workers", 0, "parse worker count (0 = all CPUs, 1 = serial; output is identical at any setting)")
+		emit          = fs.String("emit", "csv", "output format: csv, colfmt (columnar binary replay), or both")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,16 +75,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	defer f.Close()
 
+	emitCSV := *emit == "csv" || *emit == "both"
+	emitCol := *emit == "colfmt" || *emit == "both"
+	if !emitCSV && !emitCol {
+		fmt.Fprintf(stderr, "astraparse: unknown -emit format %q (want csv, colfmt or both)\n", *emit)
+		return 2
+	}
+
 	pol := dataset.IngestPolicy{
 		Strict:           *strict,
 		DedupWindow:      *dedupWindow,
 		ReorderWindow:    *reorderWindow,
 		MaxMalformedFrac: *maxMalformed,
+		Parallelism:      *workers,
 	}
 	// The scan aborts mid-file on SIGINT/SIGTERM: the input reader polls
 	// ctx, so a cancelled parse surfaces as a read error and the salvage
-	// logic below decides what is still worth writing.
-	ces, dues, hets, rep, readErr := dataset.ReadSyslogPolicy(&ctxReader{ctx: ctx, r: f}, pol)
+	// logic below decides what is still worth writing. ReadRecords sniffs
+	// the input, so a columnar replay file works here too.
+	ces, dues, hets, rep, readErr := dataset.ReadRecords(&ctxReader{ctx: ctx, r: f}, pol)
 	// On a budget violation the salvage is still written before the
 	// non-zero exit; a strict failure aborts with nothing salvaged.
 	if readErr != nil && (*strict || len(ces)+len(dues)+len(hets) == 0) {
@@ -97,34 +110,41 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// The salvage of an interrupted parse is still written below with a
 	// fresh context — the data already in memory is valid.
 	wctx := context.WithoutCancel(ctx)
-	cePath := filepath.Join(*out, "ce-telemetry.csv")
-	if _, err := atomicio.WriteFile(wctx, atomicio.OS, cePath, func(w io.Writer) error {
-		return dataset.WriteCERecordsCSV(w, ces)
-	}); err != nil {
-		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", cePath, err)
-		return 1
+	var wrote []string
+	writeOut := func(name string, render func(io.Writer) error) bool {
+		path := filepath.Join(*out, name)
+		if _, err := atomicio.WriteFile(wctx, atomicio.OS, path, render); err != nil {
+			fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", path, err)
+			return false
+		}
+		wrote = append(wrote, path)
+		return true
 	}
-
-	duePath := filepath.Join(*out, "due-telemetry.csv")
-	if _, err := atomicio.WriteFile(wctx, atomicio.OS, duePath, func(w io.Writer) error {
-		return writeDUECSV(w, dues)
-	}); err != nil {
-		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", duePath, err)
-		return 1
+	if emitCSV {
+		ok := writeOut("ce-telemetry.csv", func(w io.Writer) error {
+			return dataset.WriteCERecordsCSV(w, ces)
+		}) && writeOut("due-telemetry.csv", func(w io.Writer) error {
+			return writeDUECSV(w, dues)
+		}) && writeOut("het-events.csv", func(w io.Writer) error {
+			return writeHETCSV(w, hets)
+		})
+		if !ok {
+			return 1
+		}
 	}
-	hetPath := filepath.Join(*out, "het-events.csv")
-	if _, err := atomicio.WriteFile(wctx, atomicio.OS, hetPath, func(w io.Writer) error {
-		return writeHETCSV(w, hets)
-	}); err != nil {
-		fmt.Fprintf(stderr, "astraparse: writing %s: %v\n", hetPath, err)
-		return 1
+	if emitCol {
+		if !writeOut("records.col", func(w io.Writer) error {
+			return colfmt.Write(w, colfmt.Records{CEs: ces, DUEs: dues, HETs: hets})
+		}) {
+			return 1
+		}
 	}
 
 	fmt.Fprintf(stdout, "scanned %d lines: %d CE, %d DUE, %d HET, %d other, %d malformed\n",
 		rep.Lines, rep.CEs, rep.DUEs, rep.HETs, rep.Other, rep.Malformed)
 	fmt.Fprintf(stdout, "ingest health: truncated %d, garbage %d, duplicated %d, reordered %d, dropped-out-of-order %d\n",
 		rep.Truncated, rep.Garbage, rep.Duplicated, rep.Reordered, rep.DroppedOutOfOrder)
-	fmt.Fprintf(stdout, "wrote %s, %s, %s\n", cePath, duePath, hetPath)
+	fmt.Fprintf(stdout, "wrote %s\n", strings.Join(wrote, ", "))
 	if rep.Malformed > 0 {
 		fmt.Fprintf(stdout, "warning: %.3f%% of record lines were malformed and excluded\n", 100*rep.MalformedFrac)
 	}

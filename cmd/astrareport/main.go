@@ -83,7 +83,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		nodes       = flag.Int("nodes", 432, "system size in nodes (full Astra is 2592)")
 		figures     = flag.String("figures", "all", "comma-separated figure list (table1,fig2..fig15,thermal,survival) or `all`")
-		fromSyslog  = flag.String("from-syslog", "", "analyze an existing syslog instead of the built-in pipeline")
+		fromSyslog  = flag.String("from-syslog", "", "analyze an existing syslog (or columnar records.col replay) instead of the built-in pipeline")
 		dedupWindow = flag.Int("dedup-window", 0, "with -from-syslog, suppress record lines identical to one of the last N (0 disables)")
 		reorderWin  = flag.Duration("reorder-window", 2*time.Minute, "with -from-syslog, resequence records arriving up to this much late (0 disables)")
 		experiments = flag.Bool("experiments", false, "emit the paper-vs-measured comparison table (markdown) instead of figures")
@@ -103,6 +103,7 @@ func main() {
 		DedupWindow:      *dedupWindow,
 		ReorderWindow:    *reorderWin,
 		MaxMalformedFrac: -1,
+		Parallelism:      *workers,
 	})
 	if err != nil {
 		fail(err)
@@ -193,11 +194,12 @@ func writeSVGs(ctx context.Context, dir string, study *astra.Study, r *astra.Res
 }
 
 // buildStudy either runs the synthetic pipeline or replaces its CE/DUE/HET
-// streams with records parsed from an existing syslog. External logs are
-// never trusted: they pass through the tolerant ingest policy, any records
-// still out of order afterwards are repaired by core.SanitizeRecords, and
-// an ingest-health section is printed so the reader can judge how dirty
-// the input was.
+// streams with records read from an existing file — merged syslog text or
+// a columnar records.col replay, sniffed automatically. External logs are
+// never trusted: text passes through the tolerant ingest policy (columnar
+// files are checksummed instead), any records still out of order afterwards
+// are repaired by core.SanitizeRecords, and an ingest-health section is
+// printed so the reader can judge how dirty the input was.
 func buildStudy(ctx context.Context, seed uint64, nodes, workers int, fromSyslog string, pol dataset.IngestPolicy) (*astra.Study, error) {
 	study, err := astra.Run(ctx, astra.Options{Seed: seed, Nodes: nodes, Parallelism: workers})
 	if err != nil {
@@ -211,7 +213,7 @@ func buildStudy(ctx context.Context, seed uint64, nodes, workers int, fromSyslog
 		return nil, err
 	}
 	defer f.Close()
-	ces, dues, hets, rep, err := dataset.ReadSyslogPolicy(f, pol)
+	ces, dues, hets, rep, err := dataset.ReadRecords(f, pol)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	astra "repro"
+	"repro/internal/colfmt"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faultmodel"
@@ -48,6 +49,9 @@ type Stage struct {
 	// events for generation, CE records for the downstream stages), the
 	// denominator of records/sec.
 	Records int
+	// Bytes is the input size consumed per op for throughput (MB/s)
+	// reporting; 0 for stages without a byte-stream input.
+	Bytes int64
 	// Op runs the stage once at the given worker count (1 = the serial
 	// code path, 0 = GOMAXPROCS). It panics on pipeline errors: a
 	// benchmark input that fails to build is a bug, not a measurement.
@@ -96,6 +100,16 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 	logBytes := logBuf.Bytes()
 	logRecords := len(ds.CERecords) + len(ds.DUERecords) + len(ds.HETRecords)
 
+	// The columnar replay of the same records: binary decode vs text parse
+	// over an identical logical stream.
+	var colBuf bytes.Buffer
+	if err := colfmt.Write(&colBuf, colfmt.Records{
+		CEs: ds.CERecords, DUEs: ds.DUERecords, HETs: ds.HETRecords,
+	}); err != nil {
+		return nil, fmt.Errorf("benchstage: render colfmt: %w", err)
+	}
+	colBytes := colBuf.Bytes()
+
 	stages := []Stage{
 		{
 			Name:    "generate",
@@ -122,9 +136,10 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 		{
 			Name:    "parse",
 			Records: logRecords,
+			Bytes:   int64(len(logBytes)),
 			Op: func(workers int) {
-				// Scanning is inherently serial (one log, one cursor);
-				// workers is accepted for interface symmetry like report.
+				// The serial scanner: one log, one cursor, one decoder —
+				// the baseline the block-parallel stage is measured against.
 				sc := syslog.NewScanner(bytes.NewReader(logBytes))
 				n := 0
 				for sc.Scan() {
@@ -135,6 +150,45 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 				}
 				if n != logRecords {
 					panic(fmt.Sprintf("benchstage: parse saw %d records, want %d", n, logRecords))
+				}
+			},
+		},
+		{
+			Name:    "parse-parallel",
+			Records: logRecords,
+			Bytes:   int64(len(logBytes)),
+			Op: func(workers int) {
+				// The block-parallel scanner over the same log: newline-
+				// aligned blocks decoded by per-worker decoders, merged in
+				// order (bit-identical output to the serial stage above).
+				sc := syslog.NewBlockScanner(bytes.NewReader(logBytes), syslog.BlockScanConfig{Workers: workers})
+				defer sc.Close()
+				n := 0
+				for sc.Scan() {
+					n++
+				}
+				if err := sc.Err(); err != nil {
+					panic(err)
+				}
+				if n != logRecords {
+					panic(fmt.Sprintf("benchstage: parse-parallel saw %d records, want %d", n, logRecords))
+				}
+			},
+		},
+		{
+			Name:    "colfmt-replay",
+			Records: logRecords,
+			Bytes:   int64(len(colBytes)),
+			Op: func(workers int) {
+				// Columnar decode of the identical record stream: the
+				// replay path astrareport/astrafit take when handed a
+				// records.col file instead of text.
+				recs, err := colfmt.Decode(colBytes)
+				if err != nil {
+					panic(err)
+				}
+				if n := len(recs.CEs) + len(recs.DUEs) + len(recs.HETs); n != logRecords {
+					panic(fmt.Sprintf("benchstage: colfmt-replay saw %d records, want %d", n, logRecords))
 				}
 			},
 		},

@@ -1,0 +1,710 @@
+// Package colfmt is the columnar replay format for parsed telemetry: a
+// fixed-schema binary encoding of the CE/DUE/HET record streams that a
+// syslog scan produces, so re-analysis runs (astrareport, astrafit, the
+// benchmarks) can load months of telemetry without paying for text
+// parsing again.
+//
+// Layout: a magic header, the three record counts, then a sequence of
+// per-column blocks, each covering up to 64Ki records of one column of
+// one record kind:
+//
+//	magic "ASTRACOL\x01"
+//	uvarint nCE | uvarint nDUE | uvarint nHET
+//	block*:
+//	  byte kind (1=CE 2=DUE 3=HET) | byte column
+//	  uvarint first | uvarint count | uvarint payloadLen
+//	  payload | uint32le CRC32(header+payload)
+//	byte 0 (end marker)
+//
+// Column encodings: timestamps are split into a delta-zigzag-varint
+// seconds column (first value absolute, then per-record deltas — nearly
+// always 1-2 bytes for time-ordered telemetry) and a nanoseconds uvarint
+// column; hostnames (node IDs) and DIMM slots are dictionary-encoded
+// (a first-appearance value table per kind, then per-record indexes);
+// remaining integer fields are plain varints; single-byte fields
+// (syndrome, cause, fatal, event type, severity) are raw bytes. Every
+// block carries a CRC32 of its header and payload, so corruption is
+// detected at block granularity rather than surfacing as silently wrong
+// records.
+package colfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"repro/internal/faultmodel"
+	"repro/internal/het"
+	"repro/internal/mce"
+	"repro/internal/topology"
+)
+
+// Magic heads every colfmt file; the trailing byte is the format version.
+const Magic = "ASTRACOL\x01"
+
+// MagicLen is how many leading bytes Sniff needs.
+const MagicLen = len(Magic)
+
+// Sniff reports whether prefix begins a colfmt file.
+func Sniff(prefix []byte) bool {
+	return len(prefix) >= MagicLen && string(prefix[:MagicLen]) == Magic
+}
+
+// blockRecords caps how many records one column block spans: large enough
+// to amortize the 10-byte header + CRC, small enough that a detected
+// corruption names a usefully narrow record range.
+const blockRecords = 1 << 16
+
+// Record kinds (block header byte). 0 is the end-of-file marker.
+const (
+	kindEnd = iota
+	kindCE
+	kindDUE
+	kindHET
+)
+
+// Column ids shared by all kinds.
+const (
+	colTimeSec  = 0 // delta zigzag varint, first value absolute
+	colTimeNsec = 1 // uvarint
+	colNode     = 2 // dict index, uvarint
+)
+
+// CE columns beyond the shared ones.
+const (
+	colCESlot     = 3 // dict index, uvarint
+	colCESocket   = 4
+	colCERank     = 5
+	colCEBank     = 6
+	colCERowRaw   = 7
+	colCECol      = 8
+	colCEBitPos   = 9
+	colCEAddr     = 10
+	colCESyndrome = 11
+	numCECols     = 12
+)
+
+// DUE columns.
+const (
+	colDUECause = 3
+	colDUEAddr  = 4
+	colDUEFatal = 5
+	numDUECols  = 6
+)
+
+// HET columns.
+const (
+	colHETType     = 3
+	colHETSeverity = 4
+	colHETAddr     = 5
+	numHETCols     = 6
+)
+
+// Dictionary-table pseudo-columns (always first=0, count=table size).
+const (
+	colNodeDict = 200
+	colSlotDict = 201
+)
+
+// Records bundles the three typed record streams one file holds.
+type Records struct {
+	CEs  []mce.CERecord
+	DUEs []mce.DUERecord
+	HETs []het.Record
+}
+
+// Write encodes recs to w. The output is deterministic for given input.
+func Write(w io.Writer, recs Records) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var hdr [3 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(recs.CEs)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(recs.DUEs)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(recs.HETs)))
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	enc := &encoder{w: bw}
+	enc.writeCE(recs.CEs)
+	enc.writeDUE(recs.DUEs)
+	enc.writeHET(recs.HETs)
+	if enc.err == nil {
+		enc.err = bw.WriteByte(kindEnd)
+	}
+	if enc.err != nil {
+		return fmt.Errorf("colfmt: write: %w", enc.err)
+	}
+	return bw.Flush()
+}
+
+type encoder struct {
+	w       *bufio.Writer
+	scratch []byte
+	err     error
+}
+
+// block emits one column block: header varints, payload, trailing CRC32
+// over both.
+func (e *encoder) block(kind, col byte, first, count int, payload []byte) {
+	if e.err != nil {
+		return
+	}
+	var hdr [2 + 3*binary.MaxVarintLen64]byte
+	hdr[0], hdr[1] = kind, col
+	n := 2
+	n += binary.PutUvarint(hdr[n:], uint64(first))
+	n += binary.PutUvarint(hdr[n:], uint64(count))
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	crc := crc32.ChecksumIEEE(hdr[:n])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, e.err = e.w.Write(hdr[:n]); e.err != nil {
+		return
+	}
+	if _, e.err = e.w.Write(payload); e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(tail[:])
+}
+
+// column chunks one column of n records into blocks, calling encode to
+// append record i's value to the payload.
+func (e *encoder) column(kind, col byte, n int, encode func(dst []byte, i int) []byte) {
+	for first := 0; first < n; first += blockRecords {
+		count := min(blockRecords, n-first)
+		p := e.scratch[:0]
+		for i := first; i < first+count; i++ {
+			p = encode(p, i)
+		}
+		e.block(kind, col, first, count, p)
+		e.scratch = p
+	}
+}
+
+// dict builds a first-appearance dictionary over vals and emits its table
+// block; the returned index map drives the per-record index column.
+func (e *encoder) dict(kind, col byte, vals func(i int) int, n int) map[int]uint64 {
+	idx := make(map[int]uint64)
+	p := e.scratch[:0]
+	for i := 0; i < n; i++ {
+		v := vals(i)
+		if _, ok := idx[v]; !ok {
+			idx[v] = uint64(len(idx))
+			p = binary.AppendVarint(p, int64(v))
+		}
+	}
+	e.block(kind, col, 0, len(idx), p)
+	e.scratch = p
+	return idx
+}
+
+// timeColumns emits the shared delta-seconds and nanoseconds columns.
+func (e *encoder) timeColumns(kind byte, n int, at func(i int) time.Time) {
+	var prev int64
+	// Delta state must reset at block boundaries so each block decodes
+	// independently; track the previous block's boundary via closure over
+	// the record index.
+	e.column(kind, colTimeSec, n, func(dst []byte, i int) []byte {
+		sec := at(i).Unix()
+		if i%blockRecords == 0 {
+			prev = 0
+		}
+		dst = binary.AppendVarint(dst, sec-prev)
+		prev = sec
+		return dst
+	})
+	e.column(kind, colTimeNsec, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, uint64(at(i).Nanosecond()))
+	})
+}
+
+func (e *encoder) writeCE(ces []mce.CERecord) {
+	n := len(ces)
+	if n == 0 {
+		return
+	}
+	nodeIdx := e.dict(kindCE, colNodeDict, func(i int) int { return int(ces[i].Node) }, n)
+	slotIdx := e.dict(kindCE, colSlotDict, func(i int) int { return int(ces[i].Slot) }, n)
+	e.timeColumns(kindCE, n, func(i int) time.Time { return ces[i].Time })
+	e.column(kindCE, colNode, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, nodeIdx[int(ces[i].Node)])
+	})
+	e.column(kindCE, colCESlot, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, slotIdx[int(ces[i].Slot)])
+	})
+	for _, c := range []struct {
+		col byte
+		get func(i int) int64
+	}{
+		{colCESocket, func(i int) int64 { return int64(ces[i].Socket) }},
+		{colCERank, func(i int) int64 { return int64(ces[i].Rank) }},
+		{colCEBank, func(i int) int64 { return int64(ces[i].Bank) }},
+		{colCERowRaw, func(i int) int64 { return int64(ces[i].RowRaw) }},
+		{colCECol, func(i int) int64 { return int64(ces[i].Col) }},
+		{colCEBitPos, func(i int) int64 { return int64(ces[i].BitPos) }},
+	} {
+		get := c.get
+		e.column(kindCE, c.col, n, func(dst []byte, i int) []byte {
+			return binary.AppendVarint(dst, get(i))
+		})
+	}
+	e.column(kindCE, colCEAddr, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, uint64(ces[i].Addr))
+	})
+	e.column(kindCE, colCESyndrome, n, func(dst []byte, i int) []byte {
+		return append(dst, ces[i].Syndrome)
+	})
+}
+
+func (e *encoder) writeDUE(dues []mce.DUERecord) {
+	n := len(dues)
+	if n == 0 {
+		return
+	}
+	nodeIdx := e.dict(kindDUE, colNodeDict, func(i int) int { return int(dues[i].Node) }, n)
+	e.timeColumns(kindDUE, n, func(i int) time.Time { return dues[i].Time })
+	e.column(kindDUE, colNode, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, nodeIdx[int(dues[i].Node)])
+	})
+	e.column(kindDUE, colDUECause, n, func(dst []byte, i int) []byte {
+		return binary.AppendVarint(dst, int64(dues[i].Cause))
+	})
+	e.column(kindDUE, colDUEAddr, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, uint64(dues[i].Addr))
+	})
+	e.column(kindDUE, colDUEFatal, n, func(dst []byte, i int) []byte {
+		if dues[i].Fatal {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	})
+}
+
+func (e *encoder) writeHET(hets []het.Record) {
+	n := len(hets)
+	if n == 0 {
+		return
+	}
+	nodeIdx := e.dict(kindHET, colNodeDict, func(i int) int { return int(hets[i].Node) }, n)
+	e.timeColumns(kindHET, n, func(i int) time.Time { return hets[i].Time })
+	e.column(kindHET, colNode, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, nodeIdx[int(hets[i].Node)])
+	})
+	e.column(kindHET, colHETType, n, func(dst []byte, i int) []byte {
+		return binary.AppendVarint(dst, int64(hets[i].Type))
+	})
+	e.column(kindHET, colHETSeverity, n, func(dst []byte, i int) []byte {
+		return binary.AppendVarint(dst, int64(hets[i].Severity))
+	})
+	e.column(kindHET, colHETAddr, n, func(dst []byte, i int) []byte {
+		return binary.AppendUvarint(dst, uint64(hets[i].Addr))
+	})
+}
+
+// Read decodes a colfmt stream. The whole input is buffered: colfmt files
+// are compact (a few bytes per record) and the decoder validates
+// per-block checksums before trusting any byte.
+func Read(r io.Reader) (Records, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Records{}, fmt.Errorf("colfmt: read: %w", err)
+	}
+	return Decode(data)
+}
+
+// Decode decodes an in-memory colfmt file.
+func Decode(data []byte) (Records, error) {
+	d := decoder{data: data}
+	recs, err := d.run()
+	if err != nil {
+		return Records{}, err
+	}
+	return recs, nil
+}
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+var errShort = errors.New("truncated")
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) run() (Records, error) {
+	if !Sniff(d.data) {
+		return Records{}, errors.New("colfmt: bad magic")
+	}
+	d.off = MagicLen
+	var counts [3]uint64
+	for i := range counts {
+		v, err := d.uvarint()
+		if err != nil {
+			return Records{}, fmt.Errorf("colfmt: header: %w", err)
+		}
+		counts[i] = v
+	}
+	// Every record costs at least one payload byte in several columns; a
+	// count beyond the file size is corruption, not a huge file, and must
+	// not drive allocation.
+	if counts[0]+counts[1]+counts[2] > uint64(len(d.data)) {
+		return Records{}, fmt.Errorf("colfmt: header: %d records in a %d-byte file", counts[0]+counts[1]+counts[2], len(d.data))
+	}
+	recs := Records{
+		CEs:  make([]mce.CERecord, counts[0]),
+		DUEs: make([]mce.DUERecord, counts[1]),
+		HETs: make([]het.Record, counts[2]),
+	}
+	ks := kindState{
+		kindCE:  {nCols: numCECols, n: len(recs.CEs)},
+		kindDUE: {nCols: numDUECols, n: len(recs.DUEs)},
+		kindHET: {nCols: numHETCols, n: len(recs.HETs)},
+	}
+	for {
+		if d.off >= len(d.data) {
+			return Records{}, errors.New("colfmt: missing end marker")
+		}
+		kind := d.data[d.off]
+		if kind == kindEnd {
+			d.off++
+			break
+		}
+		if err := d.block(kind, &recs, &ks); err != nil {
+			return Records{}, err
+		}
+	}
+	if d.off != len(d.data) {
+		return Records{}, fmt.Errorf("colfmt: %d trailing bytes", len(d.data)-d.off)
+	}
+	for kind := kindCE; kind <= kindHET; kind++ {
+		st := &ks[kind]
+		if st.n == 0 {
+			continue
+		}
+		for col := 0; col < st.nCols; col++ {
+			if st.progress[col] != st.n {
+				return Records{}, fmt.Errorf("colfmt: kind %d column %d covers %d of %d records", kind, col, st.progress[col], st.n)
+			}
+		}
+	}
+	return recs, nil
+}
+
+// kindDecode tracks one kind's decode progress: how far each column has
+// been filled (blocks must arrive in order, gap-free) and the
+// dictionaries its index columns resolve against.
+type kindDecode struct {
+	nCols    int
+	n        int
+	progress [numCECols]int
+	nodeDict []int64
+	slotDict []int64
+}
+
+type kindState [kindHET + 1]kindDecode
+
+func (d *decoder) block(kind byte, recs *Records, ks *kindState) error {
+	blockStart := d.off
+	if kind > kindHET {
+		return fmt.Errorf("colfmt: unknown record kind %d at offset %d", kind, d.off)
+	}
+	if d.off+2 > len(d.data) {
+		return errors.New("colfmt: truncated block header")
+	}
+	col := d.data[d.off+1]
+	d.off += 2
+	first, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("colfmt: block header: %w", err)
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("colfmt: block header: %w", err)
+	}
+	plen, err := d.uvarint()
+	if err != nil {
+		return fmt.Errorf("colfmt: block header: %w", err)
+	}
+	if plen > uint64(len(d.data)-d.off) {
+		return fmt.Errorf("colfmt: block payload of %d bytes exceeds remaining input", plen)
+	}
+	payload := d.data[d.off : d.off+int(plen)]
+	d.off += int(plen)
+	if d.off+4 > len(d.data) {
+		return errors.New("colfmt: truncated block checksum")
+	}
+	want := binary.LittleEndian.Uint32(d.data[d.off : d.off+4])
+	d.off += 4
+	if crc := crc32.ChecksumIEEE(d.data[blockStart : d.off-4]); crc != want {
+		return fmt.Errorf("colfmt: kind %d column %d block at offset %d: checksum mismatch", kind, col, blockStart)
+	}
+
+	st := &ks[kind]
+	if col == colNodeDict || col == colSlotDict {
+		if first != 0 {
+			return fmt.Errorf("colfmt: dictionary block with first=%d", first)
+		}
+		table := make([]int64, 0, count)
+		off := 0
+		for i := uint64(0); i < count; i++ {
+			v, n := binary.Varint(payload[off:])
+			if n <= 0 {
+				return fmt.Errorf("colfmt: kind %d dictionary %d: truncated entry", kind, col)
+			}
+			off += n
+			table = append(table, v)
+		}
+		if off != len(payload) {
+			return fmt.Errorf("colfmt: kind %d dictionary %d: trailing payload", kind, col)
+		}
+		if col == colNodeDict {
+			st.nodeDict = table
+		} else {
+			st.slotDict = table
+		}
+		return nil
+	}
+	if int(col) >= st.nCols {
+		return fmt.Errorf("colfmt: kind %d: unknown column %d", kind, col)
+	}
+	if int(first) != st.progress[col] {
+		return fmt.Errorf("colfmt: kind %d column %d: block starts at %d, expected %d", kind, col, first, st.progress[col])
+	}
+	if first+count > uint64(st.n) {
+		return fmt.Errorf("colfmt: kind %d column %d: block [%d,%d) exceeds %d records", kind, col, first, first+count, st.n)
+	}
+	if err := d.decodeColumn(kind, col, int(first), int(count), payload, recs, st); err != nil {
+		return err
+	}
+	st.progress[col] += int(count)
+	return nil
+}
+
+// eachUvarint walks a payload of exactly count uvarints.
+func eachUvarint(payload []byte, count int, fn func(i int, v uint64) error) error {
+	off := 0
+	for i := 0; i < count; i++ {
+		v, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return errShort
+		}
+		off += n
+		if err := fn(i, v); err != nil {
+			return err
+		}
+	}
+	if off != len(payload) {
+		return fmt.Errorf("%d trailing payload bytes", len(payload)-off)
+	}
+	return nil
+}
+
+// eachVarint walks a payload of exactly count zigzag varints.
+func eachVarint(payload []byte, count int, fn func(i int, v int64) error) error {
+	off := 0
+	for i := 0; i < count; i++ {
+		v, n := binary.Varint(payload[off:])
+		if n <= 0 {
+			return errShort
+		}
+		off += n
+		if err := fn(i, v); err != nil {
+			return err
+		}
+	}
+	if off != len(payload) {
+		return fmt.Errorf("%d trailing payload bytes", len(payload)-off)
+	}
+	return nil
+}
+
+// bytesColumn checks a raw single-byte-per-record payload.
+func bytesColumn(payload []byte, count int) error {
+	if len(payload) != count {
+		return fmt.Errorf("%d payload bytes for %d records", len(payload), count)
+	}
+	return nil
+}
+
+// decodeColumn fills records [first, first+count) of one column from a
+// checksum-verified payload.
+func (d *decoder) decodeColumn(kind, col byte, first, count int, payload []byte, recs *Records, st *kindDecode) error {
+	var err error
+	switch kind {
+	case kindCE:
+		err = decodeCE(col, first, count, payload, recs.CEs, st)
+	case kindDUE:
+		err = decodeDUE(col, first, count, payload, recs.DUEs, st)
+	case kindHET:
+		err = decodeHET(col, first, count, payload, recs.HETs, st)
+	}
+	if err != nil {
+		return fmt.Errorf("colfmt: kind %d column %d at record %d: %w", kind, col, first, err)
+	}
+	return nil
+}
+
+var errDictIndex = errors.New("dictionary index out of range")
+
+// timeSec decodes a delta-seconds block into out (the nanoseconds column
+// merges in later: encoder order writes seconds first).
+func timeSec(first, count int, payload []byte, set func(i int, sec int64)) error {
+	prev := int64(0)
+	return eachVarint(payload, count, func(i int, delta int64) error {
+		prev += delta
+		set(first+i, prev)
+		return nil
+	})
+}
+
+func decodeCE(col byte, first, count int, payload []byte, out []mce.CERecord, st *kindDecode) error {
+	recs := out[first : first+count]
+	switch col {
+	case colTimeSec:
+		return timeSec(first, count, payload, func(i int, sec int64) {
+			out[i].Time = time.Unix(sec, 0).UTC()
+		})
+	case colTimeNsec:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			recs[i].Time = time.Unix(recs[i].Time.Unix(), int64(v)).UTC()
+			return nil
+		})
+	case colNode:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			if v >= uint64(len(st.nodeDict)) {
+				return errDictIndex
+			}
+			recs[i].Node = topology.NodeID(st.nodeDict[v])
+			return nil
+		})
+	case colCESlot:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			if v >= uint64(len(st.slotDict)) {
+				return errDictIndex
+			}
+			recs[i].Slot = topology.Slot(st.slotDict[v])
+			return nil
+		})
+	case colCESocket:
+		return eachVarint(payload, count, func(i int, v int64) error { recs[i].Socket = int(v); return nil })
+	case colCERank:
+		return eachVarint(payload, count, func(i int, v int64) error { recs[i].Rank = int(v); return nil })
+	case colCEBank:
+		return eachVarint(payload, count, func(i int, v int64) error { recs[i].Bank = int(v); return nil })
+	case colCERowRaw:
+		return eachVarint(payload, count, func(i int, v int64) error { recs[i].RowRaw = int(v); return nil })
+	case colCECol:
+		return eachVarint(payload, count, func(i int, v int64) error { recs[i].Col = int(v); return nil })
+	case colCEBitPos:
+		return eachVarint(payload, count, func(i int, v int64) error { recs[i].BitPos = int(v); return nil })
+	case colCEAddr:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			recs[i].Addr = topology.PhysAddr(v)
+			return nil
+		})
+	case colCESyndrome:
+		if err := bytesColumn(payload, count); err != nil {
+			return err
+		}
+		for i := range recs {
+			recs[i].Syndrome = payload[i]
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled column %d", col)
+}
+
+func decodeDUE(col byte, first, count int, payload []byte, out []mce.DUERecord, st *kindDecode) error {
+	recs := out[first : first+count]
+	switch col {
+	case colTimeSec:
+		return timeSec(first, count, payload, func(i int, sec int64) {
+			out[i].Time = time.Unix(sec, 0).UTC()
+		})
+	case colTimeNsec:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			recs[i].Time = time.Unix(recs[i].Time.Unix(), int64(v)).UTC()
+			return nil
+		})
+	case colNode:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			if v >= uint64(len(st.nodeDict)) {
+				return errDictIndex
+			}
+			recs[i].Node = topology.NodeID(st.nodeDict[v])
+			return nil
+		})
+	case colDUECause:
+		return eachVarint(payload, count, func(i int, v int64) error {
+			recs[i].Cause = faultmodel.DUECause(v)
+			return nil
+		})
+	case colDUEAddr:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			recs[i].Addr = topology.PhysAddr(v)
+			return nil
+		})
+	case colDUEFatal:
+		if err := bytesColumn(payload, count); err != nil {
+			return err
+		}
+		for i := range recs {
+			recs[i].Fatal = payload[i] != 0
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled column %d", col)
+}
+
+func decodeHET(col byte, first, count int, payload []byte, out []het.Record, st *kindDecode) error {
+	recs := out[first : first+count]
+	switch col {
+	case colTimeSec:
+		return timeSec(first, count, payload, func(i int, sec int64) {
+			out[i].Time = time.Unix(sec, 0).UTC()
+		})
+	case colTimeNsec:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			recs[i].Time = time.Unix(recs[i].Time.Unix(), int64(v)).UTC()
+			return nil
+		})
+	case colNode:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			if v >= uint64(len(st.nodeDict)) {
+				return errDictIndex
+			}
+			recs[i].Node = topology.NodeID(st.nodeDict[v])
+			return nil
+		})
+	case colHETType:
+		return eachVarint(payload, count, func(i int, v int64) error {
+			recs[i].Type = het.EventType(v)
+			return nil
+		})
+	case colHETSeverity:
+		return eachVarint(payload, count, func(i int, v int64) error {
+			recs[i].Severity = het.Severity(v)
+			return nil
+		})
+	case colHETAddr:
+		return eachUvarint(payload, count, func(i int, v uint64) error {
+			recs[i].Addr = topology.PhysAddr(v)
+			return nil
+		})
+	}
+	return fmt.Errorf("unhandled column %d", col)
+}

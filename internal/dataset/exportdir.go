@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/atomicio"
+	"repro/internal/colfmt"
 	"repro/internal/corrupt"
 )
 
@@ -211,6 +212,13 @@ func (ds *Dataset) artifacts(opts ExportOptions) ([]artifact, error) {
 		}},
 		artifact{"replacements.csv", func(ctx context.Context, w io.Writer) error {
 			return ds.WriteReplacementsCSV(w)
+		}},
+		// The columnar replay of the same records the syslog holds: readers
+		// that only need typed streams skip text parsing entirely.
+		artifact{"astra-records.col", func(ctx context.Context, w io.Writer) error {
+			return colfmt.Write(w, colfmt.Records{
+				CEs: ds.CERecords, DUEs: ds.DUERecords, HETs: ds.HETRecords,
+			})
 		}},
 	)
 	if opts.ScanStride > 0 {

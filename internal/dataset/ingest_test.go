@@ -2,11 +2,15 @@ package dataset
 
 import (
 	"bytes"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/atomicio"
+	"repro/internal/colfmt"
 	"repro/internal/corrupt"
 )
 
@@ -222,5 +226,101 @@ func TestReadSensorCSVLenient(t *testing.T) {
 	}
 	if rep.Bad == 0 {
 		t.Error("10% corruption produced zero bad sensor rows")
+	}
+}
+
+// TestReadRecordsSniffsColfmt proves the sniffing reader routes a
+// columnar replay file to the binary decoder and returns exactly the
+// records the dataset holds — the same streams the syslog text encodes,
+// without any text parsing.
+func TestReadRecordsSniffsColfmt(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := colfmt.Write(&buf, colfmt.Records{
+		CEs: ds.CERecords, DUEs: ds.DUERecords, HETs: ds.HETRecords,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ces, dues, hets, rep, err := ReadRecords(bytes.NewReader(buf.Bytes()), IngestPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ces, ds.CERecords) || !reflect.DeepEqual(dues, ds.DUERecords) || !reflect.DeepEqual(hets, ds.HETRecords) {
+		t.Fatal("columnar replay diverged from dataset records")
+	}
+	if rep.CEs != len(ces) || rep.DUEs != len(dues) || rep.HETs != len(hets) {
+		t.Errorf("report counts (%d,%d,%d) != stream lengths (%d,%d,%d)",
+			rep.CEs, rep.DUEs, rep.HETs, len(ces), len(dues), len(hets))
+	}
+	if rep.Lines != 0 || rep.Malformed != 0 {
+		t.Errorf("columnar path reported text-parse counters: %+v", rep.ScanStats)
+	}
+
+	// Corruption in a columnar file is a hard error, never a salvage.
+	mut := append([]byte(nil), buf.Bytes()...)
+	mut[len(mut)/2] ^= 0x40
+	if _, _, _, _, err := ReadRecords(bytes.NewReader(mut), IngestPolicy{}); err == nil {
+		t.Error("corrupted columnar file read without error")
+	}
+}
+
+// TestReadRecordsSniffsSyslog proves text input falls through to the
+// policy reader with identical results, at serial and parallel settings.
+func TestReadRecordsSniffsSyslog(t *testing.T) {
+	ds := smallDataset(t)
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	wantCEs, wantDUEs, wantHETs, wantRep, err := ReadSyslogPolicy(bytes.NewReader(buf.Bytes()), IngestPolicy{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 1, 4} {
+		ces, dues, hets, rep, err := ReadRecords(bytes.NewReader(buf.Bytes()), IngestPolicy{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(ces, wantCEs) || !reflect.DeepEqual(dues, wantDUEs) || !reflect.DeepEqual(hets, wantHETs) {
+			t.Fatalf("parallelism %d: records diverged from serial read", par)
+		}
+		if !reflect.DeepEqual(rep, wantRep) {
+			t.Fatalf("parallelism %d: report %+v != %+v", par, rep, wantRep)
+		}
+	}
+}
+
+// TestExportIncludesColumnarReplay checks the export tree carries the
+// columnar artifact and that reading it back yields the dataset records.
+func TestExportIncludesColumnarReplay(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	rep, err := ds.Export(testCtx, atomicio.OS, dir, ExportOptions{
+		SensorNodeStride: 50, SensorMinuteStride: 50000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Files {
+		if f.Name == "astra-records.col" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("astra-records.col missing from export report: %+v", rep.Files)
+	}
+	f, err := atomicio.OS.Open(filepath.Join(dir, "astra-records.col"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ces, dues, hets, _, err := ReadRecords(f, IngestPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ces) != len(ds.CERecords) || len(dues) != len(ds.DUERecords) || len(hets) != len(ds.HETRecords) {
+		t.Fatalf("exported columnar counts (%d,%d,%d) != dataset (%d,%d,%d)",
+			len(ces), len(dues), len(hets), len(ds.CERecords), len(ds.DUERecords), len(ds.HETRecords))
 	}
 }

@@ -14,10 +14,14 @@ type PowerLawFit struct {
 	NTail int     // number of observations >= Xmin
 }
 
+// zetaTerms is the direct-summation length of the Hurwitz-zeta
+// evaluations; the remainder is an Euler-Maclaurin tail correction.
+const zetaTerms = 2000
+
 // hurwitzZeta computes ζ(alpha, a) = Σ_{k=a}^{∞} k^-alpha for alpha > 1,
 // a >= 1, by direct summation plus an Euler-Maclaurin tail correction.
 func hurwitzZeta(alpha float64, a int) float64 {
-	n := a + 2000
+	n := a + zetaTerms
 	sum := 0.0
 	for k := a; k < n; k++ {
 		sum += math.Pow(float64(k), -alpha)
@@ -28,20 +32,40 @@ func hurwitzZeta(alpha float64, a int) float64 {
 	return sum
 }
 
-// hurwitzZetaLog computes Σ_{k=a}^{∞} ln(k)·k^-alpha for alpha > 1.
-func hurwitzZetaLog(alpha float64, a int) float64 {
-	n := a + 2000
-	sum := 0.0
-	for k := a; k < n; k++ {
-		fk := float64(k)
-		sum += math.Log(fk) * math.Pow(fk, -alpha)
+// zetaTable caches ln(k) for k in [a, a+zetaTerms) so the MLE bisection
+// can evaluate both zeta sums at many alphas over the same support
+// without recomputing logarithms: k^-alpha = exp(-alpha·ln k), so each
+// term costs one Exp and one multiply instead of two Pows and a Log.
+type zetaTable struct {
+	a   int
+	lnk []float64
+}
+
+func newZetaTable(a int) *zetaTable {
+	t := &zetaTable{a: a, lnk: make([]float64, zetaTerms)}
+	for i := range t.lnk {
+		t.lnk[i] = math.Log(float64(a + i))
 	}
-	fn := float64(n)
+	return t
+}
+
+// both returns ζ(alpha, a) and Σ ln(k)·k^-alpha in one fused pass, with
+// the same Euler-Maclaurin tails as hurwitzZeta (∫ + boundary + f'
+// correction) and its log-weighted counterpart
+// ∫_n^∞ ln(x)·x^-alpha dx = n^(1-alpha)·(ln n/(alpha-1) + 1/(alpha-1)²).
+func (t *zetaTable) both(alpha float64) (z, zlog float64) {
+	for _, l := range t.lnk {
+		e := math.Exp(-alpha * l)
+		z += e
+		zlog += l * e
+	}
+	fn := float64(t.a + zetaTerms)
+	lnN := math.Log(fn)
+	en := math.Exp(-alpha * lnN) // fn^-alpha
 	am1 := alpha - 1
-	// ∫_n^∞ ln(x)·x^-alpha dx = n^(1-alpha) (ln n/(alpha-1) + 1/(alpha-1)^2),
-	// plus half the boundary term.
-	sum += math.Pow(fn, 1-alpha)*(math.Log(fn)/am1+1/(am1*am1)) + math.Log(fn)*math.Pow(fn, -alpha)/2
-	return sum
+	z += en*fn/am1 + en/2 + alpha*en/fn/12
+	zlog += en*fn*(lnN/am1+1/(am1*am1)) + lnN*en/2
+	return z, zlog
 }
 
 // FitPowerLaw fits a discrete power law to the positive integer sample xs
@@ -71,8 +95,11 @@ func FitPowerLaw(xs []int, xmin int) (PowerLawFit, error) {
 	}
 	meanLn := sumLn / float64(len(tail))
 	// g(alpha) = E_fit[ln k] - mean(ln x); decreasing in alpha. Bisect.
+	// One zeta table serves all ~80 bisection evaluations.
+	tbl := newZetaTable(xmin)
 	g := func(alpha float64) float64 {
-		return hurwitzZetaLog(alpha, xmin)/hurwitzZeta(alpha, xmin) - meanLn
+		z, zlog := tbl.both(alpha)
+		return zlog/z - meanLn
 	}
 	lo, hi := 1.0001, 30.0
 	if g(lo) < 0 {

@@ -1,0 +1,20 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkFitPowerLaw(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]int, 5000)
+	for i := range xs {
+		xs[i] = 1 + int(rng.ExpFloat64()*3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitPowerLaw(xs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

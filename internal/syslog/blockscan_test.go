@@ -1,0 +1,364 @@
+package syslog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corrupt"
+	"repro/internal/topology"
+)
+
+// blockWorkerSweep is the worker-count matrix every differential test
+// runs: 1 exercises the serial-delegation path, the rest the pipeline.
+var blockWorkerSweep = []int{1, 2, 4, 8}
+
+// scanResult captures everything observable about one complete scan, so
+// differential tests compare implementations with a single DeepEqual.
+type scanResult struct {
+	Records []Parsed
+	Stats   ScanStats
+	Err     string
+	Offset  int64
+}
+
+type recordScanner interface {
+	Scan() bool
+	Record() Parsed
+	Stats() ScanStats
+	Err() error
+	Offset() int64
+}
+
+func drainScanner(sc recordScanner) scanResult {
+	var res scanResult
+	for sc.Scan() {
+		res.Records = append(res.Records, sc.Record())
+	}
+	res.Stats = sc.Stats()
+	if err := sc.Err(); err != nil {
+		res.Err = err.Error()
+	}
+	res.Offset = sc.Offset()
+	return res
+}
+
+// synthLog renders a deterministic pseudo-random log with every line
+// category the tolerance machinery reacts to: CE/DUE/HET records with
+// bounded timestamp skew (reorder heap), exact repeats at varying
+// distances (dedup ring), kernel noise, and blank lines.
+func synthLog(lines int) string {
+	var b strings.Builder
+	base := sampleCE().Time
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	history := make([]string, 0, lines)
+	for i := 0; i < lines; i++ {
+		var line string
+		switch next(10) {
+		case 0:
+			line = "kernel: ordinary chatter " + fmt.Sprint(i)
+		case 1:
+			if len(history) > 0 {
+				// Replay a recent line verbatim: relay duplication.
+				line = history[len(history)-1-int(next(uint64(min(len(history), 12))))]
+				break
+			}
+			fallthrough
+		case 2:
+			r := sampleDUE()
+			r.Time = base.Add(time.Duration(i)*time.Second - time.Duration(next(40))*time.Second)
+			line = FormatDUE(r)
+		case 3:
+			r := sampleHET()
+			r.Time = base.Add(time.Duration(i) * time.Second)
+			line = FormatHET(r)
+		case 4:
+			line = ""
+		default:
+			r := sampleCE()
+			// Skew some arrivals backwards so the reorder window both
+			// recovers and drops records.
+			r.Time = base.Add(time.Duration(i)*time.Second - time.Duration(next(50))*time.Second)
+			r.Addr = topology.PhysAddr(0x1000 + next(64)*0x40)
+			r.Col = int(next(32))
+			line = FormatCE(r)
+		}
+		history = append(history, line)
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// corruptLog passes the clean log through internal/corrupt at rate p.
+func corruptLog(t *testing.T, clean string, seed uint64, p float64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	c := corrupt.New(corrupt.Uniform(seed, p))
+	if _, err := c.Process(strings.NewReader(clean), &buf); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	return buf.String()
+}
+
+// TestBlockScannerDifferential is the core bit-identity contract: over
+// clean and dirty (1% and 100% corruption) logs, under every tolerance
+// configuration, the BlockScanner's records, stats, error and offset
+// equal the serial Scanner's at every worker count and block size.
+func TestBlockScannerDifferential(t *testing.T) {
+	clean := synthLog(4000)
+	inputs := map[string]string{
+		"clean":     clean,
+		"dirty1pc":  corruptLog(t, clean, 7, 0.01),
+		"dirty100":  corruptLog(t, clean, 11, 1.00),
+		"crlf":      strings.ReplaceAll(synthLog(300), "\n", "\r\n"),
+		"nofinalnl": strings.TrimSuffix(synthLog(301), "\n"),
+		"empty":     "",
+	}
+	configs := map[string]ScanConfig{
+		"zero":     {},
+		"tolerant": {DedupWindow: 8, ReorderWindow: 30 * time.Second},
+		"dedup":    {DedupWindow: 3},
+		"reorder":  {ReorderWindow: 45 * time.Second},
+	}
+	for inName, in := range inputs {
+		for cfgName, cfg := range configs {
+			want := drainScanner(NewScannerConfig(strings.NewReader(in), cfg))
+			for _, workers := range blockWorkerSweep {
+				for _, bsize := range []int{64, 4096, DefaultBlockSize} {
+					got := drainScanner(NewBlockScanner(strings.NewReader(in), BlockScanConfig{
+						ScanConfig: cfg, Workers: workers, BlockSize: bsize,
+					}))
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s/%s workers=%d bsize=%d: block scan diverged\n got: stats=%+v err=%q off=%d nrec=%d\nwant: stats=%+v err=%q off=%d nrec=%d",
+							inName, cfgName, workers, bsize,
+							got.Stats, got.Err, got.Offset, len(got.Records),
+							want.Stats, want.Err, want.Offset, len(want.Records))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockScannerStrictDifferential checks the strict path: the scan
+// must stop at the identical line with the identical error and stats.
+func TestBlockScannerStrictDifferential(t *testing.T) {
+	in := corruptLog(t, synthLog(2000), 3, 0.02)
+	cfg := ScanConfig{Strict: true, DedupWindow: 4, ReorderWindow: 20 * time.Second}
+	want := drainScanner(NewScannerConfig(strings.NewReader(in), cfg))
+	if want.Err == "" {
+		t.Fatal("fixture produced no strict error; raise the corruption rate")
+	}
+	for _, workers := range blockWorkerSweep {
+		got := drainScanner(NewBlockScanner(strings.NewReader(in), BlockScanConfig{
+			ScanConfig: cfg, Workers: workers, BlockSize: 256,
+		}))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: strict scan diverged: err=%q want %q, stats=%+v want %+v",
+				workers, got.Err, want.Err, got.Stats, want.Stats)
+		}
+	}
+}
+
+// TestBlockScannerBoundaries pins the newline-resolution edge cases to
+// the serial scanner's behaviour: CRLF endings, a final line without a
+// newline, a line longer than the block size, and a record line split by
+// corruption so its halves straddle two blocks.
+func TestBlockScannerBoundaries(t *testing.T) {
+	ce := FormatCE(sampleCE())
+	long := strings.Repeat("x", 3000) // longer than the 256-byte blocks below
+	torn := ce[:len(ce)/2] + "\n" + ce[len(ce)/2:]
+	cases := map[string]string{
+		"crlf":            ce + "\r\n" + FormatDUE(sampleDUE()) + "\r\n",
+		"crlf-bare-cr":    ce + "\r\r\n" + ce + "\n",
+		"no-final-nl":     ce + "\n" + FormatHET(sampleHET()),
+		"long-line":       ce + "\n" + long + "\n" + ce + "\n",
+		"straddling-torn": strings.Repeat(ce+"\n", 5) + torn + "\n" + strings.Repeat(ce+"\n", 5),
+		"only-newlines":   "\n\n\n",
+	}
+	for name, in := range cases {
+		for _, cfg := range []ScanConfig{{}, {DedupWindow: 2, ReorderWindow: 10 * time.Second}} {
+			want := drainScanner(NewScannerConfig(strings.NewReader(in), cfg))
+			for _, workers := range blockWorkerSweep {
+				// A 256-byte block makes every case span multiple blocks,
+				// so the torn halves and CRLF pairs cross boundaries.
+				got := drainScanner(NewBlockScanner(strings.NewReader(in), BlockScanConfig{
+					ScanConfig: cfg, Workers: workers, BlockSize: 256,
+				}))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s workers=%d: diverged\n got %+v\nwant %+v", name, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockScannerTooLong proves a line exceeding the 1 MiB limit fails
+// the block scan at the same point, with the same error, as the serial
+// scanner's capped bufio buffer.
+func TestBlockScannerTooLong(t *testing.T) {
+	ce := FormatCE(sampleCE())
+	in := ce + "\n" + strings.Repeat("y", maxLineBytes+5) + "\n" + ce + "\n"
+	want := drainScanner(NewScannerConfig(strings.NewReader(in), ScanConfig{}))
+	if !strings.Contains(want.Err, tooLongText) {
+		t.Fatalf("serial fixture error = %q, want token-too-long", want.Err)
+	}
+	for _, workers := range blockWorkerSweep {
+		for _, bsize := range []int{512, DefaultBlockSize, 8 << 20} {
+			got := drainScanner(NewBlockScanner(strings.NewReader(in), BlockScanConfig{
+				Workers: workers, BlockSize: bsize,
+			}))
+			// Offset aside: the serial scanner has not consumed the long
+			// line either, so offsets agree by both stopping after line 1.
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d bsize=%d: diverged\n got %+v\nwant %+v", workers, bsize, got, want)
+			}
+		}
+	}
+}
+
+const tooLongText = "token too long"
+
+// failAfterReader yields its payload then a non-EOF read error.
+type failAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (f *failAfterReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if err == io.EOF {
+		return n, f.err
+	}
+	return n, err
+}
+
+// TestBlockScannerReadError checks a mid-stream I/O failure surfaces
+// identically: all buffered lines first (bufio tokenizes what it holds
+// before reporting the error), then the wrapped error.
+func TestBlockScannerReadError(t *testing.T) {
+	in := synthLog(500)
+	boom := errors.New("boom")
+	want := drainScanner(NewScannerConfig(&failAfterReader{r: strings.NewReader(in), err: boom}, ScanConfig{}))
+	if !strings.Contains(want.Err, "boom") {
+		t.Fatalf("serial fixture error = %q, want boom", want.Err)
+	}
+	for _, workers := range blockWorkerSweep {
+		got := drainScanner(NewBlockScanner(&failAfterReader{r: strings.NewReader(in), err: boom}, BlockScanConfig{
+			Workers: workers, BlockSize: 1024,
+		}))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: diverged\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestBlockScannerCheckpointResume proves checkpoint interchange: a
+// BlockScanner checkpoint taken after every possible record count can be
+// restored into either a serial Scanner or another BlockScanner over the
+// remaining bytes, and the tail + final stats match the uninterrupted
+// serial scan exactly.
+func TestBlockScannerCheckpointResume(t *testing.T) {
+	in := synthLog(600)
+	cfg := ScanConfig{DedupWindow: 4, ReorderWindow: 25 * time.Second}
+	full := drainScanner(NewScannerConfig(strings.NewReader(in), cfg))
+
+	for _, workers := range blockWorkerSweep {
+		for stop := 0; stop <= len(full.Records); stop += 7 {
+			sc := NewBlockScanner(strings.NewReader(in), BlockScanConfig{
+				ScanConfig: cfg, Workers: workers, BlockSize: 512,
+			})
+			for i := 0; i < stop; i++ {
+				if !sc.Scan() {
+					t.Fatalf("workers=%d: scan ended at %d, want %d", workers, i, stop)
+				}
+				if sc.Record() != full.Records[i] {
+					t.Fatalf("workers=%d record %d: %+v != %+v", workers, i, sc.Record(), full.Records[i])
+				}
+			}
+			cp := sc.Checkpoint()
+			sc.Close()
+
+			// Round-trip through the serialized form so the block path is
+			// covered end to end, like a daemon restart.
+			data, err := cp.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cp2 Checkpoint
+			if err := cp2.UnmarshalBinary(data); err != nil {
+				t.Fatal(err)
+			}
+
+			rest := in[cp2.Offset:]
+			for _, resume := range []struct {
+				name string
+				mk   func() recordScanner
+			}{
+				{"serial", func() recordScanner {
+					r := NewScannerConfig(strings.NewReader(rest), cfg)
+					if err := r.Restore(cp2); err != nil {
+						t.Fatal(err)
+					}
+					return r
+				}},
+				{"block", func() recordScanner {
+					r := NewBlockScanner(strings.NewReader(rest), BlockScanConfig{
+						ScanConfig: cfg, Workers: workers, BlockSize: 512,
+					})
+					if err := r.Restore(cp2); err != nil {
+						t.Fatal(err)
+					}
+					return r
+				}},
+			} {
+				res := drainScanner(resume.mk())
+				if res.Err != "" {
+					t.Fatalf("workers=%d stop=%d %s: resume error %q", workers, stop, resume.name, res.Err)
+				}
+				wantTail := full.Records[stop:]
+				if len(wantTail) == 0 {
+					wantTail = nil
+				}
+				if !reflect.DeepEqual(res.Records, wantTail) {
+					t.Errorf("workers=%d stop=%d %s: tail diverged (%d records, want %d)",
+						workers, stop, resume.name, len(res.Records), len(wantTail))
+				}
+				if res.Stats != full.Stats {
+					t.Errorf("workers=%d stop=%d %s: final stats %+v, want %+v",
+						workers, stop, resume.name, res.Stats, full.Stats)
+				}
+				if res.Offset != full.Offset {
+					t.Errorf("workers=%d stop=%d %s: final offset %d, want %d",
+						workers, stop, resume.name, res.Offset, full.Offset)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockScannerCloseEarly abandons scans at various points; the only
+// assertion is that Close reliably tears the pipeline down (goroutine
+// leaks would trip the race/deadlock detectors) and is idempotent.
+func TestBlockScannerCloseEarly(t *testing.T) {
+	in := synthLog(2000)
+	for _, stop := range []int{0, 1, 50} {
+		sc := NewBlockScanner(strings.NewReader(in), BlockScanConfig{Workers: 4, BlockSize: 128})
+		for i := 0; i < stop && sc.Scan(); i++ {
+		}
+		sc.Close()
+		sc.Close()
+	}
+}

@@ -1,9 +1,12 @@
 package syslog
 
 import (
+	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 	"unicode/utf8"
 )
 
@@ -94,4 +97,47 @@ func FuzzParseLine(f *testing.F) {
 			t.Errorf("kind changed on round trip: %v -> %v", p.Kind, q.Kind)
 		}
 	})
+}
+
+// FuzzBlockScan lifts the differential contract from lines to whole
+// scans: over arbitrary multi-line input — including blank lines, CRLF,
+// missing final newlines and binary noise — the BlockScanner must produce
+// the serial Scanner's exact records, stats, error and offset at every
+// worker count, with a block size small enough that lines routinely
+// straddle block boundaries.
+func FuzzBlockScan(f *testing.F) {
+	ce := FormatCE(sampleCE())
+	due := FormatDUE(sampleDUE())
+	hetLine := FormatHET(sampleHET())
+	f.Add(ce+"\n"+due+"\n"+hetLine+"\n", 2, 32)
+	f.Add(ce+"\r\n"+ce+"\r\n", 4, 16)
+	f.Add(strings.Repeat(ce+"\n", 20)+ce[:30], 8, 64)
+	f.Add(ce[:len(ce)/2]+"\n"+ce[len(ce)/2:]+"\n\n\x00\xff\n", 3, 7)
+	f.Add("", 2, 1)
+
+	f.Fuzz(func(t *testing.T, in string, workers, bsize int) {
+		workers = 2 + abs(workers)%7 // 2..8: always the pipeline path
+		bsize = 1 + abs(bsize)%512
+		for _, cfg := range []ScanConfig{
+			{},
+			{Strict: true},
+			{DedupWindow: 3, ReorderWindow: 15 * time.Second},
+		} {
+			want := drainScanner(NewScannerConfig(strings.NewReader(in), cfg))
+			got := drainScanner(NewBlockScanner(bytes.NewReader([]byte(in)), BlockScanConfig{
+				ScanConfig: cfg, Workers: workers, BlockSize: bsize,
+			}))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("block scan diverged (workers=%d bsize=%d cfg=%+v)\n got: %+v\nwant: %+v",
+					workers, bsize, cfg, got, want)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

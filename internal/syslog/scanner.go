@@ -61,22 +61,16 @@ type ScanConfig struct {
 	ReorderWindow time.Duration
 }
 
-// Scanner streams a syslog and yields parsed records, tolerating (but
-// counting) malformed record lines, like the paper's handling of invalid
-// telemetry: excluded, accounted for, and expected to be rare. With a
-// ScanConfig it additionally absorbs relay duplication and bounded
-// arrival reordering.
-//
-// Scanning is allocation-free per line: each line is parsed in place from
-// the bufio buffer through the Decoder's byte codec; no per-line string is
-// ever materialized.
-type Scanner struct {
-	sc    *bufio.Scanner
+// tolerator is the corruption-tolerance state machine shared by the
+// serial Scanner and the BlockScanner: the dedup ring, the reorder heap,
+// the ready queue, and the accounting. It consumes parse outcomes one
+// line at a time in input order — where the line's bytes came from (a
+// bufio cursor or a merged block pipeline) is the caller's business — so
+// any frontend that feeds it the same line sequence produces bit-identical
+// records and ScanStats.
+type tolerator struct {
 	cfg   ScanConfig
-	dec   Decoder
 	stats ScanStats
-	cur   Parsed
-	err   error
 
 	// dedup ring over recent record lines; entry buffers are reused.
 	recent [][]byte
@@ -92,7 +86,193 @@ type Scanner struct {
 	rhead     int
 	maxSeen   time.Time
 	watermark time.Time
-	eof       bool
+}
+
+func newTolerator(cfg ScanConfig) tolerator {
+	t := tolerator{cfg: cfg}
+	if cfg.DedupWindow > 0 {
+		t.recent = make([][]byte, 0, cfg.DedupWindow)
+	}
+	return t
+}
+
+// feed consumes one line's parse outcome. The returned error is non-nil
+// only in strict mode on a malformed record line; it is the scan-fatal
+// error the frontend must surface through Err.
+func (t *tolerator) feed(line []byte, p Parsed, perr error) error {
+	t.stats.Lines++
+	if perr != nil {
+		t.stats.Malformed++
+		switch {
+		case errors.Is(perr, ErrTruncated):
+			t.stats.Truncated++
+		default:
+			t.stats.Garbage++
+		}
+		if t.cfg.Strict {
+			return fmt.Errorf("syslog: line %d: %w", t.stats.Lines, perr)
+		}
+		return nil
+	}
+	if p.Kind == KindOther {
+		t.stats.Other++
+		return nil
+	}
+	if t.isDuplicate(line) {
+		t.stats.Duplicated++
+		return nil
+	}
+	t.accept(p)
+	return nil
+}
+
+// pop emits the next ready record, if any, updating the kind counts.
+func (t *tolerator) pop() (Parsed, bool) {
+	if t.rhead >= len(t.ready) {
+		return Parsed{}, false
+	}
+	p := t.ready[t.rhead]
+	t.rhead++
+	if t.rhead == len(t.ready) {
+		t.ready = t.ready[:0]
+		t.rhead = 0
+	}
+	t.countKind(p.Kind)
+	return p, true
+}
+
+// accept routes a parsed record through the reorder buffer (or straight
+// to ready when reordering is disabled).
+func (t *tolerator) accept(p Parsed) {
+	if t.cfg.ReorderWindow <= 0 {
+		t.ready = append(t.ready, p)
+		return
+	}
+	ts := p.Time()
+	if !t.watermark.IsZero() && ts.Before(t.watermark) {
+		// Its slot has already been emitted; resequencing would break
+		// output time order.
+		t.stats.DroppedOutOfOrder++
+		return
+	}
+	if ts.Before(t.maxSeen) {
+		t.stats.Reordered++
+	}
+	if ts.After(t.maxSeen) {
+		t.maxSeen = ts
+	}
+	heap.Push(&t.pending, p)
+	t.drain(false)
+}
+
+// drain moves pending records older than the reorder window (all of them
+// at EOF) into the ready queue, advancing the watermark.
+func (t *tolerator) drain(all bool) {
+	for t.pending.Len() > 0 {
+		oldest := t.pending[0].Time()
+		if !all && t.maxSeen.Sub(oldest) < t.cfg.ReorderWindow {
+			return
+		}
+		p := heap.Pop(&t.pending).(Parsed)
+		t.watermark = p.Time()
+		t.ready = append(t.ready, p)
+	}
+}
+
+// isDuplicate checks the record line against the dedup ring and records
+// it for future checks. Ring entries keep their backing arrays across
+// replacements, so a warm ring costs no allocation per line.
+func (t *tolerator) isDuplicate(line []byte) bool {
+	if t.cfg.DedupWindow <= 0 {
+		return false
+	}
+	for _, prev := range t.recent {
+		if bytes.Equal(prev, line) {
+			return true
+		}
+	}
+	if len(t.recent) < t.cfg.DedupWindow {
+		t.recent = append(t.recent, append([]byte(nil), line...))
+	} else {
+		t.recent[t.rpos] = append(t.recent[t.rpos][:0], line...)
+		t.rpos = (t.rpos + 1) % t.cfg.DedupWindow
+	}
+	return false
+}
+
+func (t *tolerator) countKind(k Kind) {
+	switch k {
+	case KindCE:
+		t.stats.CEs++
+	case KindDUE:
+		t.stats.DUEs++
+	case KindHET:
+		t.stats.HETs++
+	}
+}
+
+// checkpoint snapshots the tolerance state (deep copy) at the given input
+// offset.
+func (t *tolerator) checkpoint(offset int64) Checkpoint {
+	cp := Checkpoint{
+		Offset:    offset,
+		Stats:     t.stats,
+		rpos:      t.rpos,
+		maxSeen:   t.maxSeen,
+		watermark: t.watermark,
+	}
+	if len(t.recent) > 0 {
+		cp.recent = make([][]byte, len(t.recent))
+		for i, b := range t.recent {
+			cp.recent[i] = append([]byte(nil), b...)
+		}
+	}
+	if len(t.pending) > 0 {
+		cp.pending = append([]Parsed(nil), t.pending...)
+	}
+	if t.rhead < len(t.ready) {
+		cp.ready = append([]Parsed(nil), t.ready[t.rhead:]...)
+	}
+	return cp
+}
+
+// restore loads a checkpoint's tolerance state into a fresh tolerator.
+func (t *tolerator) restore(cp Checkpoint) {
+	t.stats = cp.Stats
+	t.rpos = cp.rpos
+	t.maxSeen = cp.maxSeen
+	t.watermark = cp.watermark
+	if len(cp.recent) > 0 {
+		t.recent = make([][]byte, len(cp.recent))
+		for i, b := range cp.recent {
+			t.recent[i] = append([]byte(nil), b...)
+		}
+	}
+	// A copy of a heap preserves the heap invariant; no re-push needed.
+	if len(cp.pending) > 0 {
+		t.pending = append(recHeap(nil), cp.pending...)
+	}
+	if len(cp.ready) > 0 {
+		t.ready = append([]Parsed(nil), cp.ready...)
+	}
+}
+
+// Scanner streams a syslog and yields parsed records, tolerating (but
+// counting) malformed record lines, like the paper's handling of invalid
+// telemetry: excluded, accounted for, and expected to be rare. With a
+// ScanConfig it additionally absorbs relay duplication and bounded
+// arrival reordering.
+//
+// Scanning is allocation-free per line: each line is parsed in place from
+// the bufio buffer through the Decoder's byte codec; no per-line string is
+// ever materialized.
+type Scanner struct {
+	sc  *bufio.Scanner
+	dec Decoder
+	tol tolerator
+	cur Parsed
+	err error
+	eof bool
 
 	// consumed is the byte offset just past the last line the split
 	// function handed to Scan — the resume point a Checkpoint captures.
@@ -109,16 +289,13 @@ func NewScanner(r io.Reader) *Scanner {
 // NewScannerConfig wraps a reader with explicit corruption tolerance.
 func NewScannerConfig(r io.Reader, cfg ScanConfig) *Scanner {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	s := &Scanner{sc: sc, cfg: cfg}
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	s := &Scanner{sc: sc, tol: newTolerator(cfg)}
 	sc.Split(func(data []byte, atEOF bool) (advance int, token []byte, err error) {
 		advance, token, err = bufio.ScanLines(data, atEOF)
 		s.consumed += int64(advance)
 		return advance, token, err
 	})
-	if cfg.DedupWindow > 0 {
-		s.recent = make([][]byte, 0, cfg.DedupWindow)
-	}
 	return s
 }
 
@@ -153,26 +330,7 @@ type Checkpoint struct {
 // Checkpoint snapshots the scanner between Scan calls. The snapshot is a
 // deep copy: further scanning does not mutate it.
 func (s *Scanner) Checkpoint() Checkpoint {
-	cp := Checkpoint{
-		Offset:    s.consumed,
-		Stats:     s.stats,
-		rpos:      s.rpos,
-		maxSeen:   s.maxSeen,
-		watermark: s.watermark,
-	}
-	if len(s.recent) > 0 {
-		cp.recent = make([][]byte, len(s.recent))
-		for i, b := range s.recent {
-			cp.recent[i] = append([]byte(nil), b...)
-		}
-	}
-	if len(s.pending) > 0 {
-		cp.pending = append([]Parsed(nil), s.pending...)
-	}
-	if s.rhead < len(s.ready) {
-		cp.ready = append([]Parsed(nil), s.ready[s.rhead:]...)
-	}
-	return cp
+	return s.tol.checkpoint(s.consumed)
 }
 
 // Restore loads a Checkpoint into a freshly constructed Scanner whose
@@ -181,27 +339,11 @@ func (s *Scanner) Checkpoint() Checkpoint {
 // scanned yet; subsequent Scan calls yield the same records the original
 // scanner would have yielded past the checkpoint.
 func (s *Scanner) Restore(cp Checkpoint) error {
-	if s.consumed != 0 || s.stats.Lines != 0 {
+	if s.consumed != 0 || s.tol.stats.Lines != 0 {
 		return errors.New("syslog: Restore on a scanner that has already scanned")
 	}
 	s.consumed = cp.Offset
-	s.stats = cp.Stats
-	s.rpos = cp.rpos
-	s.maxSeen = cp.maxSeen
-	s.watermark = cp.watermark
-	if len(cp.recent) > 0 {
-		s.recent = make([][]byte, len(cp.recent))
-		for i, b := range cp.recent {
-			s.recent[i] = append([]byte(nil), b...)
-		}
-	}
-	// A copy of a heap preserves the heap invariant; no re-push needed.
-	if len(cp.pending) > 0 {
-		s.pending = append(recHeap(nil), cp.pending...)
-	}
-	if len(cp.ready) > 0 {
-		s.ready = append([]Parsed(nil), cp.ready...)
-	}
+	s.tol.restore(cp)
 	return nil
 }
 
@@ -210,14 +352,8 @@ func (s *Scanner) Restore(cp Checkpoint) error {
 // error, or (in strict mode) on the first malformed record line; see Err.
 func (s *Scanner) Scan() bool {
 	for {
-		if s.rhead < len(s.ready) {
-			s.cur = s.ready[s.rhead]
-			s.rhead++
-			if s.rhead == len(s.ready) {
-				s.ready = s.ready[:0]
-				s.rhead = 0
-			}
-			s.countKind(s.cur.Kind)
+		if p, ok := s.tol.pop(); ok {
+			s.cur = p
 			return true
 		}
 		if s.err != nil || s.eof {
@@ -229,105 +365,15 @@ func (s *Scanner) Scan() bool {
 				return false
 			}
 			s.eof = true
-			s.drain(true)
+			s.tol.drain(true)
 			continue
 		}
-		s.stats.Lines++
 		line := s.sc.Bytes()
 		p, err := s.dec.ParseLineBytes(line)
-		if err != nil {
-			s.stats.Malformed++
-			switch {
-			case errors.Is(err, ErrTruncated):
-				s.stats.Truncated++
-			default:
-				s.stats.Garbage++
-			}
-			if s.cfg.Strict {
-				s.err = fmt.Errorf("syslog: line %d: %w", s.stats.Lines, err)
-				return false
-			}
-			continue
+		if err := s.tol.feed(line, p, err); err != nil {
+			s.err = err
+			return false
 		}
-		if p.Kind == KindOther {
-			s.stats.Other++
-			continue
-		}
-		if s.isDuplicate(line) {
-			s.stats.Duplicated++
-			continue
-		}
-		s.accept(p)
-	}
-}
-
-// accept routes a parsed record through the reorder buffer (or straight
-// to ready when reordering is disabled).
-func (s *Scanner) accept(p Parsed) {
-	if s.cfg.ReorderWindow <= 0 {
-		s.ready = append(s.ready, p)
-		return
-	}
-	t := p.Time()
-	if !s.watermark.IsZero() && t.Before(s.watermark) {
-		// Its slot has already been emitted; resequencing would break
-		// output time order.
-		s.stats.DroppedOutOfOrder++
-		return
-	}
-	if t.Before(s.maxSeen) {
-		s.stats.Reordered++
-	}
-	if t.After(s.maxSeen) {
-		s.maxSeen = t
-	}
-	heap.Push(&s.pending, p)
-	s.drain(false)
-}
-
-// drain moves pending records older than the reorder window (all of them
-// at EOF) into the ready queue, advancing the watermark.
-func (s *Scanner) drain(all bool) {
-	for s.pending.Len() > 0 {
-		oldest := s.pending[0].Time()
-		if !all && s.maxSeen.Sub(oldest) < s.cfg.ReorderWindow {
-			return
-		}
-		p := heap.Pop(&s.pending).(Parsed)
-		s.watermark = p.Time()
-		s.ready = append(s.ready, p)
-	}
-}
-
-// isDuplicate checks the record line against the dedup ring and records
-// it for future checks. Ring entries keep their backing arrays across
-// replacements, so a warm ring costs no allocation per line.
-func (s *Scanner) isDuplicate(line []byte) bool {
-	if s.cfg.DedupWindow <= 0 {
-		return false
-	}
-	for _, prev := range s.recent {
-		if bytes.Equal(prev, line) {
-			return true
-		}
-	}
-	if len(s.recent) < s.cfg.DedupWindow {
-		s.recent = append(s.recent, append([]byte(nil), line...))
-	} else {
-		s.recent[s.rpos] = append(s.recent[s.rpos][:0], line...)
-		s.rpos = (s.rpos + 1) % s.cfg.DedupWindow
-	}
-	return false
-}
-
-func (s *Scanner) countKind(k Kind) {
-	switch k {
-	case KindCE:
-		s.stats.CEs++
-	case KindDUE:
-		s.stats.DUEs++
-	case KindHET:
-		s.stats.HETs++
 	}
 }
 
@@ -335,7 +381,7 @@ func (s *Scanner) countKind(k Kind) {
 func (s *Scanner) Record() Parsed { return s.cur }
 
 // Stats returns the accounting so far.
-func (s *Scanner) Stats() ScanStats { return s.stats }
+func (s *Scanner) Stats() ScanStats { return s.tol.stats }
 
 // Err returns the first read error (or, in strict mode, parse error), if
 // any. In lenient mode malformed lines are not errors; they are counted
