@@ -25,14 +25,16 @@ test:
 # engine's batch-equivalence property tests, the tail/checkpoint resume
 # differentials, and the astrad kill/restart test are the contracts most
 # exposed to concurrency bugs, so they run under the race detector even
-# when the blanket -race sweep is trimmed locally.
+# when the blanket -race sweep is trimmed locally. The pinned-scale line
+# also sweeps the sharded-engine differentials (partition-parallel
+# ingest must stay bit-identical to the serial engine).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
 	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./internal/overload ./internal/syslog ./internal/colfmt ./cmd/astrad ./cmd/astraload
-	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism' ./...
+	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism|Sharded' ./...
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLine$$' -fuzztime 5s ./internal/syslog
 	$(GO) test -run '^$$' -fuzz '^FuzzBlockScan$$' -fuzztime 5s ./internal/syslog
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s ./internal/colfmt
@@ -42,19 +44,24 @@ verify:
 
 # bench runs the analysis micro-benchmarks (bench_test.go), the
 # pipeline-stage benchmarks (bench_pipeline_test.go), and writes the
-# BENCH_pipeline.json regression baseline via cmd/astrabench.
+# BENCH_pipeline.json regression baseline via cmd/astrabench. The
+# worker sweep covers the sharded stream-ingest and fanin-merge stages
+# at 1, 4, and 8 partitions alongside the existing parallel stages.
 bench:
 	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) test -run '^$$' -bench . -benchmem .
-	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -out BENCH_pipeline.json
+	ASTRA_BENCH_NODES=$(ASTRA_BENCH_NODES) $(GO) run ./cmd/astrabench -workers 1,4,8 -out BENCH_pipeline.json
 
 # bench-serve runs the overload/chaos harness (cmd/astraload) at a
 # pinned small scale and writes BENCH_serve.json: the serving-path
-# baseline (API p50/p99 under sustained ingest + bursts + slow clients +
-# a stalling checkpoint disk, shed rate, recovery time). The scenario is
-# deliberately drain-throttled so the shed rate is overload arithmetic,
-# not machine speed.
+# baseline (API p50/p99 on the rendered and ETag/304 paths, per-site
+# ingest/shed rows, recovery time) under sustained ingest + bursts +
+# slow clients + a stalling checkpoint disk. Two federated sites with
+# partitioned engines exercise the fan-in rollup under load. The
+# scenario is deliberately drain-throttled so the shed rate is overload
+# arithmetic, not machine speed.
 bench-serve:
-	$(GO) run ./cmd/astraload -seed 1 -nodes 64 -duration 3 -ingest-rate 100000 \
+	$(GO) run ./cmd/astraload -seed 1 -nodes 64 -sites 2 -partitions 4 \
+		-duration 3 -ingest-rate 100000 \
 		-burst-factor 3 -burst-at 1 -burst-for 0.5 \
 		-api-clients 4 -api-qps 400 -slow-clients 2 \
 		-queue-depth 32768 -drain-batch 128 -drain-interval 5 \
@@ -62,10 +69,12 @@ bench-serve:
 		-out BENCH_serve.json
 
 # bench-guard fails when the budgeted stages (dataset-build, parse,
-# parse-parallel, colfmt-replay) regress more than 10% allocs/op or 15%
-# records/s against the checked-in BENCH_pipeline.json, or when the
-# serving path regresses against BENCH_serve.json (p99 latency or shed
-# rate beyond 10% + slack, or any overload-contract violation). Opt into
+# parse-parallel, colfmt-replay, stream-ingest serial and sharded)
+# regress more than 10% allocs/op or 15% records/s against the
+# checked-in BENCH_pipeline.json, or when the serving path regresses
+# against BENCH_serve.json (p99 latency beyond 10% + slack, a shed rate
+# beyond what the scenario's configured rates imply, or any
+# overload-contract violation). Opt into
 # it during verify with ASTRA_BENCH_GUARD=1 (both re-run their fixtures,
 # so it is not free).
 bench-guard:

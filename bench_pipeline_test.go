@@ -80,9 +80,18 @@ func BenchmarkStageGenerate(b *testing.B)     { benchStage(b, "generate") }
 func BenchmarkStageDatasetBuild(b *testing.B) { benchStage(b, "dataset-build") }
 func BenchmarkStageParse(b *testing.B)        { benchStage(b, "parse") }
 func BenchmarkStageCluster(b *testing.B)      { benchStage(b, "cluster") }
-func BenchmarkStageStreamIngest(b *testing.B) { benchStage(b, "stream-ingest") }
-func BenchmarkStageAdmission(b *testing.B)    { benchStage(b, "admission") }
 func BenchmarkStageReport(b *testing.B)       { benchStage(b, "report") }
+
+// The sharded online path: stream-ingest sweeps the partition ladder
+// (workers = partitions; 1 is the serial engine), and fanin-merge tracks
+// the fleet-view aggregation cost against the same ladder.
+func BenchmarkStageStreamIngest(b *testing.B) {
+	benchStageSweep(b, "stream-ingest", []int{1, 4, 8})
+}
+func BenchmarkStageFaninMerge(b *testing.B) {
+	benchStageSweep(b, "fanin-merge", []int{1, 4, 8})
+}
+func BenchmarkStageAdmission(b *testing.B) { benchStage(b, "admission") }
 
 // The block-parallel scanner and the columnar replay: the two ingest
 // paths the text parse stage above is the baseline for.

@@ -12,8 +12,10 @@
 //	astrabench [-seed 1] [-nodes N] [-workers 1,4,8] [-out BENCH_pipeline.json]
 //	astrabench -guard [-against BENCH_pipeline.json] [-tolerance 0.10]
 //
-// -guard re-measures the allocation-sensitive stages (dataset-build,
-// parse, parse-parallel, colfmt-replay) at workers=1 and exits non-zero
+// -guard re-measures the budgeted (stage, workers) rows — the
+// allocation-sensitive stages (dataset-build, parse, parse-parallel,
+// colfmt-replay) at workers=1 plus stream-ingest at workers=1 and the
+// sharded workers=8 setting — and exits non-zero
 // if allocs/op regressed more than -tolerance or records/s fell more
 // than -tput-tolerance against the checked-in baseline, instead of
 // writing a new one. The node count defaults to ASTRA_BENCH_NODES (then
@@ -66,9 +68,24 @@ type Baseline struct {
 	Speedup map[string]float64 `json:"speedup"`
 }
 
-// guardStages are the budgeted stages `-guard` re-measures: the layers
-// the zero-allocation codec and ingest-throughput work target.
-var guardStages = []string{"dataset-build", "parse", "parse-parallel", "colfmt-replay"}
+// guardStage is one budgeted (stage, workers) row `-guard` re-measures.
+type guardStage struct {
+	Name    string
+	Workers int
+}
+
+// guardStages are the budgeted rows `-guard` re-measures: the layers the
+// zero-allocation codec and ingest-throughput work target, plus the
+// online path at its serial floor and its sharded 8-partition setting
+// (the stream-engine scale-out's records/s floor and allocs/op ceiling).
+var guardStages = []guardStage{
+	{"dataset-build", 1},
+	{"parse", 1},
+	{"parse-parallel", 1},
+	{"colfmt-replay", 1},
+	{"stream-ingest", 1},
+	{"stream-ingest", 8},
+}
 
 func main() {
 	seed := flag.Uint64("seed", 1, "pipeline seed")
@@ -232,37 +249,39 @@ func runGuard(set *benchstage.Set, path string, tolerance, tputTolerance float64
 		fmt.Fprintf(os.Stderr, "astrabench: guard: baseline is for %d nodes, run is %d; regenerate with `make bench`\n", base.Nodes, set.Nodes)
 		return 1
 	}
-	baseRows := map[string]StageResult{}
+	baseRows := map[guardStage]StageResult{}
 	for _, row := range base.Stages {
-		if row.Workers == 1 {
-			baseRows[row.Stage] = row
-		}
+		baseRows[guardStage{row.Stage, row.Workers}] = row
 	}
 	failed := false
-	for _, name := range guardStages {
-		baseRow, ok := baseRows[name]
+	for _, gs := range guardStages {
+		label := gs.Name
+		if gs.Workers != 1 {
+			label = fmt.Sprintf("%s@%d", gs.Name, gs.Workers)
+		}
+		baseRow, ok := baseRows[gs]
 		if !ok {
-			fmt.Printf("%-14s no serial baseline row in %s; skipping (regenerate with `make bench`)\n", name, path)
+			fmt.Printf("%-16s no workers=%d baseline row in %s; skipping (regenerate with `make bench`)\n", label, gs.Workers, path)
 			continue
 		}
 		var stage *benchstage.Stage
 		for i := range set.Stages {
-			if set.Stages[i].Name == name {
+			if set.Stages[i].Name == gs.Name {
 				stage = &set.Stages[i]
 				break
 			}
 		}
 		if stage == nil {
-			fmt.Fprintf(os.Stderr, "astrabench: guard: unknown stage %q\n", name)
+			fmt.Fprintf(os.Stderr, "astrabench: guard: unknown stage %q\n", gs.Name)
 			return 1
 		}
 		// Best of three: wall-clock noise on a shared box is one-sided
 		// (runs are only ever slower than the code allows), so the
 		// fastest observation is the honest throughput estimate to hold
 		// against the floor. Allocs/op is noise-free; any run serves.
-		row := measure(*stage, 1)
+		row := measure(*stage, gs.Workers)
 		for i := 0; i < 2; i++ {
-			if again := measure(*stage, 1); again.RecordsPerSec > row.RecordsPerSec {
+			if again := measure(*stage, gs.Workers); again.RecordsPerSec > row.RecordsPerSec {
 				again.AllocsPerOp = row.AllocsPerOp
 				row = again
 			}
@@ -278,8 +297,8 @@ func runGuard(set *benchstage.Set, path string, tolerance, tputTolerance float64
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-14s allocs/op %8d (baseline %8d, limit %8d) %s\n",
-			name, row.AllocsPerOp, old, limit, status)
+		fmt.Printf("%-16s allocs/op %8d (baseline %8d, limit %8d) %s\n",
+			label, row.AllocsPerOp, old, limit, status)
 
 		if baseRow.RecordsPerSec > 0 {
 			floor := baseRow.RecordsPerSec * (1 - tputTolerance)
@@ -288,8 +307,8 @@ func runGuard(set *benchstage.Set, path string, tolerance, tputTolerance float64
 				status = "REGRESSION"
 				failed = true
 			}
-			fmt.Printf("%-14s records/s %8.0f (baseline %8.0f, floor %8.0f) %s\n",
-				name, row.RecordsPerSec, baseRow.RecordsPerSec, floor, status)
+			fmt.Printf("%-16s records/s %8.0f (baseline %8.0f, floor %8.0f) %s\n",
+				label, row.RecordsPerSec, baseRow.RecordsPerSec, floor, status)
 		}
 	}
 	if failed {

@@ -19,9 +19,17 @@ import (
 	"repro/internal/syslog"
 )
 
+// siteSpec names one tailed log: a site id for the /v1/sites URL space
+// and the path of the syslog it feeds from.
+type siteSpec struct {
+	id   string
+	path string
+}
+
 // daemonConfig is the parsed flag set.
 type daemonConfig struct {
 	logPath   string
+	sites     []siteSpec
 	statePath string
 	listen    string
 
@@ -30,11 +38,12 @@ type daemonConfig struct {
 	poll          time.Duration
 	checkpointSec time.Duration
 
-	dimms   int
-	window  time.Duration
-	workers int
+	dimms      int
+	window     time.Duration
+	workers    int
+	partitions int
 
-	// Admission queue between the scanner and the engine.
+	// Admission queue between each scanner and its engine.
 	queueDepth    int
 	queueHigh     int
 	queueLow      int
@@ -57,46 +66,81 @@ type daemonConfig struct {
 	requestTimeout    time.Duration
 }
 
-// daemon owns the ingest loop and the state shared with the HTTP layer.
-type daemon struct {
-	cfg    daemonConfig
-	log    *slog.Logger
-	engine *stream.Engine
+// siteDaemon is one site's ingest pipeline: scanner -> admission queue ->
+// drainer -> partitioned engine. The scanner and the checkpoint-section
+// capture are owned by the site's ingest goroutine; everything else is
+// concurrency-safe.
+type siteDaemon struct {
+	id      string
+	logPath string
+	engine  *stream.Sharded
 
-	// queue is the admission layer: the scanner Offers, the drainer
-	// Takes into the engine, sheds charge engine.NoteShed.
-	queue   *overload.Queue[mce.CERecord]
-	breaker *overload.Breaker
-	// cpCh carries pre-marshaled state snapshots to the checkpoint
-	// writer; capacity 1 so a stalled disk backs up into skipped
-	// checkpoints, never into the ingest loop.
-	cpCh chan []byte
-	// fs is the filesystem for state writes; tests and the load harness
-	// substitute a fault injector.
-	fs atomicio.FS
+	// queue is the site's admission layer: the scanner Offers, the
+	// drainer Takes into the engine, sheds charge engine.NoteShed.
+	queue *overload.Queue[mce.CERecord]
 
 	// statsMu guards the published copy of the scanner's accounting; the
 	// scanner itself is touched only by the ingest goroutine.
 	statsMu sync.Mutex
 	stats   syslog.ScanStats
 
-	offset      atomic.Int64
+	offset atomic.Int64
+	// section holds the site's latest marshaled checkpoint section,
+	// captured by the ingest goroutine at a consistent instant (scanner
+	// checkpoint + Freeze from the same goroutine). The global writer
+	// composes whatever sections are current into one state file.
+	section atomic.Pointer[[]byte]
+}
+
+// daemon owns the per-site pipelines and the state shared with the HTTP
+// layer.
+type daemon struct {
+	cfg   daemonConfig
+	log   *slog.Logger
+	sites []*siteDaemon
+
+	breaker *overload.Breaker
+	// cpCh carries pre-composed state snapshots to the checkpoint
+	// writer; capacity 1 so a stalled disk backs up into skipped
+	// checkpoints, never into the ingest loops.
+	cpCh chan []byte
+	// fs is the filesystem for state writes; tests and the load harness
+	// substitute a fault injector.
+	fs atomicio.FS
+
 	checkpoints atomic.Uint64
 	cpSkipped   atomic.Uint64
 }
 
-// publishStats exposes a snapshot of the scanner accounting to the HTTP
-// layer (the scanner itself is not concurrency-safe).
-func (d *daemon) publishStats(st syslog.ScanStats) {
-	d.statsMu.Lock()
-	d.stats = st
-	d.statsMu.Unlock()
+// publishStats exposes a snapshot of the site's scanner accounting to
+// the HTTP layer (the scanner itself is not concurrency-safe).
+func (s *siteDaemon) publishStats(st syslog.ScanStats) {
+	s.statsMu.Lock()
+	s.stats = st
+	s.statsMu.Unlock()
 }
 
+// snapshotStats aggregates scanner accounting across sites: the legacy
+// unlabelled ingest series report the all-sites totals.
 func (d *daemon) snapshotStats() syslog.ScanStats {
-	d.statsMu.Lock()
-	defer d.statsMu.Unlock()
-	return d.stats
+	var sum syslog.ScanStats
+	for _, s := range d.sites {
+		s.statsMu.Lock()
+		st := s.stats
+		s.statsMu.Unlock()
+		sum.Lines += st.Lines
+		sum.CEs += st.CEs
+		sum.DUEs += st.DUEs
+		sum.HETs += st.HETs
+		sum.Other += st.Other
+		sum.Malformed += st.Malformed
+		sum.Truncated += st.Truncated
+		sum.Garbage += st.Garbage
+		sum.Duplicated += st.Duplicated
+		sum.Reordered += st.Reordered
+		sum.DroppedOutOfOrder += st.DroppedOutOfOrder
+	}
+	return sum
 }
 
 func (d *daemon) scanConfig() syslog.ScanConfig {
@@ -104,20 +148,37 @@ func (d *daemon) scanConfig() syslog.ScanConfig {
 }
 
 // overloadStatus bundles the admission layer's state for /healthz and
-// /metrics.
+// /metrics: queue books summed across sites, saturation if any site is
+// shedding, plus the (global) checkpoint breaker.
 func (d *daemon) overloadStatus() overload.Status {
-	return overload.Status{Queue: d.queue.Stats(), Breaker: d.breaker.Stats()}
+	var q overload.QueueStats
+	for _, s := range d.sites {
+		st := s.queue.Stats()
+		q.Offered += st.Offered
+		q.Admitted += st.Admitted
+		q.Drained += st.Drained
+		q.Rejected += st.Rejected
+		q.Evicted += st.Evicted
+		q.Shed += st.Shed
+		q.Depth += st.Depth
+		q.Capacity += st.Capacity
+		q.High += st.High
+		q.Low += st.Low
+		q.Saturated = q.Saturated || st.Saturated
+		q.Saturations += st.Saturations
+	}
+	return overload.Status{Queue: q, Breaker: d.breaker.Stats()}
 }
 
-// ingest is the daemon's heart: tail the log through the hardened
-// scanner and offer every CE to the admission queue. The drainer — not
-// this goroutine — feeds the engine, so a slow clustering step backs up
-// into the queue (visible, bounded, shed by policy) instead of into the
-// tail. Checkpoints are snapshotted here, between Scan calls, and handed
-// to the async writer. It returns the final scanner checkpoint so the
-// shutdown path can persist the exact resume point once the queue has
-// drained.
-func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) (syslog.Checkpoint, error) {
+// ingest is one site's scan loop: tail the log through the hardened
+// scanner and offer every CE to the site's admission queue. The drainer —
+// not this goroutine — feeds the engine, so a slow clustering step backs
+// up into the queue (visible, bounded, shed by policy) instead of into
+// the tail. Checkpoint sections are captured here, between Scan calls,
+// and the composed state handed to the async writer. It returns the
+// final scanner checkpoint so the shutdown path can persist the exact
+// resume point once the queue has drained.
+func (d *daemon) ingest(ctx context.Context, s *siteDaemon, f *os.File, cp syslog.Checkpoint) (syslog.Checkpoint, error) {
 	follower := syslog.NewFollower(ctx, f, syslog.TailConfig{Poll: d.cfg.poll})
 	sc := syslog.NewScannerConfig(follower, d.scanConfig())
 	if err := sc.Restore(cp); err != nil {
@@ -126,17 +187,21 @@ func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) (
 	last := time.Now()
 	for sc.Scan() {
 		if rec := sc.Record(); rec.Kind == syslog.KindCE {
-			d.queue.Offer(rec.CE)
+			s.queue.Offer(rec.CE)
 		}
-		d.publishStats(sc.Stats())
-		d.offset.Store(sc.Offset())
+		s.publishStats(sc.Stats())
+		s.offset.Store(sc.Offset())
 		if d.cfg.statePath != "" && time.Since(last) >= d.cfg.checkpointSec {
-			d.offerCheckpoint(sc.Checkpoint())
+			if err := d.snapshotSection(s, sc.Checkpoint()); err != nil {
+				d.log.Warn("checkpoint snapshot failed", "site", s.id, "err", err)
+			} else {
+				d.offerCheckpoint()
+			}
 			last = time.Now()
 		}
 	}
-	d.publishStats(sc.Stats())
-	d.offset.Store(sc.Offset())
+	s.publishStats(sc.Stats())
+	s.offset.Store(sc.Offset())
 
 	err := sc.Err()
 	if errors.Is(err, syslog.ErrTailStopped) {
@@ -145,17 +210,17 @@ func (d *daemon) ingest(ctx context.Context, f *os.File, cp syslog.Checkpoint) (
 	return sc.Checkpoint(), err
 }
 
-// drain is the consumer side of the admission queue: batches go into
-// the engine, Done releases any Freeze waiting for a consistent
+// drain is the consumer side of one site's admission queue: batches go
+// into the engine, Done releases any Freeze waiting for a consistent
 // snapshot. An optional pause between batches exists for the chaos
 // harness (and operators throttling a cold restore); it runs after
 // Done, so checkpoints never wait out the pause.
-func (d *daemon) drain() {
+func (d *daemon) drain(s *siteDaemon) {
 	for {
-		batch, ok := d.queue.Take(d.cfg.drainBatch)
+		batch, ok := s.queue.Take(d.cfg.drainBatch)
 		if len(batch) > 0 {
-			d.engine.IngestBatch(batch)
-			d.queue.Done()
+			s.engine.IngestBatch(batch)
+			s.queue.Done()
 			if d.cfg.drainInterval > 0 {
 				time.Sleep(d.cfg.drainInterval)
 			}
@@ -166,37 +231,72 @@ func (d *daemon) drain() {
 	}
 }
 
-// snapshotState renders the daemon's durable state at a consistent
+// snapshotSection captures one site's durable state at a consistent
 // instant: Freeze waits out any in-flight drain batch, then the engine's
 // records plus the still-queued records are exactly the CEs the scanner
 // had emitted at cp — a restart loses nothing and duplicates nothing,
 // and the shed count carried alongside keeps the degraded accounting
-// honest across the restart. Memory-only; the disk write happens in the
-// checkpoint writer.
-func (d *daemon) snapshotState(cp syslog.Checkpoint) (data []byte, err error) {
-	d.queue.Freeze(func(queued []mce.CERecord, _ overload.QueueStats) {
-		recs := d.engine.Records()
+// honest across the restart. The marshaled section is published for the
+// composer; the disk write happens in the checkpoint writer.
+func (d *daemon) snapshotSection(s *siteDaemon, cp syslog.Checkpoint) error {
+	var data []byte
+	var err error
+	s.queue.Freeze(func(queued []mce.CERecord, _ overload.QueueStats) {
+		recs := s.engine.Records()
 		recs = append(recs, queued...)
-		data, err = marshalState(cp, d.engine.Shed(), recs)
+		data, err = marshalSiteSection(cp, s.engine.Shed(), recs)
 	})
-	return data, err
+	if err != nil {
+		return err
+	}
+	s.section.Store(&data)
+	return nil
 }
 
-// offerCheckpoint snapshots state and hands it to the async writer; if
-// the writer is still busy with the previous snapshot (stalled disk),
-// the checkpoint is skipped — cadence degrades, ingest does not.
-func (d *daemon) offerCheckpoint(cp syslog.Checkpoint) {
-	data, err := d.snapshotState(cp)
-	if err != nil {
-		d.log.Warn("checkpoint snapshot failed", "err", err)
-		return
+// composeState concatenates the latest per-site sections into one state
+// file image: the v2 single-site format when one site is configured
+// (byte-compatible with older daemons), the v3 multi-site format
+// otherwise. Sections are each internally consistent; sites tail
+// independent logs, so a file composed from sections captured moments
+// apart is still a correct per-site resume point.
+func (d *daemon) composeState() []byte {
+	if len(d.sites) == 1 {
+		sec := *d.sites[0].section.Load()
+		out := make([]byte, 0, len(stateMagic)+1+len(sec))
+		out = append(out, stateMagic...)
+		out = append(out, '\n')
+		return append(out, sec...)
 	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\nsites %d\n", stateMagicV3, len(d.sites))
+	for _, s := range d.sites {
+		fmt.Fprintf(&b, "site %s\n", s.id)
+		b.Write(*s.section.Load())
+	}
+	return b.Bytes()
+}
+
+// offerCheckpoint composes the current sections and hands the image to
+// the async writer; if the writer is still busy with the previous
+// snapshot (stalled disk), the checkpoint is skipped — cadence degrades,
+// ingest does not.
+func (d *daemon) offerCheckpoint() {
+	data := d.composeState()
 	select {
 	case d.cpCh <- data:
 	default:
 		d.cpSkipped.Add(1)
 		d.log.Warn("checkpoint skipped", "reason", "writer busy")
 	}
+}
+
+// offsetBytes sums the byte offsets consumed across all tailed logs.
+func (d *daemon) offsetBytes() int64 {
+	var n int64
+	for _, s := range d.sites {
+		n += s.offset.Load()
+	}
+	return n
 }
 
 // checkpointWriter drains cpCh through the circuit breaker: writes that
@@ -225,7 +325,7 @@ func (d *daemon) checkpointWriter() {
 		default:
 			d.breaker.Success()
 			d.checkpoints.Add(1)
-			d.log.Info("checkpoint", "bytes", len(data), "offset", d.offset.Load())
+			d.log.Info("checkpoint", "bytes", len(data), "offset", d.offsetBytes())
 		}
 	}
 }
@@ -239,26 +339,37 @@ func (d *daemon) persist(data []byte) error {
 	return err
 }
 
-// State file magics; v2 added the shed count. v1 files (no shed line)
-// still load, with shed = 0.
+// State file magics; v2 added the shed count, v3 wraps per-site sections
+// for multi-site daemons. v1 files (no shed line) and v2 files still
+// load, as a single site.
 const (
 	stateMagic   = "astrad-state v2"
 	stateMagicV1 = "astrad-state v1"
+	stateMagicV3 = "astrad-state v3"
 )
 
-// marshalState renders the daemon's durable state: the serialized scanner
-// checkpoint (length-prefixed), the overload shed count, and the engine's
-// CE records as canonical syslog lines. Replaying those lines into a
-// fresh engine reproduces the fault state exactly (the engine's replay
-// contract), the shed count restores the degraded accounting, and the
-// scanner checkpoint resumes the tail at the matching byte.
-func marshalState(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byte, error) {
+// siteSnapshot is one site's restored durable state.
+type siteSnapshot struct {
+	id   string
+	cp   syslog.Checkpoint
+	shed uint64
+	recs []mce.CERecord
+}
+
+// marshalSiteSection renders one site's durable state section: the
+// serialized scanner checkpoint (length-prefixed), the overload shed
+// count, and the engine's CE records as canonical syslog lines.
+// Replaying those lines into a fresh engine reproduces the fault state
+// exactly (the engine's replay contract — at any partition count), the
+// shed count restores the degraded accounting, and the scanner
+// checkpoint resumes the tail at the matching byte.
+func marshalSiteSection(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byte, error) {
 	cpb, err := cp.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s\ncheckpoint %d\n", stateMagic, len(cpb))
+	fmt.Fprintf(&b, "checkpoint %d\n", len(cpb))
 	b.Write(cpb)
 	fmt.Fprintf(&b, "shed %d\n", shed)
 	fmt.Fprintf(&b, "records %d\n", len(recs))
@@ -271,62 +382,141 @@ func marshalState(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byt
 	return b.Bytes(), nil
 }
 
-// unmarshalState parses a state file back into its checkpoint, shed
-// count, and records.
+// marshalState renders the single-site (v2) state file.
+func marshalState(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byte, error) {
+	sec, err := marshalSiteSection(cp, shed, recs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(stateMagic)+1+len(sec))
+	out = append(out, stateMagic...)
+	out = append(out, '\n')
+	return append(out, sec...), nil
+}
+
+// marshalStateV3 renders the multi-site state file: a site count, then
+// one named section per site.
+func marshalStateV3(sites []siteSnapshot) ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\nsites %d\n", stateMagicV3, len(sites))
+	for _, s := range sites {
+		sec, err := marshalSiteSection(s.cp, s.shed, s.recs)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "site %s\n", s.id)
+		b.Write(sec)
+	}
+	return b.Bytes(), nil
+}
+
+// parseSection parses one checkpoint/shed/records section from the front
+// of data and returns the unconsumed remainder. hasShed is false for v1
+// files, which predate the shed line.
+func parseSection(data []byte, hasShed bool) (cp syslog.Checkpoint, shed uint64, recs []mce.CERecord, rest []byte, err error) {
+	rest = data
+	var cpLen int
+	n, err := fmt.Sscanf(string(firstLine(rest)), "checkpoint %d", &cpLen)
+	if err != nil || n != 1 {
+		return cp, 0, nil, nil, fmt.Errorf("astrad: state file: bad checkpoint header")
+	}
+	rest = rest[len(firstLine(rest))+1:]
+	if cpLen < 0 || cpLen > len(rest) {
+		return cp, 0, nil, nil, fmt.Errorf("astrad: state file: truncated checkpoint")
+	}
+	if err := cp.UnmarshalBinary(rest[:cpLen]); err != nil {
+		return cp, 0, nil, nil, err
+	}
+	rest = rest[cpLen:]
+	if hasShed {
+		if n, err := fmt.Sscanf(string(firstLine(rest)), "shed %d", &shed); err != nil || n != 1 {
+			return cp, 0, nil, nil, fmt.Errorf("astrad: state file: bad shed header")
+		}
+		rest = rest[len(firstLine(rest))+1:]
+	}
+	var count int
+	if n, err := fmt.Sscanf(string(firstLine(rest)), "records %d", &count); err != nil || n != 1 {
+		return cp, 0, nil, nil, fmt.Errorf("astrad: state file: bad records header")
+	}
+	rest = rest[len(firstLine(rest))+1:]
+	var dec syslog.Decoder
+	recs = make([]mce.CERecord, 0, count)
+	for i := 0; i < count; i++ {
+		line := firstLine(rest)
+		if line == nil {
+			return cp, 0, nil, nil, fmt.Errorf("astrad: state file: truncated at record %d of %d", i, count)
+		}
+		rest = rest[len(line)+1:]
+		p, err := dec.ParseLineBytes(line)
+		if err != nil || p.Kind != syslog.KindCE {
+			return cp, 0, nil, nil, fmt.Errorf("astrad: state file: record %d: bad CE line %q: %v", i, line, err)
+		}
+		recs = append(recs, p.CE)
+	}
+	return cp, shed, recs, rest, nil
+}
+
+// unmarshalState parses a single-site (v1/v2) state file back into its
+// checkpoint, shed count, and records.
 func unmarshalState(data []byte) (syslog.Checkpoint, uint64, []mce.CERecord, error) {
-	var cp syslog.Checkpoint
 	hasShed := true
 	rest, ok := bytes.CutPrefix(data, []byte(stateMagic+"\n"))
 	if !ok {
 		rest, ok = bytes.CutPrefix(data, []byte(stateMagicV1+"\n"))
 		hasShed = false
 		if !ok {
-			return cp, 0, nil, fmt.Errorf("astrad: state file: bad header")
+			return syslog.Checkpoint{}, 0, nil, fmt.Errorf("astrad: state file: bad header")
 		}
 	}
-	var cpLen int
-	n, err := fmt.Sscanf(string(firstLine(rest)), "checkpoint %d", &cpLen)
-	if err != nil || n != 1 {
-		return cp, 0, nil, fmt.Errorf("astrad: state file: bad checkpoint header")
-	}
-	rest = rest[len(firstLine(rest))+1:]
-	if cpLen < 0 || cpLen > len(rest) {
-		return cp, 0, nil, fmt.Errorf("astrad: state file: truncated checkpoint")
-	}
-	if err := cp.UnmarshalBinary(rest[:cpLen]); err != nil {
-		return cp, 0, nil, err
-	}
-	rest = rest[cpLen:]
-	var shed uint64
-	if hasShed {
-		if n, err := fmt.Sscanf(string(firstLine(rest)), "shed %d", &shed); err != nil || n != 1 {
-			return cp, 0, nil, fmt.Errorf("astrad: state file: bad shed header")
-		}
-		rest = rest[len(firstLine(rest))+1:]
-	}
-	var count int
-	if n, err := fmt.Sscanf(string(firstLine(rest)), "records %d", &count); err != nil || n != 1 {
-		return cp, 0, nil, fmt.Errorf("astrad: state file: bad records header")
-	}
-	rest = rest[len(firstLine(rest))+1:]
-	var dec syslog.Decoder
-	recs := make([]mce.CERecord, 0, count)
-	for i := 0; i < count; i++ {
-		line := firstLine(rest)
-		if line == nil {
-			return cp, 0, nil, fmt.Errorf("astrad: state file: truncated at record %d of %d", i, count)
-		}
-		rest = rest[len(line)+1:]
-		p, err := dec.ParseLineBytes(line)
-		if err != nil || p.Kind != syslog.KindCE {
-			return cp, 0, nil, fmt.Errorf("astrad: state file: record %d: bad CE line %q: %v", i, line, err)
-		}
-		recs = append(recs, p.CE)
+	cp, shed, recs, rest, err := parseSection(rest, hasShed)
+	if err != nil {
+		return syslog.Checkpoint{}, 0, nil, err
 	}
 	if len(rest) != 0 {
-		return cp, 0, nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
+		return syslog.Checkpoint{}, 0, nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
 	}
 	return cp, shed, recs, nil
+}
+
+// unmarshalStateV3 parses a multi-site state file into its per-site
+// snapshots.
+func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
+	rest, ok := bytes.CutPrefix(data, []byte(stateMagicV3+"\n"))
+	if !ok {
+		return nil, fmt.Errorf("astrad: state file: bad v3 header")
+	}
+	var count int
+	if n, err := fmt.Sscanf(string(firstLine(rest)), "sites %d", &count); err != nil || n != 1 {
+		return nil, fmt.Errorf("astrad: state file: bad sites header")
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("astrad: state file: negative site count")
+	}
+	rest = rest[len(firstLine(rest))+1:]
+	snaps := make([]siteSnapshot, 0, count)
+	for i := 0; i < count; i++ {
+		var id string
+		line := firstLine(rest)
+		if n, err := fmt.Sscanf(string(line), "site %s", &id); err != nil || n != 1 {
+			return nil, fmt.Errorf("astrad: state file: bad site header at section %d", i)
+		}
+		rest = rest[len(line)+1:]
+		cp, shed, recs, r, err := parseSection(rest, true)
+		if err != nil {
+			return nil, fmt.Errorf("astrad: state file: site %s: %w", id, err)
+		}
+		rest = r
+		for _, prev := range snaps {
+			if prev.id == id {
+				return nil, fmt.Errorf("astrad: state file: duplicate site %s", id)
+			}
+		}
+		snaps = append(snaps, siteSnapshot{id: id, cp: cp, shed: shed, recs: recs})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
+	}
+	return snaps, nil
 }
 
 // firstLine returns data up to (excluding) the first newline, or nil if
@@ -339,18 +529,26 @@ func firstLine(data []byte) []byte {
 	return data[:i]
 }
 
-// loadState reads the state file; a missing file is a fresh start.
-func loadState(path string) (syslog.Checkpoint, uint64, []mce.CERecord, error) {
-	var cp syslog.Checkpoint
+// loadState reads the state file into per-site snapshots; a missing file
+// is a fresh start, and v1/v2 single-site files load as one site named
+// "default".
+func loadState(path string) ([]siteSnapshot, error) {
 	if path == "" {
-		return cp, 0, nil, nil
+		return nil, nil
 	}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return cp, 0, nil, nil
+		return nil, nil
 	}
 	if err != nil {
-		return cp, 0, nil, err
+		return nil, err
 	}
-	return unmarshalState(data)
+	if bytes.HasPrefix(data, []byte(stateMagicV3+"\n")) {
+		return unmarshalStateV3(data)
+	}
+	cp, shed, recs, err := unmarshalState(data)
+	if err != nil {
+		return nil, err
+	}
+	return []siteSnapshot{{id: "default", cp: cp, shed: shed, recs: recs}}, nil
 }

@@ -1,24 +1,35 @@
 // Command astrad is the online face of the pipeline: a long-running
-// daemon that tails a syslog, clusters correctable errors incrementally
-// (identically to the batch clusterer — the stream engine's differential
-// guarantee), and serves live analyses over HTTP:
+// daemon that tails one or more syslogs, clusters correctable errors
+// incrementally (identically to the batch clusterer — the stream
+// engine's differential guarantee, preserved at any partition count),
+// and serves live analyses over HTTP:
 //
-//	GET /v1/faults      current fault list (?mode=single-bit filters)
-//	GET /v1/breakdown   rolling summary: counts, mode breakdown, CE rates
-//	GET /v1/fit         windowed and overall FIT/DIMM estimates
-//	GET /v1/nodes/{id}  per-node status (id is the host name)
-//	GET /healthz        liveness
-//	GET /metrics        Prometheus text exposition
+//	GET /v1/faults               fault list (?mode=single-bit filters)
+//	GET /v1/breakdown            rolling summary: counts, modes, CE rates
+//	GET /v1/fit                  windowed and overall FIT/DIMM estimates
+//	GET /v1/nodes/{id}           per-node status (id is the host name)
+//	GET /v1/sites                site inventory (multi-site daemons)
+//	GET /v1/sites/{site}/...     site-scoped faults/breakdown/fit/nodes
+//	GET /healthz                 liveness
+//	GET /metrics                 Prometheus text exposition
+//
+// With several -site flags the daemon federates independent fleets: each
+// site tails its own log into its own partitioned engine, and the legacy
+// /v1 endpoints become the cross-site rollup. -partitions shards each
+// site's engine across goroutine-owned partitions (hash by node) for
+// multicore ingest; answers are bit-identical at every setting.
 //
 // The daemon checkpoints its scanner state and record set atomically to
-// -state; a killed daemon restarted over the same log resumes exactly,
+// -state; a killed daemon restarted over the same logs resumes exactly,
 // losing and duplicating nothing — including records still buffered in
-// the reorder window at the moment of death. SIGTERM/SIGINT drain
-// in-flight requests, write a final checkpoint, and exit 0.
+// the reorder window at the moment of death, and regardless of the
+// partition count it restarts with. SIGTERM/SIGINT drain in-flight
+// requests, write a final checkpoint, and exit 0.
 //
 // Usage:
 //
 //	astrad -log astra-data/astra-syslog.log -state astrad.state -listen 127.0.0.1:9137
+//	astrad -site east=east.log -site west=west.log -partitions 4 -state astrad.state
 package main
 
 import (
@@ -31,6 +42,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -50,22 +63,53 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// siteFlags collects repeatable -site id=path flags.
+type siteFlags []siteSpec
+
+func (s *siteFlags) String() string {
+	parts := make([]string, len(*s))
+	for i, sp := range *s {
+		parts[i] = sp.id + "=" + sp.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *siteFlags) Set(v string) error {
+	id, path, ok := strings.Cut(v, "=")
+	if !ok || id == "" || path == "" {
+		return fmt.Errorf("-site wants id=path, got %q", v)
+	}
+	if strings.ContainsAny(id, " \t\n") {
+		return fmt.Errorf("site id %q must not contain whitespace", id)
+	}
+	for _, prev := range *s {
+		if prev.id == id {
+			return fmt.Errorf("duplicate site id %q", id)
+		}
+	}
+	*s = append(*s, siteSpec{id: id, path: path})
+	return nil
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("astrad", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var cfg daemonConfig
-	fs.StringVar(&cfg.logPath, "log", "", "syslog file to tail (required)")
+	var sites siteFlags
+	fs.StringVar(&cfg.logPath, "log", "", "syslog file to tail (single-site; required unless -site is used)")
+	fs.Var(&sites, "site", "federated site to serve, as id=path (repeatable; excludes -log)")
 	fs.StringVar(&cfg.statePath, "state", "", "checkpoint state file (empty disables persistence)")
 	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:9137", "HTTP listen address")
 	fs.IntVar(&cfg.dedupWindow, "dedup-window", 64, "suppress record lines identical to one of the last N (0 disables)")
 	fs.DurationVar(&cfg.reorderWindow, "reorder-window", 5*time.Minute, "resequence records arriving up to this much late (0 disables)")
 	fs.DurationVar(&cfg.poll, "poll", syslog.DefaultTailPoll, "log growth poll interval")
 	fs.DurationVar(&cfg.checkpointSec, "checkpoint-every", 30*time.Second, "minimum interval between periodic checkpoints")
-	fs.IntVar(&cfg.dimms, "dimms", topology.DIMMs, "DIMM population for FIT denominators")
+	fs.IntVar(&cfg.dimms, "dimms", topology.DIMMs, "DIMM population per site for FIT denominators")
 	fs.DurationVar(&cfg.window, "window", stream.DefaultWindow, "rolling event-time window for rates and FIT")
-	fs.IntVar(&cfg.workers, "workers", 0, "clustering parallelism (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.workers, "workers", 0, "clustering parallelism inside one partition (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.partitions, "partitions", 1, "engine partitions per site, hash-sharded by node (answers identical at any setting)")
 
-	fs.IntVar(&cfg.queueDepth, "queue-depth", 65536, "admission queue capacity (records) between the tail and the engine")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 65536, "admission queue capacity (records) between each tail and its engine")
 	fs.IntVar(&cfg.queueHigh, "queue-high", 0, "high watermark: depth at which admission starts shedding (0 = capacity)")
 	fs.IntVar(&cfg.queueLow, "queue-low", 0, "low watermark: depth at which shedding stops (0 = capacity/2)")
 	shedPolicy := fs.String("shed-policy", overload.PolicyReject.String(), "what a saturated queue sheds: reject (newest) or drop-oldest")
@@ -87,7 +131,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if cfg.logPath == "" {
+	cfg.sites = sites
+	switch {
+	case len(cfg.sites) > 0 && cfg.logPath != "":
+		fmt.Fprintln(stderr, "astrad: -log and -site are mutually exclusive")
+		fs.Usage()
+		return 2
+	case len(cfg.sites) == 0 && cfg.logPath == "":
 		fs.Usage()
 		return 2
 	}
@@ -107,41 +157,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-// serveDaemon wires state restore, the admission queue, the ingest
-// loop, the drainer, the checkpoint writer and the HTTP server, then
+// matchSnapshot pairs a configured site with its restored state. Sites
+// match by id; as a migration path, a lone v1/v2 snapshot (always named
+// "default") restores a lone configured site whatever its id.
+func matchSnapshot(snaps []siteSnapshot, specs []siteSpec, i int) siteSnapshot {
+	for _, sn := range snaps {
+		if sn.id == specs[i].id {
+			return sn
+		}
+	}
+	if len(specs) == 1 && len(snaps) == 1 {
+		return snaps[0]
+	}
+	return siteSnapshot{id: specs[i].id}
+}
+
+// serveDaemon wires state restore, the per-site admission queues, ingest
+// loops and drainers, the checkpoint writer and the HTTP server, then
 // blocks until the context is cancelled or ingest fails.
 func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (int, error) {
-	cp, shed, recs, err := loadState(cfg.statePath)
+	snaps, err := loadState(cfg.statePath)
 	if err != nil {
 		return 1, err
 	}
-	f, err := os.Open(cfg.logPath)
-	if err != nil {
-		return 1, err
+	specs := cfg.sites
+	if len(specs) == 0 {
+		specs = []siteSpec{{id: "default", path: cfg.logPath}}
 	}
-	defer f.Close()
-	if fi, err := f.Stat(); err != nil {
-		return 1, err
-	} else if fi.Size() < cp.Offset {
-		// The log shrank beneath the checkpoint (rotation/truncation):
-		// the saved state describes bytes that no longer exist.
-		logger.Warn("log shorter than checkpoint; starting fresh",
-			"size", fi.Size(), "offset", cp.Offset)
-		cp, shed, recs = syslog.Checkpoint{}, 0, nil
-	}
-	if _, err := f.Seek(cp.Offset, io.SeekStart); err != nil {
-		return 1, err
+	for _, sn := range snaps {
+		found := false
+		for _, sp := range specs {
+			if sp.id == sn.id {
+				found = true
+			}
+		}
+		if !found && len(specs) > 1 {
+			logger.Warn("state section for unconfigured site dropped", "site", sn.id, "records", len(sn.recs))
+		}
 	}
 
 	d := &daemon{
 		cfg: cfg,
 		log: logger,
-		engine: stream.New(stream.Config{
-			Cluster:     core.ClusterConfig{Parallelism: cfg.workers},
-			Window:      cfg.window,
-			DIMMs:       cfg.dimms,
-			Parallelism: cfg.workers,
-		}),
 		breaker: overload.NewBreaker(overload.BreakerConfig{
 			Failures: cfg.cpFailures,
 			Cooldown: cfg.cpCooldown,
@@ -149,27 +206,77 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		cpCh: make(chan []byte, 1),
 		fs:   atomicio.OS,
 	}
-	d.queue = overload.NewQueue[mce.CERecord](overload.Config{
-		Capacity: cfg.queueDepth,
-		High:     cfg.queueHigh,
-		Low:      cfg.queueLow,
-		Policy:   cfg.shedPolicy,
-		// Every shed record is charged to the engine's degraded
-		// accounting: offered == ingested + shed, and every analysis
-		// that undercounts says so.
-		OnShed: func(n int) { d.engine.NoteShed(n) },
-	})
-	d.engine.IngestBatch(recs)
-	if shed > 0 {
-		d.engine.NoteShed(int(shed))
+	type tailState struct {
+		f  *os.File
+		cp syslog.Checkpoint
 	}
-	if len(recs) > 0 {
-		logger.Info("restored", "records", len(recs), "shed", shed,
-			"offset", cp.Offset, "pendingReorder", cp.Buffered())
+	tails := make([]tailState, len(specs))
+	for i, spec := range specs {
+		snap := matchSnapshot(snaps, specs, i)
+		f, err := os.Open(spec.path)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		if fi, err := f.Stat(); err != nil {
+			return 1, err
+		} else if fi.Size() < snap.cp.Offset {
+			// The log shrank beneath the checkpoint (rotation/truncation):
+			// the saved state describes bytes that no longer exist.
+			logger.Warn("log shorter than checkpoint; starting fresh",
+				"site", spec.id, "size", fi.Size(), "offset", snap.cp.Offset)
+			snap = siteSnapshot{id: spec.id}
+		}
+		if _, err := f.Seek(snap.cp.Offset, io.SeekStart); err != nil {
+			return 1, err
+		}
+
+		site := &siteDaemon{
+			id:      spec.id,
+			logPath: spec.path,
+			engine: stream.NewSharded(stream.ShardedConfig{
+				Partitions: cfg.partitions,
+				Engine: stream.Config{
+					Cluster:     core.ClusterConfig{Parallelism: cfg.workers},
+					Window:      cfg.window,
+					DIMMs:       cfg.dimms,
+					Parallelism: cfg.workers,
+				},
+			}),
+		}
+		site.queue = overload.NewQueue[mce.CERecord](overload.Config{
+			Capacity: cfg.queueDepth,
+			High:     cfg.queueHigh,
+			Low:      cfg.queueLow,
+			Policy:   cfg.shedPolicy,
+			// Every shed record is charged to the engine's degraded
+			// accounting: offered == ingested + shed, and every analysis
+			// that undercounts says so.
+			OnShed: func(n int) { site.engine.NoteShed(n) },
+		})
+		site.engine.IngestBatch(snap.recs)
+		if snap.shed > 0 {
+			site.engine.NoteShed(int(snap.shed))
+		}
+		if sec, err := marshalSiteSection(snap.cp, snap.shed, snap.recs); err == nil {
+			site.section.Store(&sec)
+		} else {
+			return 1, err
+		}
+		if len(snap.recs) > 0 {
+			logger.Info("restored", "site", spec.id, "records", len(snap.recs), "shed", snap.shed,
+				"offset", snap.cp.Offset, "pendingReorder", snap.cp.Buffered())
+		}
+		d.sites = append(d.sites, site)
+		tails[i] = tailState{f: f, cp: snap.cp}
 	}
 
+	srvSites := make([]serve.Site, len(d.sites))
+	for i, s := range d.sites {
+		srvSites[i] = serve.Site{ID: s.id, Source: s.engine}
+	}
 	srv := serve.New(serve.Config{
-		Engine:         d.engine,
+		Sites:          srvSites,
 		Logger:         logger,
 		ScanStats:      d.snapshotStats,
 		Overload:       d.overloadStatus,
@@ -181,14 +288,14 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		func() float64 { return float64(d.checkpoints.Load()) })
 	reg.NewCounterFunc("astrad_checkpoints_skipped_total", "", "Checkpoints skipped by the breaker or a busy writer.",
 		func() float64 { return float64(d.cpSkipped.Load()) })
-	reg.NewGaugeFunc("astrad_log_offset_bytes", "", "Byte offset consumed in the tailed log.",
-		func() float64 { return float64(d.offset.Load()) })
+	reg.NewGaugeFunc("astrad_log_offset_bytes", "", "Byte offset consumed across the tailed logs.",
+		func() float64 { return float64(d.offsetBytes()) })
 
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return 1, err
 	}
-	logger.Info("listening", "addr", ln.Addr().String(), "log", cfg.logPath)
+	logger.Info("listening", "addr", ln.Addr().String(), "sites", len(d.sites), "partitions", cfg.partitions)
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadTimeout:       cfg.readTimeout,
@@ -201,64 +308,96 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 	go func() { httpErr <- httpSrv.Serve(ln) }()
 
 	drainDone := make(chan struct{})
-	go func() { defer close(drainDone); d.drain() }()
+	go func() {
+		defer close(drainDone)
+		var wg sync.WaitGroup
+		for _, s := range d.sites {
+			wg.Add(1)
+			go func(s *siteDaemon) { defer wg.Done(); d.drain(s) }(s)
+		}
+		wg.Wait()
+	}()
 	writerDone := make(chan struct{})
 	go func() { defer close(writerDone); d.checkpointWriter() }()
 
 	tailCtx, cancelTail := context.WithCancel(context.Background())
 	defer cancelTail()
 	type ingestResult struct {
+		idx int
 		cp  syslog.Checkpoint
 		err error
 	}
-	ingestDone := make(chan ingestResult, 1)
-	go func() {
-		cp, err := d.ingest(tailCtx, f, cp)
-		ingestDone <- ingestResult{cp, err}
-	}()
-
-	var ingestErr error
-	var finalCP syslog.Checkpoint
-	select {
-	case <-ctx.Done():
-		logger.Info("shutting down", "reason", "signal")
-		cancelTail()
-		res := <-ingestDone
-		finalCP, ingestErr = res.cp, res.err
-	case res := <-ingestDone:
-		cancelTail()
-		finalCP, ingestErr = res.cp, res.err
-	case err := <-httpErr:
-		cancelTail()
-		res := <-ingestDone
-		finalCP, ingestErr = res.cp, res.err
-		if ingestErr == nil {
-			ingestErr = fmt.Errorf("http server: %w", err)
-		}
+	ingestDone := make(chan ingestResult, len(d.sites))
+	for i := range d.sites {
+		go func(i int) {
+			cp, err := d.ingest(tailCtx, d.sites[i], tails[i].f, tails[i].cp)
+			ingestDone <- ingestResult{i, cp, err}
+		}(i)
 	}
 
-	// The tail has stopped: drain what the queue still holds into the
-	// engine, stop the checkpoint writer, then persist the final state
+	var ingestErr, httpFail error
+	finalCPs := make([]syslog.Checkpoint, len(d.sites))
+	sigC := ctx.Done()
+	httpC := httpErr
+	for finished := 0; finished < len(d.sites); {
+		select {
+		case <-sigC:
+			logger.Info("shutting down", "reason", "signal")
+			cancelTail()
+			sigC = nil
+		case err := <-httpC:
+			cancelTail()
+			httpFail = err
+			httpC = nil
+		case res := <-ingestDone:
+			finalCPs[res.idx] = res.cp
+			if res.err != nil && ingestErr == nil {
+				ingestErr = res.err
+			}
+			finished++
+			cancelTail() // one tail down, stop the rest
+		}
+	}
+	if ingestErr == nil && httpFail != nil {
+		ingestErr = fmt.Errorf("http server: %w", httpFail)
+	}
+
+	// The tails have stopped: drain what the queues still hold into the
+	// engines, stop the checkpoint writer, then persist the final state
 	// synchronously — bypassing the breaker, because this is the last
-	// chance to save the shed accounting and the resume point.
-	d.queue.Close()
+	// chance to save the shed accounting and the resume points.
+	for _, s := range d.sites {
+		s.queue.Close()
+	}
 	<-drainDone
 	close(d.cpCh)
 	<-writerDone
 	if ingestErr == nil && cfg.statePath != "" {
-		data, err := d.snapshotState(finalCP)
-		if err == nil {
-			err = d.persist(data)
+		var data []byte
+		var snapErr error
+		for i, s := range d.sites {
+			if err := d.snapshotSection(s, finalCPs[i]); err != nil {
+				snapErr = err
+				break
+			}
 		}
-		if err != nil {
-			ingestErr = fmt.Errorf("final checkpoint: %w", err)
+		if snapErr == nil {
+			data = d.composeState()
+			snapErr = d.persist(data)
+		}
+		if snapErr != nil {
+			ingestErr = fmt.Errorf("final checkpoint: %w", snapErr)
 		} else {
 			d.checkpoints.Add(1)
-			d.log.Info("checkpoint", "final", true, "bytes", len(data), "shed", d.engine.Shed())
+			var shed uint64
+			for _, s := range d.sites {
+				shed += s.engine.Shed()
+			}
+			d.log.Info("checkpoint", "final", true, "bytes", len(data), "shed", shed)
 		}
 	}
 
-	// Drain in-flight requests before exiting; the engine stays queryable
+	// Drain in-flight requests before exiting; the engines stay queryable
 	// throughout.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -269,8 +408,14 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 	if ingestErr != nil {
 		return 1, ingestErr
 	}
-	sum := d.engine.Summary()
-	logger.Info("stopped", "records", sum.Records, "faults", sum.Faults,
-		"shed", sum.Shed, "checkpoints", d.checkpoints.Load())
+	var records, faults, shed int
+	for _, s := range d.sites {
+		sum := s.engine.Summary()
+		records += sum.Records
+		faults += sum.Faults
+		shed += sum.Shed
+	}
+	logger.Info("stopped", "records", records, "faults", faults,
+		"shed", shed, "checkpoints", d.checkpoints.Load())
 	return 0, nil
 }

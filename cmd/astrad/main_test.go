@@ -151,7 +151,10 @@ func httpGetJSON(t *testing.T, url string, v any) int {
 // records.
 func waitForRecords(t *testing.T, addr string, want int) stream.Summary {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
+	// Generous: multi-site ingest under -race on a small box is easily
+	// 10-20x slower than native; polling returns the moment the count is
+	// reached, so a passing run never waits this long.
+	deadline := time.Now().Add(150 * time.Second)
 	var sum stream.Summary
 	for {
 		httpGetJSON(t, "http://"+addr+"/v1/breakdown", &sum)

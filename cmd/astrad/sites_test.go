@@ -1,0 +1,397 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/het"
+	"repro/internal/mce"
+	"repro/internal/stream"
+	"repro/internal/syslog"
+	"repro/internal/topology"
+)
+
+// startDaemonCustom launches run() in-process with a fully caller-built
+// argument list (multi-site runs have no single -log flag) and waits for
+// the listen address.
+func startDaemonCustom(t *testing.T, args ...string) (addr string, cancel context.CancelFunc, done chan int, errs *syncBuf) {
+	t.Helper()
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	errs = &syncBuf{}
+	done = make(chan int, 1)
+	go func() { done <- run(ctx, args, io.Discard, errs) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRE.FindStringSubmatch(errs.String()); m != nil {
+			return m[1], cancelCtx, done, errs
+		}
+		if time.Now().After(deadline) {
+			cancelCtx()
+			t.Fatalf("daemon never listened; stderr:\n%s", errs.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// buildSiteLog renders an independent dataset's syslog with the same
+// far-future HET sentinel trick as testLog, so a second federated site
+// has its own distinct record population.
+func buildSiteLog(t *testing.T, seed uint64, nodes int) ([]byte, []mce.CERecord) {
+	t.Helper()
+	cfg := dataset.DefaultConfig(seed)
+	cfg.Nodes = nodes
+	ds, err := dataset.Build(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteSyslog(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	var maxT time.Time
+	for _, r := range ds.CERecords {
+		if r.Time.After(maxT) {
+			maxT = r.Time
+		}
+	}
+	sentinel := het.Record{
+		Time:     maxT.Add(testReorder + time.Minute),
+		Node:     ds.CERecords[0].Node,
+		Type:     het.UncorrectableECC,
+		Severity: het.SeverityNonRecoverable,
+	}
+	buf.WriteString(syslog.FormatHET(sentinel))
+	buf.WriteByte('\n')
+
+	pol := dataset.IngestPolicy{DedupWindow: testDedup, ReorderWindow: testReorder, MaxMalformedFrac: -1}
+	ces, _, _, _, err := dataset.ReadSyslogPolicy(bytes.NewReader(buf.Bytes()), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), ces
+}
+
+// TestDaemonPartitionedKillRestartDifferential is the sharded flavor of
+// the acceptance test: a daemon running 4 engine partitions is killed
+// mid-stream, more log is appended, and it restarts over the same state
+// file with a DIFFERENT partition count — the final fault population
+// must still be exactly the batch answer. The state file stores records
+// in global arrival order, so restore is partition-count independent.
+func TestDaemonPartitionedKillRestartDifferential(t *testing.T) {
+	full, ces := testLog(t)
+	wantFaults := mustCluster(t, ces)
+	wantBreak := core.BreakdownByMode(ces, wantFaults)
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "syslog.log")
+	statePath := filepath.Join(dir, "astrad.state")
+
+	cut := bytes.LastIndexByte(full[:len(full)/2], '\n') + 1
+	if err := os.WriteFile(logPath, full[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr, cancel, done, errs := startDaemonArgs(t, logPath, statePath, "-partitions", "4")
+	var h struct {
+		Records int `json:"records"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Records == 0 {
+		if code := httpGetJSON(t, "http://"+addr+"/healthz", &h); code != http.StatusOK {
+			t.Fatalf("healthz = %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no records ingested in phase 1")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if code := <-done; code != 0 {
+		t.Fatalf("phase 1 exit = %d; stderr:\n%s", code, errs.String())
+	}
+
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	addr, cancel, done, errs = startDaemonArgs(t, logPath, statePath, "-partitions", "2")
+	defer func() {
+		cancel()
+		<-done
+	}()
+	sum := waitForRecords(t, addr, len(ces))
+	if sum.Records != len(ces) {
+		t.Fatalf("records = %d, want %d (lost or duplicated input)", sum.Records, len(ces))
+	}
+	if sum.Faults != len(wantFaults) {
+		t.Fatalf("faults = %d, want %d", sum.Faults, len(wantFaults))
+	}
+	if sum.FaultsByMode != wantBreak.FaultsByMode {
+		t.Fatalf("FaultsByMode = %v, want %v", sum.FaultsByMode, wantBreak.FaultsByMode)
+	}
+	if sum.ErrorsByMode != wantBreak.ErrorsByMode {
+		t.Fatalf("ErrorsByMode = %v, want %v", sum.ErrorsByMode, wantBreak.ErrorsByMode)
+	}
+	_ = errs
+}
+
+// TestDaemonMultiSiteFederationRestart drives a two-site daemon: each
+// site tails its own log into its own partitioned engine, /v1/sites and
+// the site-scoped endpoints see per-site state, the legacy endpoints
+// roll both up, and a shutdown/restart over the v3 state file restores
+// each site exactly — with a different partition count.
+func TestDaemonMultiSiteFederationRestart(t *testing.T) {
+	logA, cesA := testLog(t)
+	logB, cesB := buildSiteLog(t, 71, 24)
+	faultsA := mustCluster(t, cesA)
+	faultsB := mustCluster(t, cesB)
+
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "east.log")
+	pathB := filepath.Join(dir, "west.log")
+	statePath := filepath.Join(dir, "astrad.state")
+	if err := os.WriteFile(pathA, logA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pathB, logB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	args := func(partitions int) []string {
+		return []string{
+			"-site", "east=" + pathA, "-site", "west=" + pathB,
+			"-state", statePath, "-listen", "127.0.0.1:0",
+			"-dedup-window", fmt.Sprint(testDedup), "-reorder-window", testReorder.String(),
+			"-poll", "1ms", "-checkpoint-every", "50ms",
+			"-dimms", fmt.Sprint(48 * topology.SlotsPerNode),
+			"-partitions", fmt.Sprint(partitions),
+		}
+	}
+	addr, cancel, done, errs := startDaemonCustom(t, args(3)...)
+	sum := waitForRecords(t, addr, len(cesA)+len(cesB))
+	if sum.Records != len(cesA)+len(cesB) {
+		t.Fatalf("rollup records = %d, want %d", sum.Records, len(cesA)+len(cesB))
+	}
+
+	var sites struct {
+		Count int `json:"count"`
+		Sites []struct {
+			ID      string `json:"id"`
+			Records int    `json:"records"`
+		} `json:"sites"`
+	}
+	httpGetJSON(t, "http://"+addr+"/v1/sites", &sites)
+	if sites.Count != 2 {
+		t.Fatalf("site count = %d, want 2", sites.Count)
+	}
+	perSite := map[string]int{}
+	for _, s := range sites.Sites {
+		perSite[s.ID] = s.Records
+	}
+	if perSite["east"] != len(cesA) || perSite["west"] != len(cesB) {
+		t.Fatalf("per-site records = %v, want east=%d west=%d", perSite, len(cesA), len(cesB))
+	}
+
+	var east stream.Summary
+	httpGetJSON(t, "http://"+addr+"/v1/sites/east/breakdown", &east)
+	if east.Records != len(cesA) {
+		t.Fatalf("east breakdown records = %d, want %d", east.Records, len(cesA))
+	}
+	var west stream.Summary
+	httpGetJSON(t, "http://"+addr+"/v1/sites/west/breakdown", &west)
+	if west.Records != len(cesB) {
+		t.Fatalf("west breakdown records = %d, want %d", west.Records, len(cesB))
+	}
+	if code := httpGetJSON(t, "http://"+addr+"/v1/sites/nope/faults", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown site = %d, want 404", code)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`astrad_site_records_total{site="east"}`,
+		`astrad_site_records_total{site="west"}`,
+		"astrad_ingest_lines_total",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+
+	cancel()
+	if code := <-done; code != 0 {
+		t.Fatalf("multi-site shutdown exit = %d; stderr:\n%s", code, errs.String())
+	}
+	state, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(state, []byte(stateMagicV3+"\n")) {
+		t.Fatalf("multi-site state not v3: %q", state[:min(len(state), 40)])
+	}
+
+	// Restart over the v3 state with a different partition count: every
+	// site restores exactly, and the fault populations match the batch
+	// answers per site.
+	addr, cancel, done, errs = startDaemonCustom(t, args(1)...)
+	defer func() {
+		cancel()
+		if code := <-done; code != 0 {
+			t.Errorf("restart exit = %d; stderr:\n%s", code, errs.String())
+		}
+	}()
+	sum = waitForRecords(t, addr, len(cesA)+len(cesB))
+	httpGetJSON(t, "http://"+addr+"/v1/sites/east/breakdown", &east)
+	httpGetJSON(t, "http://"+addr+"/v1/sites/west/breakdown", &west)
+	if east.Records != len(cesA) || west.Records != len(cesB) {
+		t.Fatalf("restored per-site records east=%d west=%d, want %d/%d",
+			east.Records, west.Records, len(cesA), len(cesB))
+	}
+	if east.Faults != len(faultsA) {
+		t.Fatalf("east faults = %d, want batch %d", east.Faults, len(faultsA))
+	}
+	if west.Faults != len(faultsB) {
+		t.Fatalf("west faults = %d, want batch %d", west.Faults, len(faultsB))
+	}
+	if sum.Faults != len(faultsA)+len(faultsB) {
+		t.Fatalf("rollup faults = %d, want %d", sum.Faults, len(faultsA)+len(faultsB))
+	}
+}
+
+// TestStateV3RoundTrip pins the multi-site state file format, its
+// corruption rejection, and loadState's version fallback.
+func TestStateV3RoundTrip(t *testing.T) {
+	in, ces := testLog(t)
+	sc := syslog.NewScannerConfig(bytes.NewReader(in), syslog.ScanConfig{DedupWindow: testDedup, ReorderWindow: testReorder})
+	for i := 0; i < 25; i++ {
+		if !sc.Scan() {
+			t.Fatal("fixture too short")
+		}
+	}
+	cp := sc.Checkpoint()
+	snaps := []siteSnapshot{
+		{id: "east", cp: cp, shed: 3, recs: ces[:10]},
+		{id: "west", cp: syslog.Checkpoint{}, shed: 0, recs: ces[10:14]},
+	}
+
+	data, err := marshalStateV3(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unmarshalStateV3(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].id != "east" || got[1].id != "west" {
+		t.Fatalf("site ids round trip: %+v", got)
+	}
+	if got[0].cp.Offset != cp.Offset || got[0].cp.Buffered() != cp.Buffered() {
+		t.Fatalf("checkpoint round trip: offset %d/%d", got[0].cp.Offset, cp.Offset)
+	}
+	if got[0].shed != 3 || got[1].shed != 0 {
+		t.Fatalf("shed round trip: %d/%d", got[0].shed, got[1].shed)
+	}
+	if len(got[0].recs) != 10 || len(got[1].recs) != 4 {
+		t.Fatalf("record counts round trip: %d/%d", len(got[0].recs), len(got[1].recs))
+	}
+	for i, r := range snaps[0].recs {
+		if got[0].recs[i] != r {
+			t.Fatalf("east record %d diverges after round trip", i)
+		}
+	}
+	data2, err := marshalStateV3(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("v3 marshal not deterministic through a round trip")
+	}
+
+	for name, corrupt := range map[string][]byte{
+		"empty":      nil,
+		"header":     []byte("nope\n"),
+		"sitecount":  bytes.Replace(data, []byte("sites 2"), []byte("sites x"), 1),
+		"truncated":  data[:len(data)-3],
+		"trailing":   append(append([]byte{}, data...), "junk\n"...),
+		"dup-site":   bytes.Replace(data, []byte("site west"), []byte("site east"), 1),
+		"shed":       bytes.Replace(data, []byte("\nshed 3\n"), []byte("\nshed x\n"), 1),
+		"undercount": bytes.Replace(data, []byte("sites 2"), []byte("sites 1"), 1),
+	} {
+		if _, err := unmarshalStateV3(corrupt); err == nil {
+			t.Errorf("%s: corrupted v3 state accepted", name)
+		}
+	}
+
+	// loadState routes by magic: a v2 file loads as one site named
+	// "default", a v3 file as its site list.
+	dir := t.TempDir()
+	v2Path := filepath.Join(dir, "v2.state")
+	v2, err := marshalState(cp, 7, ces[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2Path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadState(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].id != "default" || loaded[0].shed != 7 || len(loaded[0].recs) != 5 {
+		t.Fatalf("v2 loadState = %+v", loaded)
+	}
+	v3Path := filepath.Join(dir, "v3.state")
+	if err := os.WriteFile(v3Path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = loadState(v3Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded[0].id != "east" {
+		t.Fatalf("v3 loadState = %+v", loaded)
+	}
+	if _, err := loadState(filepath.Join(dir, "missing.state")); err != nil {
+		t.Fatalf("missing state file not a fresh start: %v", err)
+	}
+}
+
+// TestSiteFlagValidation pins the -site flag's error cases.
+func TestSiteFlagValidation(t *testing.T) {
+	var errs syncBuf
+	for _, args := range [][]string{
+		{"-site", "bad"},                 // no '='
+		{"-site", "=path"},               // empty id
+		{"-site", "id="},                 // empty path
+		{"-site", "a=x", "-site", "a=y"}, // duplicate id
+		{"-site", "a b=x"},               // whitespace in id
+		{"-log", "x", "-site", "a=y"},    // -log and -site together
+		{},                               // neither
+	} {
+		if code := run(context.Background(), args, io.Discard, &errs); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+	if !strings.Contains(errs.String(), "mutually exclusive") {
+		t.Error("no -log/-site conflict message")
+	}
+}

@@ -16,7 +16,7 @@ import (
 // slow clients probe the server timeouts.
 func tinyScenario() Scenario {
 	return Scenario{
-		Seed: 5, Nodes: 24,
+		Seed: 5, Nodes: 24, Sites: 1, Partitions: 1,
 		DurationSec: 0.4, IngestRate: 30000,
 		BurstFactor: 2, BurstAtSec: 0.1, BurstForSec: 0.1,
 		APIClients: 2, APIQPS: 100, SlowClients: 1,
@@ -89,6 +89,75 @@ func TestHarnessCalmRun(t *testing.T) {
 	}
 	if res.Checkpoints.Written == 0 {
 		t.Fatal("healthy disk wrote no checkpoints")
+	}
+}
+
+// TestHarnessMultiSiteFederation runs the federated topology: two sites
+// with distinct seeds, partitioned engines, per-site accounting rows,
+// and the conditional-GET fast path measured.
+func TestHarnessMultiSiteFederation(t *testing.T) {
+	sc := tinyScenario()
+	sc.Sites = 2
+	sc.Partitions = 2
+	sc.IngestRate = 5000
+	sc.DrainBatch = 1024
+	sc.DrainIntervalMS = 0
+	sc.DiskStallP = 0
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	res, err := sc.Run(context.Background(), logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InvariantOK || !res.DifferentialOK {
+		t.Fatalf("federated run broke the contract: %+v", res)
+	}
+	if len(res.Sites) != 2 {
+		t.Fatalf("got %d site rows, want 2", len(res.Sites))
+	}
+	var offered, ingested, shed uint64
+	for _, site := range res.Sites {
+		if site.Offered == 0 || site.Ingested == 0 {
+			t.Fatalf("site %s saw no traffic: %+v", site.ID, site)
+		}
+		offered += site.Offered
+		ingested += site.Ingested
+		shed += site.Shed
+	}
+	if offered != res.Offered || ingested != res.Ingested || shed != res.Shed {
+		t.Fatalf("site rows don't sum to totals: %+v vs offered=%d ingested=%d shed=%d",
+			res.Sites, res.Offered, res.Ingested, res.Shed)
+	}
+	if res.API.NotModified == 0 {
+		t.Fatal("conditional GETs never hit the 304 fast path")
+	}
+	if res.API.CachedP99Ms <= 0 {
+		t.Fatalf("cached p99 not measured: %+v", res.API)
+	}
+	if res.API.Errors != 0 {
+		t.Fatalf("API herd saw %d hard errors", res.API.Errors)
+	}
+}
+
+// TestExpectedShedRate pins the configured-rate derivation the guard
+// compares against: an unthrottled drain expects zero shed; a throttled
+// one expects the oversupply fraction; capacity absorbs its share.
+func TestExpectedShedRate(t *testing.T) {
+	sc := tinyScenario()
+	sc.DrainIntervalMS = 0
+	if got := sc.expectedShedRate(); got != 0 {
+		t.Fatalf("unthrottled expectedShedRate = %v, want 0", got)
+	}
+	sc = tinyScenario()
+	got := sc.expectedShedRate()
+	// offered = 30000*0.4 + 1*30000*0.1 = 15000; drain = 64/0.003*0.4 ≈
+	// 8533; absorbed ≈ 8533+1024 = 9557 → expect ≈ 0.36 shed.
+	if got <= 0.2 || got >= 0.6 {
+		t.Fatalf("throttled expectedShedRate = %v, want ~0.36", got)
+	}
+	// Doubling the sites doubles drain+queue capacity: expectation drops.
+	sc.Sites = 2
+	if got2 := sc.expectedShedRate(); got2 >= got {
+		t.Fatalf("two-site expectedShedRate %v not below single-site %v", got2, got)
 	}
 }
 

@@ -250,6 +250,132 @@ func TestQueueConcurrentBooks(t *testing.T) {
 	}
 }
 
+// TestQueueDropOldestConcurrentFreeze interleaves drop-oldest eviction
+// with a hammering Freeze observer: every frozen snapshot must be
+// internally consistent (books balance at that instant, depth matches
+// the queued slice, each producer's records appear in offer order —
+// eviction removes from the head, it never reorders survivors), and the
+// final accounting must balance with evictions actually exercised.
+func TestQueueDropOldestConcurrentFreeze(t *testing.T) {
+	var shedSeen atomic.Int64
+	q := NewQueue[int](Config{
+		Capacity: 64, High: 48, Low: 16,
+		Policy: PolicyDropOldest,
+		OnShed: func(n int) { shedSeen.Add(int64(n)) },
+	})
+
+	const producers, perProducer = 3, 6000
+	encode := func(p, i int) int { return p*1_000_000 + i }
+
+	// Throttled drainer: small batches with a spin between them so the
+	// queue saturates and evicts while Freeze runs.
+	var drainedSeqs [producers][]int
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for {
+			batch, ok := q.Take(8)
+			for _, v := range batch {
+				drainedSeqs[v/1_000_000] = append(drainedSeqs[v/1_000_000], v%1_000_000)
+			}
+			q.Done()
+			if !ok {
+				return
+			}
+			for i := 0; i < 2000; i++ {
+				_ = i // burn a little time without sleeping
+			}
+		}
+	}()
+
+	stop := make(chan struct{})
+	freezes := make(chan int)
+	go func() {
+		var count int
+		for {
+			select {
+			case <-stop:
+				freezes <- count
+				return
+			default:
+			}
+			q.Freeze(func(queued []int, st QueueStats) {
+				count++
+				if len(queued) != st.Depth {
+					t.Errorf("frozen depth %d != %d queued records", st.Depth, len(queued))
+				}
+				if st.Shed != st.Rejected+st.Evicted ||
+					st.Offered != st.Admitted+st.Rejected ||
+					st.Offered != st.Drained+uint64(st.Depth)+st.Shed {
+					t.Errorf("frozen books don't balance: %+v", st)
+				}
+				last := [producers]int{-1, -1, -1}
+				for _, v := range queued {
+					p, i := v/1_000_000, v%1_000_000
+					if i <= last[p] {
+						t.Errorf("producer %d out of order in frozen snapshot: %d after %d", p, i, last[p])
+					}
+					last[p] = i
+				}
+			})
+		}
+	}()
+
+	// Offer in rounds until the queue has demonstrably evicted, so the
+	// test never depends on scheduler luck to reach saturation.
+	offered := 0
+	for round := 0; round < 20; round++ {
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p, base int) {
+				defer wg.Done()
+				for i := 0; i < perProducer; i++ {
+					if !q.Offer(encode(p, base+i)) {
+						t.Errorf("drop-oldest Offer returned false on an open queue")
+					}
+				}
+			}(p, round*perProducer)
+		}
+		wg.Wait()
+		offered += producers * perProducer
+		if q.Stats().Evicted > 0 {
+			break
+		}
+	}
+	close(stop)
+	if n := <-freezes; n == 0 {
+		t.Fatal("freezer never ran")
+	}
+	q.Close()
+	<-drained
+
+	st := q.Stats()
+	checkBooks(t, st)
+	if st.Offered != uint64(offered) {
+		t.Fatalf("offered = %d, want %d", st.Offered, offered)
+	}
+	if st.Evicted == 0 || st.Saturations == 0 {
+		t.Fatalf("drop-oldest run never saturated/evicted (evicted=%d saturations=%d); shrink the drainer or raise the rate",
+			st.Evicted, st.Saturations)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("drop-oldest rejected %d records on an open queue", st.Rejected)
+	}
+	if shedSeen.Load() != int64(st.Shed) {
+		t.Fatalf("OnShed saw %d, queue counted %d", shedSeen.Load(), st.Shed)
+	}
+	// Eviction preserves relative order among survivors: each producer's
+	// drained sequence must be strictly increasing.
+	for p, seq := range drainedSeqs {
+		for i := 1; i < len(seq); i++ {
+			if seq[i] <= seq[i-1] {
+				t.Fatalf("producer %d drained out of order: %d after %d", p, seq[i], seq[i-1])
+			}
+		}
+	}
+}
+
 func TestQueueConfigValidation(t *testing.T) {
 	for name, cfg := range map[string]Config{
 		"zero-capacity": {},

@@ -6,6 +6,9 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -15,10 +18,43 @@ import (
 	"repro/internal/topology"
 )
 
+// Source is the engine surface the server reads: the serial
+// stream.Engine and the partitioned stream.Sharded both satisfy it, so
+// one daemon serves either without caring which it holds.
+type Source interface {
+	// LiveView returns a current or recent immutable view (never blocks
+	// behind ingest; see stream.Engine.LiveView).
+	LiveView() *stream.View
+	// Seq is the state-change counter views are compared against.
+	Seq() uint64
+	// Summary is the live top-level aggregate.
+	Summary() stream.Summary
+	// Shed is the total records lost to load shedding.
+	Shed() uint64
+	// DIMMs is the monitored device population (FIT denominator).
+	DIMMs() int
+}
+
+// Site is one federated fleet served by a multi-site daemon.
+type Site struct {
+	// ID names the site in /v1/sites URLs and per-site metrics.
+	ID string
+	// Source is the site's engine.
+	Source Source
+}
+
 // Config assembles a Server.
 type Config struct {
-	// Engine is the live clustering engine to serve (required).
+	// Engine is the live clustering engine to serve. Exactly one of
+	// Engine, Source, or Sites must be set; Engine and Source are the
+	// single-site arrangement (equivalent: Engine is a Source).
 	Engine *stream.Engine
+	// Source generalizes Engine (a sharded fleet, a test double).
+	Source Source
+	// Sites serves several federated fleets from one daemon: each gets
+	// site-scoped endpoints under /v1/sites/{id}/, and the legacy /v1
+	// endpoints become the cross-site rollup.
+	Sites []Site
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
 	// ScanStats, when set, supplies the ingest path's accounting for
@@ -54,35 +90,61 @@ type Config struct {
 // age) and X-Astra-Staleness-Records (how many records it trails by) —
 // stale data is served honestly, never silently.
 type Server struct {
-	e         *stream.Engine
+	sites     []*siteState
 	log       *slog.Logger
 	reg       *Registry
 	scanStats func() syslog.ScanStats
 	ovl       func() overload.Status
 	mux       *http.ServeMux
 
+	// merged caches the cross-site rollup view per fleet epoch (one
+	// merge per epoch, however many readers).
+	merged  atomic.Pointer[stream.View]
+	mergeMu sync.Mutex
+
+	cache       *respCache
+	cacheHits   *Counter
+	cacheMisses *Counter
+	cacheNotMod *Counter
+
 	maxConcurrent  int
 	requestTimeout time.Duration
 	maxStaleness   time.Duration
 }
 
-// New builds a server around an engine.
+// siteState is one served fleet.
+type siteState struct {
+	id  string
+	src Source
+}
+
+// New builds a server around an engine, a source, or a site set.
 func New(cfg Config) *Server {
 	log := cfg.Logger
 	if log == nil {
 		log = slog.Default()
 	}
 	s := &Server{
-		e:         cfg.Engine,
 		log:       log,
 		reg:       NewRegistry(),
 		scanStats: cfg.ScanStats,
 		ovl:       cfg.Overload,
 		mux:       http.NewServeMux(),
+		cache:     newRespCache(0),
 
 		maxConcurrent:  cfg.MaxConcurrent,
 		requestTimeout: cfg.RequestTimeout,
 		maxStaleness:   cfg.MaxStaleness,
+	}
+	switch {
+	case len(cfg.Sites) > 0:
+		for _, site := range cfg.Sites {
+			s.sites = append(s.sites, &siteState{id: site.ID, src: site.Source})
+		}
+	case cfg.Source != nil:
+		s.sites = []*siteState{{id: "default", src: cfg.Source}}
+	default:
+		s.sites = []*siteState{{id: "default", src: cfg.Engine}}
 	}
 	if s.maxConcurrent == 0 {
 		s.maxConcurrent = DefaultMaxConcurrent
@@ -93,12 +155,20 @@ func New(cfg Config) *Server {
 	if s.maxStaleness <= 0 {
 		s.maxStaleness = DefaultMaxStaleness
 	}
+	s.cacheHits = s.reg.NewCounter("astrad_cache_hits_total", "", "Cacheable GETs served from the epoch-keyed response cache.")
+	s.cacheMisses = s.reg.NewCounter("astrad_cache_misses_total", "", "Cacheable GETs that re-rendered (new epoch, new URL, or evicted entry).")
+	s.cacheNotMod = s.reg.NewCounter("astrad_cache_not_modified_total", "", "Cacheable GETs answered 304 via If-None-Match.")
 	s.registerMetrics()
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
-	s.route("GET /v1/faults", "/v1/faults", s.handleFaults)
-	s.route("GET /v1/breakdown", "/v1/breakdown", s.handleBreakdown)
-	s.route("GET /v1/fit", "/v1/fit", s.handleFIT)
-	s.route("GET /v1/nodes/{id}", "/v1/nodes/{id}", s.handleNode)
+	s.route("GET /v1/faults", "/v1/faults", s.cached(false, renderFaults))
+	s.route("GET /v1/breakdown", "/v1/breakdown", s.cached(false, renderBreakdown))
+	s.route("GET /v1/fit", "/v1/fit", s.cached(false, renderFIT))
+	s.route("GET /v1/nodes/{id}", "/v1/nodes/{id}", s.cached(false, renderNode))
+	s.route("GET /v1/sites", "/v1/sites", s.cached(false, s.renderSites))
+	s.route("GET /v1/sites/{site}/faults", "/v1/sites/{site}/faults", s.cached(true, renderFaults))
+	s.route("GET /v1/sites/{site}/breakdown", "/v1/sites/{site}/breakdown", s.cached(true, renderBreakdown))
+	s.route("GET /v1/sites/{site}/fit", "/v1/sites/{site}/fit", s.cached(true, renderFIT))
+	s.route("GET /v1/sites/{site}/nodes/{id}", "/v1/sites/{site}/nodes/{id}", s.cached(true, renderNode))
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	return s
 }
@@ -133,16 +203,149 @@ func (s *Server) route(pattern, path string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, recovered(s, panics, instrumented))
 }
 
-// liveView fetches the engine view to serve and stamps staleness
-// headers when it trails the engine (ingest busy: the stale view is
-// served rather than blocking the reader behind the engine mutex).
+// fleetSeq sums the per-site state counters: the rollup epoch.
+func (s *Server) fleetSeq() uint64 {
+	var seq uint64
+	for _, st := range s.sites {
+		seq += st.src.Seq()
+	}
+	return seq
+}
+
+// fleetDIMMs sums the per-site device populations.
+func (s *Server) fleetDIMMs() int {
+	d := 0
+	for _, st := range s.sites {
+		d += st.src.DIMMs()
+	}
+	return d
+}
+
+// fleetView returns the cross-site rollup view, rebuilt at most once per
+// fleet epoch (single-site daemons pass the site view through
+// untouched). Per-site views are the sites' own consistent cuts; the
+// rollup composes whatever cuts are current, and its Seq is their sum,
+// so it can only advance.
+func (s *Server) fleetView() *stream.View {
+	if len(s.sites) == 1 {
+		return s.sites[0].src.LiveView()
+	}
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	views := make([]*stream.View, len(s.sites))
+	var seq uint64
+	for i, st := range s.sites {
+		views[i] = st.src.LiveView()
+		seq += views[i].Seq
+	}
+	if m := s.merged.Load(); m != nil && m.Seq == seq {
+		return m
+	}
+	m := stream.MergeViews(s.fleetDIMMs(), views...)
+	s.merged.Store(m)
+	return m
+}
+
+// liveView fetches the fleet view to serve and stamps staleness headers
+// when it trails the engines (ingest busy: the stale view is served
+// rather than blocking the reader behind an engine mutex).
 func (s *Server) liveView(w http.ResponseWriter) *stream.View {
-	v := s.e.LiveView()
-	if lag := s.e.Seq() - v.Seq; lag > 0 {
+	v := s.fleetView()
+	if lag := s.fleetSeq() - v.Seq; lag > 0 {
 		w.Header().Set("X-Astra-Staleness", time.Since(v.BuiltAt).String())
 		w.Header().Set("X-Astra-Staleness-Records", strconv.FormatUint(lag, 10))
 	}
 	return v
+}
+
+// siteByID resolves a /v1/sites/{site}/ path segment.
+func (s *Server) siteByID(id string) *siteState {
+	for _, st := range s.sites {
+		if st.id == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// renderFunc produces one cacheable JSON response from an immutable
+// view: pure in the view, so the rendered bytes are valid for exactly
+// as long as the view's epoch.
+type renderFunc func(v *stream.View, dimms int, r *http.Request) (int, any)
+
+// cached wraps a renderFunc with the snapshot-keyed response layer:
+// the ETag is the view epoch, If-None-Match answers 304 without
+// rendering, and rendered 200 bodies are reused for every request at
+// the same (URL, epoch). siteScoped routes resolve {site} from the
+// path and serve that site's view; otherwise the fleet rollup view is
+// served with staleness headers.
+func (s *Server) cached(siteScoped bool, render renderFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var v *stream.View
+		var dimms int
+		if siteScoped {
+			site := s.siteByID(r.PathValue("site"))
+			if site == nil {
+				writeJSON(w, http.StatusNotFound, errorBody{"unknown site " + r.PathValue("site")})
+				return
+			}
+			v = site.src.LiveView()
+			if lag := site.src.Seq() - v.Seq; lag > 0 {
+				w.Header().Set("X-Astra-Staleness", time.Since(v.BuiltAt).String())
+				w.Header().Set("X-Astra-Staleness-Records", strconv.FormatUint(lag, 10))
+			}
+			dimms = site.src.DIMMs()
+		} else {
+			v = s.liveView(w)
+			dimms = s.fleetDIMMs()
+		}
+		etag := `"astra-` + strconv.FormatUint(v.Seq, 16) + `"`
+		h := w.Header()
+		h.Set("ETag", etag)
+		h.Set("Cache-Control", "no-cache")
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			s.cacheNotMod.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		key := r.URL.Path
+		if r.URL.RawQuery != "" {
+			key += "?" + r.URL.RawQuery
+		}
+		if ent, ok := s.cache.get(key, v.Seq); ok {
+			s.cacheHits.Inc()
+			h.Set("Content-Type", "application/json")
+			w.WriteHeader(ent.code)
+			_, _ = w.Write(ent.body)
+			return
+		}
+		s.cacheMisses.Inc()
+		code, payload := render(v, dimms, r)
+		body, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+			return
+		}
+		body = append(body, '\n')
+		s.cache.put(key, v.Seq, code, body)
+		h.Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_, _ = w.Write(body)
+	}
+}
+
+// etagMatch implements If-None-Match: a literal *, or any entity-tag in
+// the comma-separated list equal to the current tag.
+func etagMatch(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // registerMetrics wires the engine's rolling aggregates — and, when
@@ -150,7 +353,15 @@ func (s *Server) liveView(w http.ResponseWriter) *stream.View {
 // Values are read at scrape time, so /metrics always reflects the live
 // engine without a copy pipeline.
 func (s *Server) registerMetrics() {
-	sum := func() stream.Summary { return s.e.Summary() }
+	// Legacy series keep their unlabelled names and, on a multi-site
+	// daemon, report the all-sites aggregate; per-site series carry a
+	// site label alongside.
+	sum := func() stream.Summary {
+		if len(s.sites) == 1 {
+			return s.sites[0].src.Summary()
+		}
+		return s.fleetView().Summary
+	}
 	s.reg.NewCounterFunc("astrad_stream_records_total", "", "CE records ingested into the clustering engine.",
 		func() float64 { return float64(sum().Records) })
 	s.reg.NewCounterFunc("astrad_fault_escalations_total", "", "Observed per-bank fault-mode escalations.",
@@ -167,12 +378,30 @@ func (s *Server) registerMetrics() {
 	s.reg.NewGaugeFunc("astrad_window_ce_rate", "", "CE records per second over the rolling event-time window.",
 		func() float64 { return sum().WindowRate })
 	s.reg.NewCounterFunc("astrad_stream_shed_total", "", "CE records shed at admission and charged to the engine's degraded accounting.",
-		func() float64 { return float64(s.e.Shed()) })
+		func() float64 {
+			var n uint64
+			for _, st := range s.sites {
+				n += st.src.Shed()
+			}
+			return float64(n)
+		})
 	s.reg.NewGaugeFunc("astrad_view_lag_records", "", "State changes the currently served view trails the engine by.",
 		func() float64 {
-			v := s.e.LiveView()
-			return float64(s.e.Seq() - v.Seq)
+			v := s.fleetView()
+			return float64(s.fleetSeq() - v.Seq)
 		})
+	if len(s.sites) > 1 {
+		for _, st := range s.sites {
+			st := st
+			label := `site="` + st.id + `"`
+			s.reg.NewCounterFunc("astrad_site_records_total", label, "CE records ingested, by site.",
+				func() float64 { return float64(st.src.Summary().Records) })
+			s.reg.NewCounterFunc("astrad_site_shed_total", label, "Records shed, by site.",
+				func() float64 { return float64(st.src.Shed()) })
+			s.reg.NewGaugeFunc("astrad_site_faults", label, "Live fault count, by site.",
+				func() float64 { return float64(st.src.Summary().Faults) })
+		}
+	}
 
 	if s.ovl != nil {
 		ost := s.ovl
@@ -283,7 +512,7 @@ type healthResponse struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	v := s.liveView(w)
 	staleness := time.Since(v.BuiltAt)
-	lag := s.e.Seq() - v.Seq
+	lag := s.fleetSeq() - v.Seq
 	if lag == 0 {
 		staleness = 0 // current view: not stale, whatever its age
 	}
@@ -351,8 +580,8 @@ type faultsResponse struct {
 	Faults []faultView `json:"faults"`
 }
 
-func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	faults := s.liveView(w).Faults
+func renderFaults(v *stream.View, _ int, r *http.Request) (int, any) {
+	faults := v.Faults
 	if modeStr := r.URL.Query().Get("mode"); modeStr != "" {
 		mode := core.FaultMode(-1)
 		for m := core.FaultMode(0); m < core.NumFaultModes; m++ {
@@ -361,8 +590,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if mode < 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{"unknown mode " + modeStr})
-			return
+			return http.StatusBadRequest, errorBody{"unknown mode " + modeStr}
 		}
 		kept := faults[:0:0]
 		for _, f := range faults {
@@ -376,11 +604,48 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	for i, f := range faults {
 		views[i] = viewFault(f)
 	}
-	writeJSON(w, http.StatusOK, faultsResponse{Count: len(faults), Faults: views})
+	return http.StatusOK, faultsResponse{Count: len(faults), Faults: views}
 }
 
-func (s *Server) handleBreakdown(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.liveView(w).Summary)
+func renderBreakdown(v *stream.View, _ int, _ *http.Request) (int, any) {
+	return http.StatusOK, v.Summary
+}
+
+// siteInfo is one row of the /v1/sites inventory.
+type siteInfo struct {
+	ID          string    `json:"id"`
+	Records     int       `json:"records"`
+	Offered     int       `json:"offered"`
+	Shed        int       `json:"shed"`
+	Faults      int       `json:"faults"`
+	FaultyNodes int       `json:"faultyNodes"`
+	Last        time.Time `json:"last"`
+	Degraded    bool      `json:"degraded"`
+	Seq         uint64    `json:"seq"`
+}
+
+type sitesResponse struct {
+	Count int        `json:"count"`
+	Sites []siteInfo `json:"sites"`
+}
+
+func (s *Server) renderSites(_ *stream.View, _ int, _ *http.Request) (int, any) {
+	resp := sitesResponse{Count: len(s.sites), Sites: make([]siteInfo, 0, len(s.sites))}
+	for _, st := range s.sites {
+		v := st.src.LiveView()
+		resp.Sites = append(resp.Sites, siteInfo{
+			ID:          st.id,
+			Records:     v.Summary.Records,
+			Offered:     v.Summary.Offered,
+			Shed:        v.Summary.Shed,
+			Faults:      v.Summary.Faults,
+			FaultyNodes: v.Summary.FaultyNodes,
+			Last:        v.Summary.Last,
+			Degraded:    v.Summary.Degraded,
+			Seq:         v.Seq,
+		})
+	}
+	return http.StatusOK, resp
 }
 
 // fitResponse pairs the rolling windowed estimate with the rate over the
@@ -393,36 +658,33 @@ type fitResponse struct {
 	SpanSeconds float64         `json:"spanSeconds"`
 }
 
-func (s *Server) handleFIT(w http.ResponseWriter, r *http.Request) {
-	v := s.liveView(w)
+func renderFIT(v *stream.View, dimms int, _ *http.Request) (int, any) {
 	sum := v.Summary
 	span := time.Duration(0)
 	if !sum.First.IsZero() {
 		span = sum.Last.Sub(sum.First)
 	}
-	writeJSON(w, http.StatusOK, fitResponse{
+	return http.StatusOK, fitResponse{
 		Windowed:    v.FIT,
-		Overall:     v.FaultRates(s.e.Config().DIMMs, span),
+		Overall:     v.FaultRates(dimms, span),
 		SpanSeconds: span.Seconds(),
-	})
+	}
 }
 
-func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+func renderNode(v *stream.View, _ int, r *http.Request) (int, any) {
 	id, err := topology.ParseNodeID(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
-		return
+		return http.StatusBadRequest, errorBody{err.Error()}
 	}
-	st, ok := s.liveView(w).NodeStatus(id)
+	st, ok := v.NodeStatus(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{"no records from node " + id.String()})
-		return
+		return http.StatusNotFound, errorBody{"no records from node " + id.String()}
 	}
 	views := make([]faultView, len(st.Faults))
 	for i, f := range st.Faults {
 		views[i] = viewFault(f)
 	}
-	writeJSON(w, http.StatusOK, nodeResponse{
+	return http.StatusOK, nodeResponse{
 		Node:        st.Node.String(),
 		CEs:         st.CEs,
 		First:       st.First,
@@ -430,7 +692,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		WindowCount: st.WindowCount,
 		WindowRate:  st.WindowRate,
 		Faults:      views,
-	})
+	}
 }
 
 // nodeResponse is stream.NodeStatus in operator-facing form: the node as

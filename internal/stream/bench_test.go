@@ -51,6 +51,44 @@ func BenchmarkStreamIngestBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedIngestBatch measures partition-parallel micro-batched
+// ingest at several partition counts (1 = the fan-out overhead floor).
+func BenchmarkShardedIngestBatch(b *testing.B) {
+	ds := fixture(b)
+	recs := ds.CERecords
+	for _, parts := range []int{1, 4, 8} {
+		b.Run("parts"+string(rune('0'+parts)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := stream.NewSharded(stream.ShardedConfig{Partitions: parts})
+				s.IngestBatch(recs)
+				s.Summary()
+			}
+			b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// BenchmarkShardedFanin measures the fleet-view merge (the aggregation
+// tier's full cost: lock all partitions, merge summaries, k-way merge
+// fault lists, rebuild node map) against warm fleets of varying width.
+func BenchmarkShardedFanin(b *testing.B) {
+	ds := fixture(b)
+	for _, parts := range []int{1, 4, 8} {
+		s := stream.NewSharded(stream.ShardedConfig{Partitions: parts, Engine: stream.Config{DIMMs: 48 * topology.SlotsPerNode}})
+		s.IngestBatch(ds.CERecords)
+		s.Summary()
+		b.Run("parts"+string(rune('0'+parts)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v := s.BuildView(); len(v.Faults) == 0 {
+					b.Fatal("empty fleet view")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamSnapshot measures the full-fault-list query against a
 // warm engine with a clean cache (the serving path's worst read).
 func BenchmarkStreamSnapshot(b *testing.B) {

@@ -18,6 +18,13 @@
 // (single-bank) as more errors arrive. The engine re-derives each bank's
 // classification lazily — banks are marked dirty on ingest and
 // reclassified on the next query — and counts observed escalations.
+//
+// The per-record path is built for multi-million records/s on one core:
+// bank and node lookups go through dense slices and short per-node ref
+// lists instead of hashed maps (a packed integer key with a map fallback
+// keeps exotic slot/node values exact), the dirty set is a flag on the
+// bank entry plus an index list, and the rolling rate windows advance in
+// O(1). Sharded (sharded.go) stacks partition parallelism on top.
 package stream
 
 import (
@@ -60,12 +67,51 @@ type Config struct {
 	Parallelism int
 }
 
-// nodeState is the per-node rolling view.
-type nodeState struct {
-	ces         int
-	first, last time.Time
-	rw          *stats.RateWindow
+// bankRef is a per-node reference to one bank entry: the packed
+// (slot, rank, bank) key and the index into Engine.entries.
+type bankRef struct {
+	pk  uint64
+	idx int32
 }
+
+// bankEntry is one bank's live state: accumulated errors, the cached
+// classification, and the global index of the bank's first record (the
+// fan-in merge key — partition snapshots interleave by it).
+type bankEntry struct {
+	key      core.BankKey
+	state    *core.BankState
+	faults   []core.Fault
+	firstIdx int
+	dirty    bool
+}
+
+// nodeState is the per-node rolling view. firstSec/lastSec shadow
+// first/last at second resolution so the hot path compares integers and
+// only falls back to time.Time ordering on equal seconds.
+type nodeState struct {
+	node              topology.NodeID
+	ces               int
+	first, last       time.Time
+	firstSec, lastSec int64
+	rw                stats.RateWindow
+	// slots is the bitmask of faulted DIMM slots (slot values 0..63; the
+	// engine-level dimmOver set holds anything outside).
+	slots uint64
+	// banks lists this node's bank entries in first-appearance order; a
+	// linear scan beats a map at realistic per-node bank counts, and
+	// bankMap takes over past linearBankScan entries.
+	banks   []bankRef
+	bankMap map[uint64]int32
+}
+
+// linearBankScan is the per-node bank count above which lookups switch
+// from a linear ref scan to a map. Real nodes carry a handful of faulty
+// banks; the map path only matters for corrupted or adversarial inputs.
+const linearBankScan = 16
+
+// maxDenseNode bounds the dense NodeID -> state index table; ids outside
+// [0, maxDenseNode) fall back to a map and stay exact.
+const maxDenseNode = 1 << 20
 
 // Engine is the incremental clustering engine. All methods are safe for
 // concurrent use: ingest and queries serialize on one mutex (queries may
@@ -76,27 +122,44 @@ type Engine struct {
 
 	// records is every ingested CE in arrival order; fault Errors index
 	// into it. It grows for the lifetime of the engine, like the input
-	// slice of a batch run.
-	records []mce.CERecord
+	// slice of a batch run. When the engine is a shard of a Sharded
+	// fleet (indexed), gidx carries each record's global arrival index
+	// (drawn from the fleet's globalIdx counter) and fault Errors use
+	// those instead.
+	records   []mce.CERecord
+	gidx      []int
+	indexed   bool
+	globalIdx *atomic.Int64
 
-	banks map[core.BankKey]*core.BankState
-	order []core.BankKey // first-appearance order, as in batch Cluster
+	// entries holds every bank in first-appearance order (what the batch
+	// clusterer's output order is defined by); bankPacked maps packed
+	// (node, slot, rank, bank) keys to entry indices for the merge path,
+	// and bankOverflow catches keys whose fields do not pack.
+	entries      []bankEntry
+	bankOverflow map[core.BankKey]int32
+	dirtyIdx     []int32
 
-	// dirty marks banks touched since their last classification; cache
-	// holds each bank's current fault list; the aggregate counters below
-	// are maintained by delta on reclassification.
-	dirty        map[core.BankKey]struct{}
-	cache        map[core.BankKey][]core.Fault
 	nFaults      int
 	faultsByMode [core.NumFaultModes]int
 	errorsByMode [core.NumFaultModes]int
 	escalations  int
 
-	perNode map[topology.NodeID]*nodeState
-	dimms   map[[2]int32]struct{} // distinct (node, slot) with ≥1 fault
-	rate    *stats.RateWindow
-	first   time.Time
-	last    time.Time
+	// nodeIdx densely maps NodeID to an index in nodeStates (-1 = none);
+	// nodeOver covers ids outside the dense range.
+	nodeIdx    []int32
+	nodeOver   map[topology.NodeID]int32
+	nodeStates []nodeState
+
+	// nDIMMs counts distinct (node, slot) pairs with ≥1 fault; dimmOver
+	// holds pairs whose slot does not fit the per-node bitmask.
+	nDIMMs   int
+	dimmOver map[[2]int64]struct{}
+
+	rate              stats.RateWindow
+	first             time.Time
+	last              time.Time
+	firstSec, lastSec int64
+	tStarted          bool
 
 	// seq counts state changes (records made visible plus shed
 	// notifications) and is readable without the mutex; view caches the
@@ -119,14 +182,187 @@ func New(cfg Config) *Engine {
 	if cfg.RateBuckets <= 0 {
 		cfg.RateBuckets = DefaultRateBuckets
 	}
-	return &Engine{
-		cfg:     cfg,
-		banks:   map[core.BankKey]*core.BankState{},
-		dirty:   map[core.BankKey]struct{}{},
-		cache:   map[core.BankKey][]core.Fault{},
-		perNode: map[topology.NodeID]*nodeState{},
-		dimms:   map[[2]int32]struct{}{},
-		rate:    stats.NewRateWindow(cfg.Window, cfg.RateBuckets),
+	e := &Engine{cfg: cfg}
+	e.rate.Init(cfg.Window, cfg.RateBuckets)
+	if cfg.DIMMs > 0 {
+		// The device population bounds the node population; presizing the
+		// node tables turns their growth copies into one allocation.
+		est := cfg.DIMMs/topology.SlotsPerNode + 1
+		e.nodeStates = make([]nodeState, 0, est)
+		e.nodeIdx = make([]int32, est)
+		for i := range e.nodeIdx {
+			e.nodeIdx[i] = -1
+		}
+	}
+	return e
+}
+
+// newShard returns a partition engine of a Sharded fleet: records carry
+// global arrival indices drawn from counter, so fault Errors and the
+// fan-in merge order are identical to a serial engine over the merged
+// stream.
+func newShard(cfg Config, counter *atomic.Int64) *Engine {
+	e := New(cfg)
+	e.indexed = true
+	e.globalIdx = counter
+	return e
+}
+
+// nextGlobal reserves n consecutive global arrival indices and returns
+// the first.
+func (e *Engine) nextGlobal(n int) int {
+	return int(e.globalIdx.Add(int64(n))) - n
+}
+
+// ingestIndexed folds a micro-batch into an indexed shard with
+// caller-assigned global indices (gs[i] is rs[i]'s fleet arrival index;
+// both ascend). The Sharded fan-out uses this so every record keeps the
+// index a serial engine would have given it.
+func (e *Engine) ingestIndexed(gs []int, rs []mce.CERecord) {
+	if len(rs) == 0 {
+		return
+	}
+	e.mu.Lock()
+	base := len(e.records)
+	e.records = append(e.records, rs...)
+	e.gidx = append(e.gidx, gs...)
+	for i := range rs {
+		e.ingestRecord(gs[i], &e.records[base+i])
+	}
+	e.seq.Add(uint64(len(rs)))
+	e.mu.Unlock()
+}
+
+// packBank packs (slot, rank, bank) into the per-node bank key; ok is
+// false when slot falls outside the packable range (exotic inputs take
+// the exact bankOverflow path instead).
+func packBank(slot topology.Slot, rank, bank int) (uint64, bool) {
+	if slot < 0 || uint64(slot) >= 1<<44 {
+		return 0, false
+	}
+	return uint64(slot)<<16 | uint64(uint8(rank))<<8 | uint64(uint8(bank)), true
+}
+
+// ensureNode returns the nodeStates index for id, creating an empty state
+// on first sight. The returned index is stable; pointers into nodeStates
+// are not (appends may move the backing array).
+func (e *Engine) ensureNode(id topology.NodeID) int32 {
+	if i := int(id); i >= 0 && i < maxDenseNode {
+		if i >= len(e.nodeIdx) {
+			n := i + 1
+			if d := 2 * len(e.nodeIdx); d > n {
+				n = d
+			}
+			if n < 64 {
+				n = 64
+			}
+			if n > maxDenseNode {
+				n = maxDenseNode
+			}
+			grown := make([]int32, n)
+			copy(grown, e.nodeIdx)
+			for j := len(e.nodeIdx); j < len(grown); j++ {
+				grown[j] = -1
+			}
+			e.nodeIdx = grown
+		}
+		if idx := e.nodeIdx[i]; idx >= 0 {
+			return idx
+		}
+		idx := e.newNodeState(id)
+		e.nodeIdx[i] = idx
+		return idx
+	}
+	if idx, ok := e.nodeOver[id]; ok {
+		return idx
+	}
+	if e.nodeOver == nil {
+		e.nodeOver = map[topology.NodeID]int32{}
+	}
+	idx := e.newNodeState(id)
+	e.nodeOver[id] = idx
+	return idx
+}
+
+func (e *Engine) newNodeState(id topology.NodeID) int32 {
+	idx := int32(len(e.nodeStates))
+	e.nodeStates = append(e.nodeStates, nodeState{node: id})
+	e.nodeStates[idx].rw.Init(e.cfg.Window, e.cfg.RateBuckets)
+	return idx
+}
+
+// ensureBank returns the entry index for the bank the record belongs to,
+// creating the entry (and its DIMM accounting) on first sight. g is the
+// record's global arrival index, the entry's firstIdx when new.
+func (e *Engine) ensureBank(rec *mce.CERecord, nsIdx int32, g int) int32 {
+	pk, ok := packBank(rec.Slot, rec.Rank, rec.Bank)
+	if !ok {
+		return e.ensureBankOverflow(rec, nsIdx, g)
+	}
+	ns := &e.nodeStates[nsIdx]
+	if ns.bankMap != nil {
+		if idx, ok := ns.bankMap[pk]; ok {
+			return idx
+		}
+	} else {
+		for i := range ns.banks {
+			if ns.banks[i].pk == pk {
+				return ns.banks[i].idx
+			}
+		}
+	}
+	idx := e.addEntry(core.RecordBankKey(rec), g)
+	ns = &e.nodeStates[nsIdx] // addEntry does not touch nodeStates, but stay safe
+	ns.banks = append(ns.banks, bankRef{pk: pk, idx: idx})
+	if ns.bankMap != nil {
+		ns.bankMap[pk] = idx
+	} else if len(ns.banks) > linearBankScan {
+		ns.bankMap = make(map[uint64]int32, 2*len(ns.banks))
+		for _, ref := range ns.banks {
+			ns.bankMap[ref.pk] = ref.idx
+		}
+	}
+	e.noteDIMM(rec.Node, int64(rec.Slot), ns)
+	return idx
+}
+
+func (e *Engine) ensureBankOverflow(rec *mce.CERecord, nsIdx int32, g int) int32 {
+	key := core.RecordBankKey(rec)
+	if idx, ok := e.bankOverflow[key]; ok {
+		return idx
+	}
+	if e.bankOverflow == nil {
+		e.bankOverflow = map[core.BankKey]int32{}
+	}
+	idx := e.addEntry(key, g)
+	e.bankOverflow[key] = idx
+	e.noteDIMM(rec.Node, int64(rec.Slot), &e.nodeStates[nsIdx])
+	return idx
+}
+
+func (e *Engine) addEntry(key core.BankKey, g int) int32 {
+	idx := int32(len(e.entries))
+	e.entries = append(e.entries, bankEntry{key: key, state: core.NewBankState(), firstIdx: g, dirty: true})
+	e.dirtyIdx = append(e.dirtyIdx, idx)
+	return idx
+}
+
+// noteDIMM counts the (node, slot) pair once.
+func (e *Engine) noteDIMM(node topology.NodeID, slot int64, ns *nodeState) {
+	if slot >= 0 && slot < 64 {
+		if bit := uint64(1) << uint(slot); ns.slots&bit == 0 {
+			ns.slots |= bit
+			e.nDIMMs++
+		}
+		return
+	}
+	key := [2]int64{int64(node), slot}
+	if _, ok := e.dimmOver[key]; !ok {
+		if e.dimmOver == nil {
+			e.dimmOver = map[[2]int64]struct{}{}
+		}
+		e.dimmOver[key] = struct{}{}
+		e.nDIMMs++
 	}
 }
 
@@ -143,43 +379,61 @@ func (e *Engine) Ingest(r mce.CERecord) {
 func (e *Engine) ingestLocked(r mce.CERecord) {
 	i := len(e.records)
 	e.records = append(e.records, r)
-	rec := &e.records[i]
-	key := core.RecordBankKey(rec)
-	bank, ok := e.banks[key]
-	if !ok {
-		bank = core.NewBankState()
-		e.banks[key] = bank
-		e.order = append(e.order, key)
-		e.dimms[[2]int32{int32(key.Node), int32(key.Slot)}] = struct{}{}
+	g := i
+	if e.indexed {
+		// Non-sharded entry points on an indexed shard keep gidx dense.
+		g = e.nextGlobal(1)
+		e.gidx = append(e.gidx, g)
 	}
-	bank.Add(i, rec)
-	e.dirty[key] = struct{}{}
-	e.scalars(rec)
+	e.ingestRecord(g, &e.records[i])
 }
 
-// scalars maintains the per-record rolling aggregates (everything except
-// the bank state itself).
-func (e *Engine) scalars(r *mce.CERecord) {
-	ns, ok := e.perNode[r.Node]
-	if !ok {
-		ns = &nodeState{first: r.Time, last: r.Time,
-			rw: stats.NewRateWindow(e.cfg.Window, e.cfg.RateBuckets)}
-		e.perNode[r.Node] = ns
+// ingestRecord is the per-record hot path. g is the record's global
+// arrival index (equal to its position in e.records unless the engine is
+// an indexed shard).
+func (e *Engine) ingestRecord(g int, rec *mce.CERecord) {
+	nsIdx := e.ensureNode(rec.Node)
+	entIdx := e.ensureBank(rec, nsIdx, g)
+	ent := &e.entries[entIdx]
+	ent.state.Add(g, rec)
+	if !ent.dirty {
+		ent.dirty = true
+		e.dirtyIdx = append(e.dirtyIdx, entIdx)
+	}
+	e.noteScalars(nsIdx, rec)
+}
+
+// noteScalars maintains the per-record rolling aggregates (everything
+// except the bank state itself).
+func (e *Engine) noteScalars(nsIdx int32, rec *mce.CERecord) {
+	sec := rec.Time.Unix()
+	nano := rec.Time.UnixNano()
+	ns := &e.nodeStates[nsIdx]
+	if ns.ces == 0 {
+		ns.first, ns.last = rec.Time, rec.Time
+		ns.firstSec, ns.lastSec = sec, sec
+	} else {
+		if sec < ns.firstSec || (sec == ns.firstSec && rec.Time.Before(ns.first)) {
+			ns.firstSec, ns.first = sec, rec.Time
+		}
+		if sec > ns.lastSec || (sec == ns.lastSec && rec.Time.After(ns.last)) {
+			ns.lastSec, ns.last = sec, rec.Time
+		}
 	}
 	ns.ces++
-	if r.Time.Before(ns.first) {
-		ns.first = r.Time
+	ns.rw.AddNano(nano)
+	e.rate.AddNano(nano)
+	if !e.tStarted {
+		e.tStarted = true
+		e.first, e.last = rec.Time, rec.Time
+		e.firstSec, e.lastSec = sec, sec
+		return
 	}
-	if r.Time.After(ns.last) {
-		ns.last = r.Time
+	if sec < e.firstSec || (sec == e.firstSec && rec.Time.Before(e.first)) {
+		e.firstSec, e.first = sec, rec.Time
 	}
-	ns.rw.Add(r.Time)
-	e.rate.Add(r.Time)
-	if e.first.IsZero() || r.Time.Before(e.first) {
-		e.first = r.Time
-	}
-	if r.Time.After(e.last) {
-		e.last = r.Time
+	if sec > e.lastSec || (sec == e.lastSec && rec.Time.After(e.last)) {
+		e.lastSec, e.last = sec, rec.Time
 	}
 }
 
@@ -200,20 +454,27 @@ func (e *Engine) IngestBatch(rs []mce.CERecord) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	defer e.seq.Add(uint64(len(rs)))
+	base := len(e.records)
+	e.records = append(e.records, rs...)
+	gbase := base
+	if e.indexed {
+		gbase = e.nextGlobal(len(rs))
+		for i := range rs {
+			e.gidx = append(e.gidx, gbase+i)
+		}
+	}
 	workers := parallel.Workers(e.cfg.Parallelism)
 	if workers <= 1 || len(rs) < 2*minBatchShard {
 		for i := range rs {
-			e.ingestLocked(rs[i])
+			e.ingestRecord(gbase+i, &e.records[base+i])
 		}
 		return
 	}
 
-	base := len(e.records)
-	e.records = append(e.records, rs...)
-
 	type part struct {
-		banks map[core.BankKey]*core.BankState
-		order []core.BankKey
+		banks    map[core.BankKey]*core.BankState
+		order    []core.BankKey
+		firstIdx []int
 	}
 	shards := parallel.NumChunks(workers, len(rs))
 	parts := make([]part, shards)
@@ -227,38 +488,91 @@ func (e *Engine) IngestBatch(rs []mce.CERecord) {
 				bank = core.NewBankState()
 				p.banks[key] = bank
 				p.order = append(p.order, key)
+				p.firstIdx = append(p.firstIdx, gbase+i)
 			}
-			bank.Add(base+i, rec)
+			bank.Add(gbase+i, rec)
 		}
 		parts[shard] = p
 	})
 	for _, p := range parts {
-		for _, key := range p.order {
-			bank, ok := e.banks[key]
+		for j, key := range p.order {
+			nsIdx := e.ensureNode(key.Node)
+			entIdx, ok := e.findBank(key, nsIdx)
 			if !ok {
-				e.banks[key] = p.banks[key]
-				e.order = append(e.order, key)
-				e.dimms[[2]int32{int32(key.Node), int32(key.Slot)}] = struct{}{}
+				entIdx = e.insertBank(key, nsIdx, p.firstIdx[j])
+				e.entries[entIdx].state = p.banks[key]
 			} else {
-				bank.Merge(p.banks[key])
+				ent := &e.entries[entIdx]
+				ent.state.Merge(p.banks[key])
+				if !ent.dirty {
+					ent.dirty = true
+					e.dirtyIdx = append(e.dirtyIdx, entIdx)
+				}
 			}
-			e.dirty[key] = struct{}{}
 		}
 	}
 	for i := base; i < len(e.records); i++ {
-		e.scalars(&e.records[i])
+		rec := &e.records[i]
+		e.noteScalars(e.ensureNode(rec.Node), rec)
 	}
+}
+
+// findBank looks a bank up without creating it.
+func (e *Engine) findBank(key core.BankKey, nsIdx int32) (int32, bool) {
+	pk, ok := packBank(key.Slot, int(key.Rank), int(key.Bank))
+	if !ok {
+		idx, ok := e.bankOverflow[key]
+		return idx, ok
+	}
+	ns := &e.nodeStates[nsIdx]
+	if ns.bankMap != nil {
+		idx, ok := ns.bankMap[pk]
+		return idx, ok
+	}
+	for i := range ns.banks {
+		if ns.banks[i].pk == pk {
+			return ns.banks[i].idx, true
+		}
+	}
+	return 0, false
+}
+
+// insertBank creates a bank entry for key (which findBank just missed),
+// with an empty state the caller replaces or merges into.
+func (e *Engine) insertBank(key core.BankKey, nsIdx int32, firstIdx int) int32 {
+	idx := e.addEntry(key, firstIdx)
+	pk, ok := packBank(key.Slot, int(key.Rank), int(key.Bank))
+	if !ok {
+		if e.bankOverflow == nil {
+			e.bankOverflow = map[core.BankKey]int32{}
+		}
+		e.bankOverflow[key] = idx
+	} else {
+		ns := &e.nodeStates[nsIdx]
+		ns.banks = append(ns.banks, bankRef{pk: pk, idx: idx})
+		if ns.bankMap != nil {
+			ns.bankMap[pk] = idx
+		} else if len(ns.banks) > linearBankScan {
+			ns.bankMap = make(map[uint64]int32, 2*len(ns.banks))
+			for _, ref := range ns.banks {
+				ns.bankMap[ref.pk] = ref.idx
+			}
+		}
+	}
+	e.noteDIMM(key.Node, int64(key.Slot), &e.nodeStates[nsIdx])
+	return idx
 }
 
 // reclassify re-derives the fault lists of dirty banks and updates the
 // aggregate counters by delta. Caller holds e.mu.
 func (e *Engine) reclassify() {
-	if len(e.dirty) == 0 {
+	if len(e.dirtyIdx) == 0 {
 		return
 	}
-	for key := range e.dirty {
-		old := e.cache[key]
-		fs := e.banks[key].AppendFaults(nil, key, e.cfg.Cluster)
+	for _, entIdx := range e.dirtyIdx {
+		ent := &e.entries[entIdx]
+		old := ent.faults
+		fs := ent.state.AppendFaults(nil, ent.key, e.cfg.Cluster)
 		oldMax, newMax := -1, -1
 		for i := range old {
 			f := &old[i]
@@ -283,9 +597,10 @@ func (e *Engine) reclassify() {
 		if oldMax >= 0 && newMax > oldMax {
 			e.escalations++
 		}
-		e.cache[key] = fs
-		delete(e.dirty, key)
+		ent.faults = fs
+		ent.dirty = false
 	}
+	e.dirtyIdx = e.dirtyIdx[:0]
 }
 
 // Snapshot returns the full fault list over everything ingested so far —
@@ -301,12 +616,12 @@ func (e *Engine) Snapshot() []core.Fault {
 
 func (e *Engine) snapshotLocked() []core.Fault {
 	e.reclassify()
-	if len(e.order) == 0 {
+	if len(e.entries) == 0 {
 		return nil
 	}
 	out := make([]core.Fault, 0, e.nFaults)
-	for _, key := range e.order {
-		out = append(out, e.cache[key]...)
+	for i := range e.entries {
+		out = append(out, e.entries[i].faults...)
 	}
 	return out
 }
@@ -373,9 +688,9 @@ func (e *Engine) summaryLocked() Summary {
 		Records:      len(e.records),
 		First:        e.first,
 		Last:         e.last,
-		Banks:        len(e.order),
-		FaultyDIMMs:  len(e.dimms),
-		FaultyNodes:  len(e.perNode),
+		Banks:        len(e.entries),
+		FaultyDIMMs:  e.nDIMMs,
+		FaultyNodes:  len(e.nodeStates),
 		Faults:       e.nFaults,
 		FaultsByMode: e.faultsByMode,
 		ErrorsByMode: e.errorsByMode,
@@ -409,6 +724,10 @@ func (e *Engine) Shed() uint64 { return e.shed.Load() }
 // record made visible and every shed notification, without taking the
 // engine mutex. View staleness is measured against it.
 func (e *Engine) Seq() uint64 { return e.seq.Load() }
+
+// DIMMs returns the configured monitored device population (the FIT
+// denominator).
+func (e *Engine) DIMMs() int { return e.cfg.DIMMs }
 
 // FaultRates converts the current fault population into FIT/DIMM over the
 // given window, exactly as core.AnalyzeFaultRates does over a batch
@@ -444,24 +763,27 @@ type WindowedFIT struct {
 func (e *Engine) WindowedFIT() WindowedFIT {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.windowedFITLocked()
+	return e.windowedFITLocked(e.last, e.cfg.DIMMs)
 }
 
-func (e *Engine) windowedFITLocked() WindowedFIT {
+// windowedFITLocked computes the estimate with an explicit window end and
+// DIMM population: the fan-in tier evaluates every partition at the
+// fleet-wide newest event time so partition sums equal the serial answer.
+func (e *Engine) windowedFITLocked(end time.Time, dimms int) WindowedFIT {
 	e.reclassify()
-	w := WindowedFIT{Window: e.cfg.Window, End: e.last}
+	w := WindowedFIT{Window: e.cfg.Window, End: end}
 	if e.shed.Load() > 0 {
 		// Shed records mean the fault population undercounts.
 		w.Degraded = true
 	}
-	if e.last.IsZero() || e.cfg.DIMMs <= 0 {
+	if end.IsZero() || dimms <= 0 {
 		w.Degraded = true
 		return w
 	}
-	cut := e.last.Add(-e.cfg.Window)
-	for _, key := range e.order {
-		for i := range e.cache[key] {
-			f := &e.cache[key][i]
+	cut := end.Add(-e.cfg.Window)
+	for i := range e.entries {
+		for j := range e.entries[i].faults {
+			f := &e.entries[i].faults[j]
 			if f.First.After(cut) {
 				w.NewFaults++
 			}
@@ -472,7 +794,7 @@ func (e *Engine) windowedFITLocked() WindowedFIT {
 	}
 	hours := e.cfg.Window.Hours()
 	if hours > 0 {
-		w.FITPerDIMM = float64(w.NewFaults) / (float64(e.cfg.DIMMs) * hours) * 1e9
+		w.FITPerDIMM = float64(w.NewFaults) / (float64(dimms) * hours) * 1e9
 	}
 	return w
 }
@@ -497,25 +819,54 @@ type NodeStatus struct {
 func (e *Engine) NodeStatus(id topology.NodeID) (NodeStatus, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ns, ok := e.perNode[id]
+	return e.nodeStatusLocked(id, e.last)
+}
+
+// nodeStatusLocked is NodeStatus with an explicit window end (the fleet's
+// newest event time when the engine is a shard).
+func (e *Engine) nodeStatusLocked(id topology.NodeID, end time.Time) (NodeStatus, bool) {
+	nsIdx, ok := e.lookupNode(id)
 	if !ok {
 		return NodeStatus{}, false
 	}
 	e.reclassify()
+	ns := &e.nodeStates[nsIdx]
 	st := NodeStatus{
 		Node:        id,
 		CEs:         ns.ces,
 		First:       ns.first,
 		Last:        ns.last,
-		WindowCount: ns.rw.Count(e.last),
-		WindowRate:  ns.rw.Rate(e.last),
+		WindowCount: ns.rw.Count(end),
+		WindowRate:  ns.rw.Rate(end),
 	}
-	for _, key := range e.order {
-		if key.Node == id {
-			st.Faults = append(st.Faults, e.cache[key]...)
+	if e.bankOverflow == nil {
+		// ns.banks indexes this node's entries in first-appearance order, a
+		// subsequence of the global entry order.
+		for _, ref := range ns.banks {
+			st.Faults = append(st.Faults, e.entries[ref.idx].faults...)
+		}
+	} else {
+		// Overflow banks are absent from ns.banks; the full entry scan
+		// keeps first-appearance order exact (exotic inputs only).
+		for i := range e.entries {
+			if e.entries[i].key.Node == id {
+				st.Faults = append(st.Faults, e.entries[i].faults...)
+			}
 		}
 	}
 	return st, true
+}
+
+// lookupNode returns the nodeStates index for id without creating it.
+func (e *Engine) lookupNode(id topology.NodeID) (int32, bool) {
+	if i := int(id); i >= 0 && i < maxDenseNode {
+		if i < len(e.nodeIdx) && e.nodeIdx[i] >= 0 {
+			return e.nodeIdx[i], true
+		}
+		return 0, false
+	}
+	idx, ok := e.nodeOver[id]
+	return idx, ok
 }
 
 // Config returns the engine's effective configuration (defaults applied).

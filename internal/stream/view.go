@@ -50,6 +50,90 @@ func (v *View) FaultRates(dimms int, window time.Duration) core.FaultRates {
 	return core.AnalyzeFaultRates(v.Faults, dimms, window)
 }
 
+// MergeViews composes per-site views into one cross-site rollup: counts
+// and fault lists are summed/concatenated (sites are disjoint fleets),
+// time bounds are min/max, and the FIT estimate is rescaled to the
+// combined DIMM population. Seq is the sum of the input seqs, so the
+// rollup epoch advances whenever any site's does. A single input is
+// returned as-is. Unlike the sharded fan-in (one fleet, one arrival
+// order, bit-exact), a rollup is a composition of independently-evolving
+// sites: each input is that site's consistent cut, and node entries
+// colliding across sites (reused IDs) are summed.
+func MergeViews(dimms int, vs ...*View) *View {
+	if len(vs) == 1 {
+		return vs[0]
+	}
+	nNodes := 0
+	for _, v := range vs {
+		nNodes += len(v.nodes)
+	}
+	m := &View{
+		BuiltAt: time.Now(),
+		nodes:   make(map[topology.NodeID]NodeStatus, nNodes),
+	}
+	for _, v := range vs {
+		m.Seq += v.Seq
+		s, sum := &m.Summary, v.Summary
+		s.Records += sum.Records
+		s.Banks += sum.Banks
+		s.FaultyDIMMs += sum.FaultyDIMMs
+		s.FaultyNodes += sum.FaultyNodes
+		s.Faults += sum.Faults
+		for mode := range sum.FaultsByMode {
+			s.FaultsByMode[mode] += sum.FaultsByMode[mode]
+			s.ErrorsByMode[mode] += sum.ErrorsByMode[mode]
+		}
+		s.Escalations += sum.Escalations
+		s.WindowCount += sum.WindowCount
+		s.WindowRate += sum.WindowRate
+		s.Shed += sum.Shed
+		s.Offered += sum.Offered
+		s.Degraded = s.Degraded || sum.Degraded
+		if s.Window == 0 {
+			s.Window = sum.Window
+		}
+		if !sum.First.IsZero() && (s.First.IsZero() || sum.First.Before(s.First)) {
+			s.First = sum.First
+		}
+		if sum.Last.After(s.Last) {
+			s.Last = sum.Last
+		}
+		m.Faults = append(m.Faults, v.Faults...)
+		f := &m.FIT
+		f.NewFaults += v.FIT.NewFaults
+		f.ActiveFaults += v.FIT.ActiveFaults
+		f.Degraded = f.Degraded || v.FIT.Degraded
+		if f.Window == 0 {
+			f.Window = v.FIT.Window
+		}
+		if v.FIT.End.After(f.End) {
+			f.End = v.FIT.End
+		}
+		for id, ns := range v.nodes {
+			if prev, ok := m.nodes[id]; ok {
+				prev.CEs += ns.CEs
+				prev.WindowCount += ns.WindowCount
+				prev.WindowRate += ns.WindowRate
+				if !ns.First.IsZero() && (prev.First.IsZero() || ns.First.Before(prev.First)) {
+					prev.First = ns.First
+				}
+				if ns.Last.After(prev.Last) {
+					prev.Last = ns.Last
+				}
+				m.nodes[id] = prev
+			} else {
+				m.nodes[id] = ns
+			}
+		}
+	}
+	if hours := m.FIT.Window.Hours(); hours > 0 && dimms > 0 && !m.FIT.End.IsZero() {
+		m.FIT.FITPerDIMM = float64(m.FIT.NewFaults) / (float64(dimms) * hours) * 1e9
+	} else {
+		m.FIT.Degraded = true
+	}
+	return m
+}
+
 // LiveView returns a current or recent View. If the cached view is
 // current it is returned directly (no lock). Otherwise the engine tries
 // to rebuild — but only with a try-lock: when an ingest batch holds the
@@ -88,12 +172,13 @@ func (e *Engine) buildViewLocked() *View {
 		BuiltAt: time.Now(),
 		Summary: e.summaryLocked(),
 		Faults:  e.snapshotLocked(),
-		FIT:     e.windowedFITLocked(),
-		nodes:   make(map[topology.NodeID]NodeStatus, len(e.perNode)),
+		FIT:     e.windowedFITLocked(e.last, e.cfg.DIMMs),
+		nodes:   make(map[topology.NodeID]NodeStatus, len(e.nodeStates)),
 	}
-	for id, ns := range e.perNode {
-		v.nodes[id] = NodeStatus{
-			Node:        id,
+	for i := range e.nodeStates {
+		ns := &e.nodeStates[i]
+		v.nodes[ns.node] = NodeStatus{
+			Node:        ns.node,
 			CEs:         ns.ces,
 			First:       ns.first,
 			Last:        ns.last,
