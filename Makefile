@@ -33,12 +33,13 @@ verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -timeout 30m ./...
-	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./internal/overload ./internal/syslog ./internal/colfmt ./cmd/astrad ./cmd/astraload
+	$(GO) test -race -timeout 30m -count 1 ./internal/stream ./internal/serve ./internal/overload ./internal/syslog ./internal/colfmt ./internal/supervise ./cmd/astrad ./cmd/astraload
 	ASTRA_BENCH_NODES=64 $(GO) test -race -timeout 30m -run 'Parallel|Determinism|Sharded' ./...
 	$(GO) test -run '^$$' -fuzz '^FuzzParseLine$$' -fuzztime 5s ./internal/syslog
 	$(GO) test -run '^$$' -fuzz '^FuzzBlockScan$$' -fuzztime 5s ./internal/syslog
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 5s ./internal/colfmt
 	$(GO) test -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime 5s ./internal/atomicio
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadStateLadder$$' -fuzztime 5s ./cmd/astrad
 	@if [ -n "$$ASTRA_CRASH_TESTS" ]; then ASTRA_CRASH_TESTS=1 $(GO) test -run 'TestExportCrashResumeDifferential' ./internal/dataset; fi
 	@if [ -n "$$ASTRA_BENCH_GUARD" ]; then $(MAKE) bench-guard; fi
 
@@ -58,7 +59,9 @@ bench:
 # slow clients + a stalling checkpoint disk. Two federated sites with
 # partitioned engines exercise the fan-in rollup under load. The
 # scenario is deliberately drain-throttled so the shed rate is overload
-# arithmetic, not machine speed.
+# arithmetic, not machine speed. The -recovery phase then runs the
+# kill + corrupt-newest-generation + rotate-mid-tail chaos sequence and
+# pins crash-recovery convergence (and its time) in the same baseline.
 bench-serve:
 	$(GO) run ./cmd/astraload -seed 1 -nodes 64 -sites 2 -partitions 4 \
 		-duration 3 -ingest-rate 100000 \
@@ -66,6 +69,7 @@ bench-serve:
 		-api-clients 4 -api-qps 400 -slow-clients 2 \
 		-queue-depth 32768 -drain-batch 128 -drain-interval 5 \
 		-disk-stall 0.5 -disk-stall-for 100 -checkpoint-every 100 -checkpoint-timeout 50 \
+		-recovery -recovery-nodes 48 -recovery-partitions 2 -recovery-keep 3 -recovery-bound 30000 \
 		-out BENCH_serve.json
 
 # bench-guard fails when the budgeted stages (dataset-build, parse,
@@ -73,8 +77,9 @@ bench-serve:
 # regress more than 10% allocs/op or 15% records/s against the
 # checked-in BENCH_pipeline.json, or when the serving path regresses
 # against BENCH_serve.json (p99 latency beyond 10% + slack, a shed rate
-# beyond what the scenario's configured rates imply, or any
-# overload-contract violation). Opt into
+# beyond what the scenario's configured rates imply, a crash-recovery
+# time beyond the baseline + slack, a recovery that fails to converge,
+# or any overload-contract violation). Opt into
 # it during verify with ASTRA_BENCH_GUARD=1 (both re-run their fixtures,
 # so it is not free).
 bench-guard:

@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"log/slog"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/mce"
 	"repro/internal/overload"
 	"repro/internal/stream"
+	"repro/internal/supervise"
 	"repro/internal/syslog"
 )
 
@@ -56,6 +59,15 @@ type daemonConfig struct {
 	cpCooldown time.Duration
 	cpTimeout  time.Duration
 
+	// Checkpoint generation ladder depth (state, state.1, ...).
+	stateKeep int
+
+	// Per-site supervision.
+	restartBackoff    time.Duration
+	restartBackoffMax time.Duration
+	restartBudget     int
+	restartReset      time.Duration
+
 	// HTTP server hardening.
 	readTimeout       time.Duration
 	readHeaderTimeout time.Duration
@@ -67,30 +79,60 @@ type daemonConfig struct {
 }
 
 // siteDaemon is one site's ingest pipeline: scanner -> admission queue ->
-// drainer -> partitioned engine. The scanner and the checkpoint-section
-// capture are owned by the site's ingest goroutine; everything else is
-// concurrency-safe.
+// drainer -> partitioned engine. The pipeline is supervised: a panic or
+// ingest error tears the incarnation down and a restart rebuilds the
+// engine and queue from the site's last checkpoint section, so eng and q
+// are swapped atomically and readers always hold a coherent pair from
+// one incarnation.
 type siteDaemon struct {
 	id      string
 	logPath string
-	engine  *stream.Sharded
 
-	// queue is the site's admission layer: the scanner Offers, the
-	// drainer Takes into the engine, sheds charge engine.NoteShed.
-	queue *overload.Queue[mce.CERecord]
+	eng atomic.Pointer[stream.Sharded]
+	q   atomic.Pointer[overload.Queue[mce.CERecord]]
 
-	// statsMu guards the published copy of the scanner's accounting; the
-	// scanner itself is touched only by the ingest goroutine.
+	// primed marks the startup-built incarnation (restored from the
+	// state ladder) as not yet consumed by the site's first supervised
+	// run; resumeCP is its scanner resume point in file coordinates.
+	primed   atomic.Bool
+	resumeCP syslog.Checkpoint
+
+	// unit is the site's supervision handle, published once the
+	// supervisor has spawned it; the HTTP health hook reads it.
+	unit atomic.Pointer[supervise.Unit]
+
+	// statsMu guards the published copies of the scanner's and tail's
+	// accounting; both are touched only by the ingest goroutine.
 	statsMu sync.Mutex
 	stats   syslog.ScanStats
+	tail    syslog.TailStats
 
 	offset atomic.Int64
 	// section holds the site's latest marshaled checkpoint section,
 	// captured by the ingest goroutine at a consistent instant (scanner
 	// checkpoint + Freeze from the same goroutine). The global writer
-	// composes whatever sections are current into one state file.
+	// composes whatever sections are current into one state file. A
+	// quarantined site keeps its last-good section, so its state
+	// survives the other sites' checkpoints.
 	section atomic.Pointer[[]byte]
+
+	// cpUntranslatable counts checkpoint captures skipped because the
+	// scanner offset predated a log rotation (no file position to
+	// resume from until the scanner crosses into the new segment).
+	cpUntranslatable atomic.Uint64
 }
+
+func (s *siteDaemon) engine() *stream.Sharded              { return s.eng.Load() }
+func (s *siteDaemon) queue() *overload.Queue[mce.CERecord] { return s.q.Load() }
+
+// siteDaemon is the serve.Source for its site, delegating to the current
+// engine incarnation so a supervised restart swaps cleanly under the
+// HTTP layer.
+func (s *siteDaemon) LiveView() *stream.View   { return s.engine().LiveView() }
+func (s *siteDaemon) Seq() uint64              { return s.engine().Seq() }
+func (s *siteDaemon) Summary() stream.Summary  { return s.engine().Summary() }
+func (s *siteDaemon) Shed() uint64             { return s.engine().Shed() }
+func (s *siteDaemon) DIMMs() int               { return s.engine().DIMMs() }
 
 // daemon owns the per-site pipelines and the state shared with the HTTP
 // layer.
@@ -108,8 +150,9 @@ type daemon struct {
 	// substitute a fault injector.
 	fs atomicio.FS
 
-	checkpoints atomic.Uint64
-	cpSkipped   atomic.Uint64
+	checkpoints   atomic.Uint64
+	cpSkipped     atomic.Uint64
+	gensDiscarded atomic.Uint64
 }
 
 // publishStats exposes a snapshot of the site's scanner accounting to
@@ -117,6 +160,14 @@ type daemon struct {
 func (s *siteDaemon) publishStats(st syslog.ScanStats) {
 	s.statsMu.Lock()
 	s.stats = st
+	s.statsMu.Unlock()
+}
+
+// publishTail exposes the follower's rotation accounting (same ownership
+// rule as publishStats).
+func (s *siteDaemon) publishTail(st syslog.TailStats) {
+	s.statsMu.Lock()
+	s.tail = st
 	s.statsMu.Unlock()
 }
 
@@ -143,6 +194,21 @@ func (d *daemon) snapshotStats() syslog.ScanStats {
 	return sum
 }
 
+// tailTotals aggregates rotation accounting across sites.
+func (d *daemon) tailTotals() syslog.TailStats {
+	var sum syslog.TailStats
+	for _, s := range d.sites {
+		s.statsMu.Lock()
+		st := s.tail
+		s.statsMu.Unlock()
+		sum.Rotations += st.Rotations
+		sum.Truncations += st.Truncations
+		sum.DroppedPartials += st.DroppedPartials
+		sum.DroppedBytes += st.DroppedBytes
+	}
+	return sum
+}
+
 func (d *daemon) scanConfig() syslog.ScanConfig {
 	return syslog.ScanConfig{DedupWindow: d.cfg.dedupWindow, ReorderWindow: d.cfg.reorderWindow}
 }
@@ -153,7 +219,7 @@ func (d *daemon) scanConfig() syslog.ScanConfig {
 func (d *daemon) overloadStatus() overload.Status {
 	var q overload.QueueStats
 	for _, s := range d.sites {
-		st := s.queue.Stats()
+		st := s.queue().Stats()
 		q.Offered += st.Offered
 		q.Admitted += st.Admitted
 		q.Drained += st.Drained
@@ -174,53 +240,85 @@ func (d *daemon) overloadStatus() overload.Status {
 // scanner and offer every CE to the site's admission queue. The drainer —
 // not this goroutine — feeds the engine, so a slow clustering step backs
 // up into the queue (visible, bounded, shed by policy) instead of into
-// the tail. Checkpoint sections are captured here, between Scan calls,
-// and the composed state handed to the async writer. It returns the
-// final scanner checkpoint so the shutdown path can persist the exact
-// resume point once the queue has drained.
-func (d *daemon) ingest(ctx context.Context, s *siteDaemon, f *os.File, cp syslog.Checkpoint) (syslog.Checkpoint, error) {
-	follower := syslog.NewFollower(ctx, f, syslog.TailConfig{Poll: d.cfg.poll})
+// the tail. The follower is rotation-tolerant: after a rotation the
+// scanner's checkpoint offsets live in stream coordinates, so every
+// capture is translated into current-file coordinates first — an offset
+// that still points into a rotated-away segment skips the capture (and
+// is counted) rather than recording an unusable resume point. It returns
+// the final checkpoint, already translated, and whether the translation
+// held, so the shutdown path can persist the exact resume point once the
+// queue has drained.
+func (d *daemon) ingest(ctx context.Context, s *siteDaemon, q *overload.Queue[mce.CERecord], f *os.File, cp syslog.Checkpoint) (syslog.Checkpoint, bool, error) {
+	follower := syslog.NewFollower(ctx, f, syslog.TailConfig{Poll: d.cfg.poll, Path: s.logPath})
 	sc := syslog.NewScannerConfig(follower, d.scanConfig())
 	if err := sc.Restore(cp); err != nil {
-		return cp, err
+		return cp, false, err
 	}
 	last := time.Now()
+	// Tail stats only move at rotation events, so republishing them per
+	// record would add a lock acquisition to the hot path for nothing.
+	lastTail := follower.Stats()
+	s.publishTail(lastTail)
 	for sc.Scan() {
 		if rec := sc.Record(); rec.Kind == syslog.KindCE {
-			s.queue.Offer(rec.CE)
+			q.Offer(rec.CE)
 		}
 		s.publishStats(sc.Stats())
+		if st := follower.Stats(); st != lastTail {
+			lastTail = st
+			s.publishTail(st)
+		}
 		s.offset.Store(sc.Offset())
 		if d.cfg.statePath != "" && time.Since(last) >= d.cfg.checkpointSec {
-			if err := d.snapshotSection(s, sc.Checkpoint()); err != nil {
-				d.log.Warn("checkpoint snapshot failed", "site", s.id, "err", err)
-			} else {
-				d.offerCheckpoint()
+			if fcp, ok := d.translate(s, follower, sc.Checkpoint()); ok {
+				if err := d.snapshotSection(s, fcp); err != nil {
+					d.log.Warn("checkpoint snapshot failed", "site", s.id, "err", err)
+				} else {
+					d.offerCheckpoint()
+				}
 			}
 			last = time.Now()
 		}
 	}
 	s.publishStats(sc.Stats())
+	s.publishTail(follower.Stats())
 	s.offset.Store(sc.Offset())
 
 	err := sc.Err()
 	if errors.Is(err, syslog.ErrTailStopped) {
 		err = nil
 	}
-	return sc.Checkpoint(), err
+	fcp, ok := d.translate(s, follower, sc.Checkpoint())
+	return fcp, ok, err
+}
+
+// translate maps a scanner checkpoint's stream offset into current-file
+// coordinates for seek-on-resume. ok is false when the offset predates
+// the last rotation — nothing in the current file corresponds to it.
+func (d *daemon) translate(s *siteDaemon, fo *syslog.Follower, cp syslog.Checkpoint) (syslog.Checkpoint, bool) {
+	off, ok := fo.FileOffset(cp.Offset)
+	if !ok {
+		s.cpUntranslatable.Add(1)
+		d.log.Warn("checkpoint capture skipped", "site", s.id, "reason", "offset predates log rotation")
+		return cp, false
+	}
+	cp.Offset = off
+	return cp, true
 }
 
 // drain is the consumer side of one site's admission queue: batches go
 // into the engine, Done releases any Freeze waiting for a consistent
 // snapshot. An optional pause between batches exists for the chaos
 // harness (and operators throttling a cold restore); it runs after
-// Done, so checkpoints never wait out the pause.
-func (d *daemon) drain(s *siteDaemon) {
+// Done, so checkpoints never wait out the pause. It takes the queue and
+// engine of one incarnation explicitly so a supervised restart never
+// crosses incarnations mid-batch.
+func (d *daemon) drain(q *overload.Queue[mce.CERecord], eng *stream.Sharded) {
 	for {
-		batch, ok := s.queue.Take(d.cfg.drainBatch)
+		batch, ok := q.Take(d.cfg.drainBatch)
 		if len(batch) > 0 {
-			s.engine.IngestBatch(batch)
-			s.queue.Done()
+			eng.IngestBatch(batch)
+			q.Done()
 			if d.cfg.drainInterval > 0 {
 				time.Sleep(d.cfg.drainInterval)
 			}
@@ -241,10 +339,11 @@ func (d *daemon) drain(s *siteDaemon) {
 func (d *daemon) snapshotSection(s *siteDaemon, cp syslog.Checkpoint) error {
 	var data []byte
 	var err error
-	s.queue.Freeze(func(queued []mce.CERecord, _ overload.QueueStats) {
-		recs := s.engine.Records()
+	eng := s.engine()
+	s.queue().Freeze(func(queued []mce.CERecord, _ overload.QueueStats) {
+		recs := eng.Records()
 		recs = append(recs, queued...)
-		data, err = marshalSiteSection(cp, s.engine.Shed(), recs)
+		data, err = marshalSiteSection(cp, eng.Shed(), recs)
 	})
 	if err != nil {
 		return err
@@ -258,7 +357,8 @@ func (d *daemon) snapshotSection(s *siteDaemon, cp syslog.Checkpoint) error {
 // (byte-compatible with older daemons), the v3 multi-site format
 // otherwise. Sections are each internally consistent; sites tail
 // independent logs, so a file composed from sections captured moments
-// apart is still a correct per-site resume point.
+// apart is still a correct per-site resume point — and a quarantined
+// site contributes its last-good section.
 func (d *daemon) composeState() []byte {
 	if len(d.sites) == 1 {
 		sec := *d.sites[0].section.Load()
@@ -330,10 +430,21 @@ func (d *daemon) checkpointWriter() {
 	}
 }
 
-// persist writes one marshaled state snapshot atomically.
+// persist seals one marshaled state snapshot with a checksum trailer and
+// writes it atomically at the head of the generation ladder: the
+// previous state file slides to .1, .1 to .2, and so on up to
+// -state-keep generations. Recovery walks the ladder newest-first, so a
+// torn or bit-flipped newest file costs one checkpoint interval, not the
+// whole state.
 func (d *daemon) persist(data []byte) error {
-	_, err := atomicio.WriteFile(context.Background(), d.fs, d.cfg.statePath, func(w io.Writer) error {
-		_, werr := w.Write(data)
+	g := atomicio.Generations{FS: d.fs, Path: d.cfg.statePath, Keep: d.cfg.stateKeep}
+	_, err := g.Write(context.Background(), func(w io.Writer) error {
+		// Stream the body and trailer separately: sealState's copy of a
+		// multi-megabyte state image per checkpoint is pure GC pressure.
+		if _, werr := w.Write(data); werr != nil {
+			return werr
+		}
+		_, werr := fmt.Fprintf(w, "%s%08x\n", checksumPrefix, crc32.ChecksumIEEE(data))
 		return werr
 	})
 	return err
@@ -347,6 +458,43 @@ const (
 	stateMagicV1 = "astrad-state v1"
 	stateMagicV3 = "astrad-state v3"
 )
+
+// checksumPrefix opens the optional integrity trailer: the last line of
+// a sealed state file is "checksum crc32 %08x" over every byte before
+// it. No record line can start with this prefix (canonical CE lines
+// start with a timestamp), so the trailer is unambiguous.
+const checksumPrefix = "checksum crc32 "
+
+// sealState appends the checksum trailer to a marshaled state image.
+func sealState(data []byte) []byte {
+	out := make([]byte, 0, len(data)+len(checksumPrefix)+9)
+	out = append(out, data...)
+	return append(out, fmt.Sprintf("%s%08x\n", checksumPrefix, crc32.ChecksumIEEE(data))...)
+}
+
+// openState verifies and strips the checksum trailer. Files without one
+// (written before sealing existed, or produced by marshalState directly)
+// are accepted as-is — the section parsers still validate them line by
+// line; a present-but-wrong trailer is corruption and errors out.
+func openState(data []byte) ([]byte, error) {
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return data, nil
+	}
+	i := bytes.LastIndexByte(data[:len(data)-1], '\n')
+	line := data[i+1 : len(data)-1]
+	if !bytes.HasPrefix(line, []byte(checksumPrefix)) {
+		return data, nil
+	}
+	want, err := strconv.ParseUint(string(line[len(checksumPrefix):]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("astrad: state file: bad checksum trailer %q", line)
+	}
+	body := data[:i+1]
+	if got := crc32.ChecksumIEEE(body); got != uint32(want) {
+		return nil, fmt.Errorf("astrad: state file: checksum mismatch: trailer %08x, content %08x over %d bytes", uint32(want), got, len(body))
+	}
+	return body, nil
+}
 
 // siteSnapshot is one site's restored durable state.
 type siteSnapshot struct {
@@ -382,7 +530,8 @@ func marshalSiteSection(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) 
 	return b.Bytes(), nil
 }
 
-// marshalState renders the single-site (v2) state file.
+// marshalState renders the single-site (v2) state file (unsealed; the
+// persist layer adds the checksum trailer).
 func marshalState(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byte, error) {
 	sec, err := marshalSiteSection(cp, shed, recs)
 	if err != nil {
@@ -412,31 +561,38 @@ func marshalStateV3(sites []siteSnapshot) ([]byte, error) {
 
 // parseSection parses one checkpoint/shed/records section from the front
 // of data and returns the unconsumed remainder. hasShed is false for v1
-// files, which predate the shed line.
-func parseSection(data []byte, hasShed bool) (cp syslog.Checkpoint, shed uint64, recs []mce.CERecord, rest []byte, err error) {
+// files, which predate the shed line. Errors name the site the section
+// belongs to and the byte offset (base + consumed) where parsing
+// stopped, so a damaged generation is diagnosable from the log line
+// alone.
+func parseSection(data []byte, hasShed bool, site string, base int) (cp syslog.Checkpoint, shed uint64, recs []mce.CERecord, rest []byte, err error) {
 	rest = data
+	fail := func(format string, args ...any) error {
+		at := base + len(data) - len(rest)
+		return fmt.Errorf("astrad: state file: site %s: %s at byte %d", site, fmt.Sprintf(format, args...), at)
+	}
 	var cpLen int
 	n, err := fmt.Sscanf(string(firstLine(rest)), "checkpoint %d", &cpLen)
 	if err != nil || n != 1 {
-		return cp, 0, nil, nil, fmt.Errorf("astrad: state file: bad checkpoint header")
+		return cp, 0, nil, nil, fail("bad checkpoint header")
 	}
 	rest = rest[len(firstLine(rest))+1:]
 	if cpLen < 0 || cpLen > len(rest) {
-		return cp, 0, nil, nil, fmt.Errorf("astrad: state file: truncated checkpoint")
+		return cp, 0, nil, nil, fail("truncated checkpoint (%d bytes promised, %d left)", cpLen, len(rest))
 	}
 	if err := cp.UnmarshalBinary(rest[:cpLen]); err != nil {
-		return cp, 0, nil, nil, err
+		return cp, 0, nil, nil, fail("checkpoint: %v", err)
 	}
 	rest = rest[cpLen:]
 	if hasShed {
 		if n, err := fmt.Sscanf(string(firstLine(rest)), "shed %d", &shed); err != nil || n != 1 {
-			return cp, 0, nil, nil, fmt.Errorf("astrad: state file: bad shed header")
+			return cp, 0, nil, nil, fail("bad shed header")
 		}
 		rest = rest[len(firstLine(rest))+1:]
 	}
 	var count int
 	if n, err := fmt.Sscanf(string(firstLine(rest)), "records %d", &count); err != nil || n != 1 {
-		return cp, 0, nil, nil, fmt.Errorf("astrad: state file: bad records header")
+		return cp, 0, nil, nil, fail("bad records header")
 	}
 	rest = rest[len(firstLine(rest))+1:]
 	var dec syslog.Decoder
@@ -444,43 +600,55 @@ func parseSection(data []byte, hasShed bool) (cp syslog.Checkpoint, shed uint64,
 	for i := 0; i < count; i++ {
 		line := firstLine(rest)
 		if line == nil {
-			return cp, 0, nil, nil, fmt.Errorf("astrad: state file: truncated at record %d of %d", i, count)
+			return cp, 0, nil, nil, fail("truncated at record %d of %d", i, count)
+		}
+		p, perr := dec.ParseLineBytes(line)
+		if perr != nil || p.Kind != syslog.KindCE {
+			return cp, 0, nil, nil, fail("record %d: bad CE line %q: %v", i, line, perr)
 		}
 		rest = rest[len(line)+1:]
-		p, err := dec.ParseLineBytes(line)
-		if err != nil || p.Kind != syslog.KindCE {
-			return cp, 0, nil, nil, fmt.Errorf("astrad: state file: record %d: bad CE line %q: %v", i, line, err)
-		}
 		recs = append(recs, p.CE)
 	}
 	return cp, shed, recs, rest, nil
 }
 
 // unmarshalState parses a single-site (v1/v2) state file back into its
-// checkpoint, shed count, and records.
+// checkpoint, shed count, and records. A checksum trailer, if present,
+// is verified and stripped first.
 func unmarshalState(data []byte) (syslog.Checkpoint, uint64, []mce.CERecord, error) {
+	data, err := openState(data)
+	if err != nil {
+		return syslog.Checkpoint{}, 0, nil, err
+	}
 	hasShed := true
+	magic := stateMagic
 	rest, ok := bytes.CutPrefix(data, []byte(stateMagic+"\n"))
 	if !ok {
 		rest, ok = bytes.CutPrefix(data, []byte(stateMagicV1+"\n"))
 		hasShed = false
+		magic = stateMagicV1
 		if !ok {
 			return syslog.Checkpoint{}, 0, nil, fmt.Errorf("astrad: state file: bad header")
 		}
 	}
-	cp, shed, recs, rest, err := parseSection(rest, hasShed)
+	cp, shed, recs, rest, err := parseSection(rest, hasShed, "default", len(magic)+1)
 	if err != nil {
 		return syslog.Checkpoint{}, 0, nil, err
 	}
 	if len(rest) != 0 {
-		return syslog.Checkpoint{}, 0, nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
+		return syslog.Checkpoint{}, 0, nil, fmt.Errorf("astrad: state file: %d trailing bytes at byte %d", len(rest), len(data)-len(rest))
 	}
 	return cp, shed, recs, nil
 }
 
 // unmarshalStateV3 parses a multi-site state file into its per-site
-// snapshots.
+// snapshots. A checksum trailer, if present, is verified and stripped
+// first.
 func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
+	data, err := openState(data)
+	if err != nil {
+		return nil, err
+	}
 	rest, ok := bytes.CutPrefix(data, []byte(stateMagicV3+"\n"))
 	if !ok {
 		return nil, fmt.Errorf("astrad: state file: bad v3 header")
@@ -498,12 +666,12 @@ func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
 		var id string
 		line := firstLine(rest)
 		if n, err := fmt.Sscanf(string(line), "site %s", &id); err != nil || n != 1 {
-			return nil, fmt.Errorf("astrad: state file: bad site header at section %d", i)
+			return nil, fmt.Errorf("astrad: state file: bad site header at section %d (byte %d)", i, len(data)-len(rest))
 		}
 		rest = rest[len(line)+1:]
-		cp, shed, recs, r, err := parseSection(rest, true)
+		cp, shed, recs, r, err := parseSection(rest, true, id, len(data)-len(rest))
 		if err != nil {
-			return nil, fmt.Errorf("astrad: state file: site %s: %w", id, err)
+			return nil, err
 		}
 		rest = r
 		for _, prev := range snaps {
@@ -514,7 +682,7 @@ func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
 		snaps = append(snaps, siteSnapshot{id: id, cp: cp, shed: shed, recs: recs})
 	}
 	if len(rest) != 0 {
-		return nil, fmt.Errorf("astrad: state file: %d trailing bytes", len(rest))
+		return nil, fmt.Errorf("astrad: state file: %d trailing bytes at byte %d", len(rest), len(data)-len(rest))
 	}
 	return snaps, nil
 }
@@ -529,9 +697,23 @@ func firstLine(data []byte) []byte {
 	return data[:i]
 }
 
-// loadState reads the state file into per-site snapshots; a missing file
-// is a fresh start, and v1/v2 single-site files load as one site named
-// "default".
+// decodeState routes one state image (any generation) by magic: v3
+// multi-site, else v1/v2 loaded as one site named "default". Checksum
+// verification happens inside the unmarshalers.
+func decodeState(data []byte) ([]siteSnapshot, error) {
+	if bytes.HasPrefix(data, []byte(stateMagicV3+"\n")) {
+		return unmarshalStateV3(data)
+	}
+	cp, shed, recs, err := unmarshalState(data)
+	if err != nil {
+		return nil, err
+	}
+	return []siteSnapshot{{id: "default", cp: cp, shed: shed, recs: recs}}, nil
+}
+
+// loadState reads one state file into per-site snapshots; a missing file
+// is a fresh start. It reads a single generation — daemon startup goes
+// through loadStateLadder instead.
 func loadState(path string) ([]siteSnapshot, error) {
 	if path == "" {
 		return nil, nil
@@ -543,12 +725,33 @@ func loadState(path string) ([]siteSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if bytes.HasPrefix(data, []byte(stateMagicV3+"\n")) {
-		return unmarshalStateV3(data)
+	return decodeState(data)
+}
+
+// loadStateLadder walks the checkpoint generation ladder newest-first
+// and restores the first generation that verifies and parses. Damaged
+// generations are returned for logging and accounting, never fatal: a
+// ladder with no valid generation returns gen -1 and nil snapshots — a
+// cold start from the logs — because refusing to run over a corrupt
+// state file would turn one torn write into an outage.
+func loadStateLadder(fsys atomicio.FS, path string, keep int) (snaps []siteSnapshot, gen int, discarded []atomicio.Discarded, err error) {
+	if path == "" {
+		return nil, -1, nil, nil
 	}
-	cp, shed, recs, err := unmarshalState(data)
+	g := atomicio.Generations{FS: fsys, Path: path, Keep: keep}
+	_, gen, discarded, err = g.Load(func(data []byte) error {
+		s, derr := decodeState(data)
+		if derr != nil {
+			return derr
+		}
+		snaps = s
+		return nil
+	})
 	if err != nil {
-		return nil, err
+		return nil, -1, discarded, err
 	}
-	return []siteSnapshot{{id: "default", cp: cp, shed: shed, recs: recs}}, nil
+	if gen < 0 {
+		snaps = nil
+	}
+	return snaps, gen, discarded, nil
 }

@@ -23,8 +23,20 @@
 // -state; a killed daemon restarted over the same logs resumes exactly,
 // losing and duplicating nothing — including records still buffered in
 // the reorder window at the moment of death, and regardless of the
-// partition count it restarts with. SIGTERM/SIGINT drain in-flight
-// requests, write a final checkpoint, and exit 0.
+// partition count it restarts with. Checkpoints are checksum-sealed and
+// kept as a generation ladder (-state, -state.1, ... up to -state-keep):
+// recovery walks the ladder newest-first, so a torn or bit-flipped file
+// costs one checkpoint interval, and a ladder with nothing valid left
+// cold-starts from the logs instead of refusing to run. SIGTERM/SIGINT
+// drain in-flight requests, write a final checkpoint, and exit 0.
+//
+// Each site's pipeline is supervised: a panic or ingest fault restarts
+// only that site (with jittered exponential backoff), and a site that
+// exhausts -restart-budget is quarantined — its endpoints answer 503
+// with the supervision detail, /healthz reports degraded with the
+// per-site ladder, and every other site keeps ingesting and serving.
+// Log rotation (rename-and-recreate or copytruncate) is absorbed by the
+// tail without losing records or checkpoint continuity.
 //
 // Usage:
 //
@@ -42,17 +54,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/atomicio"
-	"repro/internal/core"
-	"repro/internal/mce"
 	"repro/internal/overload"
 	"repro/internal/serve"
 	"repro/internal/stream"
+	"repro/internal/supervise"
 	"repro/internal/syslog"
 	"repro/internal/topology"
 )
@@ -119,6 +130,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&cfg.cpFailures, "checkpoint-failures", overload.DefaultBreakerFailures, "consecutive checkpoint failures that open the circuit breaker")
 	fs.DurationVar(&cfg.cpCooldown, "checkpoint-cooldown", 30*time.Second, "how long an open checkpoint breaker skips writes before probing")
 	fs.DurationVar(&cfg.cpTimeout, "checkpoint-timeout", 5*time.Second, "checkpoint writes slower than this count as breaker failures (0 disables)")
+	fs.IntVar(&cfg.stateKeep, "state-keep", atomicio.DefaultKeep, "checkpoint generations kept as a recovery ladder (-state, -state.1, ...; min 1)")
+
+	fs.DurationVar(&cfg.restartBackoff, "restart-backoff", time.Second, "initial delay before restarting a failed site pipeline (doubles per consecutive failure, jittered)")
+	fs.DurationVar(&cfg.restartBackoffMax, "restart-backoff-max", 30*time.Second, "ceiling on the site restart backoff")
+	fs.IntVar(&cfg.restartBudget, "restart-budget", supervise.DefaultBudget, "consecutive site pipeline failures before the site is quarantined (<0 = never quarantine)")
+	fs.DurationVar(&cfg.restartReset, "restart-reset", time.Minute, "a site pipeline surviving this long resets its failure streak")
 
 	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second, "time limit for reading request headers (slow-loris defense)")
 	fs.DurationVar(&cfg.readTimeout, "read-timeout", 30*time.Second, "time limit for reading an entire request")
@@ -148,6 +165,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg.shedPolicy = policy
+	if cfg.stateKeep < 1 {
+		fmt.Fprintln(stderr, "astrad: -state-keep must be at least 1")
+		fs.Usage()
+		return 2
+	}
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
 
 	code, err := serveDaemon(ctx, cfg, logger)
@@ -172,13 +194,43 @@ func matchSnapshot(snaps []siteSnapshot, specs []siteSpec, i int) siteSnapshot {
 	return siteSnapshot{id: specs[i].id}
 }
 
-// serveDaemon wires state restore, the per-site admission queues, ingest
-// loops and drainers, the checkpoint writer and the HTTP server, then
-// blocks until the context is cancelled or ingest fails.
+// serveDaemon wires state restore (walking the checkpoint generation
+// ladder), the supervised per-site pipelines, the checkpoint writer and
+// the HTTP server, then blocks until the context is cancelled or the
+// HTTP server fails. Site pipeline faults never reach this function:
+// they restart or quarantine under the supervisor while the rest of the
+// daemon keeps serving.
 func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (int, error) {
-	snaps, err := loadState(cfg.statePath)
+	d := &daemon{
+		cfg: cfg,
+		log: logger,
+		breaker: overload.NewBreaker(overload.BreakerConfig{
+			Failures: cfg.cpFailures,
+			Cooldown: cfg.cpCooldown,
+		}),
+		cpCh: make(chan []byte, 1),
+		fs:   atomicio.OS,
+	}
+	if cfg.statePath != "" {
+		// A crash can strand an atomic-write temp file next to the state;
+		// sweep leftovers before writing new generations beside them.
+		if err := atomicio.SweepTemps(d.fs, filepath.Dir(cfg.statePath)); err != nil {
+			logger.Warn("temp sweep failed", "dir", filepath.Dir(cfg.statePath), "err", err)
+		}
+	}
+	snaps, gen, discarded, err := loadStateLadder(d.fs, cfg.statePath, cfg.stateKeep)
+	for _, disc := range discarded {
+		d.gensDiscarded.Add(1)
+		logger.Warn("state generation discarded", "path", disc.Path, "generation", disc.Gen, "err", disc.Err)
+	}
 	if err != nil {
 		return 1, err
+	}
+	switch {
+	case gen > 0:
+		logger.Warn("recovered from older state generation", "generation", gen, "discarded", len(discarded))
+	case gen < 0 && len(discarded) > 0:
+		logger.Warn("no state generation recoverable; cold-starting from the logs", "discarded", len(discarded))
 	}
 	specs := cfg.sites
 	if len(specs) == 0 {
@@ -196,84 +248,29 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		}
 	}
 
-	d := &daemon{
-		cfg: cfg,
-		log: logger,
-		breaker: overload.NewBreaker(overload.BreakerConfig{
-			Failures: cfg.cpFailures,
-			Cooldown: cfg.cpCooldown,
-		}),
-		cpCh: make(chan []byte, 1),
-		fs:   atomicio.OS,
-	}
-	type tailState struct {
-		f  *os.File
-		cp syslog.Checkpoint
-	}
-	tails := make([]tailState, len(specs))
 	for i, spec := range specs {
 		snap := matchSnapshot(snaps, specs, i)
-		f, err := os.Open(spec.path)
+		site := &siteDaemon{id: spec.id, logPath: spec.path}
+		eng, q := d.buildPipeline(snap)
+		site.eng.Store(eng)
+		site.q.Store(q)
+		site.resumeCP = snap.cp
+		site.primed.Store(true)
+		sec, err := marshalSiteSection(snap.cp, snap.shed, snap.recs)
 		if err != nil {
 			return 1, err
 		}
-		defer f.Close()
-		if fi, err := f.Stat(); err != nil {
-			return 1, err
-		} else if fi.Size() < snap.cp.Offset {
-			// The log shrank beneath the checkpoint (rotation/truncation):
-			// the saved state describes bytes that no longer exist.
-			logger.Warn("log shorter than checkpoint; starting fresh",
-				"site", spec.id, "size", fi.Size(), "offset", snap.cp.Offset)
-			snap = siteSnapshot{id: spec.id}
-		}
-		if _, err := f.Seek(snap.cp.Offset, io.SeekStart); err != nil {
-			return 1, err
-		}
-
-		site := &siteDaemon{
-			id:      spec.id,
-			logPath: spec.path,
-			engine: stream.NewSharded(stream.ShardedConfig{
-				Partitions: cfg.partitions,
-				Engine: stream.Config{
-					Cluster:     core.ClusterConfig{Parallelism: cfg.workers},
-					Window:      cfg.window,
-					DIMMs:       cfg.dimms,
-					Parallelism: cfg.workers,
-				},
-			}),
-		}
-		site.queue = overload.NewQueue[mce.CERecord](overload.Config{
-			Capacity: cfg.queueDepth,
-			High:     cfg.queueHigh,
-			Low:      cfg.queueLow,
-			Policy:   cfg.shedPolicy,
-			// Every shed record is charged to the engine's degraded
-			// accounting: offered == ingested + shed, and every analysis
-			// that undercounts says so.
-			OnShed: func(n int) { site.engine.NoteShed(n) },
-		})
-		site.engine.IngestBatch(snap.recs)
-		if snap.shed > 0 {
-			site.engine.NoteShed(int(snap.shed))
-		}
-		if sec, err := marshalSiteSection(snap.cp, snap.shed, snap.recs); err == nil {
-			site.section.Store(&sec)
-		} else {
-			return 1, err
-		}
+		site.section.Store(&sec)
 		if len(snap.recs) > 0 {
 			logger.Info("restored", "site", spec.id, "records", len(snap.recs), "shed", snap.shed,
 				"offset", snap.cp.Offset, "pendingReorder", snap.cp.Buffered())
 		}
 		d.sites = append(d.sites, site)
-		tails[i] = tailState{f: f, cp: snap.cp}
 	}
 
 	srvSites := make([]serve.Site, len(d.sites))
 	for i, s := range d.sites {
-		srvSites[i] = serve.Site{ID: s.id, Source: s.engine}
+		srvSites[i] = serve.Site{ID: s.id, Source: s, Health: s.health}
 	}
 	srv := serve.New(serve.Config{
 		Sites:          srvSites,
@@ -290,6 +287,20 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		func() float64 { return float64(d.cpSkipped.Load()) })
 	reg.NewGaugeFunc("astrad_log_offset_bytes", "", "Byte offset consumed across the tailed logs.",
 		func() float64 { return float64(d.offsetBytes()) })
+	reg.NewCounterFunc("astrad_state_generations_discarded_total", "", "State generations rejected during recovery (checksum or parse failure).",
+		func() float64 { return float64(d.gensDiscarded.Load()) })
+	reg.NewCounterFunc("astrad_checkpoints_untranslatable_total", "", "Checkpoint captures skipped because the resume offset predated a log rotation.",
+		func() float64 {
+			var n uint64
+			for _, s := range d.sites {
+				n += s.cpUntranslatable.Load()
+			}
+			return float64(n)
+		})
+	reg.NewCounterFunc("astrad_log_rotations_total", "", "Log rotations (rename-and-recreate) absorbed by the tails.",
+		func() float64 { return float64(d.tailTotals().Rotations) })
+	reg.NewCounterFunc("astrad_log_truncations_total", "", "In-place log truncations (copytruncate) absorbed by the tails.",
+		func() float64 { return float64(d.tailTotals().Truncations) })
 
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
@@ -307,91 +318,48 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.Serve(ln) }()
 
-	drainDone := make(chan struct{})
-	go func() {
-		defer close(drainDone)
-		var wg sync.WaitGroup
-		for _, s := range d.sites {
-			wg.Add(1)
-			go func(s *siteDaemon) { defer wg.Done(); d.drain(s) }(s)
-		}
-		wg.Wait()
-	}()
 	writerDone := make(chan struct{})
 	go func() { defer close(writerDone); d.checkpointWriter() }()
 
 	tailCtx, cancelTail := context.WithCancel(context.Background())
 	defer cancelTail()
-	type ingestResult struct {
-		idx int
-		cp  syslog.Checkpoint
-		err error
-	}
-	ingestDone := make(chan ingestResult, len(d.sites))
-	for i := range d.sites {
-		go func(i int) {
-			cp, err := d.ingest(tailCtx, d.sites[i], tails[i].f, tails[i].cp)
-			ingestDone <- ingestResult{i, cp, err}
-		}(i)
-	}
+	sup := d.superviseSites(tailCtx)
 
-	var ingestErr, httpFail error
-	finalCPs := make([]syslog.Checkpoint, len(d.sites))
-	sigC := ctx.Done()
-	httpC := httpErr
-	for finished := 0; finished < len(d.sites); {
-		select {
-		case <-sigC:
-			logger.Info("shutting down", "reason", "signal")
-			cancelTail()
-			sigC = nil
-		case err := <-httpC:
-			cancelTail()
-			httpFail = err
-			httpC = nil
-		case res := <-ingestDone:
-			finalCPs[res.idx] = res.cp
-			if res.err != nil && ingestErr == nil {
-				ingestErr = res.err
-			}
-			finished++
-			cancelTail() // one tail down, stop the rest
-		}
+	// Block until shutdown. Site pipeline faults do not appear here: a
+	// failing site restarts or quarantines under its supervisor while
+	// every other site keeps ingesting and serving — a single-site fault
+	// must never terminate the process.
+	var httpFail error
+	select {
+	case <-ctx.Done():
+		logger.Info("shutting down", "reason", "signal")
+	case err := <-httpErr:
+		httpFail = fmt.Errorf("http server: %w", err)
 	}
-	if ingestErr == nil && httpFail != nil {
-		ingestErr = fmt.Errorf("http server: %w", httpFail)
-	}
-
-	// The tails have stopped: drain what the queues still hold into the
-	// engines, stop the checkpoint writer, then persist the final state
-	// synchronously — bypassing the breaker, because this is the last
-	// chance to save the shed accounting and the resume points.
-	for _, s := range d.sites {
-		s.queue.Close()
-	}
-	<-drainDone
+	cancelTail()
+	sup.Wait()
 	close(d.cpCh)
 	<-writerDone
-	if ingestErr == nil && cfg.statePath != "" {
-		var data []byte
-		var snapErr error
-		for i, s := range d.sites {
-			if err := d.snapshotSection(s, finalCPs[i]); err != nil {
-				snapErr = err
-				break
+
+	// Every unit has stopped: each running site captured its final
+	// section (queue drained, resume offset translated) on the way out,
+	// and quarantined sites kept their last-good sections. Persist the
+	// composed state synchronously — bypassing the breaker, because this
+	// is the last chance to save the shed accounting and resume points.
+	exitErr := httpFail
+	if cfg.statePath != "" {
+		data := d.composeState()
+		if err := d.persist(data); err != nil {
+			if exitErr == nil {
+				exitErr = fmt.Errorf("final checkpoint: %w", err)
+			} else {
+				logger.Warn("final checkpoint failed", "err", err)
 			}
-		}
-		if snapErr == nil {
-			data = d.composeState()
-			snapErr = d.persist(data)
-		}
-		if snapErr != nil {
-			ingestErr = fmt.Errorf("final checkpoint: %w", snapErr)
 		} else {
 			d.checkpoints.Add(1)
 			var shed uint64
 			for _, s := range d.sites {
-				shed += s.engine.Shed()
+				shed += s.engine().Shed()
 			}
 			d.log.Info("checkpoint", "final", true, "bytes", len(data), "shed", shed)
 		}
@@ -405,17 +373,18 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		logger.Warn("http shutdown", "err", err)
 	}
 
-	if ingestErr != nil {
-		return 1, ingestErr
+	if exitErr != nil {
+		return 1, exitErr
 	}
 	var records, faults, shed int
 	for _, s := range d.sites {
-		sum := s.engine.Summary()
+		sum := s.engine().Summary()
 		records += sum.Records
 		faults += sum.Faults
 		shed += sum.Shed
 	}
 	logger.Info("stopped", "records", records, "faults", faults,
-		"shed", shed, "checkpoints", d.checkpoints.Load())
+		"shed", shed, "checkpoints", d.checkpoints.Load(),
+		"restarts", sup.Restarts(), "quarantined", sup.Quarantined())
 	return 0, nil
 }

@@ -67,6 +67,11 @@ type Scenario struct {
 	DiskStallMS         float64 `json:"diskStallMS"`
 	CheckpointEveryMS   float64 `json:"checkpointEveryMS"`
 	CheckpointTimeoutMS float64 `json:"checkpointTimeoutMS"`
+	// Recovery, when set, runs the kill+corrupt+rotate recovery scenario
+	// after the load phase (see recovery.go) and lands its verdict in
+	// Result.Recovery, so the baseline also pins crash-recovery
+	// convergence.
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
 }
 
 // sites returns the effective site count (min 1).
@@ -160,6 +165,9 @@ type Result struct {
 	SlowKilled  uint64          `json:"slowKilled"`
 	Checkpoints CheckpointStats `json:"checkpoints"`
 	Sites       []SiteResult    `json:"sites,omitempty"`
+	// Recovery is the kill+corrupt+rotate scenario's verdict, present
+	// exactly when Scenario.Recovery is set.
+	Recovery *RecoveryResult `json:"recovery,omitempty"`
 }
 
 // siteStack is one site's serving stack inside the harness: dataset
@@ -591,6 +599,17 @@ func (sc Scenario) Run(ctx context.Context, logger *slog.Logger) (Result, error)
 		Written:      cpWritten.Load(),
 		Skipped:      cpSkipped.Load(),
 		BreakerOpens: breaker.Stats().Opens,
+	}
+
+	// Recovery scenario: deterministic kill+corrupt+rotate chaos against
+	// a checkpointing tail pipeline, after the load phase so the two
+	// measurements never contend.
+	if sc.Recovery != nil {
+		rr, err := sc.Recovery.run(ctx, logger)
+		if err != nil {
+			return res, err
+		}
+		res.Recovery = &rr
 	}
 	return res, nil
 }

@@ -73,14 +73,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&sc.DiskStallMS, "disk-stall-for", 100, "stall length, ms")
 	fs.Float64Var(&sc.CheckpointEveryMS, "checkpoint-every", 100, "checkpoint cadence, ms")
 	fs.Float64Var(&sc.CheckpointTimeoutMS, "checkpoint-timeout", 50, "writes slower than this count as breaker failures, ms")
+	recovery := fs.Bool("recovery", false, "run the kill+corrupt+rotate recovery scenario after the load phase")
+	recNodes := fs.Int("recovery-nodes", 48, "recovery scenario dataset size, nodes")
+	recPartitions := fs.Int("recovery-partitions", 2, "recovery scenario engine partitions")
+	recKeep := fs.Int("recovery-keep", 3, "recovery scenario checkpoint ladder depth")
+	recBound := fs.Float64("recovery-bound", 30000, "hard cap on recovery convergence, ms")
 	out := fs.String("out", "BENCH_serve.json", "result/baseline path")
 	guard := fs.Bool("guard", false, "re-run the baseline's scenario and fail on regression instead of writing")
 	against := fs.String("against", "BENCH_serve.json", "baseline to guard against")
 	tolerance := fs.Float64("tolerance", 0.10, "allowed fractional p99/shed-rate growth before -guard fails")
 	p99Slack := fs.Float64("p99-slack", 5, "absolute p99 slack, ms, on top of the tolerance")
 	shedSlack := fs.Float64("shed-slack", 0.02, "absolute shed-rate slack on top of the tolerance")
+	recSlack := fs.Float64("recovery-slack", 250, "absolute recovery-time slack, ms, on top of the tolerance")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *recovery {
+		sc.Recovery = &RecoverySpec{
+			Seed:       sc.Seed,
+			Nodes:      *recNodes,
+			Partitions: *recPartitions,
+			Keep:       *recKeep,
+			BoundMS:    *recBound,
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -88,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 
 	if *guard {
-		return runGuard(ctx, logger, stdout, stderr, *against, *tolerance, *p99Slack, *shedSlack)
+		return runGuard(ctx, logger, stdout, stderr, *against, *tolerance, *p99Slack, *shedSlack, *recSlack)
 	}
 
 	res, err := sc.Run(ctx, logger)
@@ -99,6 +114,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	report(stdout, res)
 	if !res.InvariantOK || !res.DifferentialOK {
 		fmt.Fprintln(stderr, "astraload: overload contract violated; not writing a baseline")
+		return 1
+	}
+	if res.Recovery != nil && !res.Recovery.ConvergedOK {
+		fmt.Fprintf(stderr, "astraload: recovery scenario failed (%s); not writing a baseline\n", res.Recovery.Detail)
 		return 1
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -131,12 +150,22 @@ func report(w io.Writer, res Result) {
 	fmt.Fprintf(w, "recovery %.0fms  saturations %d  slow clients cut %d  checkpoints %d written %d skipped %d breaker opens\n",
 		res.RecoveryMs, res.Saturations, res.SlowKilled,
 		res.Checkpoints.Written, res.Checkpoints.Skipped, res.Checkpoints.BreakerOpens)
+	if rr := res.Recovery; rr != nil {
+		fmt.Fprintf(w, "crash recovery: converged=%v in %.1fms  survivor gen %d (%d discarded)  restored %d + replayed %d records, %d faults  rotations %d\n",
+			rr.ConvergedOK, rr.RecoveryMs, rr.SurvivorGeneration, rr.GenerationsDiscarded,
+			rr.RecordsRestored, rr.RecordsReplayed, rr.Faults, rr.Rotations)
+		if !rr.ConvergedOK {
+			fmt.Fprintf(w, "crash recovery detail: %s\n", rr.Detail)
+		}
+	}
 }
 
-// runGuard re-runs the baseline's own scenario and compares the two
-// regression-sensitive numbers: read-path p99 and shed rate. Contract
-// violations fail outright.
-func runGuard(ctx context.Context, logger *slog.Logger, stdout, stderr io.Writer, path string, tolerance, p99Slack, shedSlack float64) int {
+// runGuard re-runs the baseline's own scenario and compares the
+// regression-sensitive numbers: read-path p99, shed rate and — when the
+// baseline pins the recovery scenario — crash-recovery time. Contract
+// violations (overload invariants or a recovery that fails to converge)
+// fail outright.
+func runGuard(ctx context.Context, logger *slog.Logger, stdout, stderr io.Writer, path string, tolerance, p99Slack, shedSlack, recSlack float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "astraload: guard: %v\n", err)
@@ -155,6 +184,10 @@ func runGuard(ctx context.Context, logger *slog.Logger, stdout, stderr io.Writer
 	report(stdout, res)
 	if !res.InvariantOK || !res.DifferentialOK {
 		fmt.Fprintln(stderr, "astraload: guard: overload contract violated")
+		return 1
+	}
+	if res.Recovery != nil && !res.Recovery.ConvergedOK {
+		fmt.Fprintf(stderr, "astraload: guard: crash recovery failed to converge: %s\n", res.Recovery.Detail)
 		return 1
 	}
 	failed := false
@@ -187,6 +220,19 @@ func runGuard(ctx context.Context, logger *slog.Logger, stdout, stderr io.Writer
 	}
 	fmt.Fprintf(stdout, "shed rate %8.4f   (configured %8.4f + excess %6.4f, limit %8.4f) %s\n",
 		res.ShedRate, expected, excess, shedLimit, status)
+	// Crash-recovery time regresses like a latency: toleranced against
+	// the baseline's measurement plus absolute slack (ladder walk +
+	// restore + delta replay are all machine-speed work).
+	if res.Recovery != nil && base.Recovery != nil {
+		recLimit := base.Recovery.RecoveryMs*(1+tolerance) + recSlack
+		status = "ok"
+		if res.Recovery.RecoveryMs > recLimit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "recovery  %8.2fms (baseline %8.2fms, limit %8.2fms) %s\n",
+			res.Recovery.RecoveryMs, base.Recovery.RecoveryMs, recLimit, status)
+	}
 	if failed {
 		fmt.Fprintln(stderr, "astraload: guard: serving-path regression beyond tolerance; investigate or regenerate the baseline with `make bench-serve`")
 		return 1

@@ -1,0 +1,112 @@
+// Generational file retention: keep the last K versions of a critical
+// file (astrad's checkpoint state) as a recovery ladder. Every write
+// shifts the existing generations down one rung (path → path.1 → path.2
+// …) before committing the new file atomically at path; a reader whose
+// newest generation is torn or bit-flipped walks down the ladder to the
+// newest generation that still validates. A crash between rungs leaves a
+// gap, never a torn file — every rung was itself written atomically.
+
+package atomicio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+)
+
+// DefaultKeep is the generation count when Generations.Keep is zero.
+const DefaultKeep = 3
+
+// Generations manages the retention ladder for one path.
+type Generations struct {
+	// FS is the filesystem (nil means OS).
+	FS FS
+	// Path is the primary (newest) file; older generations live at
+	// Path.1, Path.2, … Path.(Keep-1).
+	Path string
+	// Keep is how many generations exist in total, the primary included
+	// (0 means DefaultKeep; 1 disables the ladder).
+	Keep int
+}
+
+func (g Generations) fsys() FS {
+	if g.FS == nil {
+		return OS
+	}
+	return g.FS
+}
+
+func (g Generations) keep() int {
+	if g.Keep <= 0 {
+		return DefaultKeep
+	}
+	return g.Keep
+}
+
+// Gen returns the path of generation n (0 = the primary).
+func (g Generations) Gen(n int) string {
+	if n == 0 {
+		return g.Path
+	}
+	return fmt.Sprintf("%s.%d", g.Path, n)
+}
+
+// Write rotates the ladder down one rung and atomically commits the new
+// content at the primary path. The shift runs oldest-first so a crash at
+// any point leaves every surviving rung intact (possibly with a gap,
+// which Load tolerates). A missing rung is skipped, not an error.
+func (g Generations) Write(ctx context.Context, write func(io.Writer) error) (WriteInfo, error) {
+	fsys := g.fsys()
+	keep := g.keep()
+	for n := keep - 1; n >= 1; n-- {
+		err := fsys.Rename(g.Gen(n-1), g.Gen(n))
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return WriteInfo{}, fmt.Errorf("atomicio: rotate generation %s: %w", g.Gen(n-1), err)
+		}
+	}
+	return WriteFile(ctx, fsys, g.Path, write)
+}
+
+// Discarded records one generation the ladder walk rejected.
+type Discarded struct {
+	// Path is the rejected file, Gen its rung (0 = primary).
+	Path string
+	Gen  int
+	// Err is why it was rejected (read error, checksum mismatch, parse
+	// failure — whatever validate returned).
+	Err error
+}
+
+// Load walks the ladder newest-first and returns the first generation
+// that validate accepts, along with its rung and every newer generation
+// that was rejected. Missing rungs are skipped silently (gaps are a
+// normal crash artifact); a rung that exists but fails validation is
+// recorded in discarded. When no generation validates — the ladder is
+// empty or every rung is damaged — Load returns (nil, -1, discarded,
+// nil): total state loss is the caller's cold-start signal, not an
+// error.
+func (g Generations) Load(validate func(data []byte) error) (data []byte, gen int, discarded []Discarded, err error) {
+	fsys := g.fsys()
+	keep := g.keep()
+	for n := 0; n < keep; n++ {
+		p := g.Gen(n)
+		b, rerr := fsys.ReadFile(p)
+		if errors.Is(rerr, fs.ErrNotExist) {
+			continue
+		}
+		if rerr != nil {
+			discarded = append(discarded, Discarded{Path: p, Gen: n, Err: rerr})
+			continue
+		}
+		if validate != nil {
+			if verr := validate(b); verr != nil {
+				discarded = append(discarded, Discarded{Path: p, Gen: n, Err: verr})
+				continue
+			}
+		}
+		return b, n, discarded, nil
+	}
+	return nil, -1, discarded, nil
+}

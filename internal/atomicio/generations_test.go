@@ -1,0 +1,121 @@
+package atomicio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func genWrite(t *testing.T, g Generations, content string) {
+	t.Helper()
+	if _, err := g.Write(context.Background(), func(w io.Writer) error {
+		_, err := io.WriteString(w, content)
+		return err
+	}); err != nil {
+		t.Fatalf("Write(%q): %v", content, err)
+	}
+}
+
+func TestGenerationsRotateAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	g := Generations{Path: filepath.Join(dir, "state"), Keep: 3}
+
+	for i := 1; i <= 4; i++ {
+		genWrite(t, g, fmt.Sprintf("v%d", i))
+	}
+	// Ladder now holds v4, v3, v2 (v1 rotated off the end).
+	for n, want := range []string{"v4", "v3", "v2"} {
+		b, err := os.ReadFile(g.Gen(n))
+		if err != nil || string(b) != want {
+			t.Fatalf("gen %d = %q, %v; want %q", n, b, err, want)
+		}
+	}
+	if _, err := os.Stat(g.Gen(3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("gen 3 should not exist: %v", err)
+	}
+
+	data, gen, discarded, err := g.Load(nil)
+	if err != nil || gen != 0 || string(data) != "v4" || len(discarded) != 0 {
+		t.Fatalf("Load = %q gen=%d disc=%v err=%v", data, gen, discarded, err)
+	}
+}
+
+func TestGenerationsLoadWalksPastInvalid(t *testing.T) {
+	dir := t.TempDir()
+	g := Generations{Path: filepath.Join(dir, "state"), Keep: 3}
+	genWrite(t, g, "good-old")
+	genWrite(t, g, "bad-new")
+
+	bad := errors.New("checksum mismatch")
+	validate := func(b []byte) error {
+		if string(b) == "bad-new" {
+			return bad
+		}
+		return nil
+	}
+	data, gen, discarded, err := g.Load(validate)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if string(data) != "good-old" || gen != 1 {
+		t.Fatalf("Load = %q gen=%d, want good-old gen=1", data, gen)
+	}
+	if len(discarded) != 1 || discarded[0].Gen != 0 || !errors.Is(discarded[0].Err, bad) {
+		t.Fatalf("discarded = %+v", discarded)
+	}
+}
+
+func TestGenerationsLoadToleratesGaps(t *testing.T) {
+	dir := t.TempDir()
+	g := Generations{Path: filepath.Join(dir, "state"), Keep: 4}
+	// Simulate a crash mid-rotation: only gen 2 exists.
+	if err := os.WriteFile(g.Gen(2), []byte("survivor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, gen, discarded, err := g.Load(nil)
+	if err != nil || gen != 2 || string(data) != "survivor" || len(discarded) != 0 {
+		t.Fatalf("Load = %q gen=%d disc=%v err=%v", data, gen, discarded, err)
+	}
+}
+
+func TestGenerationsTotalLoss(t *testing.T) {
+	dir := t.TempDir()
+	g := Generations{Path: filepath.Join(dir, "state"), Keep: 3}
+	genWrite(t, g, "a")
+	genWrite(t, g, "b")
+	reject := func([]byte) error { return errors.New("all damaged") }
+	data, gen, discarded, err := g.Load(reject)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if data != nil || gen != -1 {
+		t.Fatalf("Load = %q gen=%d, want nil gen=-1 (cold start)", data, gen)
+	}
+	if len(discarded) != 2 {
+		t.Fatalf("discarded = %+v, want both generations", discarded)
+	}
+	// Nothing at all on disk: also a clean cold start, nothing discarded.
+	empty := Generations{Path: filepath.Join(dir, "never-written")}
+	data, gen, discarded, err = empty.Load(nil)
+	if err != nil || data != nil || gen != -1 || len(discarded) != 0 {
+		t.Fatalf("empty Load = %q gen=%d disc=%v err=%v", data, gen, discarded, err)
+	}
+}
+
+func TestGenerationsKeepOne(t *testing.T) {
+	dir := t.TempDir()
+	g := Generations{Path: filepath.Join(dir, "state"), Keep: 1}
+	genWrite(t, g, "only")
+	genWrite(t, g, "newer")
+	if _, err := os.Stat(g.Gen(1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Keep=1 must not create .1: %v", err)
+	}
+	data, gen, _, err := g.Load(nil)
+	if err != nil || gen != 0 || string(data) != "newer" {
+		t.Fatalf("Load = %q gen=%d err=%v", data, gen, err)
+	}
+}

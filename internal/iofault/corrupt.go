@@ -1,0 +1,63 @@
+// On-disk corruptors: seeded, targeted damage to files already at rest.
+// Where the FS wrapper injects faults into I/O in flight, these model
+// what the paper's DRAM study measures in silicon — bits flipping in
+// data nobody is touching — applied to the state files the recovery
+// ladder has to survive. The chaos tests flip a bit in the newest
+// checkpoint generation (or truncate it, the torn-rename analogue on a
+// non-atomic filesystem) and assert astrad walks the ladder instead of
+// dying.
+
+package iofault
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/simrand"
+)
+
+// FlipBit flips one seeded-random bit of the file at path, in place.
+// It returns the byte offset and bit index it flipped. The file must be
+// non-empty.
+func FlipBit(path string, seed uint64) (offset int64, bit uint, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(data) == 0 {
+		return 0, 0, fmt.Errorf("iofault: flip bit in %s: file is empty", path)
+	}
+	rng := simrand.NewStream(seed).Derive("iofault:flipbit")
+	offset = int64(rng.IntN(len(data)))
+	bit = uint(rng.IntN(8))
+	data[offset] ^= 1 << bit
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := os.WriteFile(path, data, fi.Mode().Perm()); err != nil {
+		return 0, 0, err
+	}
+	return offset, bit, nil
+}
+
+// Truncate cuts the file at path to a seeded-random length in
+// [1, size-1] — a torn tail, the damage a non-atomic writer leaves when
+// the machine dies mid-write. It returns the new length. Files shorter
+// than two bytes cannot be meaningfully torn and are an error.
+func Truncate(path string, seed uint64) (newLen int64, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	size := fi.Size()
+	if size < 2 {
+		return 0, fmt.Errorf("iofault: truncate %s: %d bytes is too short to tear", path, size)
+	}
+	rng := simrand.NewStream(seed).Derive("iofault:truncate")
+	newLen = 1 + rng.Int64N(size-1)
+	if err := os.Truncate(path, newLen); err != nil {
+		return 0, err
+	}
+	return newLen, nil
+}

@@ -1,0 +1,87 @@
+package overload
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenSingleProbeRace proves the half-open admission is a
+// true mutual exclusion under concurrency: when an open breaker's
+// cooldown elapses and a herd of goroutines races Allow, exactly one
+// probe proceeds and every other caller is rejected and counted. Run
+// under -race (make verify does) this also shakes out lock ordering in
+// Allow/Failure/Stats.
+func TestBreakerHalfOpenSingleProbeRace(t *testing.T) {
+	const herd = 32
+	const rounds = 25
+	b, clk := newTestBreaker(1, time.Minute)
+
+	// Open the circuit once; each round then races the half-open probe.
+	if !b.Allow() {
+		t.Fatal("closed breaker rejecting")
+	}
+	b.Failure()
+
+	var totalRejected uint64
+	for round := 0; round < rounds; round++ {
+		clk.advance(time.Minute)
+
+		var allowed atomic.Uint64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(herd)
+		for g := 0; g < herd; g++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.Allow() {
+					allowed.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+
+		if got := allowed.Load(); got != 1 {
+			t.Fatalf("round %d: %d probes allowed through a half-open breaker, want exactly 1", round, got)
+		}
+		totalRejected += herd - 1
+		st := b.Stats()
+		if st.State != "half-open" {
+			t.Fatalf("round %d: state %q after probe admission, want half-open", round, st.State)
+		}
+		if st.Rejected != totalRejected {
+			t.Fatalf("round %d: rejected = %d, want %d (every non-probe caller counted)", round, st.Rejected, totalRejected)
+		}
+		// The probe fails: straight back to open for the next round.
+		b.Failure()
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: probe failure did not re-open", round)
+		}
+	}
+
+	// Final round: the probe succeeds and the circuit closes for everyone.
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	b.Success()
+	var allowed atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < herd; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				allowed.Add(1)
+				b.Success()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := allowed.Load(); got != herd {
+		t.Fatalf("closed breaker admitted %d of %d", got, herd)
+	}
+}

@@ -35,12 +35,37 @@ type Source interface {
 	DIMMs() int
 }
 
+// SiteHealth is one site's position in the host's supervision ladder.
+// The server does not supervise anything itself; the daemon reports
+// through the hook and the server translates the state into HTTP
+// behavior (503 on the site's endpoints, degraded /healthz, metrics).
+type SiteHealth struct {
+	// State is "running", "backoff", "quarantined" or "stopped"
+	// (supervise.State strings). Anything but "running" makes the site's
+	// scoped endpoints answer 503.
+	State string `json:"state"`
+	// Restarts counts supervised restarts of the site's pipeline.
+	Restarts uint64 `json:"restarts"`
+	// LastError is the most recent pipeline failure, rendered.
+	LastError string `json:"lastError,omitempty"`
+	// RetryInSeconds is the time until the next restart attempt while the
+	// site is backing off.
+	RetryInSeconds float64 `json:"retryInSeconds,omitempty"`
+}
+
+// SiteRunning is the SiteHealth state in which a site serves normally.
+const SiteRunning = "running"
+
 // Site is one federated fleet served by a multi-site daemon.
 type Site struct {
 	// ID names the site in /v1/sites URLs and per-site metrics.
 	ID string
 	// Source is the site's engine.
 	Source Source
+	// Health, when set, reports the site's supervision state. A site
+	// whose State is not SiteRunning gets 503 + detail on its scoped
+	// endpoints and flips /healthz to degraded; nil means always running.
+	Health func() SiteHealth
 }
 
 // Config assembles a Server.
@@ -114,8 +139,18 @@ type Server struct {
 
 // siteState is one served fleet.
 type siteState struct {
-	id  string
-	src Source
+	id     string
+	src    Source
+	health func() SiteHealth
+}
+
+// currentHealth resolves the site's supervision state (always running
+// when the host wired no hook).
+func (st *siteState) currentHealth() SiteHealth {
+	if st.health == nil {
+		return SiteHealth{State: SiteRunning}
+	}
+	return st.health()
 }
 
 // New builds a server around an engine, a source, or a site set.
@@ -139,7 +174,7 @@ func New(cfg Config) *Server {
 	switch {
 	case len(cfg.Sites) > 0:
 		for _, site := range cfg.Sites {
-			s.sites = append(s.sites, &siteState{id: site.ID, src: site.Source})
+			s.sites = append(s.sites, &siteState{id: site.ID, src: site.Source, health: site.Health})
 		}
 	case cfg.Source != nil:
 		s.sites = []*siteState{{id: "default", src: cfg.Source}}
@@ -289,6 +324,23 @@ func (s *Server) cached(siteScoped bool, render renderFunc) http.HandlerFunc {
 				writeJSON(w, http.StatusNotFound, errorBody{"unknown site " + r.PathValue("site")})
 				return
 			}
+			if h := site.currentHealth(); h.State != SiteRunning {
+				// The site's pipeline is down or quarantined: its data is
+				// frozen at the last checkpoint, so refuse the read with the
+				// supervision detail instead of serving it as current. The
+				// fleet rollup and /v1/sites stay best-effort.
+				retry := h.RetryInSeconds
+				if retry < 1 {
+					retry = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(int(retry+0.5)))
+				writeJSON(w, http.StatusServiceUnavailable, siteDownBody{
+					Error:  "site " + site.id + " is " + h.State,
+					Site:   site.id,
+					Health: h,
+				})
+				return
+			}
 			v = site.src.LiveView()
 			if lag := site.src.Seq() - v.Seq; lag > 0 {
 				w.Header().Set("X-Astra-Staleness", time.Since(v.BuiltAt).String())
@@ -402,6 +454,27 @@ func (s *Server) registerMetrics() {
 				func() float64 { return float64(st.src.Summary().Faults) })
 		}
 	}
+	for _, st := range s.sites {
+		if st.health == nil {
+			continue
+		}
+		st := st
+		label := `site="` + st.id + `"`
+		s.reg.NewGaugeFunc("astrad_site_state", label, "Supervision state of the site's ingest pipeline: 0 running, 1 backoff, 2 quarantined, 3 stopped.",
+			func() float64 {
+				switch st.currentHealth().State {
+				case "backoff":
+					return 1
+				case "quarantined":
+					return 2
+				case "stopped":
+					return 3
+				}
+				return 0
+			})
+		s.reg.NewCounterFunc("astrad_site_restarts_total", label, "Supervised restarts of the site's ingest pipeline.",
+			func() float64 { return float64(st.currentHealth().Restarts) })
+	}
 
 	if s.ovl != nil {
 		ost := s.ovl
@@ -489,6 +562,15 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// siteDownBody is the 503 payload for a site whose pipeline is not
+// running: enough detail for an operator to tell a restarting site (come
+// back shortly) from a quarantined one (page someone).
+type siteDownBody struct {
+	Error  string     `json:"error"`
+	Site   string     `json:"site"`
+	Health SiteHealth `json:"health"`
+}
+
 // healthResponse is the /healthz body. Status is "ok", "degraded"
 // (checkpoint breaker not closed, or served views older than the
 // staleness bound, or records already shed), or "shedding" (the
@@ -507,6 +589,15 @@ type healthResponse struct {
 	// Overload is the admission layer's live accounting (absent when the
 	// daemon runs without one, e.g. under tests).
 	Overload *overload.Status `json:"overload,omitempty"`
+	// Sites is the per-site supervision ladder (present when the daemon
+	// wired health hooks). Any site not running makes Status "degraded".
+	Sites []siteHealthEntry `json:"sites,omitempty"`
+}
+
+// siteHealthEntry is one rung of the /healthz per-site ladder.
+type siteHealthEntry struct {
+	ID string `json:"id"`
+	SiteHealth
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -526,6 +617,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if staleness > s.maxStaleness || v.Summary.Degraded {
 		resp.Status = "degraded"
+	}
+	for _, st := range s.sites {
+		if st.health == nil {
+			continue
+		}
+		h := st.currentHealth()
+		resp.Sites = append(resp.Sites, siteHealthEntry{ID: st.id, SiteHealth: h})
+		if h.State != SiteRunning {
+			resp.Status = "degraded"
+		}
 	}
 	if s.ovl != nil {
 		st := s.ovl()
@@ -622,6 +723,9 @@ type siteInfo struct {
 	Last        time.Time `json:"last"`
 	Degraded    bool      `json:"degraded"`
 	Seq         uint64    `json:"seq"`
+	// State is the site's supervision state (omitted when the daemon runs
+	// without supervision hooks).
+	State string `json:"state,omitempty"`
 }
 
 type sitesResponse struct {
@@ -633,7 +737,7 @@ func (s *Server) renderSites(_ *stream.View, _ int, _ *http.Request) (int, any) 
 	resp := sitesResponse{Count: len(s.sites), Sites: make([]siteInfo, 0, len(s.sites))}
 	for _, st := range s.sites {
 		v := st.src.LiveView()
-		resp.Sites = append(resp.Sites, siteInfo{
+		info := siteInfo{
 			ID:          st.id,
 			Records:     v.Summary.Records,
 			Offered:     v.Summary.Offered,
@@ -643,7 +747,11 @@ func (s *Server) renderSites(_ *stream.View, _ int, _ *http.Request) (int, any) 
 			Last:        v.Summary.Last,
 			Degraded:    v.Summary.Degraded,
 			Seq:         v.Seq,
-		})
+		}
+		if st.health != nil {
+			info.State = st.currentHealth().State
+		}
+		resp.Sites = append(resp.Sites, info)
 	}
 	return http.StatusOK, resp
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 )
 
@@ -49,6 +50,28 @@ type TailConfig struct {
 	// Poll is how long to wait before re-reading after the file stops
 	// yielding data (0 means DefaultTailPoll).
 	Poll time.Duration
+	// Path enables rotation tolerance. When set and the reader is an
+	// *os.File, the follower stats Path at each idle poll: an inode
+	// change (classic rename-and-recreate rotation) drops the torn
+	// partial line, reopens Path from offset 0 and keeps streaming; a
+	// same-inode shrink (copytruncate) seeks back to 0. Stream offsets
+	// stay monotonic across the switch — FileOffset translates them back
+	// into current-file coordinates for checkpointing.
+	Path string
+}
+
+// TailStats counts the rotation events a Follower has absorbed.
+type TailStats struct {
+	// Rotations counts inode changes (file renamed away and recreated).
+	Rotations int64
+	// Truncations counts same-inode shrinks (copytruncate rotation).
+	Truncations int64
+	// DroppedPartials counts torn partial lines discarded at a rotation
+	// boundary, DroppedBytes their total size. A partial line in the old
+	// file can never be completed by bytes of the new one; gluing them
+	// would fabricate a record that exists in neither file.
+	DroppedPartials int64
+	DroppedBytes    int64
 }
 
 // Follower adapts a growing log file into an io.Reader that releases only
@@ -69,11 +92,27 @@ type Follower struct {
 	pos   int    // next byte of buf to hand out
 	ready int    // bytes buf[:ready] end on a newline
 	chunk []byte // scratch read buffer
+
+	// Rotation tolerance (file == nil when disabled). Stream offsets are
+	// the coordinate system the downstream scanner checkpoints in: the
+	// count of released bytes, seeded with the initial file position so
+	// that before any rotation stream offset == file offset. Each
+	// rotation starts a new segment: segStartStream is the stream offset
+	// where the current file's bytes begin, segFileBase the file offset
+	// they begin at (0 after a reopen, the resume offset at startup).
+	path           string
+	file           *os.File
+	filePos        int64 // next read offset in the current file
+	released       int64 // total stream bytes handed out
+	segStartStream int64
+	segFileBase    int64
+	stats          TailStats
 }
 
 // NewFollower wraps r (typically an *os.File positioned at the resume
 // offset) as a line-complete tail reader. The context governs the
-// follower's lifetime; a nil context follows forever.
+// follower's lifetime; a nil context follows forever. With cfg.Path set
+// and r an *os.File, the follower survives log rotation (see TailConfig).
 func NewFollower(ctx context.Context, r io.Reader, cfg TailConfig) *Follower {
 	if ctx == nil {
 		ctx = context.Background()
@@ -82,7 +121,99 @@ func NewFollower(ctx context.Context, r io.Reader, cfg TailConfig) *Follower {
 	if poll <= 0 {
 		poll = DefaultTailPoll
 	}
-	return &Follower{ctx: ctx, r: r, poll: poll, chunk: make([]byte, 64*1024)}
+	f := &Follower{ctx: ctx, r: r, poll: poll, chunk: make([]byte, 64*1024)}
+	if cfg.Path != "" {
+		if osf, ok := r.(*os.File); ok {
+			if pos, err := osf.Seek(0, io.SeekCurrent); err == nil {
+				f.path = cfg.Path
+				f.file = osf
+				f.filePos = pos
+				f.released = pos
+				f.segStartStream = pos
+				f.segFileBase = pos
+			}
+		}
+	}
+	return f
+}
+
+// Stats reports the rotation events absorbed so far. Like Read, it must
+// be called from the goroutine driving the follower.
+func (f *Follower) Stats() TailStats { return f.stats }
+
+// FileOffset translates a stream offset (the coordinate a scanner
+// Checkpoint records) into an offset in the currently-open file. ok is
+// false when the offset predates the current file — it points into a
+// rotated-away segment and must not be used as a resume position.
+// Without rotation tolerance the mapping is the identity.
+func (f *Follower) FileOffset(stream int64) (int64, bool) {
+	if f.file == nil {
+		return stream, true
+	}
+	if stream < f.segStartStream {
+		return 0, false
+	}
+	return f.segFileBase + (stream - f.segStartStream), true
+}
+
+// dropPartial discards the held torn line at a rotation boundary.
+func (f *Follower) dropPartial() {
+	if n := len(f.buf); n > 0 {
+		f.stats.DroppedPartials++
+		f.stats.DroppedBytes += int64(n)
+		f.buf = f.buf[:0]
+	}
+	f.pos, f.ready = 0, 0
+}
+
+// checkRotate inspects the path at an idle poll and switches segments on
+// rotation or truncation. It reports whether reading should resume
+// immediately (new bytes may be waiting at the new position).
+func (f *Follower) checkRotate() bool {
+	if f.file == nil {
+		return false
+	}
+	cur, err := f.file.Stat()
+	if err != nil {
+		return false
+	}
+	disk, err := os.Stat(f.path)
+	if err != nil {
+		// Mid-rotation window (renamed away, successor not yet created)
+		// or deleted outright: keep polling the old handle.
+		return false
+	}
+	if os.SameFile(cur, disk) {
+		if disk.Size() < f.filePos {
+			// Truncated in place (copytruncate): restart from the top.
+			f.dropPartial()
+			if _, err := f.file.Seek(0, io.SeekStart); err != nil {
+				return false
+			}
+			f.segStartStream = f.released
+			f.segFileBase = 0
+			f.filePos = 0
+			f.stats.Truncations++
+			return true
+		}
+		return false
+	}
+	// Inode changed: the log was rotated and recreated. The old handle
+	// was already drained to EOF (we only get here at an idle poll), so
+	// switch to the successor from its beginning.
+	next, err := os.Open(f.path)
+	if err != nil {
+		return false
+	}
+	f.dropPartial()
+	f.file.Close()
+	f.file = next
+	f.r = next
+	f.segStartStream = f.released
+	f.segFileBase = 0
+	f.filePos = 0
+	f.stats.Rotations++
+	return true
 }
 
 // Read implements io.Reader over the complete-line stream.
@@ -91,6 +222,7 @@ func (f *Follower) Read(p []byte) (int, error) {
 		if f.pos < f.ready {
 			n := copy(p, f.buf[f.pos:f.ready])
 			f.pos += n
+			f.released += int64(n)
 			return n, nil
 		}
 		// All released bytes are consumed; compact the held partial line
@@ -101,6 +233,7 @@ func (f *Follower) Read(p []byte) (int, error) {
 		}
 		n, err := f.r.Read(f.chunk)
 		if n > 0 {
+			f.filePos += int64(n)
 			f.buf = append(f.buf, f.chunk[:n]...)
 			if i := bytes.LastIndexByte(f.buf, '\n'); i >= 0 {
 				f.ready = i + 1
@@ -117,11 +250,15 @@ func (f *Follower) Read(p []byte) (int, error) {
 		if err != nil && err != io.EOF {
 			return 0, err
 		}
-		// No complete line available: stop if asked, else wait for growth.
+		// No complete line available: stop if asked, check for rotation,
+		// else wait for growth.
 		select {
 		case <-f.ctx.Done():
 			return 0, ErrTailStopped
 		default:
+		}
+		if f.checkRotate() {
+			continue
 		}
 		select {
 		case <-f.ctx.Done():
