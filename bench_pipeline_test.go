@@ -93,6 +93,14 @@ func BenchmarkStageFaninMerge(b *testing.B) {
 }
 func BenchmarkStageAdmission(b *testing.B) { benchStage(b, "admission") }
 
+// The prediction layer's ingest-path overhead: per-record feature
+// updates on a warm tracker. Serial only — feature extraction is
+// arrival-ordered by design. Expected 0 allocs/op.
+func BenchmarkStagePredictFeatures(b *testing.B) {
+	stage := findStage(b, "predict-features")
+	b.Run("serial", func(b *testing.B) { runStage(b, stage, 1) })
+}
+
 // The block-parallel scanner and the columnar replay: the two ingest
 // paths the text parse stage above is the baseline for.
 func BenchmarkStageParseParallel(b *testing.B) {

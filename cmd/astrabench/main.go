@@ -85,6 +85,7 @@ var guardStages = []guardStage{
 	{"colfmt-replay", 1},
 	{"stream-ingest", 1},
 	{"stream-ingest", 8},
+	{"predict-features", 1},
 }
 
 func main() {

@@ -1,0 +1,158 @@
+// Alarm ledger: the daemon's record of when each bank first scored at
+// or above the alarm threshold under the serving predictor. Feature
+// state rebuilds from the replayed CE records on every restart (it is a
+// pure function of them), but first-alarm times are not derivable from
+// the records — they say when errors happened, not when the predictor
+// first flagged the bank — so they are durable state, carried per site
+// in the v4 state sections. Preserving them across restarts keeps
+// lead-time accounting honest: a bank that alarmed Monday and failed
+// Friday shows four days of warning even if the daemon restarted
+// Wednesday.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predict"
+	"repro/internal/topology"
+)
+
+// alarmEntry is one persisted first-alarm fact.
+type alarmEntry struct {
+	key core.BankKey
+	at  int64 // wall clock, UnixNano
+}
+
+// alarmLedger tracks one site's first-alarm times. It lives on the
+// siteDaemon, outside any pipeline incarnation: a supervised restart
+// rebuilds the engine but restores the ledger from the site's section,
+// so alarm times never move backward or re-stamp.
+type alarmLedger struct {
+	mu    sync.Mutex
+	first map[core.BankKey]int64
+}
+
+// observe scores every bank's current features and stamps now as the
+// first-alarm time for banks newly at or above threshold. Already-
+// alarmed banks keep their original stamp even if their score later
+// drops (the window forgetting a burst does not unring the alarm).
+func (l *alarmLedger) observe(banks []predict.BankFeatures, p predict.Predictor, threshold float64, now time.Time) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	added := 0
+	for i := range banks {
+		if _, ok := l.first[banks[i].Key]; ok {
+			continue
+		}
+		if p.Score(&banks[i].F) >= threshold {
+			if l.first == nil {
+				l.first = make(map[core.BankKey]int64)
+			}
+			l.first[banks[i].Key] = now.UnixNano()
+			added++
+		}
+	}
+	return added
+}
+
+// size returns the number of alarmed banks.
+func (l *alarmLedger) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.first)
+}
+
+// snapshot returns the ledger sorted by bank key, so marshaling is
+// deterministic (round-trip tests and checkpoint diffing rely on it).
+func (l *alarmLedger) snapshot() []alarmEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]alarmEntry, 0, len(l.first))
+	for k, at := range l.first {
+		out = append(out, alarmEntry{key: k, at: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return lessBankKey(out[i].key, out[j].key) })
+	return out
+}
+
+// replace resets the ledger to a restored snapshot.
+func (l *alarmLedger) replace(entries []alarmEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.first = make(map[core.BankKey]int64, len(entries))
+	for _, e := range entries {
+		l.first[e.key] = e.at
+	}
+}
+
+func lessBankKey(a, b core.BankKey) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Slot != b.Slot {
+		return a.Slot < b.Slot
+	}
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.Bank < b.Bank
+}
+
+// appendAlarms renders the alarms subsection of a v4 site section.
+func appendAlarms(b *bytes.Buffer, alarms []alarmEntry) {
+	fmt.Fprintf(b, "alarms %d\n", len(alarms))
+	for _, a := range alarms {
+		fmt.Fprintf(b, "alarm %s %d %d %d %d\n",
+			a.key.Node.String(), int(a.key.Slot), a.key.Rank, a.key.Bank, a.at)
+	}
+}
+
+// parseAlarms parses the alarms subsection from the front of data and
+// returns the unconsumed remainder, with the same site/offset error
+// diagnosability as parseSection.
+func parseAlarms(data []byte, site string, base int) (alarms []alarmEntry, rest []byte, err error) {
+	rest = data
+	fail := func(format string, args ...any) error {
+		at := base + len(data) - len(rest)
+		return fmt.Errorf("astrad: state file: site %s: %s at byte %d", site, fmt.Sprintf(format, args...), at)
+	}
+	var count int
+	if n, serr := fmt.Sscanf(string(firstLine(rest)), "alarms %d", &count); serr != nil || n != 1 {
+		return nil, nil, fail("bad alarms header")
+	}
+	if count < 0 {
+		return nil, nil, fail("negative alarm count")
+	}
+	rest = rest[len(firstLine(rest))+1:]
+	alarms = make([]alarmEntry, 0, count)
+	for i := 0; i < count; i++ {
+		line := firstLine(rest)
+		if line == nil {
+			return nil, nil, fail("truncated at alarm %d of %d", i, count)
+		}
+		var node string
+		var slot, rank, bank int
+		var at int64
+		if n, serr := fmt.Sscanf(string(line), "alarm %s %d %d %d %d", &node, &slot, &rank, &bank, &at); serr != nil || n != 5 {
+			return nil, nil, fail("alarm %d: bad line %q", i, line)
+		}
+		id, perr := topology.ParseNodeID(node)
+		if perr != nil {
+			return nil, nil, fail("alarm %d: %v", i, perr)
+		}
+		if !topology.Slot(slot).Valid() {
+			return nil, nil, fail("alarm %d: slot %d out of range", i, slot)
+		}
+		rest = rest[len(line)+1:]
+		alarms = append(alarms, alarmEntry{
+			key: core.BankKey{Node: id, Slot: topology.Slot(slot), Rank: int8(rank), Bank: int8(bank)},
+			at:  at,
+		})
+	}
+	return alarms, rest, nil
+}

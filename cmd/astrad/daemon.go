@@ -17,6 +17,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/mce"
 	"repro/internal/overload"
+	"repro/internal/predict"
 	"repro/internal/stream"
 	"repro/internal/supervise"
 	"repro/internal/syslog"
@@ -61,6 +62,12 @@ type daemonConfig struct {
 
 	// Checkpoint generation ladder depth (state, state.1, ...).
 	stateKeep int
+
+	// Risk serving: alarm threshold for the first-alarm ledger and the
+	// astrad_predict_atrisk gauge, and an optional trained-model
+	// directory replacing the built-in rule ladder.
+	riskThreshold float64
+	modelPath     string
 
 	// Per-site supervision.
 	restartBackoff    time.Duration
@@ -120,6 +127,11 @@ type siteDaemon struct {
 	// scanner offset predated a log rotation (no file position to
 	// resume from until the scanner crosses into the new segment).
 	cpUntranslatable atomic.Uint64
+
+	// alarms is the site's first-alarm ledger. It outlives pipeline
+	// incarnations (a supervised restart restores it from the site's
+	// section) and rides in every v4 checkpoint.
+	alarms alarmLedger
 }
 
 func (s *siteDaemon) engine() *stream.Sharded              { return s.eng.Load() }
@@ -140,6 +152,11 @@ type daemon struct {
 	cfg   daemonConfig
 	log   *slog.Logger
 	sites []*siteDaemon
+
+	// predictor scores bank features for the risk endpoints and the
+	// alarm ledgers; Score is read-only so one instance serves every
+	// site concurrently.
+	predictor predict.Predictor
 
 	breaker *overload.Breaker
 	// cpCh carries pre-composed state snapshots to the checkpoint
@@ -334,8 +351,11 @@ func (d *daemon) drain(q *overload.Queue[mce.CERecord], eng *stream.Sharded) {
 // records plus the still-queued records are exactly the CEs the scanner
 // had emitted at cp — a restart loses nothing and duplicates nothing,
 // and the shed count carried alongside keeps the degraded accounting
-// honest across the restart. The marshaled section is published for the
-// composer; the disk write happens in the checkpoint writer.
+// honest across the restart. The alarm ledger is advanced here too —
+// checkpoint cadence is the alarm granularity — so the stamped times
+// are always consistent with the records they ride with. The marshaled
+// section is published for the composer; the disk write happens in the
+// checkpoint writer.
 func (d *daemon) snapshotSection(s *siteDaemon, cp syslog.Checkpoint) error {
 	var data []byte
 	var err error
@@ -343,7 +363,8 @@ func (d *daemon) snapshotSection(s *siteDaemon, cp syslog.Checkpoint) error {
 	s.queue().Freeze(func(queued []mce.CERecord, _ overload.QueueStats) {
 		recs := eng.Records()
 		recs = append(recs, queued...)
-		data, err = marshalSiteSection(cp, eng.Shed(), recs)
+		s.alarms.observe(eng.Features(), d.predictor, d.cfg.riskThreshold, time.Now())
+		data, err = marshalSiteSectionV4(cp, eng.Shed(), recs, s.alarms.snapshot())
 	})
 	if err != nil {
 		return err
@@ -352,23 +373,15 @@ func (d *daemon) snapshotSection(s *siteDaemon, cp syslog.Checkpoint) error {
 	return nil
 }
 
-// composeState concatenates the latest per-site sections into one state
-// file image: the v2 single-site format when one site is configured
-// (byte-compatible with older daemons), the v3 multi-site format
-// otherwise. Sections are each internally consistent; sites tail
-// independent logs, so a file composed from sections captured moments
-// apart is still a correct per-site resume point — and a quarantined
-// site contributes its last-good section.
+// composeState concatenates the latest per-site sections into one v4
+// state file image (a single-site daemon writes a one-section v4 file;
+// older v1-v3 files still load). Sections are each internally
+// consistent; sites tail independent logs, so a file composed from
+// sections captured moments apart is still a correct per-site resume
+// point — and a quarantined site contributes its last-good section.
 func (d *daemon) composeState() []byte {
-	if len(d.sites) == 1 {
-		sec := *d.sites[0].section.Load()
-		out := make([]byte, 0, len(stateMagic)+1+len(sec))
-		out = append(out, stateMagic...)
-		out = append(out, '\n')
-		return append(out, sec...)
-	}
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "%s\nsites %d\n", stateMagicV3, len(d.sites))
+	fmt.Fprintf(&b, "%s\nsites %d\n", stateMagicV4, len(d.sites))
 	for _, s := range d.sites {
 		fmt.Fprintf(&b, "site %s\n", s.id)
 		b.Write(*s.section.Load())
@@ -451,12 +464,14 @@ func (d *daemon) persist(data []byte) error {
 }
 
 // State file magics; v2 added the shed count, v3 wraps per-site sections
-// for multi-site daemons. v1 files (no shed line) and v2 files still
-// load, as a single site.
+// for multi-site daemons, v4 appends the first-alarm ledger to every
+// section. All older versions still load: v1/v2 as a single site with
+// an empty ledger, v3 with empty ledgers.
 const (
 	stateMagic   = "astrad-state v2"
 	stateMagicV1 = "astrad-state v1"
 	stateMagicV3 = "astrad-state v3"
+	stateMagicV4 = "astrad-state v4"
 )
 
 // checksumPrefix opens the optional integrity trailer: the last line of
@@ -498,10 +513,11 @@ func openState(data []byte) ([]byte, error) {
 
 // siteSnapshot is one site's restored durable state.
 type siteSnapshot struct {
-	id   string
-	cp   syslog.Checkpoint
-	shed uint64
-	recs []mce.CERecord
+	id     string
+	cp     syslog.Checkpoint
+	shed   uint64
+	recs   []mce.CERecord
+	alarms []alarmEntry
 }
 
 // marshalSiteSection renders one site's durable state section: the
@@ -530,6 +546,33 @@ func marshalSiteSection(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) 
 	return b.Bytes(), nil
 }
 
+// marshalSiteSectionV4 renders a v4 site section: the v3 section plus
+// the site's first-alarm ledger, so restart preserves when each bank
+// first crossed the alarm threshold (not reconstructible from records).
+func marshalSiteSectionV4(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord, alarms []alarmEntry) ([]byte, error) {
+	sec, err := marshalSiteSection(cp, shed, recs)
+	if err != nil {
+		return nil, err
+	}
+	b := bytes.NewBuffer(sec)
+	appendAlarms(b, alarms)
+	return b.Bytes(), nil
+}
+
+// parseSectionV4 parses one v4 section (checkpoint/shed/records/alarms)
+// from the front of data.
+func parseSectionV4(data []byte, site string, base int) (cp syslog.Checkpoint, shed uint64, recs []mce.CERecord, alarms []alarmEntry, rest []byte, err error) {
+	cp, shed, recs, rest, err = parseSection(data, true, site, base)
+	if err != nil {
+		return cp, 0, nil, nil, nil, err
+	}
+	alarms, rest, err = parseAlarms(rest, site, base+len(data)-len(rest))
+	if err != nil {
+		return cp, 0, nil, nil, nil, err
+	}
+	return cp, shed, recs, alarms, rest, nil
+}
+
 // marshalState renders the single-site (v2) state file (unsealed; the
 // persist layer adds the checksum trailer).
 func marshalState(cp syslog.Checkpoint, shed uint64, recs []mce.CERecord) ([]byte, error) {
@@ -550,6 +593,22 @@ func marshalStateV3(sites []siteSnapshot) ([]byte, error) {
 	fmt.Fprintf(&b, "%s\nsites %d\n", stateMagicV3, len(sites))
 	for _, s := range sites {
 		sec, err := marshalSiteSection(s.cp, s.shed, s.recs)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "site %s\n", s.id)
+		b.Write(sec)
+	}
+	return b.Bytes(), nil
+}
+
+// marshalStateV4 renders the current state file format: v3's shape with
+// the alarm ledger appended to every site section.
+func marshalStateV4(sites []siteSnapshot) ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\nsites %d\n", stateMagicV4, len(sites))
+	for _, s := range sites {
+		sec, err := marshalSiteSectionV4(s.cp, s.shed, s.recs, s.alarms)
 		if err != nil {
 			return nil, err
 		}
@@ -641,17 +700,29 @@ func unmarshalState(data []byte) (syslog.Checkpoint, uint64, []mce.CERecord, err
 	return cp, shed, recs, nil
 }
 
-// unmarshalStateV3 parses a multi-site state file into its per-site
-// snapshots. A checksum trailer, if present, is verified and stripped
-// first.
+// unmarshalStateV3 parses a v3 multi-site state file into its per-site
+// snapshots (empty alarm ledgers).
 func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
+	return unmarshalMulti(data, stateMagicV3, false)
+}
+
+// unmarshalStateV4 parses a v4 multi-site state file, alarm ledgers
+// included.
+func unmarshalStateV4(data []byte) ([]siteSnapshot, error) {
+	return unmarshalMulti(data, stateMagicV4, true)
+}
+
+// unmarshalMulti parses a multi-site state file (v3 or v4 by magic) into
+// its per-site snapshots. A checksum trailer, if present, is verified
+// and stripped first.
+func unmarshalMulti(data []byte, magic string, hasAlarms bool) ([]siteSnapshot, error) {
 	data, err := openState(data)
 	if err != nil {
 		return nil, err
 	}
-	rest, ok := bytes.CutPrefix(data, []byte(stateMagicV3+"\n"))
+	rest, ok := bytes.CutPrefix(data, []byte(magic+"\n"))
 	if !ok {
-		return nil, fmt.Errorf("astrad: state file: bad v3 header")
+		return nil, fmt.Errorf("astrad: state file: bad %s header", magic)
 	}
 	var count int
 	if n, err := fmt.Sscanf(string(firstLine(rest)), "sites %d", &count); err != nil || n != 1 {
@@ -669,7 +740,16 @@ func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
 			return nil, fmt.Errorf("astrad: state file: bad site header at section %d (byte %d)", i, len(data)-len(rest))
 		}
 		rest = rest[len(line)+1:]
-		cp, shed, recs, r, err := parseSection(rest, true, id, len(data)-len(rest))
+		var cp syslog.Checkpoint
+		var shed uint64
+		var recs []mce.CERecord
+		var alarms []alarmEntry
+		var r []byte
+		if hasAlarms {
+			cp, shed, recs, alarms, r, err = parseSectionV4(rest, id, len(data)-len(rest))
+		} else {
+			cp, shed, recs, r, err = parseSection(rest, true, id, len(data)-len(rest))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -679,7 +759,7 @@ func unmarshalStateV3(data []byte) ([]siteSnapshot, error) {
 				return nil, fmt.Errorf("astrad: state file: duplicate site %s", id)
 			}
 		}
-		snaps = append(snaps, siteSnapshot{id: id, cp: cp, shed: shed, recs: recs})
+		snaps = append(snaps, siteSnapshot{id: id, cp: cp, shed: shed, recs: recs, alarms: alarms})
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("astrad: state file: %d trailing bytes at byte %d", len(rest), len(data)-len(rest))
@@ -697,10 +777,13 @@ func firstLine(data []byte) []byte {
 	return data[:i]
 }
 
-// decodeState routes one state image (any generation) by magic: v3
-// multi-site, else v1/v2 loaded as one site named "default". Checksum
-// verification happens inside the unmarshalers.
+// decodeState routes one state image (any generation) by magic: v4 or
+// v3 multi-site, else v1/v2 loaded as one site named "default".
+// Checksum verification happens inside the unmarshalers.
 func decodeState(data []byte) ([]siteSnapshot, error) {
+	if bytes.HasPrefix(data, []byte(stateMagicV4+"\n")) {
+		return unmarshalStateV4(data)
+	}
 	if bytes.HasPrefix(data, []byte(stateMagicV3+"\n")) {
 		return unmarshalStateV3(data)
 	}

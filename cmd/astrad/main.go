@@ -8,10 +8,18 @@
 //	GET /v1/breakdown            rolling summary: counts, modes, CE rates
 //	GET /v1/fit                  windowed and overall FIT/DIMM estimates
 //	GET /v1/nodes/{id}           per-node status (id is the host name)
+//	GET /v1/nodes/{id}/risk      per-node bank risk scores under the predictor
+//	GET /v1/atrisk               fleet's top banks by predicted failure risk
 //	GET /v1/sites                site inventory (multi-site daemons)
-//	GET /v1/sites/{site}/...     site-scoped faults/breakdown/fit/nodes
+//	GET /v1/sites/{site}/...     site-scoped faults/breakdown/fit/nodes/risk
 //	GET /healthz                 liveness
 //	GET /metrics                 Prometheus text exposition
+//
+// Risk serving scores each bank's live feature state under a predictor
+// (the built-in rule ladder, or a trained model via -model). Banks
+// crossing -risk-threshold are stamped into a per-site first-alarm
+// ledger that persists in the v4 state sections, so lead-time
+// accounting survives restarts.
 //
 // With several -site flags the daemon federates independent fleets: each
 // site tails its own log into its own partitioned engine, and the legacy
@@ -61,6 +69,7 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/overload"
+	"repro/internal/predict"
 	"repro/internal/serve"
 	"repro/internal/stream"
 	"repro/internal/supervise"
@@ -132,6 +141,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&cfg.cpTimeout, "checkpoint-timeout", 5*time.Second, "checkpoint writes slower than this count as breaker failures (0 disables)")
 	fs.IntVar(&cfg.stateKeep, "state-keep", atomicio.DefaultKeep, "checkpoint generations kept as a recovery ladder (-state, -state.1, ...; min 1)")
 
+	fs.Float64Var(&cfg.riskThreshold, "risk-threshold", serve.DefaultRiskThreshold, "risk score at which a bank enters the first-alarm ledger and the atrisk gauge")
+	fs.StringVar(&cfg.modelPath, "model", "", "trained prediction model directory (empty = built-in rule ladder)")
+
 	fs.DurationVar(&cfg.restartBackoff, "restart-backoff", time.Second, "initial delay before restarting a failed site pipeline (doubles per consecutive failure, jittered)")
 	fs.DurationVar(&cfg.restartBackoffMax, "restart-backoff-max", 30*time.Second, "ceiling on the site restart backoff")
 	fs.IntVar(&cfg.restartBudget, "restart-budget", supervise.DefaultBudget, "consecutive site pipeline failures before the site is quarantined (<0 = never quarantine)")
@@ -167,6 +179,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg.shedPolicy = policy
 	if cfg.stateKeep < 1 {
 		fmt.Fprintln(stderr, "astrad: -state-keep must be at least 1")
+		fs.Usage()
+		return 2
+	}
+	if cfg.riskThreshold <= 0 || cfg.riskThreshold > 1 {
+		fmt.Fprintln(stderr, "astrad: -risk-threshold must be in (0, 1]")
 		fs.Usage()
 		return 2
 	}
@@ -210,6 +227,16 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		}),
 		cpCh: make(chan []byte, 1),
 		fs:   atomicio.OS,
+	}
+	if cfg.modelPath != "" {
+		m, err := predict.LoadModel(nil, cfg.modelPath)
+		if err != nil {
+			return 1, fmt.Errorf("load model: %w", err)
+		}
+		d.predictor = m
+		logger.Info("prediction model loaded", "dir", cfg.modelPath, "name", m.Name())
+	} else {
+		d.predictor = predict.DefaultRuleLadder()
 	}
 	if cfg.statePath != "" {
 		// A crash can strand an atomic-write temp file next to the state;
@@ -256,14 +283,15 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		site.q.Store(q)
 		site.resumeCP = snap.cp
 		site.primed.Store(true)
-		sec, err := marshalSiteSection(snap.cp, snap.shed, snap.recs)
+		site.alarms.replace(snap.alarms)
+		sec, err := marshalSiteSectionV4(snap.cp, snap.shed, snap.recs, snap.alarms)
 		if err != nil {
 			return 1, err
 		}
 		site.section.Store(&sec)
 		if len(snap.recs) > 0 {
 			logger.Info("restored", "site", spec.id, "records", len(snap.recs), "shed", snap.shed,
-				"offset", snap.cp.Offset, "pendingReorder", snap.cp.Buffered())
+				"alarms", len(snap.alarms), "offset", snap.cp.Offset, "pendingReorder", snap.cp.Buffered())
 		}
 		d.sites = append(d.sites, site)
 	}
@@ -279,6 +307,8 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 		Overload:       d.overloadStatus,
 		MaxConcurrent:  cfg.maxConcurrent,
 		RequestTimeout: cfg.requestTimeout,
+		Predictor:      d.predictor,
+		RiskThreshold:  cfg.riskThreshold,
 	})
 	reg := srv.Registry()
 	reg.NewCounterFunc("astrad_checkpoints_total", "", "State checkpoints written.",
@@ -294,6 +324,14 @@ func serveDaemon(ctx context.Context, cfg daemonConfig, logger *slog.Logger) (in
 			var n uint64
 			for _, s := range d.sites {
 				n += s.cpUntranslatable.Load()
+			}
+			return float64(n)
+		})
+	reg.NewGaugeFunc("astrad_predict_alarmed_banks", "", "Banks in the first-alarm ledgers (ever scored at or above -risk-threshold).",
+		func() float64 {
+			var n int
+			for _, s := range d.sites {
+				n += s.alarms.size()
 			}
 			return float64(n)
 		})

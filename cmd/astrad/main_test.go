@@ -152,9 +152,10 @@ func httpGetJSON(t *testing.T, url string, v any) int {
 func waitForRecords(t *testing.T, addr string, want int) stream.Summary {
 	t.Helper()
 	// Generous: multi-site ingest under -race on a small box is easily
-	// 10-20x slower than native; polling returns the moment the count is
-	// reached, so a passing run never waits this long.
-	deadline := time.Now().Add(150 * time.Second)
+	// 10-20x slower than native (a single-core runner has been measured
+	// needing ~150s); polling returns the moment the count is reached,
+	// so a passing run never waits this long.
+	deadline := time.Now().Add(300 * time.Second)
 	var sum stream.Summary
 	for {
 		httpGetJSON(t, "http://"+addr+"/v1/breakdown", &sum)

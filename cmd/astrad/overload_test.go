@@ -110,10 +110,11 @@ func TestDaemonSIGTERMUnderOverload(t *testing.T) {
 	if code := <-done; code != 0 {
 		t.Fatalf("overloaded shutdown exit = %d; stderr:\n%s", code, errs.String())
 	}
-	_, shed, recs, err := unmarshalState(mustReadFile(t, statePath))
-	if err != nil {
-		t.Fatalf("state after overloaded shutdown: %v", err)
+	snaps, err := decodeState(mustReadFile(t, statePath))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("state after overloaded shutdown: %d sites, %v", len(snaps), err)
 	}
+	shed, recs := snaps[0].shed, snaps[0].recs
 	if shed == 0 {
 		t.Fatal("shed count not persisted")
 	}

@@ -432,7 +432,7 @@ func TestDaemonSiteFaultIsolation(t *testing.T) {
 		Records int `json:"records"`
 		Faults  int `json:"faults"`
 	}
-	deadline = time.Now().Add(150 * time.Second)
+	deadline = time.Now().Add(300 * time.Second)
 	for east.Records < len(cesA) {
 		if code := httpGetJSON(t, "http://"+addr+"/v1/sites/east/breakdown", &east); code != http.StatusOK {
 			t.Fatalf("east breakdown = %d during west quarantine", code)
@@ -512,7 +512,7 @@ func TestDaemonSiteFaultIsolation(t *testing.T) {
 		}
 	}()
 	east.Records, east.Faults = 0, 0
-	deadline = time.Now().Add(150 * time.Second)
+	deadline = time.Now().Add(300 * time.Second)
 	for east.Records < len(cesA) {
 		httpGetJSON(t, "http://"+addr+"/v1/sites/east/breakdown", &east)
 		if time.Now().After(deadline) {
@@ -568,7 +568,7 @@ func TestDaemonSiteRecoversWhenLogAppears(t *testing.T) {
 	var h struct {
 		Records int `json:"records"`
 	}
-	deadline = time.Now().Add(150 * time.Second)
+	deadline = time.Now().Add(300 * time.Second)
 	for h.Records == 0 {
 		httpGetJSON(t, "http://"+addr+"/healthz", &h)
 		if time.Now().After(deadline) {

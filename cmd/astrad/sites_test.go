@@ -245,11 +245,11 @@ func TestDaemonMultiSiteFederationRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.HasPrefix(state, []byte(stateMagicV3+"\n")) {
-		t.Fatalf("multi-site state not v3: %q", state[:min(len(state), 40)])
+	if !bytes.HasPrefix(state, []byte(stateMagicV4+"\n")) {
+		t.Fatalf("multi-site state not v4: %q", state[:min(len(state), 40)])
 	}
 
-	// Restart over the v3 state with a different partition count: every
+	// Restart over the v4 state with a different partition count: every
 	// site restores exactly, and the fault populations match the batch
 	// answers per site.
 	addr, cancel, done, errs = startDaemonCustom(t, args(1)...)

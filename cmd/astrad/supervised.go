@@ -94,7 +94,7 @@ func (d *daemon) runSite(ctx context.Context, s *siteDaemon) error {
 	eng, q, cp := s.engine(), s.queue(), s.resumeCP
 	if !s.primed.CompareAndSwap(true, false) {
 		sec := *s.section.Load()
-		pcp, shed, recs, rest, err := parseSection(sec, true, s.id, 0)
+		pcp, shed, recs, alarms, rest, err := parseSectionV4(sec, s.id, 0)
 		if err == nil && len(rest) != 0 {
 			err = fmt.Errorf("astrad: site %s: %d trailing bytes in section", s.id, len(rest))
 		}
@@ -102,8 +102,9 @@ func (d *daemon) runSite(ctx context.Context, s *siteDaemon) error {
 			// The section was authored by this process, so this is a bug,
 			// not an I/O fault — but a cold restart beats no restart.
 			d.log.Warn("site section unreadable; rebuilding from scratch", "site", s.id, "err", err)
-			pcp, shed, recs = syslog.Checkpoint{}, 0, nil
+			pcp, shed, recs, alarms = syslog.Checkpoint{}, 0, nil, nil
 		}
+		s.alarms.replace(alarms)
 		eng, q = d.rebuild(s, siteSnapshot{id: s.id, cp: pcp, shed: shed, recs: recs})
 		cp = pcp
 		d.log.Info("site pipeline rebuilt", "site", s.id, "records", len(recs), "offset", cp.Offset)
@@ -123,9 +124,12 @@ func (d *daemon) runSite(ctx context.Context, s *siteDaemon) error {
 		// down): the saved state describes bytes that no longer exist.
 		d.log.Warn("log shorter than checkpoint; starting fresh",
 			"site", s.id, "size", fi.Size(), "offset", cp.Offset)
+		// A fresh log means the ledger's history is no longer tied to the
+		// records that produced it; drop it with the engine state.
+		s.alarms.replace(nil)
 		eng, q = d.rebuild(s, siteSnapshot{id: s.id})
 		cp = syslog.Checkpoint{}
-		if sec, err := marshalSiteSection(cp, 0, nil); err == nil {
+		if sec, err := marshalSiteSectionV4(cp, 0, nil, nil); err == nil {
 			s.section.Store(&sec)
 		}
 	}

@@ -1,0 +1,217 @@
+// Command astrapredict is the failure-prediction workbench: it builds a
+// ground-truth evaluation fleet (seeded fault-model generation), trains
+// and persists a logistic-regression model over streamed bank features,
+// sweeps alarm thresholds against DUE labels, and simulates the
+// operational payoff of predict-then-retire against the paper's
+// reactive page-retirement policy.
+//
+// Usage:
+//
+//	astrapredict -mode eval   [-seed 8] [-model DIR] [-svg out.svg] [-json]
+//	astrapredict -mode train  [-seed 8] -out DIR [-json]
+//	astrapredict -mode payoff [-seed 8] [-model DIR] [-threshold 0.625] [-json]
+//
+// All modes run over predict.DefaultScenario(seed): a generated fleet
+// with escalation-prone faults and EDAC-truncated observable telemetry,
+// labeled from the ground-truth DUE stream. -model points eval/payoff
+// at a trained model directory (default: the built-in rule ladder).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/predict"
+	"repro/internal/svgplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("astrapredict: ")
+	var (
+		mode      = flag.String("mode", "eval", "mode: eval, train or payoff")
+		seed      = flag.Uint64("seed", 8, "scenario seed (generation, training and retirement randomness)")
+		modelDir  = flag.String("model", "", "eval/payoff: trained model directory (default: built-in rule ladder)")
+		outDir    = flag.String("out", "", "train: output model directory (required)")
+		svgPath   = flag.String("svg", "", "eval: write a precision/recall/lead-time SVG here")
+		threshold = flag.Float64("threshold", 0.625, "payoff: alarm threshold for the predictive arm")
+		horizon   = flag.Duration("horizon", 0, "override the label/eval horizon (0 = scenario default)")
+		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sc := predict.DefaultScenario(*seed)
+	if *horizon > 0 {
+		sc.Eval.Horizon = *horizon
+	}
+	ds, err := dataset.Build(ctx, sc.Dataset)
+	if err != nil {
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
+	dues := predict.Labels(ds.Pop)
+	log.Printf("scenario seed=%d: %d nodes, %d CE records, %d DUEs on %d DIMMs",
+		*seed, sc.Dataset.Nodes, len(ds.CERecords), len(dues), sc.Eval.TotalDIMMs)
+
+	switch *mode {
+	case "train":
+		if *outDir == "" {
+			log.Fatal("-mode train requires -out DIR")
+		}
+		runTrain(ctx, sc, ds, dues, *seed, *outDir, *asJSON)
+	case "eval":
+		p := loadPredictor(*modelDir)
+		runEval(sc, ds, dues, p, *svgPath, *asJSON)
+	case "payoff":
+		p := loadPredictor(*modelDir)
+		runPayoff(ds, p, *threshold, *seed, *asJSON)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// loadPredictor resolves -model: empty means the built-in rule ladder,
+// anything else a SaveModel directory (manifest-verified).
+func loadPredictor(dir string) predict.Predictor {
+	if dir == "" {
+		return predict.DefaultRuleLadder()
+	}
+	m, err := predict.LoadModel(nil, dir)
+	if err != nil {
+		log.Fatalf("load model: %v", err)
+	}
+	return m
+}
+
+func runTrain(ctx context.Context, sc predict.Scenario, ds *dataset.Dataset, dues []predict.DUE, seed uint64, outDir string, asJSON bool) {
+	samples := predict.BuildSamples(ds.CERecords, dues, predict.SampleConfig{
+		Horizon: sc.Eval.Horizon,
+		Tracker: sc.Eval.Tracker,
+	})
+	m, err := predict.TrainLogReg(samples, predict.DefaultTrainConfig(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := predict.SaveModel(ctx, nil, outDir, m); err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		emitJSON(m)
+		return
+	}
+	fmt.Printf("trained %s: %d samples (%d positive), %d iters, final loss %.4f\n",
+		m.Name(), m.Samples, m.Positives, m.Iters, m.FinalLoss)
+	fmt.Printf("saved to %s (manifest-fingerprinted)\n", outDir)
+	fmt.Println("standardized weights (|w| = feature influence):")
+	for i, name := range m.Names {
+		fmt.Printf("  %-24s %+.4f\n", name, m.W[i])
+	}
+}
+
+func runEval(sc predict.Scenario, ds *dataset.Dataset, dues []predict.DUE, p predict.Predictor, svgPath string, asJSON bool) {
+	ev, err := predict.Evaluate(ds.CERecords, dues, p, sc.Eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(evalSVG(ev)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", svgPath)
+	}
+	if asJSON {
+		emitJSON(ev)
+		return
+	}
+	fmt.Printf("predictor %s, horizon %v, %d banks over %d records, %d/%d DIMMs reached a DUE\n",
+		ev.Predictor, ev.Horizon, ev.Banks, ev.Records, ev.DIMMsDUE, ev.TotalDIMMs)
+	fmt.Println("threshold  precision  recall     F1    alarms  leadP50")
+	for _, pt := range ev.Points {
+		fmt.Printf("   %5.2f     %6.3f   %6.3f  %6.3f   %5d   %s\n",
+			pt.Threshold, pt.Precision, pt.Recall, pt.F1, pt.Alarmed, leadStr(pt.LeadP50))
+	}
+	if best := ev.BestAt(0.8); best != nil {
+		fmt.Printf("best recall at precision>=0.8: threshold %.2f -> precision %.3f recall %.3f (median lead %s)\n",
+			best.Threshold, best.Precision, best.Recall, leadStr(best.LeadP50))
+	} else if best := ev.Best(); best != nil {
+		fmt.Printf("no point reaches precision 0.8; best F1: threshold %.2f -> precision %.3f recall %.3f\n",
+			best.Threshold, best.Precision, best.Recall)
+	}
+}
+
+func leadStr(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fd", d.Hours()/24)
+}
+
+// evalSVG renders the threshold sweep (precision/recall/F1 lines) and
+// the per-threshold median lead time (bars) as one self-contained SVG.
+func evalSVG(ev *predict.Evaluation) string {
+	labels := make([]string, len(ev.Points))
+	prec := svgplot.Series{Name: "precision"}
+	rec := svgplot.Series{Name: "recall"}
+	f1 := svgplot.Series{Name: "F1"}
+	leads := make([]float64, len(ev.Points))
+	for i, pt := range ev.Points {
+		labels[i] = fmt.Sprintf("%.2f", pt.Threshold)
+		prec.Values = append(prec.Values, pt.Precision)
+		rec.Values = append(rec.Values, pt.Recall)
+		f1.Values = append(f1.Values, pt.F1)
+		leads[i] = pt.LeadP50.Hours() / 24
+	}
+	var b strings.Builder
+	b.WriteString(svgplot.Lines(
+		fmt.Sprintf("Threshold sweep — %s (horizon %v)", ev.Predictor, ev.Horizon),
+		"score", labels, []svgplot.Series{prec, rec, f1}, false))
+	b.WriteString("\n")
+	b.WriteString(svgplot.Bars("Median alarm lead time by threshold", "days", labels, leads))
+	return b.String()
+}
+
+func runPayoff(ds *dataset.Dataset, p predict.Predictor, threshold float64, seed uint64, asJSON bool) {
+	pay, err := predict.SimulatePayoff(ds.CERecords, ds.Pop, p, predict.PayoffConfig{
+		Threshold: threshold,
+		Seed:      seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		emitJSON(pay)
+		return
+	}
+	fmt.Printf("payoff at threshold %.3f over %d ground-truth DUEs:\n", pay.Threshold, pay.Predictive.DUEsTotal)
+	for _, arm := range []predict.PayoffArm{pay.Predictive, pay.Reactive} {
+		fmt.Printf("  %-28s avoided %d/%d DUEs (%.0f%%, %d ECC-confirmed), retired %d units, %.1f MiB sacrificed",
+			arm.Policy, arm.DUEsAvoided, arm.DUEsTotal, 100*arm.AvoidedFrac, arm.ECCConfirmed,
+			arm.UnitsRetired, float64(arm.CapacityBytes)/(1<<20))
+		if arm.CEsSuppressed > 0 {
+			fmt.Printf(", %d CEs suppressed", arm.CEsSuppressed)
+		}
+		fmt.Println()
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}

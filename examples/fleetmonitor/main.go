@@ -3,15 +3,20 @@
 // node exclude list for the handful of machines that dominate the error
 // counts. It clusters the logged error stream (as an online monitor
 // would), evaluates both policies, and contrasts the paper-aligned
-// fault-count trigger with the naive error-count trigger.
+// fault-count trigger with the naive error-count trigger. It then feeds
+// the stream into the live serving layer and polls /v1/atrisk — the
+// predict-then-retire view an operator's dashboard would tail.
 //
 //	go run ./examples/fleetmonitor
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"sort"
 
 	"repro/internal/core"
@@ -19,7 +24,9 @@ import (
 	"repro/internal/exclusion"
 	"repro/internal/report"
 	"repro/internal/retire"
+	"repro/internal/serve"
 	"repro/internal/simtime"
+	"repro/internal/stream"
 	"repro/internal/topology"
 )
 
@@ -82,4 +89,56 @@ func main() {
 	}
 	fmt.Println("\nthe error trigger drains earlier but also flags single-fault nodes that")
 	fmt.Println("page retirement already handles — count faults, not errors (§3.2).")
+
+	atRisk(ds)
+}
+
+// atRisk feeds the logged stream into the live serving layer and polls
+// /v1/atrisk over real HTTP — the same endpoint astrad serves — then
+// prints the fleet's top banks by predicted failure risk.
+func atRisk(ds *dataset.Dataset) {
+	eng := stream.New(stream.Config{})
+	eng.IngestBatch(ds.CERecords)
+	srv := serve.New(serve.Config{Engine: eng})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/atrisk?limit=10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ar struct {
+		Predictor string `json:"predictor"`
+		Banks     int    `json:"banks"`
+		AtRisk    []struct {
+			Node      string  `json:"node"`
+			Slot      string  `json:"slot"`
+			Rank      int     `json:"rank"`
+			Bank      int     `json:"bank"`
+			Score     float64 `json:"score"`
+			CEs       int     `json:"ces"`
+			SpanHours float64 `json:"spanHours"`
+			Words     int     `json:"words"`
+		} `json:"atRisk"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n=== /v1/atrisk: top banks by predicted failure risk (%s, %d banks tracked) ===\n",
+		ar.Predictor, ar.Banks)
+	fmt.Println("rank  node            slot    rk bank  score   CEs     span    words")
+	for i, e := range ar.AtRisk {
+		fmt.Printf("%4d  %-15s %-7s %2d %4d  %.3f  %-6s %5.0fh  %5d\n",
+			i+1, e.Node, e.Slot, e.Rank, e.Bank, e.Score,
+			report.FormatCount(float64(e.CEs)), e.SpanHours, e.Words)
+	}
+	fmt.Println("\nbanks climbing the ladder here are the predict-then-retire candidates:")
+	fmt.Println("retiring them before the DUE beats reacting after it (see astrapredict -mode payoff).")
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/faultmodel"
 	"repro/internal/mce"
 	"repro/internal/overload"
+	"repro/internal/predict"
 	"repro/internal/stream"
 	"repro/internal/syslog"
 	"repro/internal/topology"
@@ -130,6 +131,19 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 			faninFleets[parts] = s
 		}
 		return s
+	}
+
+	// predict-features measures the per-record feature-extraction cost the
+	// prediction layer adds to the stream engine's ingest hot path. The
+	// tracker is warmed once (bank entries exist), so each op is the
+	// steady-state path: expected 0 allocs/op, guarded by `astrabench
+	// -guard`.
+	predictTracker := predict.NewTracker(predict.TrackerConfig{
+		Window:      stream.DefaultWindow,
+		RateBuckets: stream.DefaultRateBuckets,
+	})
+	for i := range ds.CERecords {
+		predictTracker.Observe(&ds.CERecords[i])
 	}
 
 	stages := []Stage{
@@ -274,6 +288,18 @@ func New(ctx context.Context, seed uint64, nodes int) (*Set, error) {
 				s := faninFleet(parts)
 				if v := s.BuildView(); v.Summary.Records != len(ds.CERecords) {
 					panic(fmt.Sprintf("benchstage: fanin view has %d records, want %d", v.Summary.Records, len(ds.CERecords)))
+				}
+			},
+		},
+		{
+			Name:    "predict-features",
+			Records: len(ds.CERecords),
+			Op: func(workers int) {
+				// Feature extraction is strictly arrival-ordered by design
+				// (the stream==batch differential depends on it), so there
+				// is no parallel variant; workers is ignored.
+				for i := range ds.CERecords {
+					predictTracker.ObserveFeatures(&ds.CERecords[i])
 				}
 			},
 		},

@@ -1,0 +1,100 @@
+package core
+
+import "math/bits"
+
+// BankSpatial summarizes the spatial structure of the errors a bank has
+// accumulated — the error-bits indicators the memory-failure-prediction
+// field studies key on (bit/DQ fan-out, row/column spread, multi-bit
+// words). It is derived on demand from a BankState so the ingest hot
+// path pays nothing for it; the derivation is deterministic regardless
+// of map iteration order because every field is an order-independent
+// reduction (counts, maxima, saturating distinct counts).
+type BankSpatial struct {
+	// Words is the number of distinct word addresses with errors.
+	Words int
+	// Errors is the total CE count folded into the bank.
+	Errors int
+	// MultiBitWords is the number of words with errors on ≥2 distinct
+	// line-bit positions — the uncorrectable-capable population under
+	// SEC-DED (two flipped bits in one codeword defeat correction).
+	MultiBitWords int
+	// MaxBitsPerWord is the largest distinct-bit count on any one word.
+	MaxBitsPerWord int
+	// DistinctBits is the number of distinct line-bit positions across
+	// the whole bank (exact; the per-word bitsets are unioned).
+	DistinctBits int
+	// DQLanes is the number of distinct DQ lanes (bit position mod 8,
+	// the x8-device data-pin heuristic) with errors. Faults confined to
+	// one lane look like a single failing DRAM pin; spread across lanes
+	// implies shared circuitry (sense amps, decoders) or many cells.
+	DQLanes int
+	// DistinctRows and DistinctCols count distinct row identifiers and
+	// column addresses, each saturating at SpatialDistinctCap: the
+	// predictors only care about "one / a few / many", and a fixed cap
+	// keeps the scan allocation-free for pathological banks.
+	DistinctRows int
+	DistinctCols int
+}
+
+// SpatialDistinctCap bounds the DistinctRows/DistinctCols counts.
+const SpatialDistinctCap = 64
+
+// distinctSet is a tiny fixed-capacity set for the saturating
+// row/column counts; linear scan is fine at cap 64.
+type distinctSet struct {
+	vals [SpatialDistinctCap]int32
+	n    int
+}
+
+// add inserts v, reporting false once the set has saturated.
+func (s *distinctSet) add(v int32) bool {
+	if s.n >= SpatialDistinctCap {
+		return false
+	}
+	for i := 0; i < s.n; i++ {
+		if s.vals[i] == v {
+			return true
+		}
+	}
+	s.vals[s.n] = v
+	s.n++
+	return true
+}
+
+// Spatial derives the bank's spatial feature summary. It allocates
+// nothing and does not mutate the state, so it is safe to call while
+// the owner continues to Add (under the owner's lock).
+func (b *BankState) Spatial() BankSpatial {
+	var sp BankSpatial
+	var union lineBits
+	var rows, cols distinctSet
+	for _, g := range b.words {
+		sp.Words++
+		sp.Errors += len(g.errors)
+		if g.bits.n >= 2 {
+			sp.MultiBitWords++
+		}
+		if g.bits.n > sp.MaxBitsPerWord {
+			sp.MaxBitsPerWord = g.bits.n
+		}
+		for w := range union.words {
+			union.words[w] |= g.bits.words[w]
+		}
+		rows.add(int32(g.rowBits))
+		cols.add(int32(g.col))
+	}
+	var lanes uint8
+	for _, v := range union.words {
+		sp.DistinctBits += bits.OnesCount64(v)
+		// Fold the 64-bit word onto its 8 DQ lanes: OR-folding the
+		// bytes marks lane (position mod 8), and 64-bit word
+		// boundaries preserve position mod 8.
+		for ; v != 0; v >>= 8 {
+			lanes |= uint8(v)
+		}
+	}
+	sp.DQLanes = bits.OnesCount8(lanes)
+	sp.DistinctRows = rows.n
+	sp.DistinctCols = cols.n
+	return sp
+}

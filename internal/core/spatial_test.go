@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/topology"
+)
+
+func spatialRec(addr topology.PhysAddr, col, row, bit int) *mce.CERecord {
+	return &mce.CERecord{
+		Time:   time.Unix(1000, 0),
+		Addr:   addr,
+		Col:    col,
+		RowRaw: row,
+		BitPos: bit,
+	}
+}
+
+func TestBankSpatial(t *testing.T) {
+	b := NewBankState()
+	// Word 0x40: bits 3 and 11 (two distinct bits, lanes 3 — 11 mod 8 = 3).
+	b.Add(0, spatialRec(0x40, 5, 100, 3))
+	b.Add(1, spatialRec(0x40, 5, 100, 11))
+	b.Add(2, spatialRec(0x40, 5, 100, 3)) // repeat: no new bit
+	// Word 0x80: single bit 4 (lane 4), different column, same row.
+	b.Add(3, spatialRec(0x80, 6, 100, 4))
+	// Word 0xc0: single bit 8 (lane 0), new row.
+	b.Add(4, spatialRec(0xc0, 5, 200, 8))
+
+	sp := b.Spatial()
+	want := BankSpatial{
+		Words:          3,
+		Errors:         5,
+		MultiBitWords:  1,
+		MaxBitsPerWord: 2,
+		DistinctBits:   4, // {3, 11, 4, 8}
+		DQLanes:        3, // {3, 4, 0}
+		DistinctRows:   2, // {100, 200}
+		DistinctCols:   2, // {5, 6}
+	}
+	if sp != want {
+		t.Fatalf("Spatial() = %+v, want %+v", sp, want)
+	}
+}
+
+func TestBankSpatialEmpty(t *testing.T) {
+	if sp := NewBankState().Spatial(); sp != (BankSpatial{}) {
+		t.Fatalf("empty Spatial() = %+v", sp)
+	}
+}
+
+// TestBankSpatialSaturation: distinct row/col counts cap at
+// SpatialDistinctCap and stay there; exact fields keep counting.
+func TestBankSpatialSaturation(t *testing.T) {
+	b := NewBankState()
+	n := SpatialDistinctCap * 3
+	for i := 0; i < n; i++ {
+		b.Add(i, spatialRec(topology.PhysAddr(0x40*uint64(i+1)), i, i, i%16))
+	}
+	sp := b.Spatial()
+	if sp.DistinctRows != SpatialDistinctCap || sp.DistinctCols != SpatialDistinctCap {
+		t.Fatalf("saturation: rows=%d cols=%d want %d", sp.DistinctRows, sp.DistinctCols, SpatialDistinctCap)
+	}
+	if sp.Words != n || sp.Errors != n {
+		t.Fatalf("words=%d errors=%d want %d", sp.Words, sp.Errors, n)
+	}
+	if sp.DistinctBits != 16 || sp.DQLanes != 8 {
+		t.Fatalf("bits=%d lanes=%d want 16, 8", sp.DistinctBits, sp.DQLanes)
+	}
+}

@@ -293,6 +293,11 @@ type Config struct {
 	// a transient second flip defeats SEC-DED). Escalated DUEs are the
 	// CE-precursor population that predictive-maintenance policies key on.
 	EscalationPerKErrors float64
+	// EscalationCap bounds the per-fault escalation probability; 0 means
+	// the calibrated default of 0.5. Prediction scenarios raise it so
+	// heavy faults escalate near-deterministically, which sharpens the
+	// ground-truth labels the evaluation harness grades against.
+	EscalationCap float64
 }
 
 // DefaultConfig returns the full-scale Astra calibration.
@@ -391,6 +396,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("faultmodel: DUEsPerDIMMYear = %v", c.DUEsPerDIMMYear)
 	case c.EscalationPerKErrors < 0 || c.EscalationPerKErrors > 1:
 		return fmt.Errorf("faultmodel: EscalationPerKErrors = %v", c.EscalationPerKErrors)
+	case c.EscalationCap < 0 || c.EscalationCap > 1:
+		return fmt.Errorf("faultmodel: EscalationCap = %v", c.EscalationCap)
 	case c.StartSkew <= 0:
 		return fmt.Errorf("faultmodel: StartSkew must be positive")
 	case c.BurstFrac < 0 || c.BurstFrac > 1:

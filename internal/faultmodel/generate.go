@@ -458,10 +458,14 @@ func (g *generator) emitEscalations(pop *Population) {
 		return
 	}
 	s := g.root.Derive("escalations")
+	cap := cfg.EscalationCap
+	if cap <= 0 {
+		cap = 0.5
+	}
 	for _, f := range pop.Faults {
 		p := float64(f.NErrors) / 1000 * cfg.EscalationPerKErrors
-		if p > 0.5 {
-			p = 0.5
+		if p > cap {
+			p = cap
 		}
 		if !s.Bool(p) {
 			continue

@@ -1,0 +1,272 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/stats"
+)
+
+// EvalConfig parameterizes the ground-truth evaluation.
+type EvalConfig struct {
+	// Horizon is the prediction validity window H: an alarm at time T
+	// is credited only if the DIMM's first subsequent DUE falls in
+	// (T, T+H].
+	Horizon time.Duration
+	// Thresholds is the sweep grid over predictor scores; empty means
+	// DefaultThresholds.
+	Thresholds []float64
+	// Tracker sizes the feature rate windows.
+	Tracker TrackerConfig
+	// TotalDIMMs is the fleet's DIMM population, used for the TN count;
+	// 0 leaves TN at 0 (precision/recall don't need it).
+	TotalDIMMs int
+	// ScoreEvery throttles re-scoring of hot banks: a bank is scored on
+	// every CE while it has ≤ 64 of them, then on every ScoreEvery-th.
+	// Alarm times therefore have a small quantization (bounded by the
+	// gap between scored CEs), which is also how a production poller
+	// would behave. 0 means 64.
+	ScoreEvery int
+}
+
+// DefaultThresholds spans the rule ladder's k-of-8 grid and the
+// regression's probability range.
+func DefaultThresholds() []float64 {
+	out := make([]float64, 0, 19)
+	for t := 0.05; t < 0.975; t += 0.05 {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (c *EvalConfig) defaults() {
+	if c.Horizon <= 0 {
+		c.Horizon = 30 * 24 * time.Hour
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = DefaultThresholds()
+	}
+	c.Tracker.defaults()
+	if c.ScoreEvery <= 0 {
+		c.ScoreEvery = 64
+	}
+}
+
+// SweepPoint is the confusion matrix and lead-time summary at one
+// score threshold. Classification is per DIMM against its first DUE:
+//
+//   - alarmed before the first DUE, gap ≤ H      → TP (lead = gap)
+//   - alarmed, no DUE within (alarm, alarm+H]    → FP
+//   - first DUE with no alarm before it          → FN
+//   - neither alarm nor DUE                      → TN
+type SweepPoint struct {
+	Threshold float64 `json:"threshold"`
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	TN        int     `json:"tn"`
+	Alarmed   int     `json:"alarmed"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	// Lead-time distribution over the TPs (zero when TP == 0).
+	LeadMean time.Duration `json:"lead_mean"`
+	LeadP50  time.Duration `json:"lead_p50"`
+	LeadP90  time.Duration `json:"lead_p90"`
+}
+
+// Evaluation is the full threshold sweep for one predictor on one
+// generated fleet.
+type Evaluation struct {
+	Predictor  string        `json:"predictor"`
+	Horizon    time.Duration `json:"horizon"`
+	Records    int           `json:"records"`
+	Banks      int           `json:"banks"`
+	DIMMsDUE   int           `json:"dimms_with_due"`
+	TotalDIMMs int           `json:"total_dimms"`
+	Points     []SweepPoint  `json:"points"`
+}
+
+// Best returns the sweep point with the highest F1 (ties: lowest
+// threshold), or nil for an empty sweep.
+func (e *Evaluation) Best() *SweepPoint {
+	var best *SweepPoint
+	for i := range e.Points {
+		if best == nil || e.Points[i].F1 > best.F1 {
+			best = &e.Points[i]
+		}
+	}
+	return best
+}
+
+// BestAt returns the point with the highest recall among those with
+// precision ≥ minPrecision, or nil if none qualifies.
+func (e *Evaluation) BestAt(minPrecision float64) *SweepPoint {
+	var best *SweepPoint
+	for i := range e.Points {
+		p := &e.Points[i]
+		if p.Precision < minPrecision {
+			continue
+		}
+		if best == nil || p.Recall > best.Recall {
+			best = p
+		}
+	}
+	return best
+}
+
+// Evaluate replays a time-ordered CE record stream through the feature
+// tracker, scores each bank with the predictor as its history grows,
+// records per-DIMM first-alarm times for every threshold, and grades
+// the alarms against the ground-truth DUE stream. A DIMM's risk is the
+// max over its banks, taken implicitly: any bank crossing a threshold
+// alarms the DIMM.
+func Evaluate(records []mce.CERecord, dues []DUE, p Predictor, cfg EvalConfig) (*Evaluation, error) {
+	cfg.defaults()
+	if p == nil {
+		return nil, fmt.Errorf("predict: nil predictor")
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].Time.Before(records[i-1].Time) {
+			return nil, fmt.Errorf("predict: records not time-ordered at %d", i)
+		}
+	}
+	nth := len(cfg.Thresholds)
+	tr := NewTracker(cfg.Tracker)
+
+	// firstCross[dimm][i] is the first time any of the DIMM's banks
+	// scored ≥ Thresholds[i]; zero time = never.
+	firstCross := map[DIMMKey][]time.Time{}
+	for ri := range records {
+		rec := &records[ri]
+		bt := tr.Observe(rec)
+		n := bt.FS.CEs()
+		if n > 64 && n%int64(cfg.ScoreEvery) != 0 {
+			continue
+		}
+		f := bt.Snapshot(rec.Time)
+		score := p.Score(&f)
+		if score <= 0 {
+			continue
+		}
+		dimm := DIMMKey{Node: rec.Node, Slot: rec.Slot}
+		cross := firstCross[dimm]
+		if cross == nil {
+			cross = make([]time.Time, nth)
+			firstCross[dimm] = cross
+		}
+		for i, th := range cfg.Thresholds {
+			if score >= th && cross[i].IsZero() {
+				cross[i] = rec.Time
+			}
+		}
+	}
+
+	// First DUE per DIMM.
+	firstDUE := map[DIMMKey]time.Time{}
+	for _, d := range dues {
+		if t, ok := firstDUE[d.DIMM]; !ok || d.Time.Before(t) {
+			firstDUE[d.DIMM] = d.Time
+		}
+	}
+
+	ev := &Evaluation{
+		Predictor:  p.Name(),
+		Horizon:    cfg.Horizon,
+		Records:    len(records),
+		Banks:      len(tr.Banks()),
+		DIMMsDUE:   len(firstDUE),
+		TotalDIMMs: cfg.TotalDIMMs,
+		Points:     make([]SweepPoint, nth),
+	}
+
+	// Deterministic DIMM iteration order for reproducible float sums.
+	dimms := make([]DIMMKey, 0, len(firstCross)+len(firstDUE))
+	seen := map[DIMMKey]bool{}
+	for d := range firstCross {
+		dimms = append(dimms, d)
+		seen[d] = true
+	}
+	for d := range firstDUE {
+		if !seen[d] {
+			dimms = append(dimms, d)
+		}
+	}
+	sort.Slice(dimms, func(i, j int) bool {
+		if dimms[i].Node != dimms[j].Node {
+			return dimms[i].Node < dimms[j].Node
+		}
+		return dimms[i].Slot < dimms[j].Slot
+	})
+
+	leads := make([]float64, 0, len(dimms)) // hours, reused per threshold
+	for i, th := range cfg.Thresholds {
+		pt := &ev.Points[i]
+		pt.Threshold = th
+		leads = leads[:0]
+		for _, dimm := range dimms {
+			var alarm time.Time
+			if cross := firstCross[dimm]; cross != nil {
+				alarm = cross[i]
+			}
+			due, hasDUE := firstDUE[dimm]
+			switch {
+			case alarm.IsZero() && !hasDUE:
+				// Quiet DIMM with CE history but no alarm: true negative
+				// (counted via TotalDIMMs below).
+			case alarm.IsZero() && hasDUE:
+				pt.FN++
+			case !hasDUE:
+				pt.Alarmed++
+				pt.FP++
+			default:
+				pt.Alarmed++
+				lead := due.Sub(alarm)
+				switch {
+				case lead <= 0:
+					// Alarm after the DUE: the prediction missed.
+					pt.FN++
+					pt.FP++
+				case lead <= cfg.Horizon:
+					pt.TP++
+					leads = append(leads, lead.Hours())
+				default:
+					// Alarm fired but nothing materialized in horizon.
+					pt.FP++
+				}
+			}
+		}
+		if cfg.TotalDIMMs > 0 {
+			pt.TN = cfg.TotalDIMMs - pt.TP - pt.FP - pt.FN
+			if pt.TN < 0 {
+				pt.TN = 0
+			}
+		}
+		if pt.TP+pt.FP > 0 {
+			pt.Precision = float64(pt.TP) / float64(pt.TP+pt.FP)
+		}
+		if pt.TP+pt.FN > 0 {
+			pt.Recall = float64(pt.TP) / float64(pt.TP+pt.FN)
+		}
+		if pt.Precision+pt.Recall > 0 {
+			pt.F1 = 2 * pt.Precision * pt.Recall / (pt.Precision + pt.Recall)
+		}
+		if len(leads) > 0 {
+			sort.Float64s(leads)
+			sum := 0.0
+			for _, l := range leads {
+				sum += l
+			}
+			pt.LeadMean = time.Duration(sum / float64(len(leads)) * float64(time.Hour))
+			if q, ok := stats.Quantile(leads, 0.5); ok {
+				pt.LeadP50 = time.Duration(q * float64(time.Hour))
+			}
+			if q, ok := stats.Quantile(leads, 0.9); ok {
+				pt.LeadP90 = time.Duration(q * float64(time.Hour))
+			}
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,131 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mce"
+	"repro/internal/topology"
+)
+
+// ceThreshold alarms purely on cumulative CE count, making alarm times
+// exactly predictable for the classification tests.
+type ceThreshold struct{ n float64 }
+
+func (p *ceThreshold) Name() string { return "ce-threshold" }
+func (p *ceThreshold) Score(f *Features) float64 {
+	if f.CEs >= p.n {
+		return 1
+	}
+	return 0
+}
+
+func synthRecords(node topology.NodeID, slot topology.Slot, start time.Time, n int, gap time.Duration) []mce.CERecord {
+	out := make([]mce.CERecord, n)
+	for i := range out {
+		out[i] = mce.CERecord{
+			Time: start.Add(time.Duration(i) * gap),
+			Node: node,
+			Slot: slot,
+			Addr: topology.PhysAddr(0x40),
+		}
+	}
+	return out
+}
+
+func mergeByTime(streams ...[]mce.CERecord) []mce.CERecord {
+	var all []mce.CERecord
+	for _, s := range streams {
+		all = append(all, s...)
+	}
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Time.Before(all[j-1].Time); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	return all
+}
+
+func TestEvaluateClassification(t *testing.T) {
+	base := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	horizon := 10 * 24 * time.Hour
+
+	// DIMM A: 20 CEs, alarm at the 10th (day ~4.5), DUE on day 7 → TP.
+	a := synthRecords(1, 0, base, 20, 12*time.Hour)
+	// DIMM B: 20 CEs, no DUE → FP.
+	b := synthRecords(2, 0, base, 20, 12*time.Hour)
+	// DIMM C: 5 CEs (never alarms), DUE on day 8 → FN.
+	c := synthRecords(3, 0, base, 5, 12*time.Hour)
+	// DIMM D: 20 CEs, DUE 30 days after the alarm → outside horizon, FP.
+	d := synthRecords(4, 0, base, 20, 12*time.Hour)
+	// DIMM E: alarm lands after its DUE (day 1) → FN and FP.
+	e := synthRecords(5, 0, base, 20, 12*time.Hour)
+
+	records := mergeByTime(a, b, c, d, e)
+	dues := []DUE{
+		{DIMM: DIMMKey{Node: 1, Slot: 0}, Time: base.Add(7 * 24 * time.Hour)},
+		{DIMM: DIMMKey{Node: 3, Slot: 0}, Time: base.Add(8 * 24 * time.Hour)},
+		{DIMM: DIMMKey{Node: 4, Slot: 0}, Time: base.Add(40 * 24 * time.Hour)},
+		{DIMM: DIMMKey{Node: 5, Slot: 0}, Time: base.Add(24 * time.Hour)},
+	}
+
+	ev, err := Evaluate(records, dues, &ceThreshold{n: 10}, EvalConfig{
+		Horizon:    horizon,
+		Thresholds: []float64{0.5},
+		TotalDIMMs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := ev.Points[0]
+	if pt.TP != 1 || pt.FP != 3 || pt.FN != 2 {
+		t.Fatalf("classification: tp=%d fp=%d fn=%d want 1/3/2", pt.TP, pt.FP, pt.FN)
+	}
+	if pt.TN != 100-1-3-2 {
+		t.Fatalf("TN = %d", pt.TN)
+	}
+	if pt.Precision != 0.25 {
+		t.Fatalf("precision = %v", pt.Precision)
+	}
+	if want := 1.0 / 3; pt.Recall != want {
+		t.Fatalf("recall = %v want %v", pt.Recall, want)
+	}
+	// Lead: alarm at the 10th CE of DIMM A = base+4.5d; DUE at day 7.
+	if want := 2*24*time.Hour + 12*time.Hour; pt.LeadP50 != want {
+		t.Fatalf("lead = %v want %v", pt.LeadP50, want)
+	}
+	if ev.DIMMsDUE != 4 || ev.Banks != 5 {
+		t.Fatalf("DIMMsDUE=%d Banks=%d", ev.DIMMsDUE, ev.Banks)
+	}
+}
+
+func TestEvaluateRejectsUnsorted(t *testing.T) {
+	base := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	records := []mce.CERecord{
+		{Time: base.Add(time.Hour), Node: 1},
+		{Time: base, Node: 1},
+	}
+	if _, err := Evaluate(records, nil, &ceThreshold{n: 1}, EvalConfig{}); err == nil {
+		t.Fatal("unsorted records accepted")
+	}
+	if _, err := Evaluate(nil, nil, nil, EvalConfig{}); err == nil {
+		t.Fatal("nil predictor accepted")
+	}
+}
+
+func TestEvaluationBestAt(t *testing.T) {
+	ev := &Evaluation{Points: []SweepPoint{
+		{Threshold: 0.2, Precision: 0.5, Recall: 0.9, F1: 0.64},
+		{Threshold: 0.5, Precision: 0.85, Recall: 0.6, F1: 0.70},
+		{Threshold: 0.8, Precision: 1.0, Recall: 0.3, F1: 0.46},
+	}}
+	if pt := ev.BestAt(0.8); pt == nil || pt.Threshold != 0.5 {
+		t.Fatalf("BestAt(0.8) = %+v", pt)
+	}
+	if pt := ev.Best(); pt == nil || pt.Threshold != 0.5 {
+		t.Fatalf("Best() = %+v", pt)
+	}
+	if pt := ev.BestAt(1.1); pt != nil {
+		t.Fatalf("BestAt(1.1) = %+v", pt)
+	}
+}

@@ -1,0 +1,92 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestFeatureStateBasics(t *testing.T) {
+	var fs FeatureState
+	fs.Init(24*time.Hour, 48)
+
+	base := time.Date(2020, 3, 1, 12, 0, 0, 0, time.UTC)
+	// Three CEs: +0s, +60s, +1 day+120s.
+	fs.Observe(base.UnixNano())
+	fs.Observe(base.Add(60 * time.Second).UnixNano())
+	fs.Observe(base.Add(24*time.Hour + 120*time.Second).UnixNano())
+
+	at := base.Add(47 * time.Hour)
+	f := fs.Snapshot(core.BankSpatial{Words: 1, DistinctBits: 1, DQLanes: 1, DistinctRows: 1, DistinctCols: 1}, at)
+
+	if f.CEs != 3 {
+		t.Fatalf("CEs = %v", f.CEs)
+	}
+	if want := 47 * 3600.0; f.AgeSeconds != want {
+		t.Fatalf("AgeSeconds = %v want %v", f.AgeSeconds, want)
+	}
+	if want := (24*3600.0 + 120) / 3600; f.SpanHours != want {
+		t.Fatalf("SpanHours = %v want %v", f.SpanHours, want)
+	}
+	if f.ActiveDays != 2 {
+		t.Fatalf("ActiveDays = %v", f.ActiveDays)
+	}
+	// Gaps: 60s and 86460s → mean 43260.
+	if want := (60.0 + 86460.0) / 2; f.GapMeanSeconds != want {
+		t.Fatalf("GapMeanSeconds = %v want %v", f.GapMeanSeconds, want)
+	}
+	if f.MinGapSeconds != 60 {
+		t.Fatalf("MinGapSeconds = %v", f.MinGapSeconds)
+	}
+	// Window ends at +47h: only the +24h02m event is within 24h (at
+	// +48h even that one falls into the expired boundary bucket).
+	if f.WindowCEs != 1 {
+		t.Fatalf("WindowCEs = %v", f.WindowCEs)
+	}
+	if f.Words != 1 {
+		t.Fatalf("Words = %v", f.Words)
+	}
+}
+
+func TestFeatureStateEmptySnapshot(t *testing.T) {
+	var fs FeatureState
+	fs.Init(time.Hour, 4)
+	f := fs.Snapshot(core.BankSpatial{}, time.Unix(100, 0))
+	if f != (Features{}) {
+		t.Fatalf("empty snapshot = %+v", f)
+	}
+}
+
+func TestFeatureVectorArity(t *testing.T) {
+	var f Features
+	v := f.Vector(nil)
+	if len(v) != NumFeatures || len(FeatureNames) != NumFeatures {
+		t.Fatalf("vector arity %d, names %d, const %d", len(v), len(FeatureNames), NumFeatures)
+	}
+}
+
+// TestFeatureStateDeterministic: identical Observe sequences yield
+// bit-identical state — the foundation of the stream==batch feature
+// differential.
+func TestFeatureStateDeterministic(t *testing.T) {
+	run := func() Features {
+		var fs FeatureState
+		fs.Init(24*time.Hour, 48)
+		base := time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC).UnixNano()
+		nano := base
+		for i := 0; i < 5000; i++ {
+			// Deterministic pseudo-gaps, including zero and out-of-order.
+			gap := int64(i%7) * int64(time.Minute)
+			if i%11 == 0 {
+				gap = -int64(time.Second)
+			}
+			nano += gap
+			fs.Observe(nano)
+		}
+		return fs.Snapshot(core.BankSpatial{}, time.Unix(0, nano).Add(time.Hour))
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("feature snapshots diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,60 @@
+package predict
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/faultmodel"
+	"repro/internal/topology"
+)
+
+// DIMMKey identifies one DIMM — the granularity predictions are
+// evaluated at, matching the field studies (operators replace DIMMs,
+// not banks).
+type DIMMKey struct {
+	Node topology.NodeID
+	Slot topology.Slot
+}
+
+// DUE is one ground-truth uncorrectable event, decoded to the DIMM it
+// struck.
+type DUE struct {
+	DIMM  DIMMKey
+	Bank  int8
+	Rank  int8
+	Time  time.Time
+	Cause faultmodel.DUECause
+}
+
+// Labels extracts the ground-truth DUE stream from a generated
+// population, sorted by time (ties broken by node then address, the
+// dataset convention). Unlike the field studies, these labels are
+// perfect: the fault model knows exactly which DIMM every DUE struck
+// and when.
+func Labels(pop *faultmodel.Population) []DUE {
+	out := make([]DUE, 0, len(pop.DUEs))
+	for i := range pop.DUEs {
+		ev := &pop.DUEs[i]
+		cell, _, err := topology.DecodePhysAddr(ev.Node, ev.Addr)
+		if err != nil {
+			continue // undecodable address: outside the DIMM map
+		}
+		out = append(out, DUE{
+			DIMM:  DIMMKey{Node: ev.Node, Slot: cell.Slot},
+			Bank:  int8(cell.Bank),
+			Rank:  int8(cell.Rank),
+			Time:  ev.Minute.Time(),
+			Cause: ev.Cause,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].DIMM.Node != out[j].DIMM.Node {
+			return out[i].DIMM.Node < out[j].DIMM.Node
+		}
+		return out[i].DIMM.Slot < out[j].DIMM.Slot
+	})
+	return out
+}

@@ -1,0 +1,233 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one labeled training example: a feature vector (in
+// Features.Vector order) and whether a DUE materialized within the
+// training horizon after the moment the vector was snapshot.
+type Sample struct {
+	X     []float64
+	Label bool
+}
+
+// TrainConfig parameterizes the logistic-regression trainer. Training
+// is full-batch gradient descent with a fixed iteration count and no
+// shuffling, so a given (samples, config) pair always produces the
+// same model bit-for-bit — the seed is recorded in the model manifest
+// to tie it back to the generating fleet, not to drive randomness.
+type TrainConfig struct {
+	Iters     int
+	LearnRate float64
+	L2        float64
+	Seed      uint64
+}
+
+// DefaultTrainConfig returns the stock trainer settings.
+func DefaultTrainConfig(seed uint64) TrainConfig {
+	return TrainConfig{Iters: 400, LearnRate: 0.5, L2: 1e-4, Seed: seed}
+}
+
+// LogRegModel is a trained logistic-regression predictor over the
+// standardized feature vector. All parameters are exported so the
+// model serializes as plain JSON (see model.go).
+type LogRegModel struct {
+	// Names are the feature names the model was trained on; Score
+	// refuses vectors of a different arity.
+	Names []string `json:"names"`
+	// Mean and Std are the z-score standardization parameters fit on
+	// the training set (Std entries are never zero; constant features
+	// get Std 1 so they contribute nothing).
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	// W and B are the weights and bias in standardized space.
+	W []float64 `json:"weights"`
+	B float64   `json:"bias"`
+	// Training provenance.
+	Iters     int     `json:"iters"`
+	LearnRate float64 `json:"learn_rate"`
+	L2        float64 `json:"l2"`
+	Seed      uint64  `json:"seed"`
+	Samples   int     `json:"samples"`
+	Positives int     `json:"positives"`
+	// FinalLoss is the regularized mean log-loss after the last
+	// iteration — a training-sanity value, not an evaluation metric.
+	FinalLoss float64 `json:"final_loss"`
+}
+
+// Name implements Predictor.
+func (m *LogRegModel) Name() string { return "logreg" }
+
+func sigmoid(z float64) float64 {
+	// Clamp to keep exp finite under hostile weights.
+	if z > 40 {
+		return 1
+	}
+	if z < -40 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Score implements Predictor: sigmoid over the standardized vector.
+func (m *LogRegModel) Score(f *Features) float64 {
+	var buf [NumFeatures]float64
+	x := f.Vector(buf[:0])
+	if len(x) != len(m.W) || len(x) != len(m.Mean) {
+		return 0
+	}
+	z := m.B
+	for i, v := range x {
+		z += m.W[i] * (v - m.Mean[i]) / m.Std[i]
+	}
+	return sigmoid(z)
+}
+
+// Validate checks structural invariants after deserialization.
+func (m *LogRegModel) Validate() error {
+	n := len(m.Names)
+	if n == 0 || len(m.Mean) != n || len(m.Std) != n || len(m.W) != n {
+		return fmt.Errorf("predict: model arity mismatch: names=%d mean=%d std=%d w=%d",
+			n, len(m.Mean), len(m.Std), len(m.W))
+	}
+	for i, s := range m.Std {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("predict: model std[%d]=%v invalid", i, s)
+		}
+	}
+	for i, w := range m.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("predict: model weight[%d]=%v invalid", i, w)
+		}
+	}
+	if math.IsNaN(m.B) || math.IsInf(m.B, 0) {
+		return fmt.Errorf("predict: model bias %v invalid", m.B)
+	}
+	return nil
+}
+
+// TrainLogReg fits a logistic regression to the samples with
+// deterministic full-batch gradient descent. Samples must share one
+// arity (Features.Vector order); at least one positive and one
+// negative example are required.
+func TrainLogReg(samples []Sample, cfg TrainConfig) (*LogRegModel, error) {
+	if cfg.Iters <= 0 || cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("predict: train config iters=%d lr=%v invalid", cfg.Iters, cfg.LearnRate)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predict: no training samples")
+	}
+	n := len(samples[0].X)
+	pos := 0
+	for i := range samples {
+		if len(samples[i].X) != n {
+			return nil, fmt.Errorf("predict: sample %d arity %d != %d", i, len(samples[i].X), n)
+		}
+		if samples[i].Label {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(samples) {
+		return nil, fmt.Errorf("predict: training needs both classes (%d/%d positive)", pos, len(samples))
+	}
+
+	m := &LogRegModel{
+		Names:     append([]string(nil), FeatureNames...),
+		Mean:      make([]float64, n),
+		Std:       make([]float64, n),
+		W:         make([]float64, n),
+		Iters:     cfg.Iters,
+		LearnRate: cfg.LearnRate,
+		L2:        cfg.L2,
+		Seed:      cfg.Seed,
+		Samples:   len(samples),
+		Positives: pos,
+	}
+	if n != NumFeatures {
+		// Callers may train on a custom vector; keep names honest.
+		m.Names = make([]string, n)
+		for i := range m.Names {
+			m.Names[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+
+	// Standardization parameters from the training set.
+	inv := 1 / float64(len(samples))
+	for _, s := range samples {
+		for j, v := range s.X {
+			m.Mean[j] += v * inv
+		}
+	}
+	for _, s := range samples {
+		for j, v := range s.X {
+			d := v - m.Mean[j]
+			m.Std[j] += d * d * inv
+		}
+	}
+	for j := range m.Std {
+		m.Std[j] = math.Sqrt(m.Std[j])
+		if m.Std[j] < 1e-12 {
+			m.Std[j] = 1 // constant feature: contributes nothing
+		}
+	}
+
+	// Standardize once up front.
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		row := make([]float64, n)
+		for j, v := range s.X {
+			row[j] = (v - m.Mean[j]) / m.Std[j]
+		}
+		xs[i] = row
+		if s.Label {
+			ys[i] = 1
+		}
+	}
+
+	// Class weighting: DUEs are rare, so upweight positives to balance
+	// the gradient (w+ = neg/pos). Deterministic, no resampling.
+	wPos := float64(len(samples)-pos) / float64(pos)
+
+	grad := make([]float64, n)
+	for it := 0; it < cfg.Iters; it++ {
+		for j := range grad {
+			grad[j] = 0
+		}
+		gradB := 0.0
+		loss := 0.0
+		totalW := 0.0
+		for i, row := range xs {
+			z := m.B
+			for j, v := range row {
+				z += m.W[j] * v
+			}
+			p := sigmoid(z)
+			sw := 1.0
+			if ys[i] == 1 {
+				sw = wPos
+			}
+			totalW += sw
+			err := (p - ys[i]) * sw
+			for j, v := range row {
+				grad[j] += err * v
+			}
+			gradB += err
+			// Log-loss with the same clamp as sigmoid.
+			pc := math.Min(math.Max(p, 1e-12), 1-1e-12)
+			if ys[i] == 1 {
+				loss -= sw * math.Log(pc)
+			} else {
+				loss -= sw * math.Log(1-pc)
+			}
+		}
+		for j := range m.W {
+			m.W[j] -= cfg.LearnRate * (grad[j]/totalW + cfg.L2*m.W[j])
+		}
+		m.B -= cfg.LearnRate * gradB / totalW
+		m.FinalLoss = loss / totalW
+	}
+	return m, nil
+}

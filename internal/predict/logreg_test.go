@@ -1,0 +1,139 @@
+package predict
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/simrand"
+)
+
+// separableSamples builds a linearly separable two-cluster problem in
+// the real feature space (heavy banks positive, light banks negative).
+func separableSamples(n int) []Sample {
+	rng := simrand.NewStream(5).Derive("logreg-test")
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		pos := i%3 == 0
+		var f Features
+		if pos {
+			f = Features{CEs: 2000 + rng.Float64()*5000, SpanHours: 1000, ActiveDays: 50, WindowCEs: 40 + rng.Float64()*100}
+		} else {
+			f = Features{CEs: 1 + rng.Float64()*10, SpanHours: rng.Float64() * 5, ActiveDays: 1, WindowCEs: rng.Float64() * 3}
+		}
+		out = append(out, Sample{X: f.Vector(nil), Label: pos})
+	}
+	return out
+}
+
+func TestTrainLogRegSeparable(t *testing.T) {
+	samples := separableSamples(300)
+	m, err := TrainLogReg(samples, DefaultTrainConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trained model must separate the clusters it was fit on.
+	correct := 0
+	for _, s := range samples {
+		z := m.B
+		for j, v := range s.X {
+			z += m.W[j] * (v - m.Mean[j]) / m.Std[j]
+		}
+		p := sigmoid(z)
+		if (p >= 0.5) == s.Label {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(samples)); frac < 0.99 {
+		t.Fatalf("separable training accuracy %.3f", frac)
+	}
+	if m.FinalLoss <= 0 || m.FinalLoss > 0.2 {
+		t.Fatalf("final loss %v", m.FinalLoss)
+	}
+}
+
+func TestTrainLogRegDeterministic(t *testing.T) {
+	a, err := TrainLogReg(separableSamples(200), DefaultTrainConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainLogReg(separableSamples(200), DefaultTrainConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical training runs produced different models")
+	}
+}
+
+func TestTrainLogRegRejectsDegenerate(t *testing.T) {
+	if _, err := TrainLogReg(nil, DefaultTrainConfig(1)); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	all := separableSamples(50)
+	onlyPos := all[:0:0]
+	for _, s := range all {
+		if s.Label {
+			onlyPos = append(onlyPos, s)
+		}
+	}
+	if _, err := TrainLogReg(onlyPos, DefaultTrainConfig(1)); err == nil {
+		t.Fatal("single-class training set accepted")
+	}
+	bad := []Sample{{X: []float64{1, 2}, Label: true}, {X: []float64{1}, Label: false}}
+	if _, err := TrainLogReg(bad, DefaultTrainConfig(1)); err == nil {
+		t.Fatal("ragged arity accepted")
+	}
+}
+
+func TestModelSaveLoadRoundtrip(t *testing.T) {
+	m, err := TrainLogReg(separableSamples(120), DefaultTrainConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveModel(context.Background(), atomicio.OS, dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(atomicio.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", m, got)
+	}
+	f := Features{CEs: 5000, SpanHours: 2000, ActiveDays: 30, WindowCEs: 80}
+	if a, b := m.Score(&f), got.Score(&f); a != b {
+		t.Fatalf("scores diverge after roundtrip: %v vs %v", a, b)
+	}
+}
+
+func TestLoadModelDetectsCorruption(t *testing.T) {
+	m, err := TrainLogReg(separableSamples(120), DefaultTrainConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveModel(context.Background(), atomicio.OS, dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the model artifact; the manifest digest must catch it.
+	path := dir + "/" + ModelFileName
+	data, err := atomicio.OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "\"bias\"", "\"bIas\"", 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(atomicio.OS, dir); err == nil {
+		t.Fatal("tampered model loaded cleanly")
+	}
+}

@@ -1,0 +1,82 @@
+package predict
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"repro/internal/atomicio"
+)
+
+// ModelFileName is the model artifact's name inside a model directory.
+const ModelFileName = "model.json"
+
+// SaveModel persists a trained model into dir as a fingerprinted
+// dataset directory: the model JSON is written atomically and a
+// MANIFEST.json records its SHA-256 plus the training fingerprint
+// (seed and sample counts), so a truncated or hand-edited model is
+// detected at load time rather than silently scoring garbage.
+func SaveModel(ctx context.Context, fsys atomicio.FS, dir string, m *LogRegModel) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if fsys == nil {
+		fsys = atomicio.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("predict: save model: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("predict: save model: %w", err)
+	}
+	data = append(data, '\n')
+	info, err := atomicio.WriteFile(ctx, fsys, filepath.Join(dir, ModelFileName), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return fmt.Errorf("predict: save model: %w", err)
+	}
+	man := atomicio.NewManifest(m.Seed, map[string]string{
+		"kind":      "predict-logreg",
+		"features":  fmt.Sprint(len(m.Names)),
+		"samples":   fmt.Sprint(m.Samples),
+		"positives": fmt.Sprint(m.Positives),
+		"iters":     fmt.Sprint(m.Iters),
+	})
+	man.SetFile(ModelFileName, info, int64(m.Samples))
+	if err := man.Save(ctx, fsys, dir); err != nil {
+		return fmt.Errorf("predict: save model manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model directory written by SaveModel, verifying the
+// artifact against its manifest digest before trusting a single byte.
+func LoadModel(fsys atomicio.FS, dir string) (*LogRegModel, error) {
+	if fsys == nil {
+		fsys = atomicio.OS
+	}
+	man, err := atomicio.LoadManifest(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("predict: load model manifest: %w", err)
+	}
+	if err := man.VerifyFile(fsys, dir, ModelFileName); err != nil {
+		return nil, fmt.Errorf("predict: load model: %w", err)
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, ModelFileName))
+	if err != nil {
+		return nil, fmt.Errorf("predict: load model: %w", err)
+	}
+	var m LogRegModel
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("predict: load model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

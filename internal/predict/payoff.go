@@ -1,0 +1,188 @@
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ecc"
+	"repro/internal/faultmodel"
+	"repro/internal/mce"
+	"repro/internal/retire"
+	"repro/internal/topology"
+)
+
+// BankBytes is the capacity sacrificed when a predicted-bad bank is
+// mapped out (rows × word-columns × word size = 256 MiB): the paper's
+// §3.2 point that single-bank faults force large retirement footprints
+// while cell/row faults are cheap.
+const BankBytes = int64(topology.RowsPerBank) * topology.ColsPerRow * topology.WordBytes
+
+// PayoffConfig parameterizes the predict-then-retire vs reactive
+// comparison.
+type PayoffConfig struct {
+	// Threshold is the alarm threshold for the predictive arm.
+	Threshold float64
+	// ReactionDelay is the operational lag between an alarm and the
+	// bank actually being mapped out (maintenance window).
+	ReactionDelay time.Duration
+	// Tracker sizes the feature windows; ScoreEvery as in EvalConfig.
+	Tracker    TrackerConfig
+	Page       retire.Policy // reactive arm's page-retirement policy
+	ScoreEvery int
+	Seed       uint64 // reactive arm's retirement-success randomness
+}
+
+func (c *PayoffConfig) defaults() {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.ReactionDelay <= 0 {
+		c.ReactionDelay = 24 * time.Hour
+	}
+	c.Tracker.defaults()
+	if c.ScoreEvery <= 0 {
+		c.ScoreEvery = 64
+	}
+	if c.Page == (retire.Policy{}) {
+		c.Page = retire.DefaultPolicy()
+	}
+}
+
+// PayoffArm is one policy's outcome.
+type PayoffArm struct {
+	Policy        string  `json:"policy"`
+	DUEsTotal     int     `json:"dues_total"`
+	DUEsAvoided   int     `json:"dues_avoided"`
+	ECCConfirmed  int     `json:"ecc_confirmed_avoided"`
+	UnitsRetired  int     `json:"units_retired"` // banks (predictive) or pages (reactive)
+	CapacityBytes int64   `json:"capacity_bytes"`
+	AvoidedFrac   float64 `json:"avoided_frac"`
+	CEsSuppressed int     `json:"ces_suppressed,omitempty"` // reactive arm only
+
+}
+
+// Payoff compares predict-then-retire against the paper's reactive
+// page-retirement policy on one generated fleet.
+type Payoff struct {
+	Threshold  float64   `json:"threshold"`
+	Predictive PayoffArm `json:"predictive"`
+	Reactive   PayoffArm `json:"reactive"`
+}
+
+// eccConfirmsUncorrectable replays a DUE's flipped codeword bits
+// through the SEC-DED decoder to confirm the pattern actually defeats
+// correction (2 flips are detected-uncorrectable; ≥3 may alias to a
+// miscorrection, which is still a data-integrity loss the retirement
+// avoided).
+func eccConfirmsUncorrectable(bits []uint8) bool {
+	w := ecc.Encode(0)
+	for _, b := range bits {
+		if int(b) >= topology.CodeBitsPerWord {
+			return false
+		}
+		w = ecc.FlipBit(w, int(b))
+	}
+	res, _, _ := ecc.DecodeVsTruth(w, 0)
+	return res == ecc.Uncorrectable || res == ecc.Miscorrected
+}
+
+// SimulatePayoff runs both arms over one generated fleet: records are
+// the observable telemetry (the predictive tracker's input), pop holds
+// the ground truth (the reactive arm consumes pop.CEs — page
+// retirement sees true addresses — and both arms are graded against
+// pop.DUEs).
+func SimulatePayoff(records []mce.CERecord, pop *faultmodel.Population, p Predictor, cfg PayoffConfig) (*Payoff, error) {
+	cfg.defaults()
+	if p == nil {
+		return nil, fmt.Errorf("predict: nil predictor")
+	}
+	dues := Labels(pop)
+	out := &Payoff{Threshold: cfg.Threshold}
+	out.Predictive.Policy = "predict-then-retire-bank"
+	out.Reactive.Policy = "reactive-page-retirement"
+	out.Predictive.DUEsTotal = len(dues)
+	out.Reactive.DUEsTotal = len(dues)
+
+	// Predictive arm: first alarm time per bank; the bank is mapped out
+	// ReactionDelay later, and any of its subsequent DUEs are avoided.
+	tr := NewTracker(cfg.Tracker)
+	alarmAt := map[bankID]time.Time{}
+	for ri := range records {
+		rec := &records[ri]
+		bt := tr.Observe(rec)
+		n := bt.FS.CEs()
+		if n > 64 && n%int64(cfg.ScoreEvery) != 0 {
+			continue
+		}
+		id := bankID{DIMMKey{Node: rec.Node, Slot: rec.Slot}, int8(rec.Rank), int8(rec.Bank)}
+		if _, done := alarmAt[id]; done {
+			continue
+		}
+		f := bt.Snapshot(rec.Time)
+		if p.Score(&f) >= cfg.Threshold {
+			alarmAt[id] = rec.Time
+		}
+	}
+	out.Predictive.UnitsRetired = len(alarmAt)
+	out.Predictive.CapacityBytes = int64(len(alarmAt)) * BankBytes
+	for _, d := range dues {
+		id := bankID{d.DIMM, d.Rank, d.Bank}
+		if at, ok := alarmAt[id]; ok && !d.Time.Before(at.Add(cfg.ReactionDelay)) {
+			out.Predictive.DUEsAvoided++
+			if eccConfirmsUncorrectable(dueBits(pop, d)) {
+				out.Predictive.ECCConfirmed++
+			}
+		}
+	}
+
+	// Reactive arm: the paper's page-retirement model over the
+	// ground-truth CE stream, interleaved with the DUE stream in time
+	// order; a DUE is avoided iff its page was already retired.
+	eng := retire.NewEngine(cfg.Seed, cfg.Page)
+	ci, di := 0, 0
+	for di < len(pop.DUEs) || ci < len(pop.CEs) {
+		if ci < len(pop.CEs) && (di >= len(pop.DUEs) || pop.CEs[ci].Minute <= pop.DUEs[di].Minute) {
+			eng.Observe(pop.CEs[ci])
+			ci++
+			continue
+		}
+		ev := &pop.DUEs[di]
+		if eng.PageRetired(ev.Node, ev.Addr) {
+			out.Reactive.DUEsAvoided++
+			if eccConfirmsUncorrectable(ev.Bits) {
+				out.Reactive.ECCConfirmed++
+			}
+		}
+		di++
+	}
+	st := eng.Stats()
+	out.Reactive.UnitsRetired = st.Retired
+	out.Reactive.CapacityBytes = st.MemoryRetiredBytes()
+	out.Reactive.CEsSuppressed = st.Suppressed
+
+	if len(dues) > 0 {
+		out.Predictive.AvoidedFrac = float64(out.Predictive.DUEsAvoided) / float64(len(dues))
+		out.Reactive.AvoidedFrac = float64(out.Reactive.DUEsAvoided) / float64(len(dues))
+	}
+	return out, nil
+}
+
+// bankID is a bank at DIMM granularity plus rank/bank coordinates.
+type bankID struct {
+	DIMM DIMMKey
+	Rank int8
+	Bank int8
+}
+
+// dueBits finds the flipped-bit pattern for a labeled DUE by matching
+// it back to the population's event list (labels are sorted, events
+// are not necessarily; linear scan is fine at evaluation scale).
+func dueBits(pop *faultmodel.Population, d DUE) []uint8 {
+	for i := range pop.DUEs {
+		ev := &pop.DUEs[i]
+		if ev.Node == d.DIMM.Node && ev.Minute.Time().Equal(d.Time) {
+			return ev.Bits
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package predict
+
+// Predictor maps a bank's feature vector to a risk score in [0, 1].
+// Implementations must be pure functions of the features (no hidden
+// state, no randomness) so scores are reproducible and safe to call
+// concurrently from the serving layer.
+type Predictor interface {
+	Name() string
+	Score(f *Features) float64
+}
+
+// Rung is one threshold indicator in the rule ladder.
+type Rung struct {
+	Name string
+	Test func(f *Features) bool
+}
+
+// RuleLadder scores a bank as the longest satisfied rung prefix over
+// the total rung count — a true ladder, not a k-of-n vote: a bank
+// climbs one rung at a time and its score is the height reached.
+// Sweeping a threshold over the score walks the rungs from cheapest
+// to strictest, tracing a precision/recall curve whose points have a
+// direct operational reading ("alarm at rung 5").
+type RuleLadder struct {
+	Rungs []Rung
+}
+
+// DefaultRuleLadder returns the stock indicator set, drawn from the
+// field-study precursors. Cumulative CE volume is the spine (one-shot
+// events are overwhelmingly transient, and escalation probability
+// grows with error count — the fault model's own DUE mechanism), with
+// the error-bits accelerators OR'd in at the middle rungs: a
+// multi-bit word already defeats SEC-DED on its own, and bit/row/
+// column fan-out marks shared-circuitry faults that reach
+// uncorrectability at lower volumes. Rung 5 adds the First-CE paper's
+// persistence requirement so a single truncated burst cannot climb
+// past it.
+func DefaultRuleLadder() *RuleLadder {
+	return &RuleLadder{Rungs: []Rung{
+		{"ces>=2", func(f *Features) bool { return f.CEs >= 2 }},
+		{"ces>=16", func(f *Features) bool { return f.CEs >= 16 }},
+		{"ces>=64|multibit", func(f *Features) bool { return f.CEs >= 64 || f.MultiBitWords >= 1 }},
+		{"ces>=128|fanout", func(f *Features) bool {
+			return f.CEs >= 128 ||
+				(f.CEs >= 32 && (f.DistinctBits >= 4 || f.DistinctRows >= 4 || f.DistinctCols >= 4))
+		}},
+		{"ces>=256&span>=48h", func(f *Features) bool { return f.CEs >= 256 && f.SpanHours >= 48 }},
+		{"ces>=1024|multibit256", func(f *Features) bool {
+			return f.CEs >= 1024 || (f.CEs >= 256 && f.MultiBitWords >= 1)
+		}},
+		{"ces>=4096", func(f *Features) bool { return f.CEs >= 4096 }},
+		{"ces>=16384", func(f *Features) bool { return f.CEs >= 16384 }},
+	}}
+}
+
+// Name implements Predictor.
+func (r *RuleLadder) Name() string { return "rule-ladder" }
+
+// Score returns the satisfied-prefix height in (0, 1]: rungs are
+// evaluated in order and the climb stops at the first miss.
+func (r *RuleLadder) Score(f *Features) float64 {
+	if len(r.Rungs) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range r.Rungs {
+		if !r.Rungs[i].Test(f) {
+			break
+		}
+		hit++
+	}
+	return float64(hit) / float64(len(r.Rungs))
+}

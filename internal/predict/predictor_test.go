@@ -1,0 +1,67 @@
+package predict
+
+import "testing"
+
+func TestRuleLadderPrefixSemantics(t *testing.T) {
+	r := DefaultRuleLadder()
+	n := float64(len(r.Rungs))
+
+	// Fresh bank: one CE, nothing else.
+	f := Features{CEs: 1}
+	if got := r.Score(&f); got != 0 {
+		t.Fatalf("1 CE: score %v want 0", got)
+	}
+
+	// Two CEs climb exactly rung 1.
+	f = Features{CEs: 2}
+	if got := r.Score(&f); got != 1/n {
+		t.Fatalf("2 CEs: score %v want %v", got, 1/n)
+	}
+
+	// A heavy persistent single-cell fault climbs the volume spine.
+	f = Features{CEs: 20000, SpanHours: 500, ActiveDays: 20, WindowCEs: 50}
+	if got := r.Score(&f); got != 1 {
+		t.Fatalf("heavy fault: score %v want 1", got)
+	}
+
+	// Prefix semantics: a multi-bit word at low volume accelerates rung
+	// 3 but cannot skip rung 2 (needs 16 CEs first).
+	f = Features{CEs: 4, MultiBitWords: 1}
+	if got := r.Score(&f); got != 1/n {
+		t.Fatalf("multibit at 4 CEs: score %v want %v", got, 1/n)
+	}
+	f = Features{CEs: 16, MultiBitWords: 1}
+	if got := r.Score(&f); got != 3/n {
+		t.Fatalf("multibit at 16 CEs: score %v want %v (rungs 1-3)", got, 3/n)
+	}
+
+	// A 256-CE burst confined to one hour stalls at the persistence rung.
+	f = Features{CEs: 300, SpanHours: 1}
+	if got := r.Score(&f); got != 4/n {
+		t.Fatalf("short burst: score %v want %v", got, 4/n)
+	}
+}
+
+func TestRuleLadderMonotoneInVolume(t *testing.T) {
+	r := DefaultRuleLadder()
+	prev := -1.0
+	for _, ces := range []float64{0, 1, 2, 16, 64, 128, 256, 1024, 4096, 16384, 91000} {
+		f := Features{CEs: ces, SpanHours: 1000, ActiveDays: 10}
+		s := r.Score(&f)
+		if s < prev {
+			t.Fatalf("score not monotone in CE volume: %v -> %v at ces=%v", prev, s, ces)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+		prev = s
+	}
+}
+
+func TestRuleLadderEmpty(t *testing.T) {
+	r := &RuleLadder{}
+	f := Features{CEs: 1e6}
+	if got := r.Score(&f); got != 0 {
+		t.Fatalf("empty ladder score %v", got)
+	}
+}

@@ -1,0 +1,61 @@
+package predict
+
+import (
+	"time"
+
+	"repro/internal/mce"
+)
+
+// SampleConfig parameterizes training-set construction.
+type SampleConfig struct {
+	// Horizon labels a snapshot positive when the bank's DIMM has a DUE
+	// within (t, t+Horizon]; 0 means 180 days (the default scenario's
+	// evaluation horizon).
+	Horizon time.Duration
+	// Tracker sizes the feature windows.
+	Tracker TrackerConfig
+}
+
+func (c *SampleConfig) defaults() {
+	if c.Horizon <= 0 {
+		c.Horizon = 180 * 24 * time.Hour
+	}
+	c.Tracker.defaults()
+}
+
+// BuildSamples replays the record stream and snapshots each bank's
+// feature vector at exponentially spaced moments (every CE while the
+// bank has ≤ 8, then at each power-of-two count), labeling each
+// snapshot by whether the bank's DIMM suffers a DUE within the horizon
+// after it. Exponential spacing keeps the set balanced across bank
+// lifetimes instead of drowning it in near-duplicate snapshots of the
+// heaviest banks; labeling snapshots (not banks) teaches the model
+// lead-time structure — an early snapshot of an eventually-bad bank is
+// only positive if the DUE falls inside the horizon.
+func BuildSamples(records []mce.CERecord, dues []DUE, cfg SampleConfig) []Sample {
+	cfg.defaults()
+	dueTimes := map[DIMMKey][]time.Time{}
+	for _, d := range dues {
+		dueTimes[d.DIMM] = append(dueTimes[d.DIMM], d.Time) // labels are time-sorted
+	}
+	tr := NewTracker(cfg.Tracker)
+	var out []Sample
+	for ri := range records {
+		rec := &records[ri]
+		bt := tr.Observe(rec)
+		n := bt.FS.CEs()
+		if n > 8 && n&(n-1) != 0 {
+			continue
+		}
+		f := bt.Snapshot(rec.Time)
+		label := false
+		for _, dt := range dueTimes[DIMMKey{Node: rec.Node, Slot: rec.Slot}] {
+			if dt.After(rec.Time) && dt.Sub(rec.Time) <= cfg.Horizon {
+				label = true
+				break
+			}
+		}
+		out = append(out, Sample{X: f.Vector(nil), Label: label})
+	}
+	return out
+}

@@ -167,5 +167,12 @@ func (e *Engine) Filter(events []faultmodel.CEEvent) []faultmodel.CEEvent {
 // Stats returns the accounting so far.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// PageRetired reports whether the page containing addr on node is
+// currently retired — the query the predict payoff simulator uses to
+// decide whether a later uncorrectable access would have been avoided.
+func (e *Engine) PageRetired(node topology.NodeID, addr topology.PhysAddr) bool {
+	return e.state[pageKey{node: node, page: addr.Page()}] == pageRetired
+}
+
 // RetiredPages returns the number of pages currently retired on a node.
 func (e *Engine) RetiredPages(node topology.NodeID) int { return e.perNode[node] }

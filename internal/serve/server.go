@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/overload"
+	"repro/internal/predict"
 	"repro/internal/stream"
 	"repro/internal/syslog"
 	"repro/internal/topology"
@@ -100,6 +101,15 @@ type Config struct {
 	// MaxStaleness is the served-view age beyond which /healthz reports
 	// degraded. 0 means DefaultMaxStaleness.
 	MaxStaleness time.Duration
+	// Predictor scores bank feature vectors for /v1/atrisk,
+	// /v1/nodes/{id}/risk and the astrad_predict_* metrics; nil means
+	// predict.DefaultRuleLadder(). Scoring happens at render time over
+	// immutable views, so the predictor must be safe for concurrent use
+	// (the rule ladder and trained models are: Score is read-only).
+	Predictor predict.Predictor
+	// RiskThreshold is the alarm bar behind the astrad_predict_atrisk
+	// gauge; 0 means DefaultRiskThreshold.
+	RiskThreshold float64
 }
 
 // Server exposes a stream.Engine over HTTP: JSON analyses under /v1,
@@ -135,6 +145,9 @@ type Server struct {
 	maxConcurrent  int
 	requestTimeout time.Duration
 	maxStaleness   time.Duration
+
+	predictor     predict.Predictor
+	riskThreshold float64
 }
 
 // siteState is one served fleet.
@@ -170,6 +183,15 @@ func New(cfg Config) *Server {
 		maxConcurrent:  cfg.MaxConcurrent,
 		requestTimeout: cfg.RequestTimeout,
 		maxStaleness:   cfg.MaxStaleness,
+
+		predictor:     cfg.Predictor,
+		riskThreshold: cfg.RiskThreshold,
+	}
+	if s.predictor == nil {
+		s.predictor = predict.DefaultRuleLadder()
+	}
+	if s.riskThreshold <= 0 {
+		s.riskThreshold = DefaultRiskThreshold
 	}
 	switch {
 	case len(cfg.Sites) > 0:
@@ -194,16 +216,21 @@ func New(cfg Config) *Server {
 	s.cacheMisses = s.reg.NewCounter("astrad_cache_misses_total", "", "Cacheable GETs that re-rendered (new epoch, new URL, or evicted entry).")
 	s.cacheNotMod = s.reg.NewCounter("astrad_cache_not_modified_total", "", "Cacheable GETs answered 304 via If-None-Match.")
 	s.registerMetrics()
+	s.registerRiskMetrics()
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /v1/faults", "/v1/faults", s.cached(false, renderFaults))
 	s.route("GET /v1/breakdown", "/v1/breakdown", s.cached(false, renderBreakdown))
 	s.route("GET /v1/fit", "/v1/fit", s.cached(false, renderFIT))
 	s.route("GET /v1/nodes/{id}", "/v1/nodes/{id}", s.cached(false, renderNode))
+	s.route("GET /v1/nodes/{id}/risk", "/v1/nodes/{id}/risk", s.cached(false, s.renderNodeRisk))
+	s.route("GET /v1/atrisk", "/v1/atrisk", s.cached(false, s.renderAtRisk))
 	s.route("GET /v1/sites", "/v1/sites", s.cached(false, s.renderSites))
 	s.route("GET /v1/sites/{site}/faults", "/v1/sites/{site}/faults", s.cached(true, renderFaults))
 	s.route("GET /v1/sites/{site}/breakdown", "/v1/sites/{site}/breakdown", s.cached(true, renderBreakdown))
 	s.route("GET /v1/sites/{site}/fit", "/v1/sites/{site}/fit", s.cached(true, renderFIT))
 	s.route("GET /v1/sites/{site}/nodes/{id}", "/v1/sites/{site}/nodes/{id}", s.cached(true, renderNode))
+	s.route("GET /v1/sites/{site}/nodes/{id}/risk", "/v1/sites/{site}/nodes/{id}/risk", s.cached(true, s.renderNodeRisk))
+	s.route("GET /v1/sites/{site}/atrisk", "/v1/sites/{site}/atrisk", s.cached(true, s.renderAtRisk))
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	return s
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mce"
 	"repro/internal/overload"
+	"repro/internal/predict"
 	"repro/internal/topology"
 )
 
@@ -397,6 +398,47 @@ func (s *Sharded) NodeStatus(id topology.NodeID) (NodeStatus, bool) {
 	return s.parts[s.partition(id)].nodeStatusLocked(id, s.lastLocked())
 }
 
+// Features returns the fleet's per-bank failure-prediction feature
+// vectors — partition outputs interleaved by each bank's first-record
+// arrival index and evaluated at the fleet's newest event time, exactly
+// what one serial engine (or a batch predict.Tracker) produces over the
+// merged stream.
+func (s *Sharded) Features() []predict.BankFeatures {
+	s.lockAll()
+	defer s.unlockAll()
+	return s.featuresLocked()
+}
+
+func (s *Sharded) featuresLocked() []predict.BankFeatures {
+	at := s.lastLocked()
+	total := 0
+	for _, p := range s.parts {
+		total += len(p.entries)
+	}
+	if total == 0 {
+		return nil
+	}
+	lists := make([][]predict.BankFeatures, len(s.parts))
+	for pi, p := range s.parts {
+		lists[pi] = p.featuresLocked(at)
+	}
+	out := make([]predict.BankFeatures, 0, total)
+	cursors := make([]int, len(s.parts))
+	for len(out) < total {
+		best, bestIdx := -1, 0
+		for pi := range lists {
+			if c := cursors[pi]; c < len(lists[pi]) {
+				if best < 0 || lists[pi][c].FirstIdx < bestIdx {
+					best, bestIdx = pi, lists[pi][c].FirstIdx
+				}
+			}
+		}
+		out = append(out, lists[best][cursors[best]])
+		cursors[best]++
+	}
+	return out
+}
+
 // Records returns every ingested record in global arrival order: the
 // k-way merge of the partitions' index-stamped streams. IngestBatch of
 // the result into a fresh engine (sharded at any partition count, or
@@ -486,6 +528,11 @@ func (s *Sharded) buildView() *View {
 		Faults:  s.snapshotLocked(),
 		FIT:     s.windowedFITLocked(),
 		nodes:   make(map[topology.NodeID]NodeStatus, nNodes),
+	}
+	v.banksFn = func() []predict.BankFeatures {
+		s.lockAll()
+		defer s.unlockAll()
+		return s.featuresLocked()
 	}
 	for _, p := range s.parts {
 		for i := range p.nodeStates {

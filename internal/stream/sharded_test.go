@@ -101,6 +101,9 @@ func diffShardedSerial(t *testing.T, records []mce.CERecord, parts int, rng *ran
 	if got, want := sharded.Records(), serial.Records(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Records diverges: got %d records, want %d", len(got), len(want))
 	}
+	if got, want := sharded.Features(), serial.Features(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Features diverges: got %d banks, want %d", len(got), len(want))
+	}
 	for id := topology.NodeID(0); id < 48; id++ {
 		got, gok := sharded.NodeStatus(id)
 		want, wok := serial.NodeStatus(id)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mce"
 	"repro/internal/parallel"
+	"repro/internal/predict"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -75,12 +76,18 @@ type bankRef struct {
 }
 
 // bankEntry is one bank's live state: accumulated errors, the cached
-// classification, and the global index of the bank's first record (the
-// fan-in merge key — partition snapshots interleave by it).
+// classification, the global index of the bank's first record (the
+// fan-in merge key — partition snapshots interleave by it), and the
+// incremental failure-prediction features. The feature state updates
+// strictly in arrival order on every ingest path — predict.FeatureState
+// deliberately has no merge operation — so stream features are
+// bit-identical to a batch predict.Tracker over the same records at any
+// partition count.
 type bankEntry struct {
 	key      core.BankKey
 	state    *core.BankState
 	faults   []core.Fault
+	fs       predict.FeatureState
 	firstIdx int
 	dirty    bool
 }
@@ -343,6 +350,7 @@ func (e *Engine) ensureBankOverflow(rec *mce.CERecord, nsIdx int32, g int) int32
 func (e *Engine) addEntry(key core.BankKey, g int) int32 {
 	idx := int32(len(e.entries))
 	e.entries = append(e.entries, bankEntry{key: key, state: core.NewBankState(), firstIdx: g, dirty: true})
+	e.entries[idx].fs.Init(e.cfg.Window, e.cfg.RateBuckets)
 	e.dirtyIdx = append(e.dirtyIdx, idx)
 	return idx
 }
@@ -396,6 +404,7 @@ func (e *Engine) ingestRecord(g int, rec *mce.CERecord) {
 	entIdx := e.ensureBank(rec, nsIdx, g)
 	ent := &e.entries[entIdx]
 	ent.state.Add(g, rec)
+	ent.fs.Observe(rec.Time.UnixNano())
 	if !ent.dirty {
 		ent.dirty = true
 		e.dirtyIdx = append(e.dirtyIdx, entIdx)
@@ -511,9 +520,17 @@ func (e *Engine) IngestBatch(rs []mce.CERecord) {
 			}
 		}
 	}
+	// The per-shard scan merged bank *states* out of order; the feature
+	// states have no merge operation by design, so this serial pass
+	// applies them in arrival order — the same sequence the record-at-a-
+	// time path produces (every bank was created above, so findBank hits).
 	for i := base; i < len(e.records); i++ {
 		rec := &e.records[i]
-		e.noteScalars(e.ensureNode(rec.Node), rec)
+		nsIdx := e.ensureNode(rec.Node)
+		if entIdx, ok := e.findBank(core.RecordBankKey(rec), nsIdx); ok {
+			e.entries[entIdx].fs.Observe(rec.Time.UnixNano())
+		}
+		e.noteScalars(nsIdx, rec)
 	}
 }
 
@@ -622,6 +639,37 @@ func (e *Engine) snapshotLocked() []core.Fault {
 	out := make([]core.Fault, 0, e.nFaults)
 	for i := range e.entries {
 		out = append(out, e.entries[i].faults...)
+	}
+	return out
+}
+
+// Features returns the live failure-prediction feature vector of every
+// bank, in first-appearance order, evaluated at the newest event time —
+// exactly what a batch predict.Tracker over Records() would return at
+// the same instant. The result is freshly allocated; callers may keep
+// it.
+func (e *Engine) Features() []predict.BankFeatures {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.featuresLocked(e.last)
+}
+
+// featuresLocked evaluates every bank's features with an explicit
+// window end (the fleet's newest event time when the engine is a
+// shard, so partition outputs merge into the serial answer). Caller
+// holds e.mu; the snapshot advances each bank's rolling window to at.
+func (e *Engine) featuresLocked(at time.Time) []predict.BankFeatures {
+	if len(e.entries) == 0 {
+		return nil
+	}
+	out := make([]predict.BankFeatures, 0, len(e.entries))
+	for i := range e.entries {
+		ent := &e.entries[i]
+		out = append(out, predict.BankFeatures{
+			Key:      ent.key,
+			FirstIdx: ent.firstIdx,
+			F:        ent.fs.Snapshot(ent.state.Spatial(), at),
+		})
 	}
 	return out
 }

@@ -1,9 +1,11 @@
 package stream
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/predict"
 	"repro/internal/topology"
 )
 
@@ -25,6 +27,34 @@ type View struct {
 	FIT     WindowedFIT
 
 	nodes map[topology.NodeID]NodeStatus // scalars only; Faults filled on demand
+
+	// The per-bank prediction features are deferred: extraction walks
+	// every bank's word population (O(banks·words)), which would make
+	// the rollup endpoints — rebuilt on every poll during ingest — pay
+	// for a field only the risk surface reads. banksFn is installed at
+	// build time and runs at most once, on first Banks() call.
+	banksOnce sync.Once
+	banks     []predict.BankFeatures
+	banksFn   func() []predict.BankFeatures
+}
+
+// Banks returns each tracked bank's prediction features in
+// first-appearance order — the input the serving layer scores against a
+// predictor at render time, so swapping predictors never requires a
+// view rebuild. Extraction is lazy and memoized: the first call
+// evaluates against the live engine (at or ahead of Seq — risk readers
+// get the freshest features available; on a quiescent engine this is
+// exactly the Seq snapshot, which is what the stream==batch and
+// sharded==serial differentials compare), and every later call returns
+// the same slice. Callers must not modify it.
+func (v *View) Banks() []predict.BankFeatures {
+	v.banksOnce.Do(func() {
+		if v.banksFn != nil {
+			v.banks = v.banksFn()
+			v.banksFn = nil
+		}
+	})
+	return v.banks
 }
 
 // NodeStatus returns the view's per-node status; ok is false when the
@@ -131,6 +161,14 @@ func MergeViews(dimms int, vs ...*View) *View {
 	} else {
 		m.FIT.Degraded = true
 	}
+	inputs := append([]*View(nil), vs...)
+	m.banksFn = func() []predict.BankFeatures {
+		var banks []predict.BankFeatures
+		for _, v := range inputs {
+			banks = append(banks, v.Banks()...)
+		}
+		return banks
+	}
 	return m
 }
 
@@ -174,6 +212,11 @@ func (e *Engine) buildViewLocked() *View {
 		Faults:  e.snapshotLocked(),
 		FIT:     e.windowedFITLocked(e.last, e.cfg.DIMMs),
 		nodes:   make(map[topology.NodeID]NodeStatus, len(e.nodeStates)),
+	}
+	v.banksFn = func() []predict.BankFeatures {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.featuresLocked(e.last)
 	}
 	for i := range e.nodeStates {
 		ns := &e.nodeStates[i]
